@@ -1,0 +1,269 @@
+(* bloom-eval: command-line front end for the mechanized evaluation.
+
+   Each subcommand regenerates one of the paper's evaluation artifacts
+   (see DESIGN.md's experiment index): the expressiveness matrix (E3),
+   the constraint-independence analysis (E2/E4), the modularity table
+   (E5), the conformance run (E6), the footnote-3 anomaly demo (E1), and
+   the nested-monitor-call demonstration (E11). *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let list_cmd =
+  let doc = "List every registered solution (problem/variant@mechanism)." in
+  let run () =
+    List.iter
+      (fun (e : Sync_eval.Registry.entry) ->
+        Format.fprintf ppf "%s@." (Sync_taxonomy.Meta.id e.meta))
+      Sync_eval.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let matrix_cmd =
+  let doc = "Print the expressive-power matrix (experiment E3)." in
+  let run () =
+    let card = Sync_eval.Scorecard.build ~run_conformance:false () in
+    Sync_eval.Expressiveness.pp ppf card.matrix;
+    match card.discrepancies with
+    | [] ->
+      Format.fprintf ppf
+        "@.The matrix agrees with the paper's Section-5 conclusions.@."
+    | ds ->
+      List.iter
+        (fun (mech, kind, why) ->
+          Format.fprintf ppf "DISCREPANCY %s/%s: %s@." mech
+            (Sync_taxonomy.Info.to_string kind)
+            why)
+        ds;
+      exit 1
+  in
+  Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ const ())
+
+let independence_cmd =
+  let doc =
+    "Print constraint-independence pairings and the per-mechanism reuse \
+     summary (experiments E2/E4)."
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"show every pairing")
+  in
+  let run verbose =
+    let pairings = Sync_eval.Independence.analyze Sync_eval.Registry.all in
+    if verbose then Sync_eval.Independence.pp ppf pairings;
+    Sync_eval.Independence.pp_summary ppf
+      (Sync_eval.Independence.shared_constraint_reuse pairings)
+  in
+  Cmd.v (Cmd.info "independence" ~doc) Term.(const run $ verbose)
+
+let modularity_cmd =
+  let doc = "Print the modularity table (experiment E5)." in
+  let run () =
+    Sync_eval.Modularity.pp ppf
+      (Sync_eval.Modularity.analyze Sync_eval.Registry.all)
+  in
+  Cmd.v (Cmd.info "modularity" ~doc) Term.(const run $ const ())
+
+let conformance_cmd =
+  let doc =
+    "Run every solution's machine checks and print the conformance matrix \
+     (experiment E6). Exits non-zero on regressions."
+  in
+  let run () =
+    let results = Sync_eval.Conformance.run Sync_eval.Registry.all in
+    Sync_eval.Conformance.pp ppf results;
+    match Sync_eval.Conformance.regressions results with
+    | [] -> Format.fprintf ppf "no regressions@."
+    | rs ->
+      Format.fprintf ppf "%d regression(s)@." (List.length rs);
+      exit 1
+  in
+  Cmd.v (Cmd.info "conformance" ~doc) Term.(const run $ const ())
+
+let scorecard_cmd =
+  let doc = "Print the full scorecard (E3 + E4 + E5 + E6)." in
+  let fast =
+    Arg.(value & flag
+         & info [ "fast" ] ~doc:"skip the conformance run (metadata only)")
+  in
+  let run fast =
+    let card = Sync_eval.Scorecard.build ~run_conformance:(not fast) () in
+    Sync_eval.Scorecard.pp ppf card;
+    if Sync_eval.Conformance.regressions card.conformance <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "scorecard" ~doc) Term.(const run $ fast)
+
+let anomaly_cmd =
+  let doc =
+    "Reproduce footnote 3 (experiment E1): in the Figure 1 path solution a \
+     second writer overtakes a waiting reader; the monitor, serializer, \
+     baton-semaphore and CSP readers-priority solutions hand the resource \
+     to the reader in the identical staging."
+  in
+  let run () =
+    let show name m =
+      let outcome = Sync_problems.Rw_harness.scenario_writer_handoff m in
+      Format.fprintf ppf "%-34s -> %s@." name
+        (Sync_problems.Rw_harness.outcome_to_string outcome)
+    in
+    Format.fprintf ppf
+      "Staging: W1 mid-write; W2 then R queue up; W1 releases.@.";
+    Format.fprintf ppf
+      "Correct readers-priority hands over to R (reader-first).@.@.";
+    show "pathexpr fig1 (paper Figure 1)" (module Sync_problems.Rw_path.Fig1);
+    show "monitor readers-priority" (module Sync_problems.Rw_mon.Readers_prio);
+    show "serializer readers-priority"
+      (module Sync_problems.Rw_ser.Readers_prio);
+    show "semaphore baton readers-priority"
+      (module Sync_problems.Rw_sem.Readers_prio_baton);
+    show "semaphore Courtois problem 1"
+      (module Sync_problems.Rw_sem.Readers_prio);
+    show "csp readers-priority" (module Sync_problems.Rw_csp.Readers_prio)
+  in
+  Cmd.v (Cmd.info "anomaly" ~doc) Term.(const run $ const ())
+
+let trace_cmd =
+  let doc =
+    "Print the annotated event trace of the footnote-3 staging (E1) for a      readers-writers solution: pids 200/201 are the writers, pid 1 the      reader."
+  in
+  let which =
+    Arg.(value & pos 0 string "fig1" & info [] ~docv:"SOLUTION"
+           ~doc:"fig1 | monitor | serializer | baton | courtois | csp | ccr")
+  in
+  let run which =
+    let m =
+      match which with
+      | "fig1" -> Some (module Sync_problems.Rw_path.Fig1 : Sync_problems.Rw_intf.S)
+      | "monitor" -> Some (module Sync_problems.Rw_mon.Readers_prio)
+      | "serializer" -> Some (module Sync_problems.Rw_ser.Readers_prio)
+      | "baton" -> Some (module Sync_problems.Rw_sem.Readers_prio_baton)
+      | "courtois" -> Some (module Sync_problems.Rw_sem.Readers_prio)
+      | "csp" -> Some (module Sync_problems.Rw_csp.Readers_prio)
+      | "ccr" -> Some (module Sync_problems.Rw_ccr.Readers_prio)
+      | _ -> None
+    in
+    match m with
+    | None ->
+      Format.fprintf ppf "unknown solution %S@." which;
+      exit 2
+    | Some m ->
+      let outcome, events =
+        Sync_problems.Rw_harness.scenario_writer_handoff_trace m
+      in
+      List.iter
+        (fun e -> Format.fprintf ppf "%a@." Sync_platform.Trace.pp_event e)
+        events;
+      Format.fprintf ppf "outcome: %s@."
+        (Sync_problems.Rw_harness.outcome_to_string outcome)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ which)
+
+let run_cmd =
+  let doc = "Run one solution's conformance checks." in
+  let problem =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROBLEM")
+  in
+  let mechanism =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"MECHANISM")
+  in
+  let variant =
+    Arg.(value & opt string "default" & info [ "variant" ] ~docv:"VARIANT")
+  in
+  let run problem mechanism variant =
+    match Sync_eval.Registry.find ~problem ~variant ~mechanism with
+    | None ->
+      Format.fprintf ppf "unknown solution %s/%s@%s (try 'list')@." problem
+        variant mechanism;
+      exit 2
+    | Some e -> (
+      match e.verify () with
+      | Ok () -> Format.fprintf ppf "pass@."
+      | Error msg ->
+        Format.fprintf ppf "FAIL: %s@." msg;
+        if e.expect_conformant then exit 1
+        else Format.fprintf ppf "(expected: documented anomaly)@.")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ problem $ mechanism $ variant)
+
+let paths_cmd =
+  let doc = "Parse a path-expression spec and echo its AST rendering." in
+  let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  let run src =
+    match Sync_pathexpr.Parser.parse src with
+    | spec ->
+      Format.fprintf ppf "%s@.operations: %s@."
+        (Sync_pathexpr.Ast.to_string spec)
+        (String.concat ", " (Sync_pathexpr.Ast.ops spec))
+    | exception Sync_pathexpr.Parser.Syntax_error msg ->
+      Format.fprintf ppf "syntax error: %s@." msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "paths" ~doc) Term.(const run $ src)
+
+let model_cmd =
+  let doc =
+    "Exhaustively model-check the staged scenarios over ALL interleavings      (experiment E17): the Figure 1 anomaly is unavoidable; the monitor      readers-priority handoff is schedule-independent; flipping the      release-site signal provably flips the outcome."
+  in
+  let run () =
+    let ok = ref true in
+    List.iter
+      (fun (name, v) ->
+        if not v.Sync_model.Scenarios.holds then ok := false;
+        Format.fprintf ppf "%-28s states=%-5d %s@." name
+          v.Sync_model.Scenarios.states v.Sync_model.Scenarios.detail)
+      (Sync_model.Scenarios.all ());
+    if not !ok then exit 1
+  in
+  Cmd.v (Cmd.info "model" ~doc) Term.(const run $ const ())
+
+let nested_cmd =
+  let doc =
+    "Demonstrate the nested-monitor-call problem (experiment E11): the \
+     naive structure deadlocks, the paper's Section-2 structure does not."
+  in
+  let run () =
+    let open Sync_monitor in
+    let open Sync_platform in
+    let demo ~structure access_fn =
+      let outer = Monitor.create () in
+      let inner = Monitor.create () in
+      let cond = Monitor.Cond.create inner in
+      let l = Latch.create 2 in
+      let consumer =
+        Process.spawn ~backend:`Thread (fun () ->
+            access_fn outer (fun () ->
+                Monitor.with_monitor inner (fun () -> Monitor.Cond.wait cond));
+            Latch.arrive l)
+      in
+      ignore consumer;
+      Thread.delay 0.1;
+      let producer =
+        Process.spawn ~backend:`Thread (fun () ->
+            access_fn outer (fun () ->
+                Monitor.with_monitor inner (fun () ->
+                    Monitor.Cond.signal cond));
+            Latch.arrive l)
+      in
+      ignore producer;
+      let finished = Latch.wait_timeout l ~timeout_ns:500_000_000L in
+      Format.fprintf ppf "%-28s -> %s@." structure
+        (if finished then "completes" else "DEADLOCK (detected by timeout)")
+    in
+    demo ~structure:"resource inside monitor" (fun m f ->
+        Protected.access_inside m f);
+    demo ~structure:"paper's Section-2 structure" (fun m f ->
+        Protected.access m ~before:(fun () -> ()) ~after:(fun () -> ()) f)
+  in
+  Cmd.v (Cmd.info "nested" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Mechanized evaluation of synchronization mechanisms (Bloom, SOSP'79)"
+  in
+  let info = Cmd.info "bloom-eval" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
+            conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
+            trace_cmd; model_cmd; nested_cmd ]))

@@ -1,0 +1,1 @@
+examples/alarmclock.ml: Alarm_csp Alarm_intf Alarm_mon Alarm_ser Array List Mutex Printf String Sync_platform Sync_problems Thread

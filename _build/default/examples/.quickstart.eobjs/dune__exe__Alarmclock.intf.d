@@ -1,0 +1,1 @@
+examples/alarmclock.mli:

@@ -1,0 +1,1 @@
+examples/disk_scheduler.ml: Disk_csp Disk_fcfs Disk_harness Disk_mon Disk_ser List Printf String Sync_problems

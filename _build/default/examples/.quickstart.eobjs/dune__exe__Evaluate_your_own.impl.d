@@ -1,0 +1,1 @@
+examples/evaluate_your_own.ml: Atomic Fun Mutex Printf Rw_harness Rw_intf Rw_mon Sync_problems Sync_taxonomy Thread

@@ -1,0 +1,1 @@
+examples/evaluate_your_own.mli:

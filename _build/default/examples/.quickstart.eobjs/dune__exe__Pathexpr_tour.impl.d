@@ -1,0 +1,1 @@
+examples/pathexpr_tour.ml: Atomic List Printf Sync_pathexpr Sync_platform Thread

@@ -1,0 +1,1 @@
+examples/pathexpr_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Sync_platform Sync_problems Sync_resources

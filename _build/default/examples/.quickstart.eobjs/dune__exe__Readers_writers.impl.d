@@ -1,0 +1,1 @@
+examples/readers_writers.ml: Printf Rw_csp Rw_harness Rw_intf Rw_mon Rw_path Rw_ser Sync_platform Sync_problems Sync_resources

@@ -1,0 +1,1 @@
+examples/readers_writers.mli:

@@ -1,0 +1,33 @@
+(* Quickstart: a monitor-protected bounded buffer in a dozen lines.
+
+   Two producers and two consumers share a 4-slot buffer built from the
+   public API: the self-checking ring resource, the Hoare-monitor
+   synchronizer from [sync_problems], and the thread/domain-agnostic
+   process layer. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  let ring = Sync_resources.Ring.create 4 in
+  let buffer =
+    Sync_problems.Bb_mon.create ~capacity:4
+      ~put:(fun ~pid:_ v -> Sync_resources.Ring.put ring v)
+      ~get:(fun ~pid:_ -> Sync_resources.Ring.get ring)
+  in
+  let items_each = 10 in
+  let producer pid () =
+    for k = 1 to items_each do
+      Sync_problems.Bb_mon.put buffer ~pid ((100 * pid) + k);
+      Printf.printf "producer %d put %d\n%!" pid ((100 * pid) + k)
+    done
+  in
+  let consumer pid () =
+    for _ = 1 to items_each do
+      let v = Sync_problems.Bb_mon.get buffer ~pid in
+      Printf.printf "                 consumer %d got %d\n%!" pid v
+    done
+  in
+  Sync_platform.Process.run_all ~backend:`Thread
+    [ producer 1; producer 2; consumer 3; consumer 4 ];
+  print_endline "quickstart: all items transferred, buffer invariants held"

@@ -1,0 +1,1 @@
+lib/ccr/ccr.ml: Condition Mutex

@@ -1,0 +1,41 @@
+type 'a t = {
+  lock : Mutex.t;
+  changed : Condition.t;
+  state : 'a;
+  mutable blocked : int;
+}
+
+let create state =
+  { lock = Mutex.create (); changed = Condition.create (); state;
+    blocked = 0 }
+
+let region ?when_ t f =
+  Mutex.lock t.lock;
+  (match when_ with
+  | None -> ()
+  | Some guard ->
+    t.blocked <- t.blocked + 1;
+    while not (guard t.state) do
+      Condition.wait t.changed t.lock
+    done;
+    t.blocked <- t.blocked - 1);
+  let finish () =
+    (* Any region body may have changed the state: re-test every guard. *)
+    Condition.broadcast t.changed;
+    Mutex.unlock t.lock
+  in
+  match f t.state with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let await t p = region ~when_:p t ignore
+
+let waiters t =
+  Mutex.lock t.lock;
+  let n = t.blocked in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,36 @@
+(** Conditional critical regions, after Hoare's "Towards a theory of
+    parallel programming" and Brinch Hansen's {e Operating System
+    Principles} (the paper's reference [6]):
+
+    {v region v when B do S v}
+
+    A shared variable may only be touched inside a region; a region with
+    a [when] guard blocks until the guard holds, evaluated under mutual
+    exclusion and re-evaluated whenever some region over the same
+    variable completes.
+
+    Evaluation notes (this mechanism is scored with the same methodology
+    as the paper's three — see the E3 matrix): local state is the one
+    category CCRs reach {e directly} (guards read the shared variable);
+    everything else — request order, types, parameters, priorities — must
+    be encoded in auxiliary fields of the shared variable (tickets,
+    counts, flags). There is no ordering guarantee among waiters whose
+    guards become true together (wakeup is broadcast + re-check), which
+    is why the FCFS solutions below carry explicit ticket fields. *)
+
+type 'a t
+(** A shared variable of type ['a] protected by a critical region. *)
+
+val create : 'a -> 'a t
+
+val region : ?when_:('a -> bool) -> 'a t -> ('a -> 'b) -> 'b
+(** [region ~when_ v f] blocks until the guard holds (default: always),
+    then runs [f state] under mutual exclusion. Completion re-awakens all
+    blocked guards of [v]. Guards must be pure reads of the state. If [f]
+    raises, the region is released and waiters are still re-awakened. *)
+
+val await : 'a t -> ('a -> bool) -> unit
+(** [await v p] is [region ~when_:p v ignore]: block until [p] holds. *)
+
+val waiters : 'a t -> int
+(** Processes currently blocked on guards (racy; for tests). *)

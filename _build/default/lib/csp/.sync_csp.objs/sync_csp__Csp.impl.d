@@ -1,0 +1,1 @@
+lib/csp/csp.ml: Condition List Mutex

@@ -1,0 +1,1 @@
+lib/csp/csp.mli:

@@ -1,0 +1,198 @@
+(* One lock per network serializes all channel state, which is what makes a
+   multi-channel [select] commit atomically: a parked chooser is a single
+   [cell] whose offers sit on several channels; whoever matches one offer
+   flips the cell, so every other offer becomes stale and is purged on the
+   next scan. *)
+
+type cell = { mutable done_ : bool; cond : Condition.t; seq : int }
+
+type network = {
+  lock : Mutex.t;
+  mutable next_seq : int; (* arrival order for longest-waiting matching *)
+}
+
+let network () = { lock = Mutex.create (); next_seq = 0 }
+
+let fresh_cell net =
+  let c = { done_ = false; cond = Condition.create (); seq = net.next_seq } in
+  net.next_seq <- net.next_seq + 1;
+  c
+
+(* A parked sender: [taken] is called (under the lock) by the receiver that
+   accepts the value; it lets a selecting sender record which case won. *)
+type 'a send_offer = { s_cell : cell; value : 'a; taken : unit -> unit }
+
+(* A parked receiver: [deliver] stores the value (and the winning case) on
+   the receiver side. *)
+type 'a recv_offer = { r_cell : cell; deliver : 'a -> unit }
+
+type 'a chan = {
+  net : network;
+  cname : string;
+  mutable senders : 'a send_offer list; (* FIFO, stale entries purged lazily *)
+  mutable recvers : 'a recv_offer list;
+}
+
+module Channel = struct
+  type 'a t = 'a chan
+
+  let create ?(name = "chan") net =
+    { net; cname = name; senders = []; recvers = [] }
+
+  let name c = c.cname
+
+  let live_senders c = List.filter (fun o -> not o.s_cell.done_) c.senders
+
+  let live_recvers c = List.filter (fun o -> not o.r_cell.done_) c.recvers
+
+  let waiting_senders c =
+    Mutex.lock c.net.lock;
+    let n = List.length (live_senders c) in
+    Mutex.unlock c.net.lock;
+    n
+
+  let waiting_receivers c =
+    Mutex.lock c.net.lock;
+    let n = List.length (live_recvers c) in
+    Mutex.unlock c.net.lock;
+    n
+end
+
+let purge c =
+  c.senders <- List.filter (fun o -> not o.s_cell.done_) c.senders;
+  c.recvers <- List.filter (fun o -> not o.r_cell.done_) c.recvers
+
+let park net cell =
+  while not cell.done_ do
+    Condition.wait cell.cond net.lock
+  done
+
+(* Under the lock: match against the longest-waiting live counterpart. *)
+let pop_sender c =
+  purge c;
+  match c.senders with
+  | [] -> None
+  | o :: rest ->
+    c.senders <- rest;
+    o.s_cell.done_ <- true;
+    o.taken ();
+    Condition.signal o.s_cell.cond;
+    Some o.value
+
+let pop_recver c v =
+  purge c;
+  match c.recvers with
+  | [] -> false
+  | o :: rest ->
+    c.recvers <- rest;
+    o.r_cell.done_ <- true;
+    o.deliver v;
+    Condition.signal o.r_cell.cond;
+    true
+
+let send c v =
+  let net = c.net in
+  Mutex.lock net.lock;
+  if pop_recver c v then Mutex.unlock net.lock
+  else begin
+    let cell = fresh_cell net in
+    c.senders <- c.senders @ [ { s_cell = cell; value = v; taken = ignore } ];
+    park net cell;
+    Mutex.unlock net.lock
+  end
+
+let recv c =
+  let net = c.net in
+  Mutex.lock net.lock;
+  match pop_sender c with
+  | Some v ->
+    Mutex.unlock net.lock;
+    v
+  | None ->
+    let cell = fresh_cell net in
+    let slot = ref None in
+    c.recvers <-
+      c.recvers @ [ { r_cell = cell; deliver = (fun v -> slot := Some v) } ];
+    park net cell;
+    Mutex.unlock net.lock;
+    (match !slot with
+    | Some v -> v
+    | None -> assert false (* deliver always ran before the wakeup *))
+
+let try_send c v =
+  Mutex.lock c.net.lock;
+  let ok = pop_recver c v in
+  Mutex.unlock c.net.lock;
+  ok
+
+let try_recv c =
+  Mutex.lock c.net.lock;
+  let r = pop_sender c in
+  Mutex.unlock c.net.lock;
+  r
+
+type 'r case = {
+  enabled : bool;
+  net_of : unit -> network;
+  (* Try an immediate rendezvous with an already-parked counterpart;
+     [Some k] on success. Under the lock. *)
+  attempt : unit -> (unit -> 'r) option;
+  (* Park an offer bound to the chooser's cell and result slot. Under the
+     lock. *)
+  post : cell -> (unit -> 'r) option ref -> unit;
+}
+
+let recv_case c k =
+  { enabled = true;
+    net_of = (fun () -> c.net);
+    attempt =
+      (fun () ->
+        match pop_sender c with
+        | Some v -> Some (fun () -> k v)
+        | None -> None);
+    post =
+      (fun cell slot ->
+        c.recvers <-
+          c.recvers
+          @ [ { r_cell = cell; deliver = (fun v -> slot := Some (fun () -> k v)) } ]) }
+
+let send_case c v k =
+  { enabled = true;
+    net_of = (fun () -> c.net);
+    attempt = (fun () -> if pop_recver c v then Some k else None);
+    post =
+      (fun cell slot ->
+        c.senders <-
+          c.senders
+          @ [ { s_cell = cell; value = v; taken = (fun () -> slot := Some k) } ]) }
+
+let guard b case = { case with enabled = case.enabled && b }
+
+let select cases =
+  let cases = List.filter (fun c -> c.enabled) cases in
+  if cases = [] then invalid_arg "Csp.select: every case is disabled";
+  let net = (List.hd cases).net_of () in
+  List.iter
+    (fun c ->
+      if c.net_of () != net then
+        invalid_arg "Csp.select: cases span several networks")
+    cases;
+  Mutex.lock net.lock;
+  let rec first_ready = function
+    | [] -> None
+    | c :: rest -> (
+      match c.attempt () with Some k -> Some k | None -> first_ready rest)
+  in
+  match first_ready cases with
+  | Some k ->
+    Mutex.unlock net.lock;
+    k ()
+  | None ->
+    let cell = fresh_cell net in
+    let slot = ref None in
+    List.iter (fun c -> c.post cell slot) cases;
+    park net cell;
+    Mutex.unlock net.lock;
+    (match !slot with
+    | Some k -> k ()
+    | None -> assert false)

@@ -1,0 +1,59 @@
+(** Synchronous message passing with guarded choice, after Hoare's CSP
+    [CACM'78] and Dijkstra's guarded commands.
+
+    The paper's Section 6 names these as the constructs its methodology
+    should next be applied to; this module is that extension (experiment
+    E14). Communication is a rendezvous: [send] and [recv] both block
+    until a partner arrives. [select] is the guarded alternative: it
+    commits to exactly one ready case, preferring the longest-waiting
+    partner on that channel, and evaluating cases in textual order when
+    several are ready.
+
+    Channels belong to a {!network}; [select] may only mix channels of one
+    network (a single internal lock makes multi-channel commitment
+    atomic). *)
+
+type network
+
+val network : unit -> network
+
+module Channel : sig
+  type 'a t
+
+  val create : ?name:string -> network -> 'a t
+
+  val name : 'a t -> string
+
+  val waiting_senders : 'a t -> int
+  (** Parked unmatched senders (introspection for tests). *)
+
+  val waiting_receivers : 'a t -> int
+end
+
+val send : 'a Channel.t -> 'a -> unit
+(** Block until a receiver takes the value. *)
+
+val recv : 'a Channel.t -> 'a
+(** Block until a sender provides a value. *)
+
+val try_send : 'a Channel.t -> 'a -> bool
+(** Deliver only if a receiver is already waiting. *)
+
+val try_recv : 'a Channel.t -> 'a option
+(** Take only if a sender is already waiting. *)
+
+type 'r case
+(** One alternative of a guarded choice producing a value of type ['r]. *)
+
+val recv_case : 'a Channel.t -> ('a -> 'r) -> 'r case
+
+val send_case : 'a Channel.t -> 'a -> (unit -> 'r) -> 'r case
+
+val guard : bool -> 'r case -> 'r case
+(** [guard false c] disables [c] for this selection (a Dijkstra guard). *)
+
+val select : 'r case list -> 'r
+(** Commit to exactly one enabled, ready case; blocks until one becomes
+    ready. The continuation runs after the rendezvous, outside the
+    network lock.
+    @raise Invalid_argument if every case is disabled. *)

@@ -1,0 +1,1 @@
+lib/eval/conformance.ml: Format List Meta Printexc Registry Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/eval/conformance.mli: Format Registry

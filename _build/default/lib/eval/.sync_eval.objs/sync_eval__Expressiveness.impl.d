@@ -1,0 +1,1 @@
+lib/eval/expressiveness.ml: Format Info List Meta Printf Registry Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/eval/expressiveness.mli: Format Info Meta Registry Sync_taxonomy

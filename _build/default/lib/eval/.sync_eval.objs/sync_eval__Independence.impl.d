@@ -1,0 +1,1 @@
+lib/eval/independence.ml: Format Hashtbl List Meta Option Registry Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/eval/independence.mli: Format Registry

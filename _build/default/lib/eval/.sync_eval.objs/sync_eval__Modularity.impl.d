@@ -1,0 +1,1 @@
+lib/eval/modularity.ml: Float Format List Meta Registry Sync_taxonomy

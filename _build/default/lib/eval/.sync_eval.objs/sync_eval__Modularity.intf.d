@@ -1,0 +1,1 @@
+lib/eval/modularity.mli: Format Registry

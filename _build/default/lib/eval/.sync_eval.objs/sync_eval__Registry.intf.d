@@ -1,0 +1,1 @@
+lib/eval/registry.mli: Meta Spec Sync_problems Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/eval/scorecard.ml: Conformance Expressiveness Format Independence List Modularity Registry Sync_taxonomy

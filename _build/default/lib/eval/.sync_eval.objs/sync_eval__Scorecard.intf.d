@@ -1,0 +1,1 @@
+lib/eval/scorecard.mli: Conformance Expressiveness Format Independence Modularity Sync_taxonomy

@@ -1,0 +1,45 @@
+open Sync_taxonomy
+
+type outcome =
+  | Conformant
+  | Nonconformant of string
+  | Expected_anomaly of string
+  | Unexpected_pass
+
+type result = { entry : Registry.entry; outcome : outcome }
+
+let run entries =
+  List.map
+    (fun (entry : Registry.entry) ->
+      let outcome =
+        match (entry.verify (), entry.expect_conformant) with
+        | Ok (), true -> Conformant
+        | Error msg, false -> Expected_anomaly msg
+        | Error msg, true -> Nonconformant msg
+        | Ok (), false -> Unexpected_pass
+        | exception e -> Nonconformant ("exception: " ^ Printexc.to_string e)
+      in
+      { entry; outcome })
+    entries
+
+let regressions results =
+  List.filter
+    (fun r ->
+      match r.outcome with
+      | Nonconformant _ | Unexpected_pass -> true
+      | Conformant | Expected_anomaly _ -> false)
+    results
+
+let pp ppf results =
+  List.iter
+    (fun r ->
+      let id = Meta.id r.entry.Registry.meta in
+      match r.outcome with
+      | Conformant -> Format.fprintf ppf "%-50s pass@." id
+      | Expected_anomaly msg ->
+        Format.fprintf ppf "%-50s expected-anomaly (%s)@." id msg
+      | Nonconformant msg -> Format.fprintf ppf "%-50s FAIL (%s)@." id msg
+      | Unexpected_pass ->
+        Format.fprintf ppf "%-50s UNEXPECTED-PASS (anomaly not reproduced)@."
+          id)
+    results

@@ -1,0 +1,20 @@
+(** The E6 conformance matrix: run every registered solution's machine
+    checks and tabulate outcomes, distinguishing the two {e expected}
+    failures (Figure 1's footnote-3 anomaly, Courtois problem 1 under
+    strict readers-priority) from genuine regressions. *)
+
+type outcome =
+  | Conformant
+  | Nonconformant of string      (** unexpected failure: a real bug *)
+  | Expected_anomaly of string   (** paper-documented failure reproduced *)
+  | Unexpected_pass              (** a documented anomaly failed to appear *)
+
+type result = { entry : Registry.entry; outcome : outcome }
+
+val run : Registry.entry list -> result list
+
+val regressions : result list -> result list
+(** [Nonconformant] and [Unexpected_pass] rows — must be empty on a
+    healthy artifact. *)
+
+val pp : Format.formatter -> result list -> unit

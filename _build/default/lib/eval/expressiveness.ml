@@ -1,0 +1,125 @@
+open Sync_taxonomy
+
+type cell = { level : Meta.support option; evidence : string list }
+
+type t = (string * (Info.kind * cell) list) list
+
+let rank = function
+  | Meta.Direct -> 2
+  | Meta.Indirect -> 1
+  | Meta.Unsupported -> 0
+
+let better a b = if rank a >= rank b then a else b
+
+let matrix entries =
+  List.map
+    (fun mech ->
+      let mine =
+        List.filter
+          (fun e -> e.Registry.meta.Meta.mechanism = mech)
+          entries
+      in
+      let cells =
+        List.map
+          (fun kind ->
+            let hits =
+              List.filter_map
+                (fun e ->
+                  match
+                    List.assoc_opt kind e.Registry.meta.Meta.info_access
+                  with
+                  | Some lvl -> Some (lvl, Meta.id e.Registry.meta)
+                  | None -> None)
+                mine
+            in
+            let level =
+              List.fold_left
+                (fun acc (lvl, _) ->
+                  match acc with
+                  | None -> Some lvl
+                  | Some best -> Some (better best lvl))
+                None hits
+            in
+            let evidence =
+              match level with
+              | None -> []
+              | Some best ->
+                List.filter_map
+                  (fun (lvl, id) -> if lvl = best then Some id else None)
+                  hits
+            in
+            (kind, { level; evidence }))
+          Info.all
+      in
+      (mech, cells))
+    (Registry.mechanisms @ Registry.extension_mechanisms)
+
+(* Section-5 conclusions, transcribed. The paper analyzed path
+   expressions, monitors and serializers; rows for the semaphore baseline
+   and the CSP extension are our own application of the method and have
+   no paper counterpart. *)
+let paper_expectation =
+  [ ( "pathexpr",
+      [ (Info.Request_type, Meta.Direct);
+        (Info.Request_time, Meta.Indirect);
+        (Info.Parameters, Meta.Unsupported);
+        (Info.Sync_state, Meta.Indirect);
+        (Info.Local_state, Meta.Indirect);
+        (Info.History, Meta.Direct) ] );
+    ( "monitor",
+      [ (Info.Request_type, Meta.Direct);
+        (Info.Request_time, Meta.Direct);
+        (Info.Parameters, Meta.Direct);
+        (Info.Sync_state, Meta.Indirect);
+        (Info.Local_state, Meta.Direct);
+        (Info.History, Meta.Indirect) ] );
+    ( "serializer",
+      [ (Info.Request_type, Meta.Direct);
+        (Info.Request_time, Meta.Direct);
+        (Info.Parameters, Meta.Direct);
+        (Info.Sync_state, Meta.Direct);
+        (Info.Local_state, Meta.Direct);
+        (Info.History, Meta.Indirect) ] ) ]
+
+let agrees_with_paper t =
+  List.concat_map
+    (fun (mech, expected_cells) ->
+      match List.assoc_opt mech t with
+      | None -> [ (mech, Info.Request_type, "mechanism missing from matrix") ]
+      | Some cells ->
+        List.filter_map
+          (fun (kind, expected) ->
+            match List.assoc_opt kind cells with
+            | Some { level = Some got; _ } when got = expected -> None
+            | Some { level = Some got; _ } ->
+              Some
+                ( mech, kind,
+                  Printf.sprintf "paper says %s, artifact shows %s"
+                    (Meta.support_to_string expected)
+                    (Meta.support_to_string got) )
+            | Some { level = None; _ } | None ->
+              Some (mech, kind, "no solution exercises this category"))
+          expected_cells)
+    paper_expectation
+
+let pp ppf t =
+  Format.fprintf ppf "%-12s" "mechanism";
+  List.iter (fun k -> Format.fprintf ppf " %6s" (Info.short k)) Info.all;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (mech, cells) ->
+      Format.fprintf ppf "%-12s" mech;
+      List.iter
+        (fun (_, cell) ->
+          let sym =
+            match cell.level with
+            | None -> "?"
+            | Some lvl -> Meta.support_symbol lvl
+          in
+          Format.fprintf ppf " %6s" sym)
+        cells;
+      Format.fprintf ppf "@.")
+    t;
+  Format.fprintf ppf
+    "(D = direct construct, I = via auxiliary state / synchronization \
+     procedures, - = not expressible, ? = not exercised)@."

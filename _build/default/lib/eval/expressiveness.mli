@@ -1,0 +1,35 @@
+(** Expressive power (paper Section 4.1, conclusions in Section 5):
+    for each mechanism and each of the six information categories, how
+    directly can constraints refer to that information?
+
+    The matrix is {e derived from the artifact}, not asserted: each
+    registered solution's metadata records how it accessed each category
+    (through a construct of the mechanism, through user-maintained
+    auxiliary state or synchronization procedures, or not at all), and a
+    mechanism's cell is the best level any of its solutions achieved —
+    "can the mechanism express it" is an existential claim. *)
+
+open Sync_taxonomy
+
+type cell = {
+  level : Meta.support option;
+      (** [None]: no registered solution exercises this category. *)
+  evidence : string list;  (** solution ids achieving [level] *)
+}
+
+type t = (string * (Info.kind * cell) list) list
+(** Row per mechanism, in {!Registry.mechanisms} order. *)
+
+val matrix : Registry.entry list -> t
+
+val paper_expectation : (string * (Info.kind * Meta.support) list) list
+(** The Section-5 qualitative conclusions, transcribed: what the matrix
+    should broadly show for the three mechanisms the paper analyzed. Used
+    by EXPERIMENTS.md and the E3 conformance test. *)
+
+val agrees_with_paper : t -> (string * Info.kind * string) list
+(** Discrepancies between the computed matrix and {!paper_expectation}
+    (empty = full agreement); each is (mechanism, kind, explanation). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as the E3 table. *)

@@ -1,0 +1,103 @@
+open Sync_taxonomy
+
+type pairing = {
+  mechanism : string;
+  problem : string;
+  variant_a : string;
+  variant_b : string;
+  constraint_id : string;
+  similarity : float;
+}
+
+let jaccard a b =
+  if a = [] && b = [] then 1.0
+  else begin
+    let count tokens =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun tok ->
+          Hashtbl.replace tbl tok
+            (1 + Option.value (Hashtbl.find_opt tbl tok) ~default:0))
+        tokens;
+      tbl
+    in
+    let ca = count a and cb = count b in
+    let keys = Hashtbl.create 16 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) ca;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) cb;
+    let inter = ref 0 and union = ref 0 in
+    Hashtbl.iter
+      (fun k () ->
+        let na = Option.value (Hashtbl.find_opt ca k) ~default:0 in
+        let nb = Option.value (Hashtbl.find_opt cb k) ~default:0 in
+        inter := !inter + min na nb;
+        union := !union + max na nb)
+      keys;
+    float_of_int !inter /. float_of_int !union
+  end
+
+let analyze entries =
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | (a : Registry.entry) :: rest ->
+      let mates =
+        List.filter
+          (fun (b : Registry.entry) ->
+            b.meta.Meta.mechanism = a.meta.Meta.mechanism
+            && b.meta.Meta.problem = a.meta.Meta.problem
+            && b.meta.Meta.variant <> a.meta.Meta.variant)
+          rest
+      in
+      let acc =
+        List.fold_left
+          (fun acc (b : Registry.entry) ->
+            List.fold_left
+              (fun acc (cid, frag_a) ->
+                match List.assoc_opt cid b.meta.Meta.fragments with
+                | None -> acc
+                | Some frag_b ->
+                  { mechanism = a.meta.Meta.mechanism;
+                    problem = a.meta.Meta.problem;
+                    variant_a = a.meta.Meta.variant;
+                    variant_b = b.meta.Meta.variant;
+                    constraint_id = cid;
+                    similarity = jaccard frag_a frag_b }
+                  :: acc)
+              acc a.meta.Meta.fragments)
+          acc mates
+      in
+      pairs acc rest
+  in
+  pairs [] entries
+
+let shared_constraint_reuse pairings =
+  (* Exclusion constraints are identifiable by id prefix-free lookup via
+     the registry; to keep this function pure over pairings we rely on the
+     convention that priority constraints carry the id "rw-priority" (the
+     only shared-variant problem family). *)
+  let exclusion =
+    List.filter (fun p -> p.constraint_id <> "rw-priority") pairings
+  in
+  List.filter_map
+    (fun mech ->
+      let mine = List.filter (fun p -> p.mechanism = mech) exclusion in
+      match mine with
+      | [] -> None
+      | _ ->
+        let sum = List.fold_left (fun s p -> s +. p.similarity) 0.0 mine in
+        Some (mech, sum /. float_of_int (List.length mine)))
+    Registry.mechanisms
+
+let pp ppf pairings =
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-11s %-16s %-28s %-28s %-14s %.2f@." p.mechanism
+        p.problem p.variant_a p.variant_b p.constraint_id p.similarity)
+    pairings
+
+let pp_summary ppf summary =
+  Format.fprintf ppf "%-12s %s@." "mechanism"
+    "shared-exclusion-constraint reuse";
+  List.iter
+    (fun (mech, score) -> Format.fprintf ppf "%-12s %.0f%%@." mech (100.0 *. score))
+    summary

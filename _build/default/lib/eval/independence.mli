@@ -1,0 +1,40 @@
+(** Ease of use as constraint independence (paper Section 4.2).
+
+    The paper's test: take two problems that share some constraints but
+    differ in others (the readers-priority / writers-priority / FCFS
+    readers-writers trio), and compare how each shared constraint is
+    implemented in the two solutions. If a mechanism lets constraints be
+    implemented independently, the shared constraint's implementation is
+    (near-)identical across the pair and a policy change touches only the
+    priority fragment; if not — path expressions being the paper's
+    example, where "a modification to one constraint involves changing
+    the entire solution" — the shared fragment is rewritten too.
+
+    Fragment similarity is measured as the Jaccard index over the
+    canonical token multisets each solution registers per constraint. *)
+
+type pairing = {
+  mechanism : string;
+  problem : string;
+  variant_a : string;
+  variant_b : string;
+  constraint_id : string;
+  similarity : float; (** 1.0 = identical implementation *)
+}
+
+val jaccard : string list -> string list -> float
+(** Multiset Jaccard index; [1.0] for two empty fragments. *)
+
+val analyze : Registry.entry list -> pairing list
+(** All same-mechanism, same-problem variant pairs, one pairing per
+    constraint id both solutions implement. *)
+
+val shared_constraint_reuse : pairing list -> (string * float) list
+(** Per mechanism: mean similarity of the {e exclusion}-class shared
+    constraints across variant pairs — the paper's independence measure.
+    (Priority constraints differ by specification, so they are excluded
+    from the reuse score.) *)
+
+val pp : Format.formatter -> pairing list -> unit
+
+val pp_summary : Format.formatter -> (string * float) list -> unit

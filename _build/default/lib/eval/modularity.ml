@@ -1,0 +1,65 @@
+open Sync_taxonomy
+
+type row = {
+  mechanism : string;
+  enforced : int;
+  separated : int;
+  blended : int;
+  sync_procedures : int;
+  aux_state_items : int;
+  score : float;
+}
+
+let analyze entries =
+  List.map
+    (fun mech ->
+      let mine =
+        List.filter (fun e -> e.Registry.meta.Meta.mechanism = mech) entries
+      in
+      let count sep =
+        List.length
+          (List.filter (fun e -> e.Registry.meta.Meta.separation = sep) mine)
+      in
+      let enforced = count Meta.Enforced in
+      let separated = count Meta.Separated in
+      let blended = count Meta.Blended in
+      let sync_procedures =
+        List.fold_left
+          (fun n e ->
+            n + List.length e.Registry.meta.Meta.sync_procedures)
+          0 mine
+      in
+      let aux_state_items =
+        List.fold_left
+          (fun n e -> n + List.length e.Registry.meta.Meta.aux_state)
+          0 mine
+      in
+      let n = List.length mine in
+      let score =
+        if n = 0 then 0.0
+        else begin
+          (* Structure: enforced counts full, disciplined-separation half,
+             blended zero; each synchronization procedure costs. *)
+          let structure =
+            (float_of_int enforced +. (0.5 *. float_of_int separated))
+            /. float_of_int n
+          in
+          let proc_penalty =
+            float_of_int sync_procedures /. float_of_int (4 * n)
+          in
+          Float.max 0.0 (structure -. proc_penalty)
+        end
+      in
+      { mechanism = mech; enforced; separated; blended; sync_procedures;
+        aux_state_items; score })
+    (Registry.mechanisms @ Registry.extension_mechanisms)
+
+let pp ppf rows =
+  Format.fprintf ppf "%-12s %8s %9s %7s %9s %9s %6s@." "mechanism" "enforced"
+    "separated" "blended" "syncprocs" "aux-state" "score";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %8d %9d %7d %9d %9d %6.2f@." r.mechanism
+        r.enforced r.separated r.blended r.sync_procedures r.aux_state_items
+        r.score)
+    rows

@@ -1,0 +1,23 @@
+(** Modularity (paper Section 2): does the mechanism support — or even
+    enforce — the protected-resource structure (unsynchronized resource +
+    synchronizer as separable sub-abstractions)?
+
+    Scored from solution metadata: the declared separation level, the
+    number of extra synchronization procedures (each one blurs the
+    resource/synchronizer boundary — the paper's complaint about path
+    expressions), and the amount of auxiliary synchronization state the
+    implementor had to maintain by hand. *)
+
+type row = {
+  mechanism : string;
+  enforced : int;   (** solutions where the mechanism imposes the structure *)
+  separated : int;  (** structure achieved by discipline *)
+  blended : int;    (** resource and synchronizer inseparable *)
+  sync_procedures : int; (** total extra gate procedures across solutions *)
+  aux_state_items : int; (** total auxiliary state declarations *)
+  score : float;    (** 0..1; 1 = always enforced, no extra machinery *)
+}
+
+val analyze : Registry.entry list -> row list
+
+val pp : Format.formatter -> row list -> unit

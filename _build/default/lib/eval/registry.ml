@@ -1,0 +1,128 @@
+open Sync_taxonomy
+open Sync_problems
+
+type entry = {
+  meta : Meta.t;
+  spec : Spec.t;
+  verify : unit -> (unit, string) result;
+  expect_conformant : bool;
+}
+
+let ( >>> ) a b () = match a () with Ok () -> b () | Error _ as e -> e
+
+let bb (module B : Bb_intf.S) =
+  { meta = B.meta; spec = Bb_intf.spec;
+    verify =
+      (fun () -> Bb_harness.verify (module B))
+      >>> (fun () -> Bb_harness.verify ~capacity:1 ~items_per_producer:20 (module B))
+      >>> (fun () ->
+            Bb_harness.verify ~capacity:3 ~producers:3 ~consumers:2
+              ~items_per_producer:30 (module B));
+    expect_conformant = true }
+
+let slot (module S : Slot_intf.S) =
+  { meta = S.meta; spec = Slot_intf.spec;
+    verify =
+      (fun () -> Slot_harness.verify (module S))
+      >>> (fun () ->
+            Slot_harness.verify ~putters:1 ~getters:1 ~items_per_putter:40
+              (module S));
+    expect_conformant = true }
+
+let fcfs (module F : Fcfs_intf.S) =
+  { meta = F.meta; spec = Fcfs_intf.spec;
+    verify = (fun () -> Fcfs_harness.verify (module F));
+    expect_conformant = true }
+
+let rw ?(expect_conformant = true) (module R : Rw_intf.S) =
+  { meta = R.meta; spec = Rw_intf.spec R.policy;
+    verify =
+      (fun () -> Rw_harness.verify_exclusion (module R))
+      >>> (fun () -> Rw_harness.scenario_reader_overlap (module R))
+      >>> (fun () -> Rw_harness.verify_policy (module R));
+    expect_conformant }
+
+let disk ?(scan = true) (module D : Disk_intf.S) =
+  { meta = D.meta; spec = Disk_intf.spec;
+    verify =
+      (if scan then (fun () -> Disk_harness.verify_scan (module D))
+       else fun () -> Ok ())
+      >>> (fun () -> Disk_harness.verify_stress (module D));
+    expect_conformant = true }
+
+let alarm (module A : Alarm_intf.S) =
+  { meta = A.meta; spec = Alarm_intf.spec;
+    verify =
+      (fun () -> Alarm_harness.verify (module A))
+      >>> (fun () -> Alarm_harness.verify ~durations:[ 2; 2; 1; 1; 3; 3 ] (module A))
+      >>> (fun () -> Alarm_harness.verify_zero (module A));
+    expect_conformant = true }
+
+let all =
+  [ (* bounded buffer *)
+    bb (module Bb_sem); bb (module Bb_mon); bb (module Bb_ser);
+    bb (module Bb_path); bb (module Bb_csp);
+    (* FCFS *)
+    fcfs (module Fcfs_sem); fcfs (module Fcfs_mon); fcfs (module Fcfs_ser);
+    fcfs (module Fcfs_path); fcfs (module Fcfs_csp);
+    (* readers-writers *)
+    { (rw (module Rw_sem.Readers_prio)) with expect_conformant = false };
+    rw (module Rw_sem.Readers_prio_baton);
+    rw (module Rw_sem.Writers_prio);
+    rw (module Rw_sem.Fcfs);
+    rw (module Rw_mon.Readers_prio);
+    rw (module Rw_mon.Readers_prio_mesa);
+    rw (module Rw_mon.Writers_prio);
+    rw (module Rw_mon.Fcfs);
+    rw (module Rw_ser.Readers_prio);
+    rw (module Rw_ser.Writers_prio);
+    rw (module Rw_ser.Fcfs);
+    { (rw (module Rw_path.Fig1)) with expect_conformant = false };
+    rw (module Rw_path.Fig2);
+    rw (module Rw_path.Plain);
+    rw (module Rw_csp.Readers_prio);
+    rw (module Rw_csp.Fcfs);
+    (* disk scheduler *)
+    disk (module Disk_sem); disk (module Disk_mon); disk (module Disk_ser);
+    disk (module Disk_path); disk (module Disk_csp);
+    disk ~scan:false (module Disk_fcfs);
+    (* alarm clock *)
+    alarm (module Alarm_sem); alarm (module Alarm_mon);
+    alarm (module Alarm_ser); alarm (module Alarm_path);
+    alarm (module Alarm_csp);
+    (* one-slot buffer *)
+    slot (module Slot_sem); slot (module Slot_mon); slot (module Slot_ser);
+    slot (module Slot_path); slot (module Slot_csp);
+    (* conditional critical regions: full coverage *)
+    bb (module Bb_ccr); fcfs (module Fcfs_ccr);
+    rw (module Rw_ccr.Readers_prio);
+    rw (module Rw_ccr.Writers_prio);
+    rw (module Rw_ccr.Fcfs);
+    disk (module Disk_ccr); alarm (module Alarm_ccr); slot (module Slot_ccr);
+    (* eventcounts & sequencers: partial coverage by design (E15) — no
+       construct for state-dependent scheduling, so readers-writers
+       policies and SCAN are out of reach without embedding a server *)
+    bb (module Bb_evc); fcfs (module Fcfs_evc); slot (module Slot_evc);
+    alarm (module Alarm_evc) ]
+
+let mechanisms =
+  [ "semaphore"; "monitor"; "serializer"; "pathexpr"; "csp"; "ccr" ]
+
+let extension_mechanisms = [ "eventcount" ]
+
+let problems =
+  [ "bounded-buffer"; "fcfs"; "readers-writers"; "disk-scheduler";
+    "alarm-clock"; "one-slot-buffer" ]
+
+let by_mechanism name =
+  List.filter (fun e -> e.meta.Meta.mechanism = name) all
+
+let by_problem name = List.filter (fun e -> e.meta.Meta.problem = name) all
+
+let find ~problem ~variant ~mechanism =
+  List.find_opt
+    (fun e ->
+      e.meta.Meta.problem = problem
+      && e.meta.Meta.variant = variant
+      && e.meta.Meta.mechanism = mechanism)
+    all

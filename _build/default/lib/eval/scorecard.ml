@@ -1,0 +1,47 @@
+type t = {
+  matrix : Expressiveness.t;
+  discrepancies : (string * Sync_taxonomy.Info.kind * string) list;
+  pairings : Independence.pairing list;
+  reuse : (string * float) list;
+  modularity : Modularity.row list;
+  conformance : Conformance.result list;
+}
+
+let build ?(run_conformance = true) () =
+  let entries = Registry.all in
+  let matrix = Expressiveness.matrix entries in
+  let pairings = Independence.analyze entries in
+  { matrix;
+    discrepancies = Expressiveness.agrees_with_paper matrix;
+    pairings;
+    reuse = Independence.shared_constraint_reuse pairings;
+    modularity = Modularity.analyze entries;
+    conformance = (if run_conformance then Conformance.run entries else []) }
+
+let pp ppf t =
+  Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
+  Expressiveness.pp ppf t.matrix;
+  (match t.discrepancies with
+  | [] ->
+    Format.fprintf ppf
+      "matrix agrees with the paper's Section-5 conclusions@."
+  | ds ->
+    List.iter
+      (fun (mech, kind, why) ->
+        Format.fprintf ppf "DISCREPANCY %s/%s: %s@." mech
+          (Sync_taxonomy.Info.to_string kind)
+          why)
+      ds);
+  Format.fprintf ppf "@.== E4: constraint independence ==@.";
+  Independence.pp_summary ppf t.reuse;
+  Format.fprintf ppf "@.== E5: modularity ==@.";
+  Modularity.pp ppf t.modularity;
+  if t.conformance <> [] then begin
+    Format.fprintf ppf "@.== E6: conformance (all solutions, all checks) ==@.";
+    Conformance.pp ppf t.conformance;
+    match Conformance.regressions t.conformance with
+    | [] -> Format.fprintf ppf "no regressions@."
+    | rs -> Format.fprintf ppf "%d REGRESSION(S)@." (List.length rs)
+  end
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,22 @@
+(** One-call rendering of the full evaluation (the paper's Section 5
+    deliverable, regenerated from the artifact): expressiveness matrix,
+    constraint-independence summary, modularity table, and conformance
+    run. *)
+
+type t = {
+  matrix : Expressiveness.t;
+  discrepancies : (string * Sync_taxonomy.Info.kind * string) list;
+  pairings : Independence.pairing list;
+  reuse : (string * float) list;
+  modularity : Modularity.row list;
+  conformance : Conformance.result list;
+}
+
+val build : ?run_conformance:bool -> unit -> t
+(** Computes everything from {!Registry.all}. [run_conformance] (default
+    true) actually executes the workload checks; disable for fast
+    metadata-only views. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/model/explore.ml: Array Hashtbl List Printf String Sysstate

@@ -1,0 +1,1 @@
+lib/model/explore.mli: Sysstate

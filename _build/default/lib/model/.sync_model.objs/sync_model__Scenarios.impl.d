@@ -1,0 +1,1 @@
+lib/model/scenarios.ml: Explore Fun List Mon Printf Sem Ser Sysstate

@@ -1,0 +1,82 @@
+type proc = { name : string; actions : Sysstate.action list }
+
+type witness = string list
+
+type stats = {
+  states : int;
+  terminals : int;
+  deadlocks : (Sysstate.t * witness) list;
+  violations : (string * witness) list;
+}
+
+(* A node is the shared state plus each process's remaining actions; the
+   remaining-action lists are position-determined, so (state, positions)
+   identifies the node. *)
+let run ?invariant ?property ?(max_states = 1_000_000) ~init procs =
+  let arrays = List.map (fun p -> Array.of_list p.actions) procs in
+  let n = List.length procs in
+  let visited : (Sysstate.t * int list, unit) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let states = ref 0 in
+  let terminals = ref 0 in
+  let deadlocks = ref [] in
+  let violations = ref [] in
+  let rec dfs state pcs trace =
+    let key = (state, pcs) in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      incr states;
+      if !states > max_states then
+        failwith "Explore.run: state budget exceeded";
+      (match invariant with
+      | Some check -> (
+        match check state with
+        | Some msg -> violations := (msg, List.rev trace) :: !violations
+        | None -> ())
+      | None -> ());
+      let enabled = ref [] in
+      List.iteri
+        (fun i arr ->
+          let pc = List.nth pcs i in
+          if pc < Array.length arr then begin
+            let a = arr.(pc) in
+            if a.Sysstate.guard state then enabled := (i, a) :: !enabled
+          end)
+        arrays;
+      match !enabled with
+      | [] ->
+        let all_done =
+          List.for_all2 (fun pc arr -> pc >= Array.length arr) pcs arrays
+        in
+        if all_done then begin
+          incr terminals;
+          match property with
+          | Some check -> (
+            match check state with
+            | Some msg -> violations := (msg, List.rev trace) :: !violations
+            | None -> ())
+          | None -> ()
+        end
+        else deadlocks := (state, List.rev trace) :: !deadlocks
+      | choices ->
+        List.iter
+          (fun (i, a) ->
+            let state' = a.Sysstate.apply state in
+            let pcs' = List.mapi (fun j pc -> if j = i then pc + 1 else pc) pcs in
+            dfs state' pcs' (a.Sysstate.label :: trace))
+          choices
+    end
+  in
+  dfs init (List.init n (fun _ -> 0)) [];
+  { states = !states; terminals = !terminals; deadlocks = !deadlocks;
+    violations = !violations }
+
+let check ?invariant ?property ~init procs =
+  let stats = run ?invariant ?property ~init procs in
+  match (stats.deadlocks, stats.violations) with
+  | [], [] -> Ok stats
+  | (_, w) :: _, _ ->
+    Error (Printf.sprintf "deadlock after [%s]" (String.concat "; " w))
+  | [], (msg, w) :: _ ->
+    Error (Printf.sprintf "%s after [%s]" msg (String.concat "; " w))

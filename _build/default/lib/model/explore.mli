@@ -1,0 +1,46 @@
+(** Exhaustive interleaving exploration.
+
+    A scenario is a set of processes, each a fixed sequence of atomic
+    {!Sysstate.action}s. The explorer walks the full state graph —
+    memoizing on (shared state, program counters), so the cost is the
+    number of distinct {e states}, not the (exponential) number of
+    schedules — and reports:
+
+    - [states]: distinct states visited;
+    - [terminals]: states where every process has finished;
+    - [deadlocks]: non-terminal states where no action is enabled,
+      each with one witness schedule;
+    - [violations]: failures of the per-state [invariant] or the
+      per-terminal [property], each with a witness schedule.
+
+    Because the walk is exhaustive, an empty [violations]/[deadlocks]
+    result is a proof over {b all} schedules of the scenario — the
+    complement of what thread-based stress tests can establish. *)
+
+type proc = { name : string; actions : Sysstate.action list }
+
+type witness = string list
+(** A schedule: action labels in execution order. *)
+
+type stats = {
+  states : int;
+  terminals : int;
+  deadlocks : (Sysstate.t * witness) list;
+  violations : (string * witness) list;
+}
+
+val run :
+  ?invariant:(Sysstate.t -> string option) ->
+  ?property:(Sysstate.t -> string option) ->
+  ?max_states:int ->
+  init:Sysstate.t -> proc list -> stats
+(** [invariant] is checked at every reachable state; [property] at every
+    terminal state. [max_states] (default 1_000_000) aborts runaway
+    scenarios with [Failure]. *)
+
+val check :
+  ?invariant:(Sysstate.t -> string option) ->
+  ?property:(Sysstate.t -> string option) ->
+  init:Sysstate.t -> proc list -> (stats, string) result
+(** Like {!run} but folds deadlocks and violations into [Error] with the
+    first witness schedule rendered. *)

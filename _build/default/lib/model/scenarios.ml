@@ -1,0 +1,445 @@
+open Sysstate
+
+type verdict = {
+  states : int;
+  terminals : int;
+  holds : bool;
+  detail : string;
+}
+
+let index_of x xs =
+  let rec go i = function
+    | [] -> None
+    | y :: rest -> if y = x then Some i else go (i + 1) rest
+  in
+  go 0 xs
+
+(* Property helper: event [a] precedes event [b] in the terminal log. *)
+let precedes a b state =
+  match (index_of a (logged state), index_of b (logged state)) with
+  | Some ia, Some ib when ia < ib -> None
+  | Some _, Some _ -> Some (Printf.sprintf "%s did not precede %s" a b)
+  | _ -> Some (Printf.sprintf "missing events %s/%s" a b)
+
+let verdict_of_check ~expect_what result =
+  match result with
+  | Ok (stats : Explore.stats) ->
+    { states = stats.states; terminals = stats.terminals; holds = true;
+      detail = expect_what ^ ": holds on every schedule" }
+  | Error msg -> { states = 0; terminals = 0; holds = false; detail = msg }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1, as compiled to semaphores by the Campbell-Habermann
+   translation. S1 guards "path writeattempt end"; S2 guards the second
+   declaration (the requestread burst counter is c2); S3 guards the third
+   (read burst counter c3, and the openwrite;write sequence linked by the
+   0-initialized [link]). Writers traverse nested synchronization
+   procedures exactly as WRITE = writeattempt(requestwrite(openwrite));
+   write does. *)
+
+let writer ~me ~first_guard ~mark_past_s2 ~finish_guard =
+  let open Explore in
+  { name = me;
+    actions =
+      [ (let a = Sem.request "S1" ~me in
+         { a with guard = (fun t -> first_guard t && a.guard t) }) ]
+      @ [ Sem.acquire "S1" ~me ]
+      @ Sem.p "S2" ~me
+      @ [ Sem.request "S3" ~me;
+          (if mark_past_s2 then
+             act (me ^ ":past-S2") (fun t -> set_int t "w2_past" 1)
+           else act (me ^ ":noop") Fun.id);
+          Sem.acquire "S3" ~me;
+          Sem.v "link"; Sem.v "S2"; Sem.v "S1" ]
+      @ Sem.p "link" ~me
+      @ [ act (me ^ ":write-enter") (fun t -> set_int t "writing" 1);
+          act (me ^ ":write")
+            ~guard:finish_guard
+            (fun t ->
+              let t = log_event t (me ^ ":write") in
+              let t = set_int t "writing" 0 in
+              (Sem.v "S3").apply t) ] }
+
+let reader ~me =
+  let open Explore in
+  { name = me;
+    actions =
+      [ act (me ^ ":arrive")
+          ~guard:(fun t -> List.mem "W2" (sem t "S3").queue)
+          (fun t -> set_int t "r_arrived" 1);
+        (* requestread prologue: join the path-2 burst (counter c2). *)
+        act (me ^ ":requestread")
+          ~guard:(fun t -> int_of t "c2" > 0 || Sem.available t "S2")
+          (fun t ->
+            let t = if int_of t "c2" = 0 then Sem.take t "S2" else t in
+            set_int t "c2" (int_of t "c2" + 1));
+        (* read prologue: join the path-3 burst (counter c3). *)
+        act (me ^ ":read-pro")
+          ~guard:(fun t -> int_of t "c3" > 0 || Sem.available t "S3")
+          (fun t ->
+            let t = if int_of t "c3" = 0 then Sem.take t "S3" else t in
+            set_int t "c3" (int_of t "c3" + 1));
+        act (me ^ ":read") (fun t -> log_event t (me ^ ":read"));
+        act (me ^ ":read-epi") (fun t ->
+            let c = int_of t "c3" - 1 in
+            let t = set_int t "c3" c in
+            if c = 0 then (Sem.v "S3").apply t else t);
+        act (me ^ ":requestread-epi") (fun t ->
+            let c = int_of t "c2" - 1 in
+            let t = set_int t "c2" c in
+            if c = 0 then (Sem.v "S2").apply t else t) ] }
+
+let fig1_anomaly_unavoidable () =
+  let init =
+    init
+      ~sems:[ ("S1", 1); ("S2", 1); ("S3", 1); ("link", 0) ]
+      ~ints:
+        [ ("c2", 0); ("c3", 0); ("writing", 0); ("w2_past", 0);
+          ("r_arrived", 0) ]
+      ()
+  in
+  let w1 =
+    writer ~me:"W1"
+      ~first_guard:(fun _ -> true)
+      ~mark_past_s2:false
+      ~finish_guard:(fun t -> int_of t "w2_past" = 1 && int_of t "r_arrived" = 1)
+  in
+  let w2 =
+    writer ~me:"W2"
+      ~first_guard:(fun t -> int_of t "writing" = 1)
+      ~mark_past_s2:true
+      ~finish_guard:(fun _ -> true)
+  in
+  let r = reader ~me:"R" in
+  verdict_of_check ~expect_what:"W2:write precedes R:read (the anomaly)"
+    (Explore.check ~init
+       ~property:(precedes "W2:write" "R:read")
+       [ w1; w2; r ])
+
+(* ------------------------------------------------------------------ *)
+(* Courtois problem 1 on strong semaphores, staged identically. The
+   staging makes R the first (and only) reader, so the rc-conditional
+   P(w)/V(w) branches are fixed; rc is still tracked for fidelity. *)
+
+let courtois1_anomaly_unavoidable () =
+  let open Explore in
+  let init =
+    init
+      ~sems:[ ("mutex", 1); ("w", 1) ]
+      ~ints:[ ("rc", 0); ("writing", 0) ]
+      ()
+  in
+  let w1 =
+    { name = "W1";
+      actions =
+        Sem.p "w" ~me:"W1"
+        @ [ act "W1:write-enter" (fun t -> set_int t "writing" 1);
+            act "W1:write"
+              ~guard:(fun t ->
+                List.mem "W2" (sem t "w").queue
+                && List.mem "R" (sem t "w").queue)
+              (fun t ->
+                let t = log_event t "W1:write" in
+                let t = set_int t "writing" 0 in
+                (Sem.v "w").apply t) ] }
+  in
+  let w2 =
+    let gated =
+      let r = Sem.request "w" ~me:"W2" in
+      { r with guard = (fun t -> int_of t "writing" = 1 && r.guard t) }
+    in
+    { name = "W2";
+      actions =
+        [ gated; Sem.acquire "w" ~me:"W2";
+          act "W2:write" (fun t -> (Sem.v "w").apply (log_event t "W2:write"))
+        ] }
+  in
+  let r =
+    let gated =
+      let r = Sem.request "mutex" ~me:"R" in
+      { r with
+        guard = (fun t -> List.mem "W2" (sem t "w").queue && r.guard t) }
+    in
+    { name = "R";
+      actions =
+        [ gated; Sem.acquire "mutex" ~me:"R";
+          act "R:rc++" (fun t -> set_int t "rc" 1) ]
+        @ Sem.p "w" ~me:"R" (* first reader locks w, holding mutex *)
+        @ [ Sem.v "mutex";
+            act "R:read" (fun t -> log_event t "R:read") ]
+        @ Sem.p "mutex" ~me:"R"
+        @ [ act "R:rc--" (fun t -> set_int t "rc" 0); Sem.v "w";
+            Sem.v "mutex" ] }
+  in
+  verdict_of_check
+    ~expect_what:"W2:write precedes R:read (Courtois-1 under FIFO semaphores)"
+    (Explore.check ~init
+       ~property:(precedes "W2:write" "R:read")
+       [ w1; w2; r ])
+
+(* ------------------------------------------------------------------ *)
+(* The baton-passing readers-priority rewrite, staged identically. The
+   data-dependent SIGNAL branches are encoded as action guards: if some
+   schedule reached a release with a different delayed-set than the
+   staging implies, the process would have no enabled action and the
+   explorer would report a deadlock. None exists. *)
+
+let baton_readers_priority_correct () =
+  let open Explore in
+  let init =
+    init
+      ~sems:[ ("e", 1); ("r", 0); ("w", 0) ]
+      ~ints:
+        [ ("nr", 0); ("nw", 0); ("dr", 0); ("dw", 0); ("writing", 0) ]
+      ()
+  in
+  let w1 =
+    { name = "W1";
+      actions =
+        Sem.p "e" ~me:"W1"
+        @ [ act "W1:claim" (fun t -> set_int t "nw" 1); Sem.v "e";
+            act "W1:write-enter" (fun t -> set_int t "writing" 1);
+            act "W1:write"
+              ~guard:(fun t -> int_of t "dw" = 1 && int_of t "dr" = 1)
+              (fun t -> set_int t "writing" 0 |> Fun.flip log_event "W1:write")
+          ]
+        @ Sem.p "e" ~me:"W1"
+        @ [ (* exit protocol: nw:=0 then SIGNAL; staging fixes the branch:
+               dr=1, so the baton passes to the reader. *)
+            act "W1:signal-pass-to-reader"
+              ~guard:(fun t -> int_of t "dr" = 1)
+              (fun t ->
+                let t = set_int t "nw" 0 in
+                let t = set_int t "dr" 0 in
+                let t = set_int t "nr" 1 in
+                (Sem.v "r").apply t) ] }
+  in
+  let w2 =
+    let gated =
+      let rq = Sem.request "e" ~me:"W2" in
+      { rq with guard = (fun t -> int_of t "writing" = 1 && rq.guard t) }
+    in
+    { name = "W2";
+      actions =
+        [ gated; Sem.acquire "e" ~me:"W2";
+          (* nw=1: delay myself. *)
+          act "W2:delay" (fun t -> set_int t "dw" (int_of t "dw" + 1));
+          Sem.v "e" ]
+        @ Sem.p "w" ~me:"W2"
+        @ [ Sem.v "e" (* baton convention: resume then release e *) ]
+        @ [ act "W2:write" (fun t -> log_event t "W2:write") ]
+        @ Sem.p "e" ~me:"W2"
+        @ [ act "W2:signal-none"
+              ~guard:(fun t -> int_of t "dr" = 0 && int_of t "dw" = 0)
+              (fun t -> (Sem.v "e").apply (set_int t "nw" 0)) ] }
+  in
+  let r =
+    let gated =
+      let rq = Sem.request "e" ~me:"R" in
+      { rq with guard = (fun t -> int_of t "dw" = 1 && rq.guard t) }
+    in
+    { name = "R";
+      actions =
+        [ gated; Sem.acquire "e" ~me:"R";
+          act "R:delay" (fun t -> set_int t "dr" (int_of t "dr" + 1));
+          Sem.v "e" ]
+        @ Sem.p "r" ~me:"R"
+        @ [ (* resumed with nr already set by the passer; cascade SIGNAL:
+               dr=0 now, nw=0, nr=1 -> release e. *)
+            act "R:signal-none"
+              ~guard:(fun t -> int_of t "dr" = 0)
+              (fun t -> (Sem.v "e").apply t);
+            act "R:read" (fun t -> log_event t "R:read") ]
+        @ Sem.p "e" ~me:"R"
+        @ [ act "R:exit-signal-pass-to-writer"
+              ~guard:(fun t -> int_of t "dw" = 1)
+              (fun t ->
+                let t = set_int t "nr" 0 in
+                let t = set_int t "dw" 0 in
+                let t = set_int t "nw" 1 in
+                (Sem.v "w").apply t) ] }
+  in
+  verdict_of_check
+    ~expect_what:"R:read precedes W2:write (baton readers-priority)"
+    (Explore.check ~init
+       ~property:(precedes "R:read" "W2:write")
+       [ w1; w2; r ])
+
+(* ------------------------------------------------------------------ *)
+(* The Hoare-monitor readers-priority solution, staged identically.
+   The release policy is the one line under test. *)
+
+let mon_writer ~me ~first_guard ~finish_guard ~release_first ~release_otherwise
+    =
+  let open Explore in
+  let gated_enter =
+    match Mon.enter "M" ~me with
+    | [ req; acq ] ->
+      [ { req with guard = (fun t -> first_guard t && req.guard t) }; acq ]
+    | _ -> assert false
+  in
+  { name = me;
+    actions =
+      gated_enter
+      @ (if me = "W1" then
+           [ act (me ^ ":set-writing") (fun t -> set_int t "writing" 1) ]
+         else
+           Mon.wait "M" ~cond:"okw" ~me
+           @ [ act (me ^ ":set-writing") (fun t -> set_int t "writing" 1) ])
+      @ [ Mon.exit "M" ~me;
+          act (me ^ ":write")
+            ~guard:finish_guard
+            (fun t -> log_event t (me ^ ":write")) ]
+      @ Mon.enter "M" ~me
+      @ [ act (me ^ ":clear-writing") (fun t -> set_int t "writing" 0) ]
+      @ Mon.signal_priority "M" ~first:release_first
+          ~otherwise:release_otherwise ~me
+      @ [ Mon.exit "M" ~me ] }
+
+let mon_reader ~me =
+  let open Explore in
+  let gated_enter =
+    match Mon.enter "M" ~me with
+    | [ req; acq ] ->
+      [ { req with
+          guard = (fun t -> Mon.waiting_on t "M" ~cond:"okw" "W2" && req.guard t)
+        };
+        acq ]
+    | _ -> assert false
+  in
+  { name = me;
+    actions =
+      gated_enter
+      @ Mon.wait "M" ~cond:"okr" ~me
+      @ [ act (me ^ ":count-in") (fun t -> set_int t "readers" 1) ]
+      @ Mon.signal "M" ~cond:"okr" ~me (* cascade; empty here *)
+      @ [ Mon.exit "M" ~me;
+          act (me ^ ":read") (fun t -> log_event t (me ^ ":read")) ]
+      @ Mon.enter "M" ~me
+      @ [ act (me ^ ":count-out") (fun t -> set_int t "readers" 0) ]
+      @ Mon.signal "M" ~cond:"okw" ~me
+      @ [ Mon.exit "M" ~me ] }
+
+let monitor_scenario ~release_first ~release_otherwise ~property ~expect_what
+    () =
+  let init =
+    init ~mons:[ "M" ]
+      ~conds:[ ("M", [ "okr"; "okw" ]) ]
+      ~ints:[ ("writing", 0); ("readers", 0) ]
+      ()
+  in
+  let w1 =
+    mon_writer ~me:"W1"
+      ~first_guard:(fun _ -> true)
+      ~finish_guard:(fun t ->
+        Mon.waiting_on t "M" ~cond:"okw" "W2"
+        && Mon.waiting_on t "M" ~cond:"okr" "R")
+      ~release_first ~release_otherwise
+  in
+  let w2 =
+    mon_writer ~me:"W2"
+      ~first_guard:(fun t -> int_of t "writing" = 1)
+      ~finish_guard:(fun _ -> true)
+      ~release_first ~release_otherwise
+  in
+  let r = mon_reader ~me:"R" in
+  verdict_of_check ~expect_what
+    (Explore.check ~init ~property [ w1; w2; r ])
+
+(* ------------------------------------------------------------------ *)
+(* The serializer readers-priority solution, staged identically: one
+   queue per type, readers crowd / writers crowd, automatic signalling.
+   Guards mirror Rw_ser.Readers_prio: a reader may leave readq when no
+   writer is in its crowd; a writer may leave writeq only when both
+   crowds are empty AND no reader is waiting. *)
+
+let serializer_readers_priority_correct () =
+  let open Explore in
+  let guards : Ser.guards =
+    [ ("readq", fun t -> List.assoc "writers" (ser t "S").crowds = 0);
+      ( "writeq",
+        fun t ->
+          let s = ser t "S" in
+          List.assoc "writers" s.crowds = 0
+          && List.assoc "readers" s.crowds = 0
+          && List.assoc "readq" s.queues = [] ) ]
+  in
+  let init =
+    init
+      ~sers:[ ("S", [ "readq"; "writeq" ], [ "readers"; "writers" ]) ]
+      ~ints:[ ("writing", 0) ]
+      ()
+  in
+  let ser_writer ~me ~first_guard ~finish_guard =
+    let gated =
+      match Ser.acquire "S" ~me with
+      | [ req; poss ] ->
+        [ { req with guard = (fun t -> first_guard t && req.guard t) }; poss ]
+      | _ -> assert false
+    in
+    { name = me;
+      actions =
+        gated
+        @ Ser.enqueue "S" ~q:"writeq" ~me ~guards
+        @ [ Ser.join_crowd "S" ~crowd:"writers" ~me ~guards;
+            act (me ^ ":write-enter") (fun t -> set_int t "writing" 1);
+            act (me ^ ":write")
+              ~guard:finish_guard
+              (fun t -> set_int (log_event t (me ^ ":write")) "writing" 0) ]
+        @ Ser.leave_crowd "S" ~crowd:"writers" ~me
+        @ [ Ser.release "S" ~guards ~me ] }
+  in
+  let w1 =
+    ser_writer ~me:"W1"
+      ~first_guard:(fun _ -> true)
+      ~finish_guard:(fun t ->
+        Ser.waiting_in t "S" ~q:"writeq" "W2"
+        && Ser.waiting_in t "S" ~q:"readq" "R")
+  in
+  let w2 =
+    ser_writer ~me:"W2"
+      ~first_guard:(fun t -> int_of t "writing" = 1)
+      ~finish_guard:(fun _ -> true)
+  in
+  let r =
+    let gated =
+      match Ser.acquire "S" ~me:"R" with
+      | [ req; poss ] ->
+        [ { req with
+            guard = (fun t -> Ser.waiting_in t "S" ~q:"writeq" "W2" && req.guard t)
+          };
+          poss ]
+      | _ -> assert false
+    in
+    { name = "R";
+      actions =
+        gated
+        @ Ser.enqueue "S" ~q:"readq" ~me:"R" ~guards
+        @ [ Ser.join_crowd "S" ~crowd:"readers" ~me:"R" ~guards;
+            act "R:read" (fun t -> log_event t "R:read") ]
+        @ Ser.leave_crowd "S" ~crowd:"readers" ~me:"R"
+        @ [ Ser.release "S" ~guards ~me:"R" ] }
+  in
+  verdict_of_check
+    ~expect_what:"R:read precedes W2:write (serializer readers-priority)"
+    (Explore.check ~init
+       ~property:(precedes "R:read" "W2:write")
+       [ w1; w2; r ])
+
+let monitor_readers_priority_correct () =
+  monitor_scenario ~release_first:"okr" ~release_otherwise:"okw"
+    ~property:(precedes "R:read" "W2:write")
+    ~expect_what:"R:read precedes W2:write (readers-priority)" ()
+
+let monitor_release_policy_flip () =
+  monitor_scenario ~release_first:"okw" ~release_otherwise:"okr"
+    ~property:(precedes "W2:write" "R:read")
+    ~expect_what:"W2:write precedes R:read (writers-first release)" ()
+
+let all () =
+  [ ("fig1-anomaly-unavoidable", fig1_anomaly_unavoidable ());
+    ("courtois1-anomaly", courtois1_anomaly_unavoidable ());
+    ("baton-readers-priority", baton_readers_priority_correct ());
+    ("serializer-readers-priority", serializer_readers_priority_correct ());
+    ("monitor-readers-priority", monitor_readers_priority_correct ());
+    ("monitor-release-flip", monitor_release_policy_flip ()) ]

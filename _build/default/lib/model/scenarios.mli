@@ -1,0 +1,53 @@
+(** The paper's staged arguments, verified over {e all} interleavings.
+
+    The thread-based scenario drivers in [sync_problems] stage one
+    schedule and observe the outcome; these models close the gap by
+    exhaustively exploring every schedule consistent with the staging
+    (writer W1 mid-write, writer W2 then reader R queued):
+
+    - {!fig1_anomaly_unavoidable}: in the Figure 1 path-expression
+      translation, {b every} complete schedule serves W2's write before
+      R's read — footnote 3 is not a scheduling accident but a
+      consequence of the solution's structure.
+    - {!monitor_readers_priority_correct}: in the Hoare-monitor
+      readers-priority solution, {b every} complete schedule serves R
+      before W2.
+    - {!monitor_release_policy_flip}: flipping only the release-site
+      signal choice (the paper's "priority constraint lives in this
+      line") provably flips the outcome to writers-first in every
+      schedule.
+
+    All three also establish deadlock freedom of the staged scenario. *)
+
+type verdict = {
+  states : int;      (** distinct states explored *)
+  terminals : int;   (** distinct completion states *)
+  holds : bool;      (** the property held on every schedule *)
+  detail : string;   (** human-readable summary or counterexample *)
+}
+
+val fig1_anomaly_unavoidable : unit -> verdict
+
+val courtois1_anomaly_unavoidable : unit -> verdict
+(** Courtois problem 1 under strong (FIFO) semaphores: at W1's release
+    the [w] queue is necessarily [W2; R-group], so W2's write precedes
+    R's read on every schedule — the finding-beyond-the-paper from E1,
+    promoted from "observed" to "structural". *)
+
+val baton_readers_priority_correct : unit -> verdict
+(** The baton-passing rewrite: R's read precedes W2's write on every
+    schedule. Branching in the baton's SIGNAL is encoded as guards, so a
+    schedule violating a staged branch assumption would surface as a
+    deadlock — none exists. *)
+
+val monitor_readers_priority_correct : unit -> verdict
+
+val serializer_readers_priority_correct : unit -> verdict
+(** The serializer readers-priority solution (guards over crowds and the
+    read queue, automatic signalling): R's read precedes W2's write on
+    every schedule — completing E17's coverage of the paper's three
+    mechanisms. *)
+
+val monitor_release_policy_flip : unit -> verdict
+
+val all : unit -> (string * verdict) list

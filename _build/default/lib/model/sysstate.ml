@@ -1,0 +1,317 @@
+type sem = { value : int; queue : string list; granted : string list }
+
+type mon = {
+  owner : string option;
+  entry : string list;
+  urgent : string list;
+  conds : (string * string list) list;
+  mgranted : string list;
+}
+
+type ser = {
+  possessed : bool;
+  sgranted : string list;
+  sentry : string list;
+  queues : (string * (string * int) list) list;
+  crowds : (string * int) list;
+  next_seq : int;
+}
+
+type t = {
+  sems : (string * sem) list;
+  mons : (string * mon) list;
+  sers : (string * ser) list;
+  ints : (string * int) list;
+  log : string list;
+}
+
+let init ?(sems = []) ?(mons = []) ?(conds = []) ?(sers = []) ?(ints = []) () =
+  { sems =
+      List.map (fun (n, v) -> (n, { value = v; queue = []; granted = [] })) sems;
+    mons =
+      List.map
+        (fun n ->
+          let cs = try List.assoc n conds with Not_found -> [] in
+          ( n,
+            { owner = None; entry = []; urgent = [];
+              conds = List.map (fun c -> (c, [])) cs; mgranted = [] } ))
+        mons;
+    sers =
+      List.map
+        (fun (n, qs, cs) ->
+          ( n,
+            { possessed = false; sgranted = []; sentry = [];
+              queues = List.map (fun q -> (q, [])) qs;
+              crowds = List.map (fun c -> (c, 0)) cs; next_seq = 0 } ))
+        sers;
+    ints; log = [] }
+
+let sem t name = List.assoc name t.sems
+
+let mon t name = List.assoc name t.mons
+
+let ser t name = List.assoc name t.sers
+
+let int_of t name = List.assoc name t.ints
+
+(* Keep assoc lists sorted so structurally-equal states stay equal after
+   updates (the explorer memoizes on structural equality). *)
+let update assoc name v =
+  List.sort compare ((name, v) :: List.remove_assoc name assoc)
+
+let set_sem t name s = { t with sems = update t.sems name s }
+
+let set_mon t name m = { t with mons = update t.mons name m }
+
+let set_ser t name s = { t with sers = update t.sers name s }
+
+let set_int t name v = { t with ints = update t.ints name v }
+
+let logged t = List.rev t.log
+
+let log_event t e = { t with log = e :: t.log }
+
+type action = { label : string; guard : t -> bool; apply : t -> t }
+
+let act label ?(guard = fun _ -> true) apply = { label; guard; apply }
+
+let remove x = List.filter (fun y -> y <> x)
+
+module Sem = struct
+  let request name ~me =
+    act (me ^ ":request(" ^ name ^ ")") (fun t ->
+        let s = sem t name in
+        if s.value > 0 && s.queue = [] then
+          set_sem t name
+            { s with value = s.value - 1; granted = me :: s.granted }
+        else set_sem t name { s with queue = s.queue @ [ me ] })
+
+  let acquire name ~me =
+    act
+      (me ^ ":acquire(" ^ name ^ ")")
+      ~guard:(fun t -> List.mem me (sem t name).granted)
+      (fun t ->
+        let s = sem t name in
+        set_sem t name { s with granted = remove me s.granted })
+
+  let p name ~me = [ request name ~me; acquire name ~me ]
+
+  let v name =
+    act ("V(" ^ name ^ ")") (fun t ->
+        let s = sem t name in
+        match s.queue with
+        | h :: rest ->
+          set_sem t name { s with queue = rest; granted = h :: s.granted }
+        | [] -> set_sem t name { s with value = s.value + 1 })
+
+  let available t name =
+    let s = sem t name in
+    s.value > 0 && s.queue = []
+
+  let take t name =
+    let s = sem t name in
+    set_sem t name { s with value = s.value - 1 }
+end
+
+module Mon = struct
+  let grant m who = { m with owner = Some who; mgranted = who :: m.mgranted }
+
+  (* Release the monitor: urgent beats entry, per Hoare'74. *)
+  let release m =
+    match m.urgent with
+    | h :: rest -> grant { m with urgent = rest } h
+    | [] -> (
+      match m.entry with
+      | h :: rest -> grant { m with entry = rest } h
+      | [] -> { m with owner = None })
+
+  let enter name ~me =
+    [ act
+        (me ^ ":enter(" ^ name ^ ")")
+        (fun t ->
+          let m = mon t name in
+          if m.owner = None then set_mon t name (grant m me)
+          else set_mon t name { m with entry = m.entry @ [ me ] });
+      act
+        (me ^ ":entered(" ^ name ^ ")")
+        ~guard:(fun t -> List.mem me (mon t name).mgranted)
+        (fun t ->
+          let m = mon t name in
+          set_mon t name { m with mgranted = remove me m.mgranted }) ]
+
+  let exit name ~me =
+    act
+      (me ^ ":exit(" ^ name ^ ")")
+      ~guard:(fun t -> (mon t name).owner = Some me)
+      (fun t -> set_mon t name (release (mon t name)))
+
+  let wait name ~cond ~me =
+    [ act
+        (me ^ ":wait(" ^ cond ^ ")")
+        ~guard:(fun t -> (mon t name).owner = Some me)
+        (fun t ->
+          let m = mon t name in
+          let waiting = List.assoc cond m.conds @ [ me ] in
+          let m = { m with conds = update m.conds cond waiting } in
+          set_mon t name (release m));
+      act
+        (me ^ ":resumed(" ^ cond ^ ")")
+        ~guard:(fun t -> List.mem me (mon t name).mgranted)
+        (fun t ->
+          let m = mon t name in
+          set_mon t name { m with mgranted = remove me m.mgranted }) ]
+
+  let signal name ~cond ~me =
+    [ act
+        (me ^ ":signal(" ^ cond ^ ")")
+        ~guard:(fun t -> (mon t name).owner = Some me)
+        (fun t ->
+          let m = mon t name in
+          match List.assoc cond m.conds with
+          | [] -> t (* no-op; signaller keeps the monitor *)
+          | w :: rest ->
+            let m = { m with conds = update m.conds cond rest } in
+            let m = { m with urgent = m.urgent @ [ me ] } in
+            set_mon t name (grant m w));
+      act
+        (me ^ ":signalled(" ^ cond ^ ")")
+        ~guard:(fun t ->
+          let m = mon t name in
+          (* Either the signal was a no-op (we still own the monitor and
+             are not parked on urgent), or we were handed it back. *)
+          (m.owner = Some me && not (List.mem me m.urgent))
+          || List.mem me m.mgranted)
+        (fun t ->
+          let m = mon t name in
+          set_mon t name { m with mgranted = remove me m.mgranted }) ]
+
+  let signal_one m cond me =
+    match List.assoc cond m.conds with
+    | [] -> m
+    | w :: rest ->
+      let m = { m with conds = update m.conds cond rest } in
+      let m = { m with urgent = m.urgent @ [ me ] } in
+      grant m w
+
+  let signal_priority name ~first ~otherwise ~me =
+    [ act
+        (me ^ ":signal-priority(" ^ first ^ "|" ^ otherwise ^ ")")
+        ~guard:(fun t -> (mon t name).owner = Some me)
+        (fun t ->
+          let m = mon t name in
+          let cond =
+            if List.assoc first m.conds <> [] then first else otherwise
+          in
+          set_mon t name (signal_one m cond me));
+      act
+        (me ^ ":signal-priority-resumed")
+        ~guard:(fun t ->
+          let m = mon t name in
+          (m.owner = Some me && not (List.mem me m.urgent))
+          || List.mem me m.mgranted)
+        (fun t ->
+          let m = mon t name in
+          set_mon t name { m with mgranted = remove me m.mgranted }) ]
+
+  let queue_nonempty t name ~cond = List.assoc cond (mon t name).conds <> []
+
+  let waiting_on t name ~cond who = List.mem who (List.assoc cond (mon t name).conds)
+end
+
+module Ser = struct
+  type guards = (string * (t -> bool)) list
+
+  (* Must be applied at every possession-release point: pick, among the
+     heads of the event queues whose guard holds, the longest waiting
+     (smallest arrival seq); otherwise the oldest entry waiter; otherwise
+     the serializer becomes free. *)
+  let release_possession name ~guards t =
+    let s = ser t name in
+    let eligible =
+      List.filter_map
+        (fun (qname, waiters) ->
+          match waiters with
+          | (who, seq) :: _ ->
+            let guard = List.assoc qname guards in
+            if guard t then Some (qname, who, seq) else None
+          | [] -> None)
+        s.queues
+    in
+    let best =
+      List.fold_left
+        (fun best (qname, who, seq) ->
+          match best with
+          | Some (_, _, bseq) when bseq <= seq -> best
+          | _ -> Some (qname, who, seq))
+        None eligible
+    in
+    match best with
+    | Some (qname, who, _) ->
+      let waiters = List.tl (List.assoc qname s.queues) in
+      set_ser t name
+        { s with queues = update s.queues qname waiters;
+          sgranted = who :: s.sgranted }
+    | None -> (
+      match s.sentry with
+      | h :: rest ->
+        set_ser t name { s with sentry = rest; sgranted = h :: s.sgranted }
+      | [] -> set_ser t name { s with possessed = false })
+
+  let acquire name ~me =
+    [ act
+        (me ^ ":ser-acquire(" ^ name ^ ")")
+        (fun t ->
+          let s = ser t name in
+          if not s.possessed then
+            set_ser t name { s with possessed = true; sgranted = me :: s.sgranted }
+          else set_ser t name { s with sentry = s.sentry @ [ me ] });
+      act
+        (me ^ ":ser-possess(" ^ name ^ ")")
+        ~guard:(fun t -> List.mem me (ser t name).sgranted)
+        (fun t ->
+          let s = ser t name in
+          set_ser t name { s with sgranted = remove me s.sgranted }) ]
+
+  let release name ~guards ~me =
+    act (me ^ ":ser-release(" ^ name ^ ")") (release_possession name ~guards)
+
+  let enqueue name ~q ~me ~guards =
+    [ act
+        (me ^ ":enqueue(" ^ q ^ ")")
+        (fun t ->
+          let s = ser t name in
+          let waiters = List.assoc q s.queues @ [ (me, s.next_seq) ] in
+          let t =
+            set_ser t name
+              { s with queues = update s.queues q waiters;
+                next_seq = s.next_seq + 1 }
+          in
+          release_possession name ~guards t);
+      act
+        (me ^ ":dequeued(" ^ q ^ ")")
+        ~guard:(fun t -> List.mem me (ser t name).sgranted)
+        (fun t ->
+          let s = ser t name in
+          set_ser t name { s with sgranted = remove me s.sgranted }) ]
+
+  let join_crowd name ~crowd ~me ~guards =
+    act
+      (me ^ ":join(" ^ crowd ^ ")")
+      (fun t ->
+        let s = ser t name in
+        let n = List.assoc crowd s.crowds in
+        let t = set_ser t name { s with crowds = update s.crowds crowd (n + 1) } in
+        release_possession name ~guards t)
+
+  let leave_crowd name ~crowd ~me =
+    acquire name ~me
+    @ [ act
+          (me ^ ":leave(" ^ crowd ^ ")")
+          (fun t ->
+            let s = ser t name in
+            let n = List.assoc crowd s.crowds in
+            set_ser t name { s with crowds = update s.crowds crowd (n - 1) }) ]
+
+  let waiting_in t name ~q who =
+    List.exists (fun (w, _) -> w = who) (List.assoc q (ser t name).queues)
+end

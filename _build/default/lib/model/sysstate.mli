@@ -1,0 +1,164 @@
+(** Pure model state for the exhaustive-interleaving checker.
+
+    The concrete mechanisms in this repository run on real threads, so
+    their tests can only sample schedules. This module gives the same
+    semantics a {e pure} form — strong semaphores and Hoare monitors as
+    immutable values inside one composite state — so {!Explore} can
+    enumerate {b every} interleaving of a small scenario and decide
+    properties like "the Figure 1 anomaly is unavoidable" rather than
+    "was observed".
+
+    Modeling notes (documented divergences from the thread code, both
+    harmless for the scenarios checked):
+    - a blocked semaphore/monitor acquisition is one guarded atomic
+      action (waiters re-test instead of parking in a queue), except that
+      strong semaphores keep an explicit FIFO queue so fairness claims
+      stay checkable;
+    - the counter idiom of path-expression bursts is fused with its
+      mutex into a single atomic action, which the real implementation's
+      per-counter mutex guarantees anyway. *)
+
+type sem = {
+  value : int;
+  queue : string list;    (** parked process names, FIFO *)
+  granted : string list;  (** handed a unit, not yet resumed *)
+}
+
+type mon = {
+  owner : string option;
+  entry : string list;
+  urgent : string list;
+  conds : (string * string list) list;
+  mgranted : string list; (** handed ownership, not yet resumed *)
+}
+
+type ser = {
+  possessed : bool;
+  sgranted : string list;  (** handed possession, not yet resumed *)
+  sentry : string list;    (** FIFO entry queue *)
+  queues : (string * (string * int) list) list;
+      (** event queues: (process, global arrival seq), FIFO *)
+  crowds : (string * int) list;
+  next_seq : int;
+}
+
+type t = {
+  sems : (string * sem) list;
+  mons : (string * mon) list;
+  sers : (string * ser) list;
+  ints : (string * int) list;
+  log : string list;  (** ghost event log, most recent first *)
+}
+
+val init :
+  ?sems:(string * int) list -> ?mons:string list ->
+  ?conds:(string * string list) list ->
+  ?sers:(string * string list * string list) list ->
+  ?ints:(string * int) list -> unit -> t
+(** [sems] are (name, initial value); [mons] monitor names; [conds] maps
+    a monitor name to its condition names; [sers] are (name, queue names,
+    crowd names); [ints] ghost counters. *)
+
+val sem : t -> string -> sem
+
+val mon : t -> string -> mon
+
+val ser : t -> string -> ser
+
+val int_of : t -> string -> int
+
+val set_int : t -> string -> int -> t
+
+val logged : t -> string list
+(** Ghost events, oldest first. *)
+
+val log_event : t -> string -> t
+
+(** Atomic action builders. Each returns [(label, guard, apply)] triples
+    consumed by {!Explore}. *)
+
+type action = { label : string; guard : t -> bool; apply : t -> t }
+
+val act : string -> ?guard:(t -> bool) -> (t -> t) -> action
+(** A plain atomic action (guard defaults to always-enabled). *)
+
+(** Strong counting semaphore operations, matching
+    {!Sync_platform.Semaphore.Counting} with [`Strong] fairness. *)
+module Sem : sig
+  val request : string -> me:string -> action
+  (** Take a unit if free and nobody queues, else join the FIFO queue. *)
+
+  val acquire : string -> me:string -> action
+  (** Blocks (guard false) until a unit has been handed to [me]. *)
+
+  val p : string -> me:string -> action list
+  (** [request] then [acquire]. *)
+
+  val v : string -> action
+  (** Hand the unit to the queue head, or increment. *)
+
+  val available : t -> string -> bool
+  (** Is a unit immediately takeable (used by fused path-burst actions)? *)
+
+  val take : t -> string -> t
+  (** Unconditionally consume a unit (guard with {!available}). *)
+end
+
+(** Hoare monitor operations, matching {!Sync_monitor.Monitor}. *)
+module Mon : sig
+  val enter : string -> me:string -> action list
+
+  val exit : string -> me:string -> action
+
+  val wait : string -> cond:string -> me:string -> action list
+  (** Release (urgent first) and park on the condition; resumes once
+      ownership is transferred back by a signal. *)
+
+  val signal : string -> cond:string -> me:string -> action list
+  (** Hoare semantics: transfer to the longest-waiting waiter and park on
+      the urgent queue; no-op when the condition is empty. *)
+
+  val signal_priority :
+    string -> first:string -> otherwise:string -> me:string -> action list
+  (** A release-site policy choice: signal [first] if it has waiters,
+      [otherwise] otherwise — the single line the paper says carries a
+      monitor solution's priority constraint. *)
+
+  val queue_nonempty : t -> string -> cond:string -> bool
+
+  val waiting_on : t -> string -> cond:string -> string -> bool
+  (** Is the named process parked on the condition? (Used by staging
+      guards.) *)
+end
+
+(** Serializer operations, matching {!Sync_serializer.Serializer}:
+    possession with automatic signalling. Guards are referenced by id and
+    resolved through the [guards] table passed to every release point, so
+    the state stays purely structural (hashable). Only the head of a
+    queue is eligible; among eligible heads the longest-waiting wins. *)
+module Ser : sig
+  type guards = (string * (t -> bool)) list
+  (** queue name -> its guard (one guard per queue, as in the RW
+      solutions). *)
+
+  val acquire : string -> me:string -> action list
+  (** Gain possession (FIFO behind other entrants). *)
+
+  val release : string -> guards:guards -> me:string -> action
+  (** Release possession, re-evaluating queue-head guards (automatic
+      signalling). *)
+
+  val enqueue : string -> q:string -> me:string -> guards:guards -> action list
+  (** Park on the queue and release; resumes with possession once the
+      guard held at a release point. Caller must hold possession. *)
+
+  val join_crowd : string -> crowd:string -> me:string -> guards:guards -> action
+  (** Enter the crowd and release possession (the body then runs outside
+      the serializer). *)
+
+  val leave_crowd : string -> crowd:string -> me:string -> action list
+  (** Re-gain possession and leave the crowd. *)
+
+  val waiting_in : t -> string -> q:string -> string -> bool
+  (** Is the named process parked on the queue? (Staging guards.) *)
+end

@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: Mutex Sync_platform Waitq

@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli:

@@ -1,0 +1,1 @@
+lib/monitor/protected.ml: Monitor

@@ -1,0 +1,139 @@
+open Sync_platform
+
+type discipline = [ `Hoare | `Mesa ]
+
+(* One low-level lock protects all queues and the [busy] flag. Waking a
+   thread parked on [entry] or [urgent] transfers monitor ownership to it
+   ([busy] stays true). Waking a thread parked on a condition transfers
+   ownership under the Hoare discipline only; under Mesa the woken thread
+   re-acquires through the entry path. *)
+type t = {
+  lock : Mutex.t;
+  disc : discipline;
+  mutable busy : bool;
+  entry : unit Waitq.t;
+  urgent : unit Waitq.t;
+}
+
+let create ?(discipline = `Hoare) () =
+  { lock = Mutex.create (); disc = discipline; busy = false;
+    entry = Waitq.create (); urgent = Waitq.create () }
+
+let discipline t = t.disc
+
+(* Must hold t.lock. Urgent waiters (parked signallers) beat the entry
+   queue, per Hoare'74. *)
+let grant t =
+  if Waitq.wake_first t.urgent then ()
+  else if Waitq.wake_first t.entry then ()
+  else t.busy <- false
+
+let enter t =
+  Mutex.lock t.lock;
+  if t.busy then Waitq.wait t.entry ~lock:t.lock ()
+  else t.busy <- true;
+  Mutex.unlock t.lock
+
+let exit t =
+  Mutex.lock t.lock;
+  grant t;
+  Mutex.unlock t.lock
+
+let with_monitor t f =
+  enter t;
+  match f () with
+  | v ->
+    exit t;
+    v
+  | exception e ->
+    exit t;
+    raise e
+
+let entry_waiters t =
+  Mutex.lock t.lock;
+  let n = Waitq.length t.entry in
+  Mutex.unlock t.lock;
+  n
+
+module Cond = struct
+  type monitor = t
+
+  type t = { mon : monitor; q : int Waitq.t }
+
+  let create mon = { mon; q = Waitq.create () }
+
+  let rank_cmp = (compare : int -> int -> int)
+
+  let wait_pri c rank =
+    let m = c.mon in
+    Mutex.lock m.lock;
+    grant m;
+    Waitq.wait c.q ~lock:m.lock rank;
+    (match m.disc with
+    | `Hoare -> () (* ownership was transferred by the signaller *)
+    | `Mesa ->
+      (* Signal-and-continue: compete for the monitor again. *)
+      if m.busy then Waitq.wait m.entry ~lock:m.lock ()
+      else m.busy <- true);
+    Mutex.unlock m.lock
+
+  let wait c = wait_pri c 0
+
+  let signal c =
+    let m = c.mon in
+    Mutex.lock m.lock;
+    if not (Waitq.is_empty c.q) then begin
+      match m.disc with
+      | `Hoare ->
+        (* Transfer the monitor to the chosen waiter; park on urgent. *)
+        ignore (Waitq.wake_min c.q ~cmp:rank_cmp);
+        Waitq.wait m.urgent ~lock:m.lock ()
+      | `Mesa -> ignore (Waitq.wake_min c.q ~cmp:rank_cmp)
+    end;
+    Mutex.unlock m.lock
+
+  let broadcast c =
+    let m = c.mon in
+    match m.disc with
+    | `Mesa ->
+      Mutex.lock m.lock;
+      ignore (Waitq.wake_all c.q);
+      Mutex.unlock m.lock
+    | `Hoare ->
+      (* Cascade of signal-and-waits through the waiters present NOW: a
+         woken waiter that re-waits gets a fresh (younger) queue position,
+         so waking the oldest [n] times reaches exactly the original
+         waiters and the cascade terminates even if they all re-wait. *)
+      Mutex.lock m.lock;
+      let n = Waitq.length c.q in
+      Mutex.unlock m.lock;
+      for _ = 1 to n do
+        Mutex.lock m.lock;
+        if not (Waitq.is_empty c.q) then begin
+          ignore (Waitq.wake_min c.q ~cmp:rank_cmp);
+          Waitq.wait m.urgent ~lock:m.lock ()
+        end;
+        Mutex.unlock m.lock
+      done
+
+  let queue c =
+    let m = c.mon in
+    Mutex.lock m.lock;
+    let b = not (Waitq.is_empty c.q) in
+    Mutex.unlock m.lock;
+    b
+
+  let count c =
+    let m = c.mon in
+    Mutex.lock m.lock;
+    let n = Waitq.length c.q in
+    Mutex.unlock m.lock;
+    n
+
+  let min_rank c =
+    let m = c.mon in
+    Mutex.lock m.lock;
+    let r = Waitq.min_tag c.q ~cmp:rank_cmp in
+    Mutex.unlock m.lock;
+    r
+end

@@ -1,0 +1,11 @@
+let access m ~before ~after op =
+  Monitor.with_monitor m before;
+  match op () with
+  | v ->
+    Monitor.with_monitor m after;
+    v
+  | exception e ->
+    Monitor.with_monitor m after;
+    raise e
+
+let access_inside m op = Monitor.with_monitor m op

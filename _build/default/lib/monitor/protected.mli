@@ -1,0 +1,28 @@
+(** The paper's Section-2 structuring method for monitor-protected
+    resources.
+
+    A shared resource is three modules: the {e unsynchronized resource},
+    a {e monitor} acting as synchronizer, and the {e shared-resource}
+    module whose operations invoke monitor operations before and after each
+    resource operation — with the monitor {b released} while the resource
+    operation runs. Users hold only the shared resource.
+
+    This structure is what defuses the nested-monitor-call problem
+    [Lister'77]: because the monitor is released before the (possibly
+    itself monitor-protected) resource operation is invoked, a wait inside
+    the inner level cannot strand the outer monitor. {!access_inside} is
+    the naive structure — resource operation executed while holding the
+    monitor — kept so the deadlock can be demonstrated (experiment E11). *)
+
+val access :
+  Monitor.t -> before:(unit -> unit) -> after:(unit -> unit) ->
+  (unit -> 'a) -> 'a
+(** [access m ~before ~after op] runs [before] inside [m] (it may wait on
+    conditions of [m]), releases [m], runs [op], re-enters [m] to run
+    [after] (it typically signals), and returns [op]'s result. If [op]
+    raises, [after] still runs before the exception propagates, so
+    synchronization state cannot leak. *)
+
+val access_inside : Monitor.t -> (unit -> 'a) -> 'a
+(** The naive, deadlock-prone structure: [op] runs while holding the
+    monitor. Exists only as the E11 counter-example. *)

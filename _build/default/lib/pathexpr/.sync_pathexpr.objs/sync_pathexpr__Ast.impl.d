@@ -1,0 +1,1 @@
+lib/pathexpr/ast.ml: Format Hashtbl List String

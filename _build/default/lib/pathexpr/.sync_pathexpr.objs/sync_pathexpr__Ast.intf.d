@@ -1,0 +1,1 @@
+lib/pathexpr/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/pathexpr/compile.ml: Array Ast Engine Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/pathexpr/compile.mli: Ast Engine

@@ -1,0 +1,1 @@
+lib/pathexpr/engine.ml: Condition Mutex Semaphore Sync_platform Waitq

@@ -1,0 +1,1 @@
+lib/pathexpr/engine.mli:

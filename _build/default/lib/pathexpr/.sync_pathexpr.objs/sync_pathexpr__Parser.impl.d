@@ -1,0 +1,1 @@
+lib/pathexpr/parser.ml: Ast List Printf String

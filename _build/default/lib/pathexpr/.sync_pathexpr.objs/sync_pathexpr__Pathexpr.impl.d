@@ -1,0 +1,1 @@
+lib/pathexpr/pathexpr.ml: Ast Compile Engine List Parser

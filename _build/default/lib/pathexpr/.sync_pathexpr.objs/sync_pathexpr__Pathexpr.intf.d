@@ -1,0 +1,1 @@
+lib/pathexpr/pathexpr.mli: Ast

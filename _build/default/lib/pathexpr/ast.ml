@@ -1,0 +1,84 @@
+type t =
+  | Op of string
+  | Seq of t list
+  | Sel of t list
+  | Conc of t
+  | Bounded of int * t
+  | Pred of string * t
+
+type spec = t list
+
+let rec fold_leaves f acc = function
+  | Op name -> f acc (`Op name)
+  | Seq es | Sel es -> List.fold_left (fold_leaves f) acc es
+  | Conc e | Bounded (_, e) -> fold_leaves f acc e
+  | Pred (name, e) -> fold_leaves f (f acc (`Pred name)) e
+
+let dedup names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let ops spec =
+  let collect acc = function `Op n -> n :: acc | `Pred _ -> acc in
+  dedup (List.rev (List.fold_left (fold_leaves collect) [] spec))
+
+let predicates spec =
+  let collect acc = function `Pred n -> n :: acc | `Op _ -> acc in
+  dedup (List.rev (List.fold_left (fold_leaves collect) [] spec))
+
+(* Precedence levels: Seq = 0 (loosest), Sel = 1, primaries = 2. A child is
+   parenthesized when its level is strictly looser than its context. *)
+let rec level = function
+  | Seq _ -> 0
+  | Sel _ -> 1
+  | Op _ | Conc _ | Bounded _ -> 2
+  | Pred (_, e) -> level e
+
+let rec pp_prec ctx ppf e =
+  let lvl = level e in
+  let parens = lvl < ctx in
+  if parens then Format.pp_print_string ppf "(";
+  (match e with
+  | Op name -> Format.pp_print_string ppf name
+  | Seq es ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " ; ")
+      (pp_prec 1) ppf es
+  | Sel es ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " , ")
+      (pp_prec 2) ppf es
+  | Conc e -> Format.fprintf ppf "{ %a }" (pp_prec 0) e
+  | Bounded (n, e) -> Format.fprintf ppf "%d : (%a)" n (pp_prec 0) e
+  | Pred (name, e) -> Format.fprintf ppf "[%s] %a" name (pp_prec 2) e);
+  if parens then Format.pp_print_string ppf ")"
+
+let pp ppf e = pp_prec 0 ppf e
+
+let pp_spec ppf spec =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+    (fun ppf e -> Format.fprintf ppf "path %a end" pp e)
+    ppf spec
+
+let to_string spec = Format.asprintf "%a" pp_spec spec
+
+let rec equal a b =
+  match (a, b) with
+  | Op x, Op y -> String.equal x y
+  | Seq xs, Seq ys | Sel xs, Sel ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Conc x, Conc y -> equal x y
+  | Bounded (n, x), Bounded (m, y) -> n = m && equal x y
+  | Pred (p, x), Pred (q, y) -> String.equal p q && equal x y
+  | (Op _ | Seq _ | Sel _ | Conc _ | Bounded _ | Pred _), _ -> false
+
+let equal_spec a b =
+  List.length a = List.length b && List.for_all2 equal a b

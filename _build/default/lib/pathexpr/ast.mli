@@ -1,0 +1,47 @@
+(** Abstract syntax of path expressions.
+
+    The core dialect is Campbell-Habermann [7]: operation names, sequencing
+    [;], selection [,], concurrency [{e}], and cyclic repetition (the
+    [path ... end] pair). Two historical extensions are included:
+
+    - [Bounded (n, e)] — the numeric operator of Flon-Habermann [10],
+      [n : (e)], allowing [n] traversals of [e] to be in progress at once
+      (a bounded buffer is [path n : (put ; get) end]); restricted by the
+      compiler to the whole body of a declaration.
+    - [Pred (name, e)] — Andler-style predicates [2]: [e] may begin only
+      when the named predicate (bound to a closure at compile time) holds.
+
+    Precedence, loosest to tightest: [;] then [,] then primaries, so
+    [a , b ; c] parses as [(a , b) ; c] — which is why Figure 1 of the
+    paper must parenthesize [(openwrite ; write)] inside a selection. *)
+
+type t =
+  | Op of string
+  | Seq of t list  (** at least two elements *)
+  | Sel of t list  (** at least two alternatives *)
+  | Conc of t      (** [{e}]: a burst of concurrent traversals *)
+  | Bounded of int * t  (** [n : (e)] *)
+  | Pred of string * t  (** [\[name\] e] *)
+
+type spec = t list
+(** One element per [path ... end] declaration; an operation may appear in
+    several declarations and is then constrained by all of them, traversing
+    their prologues in declaration order. *)
+
+val ops : spec -> string list
+(** All operation names, in first-appearance order, without duplicates. *)
+
+val predicates : spec -> string list
+(** All predicate names, in first-appearance order, without duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints with minimal parentheses; [pp_spec] round-trips through
+    {!Parser.parse}. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val to_string : spec -> string
+
+val equal : t -> t -> bool
+
+val equal_spec : spec -> spec -> bool

@@ -1,0 +1,94 @@
+exception Unsupported of string
+
+type wrapped = { prologue : unit -> unit; epilogue : unit -> unit }
+
+type table = (string * wrapped list) list
+
+(* Mutable accumulation: op -> wrapped list in reverse declaration order,
+   plus per-declaration duplicate detection. *)
+type acc = {
+  tbl : (string, wrapped list) Hashtbl.t;
+  mutable order : string list; (* first-appearance order, reversed *)
+  mutable in_decl : string list; (* ops seen in the current declaration *)
+}
+
+let add acc name w =
+  if List.mem name acc.in_decl then
+    raise
+      (Unsupported
+         (Printf.sprintf
+            "operation %S appears twice in one path declaration" name));
+  acc.in_decl <- name :: acc.in_decl;
+  (match Hashtbl.find_opt acc.tbl name with
+  | None ->
+    acc.order <- name :: acc.order;
+    Hashtbl.add acc.tbl name [ w ]
+  | Some ws -> Hashtbl.replace acc.tbl name (w :: ws))
+
+let rec comp (engine : Engine.t) env acc e ~pro ~epi =
+  match e with
+  | Ast.Op name -> add acc name { prologue = pro; epilogue = epi }
+  | Ast.Seq es ->
+    let n = List.length es in
+    let links = Array.init (n - 1) (fun _ -> engine.make_sem 0) in
+    List.iteri
+      (fun i e ->
+        let pro = if i = 0 then pro else links.(i - 1).Engine.p in
+        let epi = if i = n - 1 then epi else links.(i).Engine.v in
+        comp engine env acc e ~pro ~epi)
+      es
+  | Ast.Sel es -> List.iter (fun e -> comp engine env acc e ~pro ~epi) es
+  | Ast.Conc e ->
+    let m = engine.make_sem 1 in
+    let active = ref 0 in
+    let pro' () =
+      m.Engine.p ();
+      incr active;
+      if !active = 1 then pro ();
+      m.Engine.v ()
+    in
+    let epi' () =
+      m.Engine.p ();
+      decr active;
+      if !active = 0 then epi ();
+      m.Engine.v ()
+    in
+    comp engine env acc e ~pro:pro' ~epi:epi'
+  | Ast.Bounded _ ->
+    raise
+      (Unsupported
+         "a numeric bound is only allowed as the entire body of a path \
+          declaration")
+  | Ast.Pred (name, e) -> (
+    match engine.pred_gate with
+    | None ->
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "predicate [%s]: engine %S has no predicate support" name
+              engine.name))
+    | Some gate -> (
+      match List.assoc_opt name env with
+      | None ->
+        raise (Unsupported (Printf.sprintf "unbound predicate %S" name))
+      | Some f ->
+        comp engine env acc e
+          ~pro:(fun () ->
+            gate f;
+            pro ())
+          ~epi))
+
+let compile_decl engine env acc decl =
+  acc.in_decl <- [];
+  let bound, body =
+    match decl with Ast.Bounded (n, e) -> (n, e) | e -> (1, e)
+  in
+  let s = engine.Engine.make_sem bound in
+  comp engine env acc body ~pro:s.Engine.p ~epi:s.Engine.v
+
+let compile ~engine ~env spec =
+  let acc = { tbl = Hashtbl.create 16; order = []; in_decl = [] } in
+  List.iter (compile_decl engine env acc) spec;
+  List.rev_map
+    (fun name -> (name, List.rev (Hashtbl.find acc.tbl name)))
+    acc.order

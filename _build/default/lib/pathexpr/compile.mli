@@ -1,0 +1,37 @@
+(** The Campbell-Habermann translation of path declarations to
+    prologue/epilogue pairs over an {!Engine}.
+
+    Each [path L end] declaration becomes a cyclic token system: a
+    semaphore [S] initialized to 1 guards the whole body ([P(S)] as
+    outermost prologue, [V(S)] as outermost epilogue, so finishing a
+    traversal re-enables the next one);
+
+    - [e1 ; ... ; en] threads fresh 0-initialized semaphores between the
+      elements;
+    - [e1 , ... , en] gives every alternative the same prologue/epilogue
+      (with strong semaphores this realizes longest-waiting selection);
+    - [{e}] uses the first-in/last-out counter idiom: only the first
+      concurrent entrant runs the outer prologue and only the last one
+      leaving runs the outer epilogue;
+    - [n : (e)] (whole-body only) initializes [S] to [n];
+    - [\[p\] e] prefixes the prologue with a predicate gate (engines
+      without predicate support reject it).
+
+    An operation appearing in several declarations accumulates one
+    prologue/epilogue pair per declaration, executed in declaration order
+    — which is exactly why a process can be "blocked at the second path"
+    while holding the first, the behaviour Figure 1 exploits (and that
+    footnote 3 shows to be a bug magnet). *)
+
+exception Unsupported of string
+(** Construct not supported by the chosen engine, an operation repeated
+    within a single declaration, a numeric bound not at the body root, or
+    an unbound predicate name. *)
+
+type wrapped = { prologue : unit -> unit; epilogue : unit -> unit }
+
+type table = (string * wrapped list) list
+(** For each operation, its wrappers in declaration order. *)
+
+val compile :
+  engine:Engine.t -> env:(string * (unit -> bool)) list -> Ast.spec -> table

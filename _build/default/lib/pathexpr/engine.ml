@@ -1,0 +1,53 @@
+open Sync_platform
+
+type sem = { p : unit -> unit; v : unit -> unit }
+
+type t = {
+  name : string;
+  make_sem : int -> sem;
+  pred_gate : ((unit -> bool) -> unit) option;
+  poke : unit -> unit;
+}
+
+let semaphore () =
+  let make_sem n =
+    let s = Semaphore.Counting.create ~fairness:`Strong n in
+    { p = (fun () -> Semaphore.Counting.p s);
+      v = (fun () -> Semaphore.Counting.v s) }
+  in
+  { name = "semaphore"; make_sem; pred_gate = None; poke = (fun () -> ()) }
+
+let gate () =
+  let lock = Mutex.create () in
+  let changed = Condition.create () in
+  let make_sem n =
+    let tokens = ref n in
+    let q : unit Waitq.t = Waitq.create () in
+    let p () =
+      Mutex.lock lock;
+      if !tokens > 0 && Waitq.is_empty q then decr tokens
+      else Waitq.wait q ~lock ();
+      Mutex.unlock lock
+    in
+    let v () =
+      Mutex.lock lock;
+      (* Hand the token directly to the oldest waiter, preserving FIFO. *)
+      if not (Waitq.wake_first q) then incr tokens;
+      Condition.broadcast changed;
+      Mutex.unlock lock
+    in
+    { p; v }
+  in
+  let pred_gate f =
+    Mutex.lock lock;
+    while not (f ()) do
+      Condition.wait changed lock
+    done;
+    Mutex.unlock lock
+  in
+  let poke () =
+    Mutex.lock lock;
+    Condition.broadcast changed;
+    Mutex.unlock lock
+  in
+  { name = "gate"; make_sem; pred_gate = Some pred_gate; poke }

@@ -1,0 +1,33 @@
+(** Runtime primitive layer for compiled path expressions.
+
+    The Campbell-Habermann translation reduces a path declaration to P/V
+    operations on counting semaphores plus counters. Two engines provide
+    those primitives:
+
+    - {!semaphore}: each semaphore is an independent strong (FIFO)
+      counting semaphore — the classic translation target. Predicates are
+      unsupported (historically they postdate this implementation).
+    - {!gate}: all semaphores of one compiled system share a central lock;
+      FIFO grant order, plus Andler-style predicate gates re-evaluated at
+      every release point and at every operation completion ({!poke}).
+
+    Both engines grant P strictly in arrival order, realizing the paper's
+    extra assumption that selection chooses the longest-waiting process. *)
+
+type sem = { p : unit -> unit; v : unit -> unit }
+
+type t = {
+  name : string;
+  make_sem : int -> sem;
+  pred_gate : ((unit -> bool) -> unit) option;
+      (** Block until the predicate holds; [None] if unsupported. *)
+  poke : unit -> unit;
+      (** Notify predicate waiters that observable state may have
+          changed. *)
+}
+
+val semaphore : unit -> t
+(** A fresh classic-translation engine instance. *)
+
+val gate : unit -> t
+(** A fresh central-lock engine instance with predicate support. *)

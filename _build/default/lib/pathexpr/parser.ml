@@ -1,0 +1,207 @@
+exception Syntax_error of string
+
+type token =
+  | Ident of string
+  | Int of int
+  | Semi
+  | Comma
+  | Colon
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Kw_path
+  | Kw_end
+  | Eof
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Colon -> "':'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Kw_path -> "'path'"
+  | Kw_end -> "'end'"
+  | Eof -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let rec skip i =
+    if i >= n then i
+    else if src.[i] = ' ' || src.[i] = '\t' || src.[i] = '\n' || src.[i] = '\r'
+    then skip (i + 1)
+    else if i + 1 < n && src.[i] = '-' && src.[i + 1] = '-' then begin
+      let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+      skip (eol (i + 2))
+    end
+    else i
+  in
+  let rec lex acc i =
+    let i = skip i in
+    if i >= n then List.rev ((Eof, i) :: acc)
+    else
+      let c = src.[i] in
+      if is_ident_start c then begin
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        let word = String.sub src i (j - i) in
+        let tok =
+          match word with
+          | "path" -> Kw_path
+          | "end" -> Kw_end
+          | _ -> Ident word
+        in
+        lex ((tok, i) :: acc) j
+      end
+      else if is_digit c then begin
+        let rec stop j = if j < n && is_digit src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        lex ((Int (int_of_string (String.sub src i (j - i))), i) :: acc) j
+      end
+      else
+        let simple tok = lex ((tok, i) :: acc) (i + 1) in
+        match c with
+        | ';' -> simple Semi
+        | ',' -> simple Comma
+        | ':' -> simple Colon
+        | '{' -> simple Lbrace
+        | '}' -> simple Rbrace
+        | '(' -> simple Lparen
+        | ')' -> simple Rparen
+        | '[' -> simple Lbracket
+        | ']' -> simple Rbracket
+        | _ ->
+          raise
+            (Syntax_error
+               (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  lex [] 0
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (Eof, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let got, pos = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Syntax_error
+         (Printf.sprintf "expected %s %s at offset %d, found %s" what
+            (token_to_string tok) pos (token_to_string got)))
+
+let rec parse_expr_st st =
+  let first = parse_sel st in
+  let rec more acc =
+    match peek st with
+    | Semi, _ ->
+      advance st;
+      more (parse_sel st :: acc)
+    | _ -> List.rev acc
+  in
+  match more [ first ] with [ single ] -> single | es -> Ast.Seq es
+
+and parse_sel st =
+  let first = parse_primary st in
+  let rec more acc =
+    match peek st with
+    | Comma, _ ->
+      advance st;
+      more (parse_primary st :: acc)
+    | _ -> List.rev acc
+  in
+  match more [ first ] with [ single ] -> single | es -> Ast.Sel es
+
+and parse_primary st =
+  match peek st with
+  | Ident name, _ ->
+    advance st;
+    Ast.Op name
+  | Int n, pos ->
+    advance st;
+    if n < 1 then
+      raise
+        (Syntax_error
+           (Printf.sprintf "numeric bound must be >= 1 at offset %d" pos));
+    expect st Colon "after bound";
+    expect st Lparen "after ':'";
+    let e = parse_expr_st st in
+    expect st Rparen "to close bound";
+    Ast.Bounded (n, e)
+  | Lbrace, _ ->
+    advance st;
+    let e = parse_expr_st st in
+    expect st Rbrace "to close '{'";
+    Ast.Conc e
+  | Lparen, _ ->
+    advance st;
+    let e = parse_expr_st st in
+    expect st Rparen "to close '('";
+    e
+  | Lbracket, pos -> (
+    advance st;
+    match peek st with
+    | Ident name, _ ->
+      advance st;
+      expect st Rbracket "to close '['";
+      Ast.Pred (name, parse_primary st)
+    | got, _ ->
+      raise
+        (Syntax_error
+           (Printf.sprintf "expected predicate name at offset %d, found %s"
+              pos (token_to_string got))))
+  | got, pos ->
+    raise
+      (Syntax_error
+         (Printf.sprintf
+            "expected an operation, '{', '(', '[' or bound at offset %d, \
+             found %s"
+            pos (token_to_string got)))
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let rec decls acc =
+    match peek st with
+    | Kw_path, _ ->
+      advance st;
+      let e = parse_expr_st st in
+      expect st Kw_end "to close declaration";
+      decls (e :: acc)
+    | Eof, _ ->
+      if acc = [] then
+        raise (Syntax_error "expected at least one 'path ... end' declaration");
+      List.rev acc
+    | got, pos ->
+      raise
+        (Syntax_error
+           (Printf.sprintf "expected 'path' at offset %d, found %s" pos
+              (token_to_string got)))
+  in
+  decls []
+
+let parse_expr src =
+  let st = { toks = tokenize src } in
+  let e = parse_expr_st st in
+  match peek st with
+  | Eof, _ -> e
+  | got, pos ->
+    raise
+      (Syntax_error
+         (Printf.sprintf "trailing input at offset %d: %s" pos
+            (token_to_string got)))

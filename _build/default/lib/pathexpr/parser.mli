@@ -1,0 +1,25 @@
+(** Concrete syntax for path expressions.
+
+    {v
+    spec     ::= pathdecl+
+    pathdecl ::= "path" expr "end"
+    expr     ::= sel (";" sel)*            (sequence, loosest)
+    sel      ::= primary ("," primary)*    (selection)
+    primary  ::= ident
+               | "{" expr "}"              (concurrency)
+               | "(" expr ")"
+               | int ":" "(" expr ")"      (numeric bound)
+               | "[" ident "]" primary     (predicate guard)
+    v}
+
+    Identifiers are [\[A-Za-z_\]\[A-Za-z0-9_\]*]; whitespace separates
+    tokens; [--] starts a comment to end of line. *)
+
+exception Syntax_error of string
+(** Raised with a human-readable position + expectation message. *)
+
+val parse : string -> Ast.spec
+(** @raise Syntax_error on malformed input. *)
+
+val parse_expr : string -> Ast.t
+(** Parse a single path body (no [path]/[end] keywords); for tests. *)

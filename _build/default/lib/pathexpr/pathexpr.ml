@@ -1,0 +1,42 @@
+exception Unsupported = Compile.Unsupported
+
+exception Unknown_operation of string
+
+type engine_kind = [ `Semaphore | `Gate ]
+
+type t = {
+  spec : Ast.spec;
+  table : Compile.table;
+  engine : Engine.t;
+}
+
+let compile ?(engine = `Semaphore) ?(env = []) spec =
+  let engine =
+    match engine with `Semaphore -> Engine.semaphore () | `Gate -> Engine.gate ()
+  in
+  { spec; table = Compile.compile ~engine ~env spec; engine }
+
+let of_string ?engine ?env src = compile ?engine ?env (Parser.parse src)
+
+let run t op body =
+  match List.assoc_opt op t.table with
+  | None -> raise (Unknown_operation op)
+  | Some wrappers ->
+    List.iter (fun w -> w.Compile.prologue ()) wrappers;
+    let finish () =
+      List.iter (fun w -> w.Compile.epilogue ()) wrappers;
+      t.engine.Engine.poke ()
+    in
+    (match body () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let ops t = List.map fst t.table
+
+let spec t = t.spec
+
+let engine_name t = t.engine.Engine.name

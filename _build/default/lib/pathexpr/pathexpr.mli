@@ -1,0 +1,48 @@
+(** Path expressions [Campbell-Habermann'74] — the public entry point.
+
+    A {e path system} is compiled from one or more [path ... end]
+    declarations; thereafter each resource operation is executed through
+    {!run}, which blocks the caller until the operation may begin under
+    every declaration and releases successors when it completes. Following
+    the paper's Section 5.1 assumption, selection always admits the
+    longest-waiting process.
+
+    {[
+      let rw = Pathexpr.of_string "path { read } , write end" in
+      Pathexpr.run rw "read" (fun () -> ...)   (* concurrent with reads *)
+      Pathexpr.run rw "write" (fun () -> ...)  (* exclusive *)
+    ]} *)
+
+exception Unsupported of string
+(** See {!Compile.Unsupported}; re-exported for users. *)
+
+exception Unknown_operation of string
+(** {!run} was given an operation named in no declaration. *)
+
+type engine_kind = [ `Semaphore | `Gate ]
+
+type t
+
+val compile :
+  ?engine:engine_kind -> ?env:(string * (unit -> bool)) list -> Ast.spec -> t
+(** [compile spec] builds a fresh path system. [engine] defaults to
+    [`Semaphore] (the classic translation); use [`Gate] for specs with
+    predicates. [env] binds predicate names. *)
+
+val of_string :
+  ?engine:engine_kind -> ?env:(string * (unit -> bool)) list -> string -> t
+(** Parse then {!compile}.
+    @raise Parser.Syntax_error on malformed input. *)
+
+val run : t -> string -> (unit -> 'a) -> 'a
+(** [run t op body] waits until [op] is permitted, runs [body], then
+    advances the path state. If [body] raises, the path state is still
+    advanced (the operation counts as having occurred) and the exception
+    is re-raised. *)
+
+val ops : t -> string list
+(** Operations named in the spec, in first-appearance order. *)
+
+val spec : t -> Ast.spec
+
+val engine_name : t -> string

@@ -1,0 +1,1 @@
+lib/platform/backoff.ml: Domain Thread

@@ -1,0 +1,1 @@
+lib/platform/clock.ml: Condition Int64 Mutex Unix

@@ -1,0 +1,1 @@
+lib/platform/eventcount.ml: Condition Mutex

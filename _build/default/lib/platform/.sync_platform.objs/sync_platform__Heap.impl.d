@@ -1,0 +1,1 @@
+lib/platform/heap.ml: Array List

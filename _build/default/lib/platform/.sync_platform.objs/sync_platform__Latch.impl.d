@@ -1,0 +1,1 @@
+lib/platform/latch.ml: Clock Condition Int64 Mutex Thread

@@ -1,0 +1,1 @@
+lib/platform/process.ml: Domain List Mutex Option Thread

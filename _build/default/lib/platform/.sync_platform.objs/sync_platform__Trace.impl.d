@@ -1,0 +1,1 @@
+lib/platform/trace.ml: Clock Format List Mutex

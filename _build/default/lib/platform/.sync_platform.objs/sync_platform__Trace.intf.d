@@ -1,0 +1,1 @@
+lib/platform/trace.mli: Format

@@ -1,0 +1,1 @@
+lib/platform/tsqueue.ml: Clock Condition Int64 List Mutex Queue Thread

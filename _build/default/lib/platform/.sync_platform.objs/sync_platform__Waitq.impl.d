@@ -1,0 +1,1 @@
+lib/platform/waitq.ml: Condition List

@@ -1,0 +1,32 @@
+type t = {
+  min_wait : int;
+  max_wait : int;
+  mutable wait : int;
+  mutable seed : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(min_wait = 16) ?(max_wait = 4096) () =
+  assert (is_pow2 min_wait && is_pow2 max_wait && min_wait <= max_wait);
+  { min_wait; max_wait; wait = min_wait; seed = 0x9e3779b9 }
+
+(* xorshift step; cheap per-thread pseudo-randomization so that threads
+   backing off together do not re-collide in lockstep. *)
+let next_seed s =
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  s lxor (s lsl 17)
+
+let once t =
+  let spins = t.min_wait + (t.seed land (t.wait - 1)) in
+  t.seed <- next_seed t.seed;
+  if t.wait >= t.max_wait then Thread.yield ()
+  else begin
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done;
+    t.wait <- t.wait * 2
+  end
+
+let reset t = t.wait <- t.min_wait

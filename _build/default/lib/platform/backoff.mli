@@ -1,0 +1,21 @@
+(** Exponential backoff for contended retry loops.
+
+    A [Backoff.t] tracks how long the current thread has been spinning on a
+    contended location. Each call to {!once} spins for a bounded, randomized
+    number of iterations and doubles the bound, yielding to the scheduler
+    once the bound saturates. This is the standard contention-management
+    substrate used by the spin-based primitives in this library. *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ()] returns a fresh backoff in its initial (shortest) state.
+    [min_wait] and [max_wait] bound the spin count; both must be positive
+    powers of two with [min_wait <= max_wait]. *)
+
+val once : t -> unit
+(** Spin (or yield, once saturated) and escalate the backoff. *)
+
+val reset : t -> unit
+(** Return the backoff to its initial state (call after a successful
+    acquisition). *)

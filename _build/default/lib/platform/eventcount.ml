@@ -1,0 +1,60 @@
+module Eventcount = struct
+  type t = {
+    lock : Mutex.t;
+    moved : Condition.t;
+    mutable count : int;
+    mutable blocked : int;
+  }
+
+  let create ?(initial = 0) () =
+    { lock = Mutex.create (); moved = Condition.create (); count = initial;
+      blocked = 0 }
+
+  let read t =
+    Mutex.lock t.lock;
+    let n = t.count in
+    Mutex.unlock t.lock;
+    n
+
+  let advance t =
+    Mutex.lock t.lock;
+    t.count <- t.count + 1;
+    Condition.broadcast t.moved;
+    Mutex.unlock t.lock
+
+  let advance_to t n =
+    Mutex.lock t.lock;
+    if n > t.count then begin
+      t.count <- n;
+      Condition.broadcast t.moved
+    end;
+    Mutex.unlock t.lock
+
+  let await t n =
+    Mutex.lock t.lock;
+    t.blocked <- t.blocked + 1;
+    while t.count < n do
+      Condition.wait t.moved t.lock
+    done;
+    t.blocked <- t.blocked - 1;
+    Mutex.unlock t.lock
+
+  let waiters t =
+    Mutex.lock t.lock;
+    let n = t.blocked in
+    Mutex.unlock t.lock;
+    n
+end
+
+module Sequencer = struct
+  type t = { lock : Mutex.t; mutable next : int }
+
+  let create () = { lock = Mutex.create (); next = 0 }
+
+  let ticket t =
+    Mutex.lock t.lock;
+    let n = t.next in
+    t.next <- n + 1;
+    Mutex.unlock t.lock;
+    n
+end

@@ -1,0 +1,40 @@
+(** Eventcounts and sequencers, after Reed-Kanodia (CACM 1979) — a
+    synchronization mechanism contemporary with the paper, included as a
+    further subject for the methodology (experiment E15).
+
+    An {e eventcount} is a monotone counter: [advance] increments it and
+    [await t n] blocks until its value reaches [n]. A {e sequencer} issues
+    unique, totally ordered tickets. Together they express
+    producer/consumer windows, strict service order, and time directly —
+    but provide no construct for state-dependent scheduling (priorities,
+    request-type policies), which is exactly what their partial row in
+    the E3 matrix records. *)
+
+module Eventcount : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+
+  val read : t -> int
+
+  val advance : t -> unit
+  (** Increment and wake every waiter whose threshold is reached. *)
+
+  val advance_to : t -> int -> unit
+  (** Raise the count to at least [n] (monotone; no-op if already
+      there). *)
+
+  val await : t -> int -> unit
+  (** Block until the count is [>= n]. *)
+
+  val waiters : t -> int
+end
+
+module Sequencer : sig
+  type t
+
+  val create : unit -> t
+
+  val ticket : t -> int
+  (** Unique tickets [0, 1, 2, ...] in request order. *)
+end

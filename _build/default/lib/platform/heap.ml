@@ -1,0 +1,94 @@
+(* Entries carry a monotonically increasing sequence number so that equal
+   keys are ordered FIFO. *)
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 16) ~cmp () =
+  ignore capacity;
+  { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let entry_cmp t a b =
+  let c = t.cmp a.value b.value in
+  if c <> 0 then c else compare a.seq b.seq
+
+let grow t e =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let data = Array.make ncap e in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp t t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_cmp t t.data.(l) t.data.(!smallest) < 0 then
+    smallest := l;
+  if r < t.size && entry_cmp t t.data.(r) t.data.(!smallest) < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t value =
+  let e = { value; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  grow t e;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    if t.size > 0 then sift_down t 0;
+    Some top.value
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some v -> v
+  | None -> invalid_arg "Heap.pop_exn: empty"
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
+
+let to_list t =
+  let copy = { t with data = Array.sub t.data 0 t.size } in
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some v -> drain (v :: acc)
+  in
+  drain []

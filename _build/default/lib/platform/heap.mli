@@ -1,0 +1,32 @@
+(** Binary min-heap priority queue.
+
+    Not thread-safe on its own; the synchronization mechanisms embed it
+    under their own locks (e.g. monitor priority-condition queues, the
+    disk-head scheduler). Ties are broken by insertion order, so equal-key
+    elements dequeue FIFO — a property the FCFS checkers rely on. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, if any, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. Equal keys pop in insertion
+    order. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in ascending order; O(n log n), does not modify the heap. *)

@@ -1,0 +1,77 @@
+type t = {
+  mutex : Mutex.t;
+  zero : Condition.t;
+  mutable pending : int;
+}
+
+let create n =
+  assert (n >= 0);
+  { mutex = Mutex.create (); zero = Condition.create (); pending = n }
+
+let arrive t =
+  Mutex.lock t.mutex;
+  if t.pending = 0 then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Latch.arrive: already at zero"
+  end;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.zero;
+  Mutex.unlock t.mutex
+
+let wait t =
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.zero t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let wait_timeout t ~timeout_ns =
+  let deadline = Int64.add (Clock.now_ns ()) timeout_ns in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let done_ = t.pending = 0 in
+    Mutex.unlock t.mutex;
+    if done_ then true
+    else if Clock.now_ns () >= deadline then false
+    else begin
+      Thread.yield ();
+      loop ()
+    end
+  in
+  loop ()
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = t.pending in
+  Mutex.unlock t.mutex;
+  n
+
+module Barrier = struct
+  type t = {
+    mutex : Mutex.t;
+    turn : Condition.t;
+    parties : int;
+    mutable arrived : int;
+    mutable generation : int;
+  }
+
+  let create parties =
+    assert (parties >= 1);
+    { mutex = Mutex.create (); turn = Condition.create (); parties;
+      arrived = 0; generation = 0 }
+
+  let await t =
+    Mutex.lock t.mutex;
+    let gen = t.generation in
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.parties then begin
+      t.arrived <- 0;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.turn
+    end
+    else
+      while t.generation = gen do
+        Condition.wait t.turn t.mutex
+      done;
+    Mutex.unlock t.mutex
+end

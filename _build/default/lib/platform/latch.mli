@@ -1,0 +1,33 @@
+(** Countdown latch and cyclic barrier.
+
+    Test and workload plumbing: a latch lets a driver wait for [n] worker
+    completions; a barrier aligns the start of contending workers so
+    contention is actually exercised. *)
+
+type t
+
+val create : int -> t
+(** [create n] requires [n >= 0] arrivals before {!wait} returns. *)
+
+val arrive : t -> unit
+(** Count one arrival. Raises [Invalid_argument] on extra arrivals. *)
+
+val wait : t -> unit
+(** Block until the count reaches zero. *)
+
+val wait_timeout : t -> timeout_ns:int64 -> bool
+(** Like {!wait} but gives up after [timeout_ns]; [true] iff the count
+    reached zero. Used by deadlock-demonstration tests (E11) that must
+    observe "this configuration never completes" in bounded time. *)
+
+val pending : t -> int
+
+module Barrier : sig
+  type t
+
+  val create : int -> t
+  (** A reusable barrier for [n >= 1] parties. *)
+
+  val await : t -> unit
+  (** Block until [n] parties have arrived; the barrier then resets. *)
+end

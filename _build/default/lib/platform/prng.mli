@@ -1,0 +1,32 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    Workload generators need reproducible randomness that is independent of
+    the global [Random] state and can be split per-process so that
+    concurrent generators do not contend or correlate. This is a SplitMix64
+    implementation. *)
+
+type t
+
+val make : int64 -> t
+(** [make seed] creates a generator from a 64-bit seed. *)
+
+val split : t -> t
+(** [split t] returns a statistically independent generator and advances
+    [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

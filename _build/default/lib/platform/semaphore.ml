@@ -1,0 +1,104 @@
+type fairness = [ `Strong | `Weak ]
+
+module Counting = struct
+  type t = {
+    mutex : Mutex.t;
+    fairness : fairness;
+    (* Strong: selective-wakeup queue; each waiter is woken exactly once and
+       its P is thereby granted (the value was consumed by the waker). *)
+    queue : unit Waitq.t;
+    (* Weak: ordinary condition broadcast; woken waiters race to re-check. *)
+    cond : Condition.t;
+    mutable value : int;
+    mutable weak_waiters : int;
+  }
+
+  let create ?(fairness = `Strong) n =
+    assert (n >= 0);
+    { mutex = Mutex.create (); fairness; queue = Waitq.create ();
+      cond = Condition.create (); value = n; weak_waiters = 0 }
+
+  let p t =
+    Mutex.lock t.mutex;
+    (match t.fairness with
+    | `Strong ->
+      (* A newcomer must not overtake parked waiters even if value > 0:
+         strong semantics grant strictly in arrival order. *)
+      if t.value > 0 && Waitq.is_empty t.queue then t.value <- t.value - 1
+      else Waitq.wait t.queue ~lock:t.mutex ()
+    | `Weak ->
+      t.weak_waiters <- t.weak_waiters + 1;
+      while t.value = 0 do
+        Condition.wait t.cond t.mutex
+      done;
+      t.weak_waiters <- t.weak_waiters - 1;
+      t.value <- t.value - 1);
+    Mutex.unlock t.mutex
+
+  let v t =
+    Mutex.lock t.mutex;
+    (match t.fairness with
+    | `Strong ->
+      (* Hand the unit of value directly to the oldest waiter if any. *)
+      if not (Waitq.wake_first t.queue) then t.value <- t.value + 1
+    | `Weak ->
+      t.value <- t.value + 1;
+      Condition.signal t.cond);
+    Mutex.unlock t.mutex
+
+  let try_p t =
+    Mutex.lock t.mutex;
+    let ok =
+      match t.fairness with
+      | `Strong -> t.value > 0 && Waitq.is_empty t.queue
+      | `Weak -> t.value > 0
+    in
+    if ok then t.value <- t.value - 1;
+    Mutex.unlock t.mutex;
+    ok
+
+  let value t =
+    Mutex.lock t.mutex;
+    let v = t.value in
+    Mutex.unlock t.mutex;
+    v
+
+  let waiters t =
+    Mutex.lock t.mutex;
+    let n =
+      match t.fairness with
+      | `Strong -> Waitq.length t.queue
+      | `Weak -> t.weak_waiters
+    in
+    Mutex.unlock t.mutex;
+    n
+end
+
+module Binary = struct
+  type t = { mutex : Mutex.t; queue : unit Waitq.t; mutable value : int }
+
+  let create open_ =
+    { mutex = Mutex.create (); queue = Waitq.create ();
+      value = (if open_ then 1 else 0) }
+
+  let p t =
+    Mutex.lock t.mutex;
+    if t.value = 1 && Waitq.is_empty t.queue then t.value <- 0
+    else Waitq.wait t.queue ~lock:t.mutex ();
+    Mutex.unlock t.mutex
+
+  let v t =
+    Mutex.lock t.mutex;
+    if t.value = 1 then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Semaphore.Binary.v: already open"
+    end;
+    if not (Waitq.wake_first t.queue) then t.value <- 1;
+    Mutex.unlock t.mutex
+
+  let value t =
+    Mutex.lock t.mutex;
+    let v = t.value in
+    Mutex.unlock t.mutex;
+    v
+end

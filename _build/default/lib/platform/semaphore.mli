@@ -1,0 +1,55 @@
+(** Dijkstra semaphores, built from scratch on mutex + selective wakeup.
+
+    Two flavours are provided:
+
+    - {!Counting}: a general counting semaphore with a choice of fairness.
+      [`Strong] (the default) grants [P] strictly in arrival order — the
+      "blocked-queue" semantics Dijkstra's later work and most textbook
+      solutions assume. [`Weak] wakes an arbitrary waiter, which is enough
+      for mutual exclusion but admits starvation; the evaluation harness
+      uses it to show which classic solutions silently depend on strong
+      semantics.
+    - {!Binary}: a binary semaphore (value 0 or 1); [V] on an open binary
+      semaphore is a programming error and raises.
+
+    These are the substrate for the Campbell-Habermann path-expression
+    translation and for the baseline semaphore solutions of the six
+    canonical problems. *)
+
+type fairness = [ `Strong | `Weak ]
+
+module Counting : sig
+  type t
+
+  val create : ?fairness:fairness -> int -> t
+  (** [create n] has initial value [n >= 0]. *)
+
+  val p : t -> unit
+  (** Dijkstra's P (wait/down): decrement, blocking while the value is 0. *)
+
+  val v : t -> unit
+  (** Dijkstra's V (signal/up): increment, waking one waiter if any. *)
+
+  val try_p : t -> bool
+  (** Non-blocking P; [true] on success. *)
+
+  val value : t -> int
+  (** Current value (racy; for tests and introspection). *)
+
+  val waiters : t -> int
+  (** Number of blocked processes (racy; for tests). *)
+end
+
+module Binary : sig
+  type t
+
+  val create : bool -> t
+  (** [create true] is open (value 1); [create false] is closed. *)
+
+  val p : t -> unit
+
+  val v : t -> unit
+  (** @raise Invalid_argument if the semaphore is already open. *)
+
+  val value : t -> int
+end

@@ -1,0 +1,58 @@
+type phase = Request | Enter | Exit | Mark
+
+type event = {
+  seq : int;
+  time_ns : int64;
+  pid : int;
+  op : string;
+  phase : phase;
+  arg : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable rev_events : event list;
+  mutable next_seq : int;
+}
+
+let create () = { mutex = Mutex.create (); rev_events = []; next_seq = 0 }
+
+let record t ~pid ~op ~phase ?(arg = 0) () =
+  Mutex.lock t.mutex;
+  let e =
+    { seq = t.next_seq; time_ns = Clock.now_ns (); pid; op; phase; arg }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.rev_events <- e :: t.rev_events;
+  Mutex.unlock t.mutex
+
+let events t =
+  Mutex.lock t.mutex;
+  let es = List.rev t.rev_events in
+  Mutex.unlock t.mutex;
+  es
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.next_seq in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  t.rev_events <- [];
+  t.next_seq <- 0;
+  Mutex.unlock t.mutex
+
+let pp_phase ppf = function
+  | Request -> Format.pp_print_string ppf "request"
+  | Enter -> Format.pp_print_string ppf "enter"
+  | Exit -> Format.pp_print_string ppf "exit"
+  | Mark -> Format.pp_print_string ppf "mark"
+
+let pp_event ppf e =
+  let phase = Format.asprintf "%a" pp_phase e.phase in
+  Format.fprintf ppf "%4d p%-3d %-8s %s(%d)" e.seq e.pid phase e.op e.arg
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,45 @@
+(** Thread-safe execution trace recorder.
+
+    Every canonical-problem solution is run under a workload that records
+    one event per lifecycle phase of each resource access:
+
+    - [Request]: the process has asked for the operation (before blocking);
+    - [Enter]: the operation body has started (mutual-exclusion region or
+      crowd entered);
+    - [Exit]: the operation body has finished;
+    - [Mark]: free-form annotation (e.g. a produced item's value).
+
+    The trace checkers (exclusion, priority, FIFO, SCAN order, ...) consume
+    the recorded event list; the global sequence number gives a single
+    total order consistent with the real-time order of recording. *)
+
+type phase = Request | Enter | Exit | Mark
+
+type event = {
+  seq : int;        (** global total order, dense from 0 *)
+  time_ns : int64;  (** monotonic wall clock at recording *)
+  pid : int;        (** process id assigned by the workload *)
+  op : string;      (** operation name, e.g. "read" *)
+  phase : phase;
+  arg : int;        (** operation argument (track number, item, ...); 0 when unused *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> pid:int -> op:string -> phase:phase -> ?arg:int -> unit -> unit
+
+val events : t -> event list
+(** Snapshot in sequence order. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp_phase : Format.formatter -> phase -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Dump the whole trace, one event per line. *)

@@ -1,0 +1,57 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); nonempty = Condition.create ();
+    queue = Queue.create () }
+
+let push t x =
+  Mutex.lock t.mutex;
+  Queue.push x t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let pop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let x = Queue.pop t.queue in
+  Mutex.unlock t.mutex;
+  x
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let x = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  x
+
+let pop_timeout t ~timeout_ns =
+  let deadline = Int64.add (Clock.now_ns ()) timeout_ns in
+  let rec loop () =
+    match try_pop t with
+    | Some x -> Some x
+    | None ->
+      if Clock.now_ns () >= deadline then None
+      else begin
+        Thread.yield ();
+        loop ()
+      end
+  in
+  loop ()
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let drain t =
+  Mutex.lock t.mutex;
+  let xs = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  Mutex.unlock t.mutex;
+  xs

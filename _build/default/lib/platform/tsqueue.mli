@@ -1,0 +1,22 @@
+(** Thread-safe FIFO queue with blocking and non-blocking removal.
+
+    Used by workload drivers and by the trace collector; unbounded. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Blocks until an element is available. *)
+
+val try_pop : 'a t -> 'a option
+
+val pop_timeout : 'a t -> timeout_ns:int64 -> 'a option
+(** Blocks up to [timeout_ns]; [None] on timeout. *)
+
+val length : 'a t -> int
+
+val drain : 'a t -> 'a list
+(** Remove and return everything currently queued, oldest first. *)

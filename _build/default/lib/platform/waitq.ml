@@ -1,0 +1,81 @@
+type 'a waiter = {
+  tag : 'a;
+  cond : Condition.t;
+  mutable released : bool;
+  seq : int;
+}
+
+type 'a t = {
+  mutable waiters : 'a waiter list; (* arrival order, oldest first *)
+  mutable next_seq : int;
+}
+
+let create () = { waiters = []; next_seq = 0 }
+
+let length t = List.length t.waiters
+
+let is_empty t = t.waiters = []
+
+let wait t ~lock tag =
+  let w =
+    { tag; cond = Condition.create (); released = false; seq = t.next_seq }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.waiters <- t.waiters @ [ w ];
+  while not w.released do
+    Condition.wait w.cond lock
+  done
+
+let tags t = List.map (fun w -> w.tag) t.waiters
+
+let release t w =
+  t.waiters <- List.filter (fun w' -> w' != w) t.waiters;
+  w.released <- true;
+  Condition.signal w.cond
+
+let wake_first t =
+  match t.waiters with
+  | [] -> false
+  | w :: _ ->
+    release t w;
+    true
+
+let wake_first_matching t ~f =
+  match List.find_opt (fun w -> f w.tag) t.waiters with
+  | None -> false
+  | Some w ->
+    release t w;
+    true
+
+let select_min t ~cmp =
+  match t.waiters with
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best w ->
+          let c = cmp w.tag best.tag in
+          if c < 0 || (c = 0 && w.seq < best.seq) then w else best)
+        first rest
+    in
+    Some best
+
+let wake_min t ~cmp =
+  match select_min t ~cmp with
+  | None -> false
+  | Some w ->
+    release t w;
+    true
+
+let wake_all t =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter
+    (fun w ->
+      w.released <- true;
+      Condition.signal w.cond)
+    ws;
+  List.length ws
+
+let min_tag t ~cmp =
+  match select_min t ~cmp with None -> None | Some w -> Some w.tag

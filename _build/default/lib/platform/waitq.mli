@@ -1,0 +1,53 @@
+(** Wait queue with selective wakeup.
+
+    The mechanisms in this library (monitor condition queues, serializer
+    event queues, the path-expression arbiter) all need to park the calling
+    thread and later wake {e a specific} waiter — the longest waiting, or
+    the one with the smallest priority key — rather than "some" waiter.
+    POSIX condition variables cannot target one waiter reliably, so each
+    parked thread gets a private condition variable and a [released] flag;
+    spurious wakeups are absorbed by re-checking the flag.
+
+    All operations must be called with the caller already holding [lock]
+    (the external mutex protecting the owning mechanism's state); [wait]
+    releases it while parked and reacquires it before returning, exactly
+    like [Condition.wait]. *)
+
+type 'a t
+(** A queue of parked waiters, each tagged with a value of type ['a]
+    (priority key, request descriptor, ...). *)
+
+type 'a waiter
+(** A handle for one parked thread. *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of currently parked (not yet released) waiters. *)
+
+val is_empty : 'a t -> bool
+
+val wait : 'a t -> lock:Mutex.t -> 'a -> unit
+(** [wait q ~lock tag] enqueues the caller (FIFO position = arrival order),
+    releases [lock], parks until released by one of the wake functions, then
+    reacquires [lock]. *)
+
+val tags : 'a t -> 'a list
+(** Tags of parked waiters in arrival order (oldest first). *)
+
+val wake_first : 'a t -> bool
+(** Release the longest-waiting parked waiter. Returns [false] if the queue
+    is empty. *)
+
+val wake_first_matching : 'a t -> f:('a -> bool) -> bool
+(** Release the longest-waiting waiter whose tag satisfies [f]. *)
+
+val wake_min : 'a t -> cmp:('a -> 'a -> int) -> bool
+(** Release the waiter with the minimal tag under [cmp]; ties broken by
+    arrival order (FIFO). *)
+
+val wake_all : 'a t -> int
+(** Release every parked waiter; returns how many were released. *)
+
+val min_tag : 'a t -> cmp:('a -> 'a -> int) -> 'a option
+(** Minimal tag among parked waiters, without waking anyone. *)

@@ -1,0 +1,1 @@
+lib/problems/alarm_ccr.ml: Info Meta Sync_ccr Sync_taxonomy

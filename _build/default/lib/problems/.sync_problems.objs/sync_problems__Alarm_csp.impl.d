@@ -1,0 +1,1 @@
+lib/problems/alarm_csp.ml: Csp Heap Info Meta Process Sync_csp Sync_platform Sync_taxonomy

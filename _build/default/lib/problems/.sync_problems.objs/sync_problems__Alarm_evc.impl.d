@@ -1,0 +1,1 @@
+lib/problems/alarm_evc.ml: Eventcount Info Meta Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/alarm_harness.ml: Alarm_intf Array List Mutex Printexc Printf Process Result Sync_platform Testwait Thread

@@ -1,0 +1,1 @@
+lib/problems/alarm_mon.ml: Info Meta Monitor Sync_monitor Sync_taxonomy

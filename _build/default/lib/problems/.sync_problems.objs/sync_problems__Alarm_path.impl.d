@@ -1,0 +1,1 @@
+lib/problems/alarm_path.ml: Heap Info Meta Semaphore Sync_pathexpr Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/alarm_sem.ml: Heap Info Meta Semaphore Sync_platform Sync_taxonomy

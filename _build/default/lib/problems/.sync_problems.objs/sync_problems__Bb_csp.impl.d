@@ -1,0 +1,1 @@
+lib/problems/bb_csp.ml: Csp Info Meta Sync_csp Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/bb_harness.ml: Bb_intf Fun Ivl List Printf Process Sync_platform Sync_resources Trace

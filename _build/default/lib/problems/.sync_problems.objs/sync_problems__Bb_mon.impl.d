@@ -1,0 +1,1 @@
+lib/problems/bb_mon.ml: Info Meta Monitor Protected Sync_monitor Sync_taxonomy

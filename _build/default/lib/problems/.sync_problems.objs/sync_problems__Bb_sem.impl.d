@@ -1,0 +1,1 @@
+lib/problems/bb_sem.ml: Info Meta Semaphore Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/bb_ser.ml: Info Meta Serializer Sync_serializer Sync_taxonomy

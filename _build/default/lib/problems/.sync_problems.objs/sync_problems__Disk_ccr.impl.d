@@ -1,0 +1,1 @@
+lib/problems/disk_ccr.ml: Fun Heap Info Meta Sync_ccr Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/disk_csp.ml: Csp Fun Heap Info Meta Process Sync_csp Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/disk_fcfs.ml: Fun Info Meta Semaphore Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/disk_harness.ml: Disk_intf Fun Int64 Ivl Latch List Option Printf Prng Process String Sync_platform Sync_resources Testwait Thread Trace

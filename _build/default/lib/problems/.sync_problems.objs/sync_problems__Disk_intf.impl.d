@@ -1,0 +1,1 @@
+lib/problems/disk_intf.ml: Constr Info Meta Spec Sync_taxonomy

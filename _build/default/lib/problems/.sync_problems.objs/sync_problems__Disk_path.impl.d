@@ -1,0 +1,1 @@
+lib/problems/disk_path.ml: Fun Heap Info Meta Semaphore Sync_pathexpr Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/disk_sem.ml: Fun Heap Info Meta Semaphore Sync_platform Sync_taxonomy

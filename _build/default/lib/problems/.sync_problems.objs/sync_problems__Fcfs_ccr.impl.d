@@ -1,0 +1,1 @@
+lib/problems/fcfs_ccr.ml: Fun Info Meta Sync_ccr Sync_taxonomy

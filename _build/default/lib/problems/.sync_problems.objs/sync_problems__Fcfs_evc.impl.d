@@ -1,0 +1,1 @@
+lib/problems/fcfs_evc.ml: Eventcount Fun Info Meta Sequencer Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/fcfs_harness.ml: Atomic Fcfs_intf Fun Ivl Latch List Printf Process Sync_platform Sync_resources Thread Trace

@@ -1,0 +1,1 @@
+lib/problems/fcfs_mon.ml: Info Meta Monitor Protected Sync_monitor Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/fcfs_sem.ml: Fun Info Meta Semaphore Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/ivl.ml: Hashtbl List Printf Sync_platform Trace

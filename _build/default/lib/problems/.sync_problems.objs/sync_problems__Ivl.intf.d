@@ -1,0 +1,1 @@
+lib/problems/ivl.mli: Sync_platform

@@ -1,0 +1,1 @@
+lib/problems/rw_ccr.ml: Info Meta Rw_intf Sync_ccr Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/rw_csp.ml: Csp Info Meta Rw_intf Sync_csp Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/rw_harness.ml: Atomic Fun Ivl Latch List Printf Process Rw_intf Sync_platform Sync_resources Testwait Thread Trace

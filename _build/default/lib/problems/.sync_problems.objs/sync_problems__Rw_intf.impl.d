@@ -1,0 +1,1 @@
+lib/problems/rw_intf.ml: Constr Info Meta Spec Sync_taxonomy

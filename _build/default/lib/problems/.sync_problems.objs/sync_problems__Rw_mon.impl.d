@@ -1,0 +1,1 @@
+lib/problems/rw_mon.ml: Info Meta Monitor Protected Rw_intf Sync_monitor Sync_taxonomy

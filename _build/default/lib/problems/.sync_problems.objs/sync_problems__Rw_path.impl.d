@@ -1,0 +1,1 @@
+lib/problems/rw_path.ml: Info Meta Rw_intf Sync_pathexpr Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/rw_sem.ml: Info Meta Rw_intf Semaphore Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/rw_ser.ml: Info Meta Rw_intf Serializer Sync_serializer Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/slot_ccr.ml: Info Meta Sync_ccr Sync_taxonomy

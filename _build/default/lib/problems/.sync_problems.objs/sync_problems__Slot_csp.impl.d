@@ -1,0 +1,1 @@
+lib/problems/slot_csp.ml: Csp Info Meta Sync_csp Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/slot_evc.ml: Eventcount Info Meta Sequencer Sync_platform Sync_taxonomy

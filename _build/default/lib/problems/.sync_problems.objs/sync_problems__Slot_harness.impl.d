@@ -1,0 +1,1 @@
+lib/problems/slot_harness.ml: Fun Ivl List Printf Process Slot_intf Sync_platform Sync_resources Trace

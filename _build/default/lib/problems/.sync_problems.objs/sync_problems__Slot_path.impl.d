@@ -1,0 +1,1 @@
+lib/problems/slot_path.ml: Info Meta Sync_pathexpr Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/slot_sem.ml: Info Meta Semaphore Sync_platform Sync_taxonomy

@@ -1,0 +1,1 @@
+lib/problems/spec.ml: Constr Format Info List Sync_taxonomy

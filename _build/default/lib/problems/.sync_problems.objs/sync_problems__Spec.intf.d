@@ -1,0 +1,1 @@
+lib/problems/spec.mli: Constr Format Info Sync_taxonomy

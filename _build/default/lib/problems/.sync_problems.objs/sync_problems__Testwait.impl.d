@@ -1,0 +1,1 @@
+lib/problems/testwait.ml: Int64 Sync_platform Thread

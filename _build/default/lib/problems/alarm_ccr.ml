@@ -1,0 +1,36 @@
+(** Alarm clock with a conditional critical region: the enabling
+    condition "now has reached my deadline" is a per-waiter guard over a
+    captured parameter — the one scheduling shape CCRs express directly
+    (contrast {!Disk_ccr}, where ranking {e between} waiters defeats
+    guards). *)
+
+open Sync_taxonomy
+
+type shared = { mutable now : int }
+
+type t = { v : shared Sync_ccr.Ccr.t }
+
+let mechanism = "ccr"
+
+let create () = { v = Sync_ccr.Ccr.create { now = 0 } }
+
+let wakeme t ~pid n =
+  ignore pid;
+  let deadline = Sync_ccr.Ccr.region t.v (fun s -> s.now + n) in
+  Sync_ccr.Ccr.await t.v (fun s -> s.now >= deadline)
+
+let tick t = Sync_ccr.Ccr.region t.v (fun s -> s.now <- s.now + 1)
+
+let now t = Sync_ccr.Ccr.region t.v (fun s -> s.now)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"alarm-clock"
+    ~fragments:
+      [ ("alarm-deadline", [ "when now>=deadline" ]);
+        ("alarm-order", [ "guard"; "per-waiter"; "deadline" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Local_state, Meta.Direct) ]
+    ~aux_state:[ "now counter" ]
+    ~separation:Meta.Separated ()

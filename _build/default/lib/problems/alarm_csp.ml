@@ -1,0 +1,89 @@
+(** Alarm clock in message-passing style: the clock server keeps the
+    schedule; sleepers rendezvous on a reply channel that the server
+    signals when their deadline passes. *)
+
+open Sync_csp
+open Sync_platform
+open Sync_taxonomy
+
+type sleeper = { deadline : int; reply : unit Csp.Channel.t }
+
+type t = {
+  net : Csp.network;
+  set_ch : (int * unit Csp.Channel.t) Csp.Channel.t; (* n, reply *)
+  tick_ch : unit Csp.Channel.t;
+  now_ch : int Csp.Channel.t Csp.Channel.t;
+  stop_ch : unit Csp.Channel.t;
+  server : Process.t;
+}
+
+let mechanism = "csp"
+
+let create () =
+  let net = Csp.network () in
+  let set_ch = Csp.Channel.create ~name:"alarm-set" net in
+  let tick_ch = Csp.Channel.create ~name:"alarm-tick" net in
+  let now_ch = Csp.Channel.create ~name:"alarm-now" net in
+  let stop_ch = Csp.Channel.create ~name:"alarm-stop" net in
+  let server =
+    Process.spawn ~backend:`Thread (fun () ->
+        let sleepers =
+          Heap.create ~cmp:(fun a b -> compare a.deadline b.deadline) ()
+        in
+        let now = ref 0 in
+        let running = ref true in
+        while !running do
+          match
+            Csp.select
+              [ Csp.recv_case set_ch (fun r -> `Set r);
+                Csp.recv_case tick_ch (fun () -> `Tick);
+                Csp.recv_case now_ch (fun r -> `Now r);
+                Csp.recv_case stop_ch (fun () -> `Stop) ]
+          with
+          | `Set (n, reply) ->
+            let deadline = !now + n in
+            if !now >= deadline then Csp.send reply ()
+            else Heap.push sleepers { deadline; reply }
+          | `Tick ->
+            incr now;
+            let rec wake_due () =
+              match Heap.peek sleepers with
+              | Some s when s.deadline <= !now ->
+                ignore (Heap.pop sleepers);
+                Csp.send s.reply ();
+                wake_due ()
+              | Some _ | None -> ()
+            in
+            wake_due ()
+          | `Now reply -> Csp.send reply !now
+          | `Stop -> running := false
+        done)
+  in
+  { net; set_ch; tick_ch; now_ch; stop_ch; server }
+
+let wakeme t ~pid n =
+  ignore pid;
+  let reply = Csp.Channel.create ~name:"alarm-reply" t.net in
+  Csp.send t.set_ch (n, reply);
+  Csp.recv reply
+
+let tick t = Csp.send t.tick_ch ()
+
+let now t =
+  let reply = Csp.Channel.create ~name:"alarm-now-reply" t.net in
+  Csp.send t.now_ch reply;
+  Csp.recv reply
+
+let stop t =
+  Csp.send t.stop_ch ();
+  Process.join t.server
+
+let meta =
+  Meta.make ~mechanism ~problem:"alarm-clock"
+    ~fragments:
+      [ ("alarm-deadline", [ "deadline heap"; "reply"; "rendezvous" ]);
+        ("alarm-order", [ "heap"; "wake-due-on-tick" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Local_state, Meta.Indirect) ]
+    ~aux_state:[ "deadline heap"; "now counter" ]
+    ~separation:Meta.Enforced ()

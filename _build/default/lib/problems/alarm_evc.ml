@@ -1,0 +1,31 @@
+(** Alarm clock with an eventcount: the clock IS an eventcount — [tick]
+    advances it, [wakeme n] awaits value [now + n]. The time parameter is
+    consumed directly by [await], the mechanism's native idiom. *)
+
+open Sync_platform.Eventcount
+open Sync_taxonomy
+
+type t = { clock : Eventcount.t }
+
+let mechanism = "eventcount"
+
+let create () = { clock = Eventcount.create () }
+
+let wakeme t ~pid n =
+  ignore pid;
+  Eventcount.await t.clock (Eventcount.read t.clock + n)
+
+let tick t = Eventcount.advance t.clock
+
+let now t = Eventcount.read t.clock
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"alarm-clock"
+    ~fragments:
+      [ ("alarm-deadline", [ "await(clock,now+n)" ]);
+        ("alarm-order", [ "eventcount"; "monotone" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Local_state, Meta.Direct) ]
+    ~separation:Meta.Separated ()

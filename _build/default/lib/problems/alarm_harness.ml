@@ -1,0 +1,87 @@
+(** Workload driver and checker for the alarm clock.
+
+    The driver registers a batch of sleepers at virtual time 0 (staggered
+    with settle delays so registration completes before the first tick),
+    then advances the clock one tick at a time. After every tick it waits
+    for exactly the sleepers whose deadlines have passed and verifies no
+    other sleeper woke early — an exact, deterministic conformance check
+    of both constraints (wake no earlier than the deadline; deadline
+    order respected tick by tick). *)
+
+open Sync_platform
+
+let run_exact (module S : Alarm_intf.S) ?(durations = [ 3; 1; 4; 1; 5; 9; 2 ])
+    ?(settle = 0.01) () =
+  let t = S.create () in
+  let n = List.length durations in
+  let done_ = Array.make n false in
+  let done_lock = Mutex.create () in
+  let is_done i =
+    Mutex.lock done_lock;
+    let d = done_.(i) in
+    Mutex.unlock done_lock;
+    d
+  in
+  let sleepers =
+    List.mapi
+      (fun i dur ->
+        let p =
+          Process.spawn ~backend:`Thread (fun () ->
+              S.wakeme t ~pid:i dur;
+              Mutex.lock done_lock;
+              done_.(i) <- true;
+              Mutex.unlock done_lock)
+        in
+        Thread.delay settle;
+        p)
+      durations
+  in
+  let horizon = List.fold_left max 0 durations in
+  let result = ref (Ok ()) in
+  (try
+     for tick_no = 1 to horizon do
+       S.tick t;
+       List.iteri
+         (fun i dur ->
+           if dur <= tick_no then
+             Testwait.until
+               (Printf.sprintf "sleeper %d due at %d (tick %d)" i dur tick_no)
+               (fun () -> is_done i))
+         durations;
+       List.iteri
+         (fun i dur ->
+           if dur > tick_no && is_done i && Result.is_ok !result then
+             result :=
+               Error
+                 (Printf.sprintf
+                    "sleeper %d (deadline %d) woke early at tick %d" i dur
+                    tick_no))
+         durations
+     done
+   with Failure msg -> result := Error msg);
+  List.iter Process.join sleepers;
+  S.stop t;
+  !result
+
+let verify ?durations (module S : Alarm_intf.S) =
+  match run_exact (module S) ?durations () with
+  | r -> r
+  | exception e -> Error ("exception: " ^ Printexc.to_string e)
+
+(* A sleeper asking for zero ticks must return without any tick. *)
+let verify_zero (module S : Alarm_intf.S) =
+  let t = S.create () in
+  let woke = ref false in
+  let p =
+    Process.spawn ~backend:`Thread (fun () ->
+        S.wakeme t ~pid:0 0;
+        woke := true)
+  in
+  match Testwait.until ~timeout:3.0 "zero-duration wake" (fun () -> !woke) with
+  | () ->
+    Process.join p;
+    S.stop t;
+    Ok ()
+  | exception Failure msg ->
+    S.stop t;
+    Error msg

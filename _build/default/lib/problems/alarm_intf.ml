@@ -1,0 +1,46 @@
+(** The alarm-clock problem (request-parameter information: time values),
+    after Hoare'74.
+
+    [wakeme n] blocks the caller for [n] ticks of a driver-advanced
+    virtual clock; [tick] is invoked by the clock driver. The priority
+    constraint orders waiters by their computed deadline — an arithmetic
+    function of the request argument, which again wants priority queues
+    (monitors), guard predicates over captured arguments (serializers),
+    or explicit schedules (semaphores, paths). *)
+
+open Sync_taxonomy
+
+let spec =
+  Spec.make ~name:"alarm-clock"
+    ~description:"processes sleep until a requested number of clock ticks \
+                  has elapsed"
+    ~ops:[ "wakeme"; "tick" ]
+    ~constraints:
+      [ Constr.make ~id:"alarm-deadline" ~cls:Constr.Exclusion
+          ~info:[ Info.Parameters; Info.Local_state ]
+          ~description:
+            "if now < request-time + n then exclude the sleeper's wakeup";
+        Constr.make ~id:"alarm-order" ~cls:Constr.Priority
+          ~info:[ Info.Parameters ]
+          ~description:
+            "if A's deadline precedes B's then A wakes no later than B" ]
+
+module type S = sig
+  type t
+
+  val mechanism : string
+
+  val create : unit -> t
+
+  val wakeme : t -> pid:int -> int -> unit
+  (** Block for [n >= 0] ticks from now. *)
+
+  val tick : t -> unit
+  (** Advance the clock by one tick (single driver thread). *)
+
+  val now : t -> int
+
+  val stop : t -> unit
+
+  val meta : Meta.t
+end

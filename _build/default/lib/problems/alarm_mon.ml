@@ -1,0 +1,49 @@
+(** Hoare'74's alarm-clock monitor: a single priority-wait condition
+    ranked by absolute deadline; [tick] signals the earliest sleeper,
+    which re-checks and cascades the signal to co-due sleepers. *)
+
+open Sync_monitor
+open Sync_taxonomy
+
+type t = {
+  mon : Monitor.t;
+  wakeup : Monitor.Cond.t;
+  mutable now : int;
+}
+
+let mechanism = "monitor"
+
+let create () =
+  let mon = Monitor.create ~discipline:`Hoare () in
+  { mon; wakeup = Monitor.Cond.create mon; now = 0 }
+
+let wakeme t ~pid n =
+  ignore pid;
+  Monitor.with_monitor t.mon (fun () ->
+      let alarmsetting = t.now + n in
+      while t.now < alarmsetting do
+        Monitor.Cond.wait_pri t.wakeup alarmsetting
+      done;
+      (* Cascade: the next sleeper may be due at the same instant. *)
+      Monitor.Cond.signal t.wakeup)
+
+let tick t =
+  Monitor.with_monitor t.mon (fun () ->
+      t.now <- t.now + 1;
+      Monitor.Cond.signal t.wakeup)
+
+let now t = Monitor.with_monitor t.mon (fun () -> t.now)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"alarm-clock"
+    ~fragments:
+      [ ("alarm-deadline",
+         [ "while now<alarmsetting"; "wait_pri(wakeup,alarmsetting)" ]);
+        ("alarm-order", [ "wait_pri"; "rank=alarmsetting"; "cascade-signal" ])
+      ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Local_state, Meta.Direct) ]
+    ~aux_state:[ "now counter" ]
+    ~separation:Meta.Separated ()

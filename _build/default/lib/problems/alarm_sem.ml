@@ -1,0 +1,68 @@
+(** Alarm clock with semaphores: an explicit deadline heap and a private
+    semaphore per sleeper — the by-hand reconstruction of the monitor's
+    priority condition queue. *)
+
+open Sync_platform
+open Sync_taxonomy
+
+module Sem = Semaphore.Counting
+
+type sleeper = { deadline : int; gate : Sem.t }
+
+type t = {
+  e : Sem.t;
+  sleepers : sleeper Heap.t; (* earliest deadline first *)
+  mutable now : int;
+}
+
+let mechanism = "semaphore"
+
+let create () =
+  { e = Sem.create 1;
+    sleepers = Heap.create ~cmp:(fun a b -> compare a.deadline b.deadline) ();
+    now = 0 }
+
+let wakeme t ~pid n =
+  ignore pid;
+  Sem.p t.e;
+  let deadline = t.now + n in
+  if t.now >= deadline then Sem.v t.e
+  else begin
+    let s = { deadline; gate = Sem.create 0 } in
+    Heap.push t.sleepers s;
+    Sem.v t.e;
+    Sem.p s.gate
+  end
+
+let tick t =
+  Sem.p t.e;
+  t.now <- t.now + 1;
+  let rec wake_due () =
+    match Heap.peek t.sleepers with
+    | Some s when s.deadline <= t.now ->
+      ignore (Heap.pop t.sleepers);
+      Sem.v s.gate;
+      wake_due ()
+    | Some _ | None -> ()
+  in
+  wake_due ();
+  Sem.v t.e
+
+let now t =
+  Sem.p t.e;
+  let n = t.now in
+  Sem.v t.e;
+  n
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"alarm-clock"
+    ~fragments:
+      [ ("alarm-deadline", [ "deadline heap"; "private gate"; "P(gate)" ]);
+        ("alarm-order", [ "heap"; "pop-due-in-order"; "V(gate)" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Indirect); (Info.Local_state, Meta.Indirect) ]
+    ~aux_state:
+      [ "deadline heap"; "private semaphore per sleeper"; "now counter" ]
+    ~separation:Meta.Separated ()

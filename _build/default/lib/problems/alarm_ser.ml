@@ -1,0 +1,44 @@
+(** Alarm clock with a serializer: sleepers enqueue ranked by deadline and
+    guarded by their own captured deadline; each tick is a possession
+    round-trip whose release re-evaluates the earliest sleeper — the
+    automatic-signalling construct doing all of the monitor's [signal]
+    work implicitly. *)
+
+open Sync_serializer
+open Sync_taxonomy
+
+type t = {
+  ser : Serializer.t;
+  q : Serializer.Queue.t;
+  mutable now : int;
+}
+
+let mechanism = "serializer"
+
+let create () =
+  let ser = Serializer.create () in
+  { ser; q = Serializer.Queue.create ~name:"sleepers" ser; now = 0 }
+
+let wakeme t ~pid n =
+  ignore pid;
+  Serializer.with_serializer t.ser (fun () ->
+      let deadline = t.now + n in
+      if t.now < deadline then
+        Serializer.enqueue ~rank:deadline t.q ~until:(fun () ->
+            t.now >= deadline))
+
+let tick t = Serializer.with_serializer t.ser (fun () -> t.now <- t.now + 1)
+
+let now t = Serializer.with_serializer t.ser (fun () -> t.now)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"alarm-clock"
+    ~fragments:
+      [ ("alarm-deadline", [ "until now>=deadline" ]);
+        ("alarm-order", [ "enqueue rank=deadline" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Local_state, Meta.Direct) ]
+    ~aux_state:[ "now counter" ]
+    ~separation:Meta.Enforced ()

@@ -1,0 +1,59 @@
+(** Bounded buffer with a conditional critical region: the two
+    local-state constraints are literally the [when] guards — CCRs'
+    strongest category — while the in-flight flags replicate the monitor
+    solution's synchronization state by hand. *)
+
+open Sync_taxonomy
+
+type shared = {
+  capacity : int;
+  mutable items : int;
+  mutable putting : bool;
+  mutable getting : bool;
+}
+
+type t = {
+  v : shared Sync_ccr.Ccr.t;
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "ccr"
+
+let create ~capacity ~put ~get =
+  { v =
+      Sync_ccr.Ccr.create
+        { capacity; items = 0; putting = false; getting = false };
+    res_put = put; res_get = get }
+
+let put t ~pid value =
+  Sync_ccr.Ccr.region t.v
+    ~when_:(fun s -> (not s.putting) && s.items < s.capacity)
+    (fun s -> s.putting <- true);
+  t.res_put ~pid value;
+  Sync_ccr.Ccr.region t.v (fun s ->
+      s.putting <- false;
+      s.items <- s.items + 1)
+
+let get t ~pid =
+  Sync_ccr.Ccr.region t.v
+    ~when_:(fun s -> (not s.getting) && s.items > 0)
+    (fun s -> s.getting <- true);
+  let value = t.res_get ~pid in
+  Sync_ccr.Ccr.region t.v (fun s ->
+      s.items <- s.items - 1;
+      s.getting <- false);
+  value
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"bounded-buffer"
+    ~fragments:
+      [ ("bb-no-overfill", [ "when"; "items<capacity" ]);
+        ("bb-no-underflow", [ "when"; "items>0" ]);
+        ("bb-access-exclusion", [ "when"; "not putting"; "not getting" ]) ]
+    ~info_access:
+      [ (Info.Local_state, Meta.Direct); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:[ "items count"; "putting/getting in-flight flags" ]
+    ~separation:Meta.Separated ()

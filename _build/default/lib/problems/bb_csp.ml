@@ -1,0 +1,72 @@
+(** Bounded buffer in message-passing style: a buffer server process owns
+    the resource outright and communicates by rendezvous. Guarded
+    selection expresses the two local-state constraints directly as case
+    guards; access exclusion is structural (the server is sequential),
+    which is the message-passing answer to synchronization-state
+    information. *)
+
+open Sync_csp
+open Sync_taxonomy
+
+type t = {
+  net : Csp.network;
+  put_ch : (int * int) Csp.Channel.t; (* pid, value *)
+  get_ch : (int * int Csp.Channel.t) Csp.Channel.t; (* pid, reply *)
+  stop_ch : unit Csp.Channel.t;
+  server : Sync_platform.Process.t;
+}
+
+let mechanism = "csp"
+
+let create ~capacity ~put ~get =
+  let net = Csp.network () in
+  let put_ch = Csp.Channel.create ~name:"bb-put" net in
+  let get_ch = Csp.Channel.create ~name:"bb-get" net in
+  let stop_ch = Csp.Channel.create ~name:"bb-stop" net in
+  let server =
+    Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+        let items = ref 0 in
+        let running = ref true in
+        while !running do
+          let event =
+            Csp.select
+              [ Csp.guard (!items < capacity)
+                  (Csp.recv_case put_ch (fun r -> `Put r));
+                Csp.guard (!items > 0)
+                  (Csp.recv_case get_ch (fun r -> `Get r));
+                Csp.recv_case stop_ch (fun () -> `Stop) ]
+          in
+          match event with
+          | `Put (pid, v) ->
+            put ~pid v;
+            incr items
+          | `Get (pid, reply) ->
+            let v = get ~pid in
+            decr items;
+            Csp.send reply v
+          | `Stop -> running := false
+        done)
+  in
+  { net; put_ch; get_ch; stop_ch; server }
+
+let put t ~pid v = Csp.send t.put_ch (pid, v)
+
+let get t ~pid =
+  let reply = Csp.Channel.create ~name:"bb-reply" t.net in
+  Csp.send t.get_ch (pid, reply);
+  Csp.recv reply
+
+let stop t =
+  Csp.send t.stop_ch ();
+  Sync_platform.Process.join t.server
+
+let meta =
+  Meta.make ~mechanism ~problem:"bounded-buffer"
+    ~fragments:
+      [ ("bb-no-overfill", [ "guard"; "items<capacity"; "recv(put)" ]);
+        ("bb-no-underflow", [ "guard"; "items>0"; "recv(get)" ]);
+        ("bb-access-exclusion", [ "sequential"; "server"; "process" ]) ]
+    ~info_access:
+      [ (Info.Local_state, Meta.Direct); (Info.Sync_state, Meta.Direct) ]
+    ~aux_state:[ "items count mirrors buffer occupancy" ]
+    ~separation:Meta.Enforced ()

@@ -1,0 +1,54 @@
+(** The bounded-buffer problem (local-state information).
+
+    N producers [put] items into a [capacity]-slot FIFO buffer; M
+    consumers [get] them. Constraints, per the paper's taxonomy:
+
+    - exclusion: no [put] when the buffer is full (local state);
+    - exclusion: no [get] when the buffer is empty (local state);
+    - exclusion: buffer operations of the same kind must not overlap
+      (synchronization state).
+
+    Solutions receive the {e instrumented, unsynchronized} resource
+    operations at creation: [put pid v] / [get pid] perform the actual
+    (self-checking) buffer access and record the trace [Enter]/[Exit]
+    events. The solution's job is purely the synchronizer half of the
+    Section-2 structure. *)
+
+open Sync_taxonomy
+
+let spec =
+  Spec.make ~name:"bounded-buffer"
+    ~description:
+      "producers and consumers share a capacity-bounded FIFO buffer"
+    ~ops:[ "put"; "get" ]
+    ~constraints:
+      [ Constr.make ~id:"bb-no-overfill" ~cls:Constr.Exclusion
+          ~info:[ Info.Local_state ]
+          ~description:"if buffer full then exclude put";
+        Constr.make ~id:"bb-no-underflow" ~cls:Constr.Exclusion
+          ~info:[ Info.Local_state ]
+          ~description:"if buffer empty then exclude get";
+        Constr.make ~id:"bb-access-exclusion" ~cls:Constr.Exclusion
+          ~info:[ Info.Sync_state ]
+          ~description:
+            "if a put (resp. get) is in progress then exclude other puts \
+             (resp. gets)" ]
+
+module type S = sig
+  type t
+
+  val mechanism : string
+
+  val create :
+    capacity:int -> put:(pid:int -> int -> unit) -> get:(pid:int -> int) -> t
+
+  val put : t -> pid:int -> int -> unit
+
+  val get : t -> pid:int -> int
+
+  val stop : t -> unit
+  (** Release internal resources (the CSP solution's server process); a
+      no-op for the passive mechanisms. *)
+
+  val meta : Meta.t
+end

@@ -1,0 +1,78 @@
+(** Bounded buffer with a Hoare monitor, using the paper's Section-2
+    structure: the monitor (synchronizer) is released while the resource
+    operation runs. The synchronizer tracks committed items plus
+    one-in-flight flags per side, so the buffer's own contract (no two
+    concurrent puts, no overfill) is guaranteed without holding the
+    monitor across the resource call. *)
+
+open Sync_monitor
+open Sync_taxonomy
+
+type t = {
+  mon : Monitor.t;
+  notfull : Monitor.Cond.t;
+  notempty : Monitor.Cond.t;
+  capacity : int;
+  mutable items : int;    (* completed puts not yet consumed *)
+  mutable putting : bool; (* a put holds the buffer's producer side *)
+  mutable getting : bool;
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "monitor"
+
+let create ~capacity ~put ~get =
+  let mon = Monitor.create ~discipline:`Hoare () in
+  { mon; notfull = Monitor.Cond.create mon;
+    notempty = Monitor.Cond.create mon; capacity; items = 0;
+    putting = false; getting = false; res_put = put; res_get = get }
+
+let put t ~pid v =
+  Protected.access t.mon
+    ~before:(fun () ->
+      while t.putting || t.items >= t.capacity do
+        Monitor.Cond.wait t.notfull
+      done;
+      t.putting <- true)
+    ~after:(fun () ->
+      t.putting <- false;
+      t.items <- t.items + 1;
+      Monitor.Cond.signal t.notfull;
+      Monitor.Cond.signal t.notempty)
+    (fun () -> t.res_put ~pid v)
+
+let get t ~pid =
+  Protected.access t.mon
+    ~before:(fun () ->
+      while t.getting || t.items <= 0 do
+        Monitor.Cond.wait t.notempty
+      done;
+      t.getting <- true)
+    ~after:(fun () ->
+      (* Decrement only once the slot is physically free, so a waiting put
+         admitted by [items < capacity] can never overfill the buffer while
+         this get is still mid-pop. *)
+      t.items <- t.items - 1;
+      t.getting <- false;
+      Monitor.Cond.signal t.notempty;
+      Monitor.Cond.signal t.notfull)
+    (fun () -> t.res_get ~pid)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"bounded-buffer"
+    ~fragments:
+      [ ("bb-no-overfill",
+         [ "while"; "items>=capacity"; "wait(notfull)"; "signal(notfull)" ]);
+        ("bb-no-underflow",
+         [ "while"; "items<=0"; "wait(notempty)"; "signal(notempty)" ]);
+        ("bb-access-exclusion",
+         [ "while"; "putting||getting"; "flag"; "wait"; "signal" ]) ]
+    ~info_access:
+      [ (Info.Local_state, Meta.Direct); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:
+      [ "items count mirrors buffer occupancy";
+        "putting/getting in-flight flags" ]
+    ~separation:Meta.Separated ()

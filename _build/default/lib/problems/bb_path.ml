@@ -1,0 +1,48 @@
+(** Bounded buffer with path expressions:
+
+    {v path N : (put ; get) end  path put end  path get end v}
+
+    The numeric bound keeps puts at most [N] ahead of gets (Flon-Habermann
+    [10]); the two singleton paths serialize puts among themselves and
+    gets among themselves, while still allowing one put to overlap one get
+    (which the ring's contract permits). Note how the "buffer not full /
+    not empty" local-state conditions are never consulted: the path
+    encodes them as token counts — history information — which is exactly
+    the paper's observation that paths reach local state only indirectly. *)
+
+open Sync_taxonomy
+
+type t = {
+  sys : Sync_pathexpr.Pathexpr.t;
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "pathexpr"
+
+let spec_for ~capacity =
+  let open Sync_pathexpr.Ast in
+  [ Bounded (capacity, Seq [ Op "put"; Op "get" ]); Op "put"; Op "get" ]
+
+let create ~capacity ~put ~get =
+  { sys = Sync_pathexpr.Pathexpr.compile (spec_for ~capacity);
+    res_put = put; res_get = get }
+
+let put t ~pid v =
+  Sync_pathexpr.Pathexpr.run t.sys "put" (fun () -> t.res_put ~pid v)
+
+let get t ~pid = Sync_pathexpr.Pathexpr.run t.sys "get" (fun () -> t.res_get ~pid)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"bounded-buffer"
+    ~fragments:
+      [ ("bb-no-overfill", [ "path"; "N:(put;get)"; "end" ]);
+        ("bb-no-underflow", [ "path"; "N:(put;get)"; "end" ]);
+        ("bb-access-exclusion",
+         [ "path"; "put"; "end"; "path"; "get"; "end" ]) ]
+    ~info_access:
+      [ (Info.Local_state, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:[]
+    ~separation:Meta.Enforced ()

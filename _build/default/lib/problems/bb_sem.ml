@@ -1,0 +1,51 @@
+(** Bounded buffer with semaphores — Dijkstra's classic three-semaphore
+    solution: [empty] counts free slots, [full] counts items, [mutex]
+    serializes buffer access. *)
+
+open Sync_platform
+open Sync_taxonomy
+
+type t = {
+  empty : Semaphore.Counting.t;
+  full : Semaphore.Counting.t;
+  mutex : Semaphore.Counting.t;
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "semaphore"
+
+let create ~capacity ~put ~get =
+  { empty = Semaphore.Counting.create capacity;
+    full = Semaphore.Counting.create 0;
+    mutex = Semaphore.Counting.create 1;
+    res_put = put;
+    res_get = get }
+
+let put t ~pid v =
+  Semaphore.Counting.p t.empty;
+  Semaphore.Counting.p t.mutex;
+  t.res_put ~pid v;
+  Semaphore.Counting.v t.mutex;
+  Semaphore.Counting.v t.full
+
+let get t ~pid =
+  Semaphore.Counting.p t.full;
+  Semaphore.Counting.p t.mutex;
+  let v = t.res_get ~pid in
+  Semaphore.Counting.v t.mutex;
+  Semaphore.Counting.v t.empty;
+  v
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"bounded-buffer"
+    ~fragments:
+      [ ("bb-no-overfill", [ "P(empty)"; "V(empty)" ]);
+        ("bb-no-underflow", [ "P(full)"; "V(full)" ]);
+        ("bb-access-exclusion", [ "P(mutex)"; "V(mutex)" ]) ]
+    ~info_access:
+      [ (Info.Local_state, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:[ "empty/full token counts mirror buffer occupancy" ]
+    ~separation:Meta.Separated ()

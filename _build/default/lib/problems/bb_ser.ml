@@ -1,0 +1,59 @@
+(** Bounded buffer with a serializer. The crowds replace the monitor
+    solution's in-flight flags (synchronization-state information kept by
+    the mechanism), and there is no signalling code at all: the guards
+    are re-evaluated automatically at release points. *)
+
+open Sync_serializer
+open Sync_taxonomy
+
+type t = {
+  ser : Serializer.t;
+  putq : Serializer.Queue.t;
+  getq : Serializer.Queue.t;
+  putters : Serializer.Crowd.t;
+  getters : Serializer.Crowd.t;
+  capacity : int;
+  mutable items : int; (* completed puts minus completed gets *)
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "serializer"
+
+let create ~capacity ~put ~get =
+  let ser = Serializer.create () in
+  { ser;
+    putq = Serializer.Queue.create ~name:"putq" ser;
+    getq = Serializer.Queue.create ~name:"getq" ser;
+    putters = Serializer.Crowd.create ~name:"putters" ser;
+    getters = Serializer.Crowd.create ~name:"getters" ser;
+    capacity; items = 0; res_put = put; res_get = get }
+
+let put t ~pid v =
+  Serializer.with_serializer t.ser (fun () ->
+      Serializer.enqueue t.putq ~until:(fun () ->
+          Serializer.Crowd.is_empty t.putters && t.items < t.capacity);
+      Serializer.join_crowd t.putters ~body:(fun () -> t.res_put ~pid v);
+      t.items <- t.items + 1)
+
+let get t ~pid =
+  Serializer.with_serializer t.ser (fun () ->
+      Serializer.enqueue t.getq ~until:(fun () ->
+          Serializer.Crowd.is_empty t.getters && t.items > 0);
+      let v = Serializer.join_crowd t.getters ~body:(fun () -> t.res_get ~pid) in
+      t.items <- t.items - 1;
+      v)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"bounded-buffer"
+    ~fragments:
+      [ ("bb-no-overfill", [ "enqueue(putq)"; "until"; "items<capacity" ]);
+        ("bb-no-underflow", [ "enqueue(getq)"; "until"; "items>0" ]);
+        ("bb-access-exclusion",
+         [ "empty(putters)"; "empty(getters)"; "join_crowd" ]) ]
+    ~info_access:
+      [ (Info.Local_state, Meta.Direct); (Info.Sync_state, Meta.Direct) ]
+    ~aux_state:[ "items count mirrors buffer occupancy" ]
+    ~separation:Meta.Enforced ()

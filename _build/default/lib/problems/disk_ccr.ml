@@ -1,0 +1,101 @@
+(** Disk-head scheduling with conditional critical regions.
+
+    A guard can test the waiter's own parameter against the shared state,
+    but it cannot rank itself against the {e other} waiters' parameters —
+    so, as with bare semaphores, the SCAN decision needs explicit pending
+    heaps in the shared variable, and each leaver nominates the next
+    request by id. *)
+
+open Sync_platform
+open Sync_taxonomy
+
+type pending = { dest : int; id : int }
+
+type direction = Up | Down
+
+type shared = {
+  upq : pending Heap.t;
+  downq : pending Heap.t;
+  mutable next_id : int;
+  mutable granted : int option; (* id nominated by the last leaver *)
+  mutable busy : bool;
+  mutable headpos : int;
+  mutable direction : direction;
+}
+
+type t = { v : shared Sync_ccr.Ccr.t; res_access : pid:int -> int -> unit }
+
+let mechanism = "ccr"
+
+let create ~tracks ~access =
+  ignore tracks;
+  { v =
+      Sync_ccr.Ccr.create
+        { upq = Heap.create ~cmp:(fun a b -> compare a.dest b.dest) ();
+          downq = Heap.create ~cmp:(fun a b -> compare b.dest a.dest) ();
+          next_id = 0; granted = None; busy = false; headpos = 0;
+          direction = Up };
+    res_access = access }
+
+let access t ~pid track =
+  let immediate, id =
+    Sync_ccr.Ccr.region t.v (fun s ->
+        let id = s.next_id in
+        s.next_id <- id + 1;
+        if not s.busy then begin
+          s.busy <- true;
+          s.headpos <- track;
+          (true, id)
+        end
+        else begin
+          let entry = { dest = track; id } in
+          if s.headpos < track || (s.headpos = track && s.direction = Up)
+          then Heap.push s.upq entry
+          else Heap.push s.downq entry;
+          (false, id)
+        end)
+  in
+  if not immediate then
+    Sync_ccr.Ccr.region t.v
+      ~when_:(fun s -> s.granted = Some id)
+      (fun s -> s.granted <- None);
+  Fun.protect
+    ~finally:(fun () ->
+      Sync_ccr.Ccr.region t.v (fun s ->
+          let next =
+            match s.direction with
+            | Up -> (
+              match Heap.pop s.upq with
+              | Some w -> Some w
+              | None ->
+                s.direction <- Down;
+                Heap.pop s.downq)
+            | Down -> (
+              match Heap.pop s.downq with
+              | Some w -> Some w
+              | None ->
+                s.direction <- Up;
+                Heap.pop s.upq)
+          in
+          match next with
+          | Some w ->
+            s.headpos <- w.dest;
+            s.granted <- Some w.id
+          | None -> s.busy <- false))
+    (fun () -> t.res_access ~pid track)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"disk-scheduler"
+    ~fragments:
+      [ ("disk-exclusion", [ "busy"; "flag"; "when granted=id" ]);
+        ("disk-scan-order",
+         [ "upq"; "downq"; "heaps"; "leaver-nominates-next"; "headpos";
+           "direction" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:
+      [ "pending-request heaps ordered by track"; "granted-id cell";
+        "headpos"; "direction"; "busy flag" ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,110 @@
+(** Disk-head scheduling in message-passing style: the scheduler process
+    reads the track straight out of the request message — parameters are
+    first-class for a message-passing mechanism. Pending requests are
+    held in heaps inside the server; grants are issued in SCAN order when
+    the disk falls idle. *)
+
+open Sync_csp
+open Sync_platform
+open Sync_taxonomy
+
+type direction = Up | Down
+
+type pending = { dest : int; grant : unit Csp.Channel.t }
+
+type t = {
+  net : Csp.network;
+  req : pending Csp.Channel.t;
+  done_ch : unit Csp.Channel.t;
+  stop_ch : unit Csp.Channel.t;
+  server : Process.t;
+  res_access : pid:int -> int -> unit;
+}
+
+let mechanism = "csp"
+
+let create ~tracks ~access =
+  ignore tracks;
+  let net = Csp.network () in
+  let req = Csp.Channel.create ~name:"disk-req" net in
+  let done_ch = Csp.Channel.create ~name:"disk-done" net in
+  let stop_ch = Csp.Channel.create ~name:"disk-stop" net in
+  let server =
+    Process.spawn ~backend:`Thread (fun () ->
+        let upq = Heap.create ~cmp:(fun a b -> compare a.dest b.dest) () in
+        let downq = Heap.create ~cmp:(fun a b -> compare b.dest a.dest) () in
+        let headpos = ref 0 in
+        let direction = ref Up in
+        let busy = ref false in
+        let running = ref true in
+        let enqueue p =
+          if !headpos < p.dest || (!headpos = p.dest && !direction = Up) then
+            Heap.push upq p
+          else Heap.push downq p
+        in
+        let dispatch () =
+          let next =
+            match !direction with
+            | Up -> (
+              match Heap.pop upq with
+              | Some w -> Some w
+              | None ->
+                direction := Down;
+                Heap.pop downq)
+            | Down -> (
+              match Heap.pop downq with
+              | Some w -> Some w
+              | None ->
+                direction := Up;
+                Heap.pop upq)
+          in
+          match next with
+          | Some w ->
+            headpos := w.dest;
+            busy := true;
+            Csp.send w.grant ()
+          | None -> busy := false
+        in
+        while !running || !busy do
+          match
+            Csp.select
+              [ Csp.recv_case done_ch (fun () -> `Done);
+                Csp.recv_case req (fun p -> `Req p);
+                Csp.guard !running (Csp.recv_case stop_ch (fun () -> `Stop)) ]
+          with
+          | `Req p ->
+            if !busy then enqueue p
+            else begin
+              headpos := p.dest;
+              busy := true;
+              Csp.send p.grant ()
+            end
+          | `Done -> dispatch ()
+          | `Stop -> running := false
+        done)
+  in
+  { net; req; done_ch; stop_ch; server; res_access = access }
+
+let access t ~pid track =
+  let grant = Csp.Channel.create ~name:"disk-grant" t.net in
+  Csp.send t.req { dest = track; grant };
+  Csp.recv grant;
+  Fun.protect
+    ~finally:(fun () -> Csp.send t.done_ch ())
+    (fun () -> t.res_access ~pid track)
+
+let stop t =
+  Csp.send t.stop_ch ();
+  Process.join t.server
+
+let meta =
+  Meta.make ~mechanism ~problem:"disk-scheduler"
+    ~fragments:
+      [ ("disk-exclusion", [ "busy"; "flag"; "grant"; "rendezvous" ]);
+        ("disk-scan-order",
+         [ "heaps"; "dispatch-on-done"; "track"; "in"; "message" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:
+      [ "pending-request heaps"; "headpos"; "direction"; "busy flag" ]
+    ~separation:Meta.Enforced ()

@@ -1,0 +1,30 @@
+(** FCFS disk access — the {e baseline} the elevator is measured against
+    (bench E-disk: arm travel under SCAN vs arrival order). Not a SCAN
+    solution; it deliberately ignores the track parameter. *)
+
+open Sync_platform
+open Sync_taxonomy
+
+type t = { sem : Semaphore.Counting.t; res_access : pid:int -> int -> unit }
+
+let mechanism = "semaphore-fcfs-baseline"
+
+let create ~tracks ~access =
+  ignore tracks;
+  { sem = Semaphore.Counting.create ~fairness:`Strong 1; res_access = access }
+
+let access t ~pid track =
+  Semaphore.Counting.p t.sem;
+  Fun.protect
+    ~finally:(fun () -> Semaphore.Counting.v t.sem)
+    (fun () -> t.res_access ~pid track)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"disk-scheduler" ~variant:"fcfs-baseline"
+    ~fragments:
+      [ ("disk-exclusion", [ "P(s)"; "V(s)" ]); ("disk-scan-order", []) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Unsupported); (Info.Sync_state, Meta.Indirect) ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,43 @@
+(** The disk-head scheduler problem (request-parameter information), after
+    Hoare'74's monitor paper.
+
+    Processes request access to a track; the scheduler grants exclusive
+    access in {e elevator (SCAN)} order: while sweeping up, the pending
+    request with the nearest higher track is served next; when none
+    remain, the sweep reverses. The priority constraint is conditioned on
+    the {b argument} of the request — the information category monitors
+    serve with priority-queue condition waits and that classic path
+    expressions cannot reach at all. *)
+
+open Sync_taxonomy
+
+let spec =
+  Spec.make ~name:"disk-scheduler"
+    ~description:
+      "grant exclusive disk access in elevator order over requested tracks"
+    ~ops:[ "access" ]
+    ~constraints:
+      [ Constr.make ~id:"disk-exclusion" ~cls:Constr.Exclusion
+          ~info:[ Info.Sync_state ]
+          ~description:"if an access is in progress then exclude all";
+        Constr.make ~id:"disk-scan-order" ~cls:Constr.Priority
+          ~info:[ Info.Parameters ]
+          ~description:
+            "if A's track is nearer in the current sweep direction than \
+             B's then A has priority over B" ]
+
+module type S = sig
+  type t
+
+  val mechanism : string
+
+  val create : tracks:int -> access:(pid:int -> int -> unit) -> t
+  (** [access pid track] is the instrumented resource operation; the
+      solution must call it under exclusion, in SCAN order. *)
+
+  val access : t -> pid:int -> int -> unit
+
+  val stop : t -> unit
+
+  val meta : Meta.t
+end

@@ -1,0 +1,75 @@
+(** Hoare'74's disk-head scheduler monitor, verbatim in structure: two
+    priority-wait conditions, one per sweep direction. The priority
+    constraint over the request {e parameter} maps directly onto the rank
+    argument of [wait_pri] — the construct the paper credits monitors
+    with ("priority queues provide a means for using most needed
+    information from arguments"). *)
+
+open Sync_monitor
+open Sync_taxonomy
+
+type direction = Up | Down
+
+type t = {
+  mon : Monitor.t;
+  upsweep : Monitor.Cond.t;   (* rank = destination track *)
+  downsweep : Monitor.Cond.t; (* rank = cylmax - destination track *)
+  cylmax : int;
+  mutable headpos : int;
+  mutable direction : direction;
+  mutable busy : bool;
+  res_access : pid:int -> int -> unit;
+}
+
+let mechanism = "monitor"
+
+let create ~tracks ~access =
+  let mon = Monitor.create ~discipline:`Hoare () in
+  { mon; upsweep = Monitor.Cond.create mon;
+    downsweep = Monitor.Cond.create mon; cylmax = tracks - 1; headpos = 0;
+    direction = Up; busy = false; res_access = access }
+
+let request t dest =
+  if t.busy then begin
+    if t.headpos < dest || (t.headpos = dest && t.direction = Up) then
+      Monitor.Cond.wait_pri t.upsweep dest
+    else Monitor.Cond.wait_pri t.downsweep (t.cylmax - dest)
+  end;
+  t.busy <- true;
+  t.headpos <- dest
+
+let release t =
+  t.busy <- false;
+  match t.direction with
+  | Up ->
+    if Monitor.Cond.queue t.upsweep then Monitor.Cond.signal t.upsweep
+    else begin
+      t.direction <- Down;
+      Monitor.Cond.signal t.downsweep
+    end
+  | Down ->
+    if Monitor.Cond.queue t.downsweep then Monitor.Cond.signal t.downsweep
+    else begin
+      t.direction <- Up;
+      Monitor.Cond.signal t.upsweep
+    end
+
+let access t ~pid track =
+  Protected.access t.mon
+    ~before:(fun () -> request t track)
+    ~after:(fun () -> release t)
+    (fun () -> t.res_access ~pid track)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"disk-scheduler"
+    ~fragments:
+      [ ("disk-exclusion", [ "busy"; "flag"; "wait_pri"; "signal" ]);
+        ("disk-scan-order",
+         [ "wait_pri(upsweep,dest)"; "wait_pri(downsweep,cylmax-dest)";
+           "direction"; "headpos" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:[ "headpos"; "direction"; "busy flag" ]
+    ~separation:Meta.Separated ()

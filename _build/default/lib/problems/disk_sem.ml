@@ -1,0 +1,96 @@
+(** Disk-head scheduling with bare semaphores: everything the monitor got
+    from priority condition queues must be rebuilt by hand — explicit
+    pending heaps, a private semaphore per waiting request, and a
+    hand-rolled dispatch at release. The bulk of this module {e is} the
+    paper's point about parameter information and low-level mechanisms. *)
+
+open Sync_platform
+open Sync_taxonomy
+
+module Sem = Semaphore.Counting
+
+type direction = Up | Down
+
+type waiting = { dest : int; gate : Sem.t }
+
+type t = {
+  e : Sem.t; (* protects all scheduler state *)
+  upq : waiting Heap.t;   (* ascending dest *)
+  downq : waiting Heap.t; (* descending dest *)
+  mutable headpos : int;
+  mutable direction : direction;
+  mutable busy : bool;
+  res_access : pid:int -> int -> unit;
+}
+
+let mechanism = "semaphore"
+
+let create ~tracks ~access =
+  ignore tracks;
+  { e = Sem.create 1;
+    upq = Heap.create ~cmp:(fun a b -> compare a.dest b.dest) ();
+    downq = Heap.create ~cmp:(fun a b -> compare b.dest a.dest) ();
+    headpos = 0; direction = Up; busy = false; res_access = access }
+
+let request t dest =
+  Sem.p t.e;
+  if not t.busy then begin
+    t.busy <- true;
+    t.headpos <- dest;
+    Sem.v t.e
+  end
+  else begin
+    let w = { dest; gate = Sem.create 0 } in
+    if t.headpos < dest || (t.headpos = dest && t.direction = Up) then
+      Heap.push t.upq w
+    else Heap.push t.downq w;
+    Sem.v t.e;
+    Sem.p w.gate (* headpos/direction updated by the releaser *)
+  end
+
+let release t =
+  Sem.p t.e;
+  let next =
+    match t.direction with
+    | Up -> (
+      match Heap.pop t.upq with
+      | Some w -> Some w
+      | None ->
+        t.direction <- Down;
+        Heap.pop t.downq)
+    | Down -> (
+      match Heap.pop t.downq with
+      | Some w -> Some w
+      | None ->
+        t.direction <- Up;
+        Heap.pop t.upq)
+  in
+  (match next with
+  | Some w ->
+    t.headpos <- w.dest;
+    Sem.v w.gate
+  | None -> t.busy <- false);
+  Sem.v t.e
+
+let access t ~pid track =
+  request t track;
+  Fun.protect
+    ~finally:(fun () -> release t)
+    (fun () -> t.res_access ~pid track)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"disk-scheduler"
+    ~fragments:
+      [ ("disk-exclusion", [ "busy"; "flag"; "private"; "gate"; "P(gate)" ]);
+        ("disk-scan-order",
+         [ "upq"; "downq"; "heaps"; "dispatch-at-release"; "headpos";
+           "direction" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:
+      [ "pending-request heaps ordered by track";
+        "private semaphore per waiting request"; "headpos"; "direction";
+        "busy flag" ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,66 @@
+(** Disk-head scheduling with a serializer: priority enqueue carries the
+    track parameter as the rank (ascending for the up queue, inverted for
+    the down queue); guards pick the queue matching the sweep direction,
+    flipping the sweep when its queue drains. *)
+
+open Sync_serializer
+open Sync_taxonomy
+
+type direction = Up | Down
+
+type t = {
+  ser : Serializer.t;
+  upq : Serializer.Queue.t;
+  downq : Serializer.Queue.t;
+  users : Serializer.Crowd.t;
+  cylmax : int;
+  mutable headpos : int;
+  mutable direction : direction;
+  res_access : pid:int -> int -> unit;
+}
+
+let mechanism = "serializer"
+
+let create ~tracks ~access =
+  let ser = Serializer.create () in
+  { ser;
+    upq = Serializer.Queue.create ~name:"upsweep" ser;
+    downq = Serializer.Queue.create ~name:"downsweep" ser;
+    users = Serializer.Crowd.create ~name:"users" ser;
+    cylmax = tracks - 1; headpos = 0; direction = Up; res_access = access }
+
+let access t ~pid track =
+  Serializer.with_serializer t.ser (fun () ->
+      (* Choose my sweep while holding possession, as the monitor solution
+         does on entry. *)
+      let up =
+        t.headpos < track || (t.headpos = track && t.direction = Up)
+      in
+      let queue = if up then t.upq else t.downq in
+      let rank = if up then track else t.cylmax - track in
+      let guard () =
+        Serializer.Crowd.is_empty t.users
+        &&
+        match t.direction with
+        | Up -> up || Serializer.Queue.guard_is_empty t.upq
+        | Down -> (not up) || Serializer.Queue.guard_is_empty t.downq
+      in
+      Serializer.enqueue ~rank queue ~until:guard;
+      (* Admitted: adopt my sweep and position. *)
+      t.direction <- (if up then Up else Down);
+      t.headpos <- track;
+      Serializer.join_crowd t.users ~body:(fun () -> t.res_access ~pid track))
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"disk-scheduler"
+    ~fragments:
+      [ ("disk-exclusion", [ "empty(users)"; "join_crowd" ]);
+        ("disk-scan-order",
+         [ "enqueue rank=track"; "enqueue rank=cylmax-track";
+           "guard direction"; "guard empty(other-sweep)" ]) ]
+    ~info_access:
+      [ (Info.Parameters, Meta.Direct); (Info.Sync_state, Meta.Direct) ]
+    ~aux_state:[ "headpos"; "direction" ]
+    ~separation:Meta.Enforced ()

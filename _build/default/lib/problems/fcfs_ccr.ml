@@ -1,0 +1,40 @@
+(** FCFS with a conditional critical region: CCR wakeup is an unordered
+    broadcast-and-recheck, so request-time information has to be encoded
+    as an explicit ticket pair in the shared variable — the textbook
+    illustration that CCRs reach request order only indirectly. *)
+
+open Sync_taxonomy
+
+type shared = { mutable next : int; mutable serving : int }
+
+type t = { v : shared Sync_ccr.Ccr.t; res_use : pid:int -> unit }
+
+let mechanism = "ccr"
+
+let create ~use =
+  { v = Sync_ccr.Ccr.create { next = 0; serving = 0 }; res_use = use }
+
+let use t ~pid =
+  let ticket =
+    Sync_ccr.Ccr.region t.v (fun s ->
+        let n = s.next in
+        s.next <- n + 1;
+        n)
+  in
+  Sync_ccr.Ccr.await t.v (fun s -> s.serving = ticket);
+  Fun.protect
+    ~finally:(fun () ->
+      Sync_ccr.Ccr.region t.v (fun s -> s.serving <- s.serving + 1))
+    (fun () -> t.res_use ~pid)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"fcfs"
+    ~fragments:
+      [ ("fcfs-exclusion", [ "when"; "serving=ticket" ]);
+        ("fcfs-order", [ "ticket"; "serving"; "counters" ]) ]
+    ~info_access:
+      [ (Info.Sync_state, Meta.Indirect); (Info.Request_time, Meta.Indirect) ]
+    ~aux_state:[ "ticket dispenser"; "serving counter" ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,54 @@
+(** FCFS in message-passing style: a channel {e is} a FIFO request queue,
+    so the server grants by receiving — arrival order falls out of the
+    communication primitive. *)
+
+open Sync_csp
+open Sync_taxonomy
+
+type t = {
+  net : Csp.network;
+  req : (int * unit Csp.Channel.t) Csp.Channel.t;
+  stop_ch : unit Csp.Channel.t;
+  server : Sync_platform.Process.t;
+}
+
+let mechanism = "csp"
+
+let create ~use =
+  let net = Csp.network () in
+  let req = Csp.Channel.create ~name:"fcfs-req" net in
+  let stop_ch = Csp.Channel.create ~name:"fcfs-stop" net in
+  let server =
+    Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+        let running = ref true in
+        while !running do
+          match
+            Csp.select
+              [ Csp.recv_case req (fun r -> `Req r);
+                Csp.recv_case stop_ch (fun () -> `Stop) ]
+          with
+          | `Req (pid, done_ch) ->
+            use ~pid;
+            Csp.send done_ch ()
+          | `Stop -> running := false
+        done)
+  in
+  { net; req; stop_ch; server }
+
+let use t ~pid =
+  let done_ch = Csp.Channel.create ~name:"fcfs-done" t.net in
+  Csp.send t.req (pid, done_ch);
+  Csp.recv done_ch
+
+let stop t =
+  Csp.send t.stop_ch ();
+  Sync_platform.Process.join t.server
+
+let meta =
+  Meta.make ~mechanism ~problem:"fcfs"
+    ~fragments:
+      [ ("fcfs-exclusion", [ "sequential"; "server"; "process" ]);
+        ("fcfs-order", [ "channel"; "FIFO" ]) ]
+    ~info_access:
+      [ (Info.Sync_state, Meta.Direct); (Info.Request_time, Meta.Direct) ]
+    ~separation:Meta.Enforced ()

@@ -1,0 +1,37 @@
+(** FCFS with a sequencer and one eventcount: ticket then
+    [await done ticket] — arrival order and exclusion in two lines, the
+    request-time category expressed as directly as the mechanism ever
+    gets. *)
+
+open Sync_platform.Eventcount
+open Sync_taxonomy
+
+type t = {
+  arrivals : Sequencer.t;
+  completed : Eventcount.t;
+  res_use : pid:int -> unit;
+}
+
+let mechanism = "eventcount"
+
+let create ~use =
+  { arrivals = Sequencer.create (); completed = Eventcount.create ();
+    res_use = use }
+
+let use t ~pid =
+  let ticket = Sequencer.ticket t.arrivals in
+  Eventcount.await t.completed ticket;
+  Fun.protect
+    ~finally:(fun () -> Eventcount.advance t.completed)
+    (fun () -> t.res_use ~pid)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"fcfs"
+    ~fragments:
+      [ ("fcfs-exclusion", [ "await(completed,ticket)" ]);
+        ("fcfs-order", [ "sequencer"; "ticket" ]) ]
+    ~info_access:
+      [ (Info.Sync_state, Meta.Indirect); (Info.Request_time, Meta.Direct) ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,77 @@
+(** Workload driver and checker for the FCFS problem.
+
+    Checking grant order against request order from a free-running
+    concurrent trace is unsound (recording and queue arrival can be
+    reordered by scheduling noise), so the driver builds a deterministic
+    queue instead: a distinguished {e holder} occupies the resource
+    (its resource body blocks on a latch), the driver then launches the
+    contenders one at a time — recording each [Request] itself, in launch
+    order, and giving each a settle delay to park — and finally releases
+    the holder. The checker requires the drain order to equal the launch
+    order, plus mutual exclusion from both the trace and the resource's
+    own overlap check. *)
+
+open Sync_platform
+
+type report = { trace : Trace.event list }
+
+let holder_pid = 999
+
+let run (module S : Fcfs_intf.S) ?(users = 5) ?(rounds = 3) ?(work = 100)
+    ?(settle = 0.01) () =
+  let trace = Trace.create () in
+  let busy = Atomic.make false in
+  let gate = ref (Latch.create 1) in
+  let res_use ~pid =
+    Trace.record trace ~pid ~op:"use" ~phase:Trace.Enter ();
+    if not (Atomic.compare_and_set busy false true) then
+      raise (Sync_resources.Busywork.Ill_synchronized "fcfs: overlap");
+    if pid = holder_pid then Latch.wait !gate
+    else Sync_resources.Busywork.spin work;
+    Atomic.set busy false;
+    Trace.record trace ~pid ~op:"use" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~use:res_use in
+  Fun.protect
+    ~finally:(fun () -> S.stop t)
+    (fun () ->
+      for _ = 1 to rounds do
+        gate := Latch.create 1;
+        let holder = Process.spawn ~backend:`Thread (fun () ->
+            S.use t ~pid:holder_pid)
+        in
+        Thread.delay settle;
+        let contenders =
+          List.init users (fun pid ->
+              Trace.record trace ~pid ~op:"use" ~phase:Trace.Request ();
+              let c = Process.spawn ~backend:`Thread (fun () ->
+                  S.use t ~pid)
+              in
+              Thread.delay settle;
+              c)
+        in
+        Latch.arrive !gate;
+        Process.join holder;
+        List.iter Process.join contenders
+      done);
+  { trace = Trace.events trace }
+
+let check report =
+  let ivls = Ivl.intervals report.trace in
+  match Ivl.exclusion_violations ~conflicts:(fun _ _ -> true) ivls with
+  | _ :: _ -> Error "mutual exclusion violated"
+  | [] -> (
+    match Ivl.fifo_violations ivls with
+    | [] -> Ok ()
+    | (a, b) :: _ ->
+      Error
+        (Printf.sprintf
+           "FCFS violated: pid %d (request %d) granted before pid %d \
+            (request %d)"
+           a.Ivl.pid a.Ivl.request b.Ivl.pid b.Ivl.request))
+
+let verify ?users ?rounds ?settle (module S : Fcfs_intf.S) =
+  match run (module S) ?users ?rounds ?settle () with
+  | report -> check report
+  | exception Sync_resources.Busywork.Ill_synchronized msg ->
+    Error ("resource contract violated: " ^ msg)

@@ -1,0 +1,36 @@
+(** The first-come-first-served problem (request-time information).
+
+    A single exclusive resource must be granted in strict arrival order —
+    the pure request-time scheme of the paper's test set (Section 4.1,
+    footnote 2): no information about the operation, its parameters, or
+    the resource state is involved, {e only} the order in which requests
+    were made. *)
+
+open Sync_taxonomy
+
+let spec =
+  Spec.make ~name:"fcfs"
+    ~description:"an exclusive resource granted in strict request order"
+    ~ops:[ "use" ]
+    ~constraints:
+      [ Constr.make ~id:"fcfs-exclusion" ~cls:Constr.Exclusion
+          ~info:[ Info.Sync_state ]
+          ~description:"if a process is using the resource then exclude all";
+        Constr.make ~id:"fcfs-order" ~cls:Constr.Priority
+          ~info:[ Info.Request_time ]
+          ~description:
+            "if A requested before B then A has priority over B" ]
+
+module type S = sig
+  type t
+
+  val mechanism : string
+
+  val create : use:(pid:int -> unit) -> t
+
+  val use : t -> pid:int -> unit
+
+  val stop : t -> unit
+
+  val meta : Meta.t
+end

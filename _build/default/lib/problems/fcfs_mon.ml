@@ -1,0 +1,45 @@
+(** FCFS with a Hoare monitor: the FIFO condition queue carries the
+    request-time information; Hoare signalling (no barging) keeps the
+    grant order exact. *)
+
+open Sync_monitor
+open Sync_taxonomy
+
+type t = {
+  mon : Monitor.t;
+  turn : Monitor.Cond.t;
+  mutable busy : bool;
+  res_use : pid:int -> unit;
+}
+
+let mechanism = "monitor"
+
+let create ~use =
+  let mon = Monitor.create ~discipline:`Hoare () in
+  { mon; turn = Monitor.Cond.create mon; busy = false; res_use = use }
+
+let use t ~pid =
+  Protected.access t.mon
+    ~before:(fun () ->
+      (* Wait whenever the resource is busy OR somebody queued earlier is
+         still waiting — otherwise a newcomer finding the resource just
+         freed could overtake the queue. Under Hoare signalling the
+         signalled head proceeds without re-queuing. *)
+      if t.busy || Monitor.Cond.queue t.turn then Monitor.Cond.wait t.turn;
+      t.busy <- true)
+    ~after:(fun () ->
+      t.busy <- false;
+      Monitor.Cond.signal t.turn)
+    (fun () -> t.res_use ~pid)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"fcfs"
+    ~fragments:
+      [ ("fcfs-exclusion", [ "busy"; "flag"; "wait(turn)"; "signal(turn)" ]);
+        ("fcfs-order", [ "condition"; "queue"; "FIFO"; "queue(turn)" ]) ]
+    ~info_access:
+      [ (Info.Sync_state, Meta.Indirect); (Info.Request_time, Meta.Direct) ]
+    ~aux_state:[ "busy flag" ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,32 @@
+(** FCFS with a strong (queued) semaphore: arrival order {e is} the grant
+    order, so the whole scheme is one P/V pair. The request-time
+    information lives entirely in the semaphore's blocked queue — which is
+    why the scheme collapses if the semaphore is weak (see the fairness
+    ablation bench). *)
+
+open Sync_platform
+open Sync_taxonomy
+
+type t = { sem : Semaphore.Counting.t; res_use : pid:int -> unit }
+
+let mechanism = "semaphore"
+
+let create ~use =
+  { sem = Semaphore.Counting.create ~fairness:`Strong 1; res_use = use }
+
+let use t ~pid =
+  Semaphore.Counting.p t.sem;
+  Fun.protect
+    ~finally:(fun () -> Semaphore.Counting.v t.sem)
+    (fun () -> t.res_use ~pid)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"fcfs"
+    ~fragments:
+      [ ("fcfs-exclusion", [ "P(s)"; "V(s)" ]);
+        ("fcfs-order", [ "strong"; "semaphore"; "queue" ]) ]
+    ~info_access:
+      [ (Info.Sync_state, Meta.Indirect); (Info.Request_time, Meta.Direct) ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,37 @@
+(** FCFS with a serializer: the single event queue is FIFO by
+    construction, so the priority constraint costs nothing beyond naming
+    the queue; the guard only expresses the exclusion constraint. *)
+
+open Sync_serializer
+open Sync_taxonomy
+
+type t = {
+  ser : Serializer.t;
+  q : Serializer.Queue.t;
+  users : Serializer.Crowd.t;
+  res_use : pid:int -> unit;
+}
+
+let mechanism = "serializer"
+
+let create ~use =
+  let ser = Serializer.create () in
+  { ser; q = Serializer.Queue.create ~name:"arrivals" ser;
+    users = Serializer.Crowd.create ~name:"users" ser; res_use = use }
+
+let use t ~pid =
+  Serializer.with_serializer t.ser (fun () ->
+      Serializer.enqueue t.q ~until:(fun () ->
+          Serializer.Crowd.is_empty t.users);
+      Serializer.join_crowd t.users ~body:(fun () -> t.res_use ~pid))
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"fcfs"
+    ~fragments:
+      [ ("fcfs-exclusion", [ "until"; "empty(users)"; "join_crowd" ]);
+        ("fcfs-order", [ "queue"; "FIFO" ]) ]
+    ~info_access:
+      [ (Info.Sync_state, Meta.Direct); (Info.Request_time, Meta.Direct) ]
+    ~separation:Meta.Enforced ()

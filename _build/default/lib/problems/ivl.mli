@@ -1,0 +1,41 @@
+(** Trace-interval analysis: the machinery behind every checker.
+
+    Workloads record [Request]/[Enter]/[Exit] triples per operation
+    invocation (one outstanding invocation per pid at a time). This module
+    reassembles them into intervals ordered by grant ([Enter]) time and
+    provides the generic violation counters the per-problem checkers are
+    built from. All "time" is the trace's global sequence number, so the
+    analyses are deterministic given a trace. *)
+
+type interval = {
+  pid : int;
+  op : string;
+  arg : int;       (** argument recorded at [Enter] *)
+  ret : int;       (** argument recorded at [Exit] (result, or same arg) *)
+  request : int;   (** seq of the [Request] event, [-1] if none recorded *)
+  enter : int;
+  exit_ : int;
+}
+
+val intervals : Sync_platform.Trace.event list -> interval list
+(** In [Enter] order. Incomplete invocations (no [Exit]) are dropped.
+    @raise Invalid_argument on a malformed trace (e.g. [Exit] without
+    [Enter] for that pid). *)
+
+val overlap : interval -> interval -> bool
+(** Do the two grant windows overlap in trace order? *)
+
+val exclusion_violations :
+  conflicts:(string -> string -> bool) -> interval list -> (interval * interval) list
+(** All pairs of overlapping intervals whose operations conflict. *)
+
+val max_concurrency : op:string -> interval list -> int
+(** Largest number of simultaneously-active intervals of [op]. *)
+
+val fifo_violations : interval list -> (interval * interval) list
+(** Pairs granted out of request order: [b.request < a.request] but
+    [a.enter < b.enter]. Only meaningful for staggered workloads whose
+    request gaps dominate recording skew. *)
+
+val grant_order : op:string -> interval list -> int list
+(** The [arg]s of [op]'s intervals in grant order. *)

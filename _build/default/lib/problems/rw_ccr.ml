@@ -1,0 +1,201 @@
+(** Readers-writers with conditional critical regions.
+
+    CCR wakeup is guard-driven (broadcast + re-check), so — unlike
+    semaphore queues — the {e guards themselves} decide priorities at a
+    release point, deterministically: putting "no waiting readers" in the
+    writer's guard yields strict readers-priority without any queue
+    machinery. The cost is that every policy ingredient (waiting counts,
+    tickets) is auxiliary state in the shared variable. *)
+
+open Sync_taxonomy
+
+module Readers_prio = struct
+  type shared = {
+    mutable readers : int;
+    mutable writing : bool;
+    mutable waiting_readers : int;
+  }
+
+  type t = {
+    v : shared Sync_ccr.Ccr.t;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "ccr"
+
+  let policy = Rw_intf.Readers_priority
+
+  let create ~read ~write =
+    { v =
+        Sync_ccr.Ccr.create
+          { readers = 0; writing = false; waiting_readers = 0 };
+      res_read = read; res_write = write }
+
+  let read t ~pid =
+    (* Announce interest first, so the writer guard sees us even while a
+       write is in progress. *)
+    Sync_ccr.Ccr.region t.v (fun s ->
+        s.waiting_readers <- s.waiting_readers + 1);
+    Sync_ccr.Ccr.region t.v
+      ~when_:(fun s -> not s.writing)
+      (fun s ->
+        s.waiting_readers <- s.waiting_readers - 1;
+        s.readers <- s.readers + 1);
+    let v = t.res_read ~pid in
+    Sync_ccr.Ccr.region t.v (fun s -> s.readers <- s.readers - 1);
+    v
+
+  let write t ~pid =
+    Sync_ccr.Ccr.region t.v
+      ~when_:(fun s ->
+        (not s.writing) && s.readers = 0 && s.waiting_readers = 0)
+      (fun s -> s.writing <- true);
+    t.res_write ~pid;
+    Sync_ccr.Ccr.region t.v (fun s -> s.writing <- false)
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "when not writing"; "when readers=0"; "readers"; "writing" ]);
+          ("rw-priority", [ "waiting_readers"; "in"; "writer"; "guard" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect)
+        ]
+      ~aux_state:
+        [ "readers count"; "writing flag"; "waiting_readers count" ]
+      ~separation:Meta.Separated ()
+end
+
+module Writers_prio = struct
+  type shared = {
+    mutable readers : int;
+    mutable writing : bool;
+    mutable waiting_writers : int;
+  }
+
+  type t = {
+    v : shared Sync_ccr.Ccr.t;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "ccr"
+
+  let policy = Rw_intf.Writers_priority
+
+  let create ~read ~write =
+    { v =
+        Sync_ccr.Ccr.create
+          { readers = 0; writing = false; waiting_writers = 0 };
+      res_read = read; res_write = write }
+
+  let read t ~pid =
+    Sync_ccr.Ccr.region t.v
+      ~when_:(fun s -> (not s.writing) && s.waiting_writers = 0)
+      (fun s -> s.readers <- s.readers + 1);
+    let v = t.res_read ~pid in
+    Sync_ccr.Ccr.region t.v (fun s -> s.readers <- s.readers - 1);
+    v
+
+  let write t ~pid =
+    Sync_ccr.Ccr.region t.v (fun s ->
+        s.waiting_writers <- s.waiting_writers + 1);
+    Sync_ccr.Ccr.region t.v
+      ~when_:(fun s -> (not s.writing) && s.readers = 0)
+      (fun s ->
+        s.waiting_writers <- s.waiting_writers - 1;
+        s.writing <- true);
+    t.res_write ~pid;
+    Sync_ccr.Ccr.region t.v (fun s -> s.writing <- false)
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "when not writing"; "when readers=0"; "readers"; "writing" ]);
+          ("rw-priority", [ "waiting_writers"; "in"; "reader"; "guard" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect)
+        ]
+      ~aux_state:
+        [ "readers count"; "writing flag"; "waiting_writers count" ]
+      ~separation:Meta.Separated ()
+end
+
+module Fcfs = struct
+  type shared = {
+    mutable next : int;
+    mutable serving : int;
+    mutable readers : int;
+    mutable writing : bool;
+  }
+
+  type t = {
+    v : shared Sync_ccr.Ccr.t;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "ccr"
+
+  let policy = Rw_intf.Fcfs
+
+  let create ~read ~write =
+    { v =
+        Sync_ccr.Ccr.create
+          { next = 0; serving = 0; readers = 0; writing = false };
+      res_read = read; res_write = write }
+
+  let take_ticket t =
+    Sync_ccr.Ccr.region t.v (fun s ->
+        let n = s.next in
+        s.next <- n + 1;
+        n)
+
+  let read t ~pid =
+    let ticket = take_ticket t in
+    Sync_ccr.Ccr.region t.v
+      ~when_:(fun s -> s.serving = ticket && not s.writing)
+      (fun s ->
+        s.serving <- s.serving + 1;
+        s.readers <- s.readers + 1);
+    let v = t.res_read ~pid in
+    Sync_ccr.Ccr.region t.v (fun s -> s.readers <- s.readers - 1);
+    v
+
+  let write t ~pid =
+    let ticket = take_ticket t in
+    Sync_ccr.Ccr.region t.v
+      ~when_:(fun s ->
+        s.serving = ticket && (not s.writing) && s.readers = 0)
+      (fun s ->
+        s.serving <- s.serving + 1;
+        s.writing <- true);
+    t.res_write ~pid;
+    Sync_ccr.Ccr.region t.v (fun s -> s.writing <- false)
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "when not writing"; "when readers=0"; "readers"; "writing" ]);
+          ("rw-priority", [ "ticket"; "serving"; "when serving=ticket" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect);
+          (Info.Request_time, Meta.Indirect) ]
+      ~aux_state:
+        [ "readers count"; "writing flag"; "ticket dispenser";
+          "serving counter" ]
+      ~separation:Meta.Separated ()
+end

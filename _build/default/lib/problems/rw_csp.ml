@@ -1,0 +1,230 @@
+(** Readers-writers in message-passing style: a scheduler process grants
+    access; clients perform the (possibly concurrent) reads themselves and
+    send completion notices.
+
+    - {!Readers_prio}: separate request channels per type; the read case
+      is enabled whenever no writer holds the resource, so waiting writers
+      never block arriving readers.
+    - {!Fcfs}: one request channel. The server commits to the {e head}
+      request and drains only completion channels until that request is
+      admissible — a message-passing two-stage queue, structurally the
+      same trick as the monitor's (paper §5.2). *)
+
+open Sync_csp
+open Sync_taxonomy
+
+type ('a, 'b) chans = {
+  net : Csp.network;
+  read_req : (int * unit Csp.Channel.t) Csp.Channel.t;
+  write_req : (int * unit Csp.Channel.t) Csp.Channel.t;
+  read_done : unit Csp.Channel.t;
+  write_done : unit Csp.Channel.t;
+  stop_ch : unit Csp.Channel.t;
+  server : Sync_platform.Process.t;
+  res_read : 'a;
+  res_write : 'b;
+}
+
+type rw = (pid:int -> int, pid:int -> unit) chans
+
+let make_chans ~read ~write ~server_body =
+  let net = Csp.network () in
+  let read_req = Csp.Channel.create ~name:"read-req" net in
+  let write_req = Csp.Channel.create ~name:"write-req" net in
+  let read_done = Csp.Channel.create ~name:"read-done" net in
+  let write_done = Csp.Channel.create ~name:"write-done" net in
+  let stop_ch = Csp.Channel.create ~name:"stop" net in
+  let server =
+    Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+        server_body ~read_req ~write_req ~read_done ~write_done ~stop_ch)
+  in
+  { net; read_req; write_req; read_done; write_done; stop_ch; server;
+    res_read = read; res_write = write }
+
+let client_read (t : rw) ~pid =
+  let grant = Csp.Channel.create ~name:"grant" t.net in
+  Csp.send t.read_req (pid, grant);
+  Csp.recv grant;
+  let v = t.res_read ~pid in
+  Csp.send t.read_done ();
+  v
+
+let client_write (t : rw) ~pid =
+  let grant = Csp.Channel.create ~name:"grant" t.net in
+  Csp.send t.write_req (pid, grant);
+  Csp.recv grant;
+  t.res_write ~pid;
+  Csp.send t.write_done ()
+
+let shutdown (t : rw) =
+  Csp.send t.stop_ch ();
+  Sync_platform.Process.join t.server
+
+module Readers_prio = struct
+  type t = rw
+
+  let mechanism = "csp"
+
+  let policy = Rw_intf.Readers_priority
+
+  let create ~read ~write =
+    make_chans ~read ~write
+      ~server_body:(fun ~read_req ~write_req ~read_done ~write_done ~stop_ch ->
+        let readers = ref 0 in
+        let writing = ref false in
+        let running = ref true in
+        while !running || !readers > 0 || !writing do
+          let event =
+            Csp.select
+              [ (* Textual order implements the priority: an arriving or
+                   waiting reader beats a waiting writer whenever both are
+                   enabled. *)
+                Csp.guard (not !writing)
+                  (Csp.recv_case read_req (fun r -> `Read r));
+                Csp.recv_case read_done (fun () -> `Read_done);
+                Csp.recv_case write_done (fun () -> `Write_done);
+                Csp.guard
+                  ((not !writing) && !readers = 0)
+                  (Csp.recv_case write_req (fun r -> `Write r));
+                Csp.guard !running (Csp.recv_case stop_ch (fun () -> `Stop)) ]
+          in
+          match event with
+          | `Read (_pid, grant) ->
+            incr readers;
+            Csp.send grant ()
+          | `Read_done -> decr readers
+          | `Write (_pid, grant) ->
+            writing := true;
+            Csp.send grant ()
+          | `Write_done -> writing := false
+          | `Stop -> running := false
+        done)
+
+  let read = client_read
+
+  let write = client_write
+
+  let stop = shutdown
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "guard not writing"; "guard not writing && readers=0";
+             "readers count"; "writing flag" ]);
+          ("rw-priority", [ "case"; "order"; "read_req before write_req" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Direct); (Info.Sync_state, Meta.Indirect) ]
+      ~aux_state:[ "readers count"; "writing flag" ]
+      ~separation:Meta.Enforced ()
+end
+
+module Fcfs = struct
+  (* FCFS needs one totally ordered arrival stream, so both request types
+     share a single channel (the channel's FIFO sender queue is stage 1).
+     The server commits to the head request and drains only completion
+     channels until it is admissible (stage 2), so later arrivals cannot
+     overtake — a message-passing two-stage queue (paper §5.2). *)
+  type req = { kind : [ `R | `W ]; grant : unit Csp.Channel.t }
+
+  type t = {
+    net : Csp.network;
+    req_ch : req Csp.Channel.t;
+    read_done : unit Csp.Channel.t;
+    write_done : unit Csp.Channel.t;
+    stop_ch : unit Csp.Channel.t;
+    server : Sync_platform.Process.t;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "csp"
+
+  let policy = Rw_intf.Fcfs
+
+  let create ~read ~write =
+    let net = Csp.network () in
+    let req_ch = Csp.Channel.create ~name:"rw-req" net in
+    let read_done = Csp.Channel.create ~name:"read-done" net in
+    let write_done = Csp.Channel.create ~name:"write-done" net in
+    let stop_ch = Csp.Channel.create ~name:"stop" net in
+    let server =
+      Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+          let readers = ref 0 in
+          let writing = ref false in
+          let running = ref true in
+          let drain_once () =
+            match
+              Csp.select
+                [ Csp.recv_case read_done (fun () -> `Read_done);
+                  Csp.recv_case write_done (fun () -> `Write_done) ]
+            with
+            | `Read_done -> decr readers
+            | `Write_done -> writing := false
+          in
+          while !running || !readers > 0 || !writing do
+            let event =
+              Csp.select
+                [ Csp.recv_case read_done (fun () -> `Read_done);
+                  Csp.recv_case write_done (fun () -> `Write_done);
+                  Csp.recv_case req_ch (fun r -> `Req r);
+                  Csp.guard !running (Csp.recv_case stop_ch (fun () -> `Stop))
+                ]
+            in
+            match event with
+            | `Read_done -> decr readers
+            | `Write_done -> writing := false
+            | `Stop -> running := false
+            | `Req { kind = `R; grant } ->
+              while !writing do
+                drain_once ()
+              done;
+              incr readers;
+              Csp.send grant ()
+            | `Req { kind = `W; grant } ->
+              while !writing || !readers > 0 do
+                drain_once ()
+              done;
+              writing := true;
+              Csp.send grant ()
+          done)
+    in
+    { net; req_ch; read_done; write_done; stop_ch; server; res_read = read;
+      res_write = write }
+
+  let read t ~pid =
+    let grant = Csp.Channel.create ~name:"grant" t.net in
+    Csp.send t.req_ch { kind = `R; grant };
+    Csp.recv grant;
+    let v = t.res_read ~pid in
+    Csp.send t.read_done ();
+    v
+
+  let write t ~pid =
+    let grant = Csp.Channel.create ~name:"grant" t.net in
+    Csp.send t.req_ch { kind = `W; grant };
+    Csp.recv grant;
+    t.res_write ~pid;
+    Csp.send t.write_done ()
+
+  let stop t =
+    Csp.send t.stop_ch ();
+    Sync_platform.Process.join t.server
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "guard not writing"; "guard not writing && readers=0";
+             "readers count"; "writing flag" ]);
+          ("rw-priority",
+           [ "hold"; "head"; "request"; "drain"; "completions"; "two-stage" ])
+        ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Direct); (Info.Sync_state, Meta.Indirect);
+          (Info.Request_time, Meta.Direct) ]
+      ~aux_state:[ "readers count"; "writing flag" ]
+      ~separation:Meta.Enforced ()
+end

@@ -1,0 +1,296 @@
+(** Workload drivers and checkers for readers-writers.
+
+    Two layers of evidence:
+
+    - {!verify_exclusion}: a free-running stress mix. The self-checking
+      {!Sync_resources.Store} catches any reader/writer overlap at the
+      resource; the trace additionally confirms that reader concurrency
+      really happened (a solution that degraded readers to mutual
+      exclusion would pass the store check but fail this one).
+    - {b driven scenarios} reproducing the paper's priority arguments
+      deterministically. {!scenario_writer_handoff} is Figure 1's
+      footnote-3 situation: writer W1 active, writer W2 then reader R
+      queue up, W1 leaves — who wins? {!scenario_reader_arrival} probes
+      the dual situation: reader R1 active, writer W waiting, reader R2
+      arrives — may R2 overtake W? Together the two outcomes identify the
+      implemented policy (see {!classify}). *)
+
+open Sync_platform
+
+type outcome = Reader_first | Writer_first
+
+let outcome_to_string = function
+  | Reader_first -> "reader-first"
+  | Writer_first -> "writer-first"
+
+(* ------------------------------------------------------------------ *)
+(* Stress mix                                                          *)
+
+type report = { trace : Trace.event list; store : Sync_resources.Store.t }
+
+let run_stress (module S : Rw_intf.S) ?(backend = `Thread) ?(readers = 4)
+    ?(writers = 2) ?(reads_each = 40) ?(writes_each = 10) ?(work = 200) () =
+  let trace = Trace.create () in
+  let store = Sync_resources.Store.create ~work () in
+  let res_read ~pid =
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Enter ();
+    let v = Sync_resources.Store.read store in
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Exit ~arg:v ();
+    v
+  in
+  let res_write ~pid =
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Enter ();
+    Sync_resources.Store.write store;
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~read:res_read ~write:res_write in
+  let reader pid () =
+    for _ = 1 to reads_each do
+      Trace.record trace ~pid ~op:"read" ~phase:Trace.Request ();
+      ignore (S.read t ~pid)
+    done
+  in
+  let writer w () =
+    let pid = 200 + w in
+    for _ = 1 to writes_each do
+      Trace.record trace ~pid ~op:"write" ~phase:Trace.Request ();
+      S.write t ~pid
+    done
+  in
+  Fun.protect
+    ~finally:(fun () -> S.stop t)
+    (fun () ->
+      Process.run_all ~backend
+        (List.init readers (fun pid -> reader pid)
+        @ List.init writers (fun w -> writer w)));
+  { trace = Trace.events trace; store }
+
+let check_exclusion report =
+  let ivls = Ivl.intervals report.trace in
+  let conflicts a b = a = "write" || b = "write" in
+  match Ivl.exclusion_violations ~conflicts ivls with
+  | (a, b) :: _ ->
+    Error
+      (Printf.sprintf "exclusion violated: %s by pid %d overlaps %s by pid %d"
+         a.Ivl.op a.Ivl.pid b.Ivl.op b.Ivl.pid)
+  | [] -> Ok ()
+
+let verify_exclusion ?backend ?readers ?writers ?reads_each ?writes_each
+    (module S : Rw_intf.S) =
+  match
+    run_stress (module S) ?backend ?readers ?writers ?reads_each ?writes_each
+      ()
+  with
+  | report -> check_exclusion report
+  | exception Sync_resources.Busywork.Ill_synchronized msg ->
+    Error ("resource contract violated: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Driven scenarios                                                    *)
+
+let settle = 0.05
+
+(* Reader concurrency cannot be asserted statistically on one core, so it
+   gets its own driven scenario: with no writers anywhere, a second reader
+   must be able to enter while the first is still inside. Every policy
+   must pass. *)
+let scenario_reader_overlap (module S : Rw_intf.S) =
+  let trace = Trace.create () in
+  let gate = Latch.create 1 in
+  let r1 = 1 and r2 = 2 in
+  let res_read ~pid =
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Enter ();
+    if pid = r1 then Latch.wait gate;
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Exit ();
+    0
+  in
+  let res_write ~pid =
+    ignore pid;
+    failwith "no writer in this scenario"
+  in
+  let t = S.create ~read:res_read ~write:res_write in
+  let reader1 =
+    Process.spawn ~backend:`Thread (fun () -> ignore (S.read t ~pid:r1))
+  in
+  Testwait.until "r1 entered" (fun () ->
+      List.exists
+        (fun (e : Trace.event) -> e.pid = r1 && e.phase = Trace.Enter)
+        (Trace.events trace));
+  let reader2 =
+    Process.spawn ~backend:`Thread (fun () -> ignore (S.read t ~pid:r2))
+  in
+  let overlapped =
+    match
+      Testwait.until ~timeout:3.0 "r2 entered while r1 inside" (fun () ->
+          List.exists
+            (fun (e : Trace.event) -> e.pid = r2 && e.phase = Trace.Enter)
+            (Trace.events trace))
+    with
+    | () -> true
+    | exception Failure _ -> false
+  in
+  Latch.arrive gate;
+  List.iter Process.join [ reader1; reader2 ];
+  S.stop t;
+  if overlapped then Ok ()
+  else Error "second reader could not overlap the first: readers serialized"
+
+(* Writer W1 is mid-write; writer W2 then reader R arrive (in that order)
+   and park; W1 finishes. Reports who is granted first. Under a correct
+   readers-priority policy the reader wins (Courtois: it arrived while no
+   reader had been excluded by anything but the active writer); Figure 1
+   lets W2 overtake — footnote 3. *)
+let scenario_writer_handoff_trace (module S : Rw_intf.S) =
+  let trace = Trace.create () in
+  let gate = Latch.create 1 in
+  let w1 = 200 and w2 = 201 and r = 1 in
+  let res_read ~pid =
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Enter ();
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Exit ();
+    0
+  in
+  let res_write ~pid =
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Enter ();
+    if pid = w1 then Latch.wait gate;
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~read:res_read ~write:res_write in
+  let first_writer = Process.spawn ~backend:`Thread (fun () -> S.write t ~pid:w1) in
+  Testwait.until "w1 entered" (fun () ->
+      List.exists
+        (fun (e : Trace.event) -> e.pid = w1 && e.phase = Trace.Enter)
+        (Trace.events trace));
+  let second_writer =
+    Process.spawn ~backend:`Thread (fun () -> S.write t ~pid:w2)
+  in
+  Thread.delay settle;
+  let reader = Process.spawn ~backend:`Thread (fun () -> ignore (S.read t ~pid:r)) in
+  Thread.delay settle;
+  Latch.arrive gate;
+  List.iter Process.join [ first_writer; second_writer; reader ];
+  S.stop t;
+  let after_w1 =
+    List.filter
+      (fun (e : Trace.event) -> e.phase = Trace.Enter && e.pid <> w1)
+      (Trace.events trace)
+  in
+  let outcome =
+    match after_w1 with
+    | e :: _ -> if e.pid = r then Reader_first else Writer_first
+    | [] -> failwith "scenario_writer_handoff: no grants recorded"
+  in
+  (outcome, Trace.events trace)
+
+let scenario_writer_handoff m = fst (scenario_writer_handoff_trace m)
+
+(* Reader R1 is mid-read; writer W arrives and parks; reader R2 arrives.
+   May R2 begin (overtaking W)? Readers-priority: yes. Writers-priority
+   and FCFS: no. *)
+let scenario_reader_arrival (module S : Rw_intf.S) =
+  let trace = Trace.create () in
+  let gate = Latch.create 1 in
+  let r1 = 1 and r2 = 2 and w = 200 in
+  let res_read ~pid =
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Enter ();
+    if pid = r1 then Latch.wait gate;
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Exit ();
+    0
+  in
+  let res_write ~pid =
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Enter ();
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~read:res_read ~write:res_write in
+  let reader1 = Process.spawn ~backend:`Thread (fun () -> ignore (S.read t ~pid:r1)) in
+  Testwait.until "r1 entered" (fun () ->
+      List.exists
+        (fun (e : Trace.event) -> e.pid = r1 && e.phase = Trace.Enter)
+        (Trace.events trace));
+  let writer = Process.spawn ~backend:`Thread (fun () -> S.write t ~pid:w) in
+  Thread.delay settle;
+  let reader2 = Process.spawn ~backend:`Thread (fun () -> ignore (S.read t ~pid:r2)) in
+  Thread.delay settle;
+  Latch.arrive gate;
+  List.iter Process.join [ reader1; writer; reader2 ];
+  S.stop t;
+  let grants =
+    List.filter
+      (fun (e : Trace.event) -> e.phase = Trace.Enter && e.pid <> r1)
+      (Trace.events trace)
+  in
+  match grants with
+  | e :: _ -> if e.pid = r2 then Reader_first else Writer_first
+  | [] -> failwith "scenario_reader_arrival: no grants recorded"
+
+(* Writer starvation (the paper notes readers-priority "allows writers to
+   starve"): keep three staggered readers alive continuously (three, so
+   that the instants where every reader is between two reads — when even
+   a readers-priority policy would admit the writer — have negligible
+   probability); a writer requests midstream. Returns whether the writer
+   was admitted before the reader stream ended. Under readers-priority it
+   must wait out the whole stream; under FCFS/writers-priority it is
+   admitted promptly. *)
+let scenario_writer_starvation (module S : Rw_intf.S) =
+  let trace = Trace.create () in
+  let res_read ~pid =
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Enter ();
+    Thread.delay 0.01;
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Exit ();
+    0
+  in
+  let res_write ~pid =
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Enter ();
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~read:res_read ~write:res_write in
+  let stop = Atomic.make false in
+  (* Staggered readers: at least one is always inside. *)
+  let reader pid () =
+    while not (Atomic.get stop) do
+      ignore (S.read t ~pid)
+    done
+  in
+  let r1 = Process.spawn ~backend:`Thread (reader 1) in
+  Thread.delay 0.003;
+  let r2 = Process.spawn ~backend:`Thread (reader 2) in
+  Thread.delay 0.003;
+  let r3 = Process.spawn ~backend:`Thread (reader 3) in
+  Thread.delay 0.02;
+  let writer_done = Atomic.make false in
+  let w =
+    Process.spawn ~backend:`Thread (fun () ->
+        S.write t ~pid:200;
+        Atomic.set writer_done true)
+  in
+  Thread.delay 0.3;
+  let starved = not (Atomic.get writer_done) in
+  Atomic.set stop true;
+  List.iter Process.join [ r1; r2; r3; w ];
+  S.stop t;
+  starved
+
+(* What the two scenario outcomes must be for each policy. *)
+let expected_outcomes = function
+  | Rw_intf.Readers_priority -> Some (Reader_first, Reader_first)
+  | Rw_intf.Writers_priority -> Some (Writer_first, Writer_first)
+  | Rw_intf.Fcfs -> Some (Writer_first, Writer_first)
+  | Rw_intf.No_priority -> None (* any outcome is acceptable *)
+
+let verify_policy (module S : Rw_intf.S) =
+  match expected_outcomes S.policy with
+  | None -> Ok ()
+  | Some (exp_handoff, exp_arrival) ->
+    let got_handoff = scenario_writer_handoff (module S) in
+    if got_handoff <> exp_handoff then
+      Error
+        (Printf.sprintf "writer-handoff scenario: expected %s, got %s"
+           (outcome_to_string exp_handoff)
+           (outcome_to_string got_handoff))
+    else
+      let got_arrival = scenario_reader_arrival (module S) in
+      if got_arrival <> exp_arrival then
+        Error
+          (Printf.sprintf "reader-arrival scenario: expected %s, got %s"
+             (outcome_to_string exp_arrival)
+             (outcome_to_string got_arrival))
+      else Ok ()

@@ -1,0 +1,85 @@
+(** The readers-writers database problem (request-type +
+    synchronization-state information), after Courtois-Heymans-Parnas
+    [CACM'71] — the paper's own working example (Figures 1 and 2).
+
+    All variants share the exclusion constraint (readers may overlap;
+    a writer excludes everyone) and differ only in the priority
+    constraint:
+
+    - [readers-priority]: no reader waits unless a writer has already
+      been granted the resource (writers may starve) — Courtois problem 1;
+    - [writers-priority]: once a writer is waiting, newly arriving readers
+      wait (readers may starve) — Courtois problem 2;
+    - [fcfs]: requests are {e admitted} in arrival order (readers still
+      overlap once admitted) — the variant that forces the monitor's
+      two-stage queue (paper Section 5.2);
+    - [none]: exclusion only, no priority guarantee (e.g. the plain
+      [path {read} , write end]).
+
+    The trio readers-priority / writers-priority / fcfs is the paper's
+    instrument for measuring constraint independence (Section 4.2): same
+    exclusion constraint, different priority constraints. *)
+
+open Sync_taxonomy
+
+type policy = Readers_priority | Writers_priority | Fcfs | No_priority
+
+let policy_to_string = function
+  | Readers_priority -> "readers-priority"
+  | Writers_priority -> "writers-priority"
+  | Fcfs -> "fcfs"
+  | No_priority -> "none"
+
+let exclusion_constraint =
+  Constr.make ~id:"rw-exclusion" ~cls:Constr.Exclusion
+    ~info:[ Info.Request_type; Info.Sync_state ]
+    ~description:
+      "if a writer is in the resource then exclude all; if a reader is in \
+       the resource then exclude writers"
+
+let priority_constraint = function
+  | Readers_priority ->
+    Constr.make ~id:"rw-priority" ~cls:Constr.Priority
+      ~info:[ Info.Request_type ]
+      ~description:
+        "if readers and writers are waiting then readers have priority \
+         over writers"
+  | Writers_priority ->
+    Constr.make ~id:"rw-priority" ~cls:Constr.Priority
+      ~info:[ Info.Request_type ]
+      ~description:
+        "if readers and writers are waiting then writers have priority \
+         over readers"
+  | Fcfs ->
+    Constr.make ~id:"rw-priority" ~cls:Constr.Priority
+      ~info:[ Info.Request_time ]
+      ~description:"if A requested before B then A is admitted before B"
+  | No_priority ->
+    Constr.make ~id:"rw-priority" ~cls:Constr.Priority ~info:[]
+      ~description:"no priority guarantee"
+
+let spec policy =
+  Spec.make
+    ~name:("readers-writers-" ^ policy_to_string policy)
+    ~description:"a database shared by concurrent readers and exclusive \
+                  writers"
+    ~ops:[ "read"; "write" ]
+    ~constraints:[ exclusion_constraint; priority_constraint policy ]
+
+module type S = sig
+  type t
+
+  val mechanism : string
+
+  val policy : policy
+
+  val create : read:(pid:int -> int) -> write:(pid:int -> unit) -> t
+
+  val read : t -> pid:int -> int
+
+  val write : t -> pid:int -> unit
+
+  val stop : t -> unit
+
+  val meta : Meta.t
+end

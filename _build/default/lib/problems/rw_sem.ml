@@ -1,0 +1,290 @@
+(** Readers-writers with semaphores: the three Courtois-Heymans-Parnas
+    solutions [CACM'71].
+
+    - {!Readers_prio}: problem 1 — readcount under [mutex], first reader
+      locks [w], last reader releases it. Readers joining an active batch
+      never wait; writers can starve.
+    - {!Writers_prio}: problem 2 — the five-semaphore construction; a
+      waiting writer blocks the reader turnstile [r], so readers queue
+      while any writer is pending.
+    - {!Fcfs}: a strong-semaphore {e service turnstile} in front of
+      problem 1: every request passes through [service] in arrival order
+      and releases it only once admitted, so admission is FCFS while
+      readers still overlap. *)
+
+open Sync_platform
+open Sync_taxonomy
+
+module Sem = Semaphore.Counting
+
+module Readers_prio = struct
+  type t = {
+    mutex : Sem.t;
+    w : Sem.t;
+    mutable readcount : int;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "semaphore"
+
+  let policy = Rw_intf.Readers_priority
+
+  let create ~read ~write =
+    { mutex = Sem.create 1; w = Sem.create 1; readcount = 0; res_read = read;
+      res_write = write }
+
+  let read t ~pid =
+    Sem.p t.mutex;
+    t.readcount <- t.readcount + 1;
+    if t.readcount = 1 then Sem.p t.w;
+    Sem.v t.mutex;
+    let v = t.res_read ~pid in
+    Sem.p t.mutex;
+    t.readcount <- t.readcount - 1;
+    if t.readcount = 0 then Sem.v t.w;
+    Sem.v t.mutex;
+    v
+
+  let write t ~pid =
+    Sem.p t.w;
+    t.res_write ~pid;
+    Sem.v t.w
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:"readers-priority-courtois"
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "readcount"; "if readcount=1 P(w)"; "if readcount=0 V(w)";
+             "P(w)"; "V(w)" ]);
+          ("rw-priority",
+           [ "batch-join"; "readcount>0 admits readers without P(w)" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+      ~aux_state:[ "readcount mirrors the set of active readers" ]
+      ~separation:Meta.Separated ()
+end
+
+(* Courtois problem 1 gives readers priority only by batch-joining: at a
+   writer's release, a FIFO semaphore hands the resource to whichever
+   process queued on [w] first — possibly a second writer ahead of a
+   waiting reader. Bloom's reading of the specification ("if both readers
+   and writers are waiting, readers have priority") needs the scheduling
+   decision made at release time, which bare semaphores can only express
+   by {e passing the baton} (explicit delayed-counts plus private
+   semaphores) — a measure of how much auxiliary machinery the mechanism
+   forces for a release-time priority constraint. *)
+module Readers_prio_baton = struct
+  type t = {
+    e : Sem.t; (* protects all counters; the baton *)
+    r : Sem.t; (* delayed readers, released one by one *)
+    w : Sem.t; (* delayed writers *)
+    mutable nr : int; (* active readers *)
+    mutable nw : int; (* active writers, 0 or 1 *)
+    mutable dr : int; (* delayed readers *)
+    mutable dw : int; (* delayed writers *)
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "semaphore"
+
+  let policy = Rw_intf.Readers_priority
+
+  let create ~read ~write =
+    { e = Sem.create 1; r = Sem.create 0; w = Sem.create 0; nr = 0; nw = 0;
+      dr = 0; dw = 0; res_read = read; res_write = write }
+
+  (* Pass the baton: waiting readers always first (readers priority). The
+     waker updates state on behalf of the woken process. *)
+  let signal t =
+    if t.nw = 0 && t.dr > 0 then begin
+      t.dr <- t.dr - 1;
+      t.nr <- t.nr + 1;
+      Sem.v t.r
+    end
+    else if t.nw = 0 && t.nr = 0 && t.dw > 0 then begin
+      t.dw <- t.dw - 1;
+      t.nw <- 1;
+      Sem.v t.w
+    end
+    else Sem.v t.e
+
+  let read t ~pid =
+    Sem.p t.e;
+    if t.nw = 1 then begin
+      t.dr <- t.dr + 1;
+      Sem.v t.e;
+      Sem.p t.r (* woken with nr already incremented *)
+    end
+    else t.nr <- t.nr + 1;
+    signal t;
+    let v = t.res_read ~pid in
+    Sem.p t.e;
+    t.nr <- t.nr - 1;
+    signal t;
+    v
+
+  let write t ~pid =
+    Sem.p t.e;
+    if t.nw = 1 || t.nr > 0 then begin
+      t.dw <- t.dw + 1;
+      Sem.v t.e;
+      Sem.p t.w (* woken with nw already set *)
+    end
+    else t.nw <- 1;
+    Sem.v t.e;
+    t.res_write ~pid;
+    Sem.p t.e;
+    t.nw <- 0;
+    signal t
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "nr"; "nw"; "if nw=1 delay reader"; "if nw=1||nr>0 delay writer"
+           ]);
+          ("rw-priority",
+           [ "signal:"; "if nw=0&&dr>0 pass-to-reader";
+             "else-if nr=0&&dw>0 pass-to-writer"; "dr"; "dw"; "baton" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+      ~aux_state:
+        [ "nr/nw active counts"; "dr/dw delayed counts";
+          "r/w private wake semaphores"; "baton discipline on e" ]
+      ~separation:Meta.Separated ()
+end
+
+module Writers_prio = struct
+  type t = {
+    mutex1 : Sem.t; (* protects readcount *)
+    mutex2 : Sem.t; (* protects writecount *)
+    mutex3 : Sem.t; (* at most one reader inside the r-turnstile *)
+    r : Sem.t;      (* reader turnstile, held while writers pending *)
+    w : Sem.t;      (* the resource *)
+    mutable readcount : int;
+    mutable writecount : int;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "semaphore"
+
+  let policy = Rw_intf.Writers_priority
+
+  let create ~read ~write =
+    { mutex1 = Sem.create 1; mutex2 = Sem.create 1; mutex3 = Sem.create 1;
+      r = Sem.create 1; w = Sem.create 1; readcount = 0; writecount = 0;
+      res_read = read; res_write = write }
+
+  let read t ~pid =
+    Sem.p t.mutex3;
+    Sem.p t.r;
+    Sem.p t.mutex1;
+    t.readcount <- t.readcount + 1;
+    if t.readcount = 1 then Sem.p t.w;
+    Sem.v t.mutex1;
+    Sem.v t.r;
+    Sem.v t.mutex3;
+    let v = t.res_read ~pid in
+    Sem.p t.mutex1;
+    t.readcount <- t.readcount - 1;
+    if t.readcount = 0 then Sem.v t.w;
+    Sem.v t.mutex1;
+    v
+
+  let write t ~pid =
+    Sem.p t.mutex2;
+    t.writecount <- t.writecount + 1;
+    if t.writecount = 1 then Sem.p t.r;
+    Sem.v t.mutex2;
+    Sem.p t.w;
+    t.res_write ~pid;
+    Sem.v t.w;
+    Sem.p t.mutex2;
+    t.writecount <- t.writecount - 1;
+    if t.writecount = 0 then Sem.v t.r;
+    Sem.v t.mutex2
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "readcount"; "if readcount=1 P(w)"; "if readcount=0 V(w)";
+             "P(w)"; "V(w)" ]);
+          ("rw-priority",
+           [ "writecount"; "if writecount=1 P(r)"; "if writecount=0 V(r)";
+             "P(mutex3)"; "P(r)"; "V(r)"; "V(mutex3)" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+      ~aux_state:
+        [ "readcount mirrors the set of active readers";
+          "writecount mirrors the set of pending writers" ]
+      ~separation:Meta.Separated ()
+end
+
+module Fcfs = struct
+  type t = {
+    service : Sem.t; (* strong FIFO turnstile: admission order *)
+    mutex : Sem.t;
+    w : Sem.t;
+    mutable readcount : int;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "semaphore"
+
+  let policy = Rw_intf.Fcfs
+
+  let create ~read ~write =
+    { service = Sem.create ~fairness:`Strong 1; mutex = Sem.create 1;
+      w = Sem.create 1; readcount = 0; res_read = read; res_write = write }
+
+  let read t ~pid =
+    Sem.p t.service;
+    Sem.p t.mutex;
+    t.readcount <- t.readcount + 1;
+    if t.readcount = 1 then Sem.p t.w;
+    Sem.v t.mutex;
+    Sem.v t.service;
+    let v = t.res_read ~pid in
+    Sem.p t.mutex;
+    t.readcount <- t.readcount - 1;
+    if t.readcount = 0 then Sem.v t.w;
+    Sem.v t.mutex;
+    v
+
+  let write t ~pid =
+    Sem.p t.service;
+    Sem.p t.w;
+    Sem.v t.service;
+    t.res_write ~pid;
+    Sem.v t.w
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "readcount"; "if readcount=1 P(w)"; "if readcount=0 V(w)";
+             "P(w)"; "V(w)" ]);
+          ("rw-priority", [ "P(service)"; "V(service)"; "strong"; "FIFO" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect);
+          (Info.Request_time, Meta.Direct) ]
+      ~aux_state:[ "readcount mirrors the set of active readers" ]
+      ~separation:Meta.Separated ()
+end

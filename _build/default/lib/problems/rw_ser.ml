@@ -1,0 +1,168 @@
+(** Readers-writers with serializers.
+
+    The crowds carry the synchronization-state information that monitors
+    keep in explicit counts (paper §5.2): "readers active" is
+    [not (Crowd.is_empty readers)], no bookkeeping. The three policies
+    differ only in the guards (and, for FCFS, in sharing one queue):
+
+    - {!Fcfs} uses a {b single} queue for both request types — the
+      paper's showcase that serializers dissolve the monitor's
+      request-type/request-time conflict: order is kept by the queue,
+      types are distinguished by the guards.
+    - {!Readers_prio} / {!Writers_prio} use one queue per type; priority
+      is expressed by letting one type's guard consult the other type's
+      queue. *)
+
+open Sync_serializer
+open Sync_taxonomy
+
+type state = {
+  ser : Serializer.t;
+  readq : Serializer.Queue.t;
+  writeq : Serializer.Queue.t;
+  readers : Serializer.Crowd.t;
+  writers : Serializer.Crowd.t;
+  res_read : pid:int -> int;
+  res_write : pid:int -> unit;
+}
+
+let make_state ~read ~write =
+  let ser = Serializer.create () in
+  { ser;
+    readq = Serializer.Queue.create ~name:"readq" ser;
+    writeq = Serializer.Queue.create ~name:"writeq" ser;
+    readers = Serializer.Crowd.create ~name:"readers" ser;
+    writers = Serializer.Crowd.create ~name:"writers" ser;
+    res_read = read; res_write = write }
+
+let do_read t ~pid ~until =
+  Serializer.with_serializer t.ser (fun () ->
+      Serializer.enqueue t.readq ~until;
+      Serializer.join_crowd t.readers ~body:(fun () -> t.res_read ~pid))
+
+let do_write t ~pid ~until =
+  Serializer.with_serializer t.ser (fun () ->
+      Serializer.enqueue t.writeq ~until;
+      Serializer.join_crowd t.writers ~body:(fun () -> t.res_write ~pid))
+
+module Readers_prio = struct
+  type t = state
+
+  let mechanism = "serializer"
+
+  let policy = Rw_intf.Readers_priority
+
+  let create ~read ~write = make_state ~read ~write
+
+  let read (t : t) ~pid =
+    do_read t ~pid ~until:(fun () -> Serializer.Crowd.is_empty t.writers)
+
+  let write (t : t) ~pid =
+    (* Writers also yield to waiting readers: the readq test is the whole
+       priority constraint. *)
+    do_write t ~pid ~until:(fun () ->
+        Serializer.Crowd.is_empty t.readers
+        && Serializer.Crowd.is_empty t.writers
+        && Serializer.Queue.guard_is_empty t.readq)
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "until empty(writers)"; "until empty(readers)&&empty(writers)";
+             "join_crowd" ]);
+          ("rw-priority", [ "empty(readq)"; "in"; "writer"; "guard" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Direct); (Info.Sync_state, Meta.Direct) ]
+      ~separation:Meta.Enforced ()
+end
+
+module Writers_prio = struct
+  type t = state
+
+  let mechanism = "serializer"
+
+  let policy = Rw_intf.Writers_priority
+
+  let create ~read ~write = make_state ~read ~write
+
+  let read (t : t) ~pid =
+    (* Readers yield to waiting writers. *)
+    do_read t ~pid ~until:(fun () ->
+        Serializer.Crowd.is_empty t.writers
+        && Serializer.Queue.guard_is_empty t.writeq)
+
+  let write (t : t) ~pid =
+    do_write t ~pid ~until:(fun () ->
+        Serializer.Crowd.is_empty t.readers
+        && Serializer.Crowd.is_empty t.writers)
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "until empty(writers)"; "until empty(readers)&&empty(writers)";
+             "join_crowd" ]);
+          ("rw-priority", [ "empty(writeq)"; "in"; "reader"; "guard" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Direct); (Info.Sync_state, Meta.Direct) ]
+      ~separation:Meta.Enforced ()
+end
+
+module Fcfs = struct
+  (* One queue for both types: arrival order is admission order. *)
+  type t = {
+    ser : Serializer.t;
+    arrivals : Serializer.Queue.t;
+    readers : Serializer.Crowd.t;
+    writers : Serializer.Crowd.t;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "serializer"
+
+  let policy = Rw_intf.Fcfs
+
+  let create ~read ~write =
+    let ser = Serializer.create () in
+    { ser;
+      arrivals = Serializer.Queue.create ~name:"arrivals" ser;
+      readers = Serializer.Crowd.create ~name:"readers" ser;
+      writers = Serializer.Crowd.create ~name:"writers" ser;
+      res_read = read; res_write = write }
+
+  let read (t : t) ~pid =
+    Serializer.with_serializer t.ser (fun () ->
+        Serializer.enqueue t.arrivals ~until:(fun () ->
+            Serializer.Crowd.is_empty t.writers);
+        Serializer.join_crowd t.readers ~body:(fun () -> t.res_read ~pid))
+
+  let write (t : t) ~pid =
+    Serializer.with_serializer t.ser (fun () ->
+        Serializer.enqueue t.arrivals ~until:(fun () ->
+            Serializer.Crowd.is_empty t.readers
+            && Serializer.Crowd.is_empty t.writers);
+        Serializer.join_crowd t.writers ~body:(fun () -> t.res_write ~pid))
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "until empty(writers)"; "until empty(readers)&&empty(writers)";
+             "join_crowd" ]);
+          ("rw-priority", [ "single"; "shared"; "queue"; "FIFO" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Direct); (Info.Sync_state, Meta.Direct);
+          (Info.Request_time, Meta.Direct) ]
+      ~separation:Meta.Enforced ()
+end

@@ -1,0 +1,49 @@
+(** One-slot buffer with a conditional critical region: history as the
+    [full] flag tested by the guards. *)
+
+open Sync_taxonomy
+
+type shared = { mutable full : bool; mutable busy : bool }
+
+type t = {
+  v : shared Sync_ccr.Ccr.t;
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "ccr"
+
+let create ~put ~get =
+  { v = Sync_ccr.Ccr.create { full = false; busy = false };
+    res_put = put; res_get = get }
+
+let put t ~pid value =
+  Sync_ccr.Ccr.region t.v
+    ~when_:(fun s -> (not s.busy) && not s.full)
+    (fun s -> s.busy <- true);
+  t.res_put ~pid value;
+  Sync_ccr.Ccr.region t.v (fun s ->
+      s.busy <- false;
+      s.full <- true)
+
+let get t ~pid =
+  Sync_ccr.Ccr.region t.v
+    ~when_:(fun s -> (not s.busy) && s.full)
+    (fun s -> s.busy <- true);
+  let value = t.res_get ~pid in
+  Sync_ccr.Ccr.region t.v (fun s ->
+      s.busy <- false;
+      s.full <- false);
+  value
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"one-slot-buffer"
+    ~fragments:
+      [ ("slot-alternation", [ "when full"; "when not full" ]);
+        ("slot-access-exclusion", [ "when not busy" ]) ]
+    ~info_access:
+      [ (Info.History, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:[ "full flag records whether put happened last"; "busy flag" ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,61 @@
+(** One-slot buffer in message-passing style: the server's {e control
+    flow} is the history — it alternates between accepting a put and
+    serving a get, so no flag is needed at all. Message passing expresses
+    history information as directly as path expressions do. *)
+
+open Sync_csp
+open Sync_taxonomy
+
+type t = {
+  net : Csp.network;
+  put_ch : (int * int) Csp.Channel.t;
+  get_ch : (int * int Csp.Channel.t) Csp.Channel.t;
+  stop_ch : unit Csp.Channel.t;
+  server : Sync_platform.Process.t;
+}
+
+let mechanism = "csp"
+
+let create ~put ~get =
+  let net = Csp.network () in
+  let put_ch = Csp.Channel.create ~name:"slot-put" net in
+  let get_ch = Csp.Channel.create ~name:"slot-get" net in
+  let stop_ch = Csp.Channel.create ~name:"slot-stop" net in
+  let server =
+    Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+        let running = ref true in
+        while !running do
+          (* Empty state: only a put (or stop) is acceptable. *)
+          match
+            Csp.select
+              [ Csp.recv_case put_ch (fun r -> `Put r);
+                Csp.recv_case stop_ch (fun () -> `Stop) ]
+          with
+          | `Stop -> running := false
+          | `Put (pid, v) ->
+            put ~pid v;
+            (* Full state: only a get is acceptable. *)
+            let gpid, reply = Csp.recv get_ch in
+            Csp.send reply (get ~pid:gpid)
+        done)
+  in
+  { net; put_ch; get_ch; stop_ch; server }
+
+let put t ~pid v = Csp.send t.put_ch (pid, v)
+
+let get t ~pid =
+  let reply = Csp.Channel.create ~name:"slot-reply" t.net in
+  Csp.send t.get_ch (pid, reply);
+  Csp.recv reply
+
+let stop t =
+  Csp.send t.stop_ch ();
+  Sync_platform.Process.join t.server
+
+let meta =
+  Meta.make ~mechanism ~problem:"one-slot-buffer"
+    ~fragments:
+      [ ("slot-alternation", [ "recv(put)"; "then"; "recv(get)"; "loop" ]);
+        ("slot-access-exclusion", [ "sequential"; "server"; "process" ]) ]
+    ~info_access:[ (Info.History, Meta.Direct); (Info.Sync_state, Meta.Direct) ]
+    ~separation:Meta.Enforced ()

@@ -1,0 +1,48 @@
+(** One-slot buffer with eventcounts: the [puts]/[gets] counters ARE the
+    history — put number [k] waits for get number [k-1], get number [k]
+    waits for put number [k]. *)
+
+open Sync_platform.Eventcount
+open Sync_taxonomy
+
+type t = {
+  putters : Sequencer.t;
+  getters : Sequencer.t;
+  puts : Eventcount.t; (* completed puts *)
+  gets : Eventcount.t; (* completed gets *)
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "eventcount"
+
+let create ~put ~get =
+  { putters = Sequencer.create ();
+    getters = Sequencer.create ();
+    puts = Eventcount.create ();
+    gets = Eventcount.create ();
+    res_put = put; res_get = get }
+
+let put t ~pid v =
+  let k = Sequencer.ticket t.putters in
+  Eventcount.await t.gets k; (* slot emptied k times before put #k *)
+  t.res_put ~pid v;
+  Eventcount.advance t.puts
+
+let get t ~pid =
+  let k = Sequencer.ticket t.getters in
+  Eventcount.await t.puts (k + 1); (* put #k completed *)
+  let v = t.res_get ~pid in
+  Eventcount.advance t.gets;
+  v
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"one-slot-buffer"
+    ~fragments:
+      [ ("slot-alternation", [ "await(gets,k)"; "await(puts,k+1)" ]);
+        ("slot-access-exclusion", [ "sequencer"; "alternation-window" ]) ]
+    ~info_access:
+      [ (Info.History, Meta.Direct); (Info.Sync_state, Meta.Indirect) ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,81 @@
+(** Workload driver and checker for the one-slot buffer.
+
+    Several putters and getters contend; the checker verifies strict
+    alternation (from the trace's [Enter] order), value pass-through
+    (each get returns the value of the immediately preceding put), and the
+    {!Sync_resources.Slot} contract (which catches overlap and
+    out-of-turn access at the resource itself). *)
+
+open Sync_platform
+
+type report = { trace : Trace.event list }
+
+let run (module S : Slot_intf.S) ?(putters = 3) ?(getters = 3)
+    ?(items_per_putter = 20) ?(work = 30) () =
+  let trace = Trace.create () in
+  let slot = Sync_resources.Slot.create ~work () in
+  let res_put ~pid v =
+    Trace.record trace ~pid ~op:"put" ~phase:Trace.Enter ~arg:v ();
+    Sync_resources.Slot.put slot v;
+    Trace.record trace ~pid ~op:"put" ~phase:Trace.Exit ~arg:v ()
+  in
+  let res_get ~pid =
+    Trace.record trace ~pid ~op:"get" ~phase:Trace.Enter ();
+    let v = Sync_resources.Slot.get slot in
+    Trace.record trace ~pid ~op:"get" ~phase:Trace.Exit ~arg:v ();
+    v
+  in
+  let buffer = S.create ~put:res_put ~get:res_get in
+  let total = putters * items_per_putter in
+  let share g =
+    (total / getters) + (if g < total mod getters then 1 else 0)
+  in
+  let putter pid () =
+    for k = 1 to items_per_putter do
+      let v = (pid * 1_000_000) + k in
+      Trace.record trace ~pid ~op:"put" ~phase:Trace.Request ~arg:v ();
+      S.put buffer ~pid v
+    done
+  in
+  let getter g () =
+    let pid = 100 + g in
+    for _ = 1 to share g do
+      Trace.record trace ~pid ~op:"get" ~phase:Trace.Request ();
+      ignore (S.get buffer ~pid)
+    done
+  in
+  let workers =
+    List.init putters (fun pid -> putter pid)
+    @ List.init getters (fun g -> getter g)
+  in
+  Fun.protect
+    ~finally:(fun () -> S.stop buffer)
+    (fun () -> Process.run_all ~backend:`Thread workers);
+  { trace = Trace.events trace }
+
+let check report =
+  let ivls = Ivl.intervals report.trace in
+  (* Strict alternation in grant order, starting with put. *)
+  let rec alternation expected carried = function
+    | [] -> Ok ()
+    | i :: rest ->
+      if i.Ivl.op <> expected then
+        Error
+          (Printf.sprintf "expected %s at seq %d, found %s" expected
+             i.Ivl.enter i.Ivl.op)
+      else if i.Ivl.op = "get" && i.Ivl.ret <> carried then
+        Error
+          (Printf.sprintf "get returned %d but last put stored %d" i.Ivl.ret
+             carried)
+      else
+        let carried = if i.Ivl.op = "put" then i.Ivl.arg else carried in
+        let expected = if i.Ivl.op = "put" then "get" else "put" in
+        alternation expected carried rest
+  in
+  alternation "put" 0 ivls
+
+let verify ?putters ?getters ?items_per_putter (module S : Slot_intf.S) =
+  match run (module S) ?putters ?getters ?items_per_putter () with
+  | report -> check report
+  | exception Sync_resources.Busywork.Ill_synchronized msg ->
+    Error ("resource contract violated: " ^ msg)

@@ -1,0 +1,41 @@
+(** The one-slot buffer problem (history information), after
+    Campbell-Habermann [7].
+
+    A single cell: [put] and [get] must strictly alternate, beginning with
+    [put]. The enabling condition for each operation is {e whether the
+    other operation has occurred} — history information. Path expressions
+    express it directly ([path put ; get end]); state-based mechanisms
+    must encode the history in a flag, illustrating the paper's remark
+    that history and local state are often interchangeable. *)
+
+open Sync_taxonomy
+
+let spec =
+  Spec.make ~name:"one-slot-buffer"
+    ~description:"a single cell whose put and get strictly alternate"
+    ~ops:[ "put"; "get" ]
+    ~constraints:
+      [ Constr.make ~id:"slot-alternation" ~cls:Constr.Exclusion
+          ~info:[ Info.History ]
+          ~description:
+            "if the last completed operation was put then exclude put; if \
+             it was get (or none) then exclude get";
+        Constr.make ~id:"slot-access-exclusion" ~cls:Constr.Exclusion
+          ~info:[ Info.Sync_state ]
+          ~description:"if an operation is in progress then exclude all" ]
+
+module type S = sig
+  type t
+
+  val mechanism : string
+
+  val create : put:(pid:int -> int -> unit) -> get:(pid:int -> int) -> t
+
+  val put : t -> pid:int -> int -> unit
+
+  val get : t -> pid:int -> int
+
+  val stop : t -> unit
+
+  val meta : Meta.t
+end

@@ -1,0 +1,60 @@
+(** One-slot buffer with a Hoare monitor: history becomes the [full] flag
+    — the paper's observation that past events usually leave a readable
+    mark in local state. *)
+
+open Sync_monitor
+open Sync_taxonomy
+
+type t = {
+  mon : Monitor.t;
+  turned : Monitor.Cond.t; (* "the turn changed" for both sides *)
+  mutable full : bool;
+  mutable busy : bool; (* an operation is mid-resource-access *)
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "monitor"
+
+let create ~put ~get =
+  let mon = Monitor.create ~discipline:`Hoare () in
+  { mon; turned = Monitor.Cond.create mon; full = false; busy = false;
+    res_put = put; res_get = get }
+
+let put t ~pid v =
+  Protected.access t.mon
+    ~before:(fun () ->
+      while t.busy || t.full do
+        Monitor.Cond.wait t.turned
+      done;
+      t.busy <- true)
+    ~after:(fun () ->
+      t.busy <- false;
+      t.full <- true;
+      Monitor.Cond.broadcast t.turned)
+    (fun () -> t.res_put ~pid v)
+
+let get t ~pid =
+  Protected.access t.mon
+    ~before:(fun () ->
+      while t.busy || not t.full do
+        Monitor.Cond.wait t.turned
+      done;
+      t.busy <- true)
+    ~after:(fun () ->
+      t.busy <- false;
+      t.full <- false;
+      Monitor.Cond.broadcast t.turned)
+    (fun () -> t.res_get ~pid)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"one-slot-buffer"
+    ~fragments:
+      [ ("slot-alternation", [ "full"; "flag"; "wait(turned)"; "broadcast" ]);
+        ("slot-access-exclusion", [ "busy"; "flag"; "wait(turned)" ]) ]
+    ~info_access:
+      [ (Info.History, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:[ "full flag records whether put happened last"; "busy flag" ]
+    ~separation:Meta.Separated ()

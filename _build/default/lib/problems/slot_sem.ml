@@ -1,0 +1,44 @@
+(** One-slot buffer with semaphores: the alternation is encoded in two
+    binary token streams ([may_put]/[may_get]) that hand the turn back
+    and forth — history kept as token state. *)
+
+open Sync_platform
+open Sync_taxonomy
+
+type t = {
+  may_put : Semaphore.Counting.t;
+  may_get : Semaphore.Counting.t;
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "semaphore"
+
+let create ~put ~get =
+  { may_put = Semaphore.Counting.create 1;
+    may_get = Semaphore.Counting.create 0;
+    res_put = put; res_get = get }
+
+let put t ~pid v =
+  Semaphore.Counting.p t.may_put;
+  t.res_put ~pid v;
+  Semaphore.Counting.v t.may_get
+
+let get t ~pid =
+  Semaphore.Counting.p t.may_get;
+  let v = t.res_get ~pid in
+  Semaphore.Counting.v t.may_put;
+  v
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"one-slot-buffer"
+    ~fragments:
+      [ ("slot-alternation",
+         [ "P(may_put)"; "V(may_get)"; "P(may_get)"; "V(may_put)" ]);
+        ("slot-access-exclusion", [ "token"; "handoff" ]) ]
+    ~info_access:
+      [ (Info.History, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+    ~aux_state:[ "turn tokens encode which operation happened last" ]
+    ~separation:Meta.Separated ()

@@ -1,0 +1,54 @@
+(** One-slot buffer with a serializer: one queue per request type (a put
+    parked ahead of a get must not block it — only the head of a queue is
+    eligible, so the two types need separate queues), guards over the
+    [full] flag, and a single-member crowd serializing the cell access. *)
+
+open Sync_serializer
+open Sync_taxonomy
+
+type t = {
+  ser : Serializer.t;
+  putq : Serializer.Queue.t;
+  getq : Serializer.Queue.t;
+  users : Serializer.Crowd.t;
+  mutable full : bool;
+  res_put : pid:int -> int -> unit;
+  res_get : pid:int -> int;
+}
+
+let mechanism = "serializer"
+
+let create ~put ~get =
+  let ser = Serializer.create () in
+  { ser;
+    putq = Serializer.Queue.create ~name:"putq" ser;
+    getq = Serializer.Queue.create ~name:"getq" ser;
+    users = Serializer.Crowd.create ~name:"users" ser; full = false;
+    res_put = put; res_get = get }
+
+let put t ~pid v =
+  Serializer.with_serializer t.ser (fun () ->
+      Serializer.enqueue t.putq ~until:(fun () ->
+          Serializer.Crowd.is_empty t.users && not t.full);
+      Serializer.join_crowd t.users ~body:(fun () -> t.res_put ~pid v);
+      t.full <- true)
+
+let get t ~pid =
+  Serializer.with_serializer t.ser (fun () ->
+      Serializer.enqueue t.getq ~until:(fun () ->
+          Serializer.Crowd.is_empty t.users && t.full);
+      let v = Serializer.join_crowd t.users ~body:(fun () -> t.res_get ~pid) in
+      t.full <- false;
+      v)
+
+let stop _ = ()
+
+let meta =
+  Meta.make ~mechanism ~problem:"one-slot-buffer"
+    ~fragments:
+      [ ("slot-alternation", [ "until"; "full"; "not full" ]);
+        ("slot-access-exclusion", [ "empty(users)"; "join_crowd" ]) ]
+    ~info_access:
+      [ (Info.History, Meta.Indirect); (Info.Sync_state, Meta.Direct) ]
+    ~aux_state:[ "full flag records whether put happened last" ]
+    ~separation:Meta.Enforced ()

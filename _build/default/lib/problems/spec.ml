@@ -1,0 +1,22 @@
+open Sync_taxonomy
+
+type t = {
+  name : string;
+  description : string;
+  ops : string list;
+  constraints : Constr.t list;
+  info : Info.kind list;
+}
+
+let make ~name ~description ~ops ~constraints =
+  let info =
+    List.sort_uniq Info.compare
+      (List.concat_map (fun c -> c.Constr.info) constraints)
+  in
+  { name; description; ops; constraints; info }
+
+let find_constraint t id = List.find (fun c -> c.Constr.id = id) t.constraints
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s@." t.name t.description;
+  List.iter (fun c -> Format.fprintf ppf "  %a@." Constr.pp c) t.constraints

@@ -1,0 +1,26 @@
+(** Problem specifications: the paper's Section 4.1 test set.
+
+    Each canonical problem is described by its operations, its constraint
+    set (in the paper's if-condition-then form, classified by
+    {!Sync_taxonomy.Constr.cls}), and the information categories its
+    constraints refer to — which is precisely why it is in the test set. *)
+
+open Sync_taxonomy
+
+type t = {
+  name : string;
+  description : string;
+  ops : string list;
+  constraints : Constr.t list;
+  info : Info.kind list;  (** categories this problem was chosen to cover *)
+}
+
+val make :
+  name:string -> description:string -> ops:string list ->
+  constraints:Constr.t list -> t
+(** [info] is derived as the union of the constraints' info lists. *)
+
+val find_constraint : t -> string -> Constr.t
+(** @raise Not_found on an unknown constraint id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(* Bounded polling used by the driven scenario drivers. *)
+
+let until ?(timeout = 10.0) what pred =
+  let deadline =
+    Int64.add (Sync_platform.Clock.now_ns ())
+      (Int64.of_float (timeout *. 1e9))
+  in
+  let rec loop () =
+    if pred () then ()
+    else if Sync_platform.Clock.now_ns () >= deadline then
+      failwith ("timed out waiting for " ^ what)
+    else begin
+      Thread.yield ();
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,1 @@
+lib/resources/disk.mli:

@@ -1,0 +1,1 @@
+lib/resources/ring.ml: Array Atomic Busywork

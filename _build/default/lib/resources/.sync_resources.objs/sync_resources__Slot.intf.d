@@ -1,0 +1,1 @@
+lib/resources/slot.mli:

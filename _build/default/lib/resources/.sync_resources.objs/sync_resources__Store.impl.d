@@ -1,0 +1,1 @@
+lib/resources/store.ml: Atomic Busywork

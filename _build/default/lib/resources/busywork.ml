@@ -1,0 +1,9 @@
+exception Ill_synchronized of string
+
+let sink = ref 0
+
+let spin n =
+  for i = 1 to n do
+    sink := !sink + i;
+    if i land 15 = 0 then Thread.yield ()
+  done

@@ -1,0 +1,16 @@
+(** Calibrated busy work.
+
+    Resource operations spin for a configurable number of iterations to
+    widen their execution window, so that synchronizer bugs (overlapping
+    accesses that should exclude each other) actually manifest as
+    {!Ill_synchronized} failures under stress rather than hiding behind
+    instantaneous bodies. *)
+
+exception Ill_synchronized of string
+(** Raised by a resource when it observes an access pattern its contract
+    forbids — the unsynchronized resource's own integrity checks firing
+    because a synchronizer admitted conflicting processes. *)
+
+val spin : int -> unit
+(** Spin for roughly [n] cheap iterations, with periodic yields so that a
+    single-core scheduler interleaves competitors. *)

@@ -1,0 +1,32 @@
+type t = {
+  ntracks : int;
+  work : int;
+  busy : bool Atomic.t;
+  mutable pos : int;
+  mutable travel : int;
+  mutable count : int;
+}
+
+let create ?(work = 50) ~tracks () =
+  assert (tracks >= 1);
+  { ntracks = tracks; work; busy = Atomic.make false; pos = 0; travel = 0;
+    count = 0 }
+
+let tracks t = t.ntracks
+
+let access t track =
+  if track < 0 || track >= t.ntracks then
+    invalid_arg "Disk.access: track out of range";
+  if not (Atomic.compare_and_set t.busy false true) then
+    raise (Busywork.Ill_synchronized "disk: concurrent accesses");
+  t.travel <- t.travel + abs (track - t.pos);
+  t.pos <- track;
+  Busywork.spin t.work;
+  t.count <- t.count + 1;
+  Atomic.set t.busy false
+
+let position t = t.pos
+
+let travel t = t.travel
+
+let accesses t = t.count

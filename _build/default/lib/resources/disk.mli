@@ -1,0 +1,25 @@
+(** Unsynchronized moving-head disk (the disk-scheduler problem's resource
+    half).
+
+    [access t track] seeks the arm to [track] (accumulating travel
+    distance) and performs the transfer. Accesses must be mutually
+    exclusive; overlap raises {!Busywork.Ill_synchronized}. The
+    accumulated {!travel} is the figure of merit schedulers minimize. *)
+
+type t
+
+val create : ?work:int -> tracks:int -> unit -> t
+(** Track numbers are [0 .. tracks-1]. *)
+
+val tracks : t -> int
+
+val access : t -> int -> unit
+(** @raise Invalid_argument on an out-of-range track. *)
+
+val position : t -> int
+(** Current arm position. *)
+
+val travel : t -> int
+(** Total arm travel so far. *)
+
+val accesses : t -> int

@@ -1,0 +1,48 @@
+type t = {
+  data : int array;
+  cap : int;
+  work : int;
+  head : int Atomic.t; (* next slot to read; only [get] advances it *)
+  tail : int Atomic.t; (* next slot to write; only [put] advances it *)
+  putting : bool Atomic.t;
+  getting : bool Atomic.t;
+}
+
+let create ?(work = 50) cap =
+  assert (cap >= 1);
+  { data = Array.make cap 0; cap; work; head = Atomic.make 0;
+    tail = Atomic.make 0; putting = Atomic.make false;
+    getting = Atomic.make false }
+
+let capacity t = t.cap
+
+let fail what = raise (Busywork.Ill_synchronized ("ring: " ^ what))
+
+let put t v =
+  if not (Atomic.compare_and_set t.putting false true) then
+    fail "concurrent puts";
+  let head = Atomic.get t.head and tail = Atomic.get t.tail in
+  if tail - head >= t.cap then begin
+    Atomic.set t.putting false;
+    fail "put on full buffer"
+  end;
+  Busywork.spin t.work;
+  t.data.(tail mod t.cap) <- v;
+  Atomic.set t.tail (tail + 1);
+  Atomic.set t.putting false
+
+let get t =
+  if not (Atomic.compare_and_set t.getting false true) then
+    fail "concurrent gets";
+  let head = Atomic.get t.head and tail = Atomic.get t.tail in
+  if tail - head <= 0 then begin
+    Atomic.set t.getting false;
+    fail "get on empty buffer"
+  end;
+  Busywork.spin t.work;
+  let v = t.data.(head mod t.cap) in
+  Atomic.set t.head (head + 1);
+  Atomic.set t.getting false;
+  v
+
+let occupancy t = Atomic.get t.tail - Atomic.get t.head

@@ -1,0 +1,29 @@
+(** Unsynchronized bounded FIFO buffer (the bounded-buffer problem's
+    resource half).
+
+    The ring enforces its own sequential contract and raises
+    {!Busywork.Ill_synchronized} when a synchronizer violates it:
+
+    - [put] on a full ring / [get] on an empty ring;
+    - two concurrent [put]s, or two concurrent [get]s.
+
+    One concurrent [put] alongside one concurrent [get] {e is} within the
+    contract (head and tail are independent), because the classic
+    path-expression solution serializes puts and gets separately but lets
+    them overlap each other. Mechanisms that serialize everything satisfy
+    the contract trivially. *)
+
+type t
+
+val create : ?work:int -> int -> t
+(** [create n] has capacity [n >= 1]. [work] is busy-work per operation
+    (default 50). *)
+
+val capacity : t -> int
+
+val put : t -> int -> unit
+
+val get : t -> int
+
+val occupancy : t -> int
+(** Number of items currently stored (racy snapshot). *)

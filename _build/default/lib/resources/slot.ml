@@ -1,0 +1,39 @@
+type t = {
+  work : int;
+  busy : bool Atomic.t;
+  mutable full : bool;
+  mutable value : int;
+}
+
+let create ?(work = 50) () =
+  { work; busy = Atomic.make false; full = false; value = 0 }
+
+let fail what = raise (Busywork.Ill_synchronized ("slot: " ^ what))
+
+let enter t = if not (Atomic.compare_and_set t.busy false true) then
+    fail "concurrent operations"
+
+let put t v =
+  enter t;
+  if t.full then begin
+    Atomic.set t.busy false;
+    fail "put into a full slot"
+  end;
+  Busywork.spin t.work;
+  t.value <- v;
+  t.full <- true;
+  Atomic.set t.busy false
+
+let get t =
+  enter t;
+  if not t.full then begin
+    Atomic.set t.busy false;
+    fail "get from an empty slot"
+  end;
+  Busywork.spin t.work;
+  let v = t.value in
+  t.full <- false;
+  Atomic.set t.busy false;
+  v
+
+let is_full t = t.full

@@ -1,0 +1,16 @@
+(** Unsynchronized one-slot buffer (the history-information problem's
+    resource half, after Campbell-Habermann).
+
+    The slot's sequential contract is strict alternation: [put] only into
+    an empty slot, [get] only from a full one, never concurrently.
+    Violations raise {!Busywork.Ill_synchronized}. *)
+
+type t
+
+val create : ?work:int -> unit -> t
+
+val put : t -> int -> unit
+
+val get : t -> int
+
+val is_full : t -> bool

@@ -1,0 +1,41 @@
+type t = {
+  work : int;
+  version : int Atomic.t;
+  active_readers : int Atomic.t;
+  writing : bool Atomic.t;
+  total_reads : int Atomic.t;
+  total_writes : int Atomic.t;
+}
+
+let create ?(work = 50) () =
+  { work; version = Atomic.make 0; active_readers = Atomic.make 0;
+    writing = Atomic.make false; total_reads = Atomic.make 0;
+    total_writes = Atomic.make 0 }
+
+let fail what = raise (Busywork.Ill_synchronized ("store: " ^ what))
+
+let read t =
+  Atomic.incr t.active_readers;
+  if Atomic.get t.writing then fail "read overlapping a write";
+  Busywork.spin t.work;
+  let v = Atomic.get t.version in
+  if Atomic.get t.writing then fail "write began during a read";
+  Atomic.decr t.active_readers;
+  Atomic.incr t.total_reads;
+  v
+
+let write t =
+  if not (Atomic.compare_and_set t.writing false true) then
+    fail "concurrent writes";
+  if Atomic.get t.active_readers > 0 then fail "write overlapping reads";
+  Busywork.spin t.work;
+  Atomic.incr t.version;
+  if Atomic.get t.active_readers > 0 then fail "read began during a write";
+  Atomic.set t.writing false;
+  Atomic.incr t.total_writes
+
+let version t = Atomic.get t.version
+
+let reads t = Atomic.get t.total_reads
+
+let writes t = Atomic.get t.total_writes

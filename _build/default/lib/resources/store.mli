@@ -1,0 +1,22 @@
+(** Unsynchronized readable/writable store (the readers-writers database's
+    resource half).
+
+    Contract, checked at runtime ({!Busywork.Ill_synchronized} on
+    violation): any number of concurrent [read]s, but a [write] excludes
+    both readers and other writers. [read] returns the store's version;
+    [write] increments it. *)
+
+type t
+
+val create : ?work:int -> unit -> t
+
+val read : t -> int
+
+val write : t -> unit
+
+val version : t -> int
+
+val reads : t -> int
+(** Total completed reads. *)
+
+val writes : t -> int

@@ -1,0 +1,1 @@
+lib/serializer/serializer.ml: Condition List Mutex

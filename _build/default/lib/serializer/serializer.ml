@@ -1,0 +1,191 @@
+(* Possession protocol: one low-level mutex protects everything. A waiter
+   woken from the entry queue or from an event queue has had possession
+   transferred to it ([busy] stays true). Guard re-evaluation happens at
+   every possession-release point, under the lock. *)
+
+type waiter = {
+  guard : unit -> bool;
+  rank : int;
+  seq : int; (* global arrival order, used for longest-waiting arbitration *)
+  cond : Condition.t;
+  mutable released : bool;
+}
+
+type queue = { qname : string; mutable waiters : waiter list (* sorted *) }
+
+type crowd = { cname : string; mutable members : int }
+
+type t = {
+  lock : Mutex.t;
+  mutable busy : bool;
+  mutable entry : waiter list; (* FIFO, sorted by seq *)
+  mutable queues : queue list; (* creation order *)
+  mutable next_seq : int;
+}
+
+let create () =
+  { lock = Mutex.create (); busy = false; entry = []; queues = [];
+    next_seq = 0 }
+
+let fresh_waiter t ?(rank = 0) guard =
+  let w =
+    { guard; rank; seq = t.next_seq; cond = Condition.create ();
+      released = false }
+  in
+  t.next_seq <- t.next_seq + 1;
+  w
+
+(* Insert by (rank, seq): FIFO within equal ranks. *)
+let rec insert_sorted w = function
+  | [] -> [ w ]
+  | w' :: rest as l ->
+    if (w.rank, w.seq) < (w'.rank, w'.seq) then w :: l
+    else w' :: insert_sorted w rest
+
+(* Must hold t.lock. Pick, among the heads of all event queues whose guard
+   is true, the one waiting longest (smallest seq); transfer possession to
+   it. Otherwise hand possession to the oldest entry waiter; otherwise the
+   serializer becomes free. *)
+let release_possession t =
+  let eligible_head q =
+    match q.waiters with
+    | [] -> None
+    | w :: _ -> if w.guard () then Some (q, w) else None
+  in
+  let best =
+    List.fold_left
+      (fun best q ->
+        match (eligible_head q, best) with
+        | None, best -> best
+        | Some c, None -> Some c
+        | Some (q, w), Some (_, w') ->
+          if w.seq < w'.seq then Some (q, w) else best)
+      None t.queues
+  in
+  match best with
+  | Some (q, w) ->
+    q.waiters <- List.filter (fun w' -> w' != w) q.waiters;
+    w.released <- true;
+    Condition.signal w.cond
+  | None -> (
+    match t.entry with
+    | w :: rest ->
+      t.entry <- rest;
+      w.released <- true;
+      Condition.signal w.cond
+    | [] -> t.busy <- false)
+
+let park t w =
+  while not w.released do
+    Condition.wait w.cond t.lock
+  done
+
+let acquire t =
+  Mutex.lock t.lock;
+  if t.busy then begin
+    let w = fresh_waiter t (fun () -> true) in
+    t.entry <- t.entry @ [ w ];
+    park t w
+  end
+  else t.busy <- true;
+  Mutex.unlock t.lock
+
+let release t =
+  Mutex.lock t.lock;
+  release_possession t;
+  Mutex.unlock t.lock
+
+let with_serializer t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e
+
+let inside t =
+  Mutex.lock t.lock;
+  let b = t.busy in
+  Mutex.unlock t.lock;
+  b
+
+module Queue = struct
+  type serializer = t
+
+  type t = { owner : serializer; q : queue }
+
+  let create ?(name = "queue") owner =
+    let q = { qname = name; waiters = [] } in
+    Mutex.lock owner.lock;
+    owner.queues <- owner.queues @ [ q ];
+    Mutex.unlock owner.lock;
+    { owner; q }
+
+  let name t = t.q.qname
+
+  let length t =
+    Mutex.lock t.owner.lock;
+    let n = List.length t.q.waiters in
+    Mutex.unlock t.owner.lock;
+    n
+
+  let is_empty t = length t = 0
+
+  let guard_length t = List.length t.q.waiters
+
+  let guard_is_empty t = t.q.waiters = []
+end
+
+module Crowd = struct
+  type serializer = t
+
+  type t = { owner : serializer; c : crowd }
+
+  let create ?(name = "crowd") owner =
+    { owner; c = { cname = name; members = 0 } }
+
+  let name t = t.c.cname
+
+  (* Crowd tests are used inside guards, which already run under the
+     serializer lock; they are also used from tests outside it. Reading an
+     int field is atomic enough for both. *)
+  let count t = t.c.members
+
+  let is_empty t = t.c.members = 0
+end
+
+let enqueue ?rank (q : Queue.t) ~until =
+  let t = q.Queue.owner in
+  Mutex.lock t.lock;
+  let w = fresh_waiter t ?rank until in
+  q.Queue.q.waiters <- insert_sorted w q.Queue.q.waiters;
+  release_possession t;
+  park t w;
+  Mutex.unlock t.lock
+
+let join_crowd (c : Crowd.t) ~body =
+  let t = c.Crowd.owner in
+  Mutex.lock t.lock;
+  c.Crowd.c.members <- c.Crowd.c.members + 1;
+  release_possession t;
+  Mutex.unlock t.lock;
+  let regain () =
+    Mutex.lock t.lock;
+    if t.busy then begin
+      let w = fresh_waiter t (fun () -> true) in
+      t.entry <- t.entry @ [ w ];
+      park t w
+    end
+    else t.busy <- true;
+    c.Crowd.c.members <- c.Crowd.c.members - 1;
+    Mutex.unlock t.lock
+  in
+  match body () with
+  | v ->
+    regain ();
+    v
+  | exception e ->
+    regain ();
+    raise e

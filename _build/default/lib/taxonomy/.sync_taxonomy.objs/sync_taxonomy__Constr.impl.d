@@ -1,0 +1,1 @@
+lib/taxonomy/constr.ml: Format Info

@@ -1,0 +1,1 @@
+lib/taxonomy/constr.mli: Format Info

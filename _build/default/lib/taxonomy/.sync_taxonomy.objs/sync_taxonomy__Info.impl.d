@@ -1,0 +1,1 @@
+lib/taxonomy/info.ml: Format Int

@@ -1,0 +1,1 @@
+lib/taxonomy/info.mli: Format

@@ -1,0 +1,1 @@
+lib/taxonomy/meta.ml: Format Info Printf String

@@ -1,0 +1,1 @@
+lib/taxonomy/meta.mli: Format Info

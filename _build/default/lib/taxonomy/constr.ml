@@ -1,0 +1,21 @@
+type cls = Exclusion | Priority
+
+type t = {
+  id : string;
+  cls : cls;
+  info : Info.kind list;
+  description : string;
+}
+
+let make ~id ~cls ~info ~description = { id; cls; info; description }
+
+let cls_to_string = function
+  | Exclusion -> "exclusion"
+  | Priority -> "priority"
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%s; %a]: %s" t.id (cls_to_string t.cls)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Info.pp)
+    t.info t.description

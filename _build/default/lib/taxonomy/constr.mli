@@ -1,0 +1,24 @@
+(** Synchronization constraints (Section 3): every scheme decomposes into
+    exclusion constraints ("if condition then exclude process A") and
+    priority constraints ("if condition then A has priority over B"),
+    whose conditions draw on the six {!Info.kind} categories. A problem
+    specification is a named set of such constraints; solutions tag the
+    code fragments implementing each constraint so the ease-of-use
+    analysis (constraint independence, Section 4.2) can compare them
+    across problems and mechanisms. *)
+
+type cls = Exclusion | Priority
+
+type t = {
+  id : string;  (** stable identifier, e.g. "rw-exclusion" *)
+  cls : cls;
+  info : Info.kind list;  (** information the condition refers to *)
+  description : string;   (** the constraint in the paper's if-then form *)
+}
+
+val make :
+  id:string -> cls:cls -> info:Info.kind list -> description:string -> t
+
+val cls_to_string : cls -> string
+
+val pp : Format.formatter -> t -> unit

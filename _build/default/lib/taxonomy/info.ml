@@ -1,0 +1,49 @@
+type kind =
+  | Request_type
+  | Request_time
+  | Parameters
+  | Sync_state
+  | Local_state
+  | History
+
+let all =
+  [ Request_type; Request_time; Parameters; Sync_state; Local_state; History ]
+
+let to_string = function
+  | Request_type -> "request-type"
+  | Request_time -> "request-time"
+  | Parameters -> "parameters"
+  | Sync_state -> "sync-state"
+  | Local_state -> "local-state"
+  | History -> "history"
+
+let of_string = function
+  | "request-type" -> Some Request_type
+  | "request-time" -> Some Request_time
+  | "parameters" -> Some Parameters
+  | "sync-state" -> Some Sync_state
+  | "local-state" -> Some Local_state
+  | "history" -> Some History
+  | _ -> None
+
+let short = function
+  | Request_type -> "type"
+  | Request_time -> "time"
+  | Parameters -> "param"
+  | Sync_state -> "sync"
+  | Local_state -> "local"
+  | History -> "hist"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let index = function
+  | Request_type -> 0
+  | Request_time -> 1
+  | Parameters -> 2
+  | Sync_state -> 3
+  | Local_state -> 4
+  | History -> 5
+
+let compare a b = Int.compare (index a) (index b)
+
+let equal a b = index a = index b

@@ -1,0 +1,26 @@
+(** The paper's six categories of information that synchronization
+    constraints may refer to (Section 3). *)
+
+type kind =
+  | Request_type   (** which resource operation is being requested *)
+  | Request_time   (** arrival order of requests *)
+  | Parameters     (** arguments passed with the request *)
+  | Sync_state     (** processes currently accessing the resource *)
+  | Local_state    (** state the resource has even without concurrency *)
+  | History        (** whether given past events have occurred *)
+
+val all : kind list
+(** In the paper's numbering order (1-6). *)
+
+val to_string : kind -> string
+
+val of_string : string -> kind option
+
+val short : kind -> string
+(** Column label for matrices, <= 6 chars. *)
+
+val pp : Format.formatter -> kind -> unit
+
+val compare : kind -> kind -> int
+
+val equal : kind -> kind -> bool

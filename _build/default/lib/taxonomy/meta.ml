@@ -1,0 +1,42 @@
+type support = Direct | Indirect | Unsupported
+
+type separation = Separated | Blended | Enforced
+
+type t = {
+  mechanism : string;
+  problem : string;
+  variant : string;
+  fragments : (string * string list) list;
+  info_access : (Info.kind * support) list;
+  aux_state : string list;
+  sync_procedures : string list;
+  separation : separation;
+}
+
+let make ~mechanism ~problem ?(variant = "default") ~fragments ~info_access
+    ?(aux_state = []) ?(sync_procedures = []) ~separation () =
+  { mechanism; problem; variant; fragments; info_access; aux_state;
+    sync_procedures; separation }
+
+let support_to_string = function
+  | Direct -> "direct"
+  | Indirect -> "indirect"
+  | Unsupported -> "unsupported"
+
+let support_symbol = function
+  | Direct -> "D"
+  | Indirect -> "I"
+  | Unsupported -> "-"
+
+let separation_to_string = function
+  | Separated -> "separated"
+  | Blended -> "blended"
+  | Enforced -> "enforced"
+
+let id t = Printf.sprintf "%s/%s@%s" t.problem t.variant t.mechanism
+
+let pp ppf t =
+  Format.fprintf ppf "%s: separation=%s aux=[%s] procs=[%s]" (id t)
+    (separation_to_string t.separation)
+    (String.concat "; " t.aux_state)
+    (String.concat "; " t.sync_procedures)

@@ -1,0 +1,52 @@
+(** Per-solution evaluation metadata.
+
+    Every concrete solution in [sync_problems] carries a [Meta.t]
+    describing {e how} it was built, mirroring what Bloom extracted by
+    hand from each example in TR-211:
+
+    - which code fragment implements each constraint of the problem spec
+      (as a canonical token list, so the independence analysis can diff
+      the implementations of a shared constraint across two solutions);
+    - how each information category the problem needs was accessed —
+      [Direct] through a construct of the mechanism, [Indirect] through
+      user-maintained auxiliary state or extra "synchronization
+      procedures", or [Unsupported];
+    - whether the resource implementation and the synchronizer are
+      [Separated] (the Section-2 structure, by discipline), [Enforced]
+      (the mechanism imposes the structure), or [Blended];
+    - the auxiliary synchronization state and extra gate procedures the
+      implementor was forced to introduce. *)
+
+type support = Direct | Indirect | Unsupported
+
+type separation = Separated | Blended | Enforced
+
+type t = {
+  mechanism : string;
+  problem : string;
+  variant : string;
+  fragments : (string * string list) list;
+      (** constraint id -> canonical tokens implementing it *)
+  info_access : (Info.kind * support) list;
+  aux_state : string list;
+  sync_procedures : string list;
+  separation : separation;
+}
+
+val make :
+  mechanism:string -> problem:string -> ?variant:string ->
+  fragments:(string * string list) list ->
+  info_access:(Info.kind * support) list -> ?aux_state:string list ->
+  ?sync_procedures:string list -> separation:separation -> unit -> t
+
+val support_to_string : support -> string
+
+val support_symbol : support -> string
+(** "D" / "I" / "-" for matrix cells. *)
+
+val separation_to_string : separation -> string
+
+val id : t -> string
+(** "problem/variant@mechanism", unique across the registry. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Atomic Csp Fun List Sync_csp Sync_platform Testutil

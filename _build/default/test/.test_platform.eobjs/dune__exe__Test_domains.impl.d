@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Atomic Domain List Process Semaphore Sync_csp Sync_monitor Sync_pathexpr Sync_platform Sync_problems Sync_resources Sync_serializer Testutil

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Atomic Eventcount Fun List Sync_ccr Sync_platform Testutil Thread Tsqueue

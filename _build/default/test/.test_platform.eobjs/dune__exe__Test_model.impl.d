@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Explore List Mon Printf Scenarios Sem String Sync_model Sysstate

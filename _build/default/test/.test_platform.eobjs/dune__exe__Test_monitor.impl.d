@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Atomic List Monitor Protected Sync_monitor Sync_platform Testutil Thread

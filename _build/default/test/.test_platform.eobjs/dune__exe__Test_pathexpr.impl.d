@@ -1,0 +1,1 @@
+test/test_pathexpr.ml: Alcotest Ast Atomic List Parser Pathexpr Printf QCheck QCheck_alcotest String Sync_pathexpr Sync_platform Testutil Thread

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Atomic Backoff Clock Fun Heap Latch List Mutex Prng Process QCheck QCheck_alcotest Semaphore String Sync_platform Testutil Thread Trace Tsqueue Waitq

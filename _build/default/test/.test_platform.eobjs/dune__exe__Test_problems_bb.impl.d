@@ -1,0 +1,1 @@
+test/test_problems_bb.ml: Alcotest Bb_ccr Bb_csp Bb_evc Bb_harness Bb_intf Bb_mon Bb_path Bb_sem Bb_ser List Spec Sync_problems Sync_taxonomy

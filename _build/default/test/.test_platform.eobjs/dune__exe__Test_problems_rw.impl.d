@@ -1,0 +1,1 @@
+test/test_problems_rw.ml: Alcotest List Rw_ccr Rw_csp Rw_harness Rw_intf Rw_mon Rw_path Rw_sem Rw_ser Sync_problems

@@ -1,0 +1,1 @@
+test/test_resources.ml: Alcotest Busywork Disk Int64 Ivl List Process QCheck QCheck_alcotest Ring Slot Store Sync_platform Sync_problems Sync_resources Trace

@@ -1,0 +1,1 @@
+test/test_serializer.ml: Alcotest Atomic List Serializer Sync_platform Sync_serializer Testutil Thread

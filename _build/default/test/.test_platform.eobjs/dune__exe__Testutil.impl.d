@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Atomic Clock Int64 List Mutex Process Sync_platform Thread

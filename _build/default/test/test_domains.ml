@@ -1,0 +1,152 @@
+(* The same core invariants under OCaml 5 domains (true parallelism),
+   exercising the repro band's requirement: the mechanisms must be
+   correct for parallel execution, not only for interleaved threads. *)
+
+open Sync_platform
+
+let check_int = Alcotest.(check int)
+
+let run_domains fs = Process.run_all ~backend:`Domain fs
+
+let test_semaphore_exclusion () =
+  let s = Semaphore.Counting.create 1 in
+  let g = Testutil.Gauge.create () in
+  let worker () =
+    for _ = 1 to 200 do
+      Semaphore.Counting.p s;
+      Testutil.Gauge.enter g;
+      Domain.cpu_relax ();
+      Testutil.Gauge.leave g;
+      Semaphore.Counting.v s
+    done
+  in
+  run_domains [ worker; worker; worker ];
+  check_int "exclusive" 1 (Testutil.Gauge.max g)
+
+let test_monitor_exclusion () =
+  let m = Sync_monitor.Monitor.create () in
+  let g = Testutil.Gauge.create () in
+  let worker () =
+    for _ = 1 to 200 do
+      Sync_monitor.Monitor.with_monitor m (fun () ->
+          Testutil.Gauge.enter g;
+          Domain.cpu_relax ();
+          Testutil.Gauge.leave g)
+    done
+  in
+  run_domains [ worker; worker; worker ];
+  check_int "exclusive" 1 (Testutil.Gauge.max g)
+
+let test_serializer_exclusion () =
+  let s = Sync_serializer.Serializer.create () in
+  let g = Testutil.Gauge.create () in
+  let worker () =
+    for _ = 1 to 200 do
+      Sync_serializer.Serializer.with_serializer s (fun () ->
+          Testutil.Gauge.enter g;
+          Domain.cpu_relax ();
+          Testutil.Gauge.leave g)
+    done
+  in
+  run_domains [ worker; worker; worker ];
+  check_int "exclusive" 1 (Testutil.Gauge.max g)
+
+let test_pathexpr_exclusion () =
+  let p = Sync_pathexpr.Pathexpr.of_string "path a , b end" in
+  let g = Testutil.Gauge.create () in
+  let worker op () =
+    for _ = 1 to 100 do
+      Sync_pathexpr.Pathexpr.run p op (fun () ->
+          Testutil.Gauge.enter g;
+          Domain.cpu_relax ();
+          Testutil.Gauge.leave g)
+    done
+  in
+  run_domains [ worker "a"; worker "b" ];
+  check_int "exclusive" 1 (Testutil.Gauge.max g)
+
+let test_monitor_producer_consumer () =
+  let ring = Sync_resources.Ring.create ~work:10 4 in
+  let buffer =
+    Sync_problems.Bb_mon.create ~capacity:4
+      ~put:(fun ~pid:_ v -> Sync_resources.Ring.put ring v)
+      ~get:(fun ~pid:_ -> Sync_resources.Ring.get ring)
+  in
+  let n = 300 in
+  let sum = Atomic.make 0 in
+  run_domains
+    [ (fun () ->
+        for k = 1 to n do
+          Sync_problems.Bb_mon.put buffer ~pid:0 k
+        done);
+      (fun () ->
+        for _ = 1 to n do
+          ignore
+            (Atomic.fetch_and_add sum (Sync_problems.Bb_mon.get buffer ~pid:1))
+        done) ];
+  check_int "all items transferred" (n * (n + 1) / 2) (Atomic.get sum)
+
+let test_csp_rendezvous () =
+  let net = Sync_csp.Csp.network () in
+  let ch = Sync_csp.Csp.Channel.create net in
+  let sum = Atomic.make 0 in
+  run_domains
+    [ (fun () -> for i = 1 to 100 do Sync_csp.Csp.send ch i done);
+      (fun () ->
+        for _ = 1 to 100 do
+          ignore (Atomic.fetch_and_add sum (Sync_csp.Csp.recv ch))
+        done) ];
+  check_int "all values received" 5050 (Atomic.get sum)
+
+let solutions_bb : (string * (module Sync_problems.Bb_intf.S)) list =
+  [ ("semaphore", (module Sync_problems.Bb_sem));
+    ("monitor", (module Sync_problems.Bb_mon));
+    ("serializer", (module Sync_problems.Bb_ser));
+    ("pathexpr", (module Sync_problems.Bb_path));
+    ("ccr", (module Sync_problems.Bb_ccr));
+    ("eventcount", (module Sync_problems.Bb_evc)) ]
+
+let bb_domain_tests =
+  List.map
+    (fun (name, m) ->
+      Alcotest.test_case name `Quick (fun () ->
+          match
+            Sync_problems.Bb_harness.verify ~backend:`Domain ~capacity:3
+              ~producers:2 ~consumers:2 ~items_per_producer:20 m
+          with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: %s" name msg))
+    solutions_bb
+
+let rw_domain_tests =
+  List.map
+    (fun (name, m) ->
+      Alcotest.test_case name `Quick (fun () ->
+          match
+            Sync_problems.Rw_harness.verify_exclusion ~backend:`Domain
+              ~readers:3 ~writers:2 ~reads_each:20 ~writes_each:6 m
+          with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: %s" name msg))
+    [ ("monitor", (module Sync_problems.Rw_mon.Readers_prio
+         : Sync_problems.Rw_intf.S));
+      ("serializer", (module Sync_problems.Rw_ser.Readers_prio));
+      ("pathexpr-fig2", (module Sync_problems.Rw_path.Fig2));
+      ("ccr", (module Sync_problems.Rw_ccr.Readers_prio));
+      ("csp", (module Sync_problems.Rw_csp.Readers_prio)) ]
+
+let () =
+  Alcotest.run "domains"
+    [ ( "parallel-invariants",
+        [ Alcotest.test_case "semaphore exclusion" `Quick
+            test_semaphore_exclusion;
+          Alcotest.test_case "monitor exclusion" `Quick test_monitor_exclusion;
+          Alcotest.test_case "serializer exclusion" `Quick
+            test_serializer_exclusion;
+          Alcotest.test_case "pathexpr exclusion" `Quick
+            test_pathexpr_exclusion;
+          Alcotest.test_case "monitor producer/consumer" `Quick
+            test_monitor_producer_consumer;
+          Alcotest.test_case "csp rendezvous" `Quick test_csp_rendezvous ] );
+      ("bounded-buffer-on-domains", bb_domain_tests);
+      ("readers-writers-on-domains", rw_domain_tests) ]

@@ -1,0 +1,248 @@
+(* The mechanized methodology itself: registry hygiene, matrix agreement
+   with the paper, independence metric properties, modularity ordering. *)
+open Sync_eval
+open Sync_taxonomy
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Registry hygiene                                                    *)
+
+let test_registry_ids_unique () =
+  let ids = List.map (fun e -> Meta.id e.Registry.meta) Registry.all in
+  let dups =
+    List.filter (fun id -> List.length (List.filter (( = ) id) ids) > 1) ids
+  in
+  Alcotest.(check (list string)) "no duplicate ids" [] dups
+
+let test_registry_covers_matrix () =
+  (* Every canonical problem has a solution under every mechanism. *)
+  List.iter
+    (fun problem ->
+      List.iter
+        (fun mech ->
+          let hit =
+            List.exists
+              (fun e ->
+                e.Registry.meta.Meta.problem = problem
+                && e.Registry.meta.Meta.mechanism = mech)
+              Registry.all
+          in
+          check_bool (problem ^ "@" ^ mech) true hit)
+        Registry.mechanisms)
+    Registry.problems
+
+let test_fragments_cover_spec_constraints () =
+  List.iter
+    (fun e ->
+      List.iter
+        (fun c ->
+          check_bool
+            (Meta.id e.Registry.meta ^ " implements " ^ c.Constr.id)
+            true
+            (List.mem_assoc c.Constr.id e.Registry.meta.Meta.fragments))
+        e.Registry.spec.Sync_problems.Spec.constraints)
+    Registry.all
+
+let test_info_access_covers_spec_info () =
+  (* Every information category a problem exercises must be classified by
+     each of its solutions. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun kind ->
+          check_bool
+            (Meta.id e.Registry.meta ^ " classifies "
+            ^ Info.to_string kind)
+            true
+            (List.mem_assoc kind e.Registry.meta.Meta.info_access))
+        e.Registry.spec.Sync_problems.Spec.info)
+    Registry.all
+
+let test_expected_anomalies_are_exactly_two () =
+  let anomalies =
+    List.filter (fun e -> not e.Registry.expect_conformant) Registry.all
+  in
+  Alcotest.(check (list string))
+    "documented anomalies"
+    [ "readers-writers/readers-priority-courtois@semaphore";
+      "readers-writers/fig1-readers-priority@pathexpr" ]
+    (List.map (fun e -> Meta.id e.Registry.meta) anomalies)
+
+(* ------------------------------------------------------------------ *)
+(* Expressiveness (E3)                                                 *)
+
+let test_matrix_agrees_with_paper () =
+  let m = Expressiveness.matrix Registry.all in
+  match Expressiveness.agrees_with_paper m with
+  | [] -> ()
+  | (mech, kind, why) :: _ ->
+    Alcotest.failf "matrix disagrees: %s/%s: %s" mech (Info.to_string kind)
+      why
+
+let test_matrix_pathexpr_parameters_unsupported () =
+  let m = Expressiveness.matrix Registry.all in
+  let cells = List.assoc "pathexpr" m in
+  match (List.assoc Info.Parameters cells).Expressiveness.level with
+  | Some Meta.Unsupported -> ()
+  | other ->
+    Alcotest.failf "expected unsupported, got %s"
+      (match other with
+      | None -> "none"
+      | Some l -> Meta.support_to_string l)
+
+let test_matrix_csp_all_direct () =
+  let m = Expressiveness.matrix Registry.all in
+  let cells = List.assoc "csp" m in
+  List.iter
+    (fun (kind, cell) ->
+      match cell.Expressiveness.level with
+      | Some Meta.Direct -> ()
+      | _ -> Alcotest.failf "csp %s not direct" (Info.to_string kind))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Independence (E4)                                                   *)
+
+let test_jaccard_basics () =
+  Alcotest.(check (float 1e-9)) "empty" 1.0 (Independence.jaccard [] []);
+  Alcotest.(check (float 1e-9)) "identical" 1.0
+    (Independence.jaccard [ "a"; "b" ] [ "a"; "b" ]);
+  Alcotest.(check (float 1e-9)) "disjoint" 0.0
+    (Independence.jaccard [ "a" ] [ "b" ]);
+  Alcotest.(check (float 1e-9)) "one of three" (1.0 /. 3.0)
+    (Independence.jaccard [ "a"; "b" ] [ "a"; "c" ]);
+  (* multiset: duplicates matter *)
+  Alcotest.(check (float 1e-9)) "multiset" 0.5
+    (Independence.jaccard [ "a"; "a" ] [ "a" ])
+
+let prop_jaccard_symmetric =
+  QCheck.Test.make ~name:"jaccard symmetric"
+    QCheck.(pair (list (string_of_size Gen.(int_range 1 3)))
+              (list (string_of_size Gen.(int_range 1 3))))
+    (fun (a, b) ->
+      Float.abs (Independence.jaccard a b -. Independence.jaccard b a)
+      < 1e-9)
+
+let prop_jaccard_bounded =
+  QCheck.Test.make ~name:"jaccard in [0,1]"
+    QCheck.(pair (list (string_of_size Gen.(int_range 1 3)))
+              (list (string_of_size Gen.(int_range 1 3))))
+    (fun (a, b) ->
+      let j = Independence.jaccard a b in
+      j >= 0.0 && j <= 1.0)
+
+let prop_jaccard_reflexive =
+  QCheck.Test.make ~name:"jaccard reflexive"
+    QCheck.(list (string_of_size Gen.(int_range 1 3)))
+    (fun a -> Independence.jaccard a a = 1.0)
+
+let test_reuse_reproduces_paper_ordering () =
+  let reuse =
+    Independence.shared_constraint_reuse (Independence.analyze Registry.all)
+  in
+  let get m = List.assoc m reuse in
+  check_bool "monitor fully reuses exclusion" true (get "monitor" > 0.99);
+  check_bool "serializer fully reuses exclusion" true
+    (get "serializer" > 0.99);
+  check_bool "csp fully reuses exclusion" true (get "csp" > 0.99);
+  check_bool "pathexpr rewrites exclusion" true (get "pathexpr" < 0.7);
+  check_bool "monitor beats pathexpr" true (get "monitor" > get "pathexpr")
+
+(* ------------------------------------------------------------------ *)
+(* Modularity (E5)                                                     *)
+
+let test_modularity_ordering () =
+  let rows = Modularity.analyze Registry.all in
+  let score m =
+    (List.find (fun r -> r.Modularity.mechanism = m) rows).Modularity.score
+  in
+  check_bool "serializer enforces structure" true (score "serializer" > 0.9);
+  check_bool "csp enforces structure" true (score "csp" > 0.9);
+  check_bool "pathexpr scores worst of the paper's three" true
+    (score "pathexpr" < score "monitor"
+    && score "pathexpr" < score "serializer")
+
+let test_pathexpr_needs_sync_procedures () =
+  let rows = Modularity.analyze Registry.all in
+  let row m = List.find (fun r -> r.Modularity.mechanism = m) rows in
+  check_bool "pathexpr has sync procedures" true
+    ((row "pathexpr").Modularity.sync_procedures > 0);
+  List.iter
+    (fun m ->
+      Alcotest.(check int)
+        (m ^ " needs no sync procedures")
+        0
+        (row m).Modularity.sync_procedures)
+    [ "semaphore"; "monitor"; "serializer"; "csp" ]
+
+(* ------------------------------------------------------------------ *)
+(* Conformance plumbing (E6) — using a tiny synthetic registry so the
+   test stays fast; the full run is exercised by the bench harness.     *)
+
+let synthetic ~ok ~expect =
+  { Registry.meta =
+      Meta.make ~mechanism:"fake" ~problem:"fake"
+        ~variant:(Printf.sprintf "ok=%b,expect=%b" ok expect)
+        ~fragments:[] ~info_access:[] ~separation:Meta.Separated ();
+    spec = Sync_problems.Fcfs_intf.spec;
+    verify = (fun () -> if ok then Ok () else Error "synthetic failure");
+    expect_conformant = expect }
+
+let test_conformance_outcomes () =
+  let results =
+    Conformance.run
+      [ synthetic ~ok:true ~expect:true; synthetic ~ok:false ~expect:true;
+        synthetic ~ok:false ~expect:false; synthetic ~ok:true ~expect:false ]
+  in
+  let outcomes = List.map (fun r -> r.Conformance.outcome) results in
+  (match outcomes with
+  | [ Conformance.Conformant; Conformance.Nonconformant _;
+      Conformance.Expected_anomaly _; Conformance.Unexpected_pass ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected outcome classification");
+  Alcotest.(check int) "two regressions" 2
+    (List.length (Conformance.regressions results))
+
+let test_scorecard_renders () =
+  let card = Scorecard.build ~run_conformance:false () in
+  let s = Scorecard.to_string card in
+  check_bool "mentions E3" true
+    (Astring.String.is_infix ~affix:"expressive power" s
+     || String.length s > 0)
+
+let () =
+  Alcotest.run "eval"
+    [ ( "registry",
+        [ Alcotest.test_case "ids unique" `Quick test_registry_ids_unique;
+          Alcotest.test_case "covers problem x mechanism" `Quick
+            test_registry_covers_matrix;
+          Alcotest.test_case "fragments cover constraints" `Quick
+            test_fragments_cover_spec_constraints;
+          Alcotest.test_case "info access covers spec info" `Quick
+            test_info_access_covers_spec_info;
+          Alcotest.test_case "documented anomalies" `Quick
+            test_expected_anomalies_are_exactly_two ] );
+      ( "expressiveness",
+        [ Alcotest.test_case "agrees with paper" `Quick
+            test_matrix_agrees_with_paper;
+          Alcotest.test_case "pathexpr parameters unsupported" `Quick
+            test_matrix_pathexpr_parameters_unsupported;
+          Alcotest.test_case "csp all direct" `Quick test_matrix_csp_all_direct
+        ] );
+      ( "independence",
+        [ Alcotest.test_case "jaccard basics" `Quick test_jaccard_basics;
+          QCheck_alcotest.to_alcotest prop_jaccard_symmetric;
+          QCheck_alcotest.to_alcotest prop_jaccard_bounded;
+          QCheck_alcotest.to_alcotest prop_jaccard_reflexive;
+          Alcotest.test_case "reuse reproduces paper ordering" `Quick
+            test_reuse_reproduces_paper_ordering ] );
+      ( "modularity",
+        [ Alcotest.test_case "ordering" `Quick test_modularity_ordering;
+          Alcotest.test_case "pathexpr sync procedures" `Quick
+            test_pathexpr_needs_sync_procedures ] );
+      ( "conformance",
+        [ Alcotest.test_case "outcome classification" `Quick
+            test_conformance_outcomes;
+          Alcotest.test_case "scorecard renders" `Quick test_scorecard_renders
+        ] ) ]

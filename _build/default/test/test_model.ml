@@ -1,0 +1,182 @@
+(* The exhaustive-interleaving model checker (E17): explorer mechanics,
+   the pure semaphore/monitor semantics, and the three staged-scenario
+   proofs. *)
+
+open Sync_model
+open Sysstate
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore model: exclusion + FIFO over ALL interleavings            *)
+
+let cs_proc ~me =
+  { Explore.name = me;
+    actions =
+      [ (let r = Sem.request "s" ~me in
+         (* Fuse the request with its ghost mark so "request order" is
+            well-defined. *)
+         act (me ^ ":request+mark") (fun t ->
+             r.apply (log_event t ("req:" ^ me))));
+        Sem.acquire "s" ~me;
+        act (me ^ ":cs-in") (fun t ->
+            let t = log_event t ("got:" ^ me) in
+            set_int t "in_cs" (int_of t "in_cs" + 1));
+        act (me ^ ":cs-out") (fun t -> set_int t "in_cs" (int_of t "in_cs" - 1));
+        Sem.v "s" ] }
+
+let test_sem_exclusion_all_interleavings () =
+  let init = init ~sems:[ ("s", 1) ] ~ints:[ ("in_cs", 0) ] () in
+  match
+    Explore.check ~init
+      ~invariant:(fun t ->
+        if int_of t "in_cs" > 1 then Some "two processes in the section"
+        else None)
+      [ cs_proc ~me:"A"; cs_proc ~me:"B"; cs_proc ~me:"C" ]
+  with
+  | Ok stats ->
+    check_bool "explored something" true (stats.Explore.states > 10)
+  | Error msg -> Alcotest.fail msg
+
+let test_sem_fifo_all_interleavings () =
+  let init = init ~sems:[ ("s", 1) ] ~ints:[ ("in_cs", 0) ] () in
+  let project prefix log =
+    List.filter_map
+      (fun e ->
+        if String.length e > 4 && String.sub e 0 4 = prefix then
+          Some (String.sub e 4 (String.length e - 4))
+        else None)
+      log
+  in
+  match
+    Explore.check ~init
+      ~property:(fun t ->
+        let log = logged t in
+        if project "req:" log = project "got:" log then None
+        else Some "grant order diverged from request order")
+      [ cs_proc ~me:"A"; cs_proc ~me:"B"; cs_proc ~me:"C" ]
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_explorer_finds_classic_deadlock () =
+  let grab a b me =
+    { Explore.name = me;
+      actions = Sem.p a ~me @ Sem.p b ~me @ [ Sem.v b; Sem.v a ] }
+  in
+  let init = init ~sems:[ ("a", 1); ("b", 1) ] () in
+  let stats = Explore.run ~init [ grab "a" "b" "P"; grab "b" "a" "Q" ] in
+  check_bool "deadlock found" true (stats.Explore.deadlocks <> []);
+  check_bool "some schedules complete" true (stats.Explore.terminals > 0)
+
+let test_invariant_violation_reported () =
+  let init = init ~ints:[ ("x", 0) ] () in
+  let p =
+    { Explore.name = "P";
+      actions = [ act "P:bump" (fun t -> set_int t "x" 1) ] }
+  in
+  let stats =
+    Explore.run ~init
+      ~invariant:(fun t -> if int_of t "x" = 1 then Some "x hit 1" else None)
+      [ p ]
+  in
+  check_int "one violation" 1 (List.length stats.Explore.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor model: Hoare no-barging over ALL interleavings              *)
+
+let test_monitor_no_barging_all_interleavings () =
+  let init =
+    init ~mons:[ "M" ] ~conds:[ ("M", [ "c" ]) ] ~ints:[ ("token", 0) ] ()
+  in
+  let waiter =
+    { Explore.name = "W";
+      actions =
+        Mon.enter "M" ~me:"W"
+        @ Mon.wait "M" ~cond:"c" ~me:"W"
+        @ [ act "W:observe" (fun t ->
+                log_event t ("saw:" ^ string_of_int (int_of t "token")));
+            Mon.exit "M" ~me:"W" ] }
+  in
+  let signaller =
+    let gated =
+      match Mon.enter "M" ~me:"S" with
+      | [ req; acq ] ->
+        [ { req with
+            guard = (fun t -> Mon.waiting_on t "M" ~cond:"c" "W" && req.guard t)
+          };
+          acq ]
+      | _ -> assert false
+    in
+    { Explore.name = "S";
+      actions =
+        gated
+        @ [ act "S:deposit" (fun t -> set_int t "token" 1) ]
+        @ Mon.signal "M" ~cond:"c" ~me:"S"
+        @ [ Mon.exit "M" ~me:"S" ] }
+  in
+  let thief =
+    { Explore.name = "T";
+      actions =
+        Mon.enter "M" ~me:"T"
+        @ [ act "T:steal" (fun t ->
+                if int_of t "token" = 1 then
+                  log_event (set_int t "token" 0) "stole"
+                else t);
+            Mon.exit "M" ~me:"T" ] }
+  in
+  match
+    Explore.check ~init
+      ~property:(fun t ->
+        if List.mem "saw:1" (logged t) then None
+        else Some "the waiter lost the token to a barger")
+      [ waiter; signaller; thief ]
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* The staged-scenario proofs (E17)                                    *)
+
+let scenario name verdict_fn expect_holds () =
+  let v = verdict_fn () in
+  check_bool
+    (Printf.sprintf "%s: %s" name v.Scenarios.detail)
+    expect_holds v.Scenarios.holds;
+  check_bool "non-trivial exploration" true (v.Scenarios.states > 10);
+  check_int "single canonical completion" 1 v.Scenarios.terminals
+
+let () =
+  Alcotest.run "model"
+    [ ( "explorer",
+        [ Alcotest.test_case "semaphore exclusion, all interleavings" `Quick
+            test_sem_exclusion_all_interleavings;
+          Alcotest.test_case "semaphore FIFO, all interleavings" `Quick
+            test_sem_fifo_all_interleavings;
+          Alcotest.test_case "classic AB/BA deadlock found" `Quick
+            test_explorer_finds_classic_deadlock;
+          Alcotest.test_case "invariant violations reported" `Quick
+            test_invariant_violation_reported;
+          Alcotest.test_case "monitor no-barging, all interleavings" `Quick
+            test_monitor_no_barging_all_interleavings ] );
+      ( "staged-proofs",
+        [ Alcotest.test_case "fig1 anomaly unavoidable" `Quick
+            (scenario "fig1" Scenarios.fig1_anomaly_unavoidable true);
+          Alcotest.test_case "monitor readers-priority schedule-independent"
+            `Quick
+            (scenario "monitor-rp" Scenarios.monitor_readers_priority_correct
+               true);
+          Alcotest.test_case "release-policy flip provably flips outcome"
+            `Quick
+            (scenario "monitor-flip" Scenarios.monitor_release_policy_flip
+               true);
+          Alcotest.test_case "courtois-1 anomaly structural" `Quick
+            (scenario "courtois1" Scenarios.courtois1_anomaly_unavoidable true);
+          Alcotest.test_case "baton rewrite schedule-independent" `Quick
+            (scenario "baton" Scenarios.baton_readers_priority_correct true);
+          Alcotest.test_case "serializer readers-priority schedule-independent"
+            `Quick
+            (scenario "serializer"
+               Scenarios.serializer_readers_priority_correct true) ] ) ]

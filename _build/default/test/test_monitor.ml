@@ -1,0 +1,356 @@
+open Sync_monitor
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_strings = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------ *)
+(* Mutual exclusion                                                   *)
+
+let test_mutual_exclusion () =
+  let m = Monitor.create () in
+  let g = Testutil.Gauge.create () in
+  let worker () =
+    for _ = 1 to 200 do
+      Monitor.with_monitor m (fun () ->
+          Testutil.Gauge.enter g;
+          Thread.yield ();
+          Testutil.Gauge.leave g)
+    done
+  in
+  Testutil.run_all (List.init 4 (fun _ -> worker));
+  check_int "one inside" 1 (Testutil.Gauge.max g)
+
+let test_exception_releases () =
+  let m = Monitor.create () in
+  (try Monitor.with_monitor m (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* If the exception leaked the monitor, this would deadlock. *)
+  Monitor.with_monitor m (fun () -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Hoare signalling: the signalled process runs immediately; the       *)
+(* signaller resumes afterwards, before processes waiting at entry.    *)
+
+let test_hoare_signal_order () =
+  let m = Monitor.create ~discipline:`Hoare () in
+  let c = Monitor.Cond.create m in
+  let j = Testutil.Journal.create () in
+  let waiter_in = Atomic.make false in
+  let waiter =
+    Testutil.spawn (fun () ->
+        Monitor.with_monitor m (fun () ->
+            Atomic.set waiter_in true;
+            Monitor.Cond.wait c;
+            Testutil.Journal.add j "waiter-resumed"))
+  in
+  Testutil.eventually "waiter waiting" (fun () ->
+      Atomic.get waiter_in && Monitor.Cond.count c = 1);
+  Monitor.with_monitor m (fun () ->
+      Testutil.Journal.add j "before-signal";
+      Monitor.Cond.signal c;
+      Testutil.Journal.add j "after-signal");
+  Sync_platform.Process.join waiter;
+  check_strings "hoare order"
+    [ "before-signal"; "waiter-resumed"; "after-signal" ]
+    (Testutil.Journal.entries j)
+
+let test_mesa_signal_order () =
+  let m = Monitor.create ~discipline:`Mesa () in
+  let c = Monitor.Cond.create m in
+  let j = Testutil.Journal.create () in
+  let waiter =
+    Testutil.spawn (fun () ->
+        Monitor.with_monitor m (fun () ->
+            Monitor.Cond.wait c;
+            Testutil.Journal.add j "waiter-resumed"))
+  in
+  Testutil.eventually "waiter waiting" (fun () -> Monitor.Cond.count c = 1);
+  Monitor.with_monitor m (fun () ->
+      Testutil.Journal.add j "before-signal";
+      Monitor.Cond.signal c;
+      Testutil.Journal.add j "after-signal");
+  Sync_platform.Process.join waiter;
+  check_strings "mesa order"
+    [ "before-signal"; "after-signal"; "waiter-resumed" ]
+    (Testutil.Journal.entries j)
+
+(* Under Hoare semantics a signalled waiter may rely on the condition      *)
+(* established by the signaller without re-checking: nobody can slip in    *)
+(* between the signal and the waiter resuming.                             *)
+let test_hoare_no_barging () =
+  let m = Monitor.create ~discipline:`Hoare () in
+  let c = Monitor.Cond.create m in
+  let token = ref false in
+  let stolen = ref false in
+  let ok = Atomic.make false in
+  let waiter =
+    Testutil.spawn (fun () ->
+        Monitor.with_monitor m (fun () ->
+            Monitor.Cond.wait c;
+            (* Token must still be there: no barging. *)
+            Atomic.set ok !token))
+  in
+  Testutil.eventually "waiting" (fun () -> Monitor.Cond.count c = 1);
+  (* A thief keeps trying to enter and consume the token. *)
+  let stop = Atomic.make false in
+  let thief =
+    Testutil.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Monitor.with_monitor m (fun () ->
+              if !token then begin
+                token := false;
+                stolen := true
+              end);
+          Thread.yield ()
+        done)
+  in
+  Monitor.with_monitor m (fun () ->
+      token := true;
+      Monitor.Cond.signal c);
+  Sync_platform.Process.join waiter;
+  Atomic.set stop true;
+  Sync_platform.Process.join thief;
+  check_bool "condition survived to waiter" true (Atomic.get ok)
+
+(* ------------------------------------------------------------------ *)
+(* Priority waits                                                     *)
+
+let test_wait_pri_order () =
+  let m = Monitor.create () in
+  let c = Monitor.Cond.create m in
+  let j = Testutil.Journal.create () in
+  let waiter rank =
+    let t =
+      Testutil.spawn (fun () ->
+          Monitor.with_monitor m (fun () ->
+              Monitor.Cond.wait_pri c rank;
+              Testutil.Journal.add j (string_of_int rank)))
+    in
+    t
+  in
+  let t1 = waiter 30 in
+  Testutil.eventually "1 parked" (fun () -> Monitor.Cond.count c = 1);
+  let t2 = waiter 10 in
+  Testutil.eventually "2 parked" (fun () -> Monitor.Cond.count c = 2);
+  let t3 = waiter 20 in
+  Testutil.eventually "3 parked" (fun () -> Monitor.Cond.count c = 3);
+  Alcotest.(check (option int))
+    "min_rank" (Some 10)
+    (Monitor.Cond.min_rank c);
+  for _ = 1 to 3 do
+    Monitor.with_monitor m (fun () -> Monitor.Cond.signal c)
+  done;
+  List.iter Sync_platform.Process.join [ t1; t2; t3 ];
+  check_strings "rank order" [ "10"; "20"; "30" ] (Testutil.Journal.entries j)
+
+let test_wait_fifo_on_equal_rank () =
+  let m = Monitor.create () in
+  let c = Monitor.Cond.create m in
+  let j = Testutil.Journal.create () in
+  let ts =
+    List.init 3 (fun i ->
+        let t =
+          Testutil.spawn (fun () ->
+              Monitor.with_monitor m (fun () ->
+                  Monitor.Cond.wait c;
+                  Testutil.Journal.add j (string_of_int i)))
+        in
+        Testutil.eventually "parked" (fun () -> Monitor.Cond.count c = i + 1);
+        t)
+  in
+  for _ = 1 to 3 do
+    Monitor.with_monitor m (fun () -> Monitor.Cond.signal c)
+  done;
+  List.iter Sync_platform.Process.join ts;
+  check_strings "fifo" [ "0"; "1"; "2" ] (Testutil.Journal.entries j)
+
+let test_queue_empty_signal_noop () =
+  let m = Monitor.create () in
+  let c = Monitor.Cond.create m in
+  Monitor.with_monitor m (fun () ->
+      check_bool "queue empty" false (Monitor.Cond.queue c);
+      Monitor.Cond.signal c;
+      check_int "still empty" 0 (Monitor.Cond.count c))
+
+let test_broadcast_mesa () =
+  let m = Monitor.create ~discipline:`Mesa () in
+  let c = Monitor.Cond.create m in
+  let released = Atomic.make 0 in
+  let ts =
+    List.init 3 (fun i ->
+        let t =
+          Testutil.spawn (fun () ->
+              Monitor.with_monitor m (fun () ->
+                  Monitor.Cond.wait c;
+                  ignore (Atomic.fetch_and_add released 1)))
+        in
+        Testutil.eventually "parked" (fun () -> Monitor.Cond.count c = i + 1);
+        t)
+  in
+  Monitor.with_monitor m (fun () -> Monitor.Cond.broadcast c);
+  List.iter Sync_platform.Process.join ts;
+  check_int "all released" 3 (Atomic.get released)
+
+let test_broadcast_hoare () =
+  let m = Monitor.create ~discipline:`Hoare () in
+  let c = Monitor.Cond.create m in
+  let released = Atomic.make 0 in
+  let ts =
+    List.init 3 (fun i ->
+        let t =
+          Testutil.spawn (fun () ->
+              Monitor.with_monitor m (fun () ->
+                  Monitor.Cond.wait c;
+                  ignore (Atomic.fetch_and_add released 1)))
+        in
+        Testutil.eventually "parked" (fun () -> Monitor.Cond.count c = i + 1);
+        t)
+  in
+  Monitor.with_monitor m (fun () -> Monitor.Cond.broadcast c);
+  List.iter Sync_platform.Process.join ts;
+  check_int "all released" 3 (Atomic.get released)
+
+(* ------------------------------------------------------------------ *)
+(* Mesa requires re-checking; a predicate loop must converge.          *)
+
+let test_mesa_recheck_loop () =
+  let m = Monitor.create ~discipline:`Mesa () in
+  let c = Monitor.Cond.create m in
+  let tokens = ref 0 in
+  let consumed = Atomic.make 0 in
+  let consumer () =
+    Monitor.with_monitor m (fun () ->
+        while !tokens = 0 do
+          Monitor.Cond.wait c
+        done;
+        decr tokens;
+        ignore (Atomic.fetch_and_add consumed 1))
+  in
+  let ts = List.init 3 (fun _ -> Testutil.spawn consumer) in
+  Testutil.eventually "parked" (fun () -> Monitor.Cond.count c = 3);
+  (* One token, but wake everyone: only one consumer may take it. *)
+  Monitor.with_monitor m (fun () ->
+      tokens := 1;
+      Monitor.Cond.broadcast c);
+  Testutil.eventually "one consumed" (fun () -> Atomic.get consumed = 1);
+  Testutil.never "extra consumption" (fun () -> Atomic.get consumed > 1);
+  Monitor.with_monitor m (fun () ->
+      tokens := 2;
+      Monitor.Cond.broadcast c);
+  List.iter Sync_platform.Process.join ts;
+  check_int "all done" 3 (Atomic.get consumed);
+  check_int "tokens drained" 0 !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Protected-resource structure (E11)                                  *)
+
+(* Naive structure: an operation of monitor A invokes, while inside A, an
+   operation that waits inside monitor B. The signaller for B must come
+   through A, which is held: deadlock. *)
+let test_nested_monitor_deadlock () =
+  let outer = Monitor.create () in
+  let inner = Monitor.create () in
+  let inner_cond = Monitor.Cond.create inner in
+  let l = Sync_platform.Latch.create 2 in
+  let consumer =
+    Testutil.spawn (fun () ->
+        Protected.access_inside outer (fun () ->
+            Monitor.with_monitor inner (fun () ->
+                Monitor.Cond.wait inner_cond));
+        Sync_platform.Latch.arrive l)
+  in
+  Testutil.eventually "consumer stuck inside" (fun () ->
+      Monitor.Cond.count inner_cond = 1);
+  let producer =
+    Testutil.spawn (fun () ->
+        (* Must pass through the outer monitor to signal: blocked forever. *)
+        Protected.access_inside outer (fun () ->
+            Monitor.with_monitor inner (fun () ->
+                Monitor.Cond.signal inner_cond));
+        Sync_platform.Latch.arrive l)
+  in
+  let finished =
+    Sync_platform.Latch.wait_timeout l ~timeout_ns:300_000_000L
+  in
+  check_bool "deadlocks" false finished;
+  (* Both threads are permanently stuck; detach them (test process exits). *)
+  ignore consumer;
+  ignore producer
+
+(* The paper's structure: the outer monitor is released before the inner
+   operation runs, so the producer can get through. *)
+let test_protected_structure_no_deadlock () =
+  let outer = Monitor.create () in
+  let inner = Monitor.create () in
+  let inner_cond = Monitor.Cond.create inner in
+  let waiting = Atomic.make false in
+  let l = Sync_platform.Latch.create 2 in
+  let consumer =
+    Testutil.spawn (fun () ->
+        Protected.access outer
+          ~before:(fun () -> ())
+          ~after:(fun () -> ())
+          (fun () ->
+            Monitor.with_monitor inner (fun () ->
+                Atomic.set waiting true;
+                Monitor.Cond.wait inner_cond));
+        Sync_platform.Latch.arrive l)
+  in
+  Testutil.eventually "consumer waiting in inner" (fun () ->
+      Atomic.get waiting && Monitor.Cond.count inner_cond = 1);
+  let producer =
+    Testutil.spawn (fun () ->
+        Protected.access outer
+          ~before:(fun () -> ())
+          ~after:(fun () -> ())
+          (fun () ->
+            Monitor.with_monitor inner (fun () ->
+                Monitor.Cond.signal inner_cond));
+        Sync_platform.Latch.arrive l)
+  in
+  check_bool "completes" true
+    (Sync_platform.Latch.wait_timeout l ~timeout_ns:5_000_000_000L);
+  Sync_platform.Process.join consumer;
+  Sync_platform.Process.join producer
+
+let test_protected_after_runs_on_exception () =
+  let m = Monitor.create () in
+  let after_ran = ref false in
+  (try
+     Protected.access m
+       ~before:(fun () -> ())
+       ~after:(fun () -> after_ran := true)
+       (fun () -> failwith "op failed")
+   with Failure _ -> ());
+  check_bool "after ran" true !after_ran
+
+let () =
+  Alcotest.run "monitor"
+    [ ( "exclusion",
+        [ Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+          Alcotest.test_case "exception releases" `Quick
+            test_exception_releases ] );
+      ( "signalling",
+        [ Alcotest.test_case "hoare order" `Quick test_hoare_signal_order;
+          Alcotest.test_case "mesa order" `Quick test_mesa_signal_order;
+          Alcotest.test_case "hoare no barging" `Quick test_hoare_no_barging;
+          Alcotest.test_case "signal empty is noop" `Quick
+            test_queue_empty_signal_noop;
+          Alcotest.test_case "broadcast mesa" `Quick test_broadcast_mesa;
+          Alcotest.test_case "broadcast hoare" `Quick test_broadcast_hoare;
+          Alcotest.test_case "mesa recheck loop" `Quick test_mesa_recheck_loop
+        ] );
+      ( "priority",
+        [ Alcotest.test_case "wait_pri order" `Quick test_wait_pri_order;
+          Alcotest.test_case "fifo on equal rank" `Quick
+            test_wait_fifo_on_equal_rank ] );
+      ( "protected",
+        [ Alcotest.test_case "nested call deadlocks" `Quick
+            test_nested_monitor_deadlock;
+          Alcotest.test_case "paper structure avoids deadlock" `Quick
+            test_protected_structure_no_deadlock;
+          Alcotest.test_case "after runs on exception" `Quick
+            test_protected_after_runs_on_exception ] ) ]

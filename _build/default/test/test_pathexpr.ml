@@ -1,0 +1,423 @@
+open Sync_pathexpr
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_strings = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let parses src expected =
+  let got = Parser.parse src in
+  check_bool
+    (Printf.sprintf "parse %S" src)
+    true
+    (Ast.equal_spec got expected)
+
+let test_parse_basics () =
+  parses "path read end" [ Ast.Op "read" ];
+  parses "path a ; b end" [ Ast.Seq [ Ast.Op "a"; Ast.Op "b" ] ];
+  parses "path a , b end" [ Ast.Sel [ Ast.Op "a"; Ast.Op "b" ] ];
+  parses "path { read } , write end"
+    [ Ast.Sel [ Ast.Conc (Ast.Op "read"); Ast.Op "write" ] ];
+  parses "path 3 : (put ; get) end"
+    [ Ast.Bounded (3, Ast.Seq [ Ast.Op "put"; Ast.Op "get" ]) ];
+  parses "path [ok] go end" [ Ast.Pred ("ok", Ast.Op "go") ]
+
+let test_parse_precedence () =
+  (* ',' binds tighter than ';' (hence Figure 1's explicit parens). *)
+  parses "path a , b ; c end"
+    [ Ast.Seq [ Ast.Sel [ Ast.Op "a"; Ast.Op "b" ]; Ast.Op "c" ] ];
+  parses "path a ; b , c end"
+    [ Ast.Seq [ Ast.Op "a"; Ast.Sel [ Ast.Op "b"; Ast.Op "c" ] ] ];
+  parses "path (a ; b) , c end"
+    [ Ast.Sel [ Ast.Seq [ Ast.Op "a"; Ast.Op "b" ]; Ast.Op "c" ] ]
+
+let test_parse_multiple_decls () =
+  parses "path a end path b ; c end"
+    [ Ast.Op "a"; Ast.Seq [ Ast.Op "b"; Ast.Op "c" ] ]
+
+let test_parse_comments_whitespace () =
+  parses "path  -- exclusive writes\n  { read } , write\nend"
+    [ Ast.Sel [ Ast.Conc (Ast.Op "read"); Ast.Op "write" ] ]
+
+let test_parse_errors () =
+  let fails src =
+    match Parser.parse src with
+    | exception Parser.Syntax_error _ -> ()
+    | _ -> Alcotest.failf "expected syntax error for %S" src
+  in
+  fails "";
+  fails "path end";
+  fails "path a";
+  fails "a ; b end";
+  fails "path a ;; b end";
+  fails "path { a end";
+  fails "path 0 : (a) end";
+  fails "path 2 : a end";
+  fails "path [3] a end";
+  fails "path a $ b end"
+
+let test_figure1_parses () =
+  let fig1 =
+    "path writeattempt end \
+     path { requestread } , requestwrite end \
+     path { read } , (openwrite ; write) end"
+  in
+  let spec = Parser.parse fig1 in
+  check_int "three declarations" 3 (List.length spec);
+  Alcotest.(check (list string))
+    "ops"
+    [ "writeattempt"; "requestread"; "requestwrite"; "read"; "openwrite";
+      "write" ]
+    (Ast.ops spec)
+
+let test_pp_roundtrip_examples () =
+  let roundtrip src =
+    let spec = Parser.parse src in
+    let printed = Ast.to_string spec in
+    check_bool
+      (Printf.sprintf "roundtrip %S -> %S" src printed)
+      true
+      (Ast.equal_spec spec (Parser.parse printed))
+  in
+  List.iter roundtrip
+    [ "path a end";
+      "path a ; b ; c end";
+      "path a , b , c end";
+      "path { a ; b } , c end";
+      "path (a ; b) , c end";
+      "path 4 : (put ; get) end";
+      "path [full] get , [empty] put end";
+      "path a end path b end" ]
+
+(* Random ASTs for the printer/parser round-trip property. *)
+let gen_ast =
+  let open QCheck.Gen in
+  let op_name = oneofl [ "a"; "b"; "c"; "d"; "e" ] in
+  let rec expr n =
+    if n <= 0 then map (fun s -> Ast.Op s) op_name
+    else
+      frequency
+        [ (3, map (fun s -> Ast.Op s) op_name);
+          (2, map (fun es -> Ast.Seq es) (list_size (int_range 2 3) (expr (n - 1))));
+          (2, map (fun es -> Ast.Sel es) (list_size (int_range 2 3) (expr (n - 1))));
+          (1, map (fun e -> Ast.Conc e) (expr (n - 1)));
+          (1, map2 (fun k e -> Ast.Bounded (k, e)) (int_range 1 5) (expr (n - 1)));
+          (1, map2 (fun p e -> Ast.Pred (p, e)) (oneofl [ "p"; "q" ]) (expr (n - 1)))
+        ]
+  in
+  list_size (int_range 1 3) (expr 3)
+
+let prop_pp_parse_roundtrip =
+  QCheck.Test.make ~name:"pp/parse roundtrip" ~count:200
+    (QCheck.make ~print:Ast.to_string gen_ast)
+    (fun spec -> Ast.equal_spec spec (Parser.parse (Ast.to_string spec)))
+
+(* ------------------------------------------------------------------ *)
+(* Semantics, on both engines                                          *)
+
+let engines = [ (`Semaphore, "semaphore"); (`Gate, "gate") ]
+
+let with_engines f = List.iter (fun (engine, name) -> f engine name) engines
+
+let test_sequence_blocks () =
+  with_engines (fun engine name ->
+      let p = Pathexpr.of_string ~engine "path a ; b end" in
+      let b_done = Atomic.make false in
+      let runner =
+        Testutil.spawn (fun () ->
+            Pathexpr.run p "b" (fun () -> Atomic.set b_done true))
+      in
+      Testutil.never (name ^ ": b before a") (fun () -> Atomic.get b_done);
+      Pathexpr.run p "a" (fun () -> ());
+      Sync_platform.Process.join runner;
+      check_bool (name ^ ": b ran") true (Atomic.get b_done))
+
+let test_cycle_repeats () =
+  with_engines (fun engine name ->
+      let p = Pathexpr.of_string ~engine "path a ; b end" in
+      for _ = 1 to 3 do
+        Pathexpr.run p "a" (fun () -> ());
+        Pathexpr.run p "b" (fun () -> ())
+      done;
+      check_bool (name ^ ": three cycles") true true)
+
+let test_selection_excludes () =
+  with_engines (fun engine name ->
+      (* path a , b end: one per cycle; a second op waits for the first to
+         finish. *)
+      let p = Pathexpr.of_string ~engine "path a , b end" in
+      let g = Testutil.Gauge.create () in
+      let body () =
+        Testutil.Gauge.enter g;
+        Thread.yield ();
+        Testutil.Gauge.leave g
+      in
+      Testutil.run_all
+        [ (fun () -> for _ = 1 to 50 do Pathexpr.run p "a" body done);
+          (fun () -> for _ = 1 to 50 do Pathexpr.run p "b" body done) ];
+      check_int (name ^ ": exclusive") 1 (Testutil.Gauge.max g))
+
+let test_concurrency_burst () =
+  with_engines (fun engine name ->
+      let p = Pathexpr.of_string ~engine "path { a } , b end" in
+      let g = Testutil.Gauge.create () in
+      let barrier = Sync_platform.Latch.Barrier.create 3 in
+      let reader () =
+        Pathexpr.run p "a" (fun () ->
+            Testutil.Gauge.enter g;
+            Sync_platform.Latch.Barrier.await barrier;
+            Testutil.Gauge.leave g)
+      in
+      Testutil.run_all (List.init 3 (fun _ -> reader));
+      check_int (name ^ ": burst of three") 3 (Testutil.Gauge.max g))
+
+let test_conc_excludes_alternative () =
+  with_engines (fun engine name ->
+      let p = Pathexpr.of_string ~engine "path { a } , b end" in
+      let a_holds = Sync_platform.Latch.create 1 in
+      let a_entered = Atomic.make false in
+      let b_done = Atomic.make false in
+      let a_thread =
+        Testutil.spawn (fun () ->
+            Pathexpr.run p "a" (fun () ->
+                Atomic.set a_entered true;
+                Sync_platform.Latch.wait a_holds))
+      in
+      Testutil.eventually "a inside" (fun () -> Atomic.get a_entered);
+      let b_thread =
+        Testutil.spawn (fun () ->
+            Pathexpr.run p "b" (fun () -> Atomic.set b_done true))
+      in
+      Testutil.never (name ^ ": b overlapped a") (fun () -> Atomic.get b_done);
+      Sync_platform.Latch.arrive a_holds;
+      Sync_platform.Process.join a_thread;
+      Sync_platform.Process.join b_thread;
+      check_bool (name ^ ": b ran after") true (Atomic.get b_done))
+
+let test_bounded_window () =
+  with_engines (fun engine name ->
+      (* Up to 2 puts may run ahead of gets. *)
+      let p = Pathexpr.of_string ~engine "path 2 : (put ; get) end" in
+      Pathexpr.run p "put" (fun () -> ());
+      Pathexpr.run p "put" (fun () -> ());
+      let third = Atomic.make false in
+      let t =
+        Testutil.spawn (fun () ->
+            Pathexpr.run p "put" (fun () -> Atomic.set third true))
+      in
+      Testutil.never (name ^ ": third put slipped through") (fun () ->
+          Atomic.get third);
+      Pathexpr.run p "get" (fun () -> ());
+      Sync_platform.Process.join t;
+      check_bool (name ^ ": third put after get") true (Atomic.get third))
+
+let test_get_waits_for_put () =
+  with_engines (fun engine name ->
+      let p = Pathexpr.of_string ~engine "path 2 : (put ; get) end" in
+      let got = Atomic.make false in
+      let t =
+        Testutil.spawn (fun () ->
+            Pathexpr.run p "get" (fun () -> Atomic.set got true))
+      in
+      Testutil.never (name ^ ": get on empty") (fun () -> Atomic.get got);
+      Pathexpr.run p "put" (fun () -> ());
+      Sync_platform.Process.join t;
+      check_bool (name ^ ": got") true (Atomic.get got))
+
+let test_multiple_paths_compose () =
+  with_engines (fun engine name ->
+      (* puts serialized among themselves even while window is open. *)
+      let p =
+        Pathexpr.of_string ~engine
+          "path 4 : (put ; get) end path put end path get end"
+      in
+      let g = Testutil.Gauge.create () in
+      let producer () =
+        for _ = 1 to 20 do
+          Pathexpr.run p "put" (fun () ->
+              Testutil.Gauge.enter g;
+              Thread.yield ();
+              Testutil.Gauge.leave g)
+        done
+      in
+      let consumer () =
+        for _ = 1 to 40 do
+          Pathexpr.run p "get" (fun () -> ())
+        done
+      in
+      Testutil.run_all [ producer; producer; consumer ];
+      check_int (name ^ ": puts serialized") 1 (Testutil.Gauge.max g))
+
+let test_fifo_selection () =
+  (* The longest-waiting process is selected: with two writers parked, the
+     first to arrive goes first. *)
+  with_engines (fun engine name ->
+      let p = Pathexpr.of_string ~engine "path w end" in
+      let j = Testutil.Journal.create () in
+      let hold = Sync_platform.Latch.create 1 in
+      let inside = Atomic.make false in
+      let holder =
+        Testutil.spawn (fun () ->
+            Pathexpr.run p "w" (fun () ->
+                Atomic.set inside true;
+                Sync_platform.Latch.wait hold))
+      in
+      Testutil.eventually "holder inside" (fun () -> Atomic.get inside);
+      let mk i =
+        let t =
+          Testutil.spawn (fun () ->
+              Pathexpr.run p "w" (fun () ->
+                  Testutil.Journal.add j (string_of_int i)))
+        in
+        (* Give the spawned thread time to park before starting the next,
+           so arrival order is deterministic. *)
+        Thread.delay 0.02;
+        t
+      in
+      let ts = List.init 3 mk in
+      Sync_platform.Latch.arrive hold;
+      Sync_platform.Process.join holder;
+      List.iter Sync_platform.Process.join ts;
+      check_strings (name ^ ": fifo") [ "0"; "1"; "2" ]
+        (Testutil.Journal.entries j))
+
+(* ------------------------------------------------------------------ *)
+(* Predicates (gate engine only)                                       *)
+
+let test_predicate_gates () =
+  let open_ = ref false in
+  let p =
+    Pathexpr.of_string ~engine:`Gate
+      ~env:[ ("open", fun () -> !open_) ]
+      "path [open] a end"
+  in
+  let ran = Atomic.make false in
+  let t =
+    Testutil.spawn (fun () -> Pathexpr.run p "a" (fun () -> Atomic.set ran true))
+  in
+  Testutil.never "ran before predicate" (fun () -> Atomic.get ran);
+  (* Mutate the predicate input, then poke via another operation's
+     completion: here we flip the flag inside a run of the same system. *)
+  open_ := true;
+  Pathexpr.run p "a" (fun () -> ());
+  Sync_platform.Process.join t;
+  check_bool "ran once open" true (Atomic.get ran)
+
+let test_predicate_unsupported_on_semaphore_engine () =
+  match
+    Pathexpr.of_string ~engine:`Semaphore
+      ~env:[ ("p", fun () -> true) ]
+      "path [p] a end"
+  with
+  | exception Pathexpr.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_compile_errors () =
+  let unsupported src =
+    match Pathexpr.of_string src with
+    | exception Pathexpr.Unsupported _ -> ()
+    | _ -> Alcotest.failf "expected Unsupported for %S" src
+  in
+  (* duplicate op in one declaration *)
+  unsupported "path a ; a end";
+  (* nested bound *)
+  unsupported "path a ; 2 : (b) end";
+  (* unbound predicate (gate engine accepts the construct) *)
+  (match Pathexpr.of_string ~engine:`Gate "path [nope] a end" with
+  | exception Pathexpr.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected unbound predicate error")
+
+let test_unknown_operation () =
+  let p = Pathexpr.of_string "path a end" in
+  Alcotest.check_raises "unknown op" (Pathexpr.Unknown_operation "zz")
+    (fun () -> Pathexpr.run p "zz" (fun () -> ()))
+
+let test_body_exception_advances_path () =
+  with_engines (fun engine name ->
+      let p = Pathexpr.of_string ~engine "path a ; b end" in
+      (try Pathexpr.run p "a" (fun () -> failwith "body") with
+      | Failure _ -> ());
+      (* a still counts as having occurred; b must be enabled. *)
+      let ok = Atomic.make false in
+      let t =
+        Testutil.spawn (fun () ->
+            Pathexpr.run p "b" (fun () -> Atomic.set ok true))
+      in
+      Sync_platform.Process.join t;
+      check_bool (name ^ ": path advanced") true (Atomic.get ok))
+
+(* Liveness property: a single-declaration sequential path, executed in
+   its textual order by one process, completes two full cycles without
+   blocking — on both engines. Random op lists (distinct names). *)
+let prop_sequential_paths_live =
+  let gen =
+    QCheck.make
+      ~print:(String.concat ";")
+      QCheck.Gen.(
+        let names = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+        int_range 1 6 >|= fun n -> List.filteri (fun i _ -> i < n) names)
+  in
+  QCheck.Test.make ~name:"sequential paths are live" ~count:30 gen
+    (fun ops ->
+      List.for_all
+        (fun engine ->
+          let spec =
+            [ (match List.map (fun o -> Ast.Op o) ops with
+              | [ single ] -> single
+              | several -> Ast.Seq several) ]
+          in
+          let p = Pathexpr.compile ~engine spec in
+          let hit = ref 0 in
+          for _ = 1 to 2 do
+            List.iter (fun o -> Pathexpr.run p o (fun () -> incr hit)) ops
+          done;
+          !hit = 2 * List.length ops)
+        [ `Semaphore; `Gate ])
+
+let test_ops_listing () =
+  let p = Pathexpr.of_string "path { read } , write end" in
+  Alcotest.(check (list string)) "ops" [ "read"; "write" ] (Pathexpr.ops p);
+  check_bool "engine name" true (Pathexpr.engine_name p = "semaphore")
+
+let () =
+  Alcotest.run "pathexpr"
+    [ ( "parser",
+        [ Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "multiple decls" `Quick test_parse_multiple_decls;
+          Alcotest.test_case "comments/whitespace" `Quick
+            test_parse_comments_whitespace;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "figure 1 parses" `Quick test_figure1_parses;
+          Alcotest.test_case "pp roundtrip examples" `Quick
+            test_pp_roundtrip_examples;
+          QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip ] );
+      ( "semantics",
+        [ Alcotest.test_case "sequence blocks" `Quick test_sequence_blocks;
+          Alcotest.test_case "cycle repeats" `Quick test_cycle_repeats;
+          Alcotest.test_case "selection excludes" `Quick
+            test_selection_excludes;
+          Alcotest.test_case "concurrency burst" `Quick test_concurrency_burst;
+          Alcotest.test_case "conc excludes alternative" `Quick
+            test_conc_excludes_alternative;
+          Alcotest.test_case "bounded window" `Quick test_bounded_window;
+          Alcotest.test_case "get waits for put" `Quick test_get_waits_for_put;
+          Alcotest.test_case "multiple paths compose" `Quick
+            test_multiple_paths_compose;
+          Alcotest.test_case "fifo selection" `Quick test_fifo_selection ] );
+      ( "liveness",
+        [ QCheck_alcotest.to_alcotest prop_sequential_paths_live ] );
+      ( "extensions",
+        [ Alcotest.test_case "predicate gates" `Quick test_predicate_gates;
+          Alcotest.test_case "predicates need gate engine" `Quick
+            test_predicate_unsupported_on_semaphore_engine ] );
+      ( "errors",
+        [ Alcotest.test_case "ops listing" `Quick test_ops_listing;
+          Alcotest.test_case "compile errors" `Quick test_compile_errors;
+          Alcotest.test_case "unknown operation" `Quick test_unknown_operation;
+          Alcotest.test_case "body exception advances" `Quick
+            test_body_exception_advances_path ] ) ]

@@ -1,0 +1,424 @@
+open Sync_platform
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+
+let test_prng_deterministic () =
+  let a = Prng.make 42L and b = Prng.make 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let r = Prng.make 7L in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 10 in
+    check_bool "in range" true (x >= 0 && x < 10)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.make 1L in
+  let b = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Prng.next_int64 b) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_prng_shuffle_permutation () =
+  let r = Prng.make 3L in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+
+let test_heap_orders () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] (Heap.to_list h);
+  check_int "length" 5 (Heap.length h)
+
+let test_heap_fifo_ties () =
+  (* Equal keys must pop in insertion order. *)
+  let h = Heap.create ~cmp:(fun (k, _) (k', _) -> compare k k') () in
+  List.iter (Heap.push h) [ (1, "a"); (0, "b"); (1, "c"); (0, "d") ];
+  let order = List.map snd (Heap.to_list h) in
+  Alcotest.(check (list string)) "fifo ties" [ "b"; "d"; "a"; "c" ] order
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:compare () in
+  check_bool "empty" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap sorts like List.sort"
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iter (Heap.push h) xs;
+      Heap.to_list h = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Waitq                                                              *)
+
+let test_waitq_fifo () =
+  let lock = Mutex.create () in
+  let q : int Waitq.t = Waitq.create () in
+  let j = Testutil.Journal.create () in
+  let waiter i () =
+    Mutex.lock lock;
+    Waitq.wait q ~lock i;
+    Mutex.unlock lock;
+    Testutil.Journal.add j (string_of_int i)
+  in
+  let spawn_ordered i =
+    let t = Testutil.spawn (waiter i) in
+    Testutil.eventually "waiter parked" (fun () ->
+        Mutex.lock lock;
+        let n = Waitq.length q in
+        Mutex.unlock lock;
+        n = i + 1);
+    t
+  in
+  let ts = List.init 3 spawn_ordered in
+  for i = 1 to 3 do
+    Mutex.lock lock;
+    ignore (Waitq.wake_first q);
+    Mutex.unlock lock;
+    (* Wait for the woken thread to journal before waking the next, so the
+       journal reflects wake order. *)
+    Testutil.eventually "woken thread journaled" (fun () ->
+        List.length (Testutil.Journal.entries j) = i)
+  done;
+  List.iter Sync_platform.Process.join ts;
+  Alcotest.(check (list string)) "fifo wake order" [ "0"; "1"; "2" ]
+    (Testutil.Journal.entries j)
+
+let test_waitq_wake_min () =
+  let lock = Mutex.create () in
+  let q : int Waitq.t = Waitq.create () in
+  let j = Testutil.Journal.create () in
+  let waiter rank () =
+    Mutex.lock lock;
+    Waitq.wait q ~lock rank;
+    Mutex.unlock lock;
+    Testutil.Journal.add j (string_of_int rank)
+  in
+  let ranks = [ 5; 2; 9 ] in
+  let ts =
+    List.mapi
+      (fun i rank ->
+        let t = Testutil.spawn (waiter rank) in
+        Testutil.eventually "parked" (fun () ->
+            Mutex.lock lock;
+            let n = Waitq.length q in
+            Mutex.unlock lock;
+            n = i + 1);
+        t)
+      ranks
+  in
+  Mutex.lock lock;
+  Alcotest.(check (option int)) "min tag" (Some 2) (Waitq.min_tag q ~cmp:compare);
+  Mutex.unlock lock;
+  for i = 1 to 3 do
+    Mutex.lock lock;
+    ignore (Waitq.wake_min q ~cmp:compare);
+    Mutex.unlock lock;
+    Testutil.eventually "woken thread journaled" (fun () ->
+        List.length (Testutil.Journal.entries j) = i)
+  done;
+  List.iter Sync_platform.Process.join ts;
+  Alcotest.(check (list string)) "priority wake order" [ "2"; "5"; "9" ]
+    (Testutil.Journal.entries j)
+
+let test_waitq_wake_matching () =
+  let lock = Mutex.create () in
+  let q : string Waitq.t = Waitq.create () in
+  let j = Testutil.Journal.create () in
+  let waiter tag () =
+    Mutex.lock lock;
+    Waitq.wait q ~lock tag;
+    Mutex.unlock lock;
+    Testutil.Journal.add j tag
+  in
+  let ts =
+    List.mapi
+      (fun i tag ->
+        let t = Testutil.spawn (waiter tag) in
+        Testutil.eventually "parked" (fun () ->
+            Mutex.lock lock;
+            let n = Waitq.length q in
+            Mutex.unlock lock;
+            n = i + 1);
+        t)
+      [ "w"; "r1"; "r2" ]
+  in
+  let woken = ref 0 in
+  let wake f =
+    Mutex.lock lock;
+    ignore (Waitq.wake_first_matching q ~f);
+    Mutex.unlock lock;
+    incr woken;
+    let expected = !woken in
+    Testutil.eventually "woken thread journaled" (fun () ->
+        List.length (Testutil.Journal.entries j) = expected)
+  in
+  wake (fun tag -> tag.[0] = 'r');
+  wake (fun tag -> tag.[0] = 'r');
+  wake (fun _ -> true);
+  List.iter Sync_platform.Process.join ts;
+  Alcotest.(check (list string)) "matching order" [ "r1"; "r2"; "w" ]
+    (Testutil.Journal.entries j)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphores                                                         *)
+
+let test_sem_counting_basic () =
+  let s = Semaphore.Counting.create 2 in
+  Semaphore.Counting.p s;
+  Semaphore.Counting.p s;
+  check_int "drained" 0 (Semaphore.Counting.value s);
+  check_bool "try_p fails" false (Semaphore.Counting.try_p s);
+  Semaphore.Counting.v s;
+  check_bool "try_p succeeds" true (Semaphore.Counting.try_p s)
+
+let test_sem_strong_fifo () =
+  let s = Semaphore.Counting.create ~fairness:`Strong 0 in
+  let j = Testutil.Journal.create () in
+  let ts =
+    List.init 4 (fun i ->
+        let t =
+          Testutil.spawn (fun () ->
+              Semaphore.Counting.p s;
+              Testutil.Journal.add j (string_of_int i))
+        in
+        Testutil.eventually "parked" (fun () ->
+            Semaphore.Counting.waiters s = i + 1);
+        t)
+  in
+  for i = 1 to 4 do
+    Semaphore.Counting.v s;
+    Testutil.eventually "granted thread journaled" (fun () ->
+        List.length (Testutil.Journal.entries j) = i)
+  done;
+  List.iter Sync_platform.Process.join ts;
+  Alcotest.(check (list string)) "fifo grants" [ "0"; "1"; "2"; "3" ]
+    (Testutil.Journal.entries j)
+
+let test_sem_mutual_exclusion_stress () =
+  let s = Semaphore.Counting.create 1 in
+  let g = Testutil.Gauge.create () in
+  let worker () =
+    for _ = 1 to 200 do
+      Semaphore.Counting.p s;
+      Testutil.Gauge.enter g;
+      Thread.yield ();
+      Testutil.Gauge.leave g;
+      Semaphore.Counting.v s
+    done
+  in
+  Testutil.run_all (List.init 4 (fun _ -> worker));
+  check_int "never two inside" 1 (Testutil.Gauge.max g)
+
+let test_sem_binary () =
+  let s = Semaphore.Binary.create true in
+  Semaphore.Binary.p s;
+  check_int "closed" 0 (Semaphore.Binary.value s);
+  Semaphore.Binary.v s;
+  check_int "open" 1 (Semaphore.Binary.value s);
+  Alcotest.check_raises "double v"
+    (Invalid_argument "Semaphore.Binary.v: already open") (fun () ->
+      Semaphore.Binary.v s)
+
+(* ------------------------------------------------------------------ *)
+(* Tsqueue, Latch, Barrier, Clock                                     *)
+
+let test_tsqueue_fifo () =
+  let q = Tsqueue.create () in
+  List.iter (Tsqueue.push q) [ 1; 2; 3 ];
+  check_int "len" 3 (Tsqueue.length q);
+  check_int "pop" 1 (Tsqueue.pop q);
+  Alcotest.(check (list int)) "drain" [ 2; 3 ] (Tsqueue.drain q);
+  check_bool "empty" true (Tsqueue.try_pop q = None)
+
+let test_tsqueue_blocking_pop () =
+  let q = Tsqueue.create () in
+  let got = Atomic.make 0 in
+  let t = Testutil.spawn (fun () -> Atomic.set got (Tsqueue.pop q)) in
+  Testutil.never "pop returns early" (fun () -> Atomic.get got <> 0);
+  Tsqueue.push q 42;
+  Sync_platform.Process.join t;
+  check_int "received" 42 (Atomic.get got)
+
+let test_tsqueue_pop_timeout () =
+  let q : int Tsqueue.t = Tsqueue.create () in
+  check_bool "times out" true
+    (Tsqueue.pop_timeout q ~timeout_ns:10_000_000L = None)
+
+let test_latch () =
+  let l = Latch.create 3 in
+  let done_ = Atomic.make false in
+  let t =
+    Testutil.spawn (fun () ->
+        Latch.wait l;
+        Atomic.set done_ true)
+  in
+  Latch.arrive l;
+  Latch.arrive l;
+  Testutil.never "latch released early" (fun () -> Atomic.get done_);
+  Latch.arrive l;
+  Sync_platform.Process.join t;
+  check_bool "released" true (Atomic.get done_);
+  Alcotest.check_raises "extra arrive"
+    (Invalid_argument "Latch.arrive: already at zero") (fun () ->
+      Latch.arrive l)
+
+let test_latch_wait_timeout () =
+  let l = Latch.create 1 in
+  check_bool "times out" false (Latch.wait_timeout l ~timeout_ns:20_000_000L);
+  Latch.arrive l;
+  check_bool "succeeds" true (Latch.wait_timeout l ~timeout_ns:20_000_000L)
+
+let test_barrier_aligns () =
+  let b = Latch.Barrier.create 3 in
+  let counter = Atomic.make 0 in
+  let seen_at_barrier = Tsqueue.create () in
+  let worker () =
+    ignore (Atomic.fetch_and_add counter 1);
+    Latch.Barrier.await b;
+    Tsqueue.push seen_at_barrier (Atomic.get counter);
+    Latch.Barrier.await b
+  in
+  Testutil.run_all (List.init 3 (fun _ -> worker));
+  List.iter
+    (fun seen -> check_int "all arrived before any passed" 3 seen)
+    (Tsqueue.drain seen_at_barrier)
+
+let test_virtual_clock () =
+  let c = Clock.Virtual.create () in
+  check_int "starts at 0" 0 (Clock.Virtual.now c);
+  let woke = Atomic.make false in
+  let t =
+    Testutil.spawn (fun () ->
+        Clock.Virtual.sleep_until c 5;
+        Atomic.set woke true)
+  in
+  Testutil.eventually "sleeper registered" (fun () ->
+      Clock.Virtual.sleepers c = 1);
+  Clock.Virtual.advance c 4;
+  Testutil.never "woke too early" (fun () -> Atomic.get woke);
+  Clock.Virtual.advance c 1;
+  Sync_platform.Process.join t;
+  check_bool "woke" true (Atomic.get woke);
+  check_int "now" 5 (Clock.Virtual.now c)
+
+(* ------------------------------------------------------------------ *)
+(* Process, Trace, Backoff                                            *)
+
+let test_process_propagates_exception () =
+  let t = Testutil.spawn (fun () -> failwith "boom") in
+  Alcotest.check_raises "join re-raises" (Failure "boom") (fun () ->
+      Sync_platform.Process.join t)
+
+let test_process_domain_backend () =
+  let hit = Atomic.make false in
+  let t = Process.spawn ~backend:`Domain (fun () -> Atomic.set hit true) in
+  Process.join t;
+  check_bool "domain ran" true (Atomic.get hit)
+
+let test_run_all_first_error () =
+  Alcotest.check_raises "first error wins" (Failure "first") (fun () ->
+      Testutil.run_all
+        [ (fun () -> failwith "first"); (fun () -> failwith "second") ])
+
+let test_trace_records_order () =
+  let tr = Trace.create () in
+  Trace.record tr ~pid:1 ~op:"read" ~phase:Trace.Request ();
+  Trace.record tr ~pid:1 ~op:"read" ~phase:Trace.Enter ();
+  Trace.record tr ~pid:1 ~op:"read" ~phase:Trace.Exit ~arg:7 ();
+  let es = Trace.events tr in
+  check_int "length" 3 (Trace.length tr);
+  check_int "seqs dense" 0 (List.nth es 0).Trace.seq;
+  check_int "arg kept" 7 (List.nth es 2).Trace.arg;
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.length tr)
+
+let test_trace_concurrent_recording () =
+  let tr = Trace.create () in
+  let worker pid () =
+    for _ = 1 to 100 do
+      Trace.record tr ~pid ~op:"x" ~phase:Trace.Mark ()
+    done
+  in
+  Testutil.run_all (List.init 4 (fun pid -> worker pid));
+  let es = Trace.events tr in
+  check_int "all recorded" 400 (List.length es);
+  List.iteri (fun i e -> check_int "dense seq" i e.Trace.seq) es
+
+let test_backoff_progresses () =
+  let b = Backoff.create () in
+  for _ = 1 to 20 do
+    Backoff.once b
+  done;
+  Backoff.reset b;
+  Backoff.once b
+
+let () =
+  Alcotest.run "platform"
+    [ ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split independent" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_prng_shuffle_permutation ] );
+      ( "heap",
+        [ Alcotest.test_case "orders" `Quick test_heap_orders;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+          QCheck_alcotest.to_alcotest prop_heap_sorts ] );
+      ( "waitq",
+        [ Alcotest.test_case "fifo" `Quick test_waitq_fifo;
+          Alcotest.test_case "wake_min" `Quick test_waitq_wake_min;
+          Alcotest.test_case "wake_matching" `Quick test_waitq_wake_matching
+        ] );
+      ( "semaphore",
+        [ Alcotest.test_case "counting basic" `Quick test_sem_counting_basic;
+          Alcotest.test_case "strong fifo" `Quick test_sem_strong_fifo;
+          Alcotest.test_case "mutual exclusion stress" `Quick
+            test_sem_mutual_exclusion_stress;
+          Alcotest.test_case "binary" `Quick test_sem_binary ] );
+      ( "queues",
+        [ Alcotest.test_case "tsqueue fifo" `Quick test_tsqueue_fifo;
+          Alcotest.test_case "tsqueue blocking pop" `Quick
+            test_tsqueue_blocking_pop;
+          Alcotest.test_case "tsqueue pop timeout" `Quick
+            test_tsqueue_pop_timeout ] );
+      ( "latch",
+        [ Alcotest.test_case "latch" `Quick test_latch;
+          Alcotest.test_case "wait_timeout" `Quick test_latch_wait_timeout;
+          Alcotest.test_case "barrier aligns" `Quick test_barrier_aligns ] );
+      ( "clock",
+        [ Alcotest.test_case "virtual clock" `Quick test_virtual_clock ] );
+      ( "process",
+        [ Alcotest.test_case "exception propagates" `Quick
+            test_process_propagates_exception;
+          Alcotest.test_case "domain backend" `Quick
+            test_process_domain_backend;
+          Alcotest.test_case "run_all first error" `Quick
+            test_run_all_first_error ] );
+      ( "trace",
+        [ Alcotest.test_case "records in order" `Quick
+            test_trace_records_order;
+          Alcotest.test_case "concurrent recording" `Quick
+            test_trace_concurrent_recording ] );
+      ( "backoff",
+        [ Alcotest.test_case "progresses" `Quick test_backoff_progresses ] )
+    ]

@@ -1,0 +1,53 @@
+open Sync_problems
+
+let solutions : (string * (module Bb_intf.S)) list =
+  [ ("semaphore", (module Bb_sem)); ("monitor", (module Bb_mon));
+    ("serializer", (module Bb_ser)); ("pathexpr", (module Bb_path));
+    ("csp", (module Bb_csp)); ("ccr", (module Bb_ccr));
+    ("eventcount", (module Bb_evc)) ]
+
+let check_result name = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" name msg
+
+let test_default (name, m) () = check_result name (Bb_harness.verify m)
+
+let test_capacity_one (name, m) () =
+  check_result name (Bb_harness.verify ~capacity:1 ~items_per_producer:20 m)
+
+let test_many_workers (name, m) () =
+  check_result name
+    (Bb_harness.verify ~capacity:3 ~producers:4 ~consumers:3
+       ~items_per_producer:25 m)
+
+let test_single_producer_consumer (name, m) () =
+  check_result name
+    (Bb_harness.verify ~producers:1 ~consumers:1 ~items_per_producer:100 m)
+
+let suite mk = List.map (fun (name, m) ->
+    Alcotest.test_case name `Quick (mk (name, m)))
+    solutions
+
+let test_meta_constraints_covered () =
+  (* Every solution must tag an implementation fragment for every
+     constraint in the problem spec. *)
+  List.iter
+    (fun (name, m) ->
+      let module B = (val m : Bb_intf.S) in
+      List.iter
+        (fun c ->
+          let id = c.Sync_taxonomy.Constr.id in
+          if not (List.mem_assoc id B.meta.Sync_taxonomy.Meta.fragments) then
+            Alcotest.failf "%s: missing fragment for %s" name id)
+        Bb_intf.spec.Spec.constraints)
+    solutions
+
+let () =
+  Alcotest.run "problems-bb"
+    [ ("default", suite test_default);
+      ("capacity-1", suite test_capacity_one);
+      ("many-workers", suite test_many_workers);
+      ("spsc", suite test_single_producer_consumer);
+      ( "meta",
+        [ Alcotest.test_case "constraints covered" `Quick
+            test_meta_constraints_covered ] ) ]

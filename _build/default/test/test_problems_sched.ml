@@ -1,0 +1,76 @@
+(* Disk-head scheduler and alarm clock across all five mechanisms. *)
+open Sync_problems
+
+let check_result name = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" name msg
+
+let disk_solutions : (string * (module Disk_intf.S)) list =
+  [ ("semaphore", (module Disk_sem)); ("monitor", (module Disk_mon));
+    ("serializer", (module Disk_ser)); ("pathexpr", (module Disk_path));
+    ("csp", (module Disk_csp)); ("ccr", (module Disk_ccr)) ]
+
+let alarm_solutions : (string * (module Alarm_intf.S)) list =
+  [ ("semaphore", (module Alarm_sem)); ("monitor", (module Alarm_mon));
+    ("serializer", (module Alarm_ser)); ("pathexpr", (module Alarm_path));
+    ("csp", (module Alarm_csp)); ("ccr", (module Alarm_ccr));
+    ("eventcount", (module Alarm_evc)) ]
+
+let disk_scan (name, m) () = check_result name (Disk_harness.verify_scan m)
+
+let disk_scan_below (name, m) () =
+  (* A batch that is entirely below the head: one reversal, pure descent. *)
+  check_result name
+    (Disk_harness.verify_scan ~batch:[ 40; 10; 30; 5; 25 ] m)
+
+let disk_scan_mixed_edges (name, m) () =
+  check_result name (Disk_harness.verify_scan ~batch:[ 0; 99; 50; 51; 49 ] m)
+
+let disk_stress (name, m) () = check_result name (Disk_harness.verify_stress m)
+
+let disk_fcfs_baseline_serves_all () =
+  check_result "fcfs-baseline" (Disk_harness.verify_stress (module Disk_fcfs))
+
+(* SCAN must beat FCFS on arm travel for a common random workload. *)
+let test_scan_beats_fcfs_travel () =
+  (* A long-held disk (large work) guarantees a request backlog even on
+     one core; with ~8 pending requests SCAN must clearly beat arrival
+     order on arm travel. *)
+  let travel m =
+    fst
+      (Disk_harness.run_stress m ~tracks:400 ~workers:8 ~requests_each:25
+         ~hold_s:0.002 ~seed:5L ())
+  in
+  let scan = travel (module Disk_mon) in
+  let fcfs = travel (module Disk_fcfs) in
+  if scan * 10 >= fcfs * 8 then
+    Alcotest.failf "SCAN travel %d not clearly better than FCFS travel %d"
+      scan fcfs
+
+let alarm_exact (name, m) () = check_result name (Alarm_harness.verify m)
+
+let alarm_same_deadlines (name, m) () =
+  check_result name
+    (Alarm_harness.verify ~durations:[ 2; 2; 2; 1; 1; 3 ] m)
+
+let alarm_zero (name, m) () = check_result name (Alarm_harness.verify_zero m)
+
+let suite solutions mk =
+  List.map
+    (fun (name, m) -> Alcotest.test_case name `Quick (mk (name, m)))
+    solutions
+
+let () =
+  Alcotest.run "problems-sched"
+    [ ("disk-scan", suite disk_solutions disk_scan);
+      ("disk-scan-below", suite disk_solutions disk_scan_below);
+      ("disk-scan-edges", suite disk_solutions disk_scan_mixed_edges);
+      ("disk-stress", suite disk_solutions disk_stress);
+      ( "disk-baselines",
+        [ Alcotest.test_case "fcfs baseline completes" `Quick
+            disk_fcfs_baseline_serves_all;
+          Alcotest.test_case "scan beats fcfs travel" `Quick
+            test_scan_beats_fcfs_travel ] );
+      ("alarm-exact", suite alarm_solutions alarm_exact);
+      ("alarm-ties", suite alarm_solutions alarm_same_deadlines);
+      ("alarm-zero", suite alarm_solutions alarm_zero) ]

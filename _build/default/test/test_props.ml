@@ -1,0 +1,76 @@
+(* Property-based conformance: random workload shapes through the full
+   harnesses. Counts are modest because each case runs a real concurrent
+   workload, but each case exercises a different parameter corner. *)
+
+open Sync_problems
+
+let ok name = function
+  | Ok () -> true
+  | Error msg ->
+    QCheck.Test.fail_reportf "%s: %s" name msg
+
+(* Bounded buffer: random capacity / worker mix / item counts, one
+   property per mechanism family to keep failures attributable. *)
+let bb_prop name (m : (module Bb_intf.S)) =
+  QCheck.Test.make ~name:("bb random workloads: " ^ name) ~count:6
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 3) (int_range 1 3) (int_range 4 24))
+    (fun (capacity, producers, consumers, items_per_producer) ->
+      ok name
+        (Bb_harness.verify ~capacity ~producers ~consumers
+           ~items_per_producer m))
+
+(* Disk SCAN conformance on random batches (distinct tracks, none equal
+   to the staged head position so the expected order is unambiguous). *)
+let scan_prop name (m : (module Disk_intf.S)) =
+  let gen =
+    QCheck.make
+      ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+      QCheck.Gen.(
+        let track = oneof [ int_range 0 48; int_range 52 99 ] in
+        list_size (int_range 3 8) track >|= List.sort_uniq compare)
+  in
+  QCheck.Test.make ~name:("disk SCAN random batches: " ^ name) ~count:6 gen
+    (fun batch ->
+      QCheck.assume (batch <> []);
+      ok name (Disk_harness.verify_scan ~batch m))
+
+(* Alarm clock: random duration multisets, exact tick-by-tick check. *)
+let alarm_prop name (m : (module Alarm_intf.S)) =
+  QCheck.Test.make ~name:("alarm random durations: " ^ name) ~count:6
+    QCheck.(list_of_size (Gen.int_range 1 7) (int_range 1 6))
+    (fun durations -> ok name (Alarm_harness.verify ~durations m))
+
+(* One-slot buffer: random putter/getter mixes. *)
+let slot_prop name (m : (module Slot_intf.S)) =
+  QCheck.Test.make ~name:("slot random workloads: " ^ name) ~count:6
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (putters, getters) ->
+      ok name (Slot_harness.verify ~putters ~getters ~items_per_putter:8 m))
+
+let () =
+  Alcotest.run "property-workloads"
+    [ ( "bounded-buffer",
+        List.map QCheck_alcotest.to_alcotest
+          [ bb_prop "monitor" (module Bb_mon);
+            bb_prop "serializer" (module Bb_ser);
+            bb_prop "pathexpr" (module Bb_path);
+            bb_prop "ccr" (module Bb_ccr);
+            bb_prop "eventcount" (module Bb_evc) ] );
+      ( "disk-scan",
+        List.map QCheck_alcotest.to_alcotest
+          [ scan_prop "monitor" (module Disk_mon);
+            scan_prop "serializer" (module Disk_ser);
+            scan_prop "semaphore" (module Disk_sem);
+            scan_prop "ccr" (module Disk_ccr) ] );
+      ( "alarm",
+        List.map QCheck_alcotest.to_alcotest
+          [ alarm_prop "monitor" (module Alarm_mon);
+            alarm_prop "serializer" (module Alarm_ser);
+            alarm_prop "eventcount" (module Alarm_evc);
+            alarm_prop "ccr" (module Alarm_ccr) ] );
+      ( "one-slot",
+        List.map QCheck_alcotest.to_alcotest
+          [ slot_prop "pathexpr" (module Slot_path);
+            slot_prop "csp" (module Slot_csp);
+            slot_prop "eventcount" (module Slot_evc) ] ) ]

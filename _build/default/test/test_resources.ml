@@ -1,0 +1,204 @@
+(* The self-checking resources and the trace-interval analyses: these are
+   the measurement instruments, so they get direct tests — including that
+   they FIRE on bad synchronization, not only stay quiet on good. *)
+
+open Sync_resources
+open Sync_platform
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let expect_ill f =
+  match f () with
+  | exception Busywork.Ill_synchronized _ -> ()
+  | _ -> Alcotest.fail "expected Ill_synchronized"
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~work:0 3 in
+  Ring.put r 1;
+  Ring.put r 2;
+  check_int "occupancy" 2 (Ring.occupancy r);
+  check_int "fifo" 1 (Ring.get r);
+  Ring.put r 3;
+  check_int "fifo" 2 (Ring.get r);
+  check_int "fifo" 3 (Ring.get r);
+  check_int "empty" 0 (Ring.occupancy r)
+
+let test_ring_overflow_underflow () =
+  let r = Ring.create ~work:0 1 in
+  expect_ill (fun () -> Ring.get r);
+  Ring.put r 7;
+  expect_ill (fun () -> Ring.put r 8);
+  check_int "value intact" 7 (Ring.get r)
+
+let test_ring_detects_concurrent_puts () =
+  (* See test_store_detects_read_write_overlap: domains give real
+     preemption, so concurrent puts reliably overlap. *)
+  let detected = ref false in
+  (try
+     for _ = 1 to 5 do
+       let r = Ring.create ~work:2_000_000 8 in
+       Process.run_all ~backend:`Domain
+         [ (fun () -> for i = 1 to 3 do Ring.put r i done);
+           (fun () -> for i = 1 to 3 do Ring.put r (10 + i) done) ]
+     done
+   with Busywork.Ill_synchronized _ -> detected := true);
+  check_bool "detected a race" true !detected
+
+let prop_ring_sequential_fifo =
+  QCheck.Test.make ~name:"ring behaves as FIFO queue"
+    QCheck.(list small_nat)
+    (fun xs ->
+      let xs = List.filteri (fun i _ -> i < 30) xs in
+      let r = Ring.create ~work:0 (max 1 (List.length xs)) in
+      List.iter (Ring.put r) xs;
+      List.map (fun _ -> Ring.get r) xs = xs)
+
+(* ------------------------------------------------------------------ *)
+(* Store / Disk / Slot                                                 *)
+
+let test_store_versioning () =
+  let s = Store.create ~work:0 () in
+  check_int "initial" 0 (Store.read s);
+  Store.write s;
+  Store.write s;
+  check_int "versioned" 2 (Store.read s);
+  check_int "reads counted" 2 (Store.reads s);
+  check_int "writes counted" 2 (Store.writes s)
+
+let test_store_detects_read_write_overlap () =
+  (* Threads share the runtime lock and Thread.yield is not guaranteed to
+     interleave two CPU-bound loops, so drive the conflicting accesses
+     from two DOMAINS: the kernel preempts them mid-operation and the
+     store's contract check fires. *)
+  let detected = ref false in
+  (try
+     for _ = 1 to 5 do
+       let s = Store.create ~work:2_000_000 () in
+       Process.run_all ~backend:`Domain
+         [ (fun () -> for _ = 1 to 3 do ignore (Store.read s) done);
+           (fun () -> for _ = 1 to 3 do Store.write s done) ]
+     done
+   with Busywork.Ill_synchronized _ -> detected := true);
+  check_bool "detected" true !detected
+
+let test_store_allows_concurrent_reads () =
+  let s = Store.create ~work:200 () in
+  (* Concurrent reads are within contract: must never raise. *)
+  Process.run_all ~backend:`Thread
+    (List.init 4 (fun _ () ->
+         for _ = 1 to 20 do
+           ignore (Store.read s)
+         done))
+
+let test_disk_travel_accounting () =
+  let d = Disk.create ~work:0 ~tracks:100 () in
+  Disk.access d 10;
+  Disk.access d 30;
+  Disk.access d 20;
+  check_int "position" 20 (Disk.position d);
+  check_int "travel 10+20+10" 40 (Disk.travel d);
+  check_int "count" 3 (Disk.accesses d);
+  Alcotest.check_raises "range"
+    (Invalid_argument "Disk.access: track out of range") (fun () ->
+      Disk.access d 100)
+
+let test_slot_contract () =
+  let s = Slot.create ~work:0 () in
+  expect_ill (fun () -> Slot.get s);
+  Slot.put s 5;
+  check_bool "full" true (Slot.is_full s);
+  expect_ill (fun () -> Slot.put s 6);
+  check_int "value" 5 (Slot.get s);
+  check_bool "empty" false (Slot.is_full s)
+
+(* ------------------------------------------------------------------ *)
+(* Interval analysis                                                   *)
+
+open Sync_problems
+
+let ev seq pid op phase arg =
+  { Trace.seq; time_ns = Int64.of_int seq; pid; op; phase; arg }
+
+let test_intervals_basic () =
+  let events =
+    [ ev 0 1 "read" Trace.Request 0; ev 1 1 "read" Trace.Enter 0;
+      ev 2 2 "write" Trace.Request 0; ev 3 1 "read" Trace.Exit 7;
+      ev 4 2 "write" Trace.Enter 0; ev 5 2 "write" Trace.Exit 0 ]
+  in
+  let ivls = Ivl.intervals events in
+  check_int "two intervals" 2 (List.length ivls);
+  let first = List.hd ivls in
+  check_int "request seq" 0 first.Ivl.request;
+  check_int "ret" 7 first.Ivl.ret;
+  check_bool "no overlap" false (Ivl.overlap first (List.nth ivls 1))
+
+let test_exclusion_violations_detected () =
+  let events =
+    [ ev 0 1 "write" Trace.Enter 0; ev 1 2 "write" Trace.Enter 0;
+      ev 2 1 "write" Trace.Exit 0; ev 3 2 "write" Trace.Exit 0 ]
+  in
+  let ivls = Ivl.intervals events in
+  check_int "one violation" 1
+    (List.length (Ivl.exclusion_violations ~conflicts:(fun _ _ -> true) ivls))
+
+let test_exclusion_respects_conflict_relation () =
+  let events =
+    [ ev 0 1 "read" Trace.Enter 0; ev 1 2 "read" Trace.Enter 0;
+      ev 2 1 "read" Trace.Exit 0; ev 3 2 "read" Trace.Exit 0 ]
+  in
+  let ivls = Ivl.intervals events in
+  let conflicts a b = a = "write" || b = "write" in
+  check_int "reads may overlap" 0
+    (List.length (Ivl.exclusion_violations ~conflicts ivls));
+  check_int "max concurrency" 2 (Ivl.max_concurrency ~op:"read" ivls)
+
+let test_fifo_violations () =
+  let events =
+    [ ev 0 1 "use" Trace.Request 0; ev 1 2 "use" Trace.Request 0;
+      ev 2 2 "use" Trace.Enter 0; ev 3 2 "use" Trace.Exit 0;
+      ev 4 1 "use" Trace.Enter 0; ev 5 1 "use" Trace.Exit 0 ]
+  in
+  let ivls = Ivl.intervals events in
+  check_int "one inversion" 1 (List.length (Ivl.fifo_violations ivls));
+  Alcotest.(check (list int)) "grant order args" [ 0; 0 ]
+    (Ivl.grant_order ~op:"use" ivls)
+
+let test_malformed_trace_rejected () =
+  let events = [ ev 0 1 "x" Trace.Exit 0 ] in
+  match Ivl.intervals events with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let () =
+  Alcotest.run "resources"
+    [ ( "ring",
+        [ Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "overflow/underflow" `Quick
+            test_ring_overflow_underflow;
+          Alcotest.test_case "detects concurrent puts" `Quick
+            test_ring_detects_concurrent_puts;
+          QCheck_alcotest.to_alcotest prop_ring_sequential_fifo ] );
+      ( "store",
+        [ Alcotest.test_case "versioning" `Quick test_store_versioning;
+          Alcotest.test_case "detects overlap" `Quick
+            test_store_detects_read_write_overlap;
+          Alcotest.test_case "allows concurrent reads" `Quick
+            test_store_allows_concurrent_reads ] );
+      ( "disk",
+        [ Alcotest.test_case "travel accounting" `Quick
+            test_disk_travel_accounting ] );
+      ("slot", [ Alcotest.test_case "contract" `Quick test_slot_contract ]);
+      ( "intervals",
+        [ Alcotest.test_case "basic" `Quick test_intervals_basic;
+          Alcotest.test_case "exclusion detected" `Quick
+            test_exclusion_violations_detected;
+          Alcotest.test_case "conflict relation" `Quick
+            test_exclusion_respects_conflict_relation;
+          Alcotest.test_case "fifo violations" `Quick test_fifo_violations;
+          Alcotest.test_case "malformed rejected" `Quick
+            test_malformed_trace_rejected ] ) ]

@@ -315,6 +315,28 @@ let bench_disk_travel () =
   Printf.printf "SCAN/FCFS travel ratio: %.2f (paper-motivating win)\n%!"
     (float_of_int scan /. float_of_int fcfs)
 
+(* E18: deterministic-scheduler throughput — the cost of one fully
+   explored schedule (run + record + trace check) per scenario. This is
+   the budget figure behind the DFS/random exploration caps in
+   test_detsched: schedules/sec = 1e9 / (ns/op). *)
+let bench_detsched () =
+  section "E18: deterministic scheduler (ns per explored schedule)";
+  let mk name =
+    match Sync_detsched.Scenarios.find name with
+    | None -> failwith ("unknown scenario " ^ name)
+    | Some e ->
+      let seed = ref 0 in
+      Test.make ~name
+        (Staged.stage (fun () ->
+             incr seed;
+             ignore
+               (Sync_detsched.Detsched.run_random ~seed:!seed
+                  e.Sync_detsched.Scenarios.scen)))
+  in
+  run_group "e18"
+    [ mk "bb-sem"; mk "bb-mon"; mk "rw-fig1"; mk "fcfs-mon-hoare";
+      mk "deadlock-abba" ]
+
 let bench_fairness_ablation () =
   section "E-ablation: weak vs strong semaphore barging";
   (* One waiter is parked on an empty semaphore; the releaser does V and
@@ -436,4 +458,5 @@ let () =
   bench_starvation ();
   bench_disk_travel ();
   bench_fairness_ablation ();
+  bench_detsched ();
   print_endline "\nall experiments regenerated"

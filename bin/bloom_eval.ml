@@ -256,6 +256,98 @@ let nested_cmd =
   in
   Cmd.v (Cmd.info "nested" ~doc) Term.(const run $ const ())
 
+let explore_cmd =
+  let doc =
+    "Explore deterministic schedules of a scenario (E18): run the real      mechanism implementation under controlled interleavings with a seeded      random walk, PCT priority fuzzing, or bounded exhaustive DFS. Failing      schedules print their seed and schedule string and shrink to a minimal      counterexample; with no SCENARIO, lists the catalog."
+  in
+  let open Sync_detsched in
+  let scenario_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCENARIO"
+           ~doc:"Scenario name from the catalog (try with no argument).")
+  in
+  let strategy =
+    Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"STRATEGY"
+           ~doc:"random | pct | dfs")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Base seed for random/pct.")
+  in
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N"
+           ~doc:"Seeds to try for random/pct.")
+  in
+  let max_schedules =
+    Arg.(value & opt int 10_000 & info [ "max-schedules" ] ~docv:"N"
+           ~doc:"Schedule budget for dfs.")
+  in
+  let list_catalog () =
+    List.iter
+      (fun (e : Scenarios.entry) ->
+        Format.fprintf ppf "%-16s %s  [%s]@." e.scen.Detsched.name
+          e.scen.Detsched.descr
+          (match e.expect with
+          | Scenarios.Pass -> "expected: pass"
+          | Scenarios.Fail -> "expected: failing schedules exist"))
+      Scenarios.all
+  in
+  let report_failure sc seed v =
+    Format.fprintf ppf "FAIL seed=%d: %s@." seed (Detsched.verdict_message v);
+    Format.fprintf ppf "  schedule: %s@."
+      (Detsched.Schedule.to_string v.Detsched.outcome.Detsched.schedule);
+    let s = Detsched.shrink sc v.Detsched.outcome.Detsched.schedule in
+    Format.fprintf ppf "  shrunk (%d replays): %s@." s.Detsched.attempts
+      (Detsched.Schedule.to_string s.Detsched.shrunk);
+    Format.fprintf ppf "  %s@." s.Detsched.message
+  in
+  let run name strategy seed runs max_schedules =
+    match name with
+    | None -> list_catalog ()
+    | Some name -> (
+      match Scenarios.find name with
+      | None ->
+        Format.fprintf ppf "unknown scenario %S; catalog:@." name;
+        list_catalog ();
+        exit 2
+      | Some e -> (
+        let sc = e.Scenarios.scen in
+        match strategy with
+        | "random" | "pct" -> (
+          let strat = if strategy = "pct" then `Pct else `Random in
+          let r =
+            Detsched.sample ~runs ~base_seed:seed ~strategy:strat sc
+          in
+          match r.Detsched.failure with
+          | None ->
+            Format.fprintf ppf "%s: %d %s runs ok (seeds %d..%d)@." name
+              r.Detsched.runs strategy seed (seed + runs - 1)
+          | Some (bad_seed, v) ->
+            report_failure sc bad_seed v;
+            exit 1)
+        | "dfs" -> (
+          let r = Detsched.explore_dfs ~max_schedules sc in
+          Format.fprintf ppf
+            "%s: %d schedules explored (%s), deepest %d decisions@." name
+            r.Detsched.explored
+            (if r.Detsched.complete then "complete" else "budget hit")
+            r.Detsched.deepest;
+          match r.Detsched.failures with
+          | [] -> Format.fprintf ppf "no failing schedule@."
+          | fs ->
+            Format.fprintf ppf "%d failing schedule(s), first:@."
+              (List.length fs);
+            let sched, msg = List.hd fs in
+            Format.fprintf ppf "  %s@.  %s@."
+              (Detsched.Schedule.to_string sched)
+              msg;
+            exit 1)
+        | s ->
+          Format.fprintf ppf "unknown strategy %S (random | pct | dfs)@." s;
+          exit 2))
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ scenario_arg $ strategy $ seed $ runs $ max_schedules)
+
 let () =
   let doc =
     "Mechanized evaluation of synchronization mechanisms (Bloom, SOSP'79)"
@@ -266,4 +358,4 @@ let () =
        (Cmd.group info
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
-            trace_cmd; model_cmd; nested_cmd ]))
+            trace_cmd; model_cmd; nested_cmd; explore_cmd ]))

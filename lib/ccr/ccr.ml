@@ -1,3 +1,5 @@
+open Sync_platform
+
 type 'a t = {
   lock : Mutex.t;
   changed : Condition.t;

@@ -4,6 +4,8 @@
    flips the cell, so every other offer becomes stale and is purged on the
    next scan. *)
 
+open Sync_platform
+
 type cell = { mutable done_ : bool; cond : Condition.t; seq : int }
 
 type network = {

@@ -1,0 +1,320 @@
+(* Deterministic-schedule exploration over the [Detrt] runtime: recorded
+   schedules, replay, seeded random walk, PCT-style priority fuzzing,
+   bounded exhaustive DFS, and greedy shrinking. A scenario instantiates
+   the real mechanism implementation inside the run body (so every mutex
+   and condition it creates dispatches to the virtual runtime) and checks
+   its recorded trace afterwards with the existing checkers. *)
+
+open Sync_platform
+
+module Schedule = struct
+  type entry = { alts : int; chosen : int }
+
+  type t = entry array
+
+  let length = Array.length
+
+  let choices t = Array.map (fun e -> e.chosen) t
+
+  let to_string t =
+    if Array.length t = 0 then "-"
+    else
+      String.concat ","
+        (Array.to_list
+           (Array.map (fun e -> Printf.sprintf "%d/%d" e.chosen e.alts) t))
+
+  let of_string s =
+    let s = String.trim s in
+    if s = "" || s = "-" then [||]
+    else
+      String.split_on_char ',' s
+      |> List.map (fun tok ->
+             match String.split_on_char '/' (String.trim tok) with
+             | [ c; a ] -> { chosen = int_of_string c; alts = int_of_string a }
+             | _ -> invalid_arg ("Schedule.of_string: bad token " ^ tok))
+      |> Array.of_list
+end
+
+type outcome = {
+  schedule : Schedule.t;
+  steps : int;
+  result : (unit, exn) result;
+}
+
+type instance = {
+  body : unit -> unit;
+  check : unit -> (unit, string) result;
+}
+
+type t = { name : string; descr : string; make : unit -> instance }
+
+let scenario ~name ~descr make = { name; descr; make }
+
+type verdict = { outcome : outcome; verdict : (unit, string) result }
+
+let verdict_ok v = Result.is_ok v.verdict
+
+let verdict_message v = match v.verdict with Ok () -> "ok" | Error m -> m
+
+(* ------------------------------------------------------------------ *)
+(* Pickers: every strategy is just a function from the candidate array
+   to the index to run. [Detrt] only consults it when at least two
+   alternatives exist, so recorded schedules contain no forced moves.   *)
+
+type pick = int array -> int
+
+let random_pick ~seed : pick =
+  let g = Prng.make (Int64.of_int seed) in
+  fun alts -> Prng.int g (Array.length alts)
+
+(* PCT-style fuzzing [Burckhardt et al., ASPLOS'10]: each task gets a
+   random priority on first sight; the highest-priority candidate runs.
+   At [change_points] pre-sampled decision indices the current leader is
+   demoted below everything, forcing the rare orderings that a uniform
+   random walk visits with vanishing probability. *)
+let pct_pick ?(change_points = 3) ?(horizon = 512) ~seed () : pick =
+  let g = Prng.make (Int64.of_int seed) in
+  let prio : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let change_at =
+    let a = Array.init change_points (fun _ -> Prng.int g (max 1 horizon)) in
+    Array.sort compare a;
+    a
+  in
+  let next_change = ref 0 in
+  let step = ref 0 in
+  let p tid = Option.value (Hashtbl.find_opt prio tid) ~default:0 in
+  let argmax alts =
+    let best = ref 0 in
+    Array.iteri (fun i tid -> if p tid > p alts.(!best) then best := i) alts;
+    !best
+  in
+  fun alts ->
+    Array.iter
+      (fun tid ->
+        if not (Hashtbl.mem prio tid) then
+          Hashtbl.add prio tid (change_points + 1 + Prng.int g 1_000_000))
+      alts;
+    while !next_change < change_points && change_at.(!next_change) <= !step do
+      let leader = alts.(argmax alts) in
+      Hashtbl.replace prio leader (change_points - !next_change);
+      incr next_change
+    done;
+    incr step;
+    argmax alts
+
+(* Byte-for-byte replay of a recorded schedule. Decisions beyond the end
+   default to alternative 0; a mismatch in the number of alternatives
+   means the scenario is not deterministic (or the schedule belongs to a
+   different scenario) and fails loudly under [strict]. *)
+let replay_pick ?(strict = true) (sched : Schedule.t) : pick =
+  let i = ref 0 in
+  fun alts ->
+    let n = Array.length alts in
+    let k = !i in
+    incr i;
+    if k >= Array.length sched then 0
+    else begin
+      let e = sched.(k) in
+      if e.Schedule.alts <> n && strict then
+        failwith
+          (Printf.sprintf
+             "Detsched.replay: schedule diverged at decision %d (recorded %d \
+              alternatives, run offers %d)"
+             k e.Schedule.alts n);
+      if e.Schedule.chosen >= n then n - 1 else e.Schedule.chosen
+    end
+
+(* Replay from bare choice values (used by DFS prefixes and shrinking):
+   like [replay_pick ~strict:false] but without recorded alternative
+   counts. *)
+let choices_pick (cs : int array) : pick =
+  let i = ref 0 in
+  fun alts ->
+    let n = Array.length alts in
+    let k = !i in
+    incr i;
+    if k >= Array.length cs then 0
+    else if cs.(k) >= n then n - 1
+    else cs.(k)
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                              *)
+
+let run_raw ?max_steps ~(pick : pick) body : outcome =
+  let rev = ref [] in
+  let count = ref 0 in
+  let choose alts =
+    let i = pick alts in
+    rev := { Schedule.alts = Array.length alts; chosen = i } :: !rev;
+    incr count;
+    i
+  in
+  let sched () = Array.of_list (List.rev !rev) in
+  match Detrt.run ?max_steps ~choose body with
+  | steps -> { schedule = sched (); steps; result = Ok () }
+  | exception e -> { schedule = sched (); steps = !count; result = Error e }
+
+let run ?max_steps ~pick sc : verdict =
+  let inst = ref None in
+  let body () =
+    let i = sc.make () in
+    inst := Some i;
+    i.body ()
+  in
+  let outcome = run_raw ?max_steps ~pick body in
+  let verdict =
+    match outcome.result with
+    | Error e -> Error (Printexc.to_string e)
+    | Ok () -> (
+      match !inst with
+      | Some i -> i.check ()
+      | None -> Error "scenario instance was never created")
+  in
+  { outcome; verdict }
+
+let run_random ?max_steps ~seed sc = run ?max_steps ~pick:(random_pick ~seed) sc
+
+let run_pct ?max_steps ?change_points ?horizon ~seed sc =
+  run ?max_steps ~pick:(pct_pick ?change_points ?horizon ~seed ()) sc
+
+let replay ?max_steps ?strict sc sched =
+  run ?max_steps ~pick:(replay_pick ?strict sched) sc
+
+type sample_report = { runs : int; failure : (int * verdict) option }
+
+let sample ?max_steps ?(runs = 100) ?(base_seed = 0) ?(strategy = `Random) sc =
+  let picker seed =
+    match strategy with
+    | `Random -> random_pick ~seed
+    | `Pct -> pct_pick ~seed ()
+  in
+  let rec go i =
+    if i >= runs then { runs; failure = None }
+    else
+      let seed = base_seed + i in
+      let v = run ?max_steps ~pick:(picker seed) sc in
+      if verdict_ok v then go (i + 1)
+      else { runs = i + 1; failure = Some (seed, v) }
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Bounded exhaustive search: stateless-model-checking style. Each run
+   is replayed from a choice prefix (alternative 0 beyond it); after the
+   run, every untaken alternative at or beyond the prefix length opens a
+   new branch. The worklist is a stack with deepest branches first, so
+   the frontier stays small. *)
+
+type dfs_report = {
+  explored : int;
+  complete : bool;
+  failures : (Schedule.t * string) list;
+  deepest : int;
+}
+
+let explore_dfs ?max_steps ?(max_schedules = 10_000) ?(max_failures = 10) sc =
+  let worklist = ref [ [||] ] in
+  let explored = ref 0 in
+  let failures = ref [] in
+  let deepest = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match !worklist with
+    | [] -> continue_ := false
+    | _ when !explored >= max_schedules -> continue_ := false
+    | prefix :: rest ->
+      worklist := rest;
+      let v = run ?max_steps ~pick:(choices_pick prefix) sc in
+      incr explored;
+      let sched = v.outcome.schedule in
+      deepest := max !deepest (Array.length sched);
+      (match v.verdict with
+      | Error m ->
+        if List.length !failures < max_failures then
+          failures := (sched, m) :: !failures
+      | Ok () -> ());
+      (* Decisions below the prefix length were forced by the prefix;
+         their siblings are enqueued when the ancestor run is expanded. *)
+      let plen = Array.length prefix in
+      let ext = ref [] in
+      for i = plen to Array.length sched - 1 do
+        let e = sched.(i) in
+        for c = e.Schedule.chosen + 1 to e.Schedule.alts - 1 do
+          let p =
+            Array.append (Schedule.choices (Array.sub sched 0 i)) [| c |]
+          in
+          ext := p :: !ext
+        done
+      done;
+      worklist := !ext @ !worklist
+  done;
+  { explored = !explored;
+    complete = !worklist = [];
+    failures = List.rev !failures;
+    deepest = !deepest }
+
+(* ------------------------------------------------------------------ *)
+(* Greedy shrinking: first find the shortest failing prefix (everything
+   beyond a prefix defaults to alternative 0), then zero out remaining
+   non-default choices one at a time until a fixpoint. The result is a
+   canonical failing schedule with as few non-default decisions as this
+   local search can reach within [budget] replays. *)
+
+type shrink_report = { shrunk : Schedule.t; message : string; attempts : int }
+
+let shrink ?max_steps ?(budget = 300) sc (failing : Schedule.t) =
+  let attempts = ref 0 in
+  let fails cs =
+    if !attempts >= budget then None
+    else begin
+      incr attempts;
+      let v = run ?max_steps ~pick:(choices_pick cs) sc in
+      match v.verdict with
+      | Error m -> Some m
+      | Ok () -> None
+    end
+  in
+  let best = ref (Schedule.choices failing) in
+  let best_msg =
+    match fails !best with
+    | Some m -> ref m
+    | None -> invalid_arg "Detsched.shrink: the given schedule does not fail"
+  in
+  (try
+     for len = 0 to Array.length !best - 1 do
+       match fails (Array.sub !best 0 len) with
+       | Some m ->
+         best := Array.sub !best 0 len;
+         best_msg := m;
+         raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to Array.length !best - 1 do
+      if !best.(i) <> 0 then begin
+        let cand = Array.copy !best in
+        cand.(i) <- 0;
+        match fails cand with
+        | Some m ->
+          best := cand;
+          best_msg := m;
+          changed := true
+        | None -> ()
+      end
+    done
+  done;
+  (* Trailing zeros are the replay default: drop them, then re-run once
+     to rebuild the canonical schedule with alternative counts. *)
+  let n = ref (Array.length !best) in
+  while !n > 0 && !best.(!n - 1) = 0 do
+    decr n
+  done;
+  let final = Array.sub !best 0 !n in
+  incr attempts;
+  let v = run ?max_steps ~pick:(choices_pick final) sc in
+  match v.verdict with
+  | Error m -> { shrunk = v.outcome.schedule; message = m; attempts = !attempts }
+  | Ok () -> { shrunk = failing; message = !best_msg; attempts = !attempts }

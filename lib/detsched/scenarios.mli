@@ -1,0 +1,15 @@
+(** Catalog of deterministic scenarios over the real mechanism
+    implementations: bounded buffer (semaphore, monitor), the footnote-3
+    writer-handoff situation (Figure 1 and 2 path expressions, monitor,
+    serializer), FCFS drain order (Hoare monitor, Mesa ticket monitor,
+    semaphore queue), and a deliberate lock-order-inversion deadlock.
+    Entries marked [Fail] are the reproduced anomalies — exploration is
+    expected to find failing schedules there and nowhere else. *)
+
+type expectation = Pass | Fail
+
+type entry = { scen : Detsched.t; expect : expectation }
+
+val all : entry list
+
+val find : string -> entry option

@@ -1,0 +1,23 @@
+type t = Sys of Stdlib.Condition.t | Det of Detrt.cond
+
+let create () =
+  if Detrt.active () then Det (Detrt.cond ())
+  else Sys (Stdlib.Condition.create ())
+
+let wait c (m : Mutex.t) =
+  match (c, m) with
+  | Sys c, Mutex.Sys m -> Stdlib.Condition.wait c m
+  | Det c, Mutex.Det m -> Detrt.cond_wait c m
+  | Sys _, Mutex.Det _ | Det _, Mutex.Sys _ ->
+    failwith
+      "Condition.wait: condition and mutex from different worlds (one \
+       deterministic, one system); create both inside or both outside the \
+       deterministic run"
+
+let signal = function
+  | Sys c -> Stdlib.Condition.signal c
+  | Det c -> Detrt.cond_signal c
+
+let broadcast = function
+  | Sys c -> Stdlib.Condition.broadcast c
+  | Det c -> Detrt.cond_broadcast c

@@ -1,0 +1,17 @@
+(** Condition variables, deterministic-run aware.
+
+    Shadows the stdlib [Condition] inside [Sync_platform], pairing with
+    the shadowed {!Mutex}: created during a {!Detrt} run it is a virtual
+    condition scheduled deterministically, otherwise a system condition.
+    Semantics follow the stdlib contract (Mesa-style: a woken waiter
+    re-acquires the mutex and must re-check its predicate). *)
+
+type t = Sys of Stdlib.Condition.t | Det of Detrt.cond
+
+val create : unit -> t
+
+val wait : t -> Mutex.t -> unit
+
+val signal : t -> unit
+
+val broadcast : t -> unit

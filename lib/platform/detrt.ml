@@ -1,0 +1,352 @@
+(* Deterministic cooperative runtime: virtual tasks (OCaml 5 effect
+   fibers) multiplexed on the calling thread. Every scheduling decision —
+   which runnable task proceeds, which waiter receives a released mutex —
+   is delegated to a single [choose] callback, so a run is a pure function
+   of the scenario and the choice sequence: record the choices and any
+   interleaving replays byte-for-byte.
+
+   Context-switch points are the blocking primitives themselves
+   (mutex lock/unlock, condition wait/signal/broadcast, spawn, join,
+   quiescence). Code between two primitive operations executes atomically,
+   which is sound for the mechanism implementations because they keep all
+   shared state under their low-level locks. *)
+
+exception Deadlock of string
+
+exception Step_limit of int
+
+type state = Unstarted | Runnable | Running | Blocked | Quiescing | Done
+
+type task = {
+  tid : int;
+  tname : string;
+  mutable state : state;
+  (* The resumption: for Unstarted tasks, starting the body; otherwise
+     continuing a captured fiber. Uniformly a thunk so that effects with
+     differently-typed continuations share one queue. *)
+  mutable resume : (unit -> unit) option;
+  mutable t_exn : exn option;
+  mutable joiners : task list;
+}
+
+type sched = {
+  choose : int array -> int;
+  max_steps : int;
+  mutable runq : task list; (* deterministic FIFO of runnable tasks *)
+  mutable quiescers : task list;
+  mutable all : task list; (* spawn order, newest first *)
+  mutable next_tid : int;
+  mutable steps : int;
+  mutable first_exn : exn option;
+  mutable limit_hit : bool;
+}
+
+let cur_sched : sched option ref = ref None
+
+let cur_task : task option ref = ref None
+
+let active () = Option.is_some !cur_sched
+
+let in_fiber () = Option.is_some !cur_task
+
+let self () =
+  match !cur_task with
+  | Some t -> t
+  | None -> failwith "Detrt: primitive used outside a running task"
+
+let the_sched () =
+  match !cur_sched with
+  | Some s -> s
+  | None -> failwith "Detrt: no deterministic run in progress"
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Block : unit Effect.t
+  | Quiesce : unit Effect.t
+
+let make_runnable s t =
+  t.state <- Runnable;
+  s.runq <- s.runq @ [ t ]
+
+(* Pick the next runnable task and transfer control to it. Returns only
+   when no progress is possible anymore (all done, deadlock, or the step
+   limit tripped); the caller's stack then unwinds through the suspended
+   handler frames. *)
+let next s =
+  if s.runq = [] && s.quiescers <> [] then begin
+    let qs = s.quiescers in
+    s.quiescers <- [];
+    List.iter (make_runnable s) qs
+  end;
+  match s.runq with
+  | [] -> () (* run loop over: [run] inspects task states afterwards *)
+  | q ->
+    s.steps <- s.steps + 1;
+    if s.steps > s.max_steps then s.limit_hit <- true
+    else begin
+      let n = List.length q in
+      let idx =
+        if n = 1 then 0
+        else begin
+          let tids = Array.of_list (List.map (fun t -> t.tid) q) in
+          let i = s.choose tids in
+          if i < 0 || i >= n then
+            invalid_arg
+              (Printf.sprintf "Detrt: strategy chose %d of %d alternatives" i
+                 n)
+          else i
+        end
+      in
+      let t = List.nth q idx in
+      s.runq <- List.filteri (fun i _ -> i <> idx) q;
+      let k =
+        match t.resume with
+        | Some k ->
+          t.resume <- None;
+          k
+        | None -> failwith "Detrt: runnable task has no continuation"
+      in
+      t.state <- Running;
+      cur_task := Some t;
+      k ()
+    end
+
+let choose_index s alts =
+  let n = Array.length alts in
+  if n = 1 then 0
+  else begin
+    let i = s.choose alts in
+    if i < 0 || i >= n then
+      invalid_arg
+        (Printf.sprintf "Detrt: strategy chose %d of %d alternatives" i n)
+    else i
+  end
+
+(* Install the scheduler's effect handler around a task body and start
+   it. Called from within [next], i.e. on the current handler chain. *)
+let exec s t body =
+  let open Effect.Deep in
+  let finish exn_opt =
+    t.state <- Done;
+    t.t_exn <- exn_opt;
+    (match (exn_opt, s.first_exn) with
+    | Some e, None -> s.first_exn <- Some e
+    | _ -> ());
+    List.iter (make_runnable s) (List.rev t.joiners);
+    t.joiners <- [];
+    cur_task := None;
+    next s
+  in
+  match_with body ()
+    { retc = (fun () -> finish None);
+      exnc = (fun e -> finish (Some e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                t.resume <- Some (fun () -> continue k ());
+                make_runnable s t;
+                cur_task := None;
+                next s)
+          | Block ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                t.resume <- Some (fun () -> continue k ());
+                t.state <- Blocked;
+                cur_task := None;
+                next s)
+          | Quiesce ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                t.resume <- Some (fun () -> continue k ());
+                t.state <- Quiescing;
+                s.quiescers <- s.quiescers @ [ t ];
+                cur_task := None;
+                next s)
+          | _ -> None) }
+
+let spawn ?name body =
+  let s = the_sched () in
+  if not (in_fiber ()) then
+    failwith "Detrt.spawn: must be called from inside the deterministic run";
+  let tid = s.next_tid in
+  s.next_tid <- tid + 1;
+  let tname =
+    match name with Some n -> n | None -> Printf.sprintf "task-%d" tid
+  in
+  let t =
+    { tid; tname; state = Unstarted; resume = None; t_exn = None;
+      joiners = [] }
+  in
+  t.resume <- Some (fun () -> exec s t body);
+  s.all <- t :: s.all;
+  make_runnable s t;
+  (* spawning is itself a scheduling point *)
+  Effect.perform Yield;
+  t
+
+let join t =
+  match !cur_task with
+  | None ->
+    if t.state <> Done then
+      failwith "Detrt.join: task still live after the deterministic run"
+  | Some me ->
+    if t.state <> Done then begin
+      t.joiners <- me :: t.joiners;
+      Effect.perform Block
+    end
+
+let yield () = if in_fiber () then Effect.perform Yield
+
+let await_quiescence () =
+  if in_fiber () then Effect.perform Quiesce
+  else failwith "Detrt.await_quiescence: outside a deterministic run"
+
+let task_tid t = t.tid
+
+let task_name t = t.tname
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic mutexes and condition variables (the det halves of the
+   platform's [Mutex]/[Condition] facades). Ownership is handed off
+   directly on unlock; the receiving waiter is picked by [choose].      *)
+
+type mutex = { mutable owner : task option; mutable mwaiters : task list }
+
+type cond = { mutable cwaiters : task list }
+
+let mutex () = { owner = None; mwaiters = [] }
+
+let cond () = { cwaiters = [] }
+
+let pick_waiter s waiters =
+  match waiters with
+  | [] -> assert false
+  | [ w ] -> (w, [])
+  | ws ->
+    let arr = Array.of_list ws in
+    let idx = choose_index s (Array.map (fun t -> t.tid) arr) in
+    let w = arr.(idx) in
+    (w, List.filteri (fun i _ -> i <> idx) ws)
+
+let mutex_lock m =
+  match !cur_task with
+  | None ->
+    (* Outside a run (e.g. post-run trace inspection): everything is
+       quiesced, locking is a no-op as long as nobody holds the mutex. *)
+    if m.owner <> None then
+      failwith "Detrt: mutex held after the deterministic run"
+  | Some _ ->
+    Effect.perform Yield;
+    (* still the same task: Yield re-enqueues and resumes us *)
+    let t = self () in
+    (match m.owner with
+    | None -> m.owner <- Some t
+    | Some _ ->
+      m.mwaiters <- m.mwaiters @ [ t ];
+      Effect.perform Block
+      (* ownership was transferred to us by the releasing task *))
+
+(* Release [m], handing ownership to a chosen waiter if any. Shared by
+   [mutex_unlock] and [cond_wait]. *)
+let release_mutex s m =
+  match m.mwaiters with
+  | [] -> m.owner <- None
+  | ws ->
+    let w, rest = pick_waiter s ws in
+    m.mwaiters <- rest;
+    m.owner <- Some w;
+    make_runnable s w
+
+let holds m t = match m.owner with Some o -> o == t | None -> false
+
+let mutex_unlock m =
+  match !cur_task with
+  | None -> ()
+  | Some t ->
+    if not (holds m t) then
+      failwith "Detrt: mutex unlocked by a task that does not hold it";
+    release_mutex (the_sched ()) m;
+    Effect.perform Yield
+
+let cond_wait c m =
+  match !cur_task with
+  | None -> failwith "Detrt: Condition.wait outside the deterministic run"
+  | Some t ->
+    if not (holds m t) then
+      failwith "Detrt: Condition.wait without holding the mutex";
+    (* Atomic release-and-park: no scheduling point between enqueueing
+       ourselves and releasing the mutex, so signals cannot be lost. *)
+    c.cwaiters <- c.cwaiters @ [ t ];
+    release_mutex (the_sched ()) m;
+    Effect.perform Block;
+    (* Signalled: re-acquire like any newcomer (Mesa-style, matching the
+       stdlib [Condition] contract the mechanisms are written against). *)
+    mutex_lock m
+
+let cond_signal c =
+  match !cur_task with
+  | None ->
+    if c.cwaiters <> [] then
+      failwith "Detrt: Condition.signal with waiters after the run"
+  | Some _ ->
+    let s = the_sched () in
+    (match c.cwaiters with
+    | [] -> ()
+    | ws ->
+      let w, rest = pick_waiter s ws in
+      c.cwaiters <- rest;
+      make_runnable s w);
+    Effect.perform Yield
+
+let cond_broadcast c =
+  match !cur_task with
+  | None ->
+    if c.cwaiters <> [] then
+      failwith "Detrt: Condition.broadcast with waiters after the run"
+  | Some _ ->
+    let s = the_sched () in
+    let ws = c.cwaiters in
+    c.cwaiters <- [];
+    List.iter (make_runnable s) ws;
+    Effect.perform Yield
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(max_steps = 200_000) ~choose body =
+  if active () then failwith "Detrt.run: deterministic runs do not nest";
+  let s =
+    { choose; max_steps; runq = []; quiescers = []; all = []; next_tid = 0;
+      steps = 0; first_exn = None; limit_hit = false }
+  in
+  cur_sched := Some s;
+  Fun.protect
+    ~finally:(fun () ->
+      cur_sched := None;
+      cur_task := None)
+    (fun () ->
+      let main =
+        { tid = 0; tname = "main"; state = Unstarted; resume = None;
+          t_exn = None; joiners = [] }
+      in
+      s.next_tid <- 1;
+      s.all <- [ main ];
+      main.state <- Running;
+      cur_task := Some main;
+      exec s main body;
+      (* The handler chain has fully unwound: classify the outcome. *)
+      (match s.first_exn with Some e -> raise e | None -> ());
+      if s.limit_hit then raise (Step_limit s.max_steps);
+      let stuck = List.filter (fun t -> t.state <> Done) s.all in
+      if stuck <> [] then
+        raise
+          (Deadlock
+             (Printf.sprintf "deadlock: %d task(s) blocked forever: %s"
+                (List.length stuck)
+                (String.concat ", "
+                   (List.rev_map
+                      (fun t -> Printf.sprintf "%s(#%d)" t.tname t.tid)
+                      stuck))));
+      s.steps)

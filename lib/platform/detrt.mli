@@ -1,0 +1,80 @@
+(** Deterministic cooperative runtime (the [`Det] process backend).
+
+    Runs a whole concurrent scenario as virtual tasks — OCaml 5 effect
+    fibers — multiplexed on the calling thread. Context switches happen
+    only at the blocking primitives (mutex, condition, spawn/join,
+    quiescence), and every scheduling decision is delegated to the
+    [choose] callback, so an execution is a pure function of the scenario
+    and the choice sequence: recording the choices makes any interleaving
+    replayable byte-for-byte. Exploration strategies (seeded random walk,
+    PCT priority fuzzing, bounded exhaustive DFS) live in [sync_detsched];
+    this module is only the runtime.
+
+    The platform's {!Mutex} and {!Condition} facades dispatch here when
+    created during a run, which is what lets the {e real} mechanism
+    implementations (monitors, serializers, path-expression engines, CCRs,
+    CSP) execute unmodified under controlled schedules. Everything the
+    scenario synchronizes on must therefore be created {e inside} the
+    [run] body. *)
+
+exception Deadlock of string
+(** No task can make progress and at least one is blocked. *)
+
+exception Step_limit of int
+(** The run exceeded [max_steps] scheduling decisions. *)
+
+type task
+
+val run : ?max_steps:int -> choose:(int array -> int) -> (unit -> unit) -> int
+(** [run ~choose body] executes [body] as the main virtual task and
+    schedules it and everything it spawns to completion; returns the
+    number of scheduling steps taken. Whenever more than one continuation
+    is possible, [choose] receives the candidate task ids and returns the
+    index to run ([choose] is never called with fewer than two
+    candidates). Re-raises the first exception escaping any task;
+    raises {!Deadlock} / {!Step_limit} otherwise when stuck or runaway.
+    Runs do not nest. *)
+
+val active : unit -> bool
+(** A deterministic run is in progress (creation-time dispatch). *)
+
+val in_fiber : unit -> bool
+(** The caller is executing inside a virtual task. *)
+
+val spawn : ?name:string -> (unit -> unit) -> task
+(** Start a new virtual task; a scheduling point. *)
+
+val join : task -> unit
+(** Block the calling task until [t] completes. *)
+
+val yield : unit -> unit
+(** Voluntary scheduling point; no-op outside a run. *)
+
+val await_quiescence : unit -> unit
+(** Park the calling task until no other task is runnable — the
+    deterministic replacement for the stress harnesses' settle delays:
+    "everyone else has either finished or parked". *)
+
+val task_tid : task -> int
+
+val task_name : task -> string
+
+(** {1 Primitive building blocks used by the platform facades} *)
+
+type mutex
+
+type cond
+
+val mutex : unit -> mutex
+
+val cond : unit -> cond
+
+val mutex_lock : mutex -> unit
+
+val mutex_unlock : mutex -> unit
+
+val cond_wait : cond -> mutex -> unit
+
+val cond_signal : cond -> unit
+
+val cond_broadcast : cond -> unit

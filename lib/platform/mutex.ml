@@ -1,0 +1,27 @@
+type t = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+
+let create () =
+  if Detrt.active () then Det (Detrt.mutex ())
+  else Sys (Stdlib.Mutex.create ())
+
+let lock = function
+  | Sys m -> Stdlib.Mutex.lock m
+  | Det m -> Detrt.mutex_lock m
+
+let unlock = function
+  | Sys m -> Stdlib.Mutex.unlock m
+  | Det m -> Detrt.mutex_unlock m
+
+let try_lock = function
+  | Sys m -> Stdlib.Mutex.try_lock m
+  | Det _ -> failwith "Mutex.try_lock: unsupported under Detrt"
+
+let protect m f =
+  lock m;
+  match f () with
+  | v ->
+    unlock m;
+    v
+  | exception e ->
+    unlock m;
+    raise e

@@ -1,0 +1,26 @@
+(** Mutual-exclusion locks, deterministic-run aware.
+
+    This module shadows the stdlib [Mutex] inside [Sync_platform] (and in
+    every file that opens it). A mutex created during a {!Detrt} run is a
+    virtual-task mutex whose blocking is controlled by the deterministic
+    scheduler; anywhere else it is a plain system mutex. Mechanism code is
+    written against the ordinary stdlib signature and needs no changes.
+
+    The representation is exposed so that {!Condition} can pair det
+    conditions with det mutexes; treat it as internal. *)
+
+type t = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+
+val create : unit -> t
+(** System mutex normally; deterministic mutex inside a {!Detrt} run. *)
+
+val lock : t -> unit
+
+val unlock : t -> unit
+
+val try_lock : t -> bool
+(** Unsupported (raises) on deterministic mutexes: [try_lock]'s result
+    would be an unrecorded scheduling decision. *)
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect m f] runs [f] with [m] held, releasing on any exit. *)

@@ -7,7 +7,7 @@
     suites and benches). The two backends expose one interface so every
     solution and workload is backend-agnostic. *)
 
-type backend = [ `Thread | `Domain ]
+type backend = [ `Thread | `Domain | `Det ]
 
 type t
 (** A running process handle. *)
@@ -15,9 +15,17 @@ type t
 val default_backend : backend ref
 (** Backend used when [spawn] is not given one; initially [`Thread]. *)
 
+val mode : unit -> backend
+(** The backend the next [spawn] will effectively use: [`Det] whenever a
+    {!Detrt} deterministic run is in progress, [!default_backend]
+    otherwise. *)
+
 val spawn : ?backend:backend -> (unit -> unit) -> t
 (** Start [f] concurrently. Any exception escaping [f] is captured and
-    re-raised by {!join}. *)
+    re-raised by {!join}. Inside a {!Detrt} run the [backend] argument is
+    overridden: processes always spawn as deterministic virtual tasks
+    ([`Det]), so the scenario drivers work unchanged under controlled
+    scheduling. *)
 
 val join : t -> unit
 (** Wait for completion; re-raises the process's escaped exception, if

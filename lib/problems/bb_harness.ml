@@ -83,6 +83,9 @@ let run (module B : Bb_intf.S) ?(backend = `Thread) ?(capacity = 4)
   { trace = events; produced; consumed }
 
 let check ~producers report =
+  match Ivl.check_wellformed report.trace with
+  | Error _ as e -> e
+  | Ok () ->
   let sorted_eq a b = List.sort compare a = List.sort compare b in
   if not (sorted_eq report.produced report.consumed) then
     Error

@@ -56,7 +56,41 @@ let run (module S : Fcfs_intf.S) ?(users = 5) ?(rounds = 3) ?(work = 100)
       done);
   { trace = Trace.events trace }
 
+(* Deterministic-schedule variant of {!run}: one round, with quiescence
+   in place of the settle delays — each contender is fully parked in the
+   mechanism's queue before the next is launched, so the request order is
+   exact and the drain order depends only on the mechanism. Must be
+   called inside a [Detrt.run] body. *)
+let det_run (module S : Fcfs_intf.S) ?(users = 4) () =
+  let trace = Trace.create () in
+  let gate = Latch.create 1 in
+  let res_use ~pid =
+    Trace.record trace ~pid ~op:"use" ~phase:Trace.Enter ();
+    if pid = holder_pid then Latch.wait gate;
+    Trace.record trace ~pid ~op:"use" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~use:res_use in
+  Fun.protect
+    ~finally:(fun () -> S.stop t)
+    (fun () ->
+      let holder = Process.spawn (fun () -> S.use t ~pid:holder_pid) in
+      Detrt.await_quiescence ();
+      let contenders =
+        List.init users (fun pid ->
+            Trace.record trace ~pid ~op:"use" ~phase:Trace.Request ();
+            let c = Process.spawn (fun () -> S.use t ~pid) in
+            Detrt.await_quiescence ();
+            c)
+      in
+      Latch.arrive gate;
+      Process.join holder;
+      List.iter Process.join contenders);
+  { trace = Trace.events trace }
+
 let check report =
+  match Ivl.check_wellformed report.trace with
+  | Error _ as e -> e
+  | Ok () ->
   let ivls = Ivl.intervals report.trace in
   match Ivl.exclusion_violations ~conflicts:(fun _ _ -> true) ivls with
   | _ :: _ -> Error "mutual exclusion violated"

@@ -43,3 +43,65 @@ let meta =
       [ (Info.Sync_state, Meta.Indirect); (Info.Request_time, Meta.Direct) ]
     ~aux_state:[ "busy flag" ]
     ~separation:Meta.Separated ()
+
+(** Mesa variant. Signal-and-continue wakes are advisory: a signalled
+    waiter re-enters through the ordinary entry queue and can find that a
+    newcomer (or another woken waiter) claimed the resource first, so the
+    FIFO condition queue alone can no longer carry the grant order. The
+    request-time information must be materialized as explicit state — a
+    ticket counter — and every waiter re-checks its turn in a while loop.
+    Same problem, same mechanism family, strictly more auxiliary state:
+    the paper's point about where signalling disciplines push the
+    ordering information. *)
+module Mesa = struct
+  type t = {
+    mon : Monitor.t;
+    turn : Monitor.Cond.t;
+    mutable busy : bool;
+    mutable next_ticket : int;
+    mutable next_serve : int;
+    res_use : pid:int -> unit;
+  }
+
+  let mechanism = "monitor"
+
+  let create ~use =
+    let mon = Monitor.create ~discipline:`Mesa () in
+    { mon;
+      turn = Monitor.Cond.create mon;
+      busy = false;
+      next_ticket = 0;
+      next_serve = 0;
+      res_use = use }
+
+  let use t ~pid =
+    Protected.access t.mon
+      ~before:(fun () ->
+        let my = t.next_ticket in
+        t.next_ticket <- my + 1;
+        while t.busy || t.next_serve <> my do
+          Monitor.Cond.wait t.turn
+        done;
+        t.busy <- true)
+      ~after:(fun () ->
+        t.busy <- false;
+        t.next_serve <- t.next_serve + 1;
+        (* Mesa: wake everyone; only the holder of the served ticket
+           passes its re-check, the rest go back to sleep. *)
+        Monitor.Cond.broadcast t.turn)
+      (fun () -> t.res_use ~pid)
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"fcfs" ~variant:"mesa"
+      ~fragments:
+        [ ("fcfs-exclusion",
+           [ "busy"; "flag"; "wait(turn)"; "broadcast(turn)" ]);
+          ("fcfs-order", [ "ticket"; "counter"; "while"; "re-check" ]) ]
+      ~info_access:
+        [ (Info.Sync_state, Meta.Indirect);
+          (Info.Request_time, Meta.Indirect) ]
+      ~aux_state:[ "busy flag"; "ticket counters" ]
+      ~separation:Meta.Separated ()
+end

@@ -56,6 +56,42 @@ let intervals events =
     events;
   List.sort (fun a b -> compare a.enter b.enter) !out
 
+let check_wellformed events =
+  let inside : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let bad = ref None in
+  List.iter
+    (fun (e : Trace.event) ->
+      if !bad = None then
+        match e.phase with
+        | Trace.Mark | Trace.Request -> ()
+        | Trace.Enter ->
+          if Hashtbl.mem inside e.pid then
+            bad :=
+              Some
+                (Printf.sprintf "pid %d: Enter %s while still inside %s" e.pid
+                   e.op (Hashtbl.find inside e.pid))
+          else Hashtbl.add inside e.pid e.op
+        | Trace.Exit ->
+          if not (Hashtbl.mem inside e.pid) then
+            bad :=
+              Some
+                (Printf.sprintf "pid %d: Exit %s without a matching Enter"
+                   e.pid e.op)
+          else Hashtbl.remove inside e.pid)
+    events;
+  match !bad with
+  | Some msg -> Error ("malformed trace: " ^ msg)
+  | None -> (
+    let stuck = Hashtbl.fold (fun pid op acc -> (pid, op) :: acc) inside [] in
+    match List.sort compare stuck with
+    | [] -> Ok ()
+    | (pid, op) :: _ ->
+      Error
+        (Printf.sprintf
+           "malformed trace: pid %d: unmatched Enter for %s (no Exit \
+            recorded)"
+           pid op))
+
 let overlap a b = a.enter < b.exit_ && b.enter < a.exit_
 
 let exclusion_violations ~conflicts ivls =

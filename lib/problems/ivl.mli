@@ -22,6 +22,15 @@ val intervals : Sync_platform.Trace.event list -> interval list
     @raise Invalid_argument on a malformed trace (e.g. [Exit] without
     [Enter] for that pid). *)
 
+val check_wellformed :
+  Sync_platform.Trace.event list -> (unit, string) result
+(** Structural validity of a trace: no [Exit] without a matching [Enter],
+    no nested [Enter] for one pid, and every [Enter] eventually closed by
+    an [Exit]. The empty trace is well-formed. The harness checkers run
+    this first, so a truncated or corrupted recording is reported as
+    malformed rather than silently passing (e.g. {!intervals} alone would
+    drop an unmatched trailing [Enter]). *)
+
 val overlap : interval -> interval -> bool
 (** Do the two grant windows overlap in trace order? *)
 

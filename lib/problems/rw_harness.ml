@@ -66,6 +66,9 @@ let run_stress (module S : Rw_intf.S) ?(backend = `Thread) ?(readers = 4)
   { trace = Trace.events trace; store }
 
 let check_exclusion report =
+  match Ivl.check_wellformed report.trace with
+  | Error _ as e -> e
+  | Ok () ->
   let ivls = Ivl.intervals report.trace in
   let conflicts a b = a = "write" || b = "write" in
   match Ivl.exclusion_violations ~conflicts ivls with
@@ -183,6 +186,44 @@ let scenario_writer_handoff_trace (module S : Rw_intf.S) =
 
 let scenario_writer_handoff m = fst (scenario_writer_handoff_trace m)
 
+(* Deterministic-schedule variant of {!scenario_writer_handoff}: must be
+   called inside a [Detrt.run] body. Quiescence replaces the settle
+   delays, so the arrival order W1 < W2 < R is exact by construction and
+   the winner depends only on the mechanism's own grant decision. *)
+let det_scenario_writer_handoff (module S : Rw_intf.S) () =
+  let trace = Trace.create () in
+  let gate = Latch.create 1 in
+  let w1 = 200 and w2 = 201 and r = 1 in
+  let res_read ~pid =
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Enter ();
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Exit ();
+    0
+  in
+  let res_write ~pid =
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Enter ();
+    if pid = w1 then Latch.wait gate;
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~read:res_read ~write:res_write in
+  let first_writer = Process.spawn (fun () -> S.write t ~pid:w1) in
+  Detrt.await_quiescence ();
+  let second_writer = Process.spawn (fun () -> S.write t ~pid:w2) in
+  Detrt.await_quiescence ();
+  let reader = Process.spawn (fun () -> ignore (S.read t ~pid:r)) in
+  Detrt.await_quiescence ();
+  Latch.arrive gate;
+  List.iter Process.join [ first_writer; second_writer; reader ];
+  S.stop t;
+  let events = Trace.events trace in
+  let after_w1 =
+    List.filter
+      (fun (e : Trace.event) -> e.phase = Trace.Enter && e.pid <> w1)
+      events
+  in
+  match after_w1 with
+  | e :: _ -> ((if e.pid = r then Reader_first else Writer_first), events)
+  | [] -> failwith "det_scenario_writer_handoff: no grants recorded"
+
 (* Reader R1 is mid-read; writer W arrives and parks; reader R2 arrives.
    May R2 begin (overtaking W)? Readers-priority: yes. Writers-priority
    and FCFS: no. *)
@@ -275,6 +316,31 @@ let expected_outcomes = function
   | Rw_intf.Writers_priority -> Some (Writer_first, Writer_first)
   | Rw_intf.Fcfs -> Some (Writer_first, Writer_first)
   | Rw_intf.No_priority -> None (* any outcome is acceptable *)
+
+(* Checker for {!det_scenario_writer_handoff}: trace well-formedness,
+   reader/writer exclusion, and the policy's expected winner. *)
+let det_check_writer_handoff (module S : Rw_intf.S) (outcome, events) =
+  match Ivl.check_wellformed events with
+  | Error _ as e -> e
+  | Ok () -> (
+    let conflicts a b = a = "write" || b = "write" in
+    match Ivl.exclusion_violations ~conflicts (Ivl.intervals events) with
+    | (a, b) :: _ ->
+      Error
+        (Printf.sprintf
+           "exclusion violated: %s by pid %d overlaps %s by pid %d" a.Ivl.op
+           a.Ivl.pid b.Ivl.op b.Ivl.pid)
+    | [] -> (
+      match expected_outcomes S.policy with
+      | None -> Ok ()
+      | Some (expected, _) ->
+        if outcome = expected then Ok ()
+        else
+          Error
+            (Printf.sprintf "writer-handoff: %s policy expected %s, got %s"
+               (Rw_intf.policy_to_string S.policy)
+               (outcome_to_string expected)
+               (outcome_to_string outcome))))
 
 let verify_policy (module S : Rw_intf.S) =
   match expected_outcomes S.policy with

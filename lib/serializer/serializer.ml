@@ -3,6 +3,8 @@
    transferred to it ([busy] stays true). Guard re-evaluation happens at
    every possession-release point, under the lock. *)
 
+open Sync_platform
+
 type waiter = {
   guard : unit -> bool;
   rank : int;

@@ -1,0 +1,97 @@
+(* Edge cases of the trace-interval checkers: empty and single-op traces,
+   and the malformed shapes (unmatched Enter, Exit without Enter, nested
+   Enter) that the harness checkers must reject rather than silently
+   accept. *)
+
+open Sync_platform
+open Sync_problems
+
+let record t ~pid ~op ~phase = Trace.record t ~pid ~op ~phase ()
+
+let events f =
+  let t = Trace.create () in
+  f t;
+  Trace.events t
+
+let expect_malformed name evs =
+  match Ivl.check_wellformed evs with
+  | Error msg ->
+    if not (Astring.String.is_infix ~affix:"malformed" msg) then
+      Alcotest.failf "%s: rejected but without a malformed-trace message: %s"
+        name msg
+  | Ok () -> Alcotest.failf "%s: malformed trace accepted" name
+
+let test_empty_trace () =
+  let evs = events (fun _ -> ()) in
+  (match Ivl.check_wellformed evs with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "empty trace rejected: %s" m);
+  Alcotest.(check int) "no intervals" 0 (List.length (Ivl.intervals evs));
+  Alcotest.(check int) "no violations" 0
+    (List.length
+       (Ivl.exclusion_violations ~conflicts:(fun _ _ -> true)
+          (Ivl.intervals evs)))
+
+let test_single_complete_op () =
+  let evs =
+    events (fun t ->
+        record t ~pid:1 ~op:"use" ~phase:Trace.Request;
+        record t ~pid:1 ~op:"use" ~phase:Trace.Enter;
+        record t ~pid:1 ~op:"use" ~phase:Trace.Exit)
+  in
+  (match Ivl.check_wellformed evs with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "single complete op rejected: %s" m);
+  match Ivl.intervals evs with
+  | [ i ] ->
+    Alcotest.(check string) "op" "use" i.Ivl.op;
+    Alcotest.(check bool) "request seen" true (i.Ivl.request >= 0)
+  | l -> Alcotest.failf "expected 1 interval, got %d" (List.length l)
+
+let test_unmatched_enter () =
+  expect_malformed "unmatched enter"
+    (events (fun t -> record t ~pid:1 ~op:"use" ~phase:Trace.Enter))
+
+let test_exit_without_enter () =
+  expect_malformed "exit without enter"
+    (events (fun t -> record t ~pid:1 ~op:"use" ~phase:Trace.Exit))
+
+let test_nested_enter () =
+  expect_malformed "nested enter"
+    (events (fun t ->
+         record t ~pid:1 ~op:"use" ~phase:Trace.Enter;
+         record t ~pid:1 ~op:"use" ~phase:Trace.Enter))
+
+(* A trailing Enter must poison the harness checkers, not just the
+   low-level predicate: [Ivl.intervals] alone would drop the incomplete
+   invocation and the truncated trace would pass. *)
+let test_harness_checkers_reject_malformed () =
+  let evs =
+    events (fun t ->
+        record t ~pid:1 ~op:"use" ~phase:Trace.Request;
+        record t ~pid:1 ~op:"use" ~phase:Trace.Enter)
+  in
+  (match Fcfs_harness.check { Fcfs_harness.trace = evs } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "fcfs checker accepted a truncated trace");
+  let store = Sync_resources.Store.create ~work:0 () in
+  let evs_rw =
+    events (fun t ->
+        record t ~pid:1 ~op:"write" ~phase:Trace.Enter)
+  in
+  match Rw_harness.check_exclusion { Rw_harness.trace = evs_rw; store } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "rw checker accepted a truncated trace"
+
+let () =
+  Alcotest.run "checkers"
+    [ ( "edge-cases",
+        [ Alcotest.test_case "empty trace" `Quick test_empty_trace;
+          Alcotest.test_case "single complete op" `Quick
+            test_single_complete_op;
+          Alcotest.test_case "unmatched enter" `Quick test_unmatched_enter;
+          Alcotest.test_case "exit without enter" `Quick
+            test_exit_without_enter;
+          Alcotest.test_case "nested enter" `Quick test_nested_enter;
+          Alcotest.test_case "harness checkers reject malformed" `Quick
+            test_harness_checkers_reject_malformed ] ) ]

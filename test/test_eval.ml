@@ -232,9 +232,9 @@ let () =
         ] );
       ( "independence",
         [ Alcotest.test_case "jaccard basics" `Quick test_jaccard_basics;
-          QCheck_alcotest.to_alcotest prop_jaccard_symmetric;
-          QCheck_alcotest.to_alcotest prop_jaccard_bounded;
-          QCheck_alcotest.to_alcotest prop_jaccard_reflexive;
+          Testutil.qcheck_case prop_jaccard_symmetric;
+          Testutil.qcheck_case prop_jaccard_bounded;
+          Testutil.qcheck_case prop_jaccard_reflexive;
           Alcotest.test_case "reuse reproduces paper ordering" `Quick
             test_reuse_reproduces_paper_ordering ] );
       ( "modularity",

@@ -395,7 +395,7 @@ let () =
           Alcotest.test_case "figure 1 parses" `Quick test_figure1_parses;
           Alcotest.test_case "pp roundtrip examples" `Quick
             test_pp_roundtrip_examples;
-          QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip ] );
+          Testutil.qcheck_case prop_pp_parse_roundtrip ] );
       ( "semantics",
         [ Alcotest.test_case "sequence blocks" `Quick test_sequence_blocks;
           Alcotest.test_case "cycle repeats" `Quick test_cycle_repeats;
@@ -410,7 +410,7 @@ let () =
             test_multiple_paths_compose;
           Alcotest.test_case "fifo selection" `Quick test_fifo_selection ] );
       ( "liveness",
-        [ QCheck_alcotest.to_alcotest prop_sequential_paths_live ] );
+        [ Testutil.qcheck_case prop_sequential_paths_live ] );
       ( "extensions",
         [ Alcotest.test_case "predicate gates" `Quick test_predicate_gates;
           Alcotest.test_case "predicates need gate engine" `Quick

@@ -383,7 +383,7 @@ let () =
         [ Alcotest.test_case "orders" `Quick test_heap_orders;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
-          QCheck_alcotest.to_alcotest prop_heap_sorts ] );
+          Testutil.qcheck_case prop_heap_sorts ] );
       ( "waitq",
         [ Alcotest.test_case "fifo" `Quick test_waitq_fifo;
           Alcotest.test_case "wake_min" `Quick test_waitq_wake_min;

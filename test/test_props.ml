@@ -51,26 +51,26 @@ let slot_prop name (m : (module Slot_intf.S)) =
 let () =
   Alcotest.run "property-workloads"
     [ ( "bounded-buffer",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Testutil.qcheck_case
           [ bb_prop "monitor" (module Bb_mon);
             bb_prop "serializer" (module Bb_ser);
             bb_prop "pathexpr" (module Bb_path);
             bb_prop "ccr" (module Bb_ccr);
             bb_prop "eventcount" (module Bb_evc) ] );
       ( "disk-scan",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Testutil.qcheck_case
           [ scan_prop "monitor" (module Disk_mon);
             scan_prop "serializer" (module Disk_ser);
             scan_prop "semaphore" (module Disk_sem);
             scan_prop "ccr" (module Disk_ccr) ] );
       ( "alarm",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Testutil.qcheck_case
           [ alarm_prop "monitor" (module Alarm_mon);
             alarm_prop "serializer" (module Alarm_ser);
             alarm_prop "eventcount" (module Alarm_evc);
             alarm_prop "ccr" (module Alarm_ccr) ] );
       ( "one-slot",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Testutil.qcheck_case
           [ slot_prop "pathexpr" (module Slot_path);
             slot_prop "csp" (module Slot_csp);
             slot_prop "eventcount" (module Slot_evc) ] ) ]

@@ -182,7 +182,7 @@ let () =
             test_ring_overflow_underflow;
           Alcotest.test_case "detects concurrent puts" `Quick
             test_ring_detects_concurrent_puts;
-          QCheck_alcotest.to_alcotest prop_ring_sequential_fifo ] );
+          Testutil.qcheck_case prop_ring_sequential_fifo ] );
       ( "store",
         [ Alcotest.test_case "versioning" `Quick test_store_versioning;
           Alcotest.test_case "detects overlap" `Quick

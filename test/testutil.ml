@@ -48,6 +48,30 @@ module Journal = struct
     es
 end
 
+(* Deterministic property runs: the qcheck suites derive their random
+   state from one pinned seed, so a failure seen in CI reproduces
+   locally. QCHECK_SEED=<int> overrides the pin (e.g. for soak runs);
+   every property failure prints the seed that replays it. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (try int_of_string (String.trim s) with _ -> 0xB100F)
+  | None -> 0xB100F
+
+let qcheck_case test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) test
+  in
+  let run' () =
+    try run ()
+    with e ->
+      Printf.printf
+        "  property failed under QCHECK_SEED=%d (set this env var to replay)\n\
+         %!"
+        qcheck_seed;
+      raise e
+  in
+  (name, speed, run')
+
 (* Spawn each thunk as a thread-backed process and join them all. *)
 let run_all fs = Process.run_all ~backend:`Thread fs
 

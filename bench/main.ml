@@ -337,6 +337,96 @@ let bench_detsched () =
     [ mk "bb-sem"; mk "bb-mon"; mk "rw-fig1"; mk "fcfs-mon-hoare";
       mk "deadlock-abba" ]
 
+(* E19: robustness — what surviving faults costs. (a) the fault-site
+   instrumentation: the uncontended semaphore buffer pair with no plan
+   installed (each site is one ref read) vs under a plan that never
+   fires (each hit consults the plan), plus the timed acquire variants
+   against their plain counterparts. (b) recovery wall-clock: the abort
+   workload under the mixed probabilistic plan from the robustness
+   matrix, with the post-fault invariants re-checked. *)
+let bench_robustness () =
+  section "E19a: fault-site and timed-wait overhead (ns/op)";
+  let ring = Sync_resources.Ring.create ~work:0 8 in
+  let buf =
+    Sync_problems.Bb_sem.create ~capacity:8
+      ~put:(fun ~pid:_ v -> Sync_resources.Ring.put ring v)
+      ~get:(fun ~pid:_ -> Sync_resources.Ring.get ring)
+  in
+  let pair () =
+    Sync_problems.Bb_sem.put buf ~pid:0 1;
+    ignore (Sync_problems.Bb_sem.get buf ~pid:0)
+  in
+  let sem = Sync_platform.Semaphore.Counting.create 1 in
+  let mutex = Sync_platform.Mutex.create () in
+  run_group "e19a"
+    [ Test.make ~name:"bb-sem-pair/no-plan" (Staged.stage pair);
+      Test.make ~name:"semaphore-p+v" (Staged.stage (fun () ->
+          Sync_platform.Semaphore.Counting.p sem;
+          Sync_platform.Semaphore.Counting.v sem));
+      Test.make ~name:"semaphore-acquire_for+v" (Staged.stage (fun () ->
+          ignore
+            (Sync_platform.Semaphore.Counting.acquire_for sem
+               ~timeout_ns:1_000_000_000L);
+          Sync_platform.Semaphore.Counting.v sem));
+      Test.make ~name:"mutex-lock+unlock" (Staged.stage (fun () ->
+          Sync_platform.Mutex.lock mutex;
+          Sync_platform.Mutex.unlock mutex));
+      Test.make ~name:"mutex-try_lock_for+unlock" (Staged.stage (fun () ->
+          ignore
+            (Sync_platform.Mutex.try_lock_for mutex
+               ~timeout_ns:1_000_000_000L);
+          Sync_platform.Mutex.unlock mutex)) ];
+  let never =
+    Sync_platform.Fault.plan
+      [ ("semaphore.pre-wait", Sync_platform.Fault.Never);
+        ("waitq.pre-wait", Sync_platform.Fault.Never) ]
+  in
+  Sync_platform.Fault.with_plan never (fun () ->
+      run_group "e19a-plan"
+        [ Test.make ~name:"bb-sem-pair/never-firing-plan" (Staged.stage pair) ]);
+
+  section "E19b: abort-recovery wall-clock (mixed probabilistic plan)";
+  let items = 2000 in
+  let mixed =
+    Sync_platform.Fault.plan ~seed:42
+      [ ("bb.put.body", Sync_platform.Fault.Prob 0.05);
+        ("bb.get.body", Sync_platform.Fault.Prob 0.05);
+        ("waitq.pre-wait", Sync_platform.Fault.Prob 0.04);
+        ("semaphore.pre-wait", Sync_platform.Fault.Prob 0.04);
+        ("serializer.pre-wait", Sync_platform.Fault.Prob 0.04);
+        ("ccr.pre-wait", Sync_platform.Fault.Prob 0.04);
+        ("csp.pre-wait", Sync_platform.Fault.Prob 0.04) ]
+  in
+  let run name (module B : Sync_problems.Bb_intf.S) =
+    let report = ref None in
+    let seconds =
+      wall (fun () ->
+          report :=
+            Some
+              (Sync_platform.Fault.with_plan mixed (fun () ->
+                   Sync_problems.Bb_harness.run_abort
+                     (module B)
+                     ~capacity:8 ~producers:2 ~consumers:2
+                     ~items_per_producer:(items / 2) ())))
+    in
+    let r = Option.get !report in
+    let verdict =
+      match Sync_problems.Bb_harness.check_abort ~producers:2 r with
+      | Ok () -> "invariants held"
+      | Error m -> "INVARIANT FAILURE: " ^ m
+    in
+    Printf.printf
+      "%-14s %9.0f items/s  (%d puts aborted, %d gets aborted; %s)\n%!" name
+      (float_of_int items /. seconds)
+      r.Sync_problems.Bb_harness.aborted_puts
+      r.Sync_problems.Bb_harness.aborted_gets verdict
+  in
+  run "semaphore" (module Sync_problems.Bb_sem);
+  run "monitor" (module Sync_problems.Bb_mon);
+  run "serializer" (module Sync_problems.Bb_ser);
+  run "pathexpr" (module Sync_problems.Bb_path);
+  run "ccr" (module Sync_problems.Bb_ccr)
+
 let bench_fairness_ablation () =
   section "E-ablation: weak vs strong semaphore barging";
   (* One waiter is parked on an empty semaphore; the releaser does V and
@@ -459,4 +549,5 @@ let () =
   bench_disk_travel ();
   bench_fairness_ablation ();
   bench_detsched ();
+  bench_robustness ();
   print_endline "\nall experiments regenerated"

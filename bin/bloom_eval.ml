@@ -81,17 +81,29 @@ let conformance_cmd =
   Cmd.v (Cmd.info "conformance" ~doc) Term.(const run $ const ())
 
 let scorecard_cmd =
-  let doc = "Print the full scorecard (E3 + E4 + E5 + E6)." in
+  let doc = "Print the full scorecard (E3 + E4 + E5 + E6, and E19 on request)." in
   let fast =
     Arg.(value & flag
          & info [ "fast" ] ~doc:"skip the conformance run (metadata only)")
   in
-  let run fast =
-    let card = Sync_eval.Scorecard.build ~run_conformance:(not fast) () in
-    Sync_eval.Scorecard.pp ppf card;
-    if Sync_eval.Conformance.regressions card.conformance <> [] then exit 1
+  let robustness =
+    Arg.(value & flag
+         & info [ "robustness" ]
+             ~doc:"also run the E19 fault/cancellation matrix (slow; \
+                   standalone as $(b,bloom_eval faults))")
   in
-  Cmd.v (Cmd.info "scorecard" ~doc) Term.(const run $ fast)
+  let run fast robustness =
+    let card =
+      Sync_eval.Scorecard.build ~run_conformance:(not fast)
+        ~run_robustness:robustness ()
+    in
+    Sync_eval.Scorecard.pp ppf card;
+    if
+      Sync_eval.Conformance.regressions card.conformance <> []
+      || not (Sync_eval.Robustness.all_recovered card.robustness)
+    then exit 1
+  in
+  Cmd.v (Cmd.info "scorecard" ~doc) Term.(const run $ fast $ robustness)
 
 let anomaly_cmd =
   let doc =
@@ -348,6 +360,42 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(const run $ scenario_arg $ strategy $ seed $ runs $ max_schedules)
 
+let faults_cmd =
+  let doc =
+    "Run the robustness matrix (experiment E19): every mechanism x {bounded \
+     buffer, readers-writers, FCFS} under injected aborts (threaded, \
+     deterministic fault plans) and cancellation/timeout storms \
+     (deterministic runtime: seeded random schedules + bounded DFS). Exits \
+     non-zero unless every run recovered with its invariants intact."
+  in
+  let storm_runs =
+    Arg.(value & opt int 8 & info [ "storm-runs" ] ~docv:"N"
+           ~doc:"Random-schedule seeds per storm scenario.")
+  in
+  let run storm_runs =
+    Format.fprintf ppf
+      "fault plans seeded (mixed-prob seed 42, storm plan seed 7); storm \
+       schedules use seeds 1..%d — failing rows name the seed or DFS \
+       schedule to replay@.@."
+      storm_runs;
+    let progress r =
+      Format.fprintf ppf "  [%s/%s %s] %d/%d  %s@."
+        r.Sync_eval.Robustness.mechanism r.Sync_eval.Robustness.problem
+        r.Sync_eval.Robustness.scenario r.Sync_eval.Robustness.recovered
+        r.Sync_eval.Robustness.runs r.Sync_eval.Robustness.detail
+    in
+    let rows = Sync_eval.Robustness.run ~storm_runs ~progress () in
+    Format.fprintf ppf "@.";
+    Sync_eval.Robustness.pp ppf rows;
+    if Sync_eval.Robustness.all_recovered rows then
+      Format.fprintf ppf "@.all runs recovered@."
+    else begin
+      Format.fprintf ppf "@.ROBUSTNESS FAILURE(S) — see rows above@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ storm_runs)
+
 let () =
   let doc =
     "Mechanized evaluation of synchronization mechanisms (Bloom, SOSP'79)"
@@ -358,4 +406,4 @@ let () =
        (Cmd.group info
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
-            trace_cmd; model_cmd; nested_cmd; explore_cmd ]))
+            trace_cmd; model_cmd; nested_cmd; explore_cmd; faults_cmd ]))

@@ -33,7 +33,7 @@ let () =
   ignore (scan_ser, scan_csp);
   print_endline "";
   print_endline "-- staged batch: the exact elevator order --";
-  let order, expected =
+  let order, expected, _events =
     Disk_harness.run_staged (module Disk_mon) ~head:50
       ~batch:[ 10; 60; 55; 20; 90; 5; 75 ] ()
   in

@@ -1,5 +1,7 @@
 open Sync_platform
 
+let abort_policy : Fault.abort_policy = `Propagate
+
 type 'a t = {
   lock : Mutex.t;
   changed : Condition.t;
@@ -12,32 +14,33 @@ let create state =
     blocked = 0 }
 
 let region ?when_ t f =
-  Mutex.lock t.lock;
-  (match when_ with
-  | None -> ()
-  | Some guard ->
-    t.blocked <- t.blocked + 1;
-    while not (guard t.state) do
-      Condition.wait t.changed t.lock
-    done;
-    t.blocked <- t.blocked - 1);
-  let finish () =
-    (* Any region body may have changed the state: re-test every guard. *)
-    Condition.broadcast t.changed;
-    Mutex.unlock t.lock
-  in
-  match f t.state with
-  | v ->
-    finish ();
-    v
-  | exception e ->
-    finish ();
-    raise e
+  Mutex.protect t.lock (fun () ->
+      (match when_ with
+      | None -> ()
+      | Some guard -> (
+        Fault.site "ccr.pre-wait";
+        t.blocked <- t.blocked + 1;
+        match
+          while not (guard t.state) do
+            Condition.wait t.changed t.lock
+          done
+        with
+        | () -> t.blocked <- t.blocked - 1
+        | exception e ->
+          (* A raising guard (or injected abort while blocked) must not
+             leave the blocked count over-stated. *)
+          t.blocked <- t.blocked - 1;
+          raise e));
+      match f t.state with
+      | v ->
+        (* Any region body may have changed the state: re-test every
+           guard, also when the body aborted partway through a change. *)
+        Condition.broadcast t.changed;
+        v
+      | exception e ->
+        Condition.broadcast t.changed;
+        raise e)
 
 let await t p = region ~when_:p t ignore
 
-let waiters t =
-  Mutex.lock t.lock;
-  let n = t.blocked in
-  Mutex.unlock t.lock;
-  n
+let waiters t = Mutex.protect t.lock (fun () -> t.blocked)

@@ -18,6 +18,12 @@
     guards become true together (wakeup is broadcast + re-check), which
     is why the FCFS solutions below carry explicit ticket fields. *)
 
+val abort_policy : Sync_platform.Fault.abort_policy
+(** [`Propagate]: a raising guard or body unwinds to the caller with the
+    region lock released, the blocked count restored, and (after a body
+    abort) a broadcast so other guards re-test state the aborted body may
+    have half-changed. *)
+
 type 'a t
 (** A shared variable of type ['a] protected by a critical region. *)
 

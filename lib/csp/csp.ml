@@ -2,18 +2,44 @@
    multi-channel [select] commit atomically: a parked chooser is a single
    [cell] whose offers sit on several channels; whoever matches one offer
    flips the cell, so every other offer becomes stale and is purged on the
-   next scan. *)
+   next scan.
+
+   Abort policy: poison. A rendezvous has no single owner whose unwind
+   could repair it — a crashed server would strand every parked client
+   forever — so an abort is broadcast: [poison] marks the network and
+   wakes every parked cell, whose operation raises [Poisoned]; later
+   operations fail fast. *)
 
 open Sync_platform
+
+exception Poisoned of exn
+
+let abort_policy : Fault.abort_policy = `Poison
 
 type cell = { mutable done_ : bool; cond : Condition.t; seq : int }
 
 type network = {
   lock : Mutex.t;
   mutable next_seq : int; (* arrival order for longest-waiting matching *)
+  mutable poison : exn option;
+  mutable parked : cell list; (* live parked cells, woken on poison *)
 }
 
-let network () = { lock = Mutex.create (); next_seq = 0 }
+let network () =
+  { lock = Mutex.create (); next_seq = 0; poison = None; parked = [] }
+
+let poison net e =
+  Mutex.protect net.lock (fun () ->
+      if net.poison = None then begin
+        net.poison <- Some e;
+        List.iter (fun c -> Condition.signal c.cond) net.parked
+      end)
+
+let poisoned net = Mutex.protect net.lock (fun () -> net.poison)
+
+(* Must hold net.lock. *)
+let check_poison net =
+  match net.poison with Some e -> raise (Poisoned e) | None -> ()
 
 let fresh_cell net =
   let c = { done_ = false; cond = Condition.create (); seq = net.next_seq } in
@@ -48,16 +74,10 @@ module Channel = struct
   let live_recvers c = List.filter (fun o -> not o.r_cell.done_) c.recvers
 
   let waiting_senders c =
-    Mutex.lock c.net.lock;
-    let n = List.length (live_senders c) in
-    Mutex.unlock c.net.lock;
-    n
+    Mutex.protect c.net.lock (fun () -> List.length (live_senders c))
 
   let waiting_receivers c =
-    Mutex.lock c.net.lock;
-    let n = List.length (live_recvers c) in
-    Mutex.unlock c.net.lock;
-    n
+    Mutex.protect c.net.lock (fun () -> List.length (live_recvers c))
 end
 
 let purge c =
@@ -65,9 +85,19 @@ let purge c =
   c.recvers <- List.filter (fun o -> not o.r_cell.done_) c.recvers
 
 let park net cell =
-  while not cell.done_ do
+  net.parked <- cell :: net.parked;
+  while not cell.done_ && net.poison = None do
     Condition.wait cell.cond net.lock
-  done
+  done;
+  net.parked <- List.filter (fun c -> c != cell) net.parked;
+  if not cell.done_ then begin
+    match net.poison with
+    | Some e ->
+      (* Mark our offers stale so later purges drop them, then fail. *)
+      cell.done_ <- true;
+      raise (Poisoned e)
+    | None -> assert false
+  end
 
 (* Under the lock: match against the longest-waiting live counterpart. *)
 let pop_sender c =
@@ -94,44 +124,42 @@ let pop_recver c v =
 
 let send c v =
   let net = c.net in
-  Mutex.lock net.lock;
-  if pop_recver c v then Mutex.unlock net.lock
-  else begin
-    let cell = fresh_cell net in
-    c.senders <- c.senders @ [ { s_cell = cell; value = v; taken = ignore } ];
-    park net cell;
-    Mutex.unlock net.lock
-  end
+  Mutex.protect net.lock (fun () ->
+      check_poison net;
+      if not (pop_recver c v) then begin
+        Fault.site "csp.pre-wait";
+        let cell = fresh_cell net in
+        c.senders <-
+          c.senders @ [ { s_cell = cell; value = v; taken = ignore } ];
+        park net cell
+      end)
 
 let recv c =
   let net = c.net in
-  Mutex.lock net.lock;
-  match pop_sender c with
-  | Some v ->
-    Mutex.unlock net.lock;
-    v
-  | None ->
-    let cell = fresh_cell net in
-    let slot = ref None in
-    c.recvers <-
-      c.recvers @ [ { r_cell = cell; deliver = (fun v -> slot := Some v) } ];
-    park net cell;
-    Mutex.unlock net.lock;
-    (match !slot with
-    | Some v -> v
-    | None -> assert false (* deliver always ran before the wakeup *))
+  Mutex.protect net.lock (fun () ->
+      check_poison net;
+      match pop_sender c with
+      | Some v -> v
+      | None -> (
+        Fault.site "csp.pre-wait";
+        let cell = fresh_cell net in
+        let slot = ref None in
+        c.recvers <-
+          c.recvers @ [ { r_cell = cell; deliver = (fun v -> slot := Some v) } ];
+        park net cell;
+        match !slot with
+        | Some v -> v
+        | None -> assert false (* deliver always ran before the wakeup *)))
 
 let try_send c v =
-  Mutex.lock c.net.lock;
-  let ok = pop_recver c v in
-  Mutex.unlock c.net.lock;
-  ok
+  Mutex.protect c.net.lock (fun () ->
+      check_poison c.net;
+      pop_recver c v)
 
 let try_recv c =
-  Mutex.lock c.net.lock;
-  let r = pop_sender c in
-  Mutex.unlock c.net.lock;
-  r
+  Mutex.protect c.net.lock (fun () ->
+      check_poison c.net;
+      pop_sender c)
 
 type 'r case = {
   enabled : bool;
@@ -179,22 +207,25 @@ let select cases =
       if c.net_of () != net then
         invalid_arg "Csp.select: cases span several networks")
     cases;
-  Mutex.lock net.lock;
-  let rec first_ready = function
-    | [] -> None
-    | c :: rest -> (
-      match c.attempt () with Some k -> Some k | None -> first_ready rest)
+  let k =
+    Mutex.protect net.lock (fun () ->
+        check_poison net;
+        let rec first_ready = function
+          | [] -> None
+          | c :: rest -> (
+            match c.attempt () with Some k -> Some k | None -> first_ready rest)
+        in
+        match first_ready cases with
+        | Some k -> k
+        | None -> (
+          Fault.site "csp.pre-wait";
+          let cell = fresh_cell net in
+          let slot = ref None in
+          List.iter (fun c -> c.post cell slot) cases;
+          park net cell;
+          match !slot with
+          | Some k -> k
+          | None -> assert false))
   in
-  match first_ready cases with
-  | Some k ->
-    Mutex.unlock net.lock;
-    k ()
-  | None ->
-    let cell = fresh_cell net in
-    let slot = ref None in
-    List.iter (fun c -> c.post cell slot) cases;
-    park net cell;
-    Mutex.unlock net.lock;
-    (match !slot with
-    | Some k -> k ()
-    | None -> assert false)
+  (* The continuation runs outside the network lock. *)
+  k ()

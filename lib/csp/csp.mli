@@ -13,9 +13,29 @@
     network (a single internal lock makes multi-channel commitment
     atomic). *)
 
+exception Poisoned of exn
+(** Raised by every operation on a poisoned network; carries the exception
+    the network was poisoned with. *)
+
+val abort_policy : Sync_platform.Fault.abort_policy
+(** [`Poison]: a rendezvous has no single owner whose unwind could repair
+    it — a crashed server would strand every parked client forever — so an
+    abort is broadcast to the whole network instead of being repaired
+    locally. *)
+
 type network
 
 val network : unit -> network
+
+val poison : network -> exn -> unit
+(** [poison net e] marks the network failed (first poisoner wins) and
+    wakes every parked sender/receiver/selector, whose operation raises
+    [Poisoned e]; subsequent operations fail fast the same way. Servers
+    call this from their unwind handler so clients never block on a dead
+    peer. Idempotent. *)
+
+val poisoned : network -> exn option
+(** The poison, if the network has been poisoned. *)
 
 module Channel : sig
   type 'a t

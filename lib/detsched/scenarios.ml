@@ -79,14 +79,14 @@ let deadlock =
       { Detsched.body =
           (fun () ->
             let t1 =
-              Detrt.spawn (fun () ->
+              Detrt.spawn ~name:"locker-ab" (fun () ->
                   Mutex.lock a;
                   Mutex.lock b;
                   Mutex.unlock b;
                   Mutex.unlock a)
             in
             let t2 =
-              Detrt.spawn (fun () ->
+              Detrt.spawn ~name:"locker-ba" (fun () ->
                   Mutex.lock b;
                   Mutex.lock a;
                   Mutex.unlock a;

@@ -1,0 +1,29 @@
+(** The robustness axis (E19): each mechanism x {bounded buffer,
+    readers-priority readers-writers, FCFS} under injected aborts (real
+    threads, deterministic fault plans) and cancellation/timeout storms
+    (deterministic runtime: seeded random schedules plus one
+    bounded-exhaustive DFS instance), with the existing trace checkers as
+    the post-fault invariant. Also covers the platform's timed waits
+    (mutex/semaphore/condition) under timeout storms. *)
+
+type row = {
+  mechanism : string;
+  problem : string;
+  scenario : string;  (** ["aborts"] or ["storm"] *)
+  policy : string;  (** the mechanism's declared abort policy *)
+  runs : int;
+  recovered : int;  (** runs whose post-fault invariants all held *)
+  detail : string;  (** first failure, or a summary when clean *)
+}
+
+val run : ?storm_runs:int -> ?progress:(row -> unit) -> unit -> row list
+(** Executes the full matrix. [storm_runs] (default 8) random-schedule
+    seeds per storm scenario; the DFS instance is always explored up to
+    its internal bounds. [progress] is called with each row as it
+    completes (the matrix takes a while; default ignores). Deterministic: fault plans are seeded and the
+    storm schedules derive from consecutive seeds, so a failing row's
+    [detail] names the seed (or DFS schedule) that replays it. *)
+
+val all_recovered : row list -> bool
+
+val pp : Format.formatter -> row list -> unit

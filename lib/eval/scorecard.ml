@@ -5,9 +5,10 @@ type t = {
   reuse : (string * float) list;
   modularity : Modularity.row list;
   conformance : Conformance.result list;
+  robustness : Robustness.row list;
 }
 
-let build ?(run_conformance = true) () =
+let build ?(run_conformance = true) ?(run_robustness = false) () =
   let entries = Registry.all in
   let matrix = Expressiveness.matrix entries in
   let pairings = Independence.analyze entries in
@@ -16,7 +17,8 @@ let build ?(run_conformance = true) () =
     pairings;
     reuse = Independence.shared_constraint_reuse pairings;
     modularity = Modularity.analyze entries;
-    conformance = (if run_conformance then Conformance.run entries else []) }
+    conformance = (if run_conformance then Conformance.run entries else []);
+    robustness = (if run_robustness then Robustness.run () else []) }
 
 let pp ppf t =
   Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
@@ -39,9 +41,16 @@ let pp ppf t =
   if t.conformance <> [] then begin
     Format.fprintf ppf "@.== E6: conformance (all solutions, all checks) ==@.";
     Conformance.pp ppf t.conformance;
-    match Conformance.regressions t.conformance with
+    (match Conformance.regressions t.conformance with
     | [] -> Format.fprintf ppf "no regressions@."
-    | rs -> Format.fprintf ppf "%d REGRESSION(S)@." (List.length rs)
+    | rs -> Format.fprintf ppf "%d REGRESSION(S)@." (List.length rs))
+  end;
+  if t.robustness <> [] then begin
+    Format.fprintf ppf "@.== E19: robustness (faults, cancellation, timeouts) ==@.";
+    Robustness.pp ppf t.robustness;
+    if Robustness.all_recovered t.robustness then
+      Format.fprintf ppf "all runs recovered@."
+    else Format.fprintf ppf "ROBUSTNESS FAILURE(S)@."
   end
 
 let to_string t = Format.asprintf "%a" pp t

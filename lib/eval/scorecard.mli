@@ -10,12 +10,15 @@ type t = {
   reuse : (string * float) list;
   modularity : Modularity.row list;
   conformance : Conformance.result list;
+  robustness : Robustness.row list;
 }
 
-val build : ?run_conformance:bool -> unit -> t
+val build : ?run_conformance:bool -> ?run_robustness:bool -> unit -> t
 (** Computes everything from {!Registry.all}. [run_conformance] (default
     true) actually executes the workload checks; disable for fast
-    metadata-only views. *)
+    metadata-only views. [run_robustness] (default false — it is the
+    slowest section; [bloom_eval faults] runs it standalone) adds the
+    E19 fault/cancellation matrix. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -2,11 +2,18 @@ open Sync_platform
 
 type discipline = [ `Hoare | `Mesa ]
 
+let abort_policy : Fault.abort_policy = `Propagate
+
 (* One low-level lock protects all queues and the [busy] flag. Waking a
    thread parked on [entry] or [urgent] transfers monitor ownership to it
    ([busy] stays true). Waking a thread parked on a condition transfers
    ownership under the Hoare discipline only; under Mesa the woken thread
-   re-acquires through the entry path. *)
+   re-acquires through the entry path.
+
+   Exception safety: every wake that transfers ownership pairs with an
+   [on_abort] that re-grants the monitor, so a process aborting between
+   being woken and running leaves [busy]/queues consistent (abort policy:
+   propagate). *)
 type t = {
   lock : Mutex.t;
   disc : discipline;
@@ -29,15 +36,24 @@ let grant t =
   else t.busy <- false
 
 let enter t =
-  Mutex.lock t.lock;
-  if t.busy then Waitq.wait t.entry ~lock:t.lock ()
-  else t.busy <- true;
-  Mutex.unlock t.lock
+  Mutex.protect t.lock (fun () ->
+      if t.busy then
+        Waitq.wait t.entry ~lock:t.lock () ~on_abort:(fun () -> grant t)
+      else t.busy <- true)
 
-let exit t =
-  Mutex.lock t.lock;
-  grant t;
-  Mutex.unlock t.lock
+(* Must hold t.lock; the caller does NOT own the monitor (its grant was
+   passed on when it began waiting or signalling). Re-acquires through
+   the entry queue before an abort propagates, so the caller's unwind
+   always runs as owner — the condition-variable contract (POSIX
+   reacquires the lock even for a cancelled wait). Masked: recovery is
+   not an injection point. *)
+let reacquire t =
+  Fault.mask (fun () ->
+      if t.busy then
+        Waitq.wait t.entry ~lock:t.lock () ~on_abort:(fun () -> grant t)
+      else t.busy <- true)
+
+let exit t = Mutex.protect t.lock (fun () -> grant t)
 
 let with_monitor t f =
   enter t;
@@ -49,11 +65,7 @@ let with_monitor t f =
     exit t;
     raise e
 
-let entry_waiters t =
-  Mutex.lock t.lock;
-  let n = Waitq.length t.entry in
-  Mutex.unlock t.lock;
-  n
+let entry_waiters t = Mutex.protect t.lock (fun () -> Waitq.length t.entry)
 
 module Cond = struct
   type monitor = t
@@ -66,74 +78,91 @@ module Cond = struct
 
   let wait_pri c rank =
     let m = c.mon in
-    Mutex.lock m.lock;
-    grant m;
-    Waitq.wait c.q ~lock:m.lock rank;
-    (match m.disc with
-    | `Hoare -> () (* ownership was transferred by the signaller *)
-    | `Mesa ->
-      (* Signal-and-continue: compete for the monitor again. *)
-      if m.busy then Waitq.wait m.entry ~lock:m.lock ()
-      else m.busy <- true);
-    Mutex.unlock m.lock
+    Mutex.protect m.lock (fun () ->
+        grant m;
+        match
+          match m.disc with
+          | `Hoare ->
+            (* The wake we consumed was a Hoare handoff (ownership plus
+               the signalled predicate): pass both to the next waiter of
+               the same condition — solutions that signal exactly (e.g.
+               an [if]-guarded turn queue) rely on the wake not being
+               lost — else release the monitor. *)
+            Waitq.wait c.q ~lock:m.lock rank ~on_abort:(fun () ->
+                if not (Waitq.wake_min c.q ~cmp:rank_cmp) then grant m)
+          | `Mesa ->
+            (* Mesa wakes are advisory, but still wake exactly one
+               process: re-route a consumed-then-aborted wake so a
+               true-guard waiter is not left unwoken. *)
+            Waitq.wait c.q ~lock:m.lock rank ~on_abort:(fun () ->
+                ignore (Waitq.wake_min c.q ~cmp:rank_cmp));
+            (* Signal-and-continue: compete for the monitor again. *)
+            if m.busy then
+              Waitq.wait m.entry ~lock:m.lock () ~on_abort:(fun () -> grant m)
+            else m.busy <- true
+        with
+        | () -> ()
+        | exception e ->
+          (* The wait aborted after this process gave the monitor away;
+             its unwind (Protected, with_monitor) will exit as owner, so
+             get ownership back before the abort surfaces. *)
+          reacquire m;
+          raise e)
 
   let wait c = wait_pri c 0
 
   let signal c =
     let m = c.mon in
-    Mutex.lock m.lock;
-    if not (Waitq.is_empty c.q) then begin
-      match m.disc with
-      | `Hoare ->
-        (* Transfer the monitor to the chosen waiter; park on urgent. *)
-        ignore (Waitq.wake_min c.q ~cmp:rank_cmp);
-        Waitq.wait m.urgent ~lock:m.lock ()
-      | `Mesa -> ignore (Waitq.wake_min c.q ~cmp:rank_cmp)
-    end;
-    Mutex.unlock m.lock
+    Mutex.protect m.lock (fun () ->
+        if not (Waitq.is_empty c.q) then
+          match m.disc with
+          | `Hoare -> (
+            (* Transfer the monitor to the chosen waiter; park on urgent. *)
+            ignore (Waitq.wake_min c.q ~cmp:rank_cmp);
+            match
+              Waitq.wait m.urgent ~lock:m.lock () ~on_abort:(fun () -> grant m)
+            with
+            | () -> ()
+            | exception e ->
+              reacquire m;
+              raise e)
+          | `Mesa -> ignore (Waitq.wake_min c.q ~cmp:rank_cmp))
 
   let broadcast c =
     let m = c.mon in
     match m.disc with
     | `Mesa ->
-      Mutex.lock m.lock;
-      ignore (Waitq.wake_all c.q);
-      Mutex.unlock m.lock
+      Mutex.protect m.lock (fun () -> ignore (Waitq.wake_all c.q))
     | `Hoare ->
       (* Cascade of signal-and-waits through the waiters present NOW: a
          woken waiter that re-waits gets a fresh (younger) queue position,
          so waking the oldest [n] times reaches exactly the original
          waiters and the cascade terminates even if they all re-wait. *)
-      Mutex.lock m.lock;
-      let n = Waitq.length c.q in
-      Mutex.unlock m.lock;
+      let n = Mutex.protect m.lock (fun () -> Waitq.length c.q) in
       for _ = 1 to n do
-        Mutex.lock m.lock;
-        if not (Waitq.is_empty c.q) then begin
-          ignore (Waitq.wake_min c.q ~cmp:rank_cmp);
-          Waitq.wait m.urgent ~lock:m.lock ()
-        end;
-        Mutex.unlock m.lock
+        Mutex.protect m.lock (fun () ->
+            if not (Waitq.is_empty c.q) then begin
+              ignore (Waitq.wake_min c.q ~cmp:rank_cmp);
+              match
+                Waitq.wait m.urgent ~lock:m.lock ()
+                  ~on_abort:(fun () -> grant m)
+              with
+              | () -> ()
+              | exception e ->
+                reacquire m;
+                raise e
+            end)
       done
 
   let queue c =
     let m = c.mon in
-    Mutex.lock m.lock;
-    let b = not (Waitq.is_empty c.q) in
-    Mutex.unlock m.lock;
-    b
+    Mutex.protect m.lock (fun () -> not (Waitq.is_empty c.q))
 
   let count c =
     let m = c.mon in
-    Mutex.lock m.lock;
-    let n = Waitq.length c.q in
-    Mutex.unlock m.lock;
-    n
+    Mutex.protect m.lock (fun () -> Waitq.length c.q)
 
   let min_rank c =
     let m = c.mon in
-    Mutex.lock m.lock;
-    let r = Waitq.min_tag c.q ~cmp:rank_cmp in
-    Mutex.unlock m.lock;
-    r
+    Mutex.protect m.lock (fun () -> Waitq.min_tag c.q ~cmp:rank_cmp)
 end

@@ -21,6 +21,13 @@
 
 type discipline = [ `Hoare | `Mesa ]
 
+val abort_policy : Sync_platform.Fault.abort_policy
+(** [`Propagate]: an abort raised inside (or while entering) the monitor
+    unwinds past {!with_monitor}, re-granting ownership on the way out;
+    queues and the busy flag are left consistent. Every ownership-carrying
+    wake (entry, urgent, Hoare condition transfer) re-grants the monitor
+    if the woken process aborts before running. *)
+
 type t
 (** A monitor instance. *)
 

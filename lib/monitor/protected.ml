@@ -1,11 +1,17 @@
-let access m ~before ~after op =
+(* [after]/[abort] run masked: once [op]'s effect is committed (or being
+   compensated), the bookkeeping that reconciles the synchronizer with it
+   must not itself be abortable — an injection there would leave flags and
+   counts pointing at an effect that already happened. *)
+let access m ~before ~after ?abort op =
   Monitor.with_monitor m before;
   match op () with
   | v ->
-    Monitor.with_monitor m after;
+    Sync_platform.Fault.mask (fun () -> Monitor.with_monitor m after);
     v
   | exception e ->
-    Monitor.with_monitor m after;
+    Sync_platform.Fault.mask (fun () ->
+        Monitor.with_monitor m
+          (match abort with Some f -> f | None -> after));
     raise e
 
 let access_inside m op = Monitor.with_monitor m op

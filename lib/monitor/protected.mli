@@ -16,12 +16,15 @@
 
 val access :
   Monitor.t -> before:(unit -> unit) -> after:(unit -> unit) ->
-  (unit -> 'a) -> 'a
+  ?abort:(unit -> unit) -> (unit -> 'a) -> 'a
 (** [access m ~before ~after op] runs [before] inside [m] (it may wait on
     conditions of [m]), releases [m], runs [op], re-enters [m] to run
     [after] (it typically signals), and returns [op]'s result. If [op]
-    raises, [after] still runs before the exception propagates, so
-    synchronization state cannot leak. *)
+    raises, [abort] (defaulting to [after]) runs inside [m] before the
+    exception propagates, so synchronization state cannot leak. Pass
+    [abort] when [after] {e commits} the operation (e.g. bumps an item
+    count): the abort path must instead roll back what [before] claimed,
+    since the resource operation did not happen. *)
 
 val access_inside : Monitor.t -> (unit -> 'a) -> 'a
 (** The naive, deadlock-prone structure: [op] runs while holding the

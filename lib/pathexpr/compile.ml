@@ -1,6 +1,10 @@
 exception Unsupported of string
 
-type wrapped = { prologue : unit -> unit; epilogue : unit -> unit }
+type wrapped = {
+  prologue : unit -> unit;
+  epilogue : unit -> unit;
+  undo : unit -> unit;
+}
 
 type table = (string * wrapped list) list
 
@@ -25,9 +29,14 @@ let add acc name w =
     Hashtbl.add acc.tbl name [ w ]
   | Some ws -> Hashtbl.replace acc.tbl name (w :: ws))
 
-let rec comp (engine : Engine.t) env acc e ~pro ~epi =
+(* [undo] must return exactly the tokens [pro] consumed — the inverse of
+   the prologue, NOT the epilogue: in a sequence the epilogue V's the
+   {e next} link, which would advance the path as if the operation had
+   completed, while undo V's the link the prologue P'd, restoring the
+   state to before the operation started. *)
+let rec comp (engine : Engine.t) env acc e ~pro ~epi ~undo =
   match e with
-  | Ast.Op name -> add acc name { prologue = pro; epilogue = epi }
+  | Ast.Op name -> add acc name { prologue = pro; epilogue = epi; undo }
   | Ast.Seq es ->
     let n = List.length es in
     let links = Array.init (n - 1) (fun _ -> engine.make_sem 0) in
@@ -35,25 +44,44 @@ let rec comp (engine : Engine.t) env acc e ~pro ~epi =
       (fun i e ->
         let pro = if i = 0 then pro else links.(i - 1).Engine.p in
         let epi = if i = n - 1 then epi else links.(i).Engine.v in
-        comp engine env acc e ~pro ~epi)
+        let undo = if i = 0 then undo else links.(i - 1).Engine.v in
+        comp engine env acc e ~pro ~epi ~undo)
       es
-  | Ast.Sel es -> List.iter (fun e -> comp engine env acc e ~pro ~epi) es
+  | Ast.Sel es -> List.iter (fun e -> comp engine env acc e ~pro ~epi ~undo) es
   | Ast.Conc e ->
     let m = engine.make_sem 1 in
     let active = ref 0 in
+    (* [m] is internal bookkeeping (the first-in/last-out bracket), not a
+       cancellation point: its P/V run masked so an injected abort cannot
+       lose the bracket token. The group-level [pro] IS the acquire wait
+       — it stays injectable, with local compensation (it blocks while
+       holding [m], so an abort must put the bracket back itself). *)
+    let mask = Sync_platform.Fault.mask in
     let pro' () =
-      m.Engine.p ();
+      mask m.Engine.p;
       incr active;
-      if !active = 1 then pro ();
-      m.Engine.v ()
+      (if !active = 1 then
+         match pro () with
+         | () -> ()
+         | exception e ->
+           decr active;
+           mask m.Engine.v;
+           raise e);
+      mask m.Engine.v
     in
     let epi' () =
-      m.Engine.p ();
+      mask m.Engine.p;
       decr active;
       if !active = 0 then epi ();
-      m.Engine.v ()
+      mask m.Engine.v
     in
-    comp engine env acc e ~pro:pro' ~epi:epi'
+    let undo' () =
+      mask m.Engine.p;
+      decr active;
+      if !active = 0 then undo ();
+      mask m.Engine.v
+    in
+    comp engine env acc e ~pro:pro' ~epi:epi' ~undo:undo'
   | Ast.Bounded _ ->
     raise
       (Unsupported
@@ -76,7 +104,7 @@ let rec comp (engine : Engine.t) env acc e ~pro ~epi =
           ~pro:(fun () ->
             gate f;
             pro ())
-          ~epi))
+          ~epi ~undo))
 
 let compile_decl engine env acc decl =
   acc.in_decl <- [];
@@ -84,7 +112,7 @@ let compile_decl engine env acc decl =
     match decl with Ast.Bounded (n, e) -> (n, e) | e -> (1, e)
   in
   let s = engine.Engine.make_sem bound in
-  comp engine env acc body ~pro:s.Engine.p ~epi:s.Engine.v
+  comp engine env acc body ~pro:s.Engine.p ~epi:s.Engine.v ~undo:s.Engine.v
 
 let compile ~engine ~env spec =
   let acc = { tbl = Hashtbl.create 16; order = []; in_decl = [] } in

@@ -28,7 +28,16 @@ exception Unsupported of string
     within a single declaration, a numeric bound not at the body root, or
     an unbound predicate name. *)
 
-type wrapped = { prologue : unit -> unit; epilogue : unit -> unit }
+type wrapped = {
+  prologue : unit -> unit;
+  epilogue : unit -> unit;
+  undo : unit -> unit;
+      (** Returns exactly the tokens {!prologue} consumed, restoring the
+          declaration's state to before the operation started. Distinct
+          from {!epilogue}, which {e advances} the path (in a sequence it
+          V's the next link, not the one the prologue P'd). Used for abort
+          roll-back. *)
+}
 
 type table = (string * wrapped list) list
 (** For each operation, its wrappers in declaration order. *)

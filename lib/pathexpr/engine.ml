@@ -24,30 +24,31 @@ let gate () =
     let tokens = ref n in
     let q : unit Waitq.t = Waitq.create () in
     let p () =
-      Mutex.lock lock;
-      if !tokens > 0 && Waitq.is_empty q then decr tokens
-      else Waitq.wait q ~lock ();
-      Mutex.unlock lock
+      Mutex.protect lock (fun () ->
+          if !tokens > 0 && Waitq.is_empty q then decr tokens
+          else
+            (* A token handed to an aborting waiter is re-donated, so a
+               path counter never loses a unit to an injected crash. *)
+            Waitq.wait q ~lock ()
+              ~on_abort:(fun () ->
+                if not (Waitq.wake_first q) then incr tokens))
     in
     let v () =
-      Mutex.lock lock;
-      (* Hand the token directly to the oldest waiter, preserving FIFO. *)
-      if not (Waitq.wake_first q) then incr tokens;
-      Condition.broadcast changed;
-      Mutex.unlock lock
+      Mutex.protect lock (fun () ->
+          (* Hand the token directly to the oldest waiter, preserving
+             FIFO. *)
+          if not (Waitq.wake_first q) then incr tokens;
+          Condition.broadcast changed)
     in
     { p; v }
   in
   let pred_gate f =
-    Mutex.lock lock;
-    while not (f ()) do
-      Condition.wait changed lock
-    done;
-    Mutex.unlock lock
+    Mutex.protect lock (fun () ->
+        while not (f ()) do
+          Condition.wait changed lock
+        done)
   in
   let poke () =
-    Mutex.lock lock;
-    Condition.broadcast changed;
-    Mutex.unlock lock
+    Mutex.protect lock (fun () -> Condition.broadcast changed)
   in
   { name = "gate"; make_sem; pred_gate = Some pred_gate; poke }

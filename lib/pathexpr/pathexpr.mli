@@ -19,6 +19,13 @@ exception Unsupported of string
 exception Unknown_operation of string
 (** {!run} was given an operation named in no declaration. *)
 
+val abort_policy : Sync_platform.Fault.abort_policy
+(** [`Rollback]: if entry aborts while blocked partway through the
+    prologues of a multi-declaration operation, or the {e body} raises,
+    the tokens consumed by the completed prologues are returned (newest
+    first, via {!Compile.wrapped.undo}) so the path state is as if the
+    operation never started (see {!run}). *)
+
 type engine_kind = [ `Semaphore | `Gate ]
 
 type t
@@ -36,8 +43,8 @@ val of_string :
 
 val run : t -> string -> (unit -> 'a) -> 'a
 (** [run t op body] waits until [op] is permitted, runs [body], then
-    advances the path state. If [body] raises, the path state is still
-    advanced (the operation counts as having occurred) and the exception
+    advances the path state. If [body] raises, the path state is rolled
+    back (the operation counts as never having started) and the exception
     is re-raised. *)
 
 val ops : t -> string list

@@ -8,7 +8,18 @@ type t = {
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let create ?(min_wait = 16) ?(max_wait = 4096) () =
-  assert (is_pow2 min_wait && is_pow2 max_wait && min_wait <= max_wait);
+  if not (is_pow2 min_wait) then
+    invalid_arg
+      (Printf.sprintf "Backoff.create: min_wait %d not a positive power of two"
+         min_wait);
+  if not (is_pow2 max_wait) then
+    invalid_arg
+      (Printf.sprintf "Backoff.create: max_wait %d not a positive power of two"
+         max_wait);
+  if min_wait > max_wait then
+    invalid_arg
+      (Printf.sprintf "Backoff.create: min_wait %d exceeds max_wait %d"
+         min_wait max_wait);
   { min_wait; max_wait; wait = min_wait; seed = 0x9e3779b9 }
 
 (* xorshift step; cheap per-thread pseudo-randomization so that threads

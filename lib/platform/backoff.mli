@@ -11,7 +11,8 @@ type t
 val create : ?min_wait:int -> ?max_wait:int -> unit -> t
 (** [create ()] returns a fresh backoff in its initial (shortest) state.
     [min_wait] and [max_wait] bound the spin count; both must be positive
-    powers of two with [min_wait <= max_wait]. *)
+    powers of two with [min_wait <= max_wait].
+    @raise Invalid_argument otherwise. *)
 
 val once : t -> unit
 (** Spin (or yield, once saturated) and escalate the backoff. *)

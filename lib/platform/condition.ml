@@ -5,7 +5,7 @@ let create () =
   else Sys (Stdlib.Condition.create ())
 
 let wait c (m : Mutex.t) =
-  match (c, m) with
+  match (c, m.Mutex.impl) with
   | Sys c, Mutex.Sys m -> Stdlib.Condition.wait c m
   | Det c, Mutex.Det m -> Detrt.cond_wait c m
   | Sys _, Mutex.Det _ | Det _, Mutex.Sys _ ->
@@ -13,6 +13,29 @@ let wait c (m : Mutex.t) =
       "Condition.wait: condition and mutex from different worlds (one \
        deterministic, one system); create both inside or both outside the \
        deterministic run"
+
+(* Timed wait by bounded polling: stdlib condition variables have no
+   timed wait, so [wait_for] releases the mutex, lets someone else run,
+   and reacquires — a spurious wakeup per polling step, absorbed by the
+   caller's predicate loop exactly like any other spurious wakeup. The
+   condition variable itself is not consulted; correctness (never miss a
+   state change) follows from re-checking the predicate with the mutex
+   held on every iteration. *)
+let wait_for c (m : Mutex.t) ~deadline =
+  ignore c;
+  if Deadline.expired deadline then false
+  else begin
+    (match m.Mutex.impl with
+    | Mutex.Sys sm ->
+      Stdlib.Mutex.unlock sm;
+      Thread.yield ();
+      Stdlib.Mutex.lock sm
+    | Mutex.Det dm ->
+      Detrt.mutex_unlock dm;
+      Detrt.yield ();
+      Detrt.mutex_lock dm);
+    true
+  end
 
 let signal = function
   | Sys c -> Stdlib.Condition.signal c

@@ -12,6 +12,15 @@ val create : unit -> t
 
 val wait : t -> Mutex.t -> unit
 
+val wait_for : t -> Mutex.t -> deadline:Deadline.t -> bool
+(** Timed wait, by bounded polling (stdlib conditions cannot time out):
+    releases the mutex, yields, reacquires, and returns [true] — a
+    spurious wakeup per polling step — or returns [false] immediately,
+    with the mutex still held, once [deadline] has expired. Always call
+    in a predicate loop:
+    [while not p && Condition.wait_for c m ~deadline do () done; p].
+    Deterministic under {!Detrt}. *)
+
 val signal : t -> unit
 
 val broadcast : t -> unit

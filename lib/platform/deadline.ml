@@ -1,0 +1,29 @@
+(* [Wall] duplicates Clock.now_ns's one-liner rather than calling it:
+   Clock's virtual half uses the Mutex facade, and Mutex needs deadlines
+   for [try_lock_for], so depending on Clock here would be a cycle. *)
+
+type t = Wall of int64 | Polls of int ref | Never
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let budget_of_ns ns =
+  let polls = Int64.to_int (Int64.div ns 50_000L) in
+  max 2 (min 100_000 polls)
+
+let after_ns ns =
+  if Detrt.active () then Polls (ref (budget_of_ns ns))
+  else Wall (Int64.add (now_ns ()) ns)
+
+let after_s s = after_ns (Int64.of_float (s *. 1e9))
+
+let never = Never
+
+let expired = function
+  | Never -> false
+  | Wall d -> now_ns () >= d
+  | Polls b ->
+    if !b <= 0 then true
+    else begin
+      decr b;
+      false
+    end

@@ -1,0 +1,177 @@
+(* All state lives behind one raw stdlib mutex. The instrumented facades
+   (Mutex, Semaphore, Waitq, Detrt) call in from their own critical
+   sections, so nothing here may ever block on a platform primitive. *)
+
+type rid = int
+
+type key = Task of int | Thr of int
+
+let guard = Stdlib.Mutex.create ()
+
+let on = Atomic.make false
+
+let next_rid = ref 0
+
+let rnames : (rid, string) Hashtbl.t = Hashtbl.create 64
+
+(* process -> the one resource it waits for *)
+let waits : (key, rid) Hashtbl.t = Hashtbl.create 64
+
+(* resource -> current holders *)
+let holders : (rid, key list) Hashtbl.t = Hashtbl.create 64
+
+let pnames : (key, string) Hashtbl.t = Hashtbl.create 64
+
+let task_provider : (unit -> (int * string) option) ref = ref (fun () -> None)
+
+let set_task_provider f = task_provider := f
+
+let self_key () =
+  match !task_provider () with
+  | Some (tid, name) ->
+    let k = Task tid in
+    Hashtbl.replace pnames k name;
+    k
+  | None -> Thr (Thread.id (Thread.self ()))
+
+let key_name k =
+  match Hashtbl.find_opt pnames k with
+  | Some n -> n
+  | None ->
+    (match k with
+    | Task tid -> Printf.sprintf "task#%d" tid
+    | Thr tid -> Printf.sprintf "thread#%d" tid)
+
+let rname r =
+  match Hashtbl.find_opt rnames r with
+  | Some n -> n
+  | None -> Printf.sprintf "resource#%d" r
+
+let locked f =
+  Stdlib.Mutex.lock guard;
+  Fun.protect ~finally:(fun () -> Stdlib.Mutex.unlock guard) f
+
+let register ?(kind = "resource") ?name () =
+  locked (fun () ->
+      let r = !next_rid in
+      incr next_rid;
+      let n =
+        match name with Some n -> n | None -> Printf.sprintf "%s#%d" kind r
+      in
+      Hashtbl.replace rnames r n;
+      r)
+
+let enabled () = Atomic.get on
+
+let clear_edges () =
+  Hashtbl.reset waits;
+  Hashtbl.reset holders;
+  Hashtbl.reset pnames
+
+let reset () = locked clear_edges
+
+let enable () =
+  locked clear_edges;
+  Atomic.set on true
+
+let disable () =
+  Atomic.set on false;
+  locked clear_edges
+
+let name_self n =
+  if enabled () then
+    locked (fun () -> Hashtbl.replace pnames (self_key ()) n)
+
+let blocked r =
+  if enabled () then
+    locked (fun () -> Hashtbl.replace waits (self_key ()) r)
+
+let unblocked () =
+  if enabled () then locked (fun () -> Hashtbl.remove waits (self_key ()))
+
+let acquired r =
+  if enabled () then
+    locked (fun () ->
+        let k = self_key () in
+        Hashtbl.remove waits k;
+        let hs = Option.value (Hashtbl.find_opt holders r) ~default:[] in
+        if not (List.mem k hs) then Hashtbl.replace holders r (k :: hs))
+
+let released r =
+  if enabled () then
+    locked (fun () ->
+        let k = self_key () in
+        let hs = Option.value (Hashtbl.find_opt holders r) ~default:[] in
+        Hashtbl.replace holders r (List.filter (fun k' -> k' <> k) hs))
+
+type cycle = { procs : string list; resources : string list }
+
+exception Found of (key * rid) list
+
+(* DFS over processes: p's successors are the holders of the resource p
+   waits for. A back-edge to a node on the current path is a circular
+   wait; the path slice from that node is the cycle. *)
+let find_cycle () =
+  if not (enabled ()) then None
+  else
+    locked (fun () ->
+        let visited = Hashtbl.create 16 in
+        let rec dfs path p =
+          match Hashtbl.find_opt waits p with
+          | None -> ()
+          | Some r ->
+            if List.exists (fun (p', _) -> p' = p) path then
+              raise
+                (Found
+                   (* slice of [path] (newest first) back to [p]'s own
+                      entry, re-reversed into cycle order *)
+                   (let rec take = function
+                      | [] -> []
+                      | ((p', _) as e) :: rest ->
+                        if p' = p then [ e ] else e :: take rest
+                    in
+                    List.rev (take path)))
+            else if not (Hashtbl.mem visited p) then begin
+              Hashtbl.replace visited p ();
+              List.iter
+                (fun h -> dfs ((p, r) :: path) h)
+                (Option.value (Hashtbl.find_opt holders r) ~default:[])
+            end
+        in
+        match Hashtbl.iter (fun p _ -> dfs [] p) waits with
+        | () -> None
+        | exception Found cyc ->
+          Some
+            { procs = List.map (fun (p, _) -> key_name p) cyc;
+              resources = List.map (fun (_, r) -> rname r) cyc })
+
+let cycle_to_string c =
+  match c.procs with
+  | [] -> "<empty cycle>"
+  | first :: _ ->
+    String.concat " -> "
+      (List.concat (List.map2 (fun p r -> [ p; r ]) c.procs c.resources)
+      @ [ first ])
+
+let watch ?(period_s = 0.25) ~on_cycle () =
+  let stop = Atomic.make false in
+  let seen = Hashtbl.create 4 in
+  let t =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          (match find_cycle () with
+          | Some c ->
+            let s = cycle_to_string c in
+            if not (Hashtbl.mem seen s) then begin
+              Hashtbl.replace seen s ();
+              on_cycle c
+            end
+          | None -> ());
+          Thread.delay period_s
+        done)
+      ()
+  in
+  fun () ->
+    Atomic.set stop true;
+    Thread.join t

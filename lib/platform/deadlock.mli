@@ -1,0 +1,82 @@
+(** Deadlock watchdog: a wait-for graph over synchronization resources.
+
+    When enabled, the platform primitives (mutexes, semaphores, wait
+    queues — and the {!Detrt} virtual mutexes) report who {e holds} and
+    who {e waits for} each registered resource. {!find_cycle} then
+    detects circular waits and reports them with the blocked processes'
+    names, so a wedged run can say {e who} is deadlocked on {e what}
+    instead of just hanging.
+
+    The watchdog is entirely passive and disabled by default: every
+    instrumentation point is a single atomic read when off. Identity of
+    the reporting process is the current {!Detrt} task when inside a
+    deterministic run (tasks carry names), otherwise the system thread id
+    (name it with {!name_self}). All bookkeeping uses raw stdlib mutexes,
+    never the instrumented facades, so the watchdog cannot deadlock
+    itself. *)
+
+type rid = int
+(** A registered resource (mutex, semaphore, wait queue, ...). Exposed as
+    [int] so instrumented structures can store [-1] for "untracked";
+    treat it as abstract otherwise. *)
+
+val register : ?kind:string -> ?name:string -> unit -> rid
+(** Register a resource; [kind]/[name] only affect cycle reports
+    (defaults ["resource"] / ["kind#<id>"]). Cheap; safe when disabled. *)
+
+val enable : unit -> unit
+(** Start collecting edges (also clears any stale state). *)
+
+val disable : unit -> unit
+(** Stop collecting and drop all edges. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded edges and names, keep the enabled state. Call
+    between independent runs that reuse the process. *)
+
+val name_self : string -> unit
+(** Name the calling process for cycle reports (threads only; {!Detrt}
+    tasks are named at [spawn]). *)
+
+val set_task_provider : (unit -> (int * string) option) -> unit
+(** Internal: {!Detrt} registers how to identify the current virtual task
+    ([Some (tid, name)] inside a deterministic run). Not for users. *)
+
+(** {1 Instrumentation points} (called by the platform; no-ops when
+    disabled) *)
+
+val blocked : rid -> unit
+(** The calling process is about to block waiting for [rid]. *)
+
+val unblocked : unit -> unit
+(** The calling process is no longer waiting (granted or gave up). *)
+
+val acquired : rid -> unit
+(** The calling process now holds [rid] (implies {!unblocked}). *)
+
+val released : rid -> unit
+(** The calling process no longer holds [rid]. *)
+
+(** {1 Detection} *)
+
+type cycle = {
+  procs : string list;  (** blocked process names, in cycle order *)
+  resources : string list;  (** the resources each waits for, same order *)
+}
+
+val find_cycle : unit -> cycle option
+(** Scan the wait-for graph for a circular wait: process [p0] waits for a
+    resource held by [p1], who waits for a resource held by ... [p0].
+    Returns [None] when disabled or acyclic. *)
+
+val cycle_to_string : cycle -> string
+(** ["a -> mutex#1 -> b -> mutex#0 -> a"]. *)
+
+val watch :
+  ?period_s:float -> on_cycle:(cycle -> unit) -> unit -> unit -> unit
+(** [watch ~on_cycle ()] starts a daemon thread that polls {!find_cycle}
+    every [period_s] (default 0.25s) and reports each newly observed
+    cycle once; returns a cancel function. Real-thread workloads only —
+    under {!Detrt} the runtime itself reports cycles when stuck. *)

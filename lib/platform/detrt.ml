@@ -200,6 +200,18 @@ let join t =
 
 let yield () = if in_fiber () then Effect.perform Yield
 
+(* A backend-agnostic "give someone else a chance": the det yield inside
+   a run, the preemptive one outside. Used by the timed-wait polling
+   loops, which exist in both worlds. *)
+let relax () = if in_fiber () then Effect.perform Yield else Thread.yield ()
+
+let self_info () =
+  match !cur_task with Some t -> Some (t.tid, t.tname) | None -> None
+
+let () =
+  Deadlock.set_task_provider self_info;
+  Fault.set_task_provider (fun () -> Option.map fst (self_info ()))
+
 let await_quiescence () =
   if in_fiber () then Effect.perform Quiesce
   else failwith "Detrt.await_quiescence: outside a deterministic run"
@@ -213,11 +225,20 @@ let task_name t = t.tname
    platform's [Mutex]/[Condition] facades). Ownership is handed off
    directly on unlock; the receiving waiter is picked by [choose].      *)
 
-type mutex = { mutable owner : task option; mutable mwaiters : task list }
+type mutex = {
+  mutable owner : task option;
+  mutable mwaiters : task list;
+  (* Watchdog resource id; -1 when the watchdog was off at creation
+     (instrumentation is then skipped for this mutex). *)
+  mid : int;
+}
 
 type cond = { mutable cwaiters : task list }
 
-let mutex () = { owner = None; mwaiters = [] }
+let mutex () =
+  { owner = None; mwaiters = [];
+    mid = (if Deadlock.enabled () then Deadlock.register ~kind:"mutex" ()
+           else -1) }
 
 let cond () = { cwaiters = [] }
 
@@ -243,11 +264,31 @@ let mutex_lock m =
     (* still the same task: Yield re-enqueues and resumes us *)
     let t = self () in
     (match m.owner with
-    | None -> m.owner <- Some t
+    | None ->
+      m.owner <- Some t;
+      if m.mid >= 0 then Deadlock.acquired m.mid
     | Some _ ->
+      if m.mid >= 0 then Deadlock.blocked m.mid;
       m.mwaiters <- m.mwaiters @ [ t ];
-      Effect.perform Block
-      (* ownership was transferred to us by the releasing task *))
+      Effect.perform Block;
+      (* ownership was transferred to us by the releasing task *)
+      if m.mid >= 0 then Deadlock.acquired m.mid)
+
+(* Non-blocking acquire. The preceding Yield makes the attempt itself a
+   recorded scheduling point, so the outcome is a pure function of the
+   schedule and replays deterministically. *)
+let mutex_try_lock m =
+  match !cur_task with
+  | None -> failwith "Detrt: try_lock outside the deterministic run"
+  | Some _ ->
+    Effect.perform Yield;
+    let t = self () in
+    (match m.owner with
+    | None ->
+      m.owner <- Some t;
+      if m.mid >= 0 then Deadlock.acquired m.mid;
+      true
+    | Some _ -> false)
 
 (* Release [m], handing ownership to a chosen waiter if any. Shared by
    [mutex_unlock] and [cond_wait]. *)
@@ -268,6 +309,7 @@ let mutex_unlock m =
   | Some t ->
     if not (holds m t) then
       failwith "Detrt: mutex unlocked by a task that does not hold it";
+    if m.mid >= 0 then Deadlock.released m.mid;
     release_mutex (the_sched ()) m;
     Effect.perform Yield
 
@@ -280,6 +322,7 @@ let cond_wait c m =
     (* Atomic release-and-park: no scheduling point between enqueueing
        ourselves and releasing the mutex, so signals cannot be lost. *)
     c.cwaiters <- c.cwaiters @ [ t ];
+    if m.mid >= 0 then Deadlock.released m.mid;
     release_mutex (the_sched ()) m;
     Effect.perform Block;
     (* Signalled: re-acquire like any newcomer (Mesa-style, matching the
@@ -340,13 +383,22 @@ let run ?(max_steps = 200_000) ~choose body =
       (match s.first_exn with Some e -> raise e | None -> ());
       if s.limit_hit then raise (Step_limit s.max_steps);
       let stuck = List.filter (fun t -> t.state <> Done) s.all in
-      if stuck <> [] then
+      if stuck <> [] then begin
+        (* When the watchdog is on, the blocked/holds edges of the stuck
+           tasks are still registered: name the circular wait, if any. *)
+        let cycle =
+          match Deadlock.find_cycle () with
+          | Some c -> "; wait-for cycle: " ^ Deadlock.cycle_to_string c
+          | None -> ""
+        in
         raise
           (Deadlock
-             (Printf.sprintf "deadlock: %d task(s) blocked forever: %s"
+             (Printf.sprintf "deadlock: %d task(s) blocked forever: %s%s"
                 (List.length stuck)
                 (String.concat ", "
                    (List.rev_map
                       (fun t -> Printf.sprintf "%s(#%d)" t.tname t.tid)
-                      stuck))));
+                      stuck))
+                cycle))
+      end;
       s.steps)

@@ -50,6 +50,14 @@ val join : task -> unit
 val yield : unit -> unit
 (** Voluntary scheduling point; no-op outside a run. *)
 
+val relax : unit -> unit
+(** Give another task/thread a chance: {!yield} inside a run,
+    [Thread.yield] outside. The polling step of the timed waits. *)
+
+val self_info : unit -> (int * string) option
+(** [(tid, name)] of the current virtual task; [None] outside a run.
+    Also registered as the {!Deadlock} watchdog's task provider. *)
+
 val await_quiescence : unit -> unit
 (** Park the calling task until no other task is runnable — the
     deterministic replacement for the stress harnesses' settle delays:
@@ -72,6 +80,10 @@ val cond : unit -> cond
 val mutex_lock : mutex -> unit
 
 val mutex_unlock : mutex -> unit
+
+val mutex_try_lock : mutex -> bool
+(** Deterministic non-blocking acquire: the attempt is itself a recorded
+    scheduling point, so the outcome replays with the schedule. *)
 
 val cond_wait : cond -> mutex -> unit
 

@@ -1,20 +1,57 @@
-type t = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+type impl = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+
+type t = {
+  impl : impl;
+  (* Watchdog resource id for the Sys half; -1 when the watchdog was off
+     at creation. Det mutexes carry their own id inside Detrt. *)
+  rid : int;
+}
 
 let create () =
-  if Detrt.active () then Det (Detrt.mutex ())
-  else Sys (Stdlib.Mutex.create ())
+  if Detrt.active () then { impl = Det (Detrt.mutex ()); rid = -1 }
+  else
+    { impl = Sys (Stdlib.Mutex.create ());
+      rid =
+        (if Deadlock.enabled () then Deadlock.register ~kind:"mutex" ()
+         else -1) }
 
-let lock = function
-  | Sys m -> Stdlib.Mutex.lock m
+let lock t =
+  match t.impl with
+  | Sys m ->
+    if t.rid >= 0 && Deadlock.enabled () then begin
+      Deadlock.blocked t.rid;
+      Stdlib.Mutex.lock m;
+      Deadlock.acquired t.rid
+    end
+    else Stdlib.Mutex.lock m
   | Det m -> Detrt.mutex_lock m
 
-let unlock = function
-  | Sys m -> Stdlib.Mutex.unlock m
+let unlock t =
+  match t.impl with
+  | Sys m ->
+    if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
+    Stdlib.Mutex.unlock m
   | Det m -> Detrt.mutex_unlock m
 
-let try_lock = function
-  | Sys m -> Stdlib.Mutex.try_lock m
-  | Det _ -> failwith "Mutex.try_lock: unsupported under Detrt"
+let try_lock t =
+  match t.impl with
+  | Sys m ->
+    let ok = Stdlib.Mutex.try_lock m in
+    if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
+    ok
+  | Det m -> Detrt.mutex_try_lock m
+
+let try_lock_for t ~timeout_ns =
+  let deadline = Deadline.after_ns timeout_ns in
+  let rec loop () =
+    if try_lock t then true
+    else if Deadline.expired deadline then false
+    else begin
+      Detrt.relax ();
+      loop ()
+    end
+  in
+  loop ()
 
 let protect m f =
   lock m;

@@ -6,10 +6,15 @@
     scheduler; anywhere else it is a plain system mutex. Mechanism code is
     written against the ordinary stdlib signature and needs no changes.
 
+    When the {!Deadlock} watchdog is enabled at creation time the mutex
+    reports its holder/waiter edges to the wait-for graph.
+
     The representation is exposed so that {!Condition} can pair det
     conditions with det mutexes; treat it as internal. *)
 
-type t = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+type impl = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+
+type t = { impl : impl; rid : int }
 
 val create : unit -> t
 (** System mutex normally; deterministic mutex inside a {!Detrt} run. *)
@@ -19,8 +24,14 @@ val lock : t -> unit
 val unlock : t -> unit
 
 val try_lock : t -> bool
-(** Unsupported (raises) on deterministic mutexes: [try_lock]'s result
-    would be an unrecorded scheduling decision. *)
+(** Non-blocking acquire. Under {!Detrt} the attempt is itself a recorded
+    scheduling point, so the outcome replays with the schedule. *)
+
+val try_lock_for : t -> timeout_ns:int64 -> bool
+(** [try_lock_for t ~timeout_ns] polls {!try_lock} until it succeeds or
+    the monotonic deadline passes; [true] iff the lock was acquired.
+    Deterministic under {!Detrt} (the timeout becomes a poll budget, see
+    {!Deadline}). *)
 
 val protect : t -> (unit -> 'a) -> 'a
 (** [protect m f] runs [f] with [m] held, releasing on any exit. *)

@@ -8,7 +8,7 @@ let default_backend : backend ref = ref `Thread
 
 let mode () : backend = if Detrt.active () then `Det else !default_backend
 
-let spawn ?backend f =
+let spawn ?name ?backend f =
   let backend =
     (* Inside a deterministic run every process must be a virtual task:
        a real thread would escape the controlled schedule (and a join on
@@ -19,6 +19,12 @@ let spawn ?backend f =
   let error = ref None in
   let error_mutex = Mutex.create () in
   let body () =
+    (match name with
+    | Some n when Deadlock.enabled () && backend <> `Det ->
+      (* Det tasks carry their name natively; threads/domains tell the
+         watchdog so cycle reports name the blocked processes. *)
+      Deadlock.name_self n
+    | _ -> ());
     try f ()
     with e ->
       Mutex.lock error_mutex;
@@ -29,7 +35,7 @@ let spawn ?backend f =
     match backend with
     | `Thread -> T (Thread.create body ())
     | `Domain -> D (Domain.spawn body)
-    | `Det -> F (Detrt.spawn body)
+    | `Det -> F (Detrt.spawn ?name body)
   in
   { handle; error; error_mutex }
 

@@ -20,12 +20,14 @@ val mode : unit -> backend
     {!Detrt} deterministic run is in progress, [!default_backend]
     otherwise. *)
 
-val spawn : ?backend:backend -> (unit -> unit) -> t
+val spawn : ?name:string -> ?backend:backend -> (unit -> unit) -> t
 (** Start [f] concurrently. Any exception escaping [f] is captured and
     re-raised by {!join}. Inside a {!Detrt} run the [backend] argument is
     overridden: processes always spawn as deterministic virtual tasks
     ([`Det]), so the scenario drivers work unchanged under controlled
-    scheduling. *)
+    scheduling. [name] labels the process in {!Deadlock} watchdog cycle
+    reports (det tasks are named natively; thread/domain processes
+    register the name with the watchdog when it is enabled). *)
 
 val join : t -> unit
 (** Wait for completion; re-raises the process's escaped exception, if

@@ -11,67 +11,109 @@ module Counting = struct
     cond : Condition.t;
     mutable value : int;
     mutable weak_waiters : int;
+    (* Watchdog resource id for the weak (condition-loop) path; the strong
+       path's edges are reported by the Waitq itself. -1 = watchdog off. *)
+    srid : int;
   }
 
   let create ?(fairness = `Strong) n =
-    assert (n >= 0);
+    if n < 0 then invalid_arg "Semaphore.Counting.create: negative value";
     { mutex = Mutex.create (); fairness; queue = Waitq.create ();
-      cond = Condition.create (); value = n; weak_waiters = 0 }
+      cond = Condition.create (); value = n; weak_waiters = 0;
+      srid =
+        (if Deadlock.enabled () then Deadlock.register ~kind:"semaphore" ()
+         else -1) }
+
+  (* A P abort after the wake was consumed would leak the unit of value the
+     waker handed us; re-route it to the next waiter (or back to the
+     counter) before propagating. *)
+  let redonate t () = if not (Waitq.wake_first t.queue) then t.value <- t.value + 1
 
   let p t =
-    Mutex.lock t.mutex;
-    (match t.fairness with
-    | `Strong ->
-      (* A newcomer must not overtake parked waiters even if value > 0:
-         strong semantics grant strictly in arrival order. *)
-      if t.value > 0 && Waitq.is_empty t.queue then t.value <- t.value - 1
-      else Waitq.wait t.queue ~lock:t.mutex ()
-    | `Weak ->
-      t.weak_waiters <- t.weak_waiters + 1;
-      while t.value = 0 do
-        Condition.wait t.cond t.mutex
-      done;
-      t.weak_waiters <- t.weak_waiters - 1;
-      t.value <- t.value - 1);
-    Mutex.unlock t.mutex
+    Mutex.protect t.mutex (fun () ->
+        Fault.site "semaphore.pre-wait";
+        match t.fairness with
+        | `Strong ->
+          (* A newcomer must not overtake parked waiters even if value > 0:
+             strong semantics grant strictly in arrival order. *)
+          if t.value > 0 && Waitq.is_empty t.queue then t.value <- t.value - 1
+          else Waitq.wait t.queue ~lock:t.mutex () ~on_abort:(redonate t)
+        | `Weak -> (
+          t.weak_waiters <- t.weak_waiters + 1;
+          if t.srid >= 0 then Deadlock.blocked t.srid;
+          match
+            while t.value = 0 do
+              Condition.wait t.cond t.mutex
+            done
+          with
+          | () ->
+            if t.srid >= 0 then Deadlock.unblocked ();
+            t.weak_waiters <- t.weak_waiters - 1;
+            t.value <- t.value - 1
+          | exception e ->
+            if t.srid >= 0 then Deadlock.unblocked ();
+            t.weak_waiters <- t.weak_waiters - 1;
+            raise e))
+
+  let acquire_for t ~timeout_ns =
+    let deadline = Deadline.after_ns timeout_ns in
+    Mutex.protect t.mutex (fun () ->
+        Fault.site "semaphore.pre-wait";
+        match t.fairness with
+        | `Strong ->
+          if t.value > 0 && Waitq.is_empty t.queue then begin
+            t.value <- t.value - 1;
+            true
+          end
+          else
+            Waitq.wait_for t.queue ~lock:t.mutex ~deadline ()
+              ~on_abort:(redonate t)
+        | `Weak -> (
+          t.weak_waiters <- t.weak_waiters + 1;
+          if t.srid >= 0 then Deadlock.blocked t.srid;
+          let rec poll () =
+            if t.value > 0 then true
+            else if Condition.wait_for t.cond t.mutex ~deadline then poll ()
+            else t.value > 0
+          in
+          match poll () with
+          | got ->
+            if t.srid >= 0 then Deadlock.unblocked ();
+            t.weak_waiters <- t.weak_waiters - 1;
+            if got then t.value <- t.value - 1;
+            got
+          | exception e ->
+            if t.srid >= 0 then Deadlock.unblocked ();
+            t.weak_waiters <- t.weak_waiters - 1;
+            raise e))
 
   let v t =
-    Mutex.lock t.mutex;
-    (match t.fairness with
-    | `Strong ->
-      (* Hand the unit of value directly to the oldest waiter if any. *)
-      if not (Waitq.wake_first t.queue) then t.value <- t.value + 1
-    | `Weak ->
-      t.value <- t.value + 1;
-      Condition.signal t.cond);
-    Mutex.unlock t.mutex
+    Mutex.protect t.mutex (fun () ->
+        match t.fairness with
+        | `Strong ->
+          (* Hand the unit of value directly to the oldest waiter if any. *)
+          if not (Waitq.wake_first t.queue) then t.value <- t.value + 1
+        | `Weak ->
+          t.value <- t.value + 1;
+          Condition.signal t.cond)
 
   let try_p t =
-    Mutex.lock t.mutex;
-    let ok =
-      match t.fairness with
-      | `Strong -> t.value > 0 && Waitq.is_empty t.queue
-      | `Weak -> t.value > 0
-    in
-    if ok then t.value <- t.value - 1;
-    Mutex.unlock t.mutex;
-    ok
+    Mutex.protect t.mutex (fun () ->
+        let ok =
+          match t.fairness with
+          | `Strong -> t.value > 0 && Waitq.is_empty t.queue
+          | `Weak -> t.value > 0
+        in
+        if ok then t.value <- t.value - 1;
+        ok)
 
-  let value t =
-    Mutex.lock t.mutex;
-    let v = t.value in
-    Mutex.unlock t.mutex;
-    v
+  let value t = Mutex.protect t.mutex (fun () -> t.value)
 
   let waiters t =
-    Mutex.lock t.mutex;
-    let n =
-      match t.fairness with
-      | `Strong -> Waitq.length t.queue
-      | `Weak -> t.weak_waiters
-    in
-    Mutex.unlock t.mutex;
-    n
+    Mutex.protect t.mutex (fun () ->
+        match t.fairness with
+        | `Strong -> Waitq.length t.queue
+        | `Weak -> t.weak_waiters)
 end
 
 module Binary = struct
@@ -81,24 +123,30 @@ module Binary = struct
     { mutex = Mutex.create (); queue = Waitq.create ();
       value = (if open_ then 1 else 0) }
 
+  let redonate t () = if not (Waitq.wake_first t.queue) then t.value <- 1
+
   let p t =
-    Mutex.lock t.mutex;
-    if t.value = 1 && Waitq.is_empty t.queue then t.value <- 0
-    else Waitq.wait t.queue ~lock:t.mutex ();
-    Mutex.unlock t.mutex
+    Mutex.protect t.mutex (fun () ->
+        Fault.site "semaphore.pre-wait";
+        if t.value = 1 && Waitq.is_empty t.queue then t.value <- 0
+        else Waitq.wait t.queue ~lock:t.mutex () ~on_abort:(redonate t))
+
+  let acquire_for t ~timeout_ns =
+    let deadline = Deadline.after_ns timeout_ns in
+    Mutex.protect t.mutex (fun () ->
+        Fault.site "semaphore.pre-wait";
+        if t.value = 1 && Waitq.is_empty t.queue then begin
+          t.value <- 0;
+          true
+        end
+        else
+          Waitq.wait_for t.queue ~lock:t.mutex ~deadline ()
+            ~on_abort:(redonate t))
 
   let v t =
-    Mutex.lock t.mutex;
-    if t.value = 1 then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Semaphore.Binary.v: already open"
-    end;
-    if not (Waitq.wake_first t.queue) then t.value <- 1;
-    Mutex.unlock t.mutex
+    Mutex.protect t.mutex (fun () ->
+        if t.value = 1 then invalid_arg "Semaphore.Binary.v: already open";
+        if not (Waitq.wake_first t.queue) then t.value <- 1)
 
-  let value t =
-    Mutex.lock t.mutex;
-    let v = t.value in
-    Mutex.unlock t.mutex;
-    v
+  let value t = Mutex.protect t.mutex (fun () -> t.value)
 end

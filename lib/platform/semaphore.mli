@@ -25,7 +25,19 @@ module Counting : sig
   (** [create n] has initial value [n >= 0]. *)
 
   val p : t -> unit
-  (** Dijkstra's P (wait/down): decrement, blocking while the value is 0. *)
+  (** Dijkstra's P (wait/down): decrement, blocking while the value is 0.
+
+      Exception-safe: an abort injected while parked (see {!Fault}, sites
+      ["semaphore.pre-wait"] / ["waitq.pre-wait"] / ["waitq.post-wakeup"])
+      never leaks a unit of value — a grant consumed by an aborting waiter
+      is re-routed to the next waiter or returned to the counter. *)
+
+  val acquire_for : t -> timeout_ns:int64 -> bool
+  (** Timed P with a monotonic deadline: [true] iff the semaphore was
+      acquired before [timeout_ns] elapsed; on timeout the caller is
+      removed from the wait queue and the value is untouched.
+      Deterministic under {!Detrt} (the timeout becomes a poll budget,
+      see {!Deadline}). *)
 
   val v : t -> unit
   (** Dijkstra's V (signal/up): increment, waking one waiter if any. *)
@@ -47,6 +59,9 @@ module Binary : sig
   (** [create true] is open (value 1); [create false] is closed. *)
 
   val p : t -> unit
+
+  val acquire_for : t -> timeout_ns:int64 -> bool
+  (** Timed P; see {!Counting.acquire_for}. *)
 
   val v : t -> unit
   (** @raise Invalid_argument if the semaphore is already open. *)

@@ -8,28 +8,79 @@ type 'a waiter = {
 type 'a t = {
   mutable waiters : 'a waiter list; (* arrival order, oldest first *)
   mutable next_seq : int;
+  (* Watchdog resource id; -1 when the watchdog was off at creation. *)
+  qrid : int;
 }
 
-let create () = { waiters = []; next_seq = 0 }
+let create () =
+  { waiters = []; next_seq = 0;
+    qrid =
+      (if Deadlock.enabled () then Deadlock.register ~kind:"waitq" ()
+       else -1) }
 
 let length t = List.length t.waiters
 
 let is_empty t = t.waiters = []
 
-let wait t ~lock tag =
+let remove t w = t.waiters <- List.filter (fun w' -> w' != w) t.waiters
+
+let enqueue t tag =
   let w =
     { tag; cond = Condition.create (); released = false; seq = t.next_seq }
   in
   t.next_seq <- t.next_seq + 1;
   t.waiters <- t.waiters @ [ w ];
+  w
+
+(* The ["waitq.pre-wait"] fault site fires before the caller is enqueued,
+   so an injected abort leaves the queue untouched; the caller's own
+   unwind (Mutex.protect etc.) releases the mechanism lock.
+   ["waitq.post-wakeup"] fires after a wake was consumed: the grant (a
+   semaphore unit, monitor ownership, ...) is already ours, so the owner
+   mechanism passes [on_abort] to re-route it — called under the lock —
+   before the abort propagates. *)
+let post_wakeup on_abort =
+  match Fault.site "waitq.post-wakeup" with
+  | () -> ()
+  | exception e ->
+    (match on_abort with Some f -> f () | None -> ());
+    raise e
+
+let wait ?on_abort t ~lock tag =
+  Fault.site "waitq.pre-wait";
+  let w = enqueue t tag in
+  if t.qrid >= 0 then Deadlock.blocked t.qrid;
   while not w.released do
     Condition.wait w.cond lock
-  done
+  done;
+  if t.qrid >= 0 then Deadlock.unblocked ();
+  post_wakeup on_abort
+
+let wait_for ?on_abort t ~lock ~deadline tag =
+  Fault.site "waitq.pre-wait";
+  let w = enqueue t tag in
+  if t.qrid >= 0 then Deadlock.blocked t.qrid;
+  let rec park () =
+    if w.released then true
+    else if Condition.wait_for w.cond lock ~deadline then park ()
+    else w.released (* expired: final re-check, under the lock *)
+  in
+  let granted = park () in
+  if t.qrid >= 0 then Deadlock.unblocked ();
+  if granted then begin
+    post_wakeup on_abort;
+    true
+  end
+  else begin
+    (* Cancel: unhook ourselves so a waker never picks a gone waiter. *)
+    remove t w;
+    false
+  end
 
 let tags t = List.map (fun w -> w.tag) t.waiters
 
 let release t w =
-  t.waiters <- List.filter (fun w' -> w' != w) t.waiters;
+  remove t w;
   w.released <- true;
   Condition.signal w.cond
 

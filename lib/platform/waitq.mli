@@ -27,10 +27,32 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-val wait : 'a t -> lock:Mutex.t -> 'a -> unit
+val wait : ?on_abort:(unit -> unit) -> 'a t -> lock:Mutex.t -> 'a -> unit
 (** [wait q ~lock tag] enqueues the caller (FIFO position = arrival order),
     releases [lock], parks until released by one of the wake functions, then
-    reacquires [lock]. *)
+    reacquires [lock].
+
+    Fault sites (see {!Fault}): ["waitq.pre-wait"] fires before the caller
+    is enqueued, so an injected abort leaves the queue untouched;
+    ["waitq.post-wakeup"] fires after a wake has been consumed. In the
+    latter case the grant this wake carried (a semaphore unit, monitor
+    ownership, ...) would be lost, so the owning mechanism supplies
+    [on_abort], called with [lock] held just before the abort propagates,
+    to re-route it (e.g. wake the next waiter or return the unit to the
+    counter). *)
+
+val wait_for :
+  ?on_abort:(unit -> unit) ->
+  'a t ->
+  lock:Mutex.t ->
+  deadline:Deadline.t ->
+  'a ->
+  bool
+(** Timed {!wait}: parks until released or [deadline] expires. Returns
+    [true] if a wake was consumed (same post-wakeup fault semantics as
+    {!wait}); on expiry removes the caller from the queue — so a later
+    waker never targets it — and returns [false] with [lock] held.
+    Deterministic under {!Detrt} (the deadline is a poll budget). *)
 
 val tags : 'a t -> 'a list
 (** Tags of parked waiters in arrival order (oldest first). *)

@@ -27,6 +27,8 @@ let create () =
   let stop_ch = Csp.Channel.create ~name:"alarm-stop" net in
   let server =
     Process.spawn ~backend:`Thread (fun () ->
+      (* A dead clock must not strand parked sleepers: poison on abort. *)
+      try
         let sleepers =
           Heap.create ~cmp:(fun a b -> compare a.deadline b.deadline) ()
         in
@@ -57,7 +59,10 @@ let create () =
             wake_due ()
           | `Now reply -> Csp.send reply !now
           | `Stop -> running := false
-        done)
+        done
+      with e ->
+        Csp.poison net e;
+        raise e)
   in
   { net; set_ch; tick_ch; now_ch; stop_ch; server }
 

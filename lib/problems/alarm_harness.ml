@@ -6,12 +6,20 @@
     for exactly the sleepers whose deadlines have passed and verifies no
     other sleeper woke early — an exact, deterministic conformance check
     of both constraints (wake no earlier than the deadline; deadline
-    order respected tick by tick). *)
+    order respected tick by tick). Each sleep is also recorded as a trace
+    interval ([Enter] before [wakeme], [Exit] on return) and the trace is
+    checked for well-formedness. *)
 
 open Sync_platform
 
 let run_exact (module S : Alarm_intf.S) ?(durations = [ 3; 1; 4; 1; 5; 9; 2 ])
-    ?(settle = 0.01) () =
+    ?settle () =
+  let settle =
+    match settle with
+    | Some s -> s
+    | None -> Testwait.settle_s ~default:0.01 ()
+  in
+  let trace = Trace.create () in
   let t = S.create () in
   let n = List.length durations in
   let done_ = Array.make n false in
@@ -27,7 +35,13 @@ let run_exact (module S : Alarm_intf.S) ?(durations = [ 3; 1; 4; 1; 5; 9; 2 ])
       (fun i dur ->
         let p =
           Process.spawn ~backend:`Thread (fun () ->
+              Trace.record trace ~pid:i ~op:"sleep" ~phase:Trace.Request
+                ~arg:dur ();
+              Trace.record trace ~pid:i ~op:"sleep" ~phase:Trace.Enter ~arg:dur
+                ();
               S.wakeme t ~pid:i dur;
+              Trace.record trace ~pid:i ~op:"sleep" ~phase:Trace.Exit ~arg:dur
+                ();
               Mutex.lock done_lock;
               done_.(i) <- true;
               Mutex.unlock done_lock)
@@ -61,7 +75,9 @@ let run_exact (module S : Alarm_intf.S) ?(durations = [ 3; 1; 4; 1; 5; 9; 2 ])
    with Failure msg -> result := Error msg);
   List.iter Process.join sleepers;
   S.stop t;
-  !result
+  match !result with
+  | Error _ as e -> e
+  | Ok () -> Ivl.check_wellformed (Trace.events trace)
 
 let verify ?durations (module S : Alarm_intf.S) =
   match run_exact (module S) ?durations () with

@@ -26,24 +26,37 @@ let create ~capacity ~put ~get =
         { capacity; items = 0; putting = false; getting = false };
     res_put = put; res_get = get }
 
+(* Abort safety: the in-flight flag is set in one region and cleared in
+   another, so a body exception between them must clear the flag itself
+   (in a region, waking waiters) — without counting the item transfer that
+   never happened. *)
+
 let put t ~pid value =
   Sync_ccr.Ccr.region t.v
     ~when_:(fun s -> (not s.putting) && s.items < s.capacity)
     (fun s -> s.putting <- true);
-  t.res_put ~pid value;
-  Sync_ccr.Ccr.region t.v (fun s ->
-      s.putting <- false;
-      s.items <- s.items + 1)
+  match t.res_put ~pid value with
+  | () ->
+    Sync_ccr.Ccr.region t.v (fun s ->
+        s.putting <- false;
+        s.items <- s.items + 1)
+  | exception e ->
+    Sync_ccr.Ccr.region t.v (fun s -> s.putting <- false);
+    raise e
 
 let get t ~pid =
   Sync_ccr.Ccr.region t.v
     ~when_:(fun s -> (not s.getting) && s.items > 0)
     (fun s -> s.getting <- true);
-  let value = t.res_get ~pid in
-  Sync_ccr.Ccr.region t.v (fun s ->
-      s.items <- s.items - 1;
-      s.getting <- false);
-  value
+  match t.res_get ~pid with
+  | value ->
+    Sync_ccr.Ccr.region t.v (fun s ->
+        s.items <- s.items - 1;
+        s.getting <- false);
+    value
+  | exception e ->
+    Sync_ccr.Ccr.region t.v (fun s -> s.getting <- false);
+    raise e
 
 let stop _ = ()
 

@@ -25,6 +25,10 @@ let create ~capacity ~put ~get =
   let stop_ch = Csp.Channel.create ~name:"bb-stop" net in
   let server =
     Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+      (* The server owns the rendezvous: if it dies (e.g. a fault injected
+         in a resource body), poison the network so parked clients fail
+         instead of blocking forever. *)
+      try
         let items = ref 0 in
         let running = ref true in
         while !running do
@@ -45,16 +49,24 @@ let create ~capacity ~put ~get =
             decr items;
             Csp.send reply v
           | `Stop -> running := false
-        done)
+        done
+      with e ->
+        Csp.poison net e;
+        raise e)
   in
   { net; put_ch; get_ch; stop_ch; server }
 
 let put t ~pid v = Csp.send t.put_ch (pid, v)
 
+(* The request send is injectable (an abort there means the server never
+   saw the request — nothing happened). The reply leg is masked: once the
+   request rendezvous has committed, the server has already popped the
+   item and parked on [reply]; abandoning it would strand the sequential
+   server forever and lose the value. *)
 let get t ~pid =
   let reply = Csp.Channel.create ~name:"bb-reply" t.net in
   Csp.send t.get_ch (pid, reply);
-  Csp.recv reply
+  Sync_platform.Fault.mask (fun () -> Csp.recv reply)
 
 let stop t =
   Csp.send t.stop_ch ();

@@ -28,6 +28,15 @@ let create ~capacity ~put ~get =
     consumed = Eventcount.create ();
     res_put = put; res_get = get }
 
+(* Abort safety: none — a sequencer ticket is a {e completion obligation}.
+   Once [ticket] is drawn, every later holder waits for this turn's
+   [advance]; there is no way to return a ticket, so a body abort either
+   wedges the pipeline (never advance) or mis-announces an item that was
+   never stored (advance anyway). The robustness harness therefore never
+   injects body faults through this solution, and the scorecard reports
+   eventcounts as abort-intolerant — the price of doing all coordination
+   through monotonic history counts (see docs/robustness.md). *)
+
 let put t ~pid v =
   let ticket = Sequencer.ticket t.producers in
   Eventcount.await t.produced ticket; (* my turn among producers *)

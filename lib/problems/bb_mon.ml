@@ -40,6 +40,11 @@ let put t ~pid v =
       t.items <- t.items + 1;
       Monitor.Cond.signal t.notfull;
       Monitor.Cond.signal t.notempty)
+    ~abort:(fun () ->
+      (* The resource put raised, so no item was stored: release the
+         producer side without counting an item. *)
+      t.putting <- false;
+      Monitor.Cond.signal t.notfull)
     (fun () -> t.res_put ~pid v)
 
 let get t ~pid =
@@ -57,6 +62,11 @@ let get t ~pid =
       t.getting <- false;
       Monitor.Cond.signal t.notempty;
       Monitor.Cond.signal t.notfull)
+    ~abort:(fun () ->
+      (* The resource get raised before popping: the item is still in the
+         buffer, so leave the count alone and let another getter claim it. *)
+      t.getting <- false;
+      Monitor.Cond.signal t.notempty)
     (fun () -> t.res_get ~pid)
 
 let stop _ = ()

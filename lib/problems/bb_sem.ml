@@ -22,20 +22,45 @@ let create ~capacity ~put ~get =
     res_put = put;
     res_get = get }
 
+(* Abort safety: if the resource operation (or a P after the first) raises,
+   every token already claimed is returned — [mutex] unconditionally, and
+   the slot/item token to the side it was taken from, since the transfer
+   did not happen. Without this a single body exception wedges the buffer
+   (a lost [mutex]) or leaks capacity (a lost [empty]/[full]). *)
+
 let put t ~pid v =
   Semaphore.Counting.p t.empty;
-  Semaphore.Counting.p t.mutex;
-  t.res_put ~pid v;
-  Semaphore.Counting.v t.mutex;
-  Semaphore.Counting.v t.full
+  match
+    Semaphore.Counting.p t.mutex;
+    (match t.res_put ~pid v with
+    | () -> Semaphore.Counting.v t.mutex
+    | exception e ->
+      Semaphore.Counting.v t.mutex;
+      raise e)
+  with
+  | () -> Semaphore.Counting.v t.full
+  | exception e ->
+    Semaphore.Counting.v t.empty;
+    raise e
 
 let get t ~pid =
   Semaphore.Counting.p t.full;
-  Semaphore.Counting.p t.mutex;
-  let v = t.res_get ~pid in
-  Semaphore.Counting.v t.mutex;
-  Semaphore.Counting.v t.empty;
-  v
+  match
+    Semaphore.Counting.p t.mutex;
+    (match t.res_get ~pid with
+    | v ->
+      Semaphore.Counting.v t.mutex;
+      v
+    | exception e ->
+      Semaphore.Counting.v t.mutex;
+      raise e)
+  with
+  | v ->
+    Semaphore.Counting.v t.empty;
+    v
+  | exception e ->
+    Semaphore.Counting.v t.full;
+    raise e
 
 let stop _ = ()
 

@@ -31,6 +31,9 @@ let create ~tracks ~access =
   let stop_ch = Csp.Channel.create ~name:"disk-stop" net in
   let server =
     Process.spawn ~backend:`Thread (fun () ->
+      (* A dead scheduler must not strand parked clients: poison on
+         abort. *)
+      try
         let upq = Heap.create ~cmp:(fun a b -> compare a.dest b.dest) () in
         let downq = Heap.create ~cmp:(fun a b -> compare b.dest a.dest) () in
         let headpos = ref 0 in
@@ -81,7 +84,10 @@ let create ~tracks ~access =
             end
           | `Done -> dispatch ()
           | `Stop -> running := false
-        done)
+        done
+      with e ->
+        Csp.poison net e;
+        raise e)
   in
   { net; req; done_ch; stop_ch; server; res_access = access }
 

@@ -21,7 +21,12 @@ let expected_scan ~head tracks =
   List.sort compare up @ List.rev (List.sort compare down)
 
 let run_staged (module S : Disk_intf.S) ?(tracks = 100) ?(head = 50)
-    ?(batch = [ 10; 60; 55; 20; 90; 5; 75 ]) ?(settle = 0.02) () =
+    ?(batch = [ 10; 60; 55; 20; 90; 5; 75 ]) ?settle () =
+  let settle =
+    match settle with
+    | Some s -> s
+    | None -> Testwait.settle_s ~default:0.02 ()
+  in
   let trace = Trace.create () in
   let gate = Latch.create 1 in
   let res_access ~pid track =
@@ -51,22 +56,26 @@ let run_staged (module S : Disk_intf.S) ?(tracks = 100) ?(head = 50)
   Process.join holder;
   List.iter Process.join requesters;
   S.stop t;
+  let events = Trace.events trace in
   let order =
     List.filter_map
       (fun i ->
         if i.Ivl.pid = holder_pid then None else Some i.Ivl.arg)
-      (Ivl.intervals (Trace.events trace))
+      (Ivl.intervals events)
   in
-  (order, expected_scan ~head batch)
+  (order, expected_scan ~head batch, events)
 
 let verify_scan ?batch (module S : Disk_intf.S) =
-  let got, expected = run_staged (module S) ?batch () in
-  if got = expected then Ok ()
-  else
-    Error
-      (Printf.sprintf "SCAN order violated: served [%s], elevator wants [%s]"
-         (String.concat "; " (List.map string_of_int got))
-         (String.concat "; " (List.map string_of_int expected)))
+  let got, expected, events = run_staged (module S) ?batch () in
+  match Ivl.check_wellformed events with
+  | Error _ as e -> e
+  | Ok () ->
+    if got = expected then Ok ()
+    else
+      Error
+        (Printf.sprintf "SCAN order violated: served [%s], elevator wants [%s]"
+           (String.concat "; " (List.map string_of_int got))
+           (String.concat "; " (List.map string_of_int expected)))
 
 (* Free-running stress: correctness = exclusion + completion; returns the
    accumulated arm travel for throughput/travel comparisons. *)

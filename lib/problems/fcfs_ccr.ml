@@ -5,14 +5,32 @@
 
 open Sync_taxonomy
 
-type shared = { mutable next : int; mutable serving : int }
+type shared = {
+  mutable next : int;
+  mutable serving : int;
+  (* Tickets whose holder aborted while waiting: the server-side advance
+     skips them, so one abandoned ticket cannot wedge everyone behind it. *)
+  mutable abandoned : int list;
+}
 
 type t = { v : shared Sync_ccr.Ccr.t; res_use : pid:int -> unit }
 
 let mechanism = "ccr"
 
 let create ~use =
-  { v = Sync_ccr.Ccr.create { next = 0; serving = 0 }; res_use = use }
+  { v = Sync_ccr.Ccr.create { next = 0; serving = 0; abandoned = [] };
+    res_use = use }
+
+let rec skip_abandoned s =
+  if List.mem s.serving s.abandoned then begin
+    s.abandoned <- List.filter (fun k -> k <> s.serving) s.abandoned;
+    s.serving <- s.serving + 1;
+    skip_abandoned s
+  end
+
+let advance s =
+  s.serving <- s.serving + 1;
+  skip_abandoned s
 
 let use t ~pid =
   let ticket =
@@ -21,11 +39,18 @@ let use t ~pid =
         s.next <- n + 1;
         n)
   in
-  Sync_ccr.Ccr.await t.v (fun s -> s.serving = ticket);
-  Fun.protect
-    ~finally:(fun () ->
-      Sync_ccr.Ccr.region t.v (fun s -> s.serving <- s.serving + 1))
-    (fun () -> t.res_use ~pid)
+  match Sync_ccr.Ccr.await t.v (fun s -> s.serving = ticket) with
+  | exception e ->
+    (* Aborted while queued: retire the ticket so the line keeps moving.
+       The compensation region has no guard, hence no injection site. *)
+    Sync_ccr.Ccr.region t.v (fun s ->
+        if s.serving = ticket then advance s
+        else s.abandoned <- ticket :: s.abandoned);
+    raise e
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> Sync_ccr.Ccr.region t.v advance)
+      (fun () -> t.res_use ~pid)
 
 let stop _ = ()
 

@@ -20,6 +20,8 @@ let create ~use =
   let stop_ch = Csp.Channel.create ~name:"fcfs-stop" net in
   let server =
     Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+      (* A dead server must not strand parked clients: poison on abort. *)
+      try
         let running = ref true in
         while !running do
           match
@@ -31,14 +33,20 @@ let create ~use =
             use ~pid;
             Csp.send done_ch ()
           | `Stop -> running := false
-        done)
+        done
+      with e ->
+        Csp.poison net e;
+        raise e)
   in
   { net; req; stop_ch; server }
 
+(* Request send injectable; the done leg is masked — once the request
+   rendezvous commits the server performs the use and parks on [done_ch],
+   so the client must collect it (cf. bb_csp). *)
 let use t ~pid =
   let done_ch = Csp.Channel.create ~name:"fcfs-done" t.net in
   Csp.send t.req (pid, done_ch);
-  Csp.recv done_ch
+  Sync_platform.Fault.mask (fun () -> Csp.recv done_ch)
 
 let stop t =
   Csp.send t.stop_ch ();

@@ -18,7 +18,12 @@ type report = { trace : Trace.event list }
 let holder_pid = 999
 
 let run (module S : Fcfs_intf.S) ?(users = 5) ?(rounds = 3) ?(work = 100)
-    ?(settle = 0.01) () =
+    ?settle () =
+  let settle =
+    match settle with
+    | Some s -> s
+    | None -> Testwait.settle_s ~default:0.01 ()
+  in
   let trace = Trace.create () in
   let busy = Atomic.make false in
   let gate = ref (Latch.create 1) in
@@ -86,6 +91,102 @@ let det_run (module S : Fcfs_intf.S) ?(users = 4) () =
       Process.join holder;
       List.iter Process.join contenders);
   { trace = Trace.events trace }
+
+(* Abort-injection variant of {!run}: one staged round where the body
+   fault site ["fcfs.use.body"] may abort a contender's use (the holder is
+   exempt — it anchors the staging), and mechanism-internal sites may
+   abort a parked contender out of the queue. An aborted contender simply
+   drops out; the drain must still be FIFO over the survivors, exclusive,
+   and complete. *)
+
+type abort_report = {
+  abort_trace : Trace.event list;
+  users : int;
+  aborted : int;
+  poisoned : bool;
+}
+
+let run_abort (module S : Fcfs_intf.S) ?(users = 5) ?settle () =
+  let settle =
+    match settle with
+    | Some s -> s
+    | None -> Testwait.settle_s ~default:0.01 ()
+  in
+  let trace = Trace.create () in
+  let busy = Atomic.make false in
+  let gate = Latch.create 1 in
+  let res_use ~pid =
+    if pid <> holder_pid then Fault.site "fcfs.use.body";
+    Trace.record trace ~pid ~op:"use" ~phase:Trace.Enter ();
+    if not (Atomic.compare_and_set busy false true) then
+      raise (Sync_resources.Busywork.Ill_synchronized "fcfs: overlap");
+    if pid = holder_pid then Latch.wait gate
+    else Sync_resources.Busywork.spin 100;
+    Atomic.set busy false;
+    Trace.record trace ~pid ~op:"use" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~use:res_use in
+  let aborted = Atomic.make 0 in
+  let poisoned = Atomic.make false in
+  Fun.protect
+    ~finally:(fun () -> try S.stop t with _ -> ())
+    (fun () ->
+      let holder =
+        Process.spawn ~backend:`Thread (fun () ->
+            try S.use t ~pid:holder_pid
+            with Sync_csp.Csp.Poisoned _ -> Atomic.set poisoned true)
+      in
+      Thread.delay settle;
+      let contenders =
+        List.init users (fun pid ->
+            Trace.record trace ~pid ~op:"use" ~phase:Trace.Request ();
+            let c =
+              Process.spawn ~backend:`Thread (fun () ->
+                  match S.use t ~pid with
+                  | () -> ()
+                  | exception Fault.Injected _ -> Atomic.incr aborted
+                  | exception Sync_csp.Csp.Poisoned _ ->
+                    Atomic.set poisoned true)
+            in
+            Thread.delay settle;
+            c)
+      in
+      Latch.arrive gate;
+      Process.join holder;
+      List.iter Process.join contenders);
+  { abort_trace = Trace.events trace;
+    users;
+    aborted = Atomic.get aborted;
+    poisoned = Atomic.get poisoned }
+
+let check_abort report =
+  match Ivl.check_wellformed report.abort_trace with
+  | Error _ as e -> e
+  | Ok () ->
+    let ivls = Ivl.intervals report.abort_trace in
+    (match Ivl.exclusion_violations ~conflicts:(fun _ _ -> true) ivls with
+    | _ :: _ -> Error "mutual exclusion violated"
+    | [] -> (
+      let completed =
+        List.length (List.filter (fun i -> i.Ivl.pid <> holder_pid) ivls)
+      in
+      if
+        (not report.poisoned)
+        && completed <> report.users - report.aborted
+      then
+        Error
+          (Printf.sprintf
+             "lost contenders: %d completed of %d launched (%d aborted)"
+             completed report.users report.aborted)
+      else
+        match Ivl.fifo_violations ivls with
+        | [] -> Ok ()
+        | (a, b) :: _ ->
+          Error
+            (Printf.sprintf
+               "FCFS violated among survivors: pid %d (request %d) granted \
+                before pid %d (request %d)"
+               a.Ivl.pid a.Ivl.request b.Ivl.pid b.Ivl.request)))
 
 let check report =
   match Ivl.check_wellformed report.trace with

@@ -32,27 +32,51 @@ module Readers_prio = struct
           { readers = 0; writing = false; waiting_readers = 0 };
       res_read = read; res_write = write }
 
+  (* Abort safety: interest/occupancy counts are published in one region
+     and retired in another, so an abort in between must retire them
+     itself — the un-guarded compensation regions contain no injection
+     site, so they cannot abort in turn. *)
   let read t ~pid =
     (* Announce interest first, so the writer guard sees us even while a
        write is in progress. *)
     Sync_ccr.Ccr.region t.v (fun s ->
         s.waiting_readers <- s.waiting_readers + 1);
-    Sync_ccr.Ccr.region t.v
-      ~when_:(fun s -> not s.writing)
-      (fun s ->
-        s.waiting_readers <- s.waiting_readers - 1;
-        s.readers <- s.readers + 1);
-    let v = t.res_read ~pid in
-    Sync_ccr.Ccr.region t.v (fun s -> s.readers <- s.readers - 1);
-    v
+    (match
+       Sync_ccr.Ccr.region t.v
+         ~when_:(fun s -> not s.writing)
+         (fun s ->
+           s.waiting_readers <- s.waiting_readers - 1;
+           s.readers <- s.readers + 1)
+     with
+    | () -> ()
+    | exception e ->
+      Sync_ccr.Ccr.region t.v (fun s ->
+          s.waiting_readers <- s.waiting_readers - 1);
+      raise e);
+    let retire () =
+      Sync_ccr.Ccr.region t.v (fun s -> s.readers <- s.readers - 1)
+    in
+    match t.res_read ~pid with
+    | v ->
+      retire ();
+      v
+    | exception e ->
+      retire ();
+      raise e
 
   let write t ~pid =
     Sync_ccr.Ccr.region t.v
       ~when_:(fun s ->
         (not s.writing) && s.readers = 0 && s.waiting_readers = 0)
       (fun s -> s.writing <- true);
-    t.res_write ~pid;
-    Sync_ccr.Ccr.region t.v (fun s -> s.writing <- false)
+    let retire () =
+      Sync_ccr.Ccr.region t.v (fun s -> s.writing <- false)
+    in
+    match t.res_write ~pid with
+    | () -> retire ()
+    | exception e ->
+      retire ();
+      raise e
 
   let stop _ = ()
 

@@ -36,25 +36,48 @@ let make_chans ~read ~write ~server_body =
   let stop_ch = Csp.Channel.create ~name:"stop" net in
   let server =
     Sync_platform.Process.spawn ~backend:`Thread (fun () ->
-        server_body ~read_req ~write_req ~read_done ~write_done ~stop_ch)
+        (* A dead scheduler must not strand parked clients: poison on
+           abort. *)
+        try server_body ~read_req ~write_req ~read_done ~write_done ~stop_ch
+        with e ->
+          Csp.poison net e;
+          raise e)
   in
   { net; read_req; write_req; read_done; write_done; stop_ch; server;
     res_read = read; res_write = write }
 
+(* The request send is injectable (abort = the scheduler never saw us).
+   Everything after the request rendezvous commits is masked: the grant
+   leg (the scheduler has already counted us and parked on [grant]) and
+   the completion notice, which must reach the scheduler even when the
+   resource body aborts — otherwise its occupancy counts never drain. *)
 let client_read (t : rw) ~pid =
   let grant = Csp.Channel.create ~name:"grant" t.net in
   Csp.send t.read_req (pid, grant);
-  Csp.recv grant;
-  let v = t.res_read ~pid in
-  Csp.send t.read_done ();
-  v
+  Sync_platform.Fault.mask (fun () -> Csp.recv grant);
+  let finish () =
+    Sync_platform.Fault.mask (fun () -> Csp.send t.read_done ())
+  in
+  match t.res_read ~pid with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
 
 let client_write (t : rw) ~pid =
   let grant = Csp.Channel.create ~name:"grant" t.net in
   Csp.send t.write_req (pid, grant);
-  Csp.recv grant;
-  t.res_write ~pid;
-  Csp.send t.write_done ()
+  Sync_platform.Fault.mask (fun () -> Csp.recv grant);
+  let finish () =
+    Sync_platform.Fault.mask (fun () -> Csp.send t.write_done ())
+  in
+  match t.res_write ~pid with
+  | () -> finish ()
+  | exception e ->
+    finish ();
+    raise e
 
 let shutdown (t : rw) =
   Csp.send t.stop_ch ();
@@ -151,6 +174,7 @@ module Fcfs = struct
     let stop_ch = Csp.Channel.create ~name:"stop" net in
     let server =
       Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+        try
           let readers = ref 0 in
           let writing = ref false in
           let running = ref true in
@@ -188,7 +212,10 @@ module Fcfs = struct
               done;
               writing := true;
               Csp.send grant ()
-          done)
+          done
+        with e ->
+          Csp.poison net e;
+          raise e)
     in
     { net; req_ch; read_done; write_done; stop_ch; server; res_read = read;
       res_write = write }

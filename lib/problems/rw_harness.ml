@@ -65,11 +65,11 @@ let run_stress (module S : Rw_intf.S) ?(backend = `Thread) ?(readers = 4)
         @ List.init writers (fun w -> writer w)));
   { trace = Trace.events trace; store }
 
-let check_exclusion report =
-  match Ivl.check_wellformed report.trace with
+let check_exclusion_events events =
+  match Ivl.check_wellformed events with
   | Error _ as e -> e
   | Ok () ->
-  let ivls = Ivl.intervals report.trace in
+  let ivls = Ivl.intervals events in
   let conflicts a b = a = "write" || b = "write" in
   match Ivl.exclusion_violations ~conflicts ivls with
   | (a, b) :: _ ->
@@ -77,6 +77,64 @@ let check_exclusion report =
       (Printf.sprintf "exclusion violated: %s by pid %d overlaps %s by pid %d"
          a.Ivl.op a.Ivl.pid b.Ivl.op b.Ivl.pid)
   | [] -> Ok ()
+
+let check_exclusion report = check_exclusion_events report.trace
+
+(* Abort-injection variant of the stress mix: each operation body fires a
+   fault site before touching the store, so an injected abort loses the
+   operation but never corrupts it. Workers treat an abort as a skipped
+   operation and continue — the mechanism must isolate the failure; the
+   checker then demands the usual wellformedness and exclusion evidence
+   from the surviving operations. A [`Poison] mechanism (CSP) makes the
+   workers bail instead, recorded in the report. *)
+
+type abort_report = {
+  abort_trace : Trace.event list;
+  aborted : int;
+  poisoned : bool;
+}
+
+let run_abort (module S : Rw_intf.S) ?(backend = `Thread) ?(readers = 3)
+    ?(writers = 2) ?(reads_each = 20) ?(writes_each = 8) ?(work = 50) () =
+  let trace = Trace.create () in
+  let store = Sync_resources.Store.create ~work () in
+  let res_read ~pid =
+    Fault.site "rw.read.body";
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Enter ();
+    let v = Sync_resources.Store.read store in
+    Trace.record trace ~pid ~op:"read" ~phase:Trace.Exit ~arg:v ();
+    v
+  in
+  let res_write ~pid =
+    Fault.site "rw.write.body";
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Enter ();
+    Sync_resources.Store.write store;
+    Trace.record trace ~pid ~op:"write" ~phase:Trace.Exit ()
+  in
+  let t = S.create ~read:res_read ~write:res_write in
+  let aborted = Atomic.make 0 in
+  let poisoned = Atomic.make false in
+  let step pid op =
+    Trace.record trace ~pid ~op ~phase:Trace.Request ();
+    match if op = "read" then ignore (S.read t ~pid) else S.write t ~pid with
+    | () -> ()
+    | exception Fault.Injected _ -> Atomic.incr aborted
+    | exception Sync_csp.Csp.Poisoned _ ->
+      Atomic.set poisoned true;
+      raise Exit
+  in
+  let worker pid op n () = try for _ = 1 to n do step pid op done with Exit -> () in
+  Fun.protect
+    ~finally:(fun () -> try S.stop t with _ -> ())
+    (fun () ->
+      Process.run_all ~backend
+        (List.init readers (fun pid -> worker pid "read" reads_each)
+        @ List.init writers (fun w -> worker (200 + w) "write" writes_each)));
+  { abort_trace = Trace.events trace;
+    aborted = Atomic.get aborted;
+    poisoned = Atomic.get poisoned }
+
+let check_abort report = check_exclusion_events report.abort_trace
 
 let verify_exclusion ?backend ?readers ?writers ?reads_each ?writes_each
     (module S : Rw_intf.S) =
@@ -90,8 +148,6 @@ let verify_exclusion ?backend ?readers ?writers ?reads_each ?writes_each
 
 (* ------------------------------------------------------------------ *)
 (* Driven scenarios                                                    *)
-
-let settle = 0.05
 
 (* Reader concurrency cannot be asserted statistically on one core, so it
    gets its own driven scenario: with no writers anywhere, a second reader
@@ -166,9 +222,9 @@ let scenario_writer_handoff_trace (module S : Rw_intf.S) =
   let second_writer =
     Process.spawn ~backend:`Thread (fun () -> S.write t ~pid:w2)
   in
-  Thread.delay settle;
+  Testwait.settle ();
   let reader = Process.spawn ~backend:`Thread (fun () -> ignore (S.read t ~pid:r)) in
-  Thread.delay settle;
+  Testwait.settle ();
   Latch.arrive gate;
   List.iter Process.join [ first_writer; second_writer; reader ];
   S.stop t;
@@ -248,9 +304,9 @@ let scenario_reader_arrival (module S : Rw_intf.S) =
         (fun (e : Trace.event) -> e.pid = r1 && e.phase = Trace.Enter)
         (Trace.events trace));
   let writer = Process.spawn ~backend:`Thread (fun () -> S.write t ~pid:w) in
-  Thread.delay settle;
+  Testwait.settle ();
   let reader2 = Process.spawn ~backend:`Thread (fun () -> ignore (S.read t ~pid:r2)) in
-  Thread.delay settle;
+  Testwait.settle ();
   Latch.arrive gate;
   List.iter Process.join [ reader1; writer; reader2 ];
   S.stop t;

@@ -42,12 +42,25 @@ module Fig1 = struct
 
   (* WRITE = begin writeattempt ; write end;
      writeattempt = begin requestwrite end;
-     requestwrite = begin openwrite end *)
+     requestwrite = begin openwrite end
+
+     Abort safety: the two top-level runs are SEQUENCED, so once
+     [openwrite] has committed, the paths owe one [write]; if the second
+     run aborts, that obligation must be retired with an empty write or
+     the [(openwrite ; write)] sequence never drains. Nested runs (the
+     attempt chain) need nothing: an inner abort unwinds each enclosing
+     run's own rollback. The retire run is masked — it is recovery, not
+     an injection point. *)
   let write t ~pid =
     P.run t.sys "writeattempt" (fun () ->
         P.run t.sys "requestwrite" (fun () ->
             P.run t.sys "openwrite" (fun () -> ())));
-    P.run t.sys "write" (fun () -> t.res_write ~pid)
+    match P.run t.sys "write" (fun () -> t.res_write ~pid) with
+    | () -> ()
+    | exception e ->
+      Sync_platform.Fault.mask (fun () ->
+          P.run t.sys "write" (fun () -> ()));
+      raise e
 
   let stop _ = ()
 
@@ -86,12 +99,23 @@ module Fig2 = struct
 
   (* READ = begin readattempt ; read end;
      readattempt = begin requestread end;
-     requestread = begin openread end *)
+     requestread = begin openread end
+
+     Abort safety: as in {!Fig1.write} — [openread] commits an entry into
+     [{ openread ; read }], so an abort of the sequenced second run must
+     retire the owed [read] (masked) or the group never drains and
+     writers starve. The paper's synchronization procedures entangle not
+     just the constraints (Section 5.1.2) but the abort handling too. *)
   let read t ~pid =
     P.run t.sys "readattempt" (fun () ->
         P.run t.sys "requestread" (fun () ->
             P.run t.sys "openread" (fun () -> ())));
-    P.run t.sys "read" (fun () -> t.res_read ~pid)
+    match P.run t.sys "read" (fun () -> t.res_read ~pid) with
+    | v -> v
+    | exception e ->
+      Sync_platform.Fault.mask (fun () ->
+          ignore (P.run t.sys "read" (fun () -> 0)));
+      raise e
 
   (* WRITE = begin requestwrite end; requestwrite = begin write end *)
   let write t ~pid =

@@ -113,34 +113,59 @@ module Readers_prio_baton = struct
     end
     else Sem.v t.e
 
+  (* Abort safety: the delayed counts are anonymous, so once a process
+     has registered itself in [dr]/[dw] there is no way to cancel its
+     wait — a waker may already have promoted it and banked a wake on its
+     private semaphore. The registration-to-wake window and the release
+     protocol therefore run masked (see docs/robustness.md: this
+     uncancellability is a property of the baton technique itself); the
+     entry [P(e)] and the resource body stay injectable, with the release
+     protocol as the body's compensation. *)
   let read t ~pid =
     Sem.p t.e;
-    if t.nw = 1 then begin
-      t.dr <- t.dr + 1;
-      Sem.v t.e;
-      Sem.p t.r (* woken with nr already incremented *)
-    end
-    else t.nr <- t.nr + 1;
-    signal t;
-    let v = t.res_read ~pid in
-    Sem.p t.e;
-    t.nr <- t.nr - 1;
-    signal t;
-    v
+    Fault.mask (fun () ->
+        if t.nw = 1 then begin
+          t.dr <- t.dr + 1;
+          Sem.v t.e;
+          Sem.p t.r (* woken with nr already incremented *)
+        end
+        else t.nr <- t.nr + 1;
+        signal t);
+    let finish () =
+      Fault.mask (fun () ->
+          Sem.p t.e;
+          t.nr <- t.nr - 1;
+          signal t)
+    in
+    match t.res_read ~pid with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
 
   let write t ~pid =
     Sem.p t.e;
-    if t.nw = 1 || t.nr > 0 then begin
-      t.dw <- t.dw + 1;
-      Sem.v t.e;
-      Sem.p t.w (* woken with nw already set *)
-    end
-    else t.nw <- 1;
-    Sem.v t.e;
-    t.res_write ~pid;
-    Sem.p t.e;
-    t.nw <- 0;
-    signal t
+    Fault.mask (fun () ->
+        if t.nw = 1 || t.nr > 0 then begin
+          t.dw <- t.dw + 1;
+          Sem.v t.e;
+          Sem.p t.w (* woken with nw already set *)
+        end
+        else t.nw <- 1;
+        Sem.v t.e);
+    let finish () =
+      Fault.mask (fun () ->
+          Sem.p t.e;
+          t.nw <- 0;
+          signal t)
+    in
+    match t.res_write ~pid with
+    | () -> finish ()
+    | exception e ->
+      finish ();
+      raise e
 
   let stop _ = ()
 

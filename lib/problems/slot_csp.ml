@@ -23,6 +23,8 @@ let create ~put ~get =
   let stop_ch = Csp.Channel.create ~name:"slot-stop" net in
   let server =
     Sync_platform.Process.spawn ~backend:`Thread (fun () ->
+      (* A dead server must not strand parked clients: poison on abort. *)
+      try
         let running = ref true in
         while !running do
           (* Empty state: only a put (or stop) is acceptable. *)
@@ -37,7 +39,10 @@ let create ~put ~get =
             (* Full state: only a get is acceptable. *)
             let gpid, reply = Csp.recv get_ch in
             Csp.send reply (get ~pid:gpid)
-        done)
+        done
+      with e ->
+        Csp.poison net e;
+        raise e)
   in
   { net; put_ch; get_ch; stop_ch; server }
 

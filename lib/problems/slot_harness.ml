@@ -54,6 +54,9 @@ let run (module S : Slot_intf.S) ?(putters = 3) ?(getters = 3)
   { trace = Trace.events trace }
 
 let check report =
+  match Ivl.check_wellformed report.trace with
+  | Error _ as e -> e
+  | Ok () ->
   let ivls = Ivl.intervals report.trace in
   (* Strict alternation in grant order, starting with put. *)
   let rec alternation expected carried = function

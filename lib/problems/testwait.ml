@@ -1,5 +1,19 @@
 (* Bounded polling used by the driven scenario drivers. *)
 
+(* Settle delays give freshly spawned contenders time to park inside the
+   mechanism (an event the harness cannot observe portably). The duration
+   is env-tunable so CI can trade latency for reliability on loaded
+   runners: SYNC_SETTLE_MS overrides every driver's default. *)
+let settle_s ?(default = 0.05) () =
+  match Sys.getenv_opt "SYNC_SETTLE_MS" with
+  | Some ms -> (
+    match float_of_string_opt (String.trim ms) with
+    | Some v when v > 0.0 -> v /. 1000.0
+    | Some _ | None -> default)
+  | None -> default
+
+let settle ?default () = Thread.delay (settle_s ?default ())
+
 let until ?(timeout = 10.0) what pred =
   let deadline =
     Int64.add (Sync_platform.Clock.now_ns ())

@@ -1,9 +1,17 @@
 (* Possession protocol: one low-level mutex protects everything. A waiter
    woken from the entry queue or from an event queue has had possession
    transferred to it ([busy] stays true). Guard re-evaluation happens at
-   every possession-release point, under the lock. *)
+   every possession-release point, under the lock.
+
+   Exception safety (abort policy: propagate). A guard that raises is
+   evaluated by whichever process happens to be releasing possession — an
+   innocent bystander — so the exception is not thrown there: the waiter
+   is marked poisoned ([w_exn]), woken as if eligible, and re-raises the
+   failure in its own context after passing possession on. *)
 
 open Sync_platform
+
+let abort_policy : Fault.abort_policy = `Propagate
 
 type waiter = {
   guard : unit -> bool;
@@ -11,6 +19,7 @@ type waiter = {
   seq : int; (* global arrival order, used for longest-waiting arbitration *)
   cond : Condition.t;
   mutable released : bool;
+  mutable w_exn : exn option; (* guard failure, delivered to the waiter *)
 }
 
 type queue = { qname : string; mutable waiters : waiter list (* sorted *) }
@@ -32,7 +41,7 @@ let create () =
 let fresh_waiter t ?(rank = 0) guard =
   let w =
     { guard; rank; seq = t.next_seq; cond = Condition.create ();
-      released = false }
+      released = false; w_exn = None }
   in
   t.next_seq <- t.next_seq + 1;
   w
@@ -52,7 +61,15 @@ let release_possession t =
   let eligible_head q =
     match q.waiters with
     | [] -> None
-    | w :: _ -> if w.guard () then Some (q, w) else None
+    | w :: _ ->
+      if w.w_exn <> None then Some (q, w) (* poisoned: wake it to fail *)
+      else (
+        match w.guard () with
+        | true -> Some (q, w)
+        | false -> None
+        | exception e ->
+          w.w_exn <- Some e;
+          Some (q, w))
   in
   let best =
     List.fold_left
@@ -83,19 +100,16 @@ let park t w =
   done
 
 let acquire t =
-  Mutex.lock t.lock;
-  if t.busy then begin
-    let w = fresh_waiter t (fun () -> true) in
-    t.entry <- t.entry @ [ w ];
-    park t w
-  end
-  else t.busy <- true;
-  Mutex.unlock t.lock
+  Mutex.protect t.lock (fun () ->
+      if t.busy then begin
+        Fault.site "serializer.pre-wait";
+        let w = fresh_waiter t (fun () -> true) in
+        t.entry <- t.entry @ [ w ];
+        park t w
+      end
+      else t.busy <- true)
 
-let release t =
-  Mutex.lock t.lock;
-  release_possession t;
-  Mutex.unlock t.lock
+let release t = Mutex.protect t.lock (fun () -> release_possession t)
 
 let with_serializer t f =
   acquire t;
@@ -107,11 +121,7 @@ let with_serializer t f =
     release t;
     raise e
 
-let inside t =
-  Mutex.lock t.lock;
-  let b = t.busy in
-  Mutex.unlock t.lock;
-  b
+let inside t = Mutex.protect t.lock (fun () -> t.busy)
 
 module Queue = struct
   type serializer = t
@@ -120,18 +130,13 @@ module Queue = struct
 
   let create ?(name = "queue") owner =
     let q = { qname = name; waiters = [] } in
-    Mutex.lock owner.lock;
-    owner.queues <- owner.queues @ [ q ];
-    Mutex.unlock owner.lock;
+    Mutex.protect owner.lock (fun () -> owner.queues <- owner.queues @ [ q ]);
     { owner; q }
 
   let name t = t.q.qname
 
   let length t =
-    Mutex.lock t.owner.lock;
-    let n = List.length t.q.waiters in
-    Mutex.unlock t.owner.lock;
-    n
+    Mutex.protect t.owner.lock (fun () -> List.length t.q.waiters)
 
   let is_empty t = length t = 0
 
@@ -160,29 +165,37 @@ end
 
 let enqueue ?rank (q : Queue.t) ~until =
   let t = q.Queue.owner in
-  Mutex.lock t.lock;
-  let w = fresh_waiter t ?rank until in
-  q.Queue.q.waiters <- insert_sorted w q.Queue.q.waiters;
-  release_possession t;
-  park t w;
-  Mutex.unlock t.lock
+  Mutex.protect t.lock (fun () ->
+      (* Before the waiter exists: an abort here leaves the queues
+         untouched and unwinds with possession still held, released by
+         [with_serializer]'s bracket. *)
+      Fault.site "serializer.pre-wait";
+      let w = fresh_waiter t ?rank until in
+      q.Queue.q.waiters <- insert_sorted w q.Queue.q.waiters;
+      release_possession t;
+      park t w;
+      match w.w_exn with
+      | None -> ()
+      | Some e ->
+        (* Our guard aborted: we were woken holding possession solely to
+           fail; pass possession on, then fail the wait itself. *)
+        release_possession t;
+        raise e)
 
 let join_crowd (c : Crowd.t) ~body =
   let t = c.Crowd.owner in
-  Mutex.lock t.lock;
-  c.Crowd.c.members <- c.Crowd.c.members + 1;
-  release_possession t;
-  Mutex.unlock t.lock;
+  Mutex.protect t.lock (fun () ->
+      c.Crowd.c.members <- c.Crowd.c.members + 1;
+      release_possession t);
   let regain () =
-    Mutex.lock t.lock;
-    if t.busy then begin
-      let w = fresh_waiter t (fun () -> true) in
-      t.entry <- t.entry @ [ w ];
-      park t w
-    end
-    else t.busy <- true;
-    c.Crowd.c.members <- c.Crowd.c.members - 1;
-    Mutex.unlock t.lock
+    Mutex.protect t.lock (fun () ->
+        if t.busy then begin
+          let w = fresh_waiter t (fun () -> true) in
+          t.entry <- t.entry @ [ w ];
+          park t w
+        end
+        else t.busy <- true;
+        c.Crowd.c.members <- c.Crowd.c.members - 1)
   in
   match body () with
   | v ->

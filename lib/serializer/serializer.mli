@@ -29,6 +29,15 @@
 
 type t
 
+val abort_policy : Sync_platform.Fault.abort_policy
+(** [`Propagate]: an abort inside the region or while parked unwinds to
+    the caller with possession handed on and queues/crowds consistent. A
+    {e guard} that raises is special-cased — guards run in whichever
+    process is releasing possession, so instead of failing that innocent
+    process the waiter is marked poisoned, woken, and re-raises the
+    guard's exception from its own [enqueue] after passing possession
+    on. *)
+
 val create : unit -> t
 
 val with_serializer : t -> (unit -> 'a) -> 'a

@@ -336,19 +336,25 @@ let test_unknown_operation () =
   Alcotest.check_raises "unknown op" (Pathexpr.Unknown_operation "zz")
     (fun () -> Pathexpr.run p "zz" (fun () -> ()))
 
-let test_body_exception_advances_path () =
+let test_body_exception_rolls_back_path () =
   with_engines (fun engine name ->
       let p = Pathexpr.of_string ~engine "path a ; b end" in
       (try Pathexpr.run p "a" (fun () -> failwith "body") with
       | Failure _ -> ());
-      (* a still counts as having occurred; b must be enabled. *)
-      let ok = Atomic.make false in
+      (* The abort rolled a back: b must NOT be enabled, and a fresh a
+         followed by b must still run — the path state is exactly as if
+         the failed a never started. *)
+      let b_early = Atomic.make false in
       let t =
         Testutil.spawn (fun () ->
-            Pathexpr.run p "b" (fun () -> Atomic.set ok true))
+            Pathexpr.run p "b" (fun () -> Atomic.set b_early true))
       in
+      Thread.delay 0.05;
+      check_bool (name ^ ": b blocked after rollback") false
+        (Atomic.get b_early);
+      Pathexpr.run p "a" (fun () -> ());
       Sync_platform.Process.join t;
-      check_bool (name ^ ": path advanced") true (Atomic.get ok))
+      check_bool (name ^ ": b ran after fresh a") true (Atomic.get b_early))
 
 (* Liveness property: a single-declaration sequential path, executed in
    its textual order by one process, completes two full cycles without
@@ -419,5 +425,5 @@ let () =
         [ Alcotest.test_case "ops listing" `Quick test_ops_listing;
           Alcotest.test_case "compile errors" `Quick test_compile_errors;
           Alcotest.test_case "unknown operation" `Quick test_unknown_operation;
-          Alcotest.test_case "body exception advances" `Quick
-            test_body_exception_advances_path ] ) ]
+          Alcotest.test_case "body exception rolls back" `Quick
+            test_body_exception_rolls_back_path ] ) ]

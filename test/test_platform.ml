@@ -370,6 +370,204 @@ let test_backoff_progresses () =
   Backoff.reset b;
   Backoff.once b
 
+let test_backoff_bounds () =
+  let rejects label f =
+    match f () with
+    | (_ : Backoff.t) -> Alcotest.failf "%s: accepted" label
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "min_wait 0" (fun () -> Backoff.create ~min_wait:0 ());
+  rejects "min_wait negative" (fun () -> Backoff.create ~min_wait:(-2) ());
+  rejects "min_wait not a power of two" (fun () ->
+      Backoff.create ~min_wait:3 ());
+  rejects "max_wait not a power of two" (fun () ->
+      Backoff.create ~max_wait:24 ());
+  rejects "max_wait < min_wait" (fun () ->
+      Backoff.create ~min_wait:16 ~max_wait:8 ());
+  (* Boundary acceptances: 1 = 2^0, and min = max. *)
+  Backoff.once (Backoff.create ~min_wait:1 ~max_wait:1 ());
+  Backoff.once (Backoff.create ~min_wait:8 ~max_wait:8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Clock.Virtual edge cases                                           *)
+
+let test_virtual_clock_edges () =
+  let c = Clock.Virtual.create ~start:10 () in
+  check_int "starts where asked" 10 (Clock.Virtual.now c);
+  (* A deadline already reached never blocks. *)
+  Clock.Virtual.sleep_until c 10;
+  Clock.Virtual.sleep_until c 3;
+  Clock.Virtual.advance c 0;
+  check_int "advance 0 is a no-op" 10 (Clock.Virtual.now c);
+  (* Several sleepers on the same deadline all wake on one advance. *)
+  let woke = Atomic.make 0 in
+  let sleepers =
+    List.init 3 (fun _ ->
+        Testutil.spawn (fun () ->
+            Clock.Virtual.sleep_until c 12;
+            Atomic.incr woke))
+  in
+  Testutil.eventually "all parked" (fun () -> Clock.Virtual.sleepers c = 3);
+  Clock.Virtual.advance c 1;
+  Testutil.never "none woke at 11" (fun () -> Atomic.get woke > 0);
+  Clock.Virtual.advance c 1;
+  List.iter Sync_platform.Process.join sleepers;
+  check_int "all woke at 12" 3 (Atomic.get woke);
+  check_int "no sleepers left" 0 (Clock.Virtual.sleepers c)
+
+(* ------------------------------------------------------------------ *)
+(* Timed/cancellable waits                                            *)
+
+let test_timed_waits () =
+  (* Semaphore: immediate success, then a timeout on an empty one. *)
+  let sem = Semaphore.Counting.create 1 in
+  check_bool "token available" true
+    (Semaphore.Counting.acquire_for sem ~timeout_ns:1_000_000L);
+  check_bool "empty times out" false
+    (Semaphore.Counting.acquire_for sem ~timeout_ns:2_000_000L);
+  Semaphore.Counting.v sem;
+  (* Mutex: a contended try_lock_for expires; a free one succeeds. *)
+  let m = Mutex.create () in
+  let release = Atomic.make false in
+  let held = Atomic.make false in
+  let holder =
+    Testutil.spawn (fun () ->
+        Mutex.lock m;
+        Atomic.set held true;
+        while not (Atomic.get release) do
+          Thread.yield ()
+        done;
+        Mutex.unlock m)
+  in
+  Testutil.eventually "holder has it" (fun () -> Atomic.get held);
+  check_bool "contended lock times out" false
+    (Mutex.try_lock_for m ~timeout_ns:2_000_000L);
+  Atomic.set release true;
+  Sync_platform.Process.join holder;
+  check_bool "free lock succeeds" true
+    (Mutex.try_lock_for m ~timeout_ns:1_000_000L);
+  Mutex.unlock m;
+  (* Condition: no signaller, so the predicate loop runs out of
+     deadline — with the mutex reacquired (the unlock must be legal). *)
+  let c = Condition.create () in
+  let dl = Deadline.after_ns 2_000_000L in
+  Mutex.lock m;
+  while Condition.wait_for c m ~deadline:dl do
+    ()
+  done;
+  check_bool "wait gave up only at the deadline" true (Deadline.expired dl);
+  Mutex.unlock m;
+  check_bool "past deadline expired" true
+    (Deadline.expired (Deadline.after_ns (-1L)));
+  check_bool "future deadline pending" false
+    (Deadline.expired (Deadline.after_ns 1_000_000_000L))
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans and masking                                            *)
+
+let test_fault_triggers_deterministic () =
+  let plan =
+    Fault.plan [ ("a", Fault.Nth 2); ("b", Fault.Every 3) ]
+  in
+  let round () =
+    let fires site =
+      match Fault.site site with
+      | () -> false
+      | exception Fault.Injected _ -> true
+    in
+    let a = List.init 4 (fun _ -> fires "a") in
+    let b = List.init 6 (fun _ -> fires "b") in
+    (a, b)
+  in
+  let a, b = Fault.with_plan plan round in
+  Alcotest.(check (list bool)) "Nth 2 fires exactly the 2nd hit"
+    [ false; true; false; false ] a;
+  Alcotest.(check (list bool)) "Every 3 fires hits 3 and 6"
+    [ false; false; true; false; false; true ] b;
+  (* with_plan resets the counters: the same closure replays. *)
+  let a', b' = Fault.with_plan plan round in
+  Alcotest.(check (list bool)) "Nth replays" a a';
+  Alcotest.(check (list bool)) "Every replays" b b'
+
+let test_fault_prob_deterministic () =
+  let plan = Fault.plan ~seed:9 [ ("p", Fault.Prob 0.5) ] in
+  let round () =
+    List.init 64 (fun _ ->
+        match Fault.site "p" with
+        | () -> false
+        | exception Fault.Injected _ -> true)
+  in
+  let one = Fault.with_plan plan round in
+  let two = Fault.with_plan plan round in
+  Alcotest.(check (list bool)) "seeded Prob stream replays" one two;
+  check_bool "stream is mixed" true
+    (List.exists Fun.id one && List.exists (fun x -> not x) one)
+
+let test_fault_mask () =
+  check_bool "not masked without a plan" false (Fault.masked ());
+  let plan = Fault.plan [ ("m", Fault.Nth 1) ] in
+  Fault.with_plan plan (fun () ->
+      (* A masked hit neither fires nor consumes the Nth counter... *)
+      Fault.mask (fun () ->
+          check_bool "masked inside" true (Fault.masked ());
+          Fault.mask (fun () ->
+              check_bool "mask nests" true (Fault.masked ()));
+          check_bool "still masked after inner exit" true (Fault.masked ());
+          Fault.site "m");
+      check_bool "unmasked outside" false (Fault.masked ());
+      (* ... so the first unmasked hit is still hit #1 and fires. *)
+      match Fault.site "m" with
+      | () -> Alcotest.fail "masked hit consumed the counter"
+      | exception Fault.Injected _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock watchdog (wait-for graph) unit                             *)
+
+let test_deadlock_find_cycle () =
+  Deadlock.enable ();
+  Fun.protect ~finally:Deadlock.disable (fun () ->
+      let ra = Deadlock.register ~kind:"mutex" ~name:"res-a" () in
+      let rb = Deadlock.register ~kind:"mutex" ~name:"res-b" () in
+      let stop = Atomic.make false in
+      let actor name holds wants =
+        Testutil.spawn (fun () ->
+            Deadlock.name_self name;
+            Deadlock.acquired holds;
+            Deadlock.blocked wants;
+            while not (Atomic.get stop) do
+              Thread.yield ()
+            done;
+            Deadlock.unblocked ();
+            Deadlock.released holds)
+      in
+      let t1 = actor "proc-a" ra rb in
+      let t2 = actor "proc-b" rb ra in
+      Testutil.eventually "cycle detected" (fun () ->
+          Deadlock.find_cycle () <> None);
+      (match Deadlock.find_cycle () with
+      | None -> Alcotest.fail "cycle vanished"
+      | Some c ->
+        let s = Deadlock.cycle_to_string c in
+        let mem affix = Astring.String.is_infix ~affix s in
+        check_bool "names proc-a" true (mem "proc-a");
+        check_bool "names proc-b" true (mem "proc-b");
+        check_bool "names res-a" true (mem "res-a");
+        check_bool "names res-b" true (mem "res-b"));
+      (* The daemon sees it too. *)
+      let seen = Atomic.make false in
+      let cancel =
+        Deadlock.watch ~period_s:0.01
+          ~on_cycle:(fun _ -> Atomic.set seen true)
+          ()
+      in
+      Testutil.eventually "watchdog reports" (fun () -> Atomic.get seen);
+      cancel ();
+      Atomic.set stop true;
+      Sync_platform.Process.join t1;
+      Sync_platform.Process.join t2;
+      Deadlock.reset ();
+      check_bool "reset clears the graph" true (Deadlock.find_cycle () = None))
+
 let () =
   Alcotest.run "platform"
     [ ( "prng",
@@ -420,5 +618,22 @@ let () =
           Alcotest.test_case "concurrent recording" `Quick
             test_trace_concurrent_recording ] );
       ( "backoff",
-        [ Alcotest.test_case "progresses" `Quick test_backoff_progresses ] )
+        [ Alcotest.test_case "progresses" `Quick test_backoff_progresses;
+          Alcotest.test_case "bound validation" `Quick test_backoff_bounds ] );
+      ( "clock-edges",
+        [ Alcotest.test_case "virtual clock edge cases" `Quick
+            test_virtual_clock_edges ] );
+      ( "timed-waits",
+        [ Alcotest.test_case "mutex/semaphore/condition" `Quick
+            test_timed_waits ] );
+      ( "fault",
+        [ Alcotest.test_case "Nth/Every deterministic, with_plan resets"
+            `Quick test_fault_triggers_deterministic;
+          Alcotest.test_case "seeded Prob replays" `Quick
+            test_fault_prob_deterministic;
+          Alcotest.test_case "mask suppresses without counting" `Quick
+            test_fault_mask ] );
+      ( "deadlock",
+        [ Alcotest.test_case "find_cycle names the circular wait" `Quick
+            test_deadlock_find_cycle ] )
     ]

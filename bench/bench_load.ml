@@ -1,0 +1,57 @@
+(* E20: the recorded multicore performance baseline.
+
+   Runs the full closed-loop grid behind BENCH_E20.json — every
+   full-coverage mechanism x {bounded buffer, readers-writers, FCFS} x
+   domain counts {1, 2, 4} — on real OCaml 5 domains, printing the
+   throughput/tail table as it goes and writing the machine-readable
+   document at the end. The committed BENCH_E20.json is this program's
+   output on the reference box; future performance work is judged
+   against it.
+
+   Knobs: SYNC_LOAD_MS shortens each cell's steady window (CI uses it);
+   the single optional argument (or --out FILE) overrides the output
+   path (default bench-load.json, BENCH_E20.json when regenerating the
+   committed baseline). *)
+
+let () =
+  let out = ref "bench-load.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: f :: rest -> out := f; parse rest
+    | [ f ] when not (String.length f > 0 && f.[0] = '-') -> out := f
+    | a :: _ ->
+      Printf.eprintf "usage: bench_load [--out FILE | FILE]\n  got %S\n" a;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let spec = Sync_workload.Sweep.default_baseline_spec () in
+  Printf.printf
+    "E20 baseline: %d mechanisms x %d problems x domains {%s}, %dms \
+     steady (+%dms warmup) per cell, closed loop, seed %d\n\
+     recommended domains on this box: %d\n\n%!"
+    (List.length spec.Sync_workload.Sweep.mechanisms)
+    (List.length spec.Sync_workload.Sweep.problems)
+    (String.concat ", "
+       (List.map string_of_int spec.Sync_workload.Sweep.domain_counts))
+    spec.Sync_workload.Sweep.duration_ms spec.Sync_workload.Sweep.warmup_ms
+    spec.Sync_workload.Sweep.seed
+    (Domain.recommended_domain_count ());
+  let rows = ref [] in
+  let progress (c : Sync_workload.Sweep.cell) =
+    let r = Sync_eval.Perf.row_of_cell c in
+    rows := r :: !rows;
+    Printf.printf "%-12s %-18s d=%d %12.0f ops/s  p99 %d ns\n%!"
+      r.Sync_eval.Perf.mechanism r.Sync_eval.Perf.problem
+      r.Sync_eval.Perf.domains r.Sync_eval.Perf.throughput_per_s
+      r.Sync_eval.Perf.p99_ns
+  in
+  match Sync_workload.Sweep.baseline ~progress spec with
+  | Error e ->
+    Printf.eprintf "baseline failed: %s\n" e;
+    exit 1
+  | Ok cells ->
+    print_newline ();
+    Sync_eval.Perf.pp Format.std_formatter (Sync_eval.Perf.of_cells cells);
+    Sync_metrics.Emit.write_file !out
+      (Sync_workload.Sweep.baseline_to_json spec cells);
+    Printf.printf "\nwrote %s (%d cells)\n%!" !out (List.length cells)

@@ -81,7 +81,9 @@ let conformance_cmd =
   Cmd.v (Cmd.info "conformance" ~doc) Term.(const run $ const ())
 
 let scorecard_cmd =
-  let doc = "Print the full scorecard (E3 + E4 + E5 + E6, and E19 on request)." in
+  let doc =
+    "Print the full scorecard (E3 + E4 + E5 + E6, and E19/E20 on request)."
+  in
   let fast =
     Arg.(value & flag
          & info [ "fast" ] ~doc:"skip the conformance run (metadata only)")
@@ -92,18 +94,210 @@ let scorecard_cmd =
              ~doc:"also run the E19 fault/cancellation matrix (slow; \
                    standalone as $(b,bloom_eval faults))")
   in
-  let run fast robustness =
+  let perf =
+    Arg.(value & flag
+         & info [ "perf" ]
+             ~doc:"also run a live E20 closed-loop performance sweep \
+                   (window from $(b,SYNC_LOAD_MS); standalone single runs \
+                   via $(b,bloom_eval load))")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"also write the whole scorecard as a JSON document")
+  in
+  let run fast robustness perf json =
     let card =
       Sync_eval.Scorecard.build ~run_conformance:(not fast)
-        ~run_robustness:robustness ()
+        ~run_robustness:robustness ~run_perf:perf ()
     in
     Sync_eval.Scorecard.pp ppf card;
+    (match json with
+    | None -> ()
+    | Some file ->
+      Sync_metrics.Emit.write_file file (Sync_eval.Scorecard.to_json card);
+      Format.fprintf ppf "@.wrote %s@." file);
     if
       Sync_eval.Conformance.regressions card.conformance <> []
       || not (Sync_eval.Robustness.all_recovered card.robustness)
     then exit 1
   in
-  Cmd.v (Cmd.info "scorecard" ~doc) Term.(const run $ fast $ robustness)
+  Cmd.v (Cmd.info "scorecard" ~doc)
+    Term.(const run $ fast $ robustness $ perf $ json)
+
+let load_cmd =
+  let doc =
+    "Drive one mechanism x problem pair with the multicore load engine \
+     (experiment E20): concurrent workers on real domains (or threads), \
+     closed or open loop, latency histograms over the steady-state window. \
+     With $(b,--sweep), re-run across increasing domain counts."
+  in
+  let open Sync_workload in
+  let mechanism =
+    Arg.(required & opt (some string) None
+         & info [ "mechanism" ] ~docv:"MECHANISM"
+             ~doc:"semaphore | monitor | serializer | pathexpr | csp | ccr \
+                   (eventcount for the buffer problems)")
+  in
+  let problem =
+    Arg.(required & opt (some string) None
+         & info [ "problem" ] ~docv:"PROBLEM"
+             ~doc:"bounded-buffer | one-slot-buffer | readers-writers | \
+                   fcfs | disk-scheduler")
+  in
+  let domains =
+    Arg.(value & opt int 4
+         & info [ "domains"; "workers" ] ~docv:"N"
+             ~doc:"concurrent workers (each is a domain, or a thread with \
+                   $(b,--backend thread))")
+  in
+  let duration_ms =
+    Arg.(value & opt (some int) None
+         & info [ "duration-ms" ] ~docv:"MS"
+             ~doc:"steady-state window (default: $(b,SYNC_LOAD_MS) or 1000)")
+  in
+  let warmup_ms =
+    Arg.(value & opt int 200 & info [ "warmup-ms" ] ~docv:"MS"
+           ~doc:"discarded warmup window")
+  in
+  let mode_arg =
+    Arg.(value & opt string "closed" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"closed | open")
+  in
+  let rate =
+    Arg.(value & opt float 50_000. & info [ "rate" ] ~docv:"OPS_PER_S"
+           ~doc:"open loop: total offered arrival rate")
+  in
+  let arrival_arg =
+    Arg.(value & opt string "poisson" & info [ "arrival" ] ~docv:"DIST"
+           ~doc:"open loop: poisson | uniform")
+  in
+  let backend_arg =
+    Arg.(value & opt string "domain" & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"domain | thread")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"arrival schedules and op-mix draws")
+  in
+  let capacity =
+    Arg.(value & opt int Target.default_params.capacity
+         & info [ "capacity" ] ~docv:"N" ~doc:"bounded-buffer slots")
+  in
+  let work =
+    Arg.(value & opt int Target.default_params.work
+         & info [ "work" ] ~docv:"N"
+             ~doc:"busywork iterations inside each resource body")
+  in
+  let read_pct =
+    Arg.(value & opt int Target.default_params.read_pct
+         & info [ "read-pct" ] ~docv:"PCT"
+             ~doc:"readers-writers read share, 0..100")
+  in
+  let tracks =
+    Arg.(value & opt int Target.default_params.tracks
+         & info [ "tracks" ] ~docv:"N" ~doc:"disk cylinders")
+  in
+  let hot_pct =
+    Arg.(value & opt int Target.default_params.hot_pct
+         & info [ "hot-pct" ] ~docv:"PCT"
+             ~doc:"disk skew: share of requests aimed at the first tenth \
+                   of the tracks")
+  in
+  let sweep =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"run a domain-scaling sweep (1, 2, 4, all recommended \
+                   cores) instead of a single run; $(b,--domains) is \
+                   ignored")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"write the run (or sweep) as a JSON document")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"print per-op CSV rows instead \
+                                             of the human table")
+  in
+  let fail msg =
+    Format.fprintf ppf "%s@." msg;
+    exit 2
+  in
+  let run mechanism problem domains duration_ms warmup_ms mode_arg rate
+      arrival_arg backend_arg seed capacity work read_pct tracks hot_pct
+      sweep json csv =
+    let arrival =
+      match arrival_arg with
+      | "poisson" -> Loadgen.Poisson
+      | "uniform" -> Loadgen.Uniform_spaced
+      | s -> fail (Printf.sprintf "unknown arrival %S (poisson | uniform)" s)
+    in
+    let mode =
+      match mode_arg with
+      | "closed" -> Loadgen.Closed
+      | "open" -> Loadgen.Open_loop { rate_per_s = rate; arrival }
+      | s -> fail (Printf.sprintf "unknown mode %S (closed | open)" s)
+    in
+    let backend =
+      match backend_arg with
+      | "domain" -> `Domain
+      | "thread" -> `Thread
+      | s -> fail (Printf.sprintf "unknown backend %S (domain | thread)" s)
+    in
+    let duration_ms =
+      match duration_ms with
+      | Some ms -> ms
+      | None -> Loadgen.duration_from_env ~default:1000
+    in
+    let params =
+      { Target.capacity; work; read_pct; tracks; hot_pct }
+    in
+    let base =
+      { Loadgen.workers = domains; backend; duration_ms; warmup_ms; mode;
+        seed }
+    in
+    if sweep then begin
+      let domain_counts = Sweep.default_domain_counts () in
+      let progress (c : Sweep.cell) =
+        Format.fprintf ppf "%a@." Report.pp c.Sweep.report
+      in
+      match
+        Sweep.run ~params ~progress ~problem ~mechanism ~base ~domain_counts
+          ()
+      with
+      | Error e -> fail e
+      | Ok cells ->
+        (match json with
+        | None -> ()
+        | Some file ->
+          Sync_metrics.Emit.write_file file
+            (Sweep.sweep_to_json ~problem ~mechanism ~base cells);
+          Format.fprintf ppf "wrote %s@." file)
+    end
+    else
+      match Target.create ~params ~problem ~mechanism () with
+      | Error e -> fail e
+      | Ok instance ->
+        let report =
+          try Loadgen.run instance base
+          with Invalid_argument m -> fail ("invalid config: " ^ m)
+        in
+        if csv then begin
+          print_endline Report.csv_header;
+          List.iter print_endline (Report.csv_rows report)
+        end
+        else Format.fprintf ppf "%a@." Report.pp report;
+        (match json with
+        | None -> ()
+        | Some file ->
+          Report.write_json file report;
+          Format.fprintf ppf "wrote %s@." file)
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(const run $ mechanism $ problem $ domains $ duration_ms $ warmup_ms
+          $ mode_arg $ rate $ arrival_arg $ backend_arg $ seed $ capacity
+          $ work $ read_pct $ tracks $ hot_pct $ sweep $ json $ csv)
 
 let anomaly_cmd =
   let doc =
@@ -406,4 +600,5 @@ let () =
        (Cmd.group info
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
-            trace_cmd; model_cmd; nested_cmd; explore_cmd; faults_cmd ]))
+            trace_cmd; model_cmd; nested_cmd; explore_cmd; faults_cmd;
+            load_cmd ]))

@@ -1,0 +1,96 @@
+open Sync_metrics
+open Sync_workload
+
+type row = {
+  mechanism : string;
+  problem : string;
+  variant : string;
+  domains : int;
+  throughput_per_s : float;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+}
+
+let row_of_cell (c : Sweep.cell) =
+  let s = c.Sweep.report.Report.summary in
+  let q f = Summary.overall_quantile s f in
+  { mechanism = c.Sweep.report.Report.mechanism;
+    problem = c.Sweep.report.Report.problem;
+    variant = c.Sweep.report.Report.variant;
+    domains = c.Sweep.domains;
+    throughput_per_s = s.Summary.throughput_per_s;
+    p50_ns = q (fun o -> o.Summary.p50_ns);
+    p95_ns = q (fun o -> o.Summary.p95_ns);
+    p99_ns = q (fun o -> o.Summary.p99_ns);
+    p999_ns = q (fun o -> o.Summary.p999_ns) }
+
+let of_cells cells = List.map row_of_cell cells
+
+let measure ?duration_ms ?(warmup_ms = 30) ?(domain_counts = [ 1; 2; 4 ])
+    ?(mechanisms = Registry.mechanisms)
+    ?(problems = [ "bounded-buffer"; "readers-writers"; "fcfs" ])
+    ?(progress = ignore) () =
+  let duration_ms =
+    match duration_ms with
+    | Some ms -> ms
+    | None -> Loadgen.duration_from_env ~default:100
+  in
+  let spec =
+    { (Sweep.default_baseline_spec ()) with
+      Sweep.mechanisms; problems; domain_counts; duration_ms; warmup_ms }
+  in
+  match Sweep.baseline ~progress:(fun c -> progress (row_of_cell c)) spec with
+  | Error _ as e -> e
+  | Ok cells -> Ok (of_cells cells)
+
+let coverage_errors () =
+  List.concat_map
+    (fun problem ->
+      List.filter_map
+        (fun mechanism ->
+          match Target.create ~problem ~mechanism () with
+          | Error e -> Some (Printf.sprintf "%s@%s: %s" problem mechanism e)
+          | Ok instance ->
+            let meta = instance.Target.meta in
+            instance.Target.stop ();
+            let found =
+              Registry.find ~problem:meta.Sync_taxonomy.Meta.problem
+                ~variant:meta.Sync_taxonomy.Meta.variant
+                ~mechanism:meta.Sync_taxonomy.Meta.mechanism
+            in
+            if Option.is_some found then None
+            else
+              Some
+                (Printf.sprintf
+                   "workload target %s is not a registered solution"
+                   (Sync_taxonomy.Meta.id meta)))
+        (Target.mechanisms ~problem))
+    Target.problems
+
+let pp ppf rows =
+  Format.fprintf ppf "%-12s %-18s %7s %12s %10s %10s %10s %10s@." "mechanism"
+    "problem" "domains" "ops/s" "p50 ns" "p95 ns" "p99 ns" "p99.9 ns";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %-18s %7d %12.0f %10d %10d %10d %10d@."
+        r.mechanism r.problem r.domains r.throughput_per_s r.p50_ns r.p95_ns
+        r.p99_ns r.p999_ns)
+    rows
+
+let to_json rows =
+  Emit.List
+    (List.map
+       (fun r ->
+         Emit.Obj
+           [ ("mechanism", Emit.Str r.mechanism);
+             ("problem", Emit.Str r.problem);
+             ("variant", Emit.Str r.variant);
+             ("domains", Emit.Int r.domains);
+             ("throughput_per_s", Emit.Float r.throughput_per_s);
+             ("p50_ns", Emit.Int r.p50_ns);
+             ("p95_ns", Emit.Int r.p95_ns);
+             ("p99_ns", Emit.Int r.p99_ns);
+             ("p999_ns", Emit.Int r.p999_ns) ])
+       rows)

@@ -1,3 +1,5 @@
+open Sync_metrics
+
 type t = {
   matrix : Expressiveness.t;
   discrepancies : (string * Sync_taxonomy.Info.kind * string) list;
@@ -6,9 +8,11 @@ type t = {
   modularity : Modularity.row list;
   conformance : Conformance.result list;
   robustness : Robustness.row list;
+  perf : Perf.row list;
 }
 
-let build ?(run_conformance = true) ?(run_robustness = false) () =
+let build ?(run_conformance = true) ?(run_robustness = false)
+    ?(run_perf = false) () =
   let entries = Registry.all in
   let matrix = Expressiveness.matrix entries in
   let pairings = Independence.analyze entries in
@@ -18,7 +22,13 @@ let build ?(run_conformance = true) ?(run_robustness = false) () =
     reuse = Independence.shared_constraint_reuse pairings;
     modularity = Modularity.analyze entries;
     conformance = (if run_conformance then Conformance.run entries else []);
-    robustness = (if run_robustness then Robustness.run () else []) }
+    robustness = (if run_robustness then Robustness.run () else []);
+    perf =
+      (if run_perf then
+         match Perf.measure () with
+         | Ok rows -> rows
+         | Error msg -> failwith ("perf axis: " ^ msg)
+       else []) }
 
 let pp ppf t =
   Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
@@ -51,6 +61,115 @@ let pp ppf t =
     if Robustness.all_recovered t.robustness then
       Format.fprintf ppf "all runs recovered@."
     else Format.fprintf ppf "ROBUSTNESS FAILURE(S)@."
+  end;
+  if t.perf <> [] then begin
+    Format.fprintf ppf
+      "@.== E20: performance (closed-loop throughput + tail latency) ==@.";
+    Perf.pp ppf t.perf
   end
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* -- machine-readable view ---------------------------------------- *)
+
+let matrix_json m =
+  Emit.List
+    (List.map
+       (fun (mechanism, cells) ->
+         Emit.Obj
+           [ ("mechanism", Emit.Str mechanism);
+             ("cells",
+              Emit.List
+                (List.map
+                   (fun (kind, cell) ->
+                     Emit.Obj
+                       [ ("information",
+                          Emit.Str (Sync_taxonomy.Info.to_string kind));
+                         ("level",
+                          match cell.Expressiveness.level with
+                          | None -> Emit.Null
+                          | Some s ->
+                            Emit.Str (Sync_taxonomy.Meta.support_to_string s));
+                         ("evidence",
+                          Emit.List
+                            (List.map
+                               (fun id -> Emit.Str id)
+                               cell.Expressiveness.evidence)) ])
+                   cells)) ])
+       m)
+
+let conformance_json results =
+  Emit.List
+    (List.map
+       (fun (r : Conformance.result) ->
+         let outcome, detail =
+           match r.Conformance.outcome with
+           | Conformance.Conformant -> ("conformant", Emit.Null)
+           | Conformance.Nonconformant m -> ("nonconformant", Emit.Str m)
+           | Conformance.Expected_anomaly m -> ("expected-anomaly", Emit.Str m)
+           | Conformance.Unexpected_pass -> ("unexpected-pass", Emit.Null)
+         in
+         Emit.Obj
+           [ ("solution",
+              Emit.Str (Sync_taxonomy.Meta.id r.Conformance.entry.Registry.meta));
+             ("outcome", Emit.Str outcome);
+             ("detail", detail) ])
+       results)
+
+let to_json t =
+  Emit.Obj
+    [ ("expressiveness", matrix_json t.matrix);
+      ("discrepancies",
+       Emit.List
+         (List.map
+            (fun (mech, kind, why) ->
+              Emit.Obj
+                [ ("mechanism", Emit.Str mech);
+                  ("information", Emit.Str (Sync_taxonomy.Info.to_string kind));
+                  ("detail", Emit.Str why) ])
+            t.discrepancies));
+      ("independence",
+       Emit.Obj
+         [ ("pairings",
+            Emit.List
+              (List.map
+                 (fun (p : Independence.pairing) ->
+                   Emit.Obj
+                     [ ("mechanism", Emit.Str p.Independence.mechanism);
+                       ("problem", Emit.Str p.Independence.problem);
+                       ("variant_a", Emit.Str p.Independence.variant_a);
+                       ("variant_b", Emit.Str p.Independence.variant_b);
+                       ("constraint", Emit.Str p.Independence.constraint_id);
+                       ("similarity", Emit.Float p.Independence.similarity) ])
+                 t.pairings));
+           ("shared_constraint_reuse",
+            Emit.Obj
+              (List.map (fun (m, r) -> (m, Emit.Float r)) t.reuse)) ]);
+      ("modularity",
+       Emit.List
+         (List.map
+            (fun (r : Modularity.row) ->
+              Emit.Obj
+                [ ("mechanism", Emit.Str r.Modularity.mechanism);
+                  ("enforced", Emit.Int r.Modularity.enforced);
+                  ("separated", Emit.Int r.Modularity.separated);
+                  ("blended", Emit.Int r.Modularity.blended);
+                  ("sync_procedures", Emit.Int r.Modularity.sync_procedures);
+                  ("aux_state_items", Emit.Int r.Modularity.aux_state_items);
+                  ("score", Emit.Float r.Modularity.score) ])
+            t.modularity));
+      ("conformance", conformance_json t.conformance);
+      ("robustness",
+       Emit.List
+         (List.map
+            (fun (r : Robustness.row) ->
+              Emit.Obj
+                [ ("mechanism", Emit.Str r.Robustness.mechanism);
+                  ("problem", Emit.Str r.Robustness.problem);
+                  ("scenario", Emit.Str r.Robustness.scenario);
+                  ("policy", Emit.Str r.Robustness.policy);
+                  ("runs", Emit.Int r.Robustness.runs);
+                  ("recovered", Emit.Int r.Robustness.recovered);
+                  ("detail", Emit.Str r.Robustness.detail) ])
+            t.robustness));
+      ("performance", Perf.to_json t.perf) ]

@@ -11,15 +11,25 @@ type t = {
   modularity : Modularity.row list;
   conformance : Conformance.result list;
   robustness : Robustness.row list;
+  perf : Perf.row list;
 }
 
-val build : ?run_conformance:bool -> ?run_robustness:bool -> unit -> t
+val build :
+  ?run_conformance:bool -> ?run_robustness:bool -> ?run_perf:bool ->
+  unit -> t
 (** Computes everything from {!Registry.all}. [run_conformance] (default
     true) actually executes the workload checks; disable for fast
     metadata-only views. [run_robustness] (default false — it is the
     slowest section; [bloom_eval faults] runs it standalone) adds the
-    E19 fault/cancellation matrix. *)
+    E19 fault/cancellation matrix. [run_perf] (default false) runs a live
+    E20 closed-loop sweep via {!Perf.measure}; [bloom_eval load] drives
+    single runs standalone. *)
 
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val to_json : t -> Sync_metrics.Emit.t
+(** The whole scorecard as one deterministic JSON document — what
+    [bloom_eval scorecard --json] writes. Sections appear even when
+    empty (as [[]]) so consumers can rely on the shape. *)

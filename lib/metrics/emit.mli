@@ -1,0 +1,30 @@
+(** Machine-readable emission: a minimal JSON document model plus CSV row
+    quoting.
+
+    The repo deliberately avoids external JSON dependencies; every
+    machine-readable artifact (run reports, the E20 baseline, the
+    scorecard export) is built from this value type and printed with
+    {!to_string} / {!write_file}. Output is deterministic: object fields
+    print in the order given, floats print in a fixed format, and
+    non-finite floats degrade to [null] so the documents always parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Render as JSON. [pretty] (default true) indents nested structures
+    two spaces per level; compact otherwise. *)
+
+val write_file : string -> t -> unit
+(** Write [to_string ~pretty:true] plus a trailing newline to a file,
+    creating or truncating it. *)
+
+val csv_line : string list -> string
+(** One CSV record: fields are quoted when they contain commas, quotes
+    or newlines; embedded quotes are doubled. No trailing newline. *)

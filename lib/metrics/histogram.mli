@@ -1,0 +1,63 @@
+(** Log-bucketed latency histogram (HDR-histogram style).
+
+    Values (nanoseconds, non-negative ints) are binned into log-linear
+    buckets: exact below [2^sub_bits], then [2^sub_bits] linear
+    sub-buckets per power of two, giving a bounded relative error of
+    [2^-sub_bits] (≈ 3% at the default precision of 5 bits) across the
+    whole 63-bit range with a fixed ~1.9k-bucket footprint. This is the
+    shape every serious latency recorder uses: constant-time record,
+    constant memory, quantiles by bucket walk, and exact lossless merge
+    (bucket boundaries are identical for equal precision).
+
+    A histogram is {b single-writer}: one worker records into its own
+    histogram with no synchronization (that is what makes the hot path a
+    handful of arithmetic ops and one array increment), and histograms
+    are merged after the workers quiesce. Cross-thread mutation of one
+    histogram is a caller bug. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** [sub_bits] (default 5, range 1..10) sets the per-power-of-two
+    sub-bucket precision; relative quantile error is bounded by
+    [2^-sub_bits]. *)
+
+val record : t -> int -> unit
+(** Record one value. Negative values clamp to 0. Constant time. *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n t v n] records [v] with multiplicity [n >= 0]. *)
+
+val count : t -> int
+(** Total recorded values. *)
+
+val min_value : t -> int
+(** Exact smallest recorded value; 0 on an empty histogram. *)
+
+val max_value : t -> int
+(** Exact largest recorded value; 0 on an empty histogram. *)
+
+val mean : t -> float
+(** Exact arithmetic mean (sums are kept outside the buckets); 0 on an
+    empty histogram. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0,1]: an upper bound of the bucket holding
+    the value of rank [ceil (q * count)], clamped to the exact recorded
+    [min_value]/[max_value]. Within the precision bound of the true
+    quantile. 0 on an empty histogram. Monotone in [q]. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every recorded value of the source into [into]. Lossless: the
+    result is indistinguishable from having recorded both value streams
+    into one histogram.
+    @raise Invalid_argument if the precisions differ. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' recordings (inputs untouched). *)
+
+val copy : t -> t
+
+val nonempty_buckets : t -> (int * int * int) list
+(** [(lo, hi, count)] per occupied bucket, ascending; the bucket holds
+    recorded values [v] with [lo <= v <= hi]. Counts sum to {!count}. *)

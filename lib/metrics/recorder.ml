@@ -1,0 +1,45 @@
+type t = {
+  ops : string array;
+  hists : Histogram.t array;
+  fail_counts : int array;
+}
+
+let create ~ops () =
+  if Array.length ops = 0 then invalid_arg "Recorder.create: no ops";
+  { ops = Array.copy ops;
+    hists = Array.init (Array.length ops) (fun _ -> Histogram.create ());
+    fail_counts = Array.make (Array.length ops) 0 }
+
+let op_names t = Array.copy t.ops
+
+let record t ~op ~ns = Histogram.record t.hists.(op) ns
+
+let record_failure t ~op = t.fail_counts.(op) <- t.fail_counts.(op) + 1
+
+let ops_recorded t =
+  Array.fold_left (fun acc h -> acc + Histogram.count h) 0 t.hists
+
+let failures t = Array.fold_left ( + ) 0 t.fail_counts
+
+let op_count t ~op = Histogram.count t.hists.(op)
+
+let op_failures t ~op = t.fail_counts.(op)
+
+let hist t ~op = t.hists.(op)
+
+let merge = function
+  | [] -> invalid_arg "Recorder.merge: empty list"
+  | first :: rest ->
+    let out = create ~ops:first.ops () in
+    let add src =
+      if src.ops <> out.ops then invalid_arg "Recorder.merge: ops mismatch";
+      Array.iteri
+        (fun i h -> Histogram.merge_into ~into:out.hists.(i) h)
+        src.hists;
+      Array.iteri
+        (fun i n -> out.fail_counts.(i) <- out.fail_counts.(i) + n)
+        src.fail_counts
+    in
+    add first;
+    List.iter add rest;
+    out

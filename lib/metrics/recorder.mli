@@ -1,0 +1,43 @@
+(** Per-worker metrics recorder: one latency histogram and one success /
+    failure counter pair per operation.
+
+    The contention design is share-nothing rather than lock-clever: the
+    load generator allocates {b one recorder per worker}, each worker
+    records only into its own (a plain array increment — no CAS, no lock,
+    no false sharing with other workers' counters beyond allocation
+    luck), and the recorders are {!merge}d after the workers have been
+    joined. That makes the measurement path cheap enough to time
+    individual sub-microsecond operations without perturbing them, which
+    is the whole game when comparing mechanism overheads. *)
+
+type t
+
+val create : ops:string array -> unit -> t
+(** A recorder for the given operation names (index order is the record
+    index order). [ops] must be non-empty. *)
+
+val op_names : t -> string array
+
+val record : t -> op:int -> ns:int -> unit
+(** Record one completed operation [op] (index into [ops]) with the
+    given latency. *)
+
+val record_failure : t -> op:int -> unit
+(** Count an operation that raised instead of completing. *)
+
+val ops_recorded : t -> int
+(** Total successful operations across all ops. *)
+
+val failures : t -> int
+
+val op_count : t -> op:int -> int
+
+val op_failures : t -> op:int -> int
+
+val hist : t -> op:int -> Histogram.t
+(** The live histogram for [op] (not a copy). *)
+
+val merge : t list -> t
+(** Fold a non-empty list of quiesced recorders (identical op arrays)
+    into a fresh one; inputs are not modified.
+    @raise Invalid_argument on an empty list or mismatched ops. *)

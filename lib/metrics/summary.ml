@@ -1,0 +1,102 @@
+type op_stats = {
+  op : string;
+  count : int;
+  failures : int;
+  mean_ns : float;
+  min_ns : int;
+  p50_ns : int;
+  p90_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+}
+
+type t = {
+  elapsed_ns : int64;
+  total_ops : int;
+  total_failures : int;
+  throughput_per_s : float;
+  per_op : op_stats list;
+}
+
+let of_recorder ~elapsed_ns r =
+  let ops = Recorder.op_names r in
+  let per_op =
+    List.init (Array.length ops) (fun i ->
+        let h = Recorder.hist r ~op:i in
+        let q = Histogram.quantile h in
+        { op = ops.(i);
+          count = Histogram.count h;
+          failures = Recorder.op_failures r ~op:i;
+          mean_ns = Histogram.mean h;
+          min_ns = Histogram.min_value h;
+          p50_ns = q 0.50;
+          p90_ns = q 0.90;
+          p95_ns = q 0.95;
+          p99_ns = q 0.99;
+          p999_ns = q 0.999;
+          max_ns = Histogram.max_value h })
+  in
+  let total_ops = Recorder.ops_recorded r in
+  let seconds = Int64.to_float elapsed_ns /. 1e9 in
+  { elapsed_ns;
+    total_ops;
+    total_failures = Recorder.failures r;
+    throughput_per_s =
+      (if seconds > 0.0 then float_of_int total_ops /. seconds else 0.0);
+    per_op }
+
+let overall_quantile t f =
+  List.fold_left (fun acc s -> max acc (f s)) 0 t.per_op
+
+let pp ppf t =
+  Format.fprintf ppf "%-8s %10s %12s %10s %10s %10s %10s %10s@." "op" "count"
+    "mean ns" "p50" "p95" "p99" "p99.9" "max";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-8s %10d %12.0f %10d %10d %10d %10d %10d" s.op
+        s.count s.mean_ns s.p50_ns s.p95_ns s.p99_ns s.p999_ns s.max_ns;
+      if s.failures > 0 then Format.fprintf ppf "  (%d failed)" s.failures;
+      Format.fprintf ppf "@.")
+    t.per_op;
+  Format.fprintf ppf "total %d ops in %.3f s -> %.0f ops/s@." t.total_ops
+    (Int64.to_float t.elapsed_ns /. 1e9)
+    t.throughput_per_s
+
+let op_to_json s =
+  Emit.Obj
+    [ ("op", Emit.Str s.op);
+      ("count", Emit.Int s.count);
+      ("failures", Emit.Int s.failures);
+      ("mean_ns", Emit.Float s.mean_ns);
+      ("min_ns", Emit.Int s.min_ns);
+      ("p50_ns", Emit.Int s.p50_ns);
+      ("p90_ns", Emit.Int s.p90_ns);
+      ("p95_ns", Emit.Int s.p95_ns);
+      ("p99_ns", Emit.Int s.p99_ns);
+      ("p999_ns", Emit.Int s.p999_ns);
+      ("max_ns", Emit.Int s.max_ns) ]
+
+let to_json t =
+  Emit.Obj
+    [ ("elapsed_ns", Emit.Int (Int64.to_int t.elapsed_ns));
+      ("total_ops", Emit.Int t.total_ops);
+      ("total_failures", Emit.Int t.total_failures);
+      ("throughput_per_s", Emit.Float t.throughput_per_s);
+      ("per_op", Emit.List (List.map op_to_json t.per_op)) ]
+
+let csv_header =
+  "op,count,failures,mean_ns,min_ns,p50_ns,p90_ns,p95_ns,p99_ns,p999_ns,max_ns"
+
+let csv_rows ~label t =
+  List.map
+    (fun s ->
+      Emit.csv_line
+        (label
+        @ [ s.op; string_of_int s.count; string_of_int s.failures;
+            Printf.sprintf "%.0f" s.mean_ns; string_of_int s.min_ns;
+            string_of_int s.p50_ns; string_of_int s.p90_ns;
+            string_of_int s.p95_ns; string_of_int s.p99_ns;
+            string_of_int s.p999_ns; string_of_int s.max_ns ]))
+    t.per_op

@@ -1,0 +1,45 @@
+(** Immutable statistics snapshot of a finished (or merged) run window:
+    throughput over the measured wall-clock window plus the standard
+    latency quantile ladder per operation. This is the exchange format
+    between the workload engine, the CLI/bench JSON artifacts, and the
+    scorecard's performance axis. *)
+
+type op_stats = {
+  op : string;
+  count : int;
+  failures : int;
+  mean_ns : float;
+  min_ns : int;
+  p50_ns : int;
+  p90_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+}
+
+type t = {
+  elapsed_ns : int64;  (** measured steady-state window *)
+  total_ops : int;
+  total_failures : int;
+  throughput_per_s : float;  (** successful ops / elapsed *)
+  per_op : op_stats list;  (** in recorder op order *)
+}
+
+val of_recorder : elapsed_ns:int64 -> Recorder.t -> t
+
+val overall_quantile : t -> (op_stats -> int) -> int
+(** Worst (largest) of the given per-op quantile across ops — the
+    conservative "tail of the run" figure used in compact tables. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table: one row per op plus a totals line. *)
+
+val to_json : t -> Emit.t
+
+val csv_header : string
+(** Header matching {!csv_rows}. *)
+
+val csv_rows : label:string list -> t -> string list
+(** One CSV record per op, each prefixed by the caller's [label] fields
+    (e.g. mechanism/problem/domain count). *)

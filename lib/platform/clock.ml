@@ -1,4 +1,8 @@
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+(* CLOCK_MONOTONIC via bechamel's no-alloc C stub: immune to wall-clock
+   steps and with true nanosecond resolution, which the latency
+   histograms need — gettimeofday floats bottom out around a
+   microsecond and made every sub-µs operation record as 0. *)
+let now_ns () = Monotonic_clock.now ()
 
 let elapsed_ns t0 = Int64.sub (now_ns ()) t0
 

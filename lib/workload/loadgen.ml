@@ -1,0 +1,182 @@
+open Sync_platform
+open Sync_metrics
+
+type arrival = Poisson | Uniform_spaced
+
+type mode = Closed | Open_loop of { rate_per_s : float; arrival : arrival }
+
+type config = {
+  workers : int;
+  backend : [ `Thread | `Domain ];
+  duration_ms : int;
+  warmup_ms : int;
+  mode : mode;
+  seed : int;
+}
+
+let default_config =
+  { workers = 4; backend = `Domain; duration_ms = 1000; warmup_ms = 200;
+    mode = Closed; seed = 42 }
+
+let duration_from_env ~default =
+  match Sys.getenv_opt "SYNC_LOAD_MS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some ms when ms > 0 -> ms
+    | _ -> default)
+  | None -> default
+
+(* Phases. Workers look the phase up after each completed operation and
+   file the sample accordingly; the coordinator owns the transitions. *)
+let warmup = 0
+
+let steady = 1
+
+let finished = 2
+
+let validate cfg =
+  if cfg.workers < 1 then invalid_arg "Loadgen.run: workers must be >= 1";
+  if cfg.duration_ms < 1 then invalid_arg "Loadgen.run: duration must be >= 1ms";
+  if cfg.warmup_ms < 0 then invalid_arg "Loadgen.run: negative warmup";
+  match cfg.mode with
+  | Open_loop { rate_per_s; _ } when rate_per_s <= 0.0 ->
+    invalid_arg "Loadgen.run: open-loop rate must be positive"
+  | _ -> ()
+
+let validate_target (target : Target.instance) =
+  (match target.Target.selection with
+  | Target.Weighted ws when Array.fold_left ( + ) 0 ws <= 0 ->
+    invalid_arg "Loadgen.run: weighted selection with no weight"
+  | _ -> ());
+  if Array.length target.Target.ops = 0 then
+    invalid_arg "Loadgen.run: target with no ops"
+
+let run (target : Target.instance) cfg =
+  validate cfg;
+  validate_target target;
+  let ops = target.Target.ops in
+  let nops = Array.length ops in
+  let op_names = Array.map (fun o -> o.Target.name) ops in
+  let phase = Atomic.make warmup in
+  (* recorders.(w).(warmup|steady): strictly per-worker single-writer. *)
+  let recorders =
+    Array.init cfg.workers (fun _ ->
+        [| Recorder.create ~ops:op_names (); Recorder.create ~ops:op_names () |])
+  in
+  let base_rng = Prng.make (Int64.of_int cfg.seed) in
+  let rngs = Array.init cfg.workers (fun _ -> Prng.split base_rng) in
+  (* Open loop: each worker carries 1/workers of the aggregate rate. *)
+  let mean_ia_ns =
+    match cfg.mode with
+    | Closed -> 0.0
+    | Open_loop { rate_per_s; _ } ->
+      1e9 *. float_of_int cfg.workers /. rate_per_s
+  in
+  let worker w () =
+    let rng = rngs.(w) in
+    let recs = recorders.(w) in
+    let next_arrival = ref (Clock.now_ns ()) in
+    let interarrival () =
+      match cfg.mode with
+      | Closed -> 0L
+      | Open_loop { arrival = Uniform_spaced; _ } ->
+        Int64.of_float mean_ia_ns
+      | Open_loop { arrival = Poisson; _ } ->
+        (* Exponential inter-arrival: -mean * ln(1 - U), U in [0,1). *)
+        let u = Prng.float rng 1.0 in
+        Int64.of_float (-.mean_ia_ns *. log (1.0 -. u))
+    in
+    let rec wait_until ns =
+      let now = Clock.now_ns () in
+      if Int64.compare now ns >= 0 || Atomic.get phase >= finished then ()
+      else begin
+        if Int64.compare (Int64.sub ns now) 2_000_000L > 0 then
+          Thread.delay 0.001
+        else Thread.yield ();
+        wait_until ns
+      end
+    in
+    let run_one i =
+      let start =
+        match cfg.mode with
+        | Closed -> Clock.now_ns ()
+        | Open_loop _ ->
+          let s = !next_arrival in
+          next_arrival := Int64.add s (interarrival ());
+          wait_until s;
+          (* Latency counts from the intended arrival: falling behind
+             schedule surfaces as queueing delay, not omitted samples. *)
+          s
+      in
+      match ops.(i).Target.run ~rng ~pid:w with
+      | () ->
+        let ph = Atomic.get phase in
+        if ph <= steady then
+          Recorder.record recs.(ph) ~op:i
+            ~ns:(Int64.to_int (Int64.sub (Clock.now_ns ()) start))
+      | exception _ ->
+        let ph = Atomic.get phase in
+        if ph <= steady then Recorder.record_failure recs.(ph) ~op:i
+    in
+    let pick_weighted =
+      match target.Target.selection with
+      | Target.Cycle -> fun () -> 0
+      | Target.Weighted ws ->
+        let total = Array.fold_left ( + ) 0 ws in
+        fun () ->
+          let r = Prng.int rng total in
+          let rec go i acc =
+            let acc = acc + ws.(i) in
+            if r < acc then i else go (i + 1) acc
+          in
+          go 0 0
+    in
+    while Atomic.get phase < finished do
+      match target.Target.selection with
+      | Target.Cycle ->
+        (* The whole cycle runs before the stop check: per-worker op
+           balance is the liveness invariant for put/get problems. *)
+        for i = 0 to nops - 1 do
+          run_one i
+        done
+      | Target.Weighted _ -> run_one (pick_weighted ())
+    done
+  in
+  let handles =
+    List.init cfg.workers (fun w ->
+        Process.spawn ~name:(Printf.sprintf "load-%d" w)
+          ~backend:(cfg.backend :> Process.backend)
+          (worker w))
+  in
+  if cfg.warmup_ms > 0 then Thread.delay (float_of_int cfg.warmup_ms /. 1e3);
+  Atomic.set phase steady;
+  let t0 = Clock.now_ns () in
+  Thread.delay (float_of_int cfg.duration_ms /. 1e3);
+  Atomic.set phase finished;
+  let t1 = Clock.now_ns () in
+  List.iter Process.join handles;
+  target.Target.stop ();
+  let merged =
+    Recorder.merge (Array.to_list (Array.map (fun r -> r.(steady)) recorders))
+  in
+  let summary = Summary.of_recorder ~elapsed_ns:(Int64.sub t1 t0) merged in
+  let meta = target.Target.meta in
+  { Report.problem = meta.Sync_taxonomy.Meta.problem;
+    variant = meta.Sync_taxonomy.Meta.variant;
+    mechanism = meta.Sync_taxonomy.Meta.mechanism;
+    workers = cfg.workers;
+    backend = (match cfg.backend with `Thread -> "thread" | `Domain -> "domain");
+    mode = (match cfg.mode with Closed -> "closed" | Open_loop _ -> "open");
+    rate_per_s =
+      (match cfg.mode with
+      | Closed -> None
+      | Open_loop { rate_per_s; _ } -> Some rate_per_s);
+    arrival =
+      (match cfg.mode with
+      | Closed -> None
+      | Open_loop { arrival = Poisson; _ } -> Some "poisson"
+      | Open_loop { arrival = Uniform_spaced; _ } -> Some "uniform");
+    duration_ms = cfg.duration_ms;
+    warmup_ms = cfg.warmup_ms;
+    seed = cfg.seed;
+    summary }

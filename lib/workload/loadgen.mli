@@ -1,0 +1,51 @@
+(** The load engine: drive a {!Target.instance} with concurrent workers
+    on real threads or OCaml 5 domains and measure steady-state
+    throughput and latency.
+
+    Two loop disciplines:
+
+    - {b closed loop} ([Closed]): each worker issues its next operation
+      the moment the previous one completes. Measures the mechanism's
+      sustainable capacity at a given concurrency; latency is pure
+      service + queueing inside the synchronizer.
+    - {b open loop} ([Open_loop]): operations arrive on a schedule
+      (Poisson or uniformly spaced) at a configured aggregate rate,
+      independent of completions. Latency is measured from the
+      {e intended} arrival time, so when the system falls behind, the
+      queueing delay appears in the recorded tail instead of being
+      silently absorbed — the coordinated-omission correction
+      (see docs/workload.md).
+
+    Measurement protocol: workers record into per-worker warmup
+    recorders until the coordinator flips the run into its steady-state
+    window, then into per-worker steady recorders; the warmup recorders
+    are discarded, the steady ones are merged after join. Worker count,
+    windows, mode and seed come from {!config}; every run with the same
+    seed draws the same arrival/op-mix randomness. *)
+
+type arrival = Poisson | Uniform_spaced
+
+type mode = Closed | Open_loop of { rate_per_s : float; arrival : arrival }
+
+type config = {
+  workers : int;  (** concurrent clients (>= 1) *)
+  backend : [ `Thread | `Domain ];  (** systhreads or real domains *)
+  duration_ms : int;  (** steady-state measurement window *)
+  warmup_ms : int;  (** discarded warmup window *)
+  mode : mode;
+  seed : int;  (** arrival schedules and op-mix draws *)
+}
+
+val default_config : config
+(** 4 domain workers, closed loop, 1000 ms steady after 200 ms warmup,
+    seed 42. *)
+
+val duration_from_env : default:int -> int
+(** The [SYNC_LOAD_MS] environment knob (CI shortens runs with it):
+    its value when set to a positive integer, [default] otherwise. *)
+
+val run : Target.instance -> config -> Report.t
+(** Execute one run and stop the instance. The report's summary covers
+    only the steady-state window.
+    @raise Invalid_argument on a non-positive worker count, window, or
+    open-loop rate. *)

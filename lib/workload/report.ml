@@ -1,0 +1,57 @@
+open Sync_metrics
+
+type t = {
+  problem : string;
+  variant : string;
+  mechanism : string;
+  workers : int;
+  backend : string;
+  mode : string;
+  rate_per_s : float option;
+  arrival : string option;
+  duration_ms : int;
+  warmup_ms : int;
+  seed : int;
+  summary : Summary.t;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "%s/%s@%s: %d %s worker(s), %s loop" t.problem t.variant
+    t.mechanism t.workers t.backend t.mode;
+  (match t.rate_per_s with
+  | Some r ->
+    Format.fprintf ppf " @@ %.0f/s %s arrivals" r
+      (Option.value t.arrival ~default:"?")
+  | None -> ());
+  Format.fprintf ppf ", warmup %dms, measured %dms, seed %d@." t.warmup_ms
+    t.duration_ms t.seed;
+  Summary.pp ppf t.summary
+
+let to_json t =
+  Emit.Obj
+    [ ("problem", Emit.Str t.problem);
+      ("variant", Emit.Str t.variant);
+      ("mechanism", Emit.Str t.mechanism);
+      ("workers", Emit.Int t.workers);
+      ("backend", Emit.Str t.backend);
+      ("mode", Emit.Str t.mode);
+      ("rate_per_s",
+       match t.rate_per_s with Some r -> Emit.Float r | None -> Emit.Null);
+      ("arrival",
+       match t.arrival with Some a -> Emit.Str a | None -> Emit.Null);
+      ("duration_ms", Emit.Int t.duration_ms);
+      ("warmup_ms", Emit.Int t.warmup_ms);
+      ("seed", Emit.Int t.seed);
+      ("summary", Summary.to_json t.summary) ]
+
+let write_json path t = Emit.write_file path (to_json t)
+
+let csv_header =
+  "mechanism,problem,variant,workers,backend,mode," ^ Summary.csv_header
+
+let csv_rows t =
+  Summary.csv_rows
+    ~label:
+      [ t.mechanism; t.problem; t.variant; string_of_int t.workers; t.backend;
+        t.mode ]
+    t.summary

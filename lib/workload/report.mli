@@ -1,0 +1,34 @@
+(** The record of one load-generation run: what was driven (problem,
+    variant, mechanism), how (workers, backend, loop mode, rates,
+    windows, seed), and what was measured (a {!Sync_metrics.Summary.t}
+    over the steady-state window). Everything downstream — the CLI's
+    human table, [--json] artifacts, the E20 baseline, the scorecard's
+    performance axis — is a view of this record. *)
+
+type t = {
+  problem : string;
+  variant : string;
+  mechanism : string;
+  workers : int;
+  backend : string;  (** ["thread"] or ["domain"] *)
+  mode : string;  (** ["closed"] or ["open"] *)
+  rate_per_s : float option;  (** open loop: total offered rate *)
+  arrival : string option;  (** open loop: ["poisson"] or ["uniform"] *)
+  duration_ms : int;  (** steady-state window *)
+  warmup_ms : int;
+  seed : int;
+  summary : Sync_metrics.Summary.t;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Sync_metrics.Emit.t
+
+val write_json : string -> t -> unit
+(** Write one run's JSON document to a file. *)
+
+val csv_header : string
+
+val csv_rows : t -> string list
+(** One CSV record per op, labelled with mechanism/problem/variant/
+    workers/backend/mode. *)

@@ -1,0 +1,125 @@
+open Sync_metrics
+
+type cell = { domains : int; report : Report.t }
+
+let default_domain_counts () =
+  List.sort_uniq compare (1 :: 2 :: 4 :: [ Domain.recommended_domain_count () ])
+
+let run ?params ?(progress = ignore) ~problem ~mechanism ~base ~domain_counts
+    () =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+      match Target.create ?params ~problem ~mechanism () with
+      | Error e -> Error e
+      | Ok instance ->
+        let report =
+          Loadgen.run instance { base with Loadgen.workers = n }
+        in
+        let cell = { domains = n; report } in
+        progress cell;
+        go (cell :: acc) rest)
+  in
+  go [] domain_counts
+
+let cell_row c =
+  let s = c.report.Report.summary in
+  let q f = Summary.overall_quantile s f in
+  Emit.Obj
+    [ ("mechanism", Emit.Str c.report.Report.mechanism);
+      ("problem", Emit.Str c.report.Report.problem);
+      ("variant", Emit.Str c.report.Report.variant);
+      ("domains", Emit.Int c.domains);
+      ("throughput_per_s", Emit.Float s.Summary.throughput_per_s);
+      ("total_ops", Emit.Int s.Summary.total_ops);
+      ("total_failures", Emit.Int s.Summary.total_failures);
+      ("p50_ns", Emit.Int (q (fun o -> o.Summary.p50_ns)));
+      ("p95_ns", Emit.Int (q (fun o -> o.Summary.p95_ns)));
+      ("p99_ns", Emit.Int (q (fun o -> o.Summary.p99_ns)));
+      ("p999_ns", Emit.Int (q (fun o -> o.Summary.p999_ns)));
+      ("max_ns", Emit.Int (q (fun o -> o.Summary.max_ns)));
+      ("per_op",
+       match Summary.to_json s with
+       | Emit.Obj fields -> List.assoc "per_op" fields
+       | _ -> Emit.Null) ]
+
+let sweep_to_json ~problem ~mechanism ~base cells =
+  Emit.Obj
+    [ ("problem", Emit.Str problem);
+      ("mechanism", Emit.Str mechanism);
+      ("mode",
+       Emit.Str
+         (match base.Loadgen.mode with
+         | Loadgen.Closed -> "closed"
+         | Loadgen.Open_loop _ -> "open"));
+      ("duration_ms", Emit.Int base.Loadgen.duration_ms);
+      ("warmup_ms", Emit.Int base.Loadgen.warmup_ms);
+      ("seed", Emit.Int base.Loadgen.seed);
+      ("cells", Emit.List (List.map cell_row cells)) ]
+
+type baseline_spec = {
+  mechanisms : string list;
+  problems : string list;
+  domain_counts : int list;
+  duration_ms : int;
+  warmup_ms : int;
+  seed : int;
+  params : Target.params;
+}
+
+let default_baseline_spec () =
+  { mechanisms = [ "semaphore"; "monitor"; "serializer"; "pathexpr"; "csp";
+                   "ccr" ];
+    problems = [ "bounded-buffer"; "readers-writers"; "fcfs" ];
+    domain_counts = [ 1; 2; 4 ];
+    duration_ms = Loadgen.duration_from_env ~default:150;
+    warmup_ms = 50;
+    seed = 42;
+    params = Target.default_params }
+
+let baseline_config spec =
+  { Loadgen.workers = 1; backend = `Domain; duration_ms = spec.duration_ms;
+    warmup_ms = spec.warmup_ms; mode = Loadgen.Closed; seed = spec.seed }
+
+exception Baseline_failure of string
+
+let baseline ?progress spec =
+  let base = baseline_config spec in
+  try
+    Ok
+      (List.concat_map
+         (fun problem ->
+           List.concat_map
+             (fun mechanism ->
+               match
+                 run ~params:spec.params ?progress ~problem ~mechanism ~base
+                   ~domain_counts:spec.domain_counts ()
+               with
+               | Error e ->
+                 raise
+                   (Baseline_failure
+                      (Printf.sprintf "%s@%s: %s" problem mechanism e))
+               | Ok cells -> cells)
+             spec.mechanisms)
+         spec.problems)
+  with Baseline_failure e -> Error e
+
+let baseline_to_json spec cells =
+  Emit.Obj
+    [ ("experiment", Emit.Str "E20");
+      ("description",
+       Emit.Str
+         "multicore workload baseline: closed-loop throughput and latency \
+          quantiles per mechanism per problem per domain count");
+      ("mode", Emit.Str "closed");
+      ("backend", Emit.Str "domain");
+      ("duration_ms", Emit.Int spec.duration_ms);
+      ("warmup_ms", Emit.Int spec.warmup_ms);
+      ("seed", Emit.Int spec.seed);
+      ("ocaml", Emit.Str Sys.ocaml_version);
+      ("recommended_domains", Emit.Int (Domain.recommended_domain_count ()));
+      ("mechanisms", Emit.List (List.map (fun m -> Emit.Str m) spec.mechanisms));
+      ("problems", Emit.List (List.map (fun p -> Emit.Str p) spec.problems));
+      ("domain_counts",
+       Emit.List (List.map (fun d -> Emit.Int d) spec.domain_counts));
+      ("rows", Emit.List (List.map cell_row cells)) ]

@@ -1,0 +1,52 @@
+(** Domain-scaling sweeps and the E20 baseline.
+
+    A sweep re-runs one mechanism x problem target at increasing worker
+    counts (fresh instance per cell, identical seed and windows) so the
+    scaling shape — and the point where a mechanism's tail collapses
+    under contention — is measured rather than argued. The {!baseline}
+    runs the full mechanism-grid sweep behind [BENCH_E20.json], the
+    repo's first recorded performance trajectory; future perf PRs are
+    judged against it. *)
+
+type cell = { domains : int; report : Report.t }
+
+val default_domain_counts : unit -> int list
+(** [1; 2; 4] plus [Domain.recommended_domain_count ()], sorted,
+    deduplicated. *)
+
+val run :
+  ?params:Target.params -> ?progress:(cell -> unit) -> problem:string ->
+  mechanism:string -> base:Loadgen.config -> domain_counts:int list -> unit ->
+  (cell list, string) result
+(** Run the target once per domain count ([base] with [workers] set to
+    the count). [progress] fires after each cell. *)
+
+val sweep_to_json :
+  problem:string -> mechanism:string -> base:Loadgen.config -> cell list ->
+  Sync_metrics.Emit.t
+
+(** Specification of a full baseline grid. *)
+type baseline_spec = {
+  mechanisms : string list;
+  problems : string list;
+  domain_counts : int list;
+  duration_ms : int;
+  warmup_ms : int;
+  seed : int;
+  params : Target.params;
+}
+
+val default_baseline_spec : unit -> baseline_spec
+(** Six full-coverage mechanisms x {bounded-buffer, readers-writers,
+    fcfs} x domain counts [1; 2; 4]; per-cell steady window from
+    [SYNC_LOAD_MS] (default 150 ms), closed loop on the domain
+    backend. *)
+
+val baseline :
+  ?progress:(cell -> unit) -> baseline_spec -> (cell list, string) result
+(** Run every cell of the grid in a fixed order (problem-major, then
+    mechanism, then domain count). Fails fast on an unknown pair. *)
+
+val baseline_to_json : baseline_spec -> cell list -> Sync_metrics.Emit.t
+(** The committed [BENCH_E20.json] document: grid metadata + one row per
+    cell with throughput and the latency ladder. *)

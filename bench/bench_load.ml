@@ -1,57 +1,253 @@
-(* E20: the recorded multicore performance baseline.
+(* E20: the recorded multicore performance baseline — plus the E21
+   perf-sanity and trace-overhead modes CI runs on every push.
 
-   Runs the full closed-loop grid behind BENCH_E20.json — every
-   full-coverage mechanism x {bounded buffer, readers-writers, FCFS} x
-   domain counts {1, 2, 4} — on real OCaml 5 domains, printing the
-   throughput/tail table as it goes and writing the machine-readable
+   Default mode runs the full closed-loop grid behind BENCH_E20.json —
+   every full-coverage mechanism x {bounded buffer, readers-writers,
+   FCFS} x domain counts {1, 2, 4} — on real OCaml 5 domains, printing
+   the throughput/tail table as it goes and writing the machine-readable
    document at the end. The committed BENCH_E20.json is this program's
    output on the reference box; future performance work is judged
    against it.
 
+   --sanity BASELINE.json runs a three-cell subset and gates on it:
+   any self-check failure fails the run, and so does a cell-to-cell
+   throughput *ratio* drifting more than 5x from the committed
+   baseline's ratio for the same pair. Ratios, not absolute numbers:
+   CI boxes are slower than the reference box in ways that cancel out
+   between cells, while a contention regression in one mechanism does
+   not.
+
+   --ab runs one hot cell twice — tracing disabled, then enabled — and
+   reports the throughput delta, plus the disabled path against the
+   committed baseline when one is given. The disabled path is the claim
+   that matters: probes compiled around one atomic load must cost ~0.
+
    Knobs: SYNC_LOAD_MS shortens each cell's steady window (CI uses it);
-   the single optional argument (or --out FILE) overrides the output
-   path (default bench-load.json, BENCH_E20.json when regenerating the
+   --out FILE (or a bare FILE argument) overrides the output path
+   (default bench-load.json, BENCH_E20.json when regenerating the
    committed baseline). *)
 
-let () =
-  let out = ref "bench-load.json" in
-  let rec parse = function
-    | [] -> ()
-    | "--out" :: f :: rest -> out := f; parse rest
-    | [ f ] when not (String.length f > 0 && f.[0] = '-') -> out := f
-    | a :: _ ->
-      Printf.eprintf "usage: bench_load [--out FILE | FILE]\n  got %S\n" a;
+open Sync_workload
+module Emit = Sync_metrics.Emit
+module Summary = Sync_metrics.Summary
+module Probe = Sync_trace.Probe
+
+(* The CI subset: two single-domain FCFS cells with different mechanisms
+   (pure synchronizer cost) and one contended 4-domain buffer cell. *)
+let sanity_cells =
+  [ ("semaphore", "fcfs", 1); ("monitor", "fcfs", 1);
+    ("ccr", "bounded-buffer", 4) ]
+
+let cell_id (m, p, d) = Printf.sprintf "%s/%s d=%d" m p d
+
+let run_cell ~duration_ms (mechanism, problem, domains) =
+  match Target.create ~problem ~mechanism () with
+  | Error e ->
+    Printf.eprintf "sanity: %s\n" e;
+    exit 2
+  | Ok instance ->
+    let cfg =
+      { Loadgen.default_config with
+        Loadgen.workers = domains;
+        backend = `Domain;
+        duration_ms;
+        warmup_ms = 50 }
+    in
+    let s = (Loadgen.run instance cfg).Report.summary in
+    (s.Summary.throughput_per_s, s.Summary.total_failures)
+
+let baseline_throughput doc ~cell:(mechanism, problem, domains) =
+  let field name r = Emit.member name r in
+  let rows = Option.value ~default:Emit.Null (Emit.member "rows" doc) in
+  List.find_map
+    (fun r ->
+      match (field "mechanism" r, field "problem" r, field "domains" r) with
+      | Some (Emit.Str m), Some (Emit.Str p), Some d
+        when m = mechanism && p = problem
+             && Emit.number d = Some (float_of_int domains) ->
+        Option.bind (field "throughput_per_s" r) Emit.number
+      | _ -> None)
+    (Emit.to_list rows)
+
+let sanity baseline_file =
+  let doc =
+    try Emit.parse_file baseline_file
+    with Sys_error e | Emit.Parse_error e ->
+      Printf.eprintf "sanity: cannot read baseline %s: %s\n" baseline_file e;
       exit 2
   in
-  parse (List.tl (Array.to_list Sys.argv));
-  let spec = Sync_workload.Sweep.default_baseline_spec () in
+  let duration_ms = Loadgen.duration_from_env ~default:200 in
+  Printf.printf "perf sanity vs %s (%d ms per cell)\n%!" baseline_file
+    duration_ms;
+  let failed = ref false in
+  let cells =
+    List.map
+      (fun cell ->
+        let live, failures = run_cell ~duration_ms cell in
+        let base =
+          match baseline_throughput doc ~cell with
+          | Some t -> t
+          | None ->
+            Printf.eprintf "sanity: %s missing from baseline\n" (cell_id cell);
+            exit 2
+        in
+        Printf.printf "  %-28s %12.0f ops/s (baseline %12.0f)%s\n%!"
+          (cell_id cell) live base
+          (if failures > 0 then
+             Printf.sprintf "  %d SELF-CHECK FAILURE(S)" failures
+           else "");
+        if failures > 0 then failed := true;
+        (cell, live, base))
+      sanity_cells
+  in
+  let factor = 5.0 in
+  List.iteri
+    (fun i (ci, li, bi) ->
+      List.iteri
+        (fun j (cj, lj, bj) ->
+          if i < j then begin
+            let live_ratio = li /. lj and base_ratio = bi /. bj in
+            let drift = live_ratio /. base_ratio in
+            let drift = if drift < 1.0 then 1.0 /. drift else drift in
+            Printf.printf
+              "  ratio %-28s / %-28s live %.3f baseline %.3f drift %.2fx\n%!"
+              (cell_id ci) (cell_id cj) live_ratio base_ratio drift;
+            if drift > factor then begin
+              Printf.printf "    REGRESSION: drift exceeds %.0fx\n%!" factor;
+              failed := true
+            end
+          end)
+        cells)
+    cells;
+  if !failed then begin
+    Printf.printf "perf sanity FAILED\n%!";
+    exit 1
+  end
+  else Printf.printf "perf sanity ok\n%!"
+
+(* Tracing A/B: the hottest single-domain cell, best of three windows per
+   arm so one scheduling hiccup doesn't decide the number. *)
+let ab baseline_file out =
+  let cell = ("semaphore", "fcfs", 1) in
+  let duration_ms = Loadgen.duration_from_env ~default:200 in
+  let best_of n f =
+    let rec go n acc =
+      if n = 0 then acc
+      else begin
+        let t, failures = f () in
+        if failures > 0 then begin
+          Printf.eprintf "ab: %d self-check failure(s)\n" failures;
+          exit 1
+        end;
+        go (n - 1) (Float.max acc t)
+      end
+    in
+    go n 0.0
+  in
+  Printf.printf "trace A/B on %s (best of 3 x %d ms per arm)\n%!"
+    (cell_id cell) duration_ms;
+  let off = best_of 3 (fun () -> run_cell ~duration_ms cell) in
+  let on =
+    best_of 3 (fun () ->
+        (* Fresh rings per window: the run only pays for writing events,
+           never for an unbounded snapshot. *)
+        Probe.reset ();
+        Probe.enable ();
+        Fun.protect ~finally:Probe.disable (fun () ->
+            run_cell ~duration_ms cell))
+  in
+  let overhead_pct = (off -. on) /. off *. 100.0 in
+  Printf.printf
+    "  tracing disabled %12.0f ops/s\n  tracing enabled  %12.0f ops/s\n  enabled overhead %.2f%%\n%!"
+    off on overhead_pct;
+  let baseline_delta =
+    match baseline_file with
+    | None -> None
+    | Some file -> (
+      match
+        try Some (Emit.parse_file file) with Sys_error _ | Emit.Parse_error _ -> None
+      with
+      | None -> None
+      | Some doc -> (
+        match baseline_throughput doc ~cell with
+        | None -> None
+        | Some base ->
+          let d = (base -. off) /. base *. 100.0 in
+          Printf.printf "  disabled vs committed baseline: %.2f%%\n%!" d;
+          Some d))
+  in
+  Emit.write_file out
+    (Emit.Obj
+       [ ( "trace_ab",
+           Emit.Obj
+             ([ ("cell", Emit.Str (cell_id cell));
+                ("duration_ms", Emit.Int duration_ms);
+                ("disabled_ops_per_s", Emit.Float off);
+                ("enabled_ops_per_s", Emit.Float on);
+                ("enabled_overhead_pct", Emit.Float overhead_pct) ]
+             @
+             match baseline_delta with
+             | None -> []
+             | Some d -> [ ("disabled_vs_baseline_pct", Emit.Float d) ]) ) ]);
+  Printf.printf "wrote %s\n%!" out
+
+let grid out =
+  let spec = Sweep.default_baseline_spec () in
   Printf.printf
     "E20 baseline: %d mechanisms x %d problems x domains {%s}, %dms \
      steady (+%dms warmup) per cell, closed loop, seed %d\n\
      recommended domains on this box: %d\n\n%!"
-    (List.length spec.Sync_workload.Sweep.mechanisms)
-    (List.length spec.Sync_workload.Sweep.problems)
-    (String.concat ", "
-       (List.map string_of_int spec.Sync_workload.Sweep.domain_counts))
-    spec.Sync_workload.Sweep.duration_ms spec.Sync_workload.Sweep.warmup_ms
-    spec.Sync_workload.Sweep.seed
+    (List.length spec.Sweep.mechanisms)
+    (List.length spec.Sweep.problems)
+    (String.concat ", " (List.map string_of_int spec.Sweep.domain_counts))
+    spec.Sweep.duration_ms spec.Sweep.warmup_ms spec.Sweep.seed
     (Domain.recommended_domain_count ());
-  let rows = ref [] in
-  let progress (c : Sync_workload.Sweep.cell) =
+  let progress (c : Sweep.cell) =
     let r = Sync_eval.Perf.row_of_cell c in
-    rows := r :: !rows;
     Printf.printf "%-12s %-18s d=%d %12.0f ops/s  p99 %d ns\n%!"
       r.Sync_eval.Perf.mechanism r.Sync_eval.Perf.problem
       r.Sync_eval.Perf.domains r.Sync_eval.Perf.throughput_per_s
       r.Sync_eval.Perf.p99_ns
   in
-  match Sync_workload.Sweep.baseline ~progress spec with
+  match Sweep.baseline ~progress spec with
   | Error e ->
     Printf.eprintf "baseline failed: %s\n" e;
     exit 1
   | Ok cells ->
     print_newline ();
     Sync_eval.Perf.pp Format.std_formatter (Sync_eval.Perf.of_cells cells);
-    Sync_metrics.Emit.write_file !out
-      (Sync_workload.Sweep.baseline_to_json spec cells);
-    Printf.printf "\nwrote %s (%d cells)\n%!" !out (List.length cells)
+    Sync_metrics.Emit.write_file out (Sweep.baseline_to_json spec cells);
+    Printf.printf "\nwrote %s (%d cells)\n%!" out (List.length cells)
+
+let () =
+  let out = ref "bench-load.json" in
+  let sanity_file = ref None in
+  let ab_mode = ref false in
+  let baseline_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: f :: rest ->
+      out := f;
+      parse rest
+    | "--sanity" :: f :: rest ->
+      sanity_file := Some f;
+      parse rest
+    | "--ab" :: rest ->
+      ab_mode := true;
+      parse rest
+    | "--baseline" :: f :: rest ->
+      baseline_file := Some f;
+      parse rest
+    | [ f ] when not (String.length f > 0 && f.[0] = '-') -> out := f
+    | a :: _ ->
+      Printf.eprintf
+        "usage: bench_load [--out FILE | FILE] [--sanity BASELINE.json] \
+         [--ab [--baseline BASELINE.json]]\n\
+        \  got %S\n"
+        a;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !sanity_file with
+  | Some f -> sanity f
+  | None -> if !ab_mode then ab !baseline_file !out else grid !out

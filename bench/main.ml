@@ -1,5 +1,7 @@
-(* The benchmark harness: regenerates every evaluation artifact (see
-   DESIGN.md experiment index E1-E14) in one run.
+(* The benchmark harness: regenerates the qualitative and
+   micro-benchmark evaluation artifacts (DESIGN.md experiment index;
+   E1-E19 plus the E21 probe micro-costs) in one run. The E20 grid has
+   its own driver (bench_load, behind BENCH_E20.json).
 
    Part A reprints the qualitative results the paper reports (anomaly
    E1/E2, matrices E3-E5, conformance E6) — computed, not asserted.
@@ -524,6 +526,39 @@ let bench_fairness_ablation () =
   Printf.printf "Mesa monitor:  barger stole token = %b, waiter saw it = %b\n%!"
     stolen saw
 
+(* E21: what the trace probes cost. With tracing disabled every probe is
+   one atomic load compiled around the instrumented operation, so the
+   platform mutex should price within noise of E7's numbers; with tracing
+   enabled each op additionally writes its spans into the per-thread ring.
+   The enabled rows run inside enable/disable brackets with a fresh ring,
+   so nothing here leaks trace state into later sections. *)
+let bench_trace_probes () =
+  section "E21: trace probe overhead (ns/op, disabled vs enabled)";
+  let mutex = Sync_platform.Mutex.create () in
+  let sem = Sync_platform.Semaphore.Counting.create 1 in
+  run_group "e21-disabled"
+    [ Test.make ~name:"platform-mutex/tracing-off" (Staged.stage (fun () ->
+          Sync_platform.Mutex.lock mutex;
+          Sync_platform.Mutex.unlock mutex));
+      Test.make ~name:"semaphore-p+v/tracing-off" (Staged.stage (fun () ->
+          Sync_platform.Semaphore.Counting.p sem;
+          Sync_platform.Semaphore.Counting.v sem)) ];
+  Sync_trace.Probe.reset ();
+  Sync_trace.Probe.enable ();
+  Fun.protect ~finally:Sync_trace.Probe.disable (fun () ->
+      run_group "e21-enabled"
+        [ Test.make ~name:"platform-mutex/tracing-on" (Staged.stage (fun () ->
+              Sync_platform.Mutex.lock mutex;
+              Sync_platform.Mutex.unlock mutex));
+          Test.make ~name:"semaphore-p+v/tracing-on" (Staged.stage (fun () ->
+              Sync_platform.Semaphore.Counting.p sem;
+              Sync_platform.Semaphore.Counting.v sem)) ]);
+  let dropped = Sync_trace.Probe.dropped () in
+  Sync_trace.Probe.reset ();
+  Printf.printf
+    "(enabled rows wrote into per-thread rings; %d event(s) dropped on wrap)\n%!"
+    dropped
+
 let bench_model_proofs () =
   section "E17: staged scenarios model-checked over ALL interleavings";
   List.iter
@@ -550,4 +585,5 @@ let () =
   bench_fairness_ablation ();
   bench_detsched ();
   bench_robustness ();
+  bench_trace_probes ();
   print_endline "\nall experiments regenerated"

@@ -101,15 +101,23 @@ let scorecard_cmd =
                    (window from $(b,SYNC_LOAD_MS); standalone single runs \
                    via $(b,bloom_eval load))")
   in
+  let observability =
+    Arg.(value & flag
+         & info [ "observability" ]
+             ~doc:"also run the E21 traced-contention audit (short traced \
+                   load per mechanism; full traces via $(b,bloom_eval \
+                   trace))")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
              ~doc:"also write the whole scorecard as a JSON document")
   in
-  let run fast robustness perf json =
+  let run fast robustness perf observability json =
     let card =
       Sync_eval.Scorecard.build ~run_conformance:(not fast)
-        ~run_robustness:robustness ~run_perf:perf ()
+        ~run_robustness:robustness ~run_perf:perf
+        ~run_observability:observability ()
     in
     Sync_eval.Scorecard.pp ppf card;
     (match json with
@@ -120,10 +128,11 @@ let scorecard_cmd =
     if
       Sync_eval.Conformance.regressions card.conformance <> []
       || not (Sync_eval.Robustness.all_recovered card.robustness)
+      || not (Sync_eval.Observability.all_ok card.observability)
     then exit 1
   in
   Cmd.v (Cmd.info "scorecard" ~doc)
-    Term.(const run $ fast $ robustness $ perf $ json)
+    Term.(const run $ fast $ robustness $ perf $ observability $ json)
 
 let load_cmd =
   let doc =
@@ -220,13 +229,21 @@ let load_cmd =
     Arg.(value & flag & info [ "csv" ] ~doc:"print per-op CSV rows instead \
                                              of the human table")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"record structured sync events during the run (E21) and \
+                   write them as a Chrome trace_event JSON file \
+                   (chrome://tracing, Perfetto); also prints the \
+                   contention profile. Not compatible with $(b,--sweep).")
+  in
   let fail msg =
     Format.fprintf ppf "%s@." msg;
     exit 2
   in
   let run mechanism problem domains duration_ms warmup_ms mode_arg rate
       arrival_arg backend_arg seed capacity work read_pct tracks hot_pct
-      sweep json csv =
+      sweep json csv trace_out =
     let arrival =
       match arrival_arg with
       | "poisson" -> Loadgen.Poisson
@@ -257,6 +274,8 @@ let load_cmd =
       { Loadgen.workers = domains; backend; duration_ms; warmup_ms; mode;
         seed }
     in
+    if sweep && trace_out <> None then
+      fail "--trace records a single run; drop --sweep";
     if sweep then begin
       let domain_counts = Sweep.default_domain_counts () in
       let progress (c : Sweep.cell) =
@@ -279,15 +298,32 @@ let load_cmd =
       match Target.create ~params ~problem ~mechanism () with
       | Error e -> fail e
       | Ok instance ->
-        let report =
+        let go () =
           try Loadgen.run instance base
           with Invalid_argument m -> fail ("invalid config: " ^ m)
+        in
+        let report, events =
+          match trace_out with
+          | None -> (go (), [])
+          | Some _ -> Sync_trace.Probe.with_tracing go
         in
         if csv then begin
           print_endline Report.csv_header;
           List.iter print_endline (Report.csv_rows report)
         end
         else Format.fprintf ppf "%a@." Report.pp report;
+        (match trace_out with
+        | None -> ()
+        | Some file ->
+          let label = Printf.sprintf "%s/%s" mechanism problem in
+          let profile =
+            Sync_trace.Profile.of_events
+              ~dropped:(Sync_trace.Probe.dropped ()) events
+          in
+          Format.fprintf ppf "@.%a@." Sync_trace.Profile.pp profile;
+          Sync_trace.Chrome.write_file file [ (label, events) ];
+          Format.fprintf ppf "wrote %s (%d events)@." file
+            (List.length events));
         (match json with
         | None -> ()
         | Some file ->
@@ -297,7 +333,8 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc)
     Term.(const run $ mechanism $ problem $ domains $ duration_ms $ warmup_ms
           $ mode_arg $ rate $ arrival_arg $ backend_arg $ seed $ capacity
-          $ work $ read_pct $ tracks $ hot_pct $ sweep $ json $ csv)
+          $ work $ read_pct $ tracks $ hot_pct $ sweep $ json $ csv
+          $ trace_out)
 
 let anomaly_cmd =
   let doc =
@@ -330,13 +367,68 @@ let anomaly_cmd =
 
 let trace_cmd =
   let doc =
-    "Print the annotated event trace of the footnote-3 staging (E1) for a      readers-writers solution: pids 200/201 are the writers, pid 1 the      reader."
+    "Two modes. With $(b,--out FILE): run a short traced contended load on \
+     every registered mechanism (experiment E21) and write the combined \
+     structured event trace as Chrome trace_event JSON — load it in \
+     chrome://tracing or Perfetto; one process lane per mechanism. \
+     Without $(b,--out): print the annotated event trace of the \
+     footnote-3 staging (E1) for a readers-writers solution (pids 200/201 \
+     are the writers, pid 1 the reader)."
   in
   let which =
     Arg.(value & pos 0 string "fig1" & info [] ~docv:"SOLUTION"
-           ~doc:"fig1 | monitor | serializer | baton | courtois | csp | ccr")
+           ~doc:"E1 mode: fig1 | monitor | serializer | baton | courtois | \
+                 csp | ccr")
   in
-  let run which =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"E21 mode: write the all-mechanism Chrome trace here")
+  in
+  let duration_ms =
+    Arg.(value & opt int 25 & info [ "duration-ms" ] ~docv:"MS"
+           ~doc:"E21 mode: traced steady-state window per mechanism")
+  in
+  let timeline =
+    Arg.(value & flag
+         & info [ "timeline" ]
+             ~doc:"E21 mode: also print each mechanism's compact text \
+                   timeline (first 40 events)")
+  in
+  let run_traced out duration_ms timeline =
+    let traced =
+      Sync_eval.Observability.run_traced ~duration_ms ()
+    in
+    let rows = List.map (fun t -> t.Sync_eval.Observability.row) traced in
+    Sync_eval.Observability.pp ppf rows;
+    List.iter
+      (fun (t : Sync_eval.Observability.traced) ->
+        Format.fprintf ppf "@.-- %s --@.%a"
+          t.Sync_eval.Observability.row.Sync_eval.Observability.mechanism
+          Sync_trace.Profile.pp t.Sync_eval.Observability.profile;
+        if timeline then begin
+          let rec take n = function
+            | x :: rest when n > 0 -> x :: take (n - 1) rest
+            | _ -> []
+          in
+          Sync_trace.Timeline.pp ppf (take 40 t.Sync_eval.Observability.events)
+        end)
+      traced;
+    let groups =
+      List.map
+        (fun (t : Sync_eval.Observability.traced) ->
+          ( t.Sync_eval.Observability.row.Sync_eval.Observability.mechanism,
+            t.Sync_eval.Observability.events ))
+        traced
+    in
+    Sync_trace.Chrome.write_file out groups;
+    Format.fprintf ppf "@.wrote %s (%d mechanisms)@." out (List.length groups);
+    if not (Sync_eval.Observability.all_ok rows) then exit 1
+  in
+  let run which out duration_ms timeline =
+    match out with
+    | Some out -> run_traced out duration_ms timeline
+    | None ->
     let m =
       match which with
       | "fig1" -> Some (module Sync_problems.Rw_path.Fig1 : Sync_problems.Rw_intf.S)
@@ -362,7 +454,8 @@ let trace_cmd =
       Format.fprintf ppf "outcome: %s@."
         (Sync_problems.Rw_harness.outcome_to_string outcome)
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ which)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ which $ out $ duration_ms $ timeline)
 
 let run_cmd =
   let doc = "Run one solution's conformance checks." in
@@ -487,6 +580,13 @@ let explore_cmd =
     Arg.(value & opt int 10_000 & info [ "max-schedules" ] ~docv:"N"
            ~doc:"Schedule budget for dfs.")
   in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"SCHEDULE"
+             ~doc:"Replay one recorded schedule string (as printed by a \
+                   failing run) under event tracing and print the compact \
+                   timeline of what every task did, instead of exploring.")
+  in
   let list_catalog () =
     List.iter
       (fun (e : Scenarios.entry) ->
@@ -506,7 +606,24 @@ let explore_cmd =
       (Detsched.Schedule.to_string s.Detsched.shrunk);
     Format.fprintf ppf "  %s@." s.Detsched.message
   in
-  let run name strategy seed runs max_schedules =
+  let replay_traced sc sched_str =
+    let sched =
+      try Detsched.Schedule.of_string sched_str
+      with _ ->
+        Format.fprintf ppf "unparseable schedule %S@." sched_str;
+        exit 2
+    in
+    let v, events =
+      Sync_trace.Probe.with_tracing (fun () -> Detsched.replay sc sched)
+    in
+    Sync_trace.Timeline.pp ppf events;
+    if Detsched.verdict_ok v then Format.fprintf ppf "verdict: ok@."
+    else begin
+      Format.fprintf ppf "verdict: %s@." (Detsched.verdict_message v);
+      exit 1
+    end
+  in
+  let run name strategy seed runs max_schedules replay =
     match name with
     | None -> list_catalog ()
     | Some name -> (
@@ -517,6 +634,9 @@ let explore_cmd =
         exit 2
       | Some e -> (
         let sc = e.Scenarios.scen in
+        match replay with
+        | Some sched_str -> replay_traced sc sched_str
+        | None -> (
         match strategy with
         | "random" | "pct" -> (
           let strat = if strategy = "pct" then `Pct else `Random in
@@ -549,10 +669,11 @@ let explore_cmd =
             exit 1)
         | s ->
           Format.fprintf ppf "unknown strategy %S (random | pct | dfs)@." s;
-          exit 2))
+          exit 2)))
   in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const run $ scenario_arg $ strategy $ seed $ runs $ max_schedules)
+    Term.(const run $ scenario_arg $ strategy $ seed $ runs $ max_schedules
+          $ replay_arg)
 
 let faults_cmd =
   let doc =

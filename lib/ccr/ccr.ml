@@ -1,4 +1,5 @@
 open Sync_platform
+module Probe = Sync_trace.Probe
 
 let abort_policy : Fault.abort_policy = `Propagate
 
@@ -10,8 +11,8 @@ type 'a t = {
 }
 
 let create state =
-  { lock = Mutex.create (); changed = Condition.create (); state;
-    blocked = 0 }
+  { lock = Mutex.create ~name:"ccr.lock" (); changed = Condition.create ();
+    state; blocked = 0 }
 
 let region ?when_ t f =
   Mutex.protect t.lock (fun () ->
@@ -21,9 +22,16 @@ let region ?when_ t f =
         Fault.site "ccr.pre-wait";
         t.blocked <- t.blocked + 1;
         match
-          while not (guard t.state) do
-            Condition.wait t.changed t.lock
-          done
+          if not (guard t.state) then begin
+            let t0 = Probe.now () in
+            Condition.wait t.changed t.lock;
+            while not (guard t.state) do
+              (* Broadcast reached us but the guard is still false. *)
+              Probe.instant Spurious ~site:"ccr.guard" ~arg:0;
+              Condition.wait t.changed t.lock
+            done;
+            Probe.span Wait ~site:"ccr.guard" ~since:t0 ~arg:t.blocked
+          end
         with
         | () -> t.blocked <- t.blocked - 1
         | exception e ->
@@ -31,10 +39,14 @@ let region ?when_ t f =
              leave the blocked count over-stated. *)
           t.blocked <- t.blocked - 1;
           raise e));
+      let h0 = Probe.now () in
       match f t.state with
       | v ->
         (* Any region body may have changed the state: re-test every
            guard, also when the body aborted partway through a change. *)
+        Probe.span Hold ~site:"ccr.region" ~since:h0 ~arg:0;
+        if Probe.enabled () && t.blocked > 0 then
+          Probe.instant Signal ~site:"ccr.guard" ~arg:t.blocked;
         Condition.broadcast t.changed;
         v
       | exception e ->

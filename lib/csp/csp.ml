@@ -11,6 +11,7 @@
    operations fail fast. *)
 
 open Sync_platform
+module Probe = Sync_trace.Probe
 
 exception Poisoned of exn
 
@@ -26,12 +27,16 @@ type network = {
 }
 
 let network () =
-  { lock = Mutex.create (); next_seq = 0; poison = None; parked = [] }
+  { lock = Mutex.create ~name:"csp.lock" (); next_seq = 0; poison = None;
+    parked = [] }
 
 let poison net e =
   Mutex.protect net.lock (fun () ->
       if net.poison = None then begin
         net.poison <- Some e;
+        if Probe.enabled () then
+          Probe.instant Signal ~site:"csp.poison"
+            ~arg:(List.length net.parked);
         List.iter (fun c -> Condition.signal c.cond) net.parked
       end)
 
@@ -57,6 +62,7 @@ type 'a recv_offer = { r_cell : cell; deliver : 'a -> unit }
 type 'a chan = {
   net : network;
   cname : string;
+  csite : string; (* precomputed trace site, "csp:<name>" *)
   mutable senders : 'a send_offer list; (* FIFO, stale entries purged lazily *)
   mutable recvers : 'a recv_offer list;
 }
@@ -65,7 +71,7 @@ module Channel = struct
   type 'a t = 'a chan
 
   let create ?(name = "chan") net =
-    { net; cname = name; senders = []; recvers = [] }
+    { net; cname = name; csite = "csp:" ^ name; senders = []; recvers = [] }
 
   let name c = c.cname
 
@@ -84,11 +90,17 @@ let purge c =
   c.senders <- List.filter (fun o -> not o.s_cell.done_) c.senders;
   c.recvers <- List.filter (fun o -> not o.r_cell.done_) c.recvers
 
-let park net cell =
+let park net ~site ~depth cell =
   net.parked <- cell :: net.parked;
-  while not cell.done_ && net.poison = None do
-    Condition.wait cell.cond net.lock
-  done;
+  let t0 = Probe.now () in
+  if not cell.done_ && net.poison = None then begin
+    Condition.wait cell.cond net.lock;
+    while not cell.done_ && net.poison = None do
+      Probe.instant Spurious ~site ~arg:0;
+      Condition.wait cell.cond net.lock
+    done
+  end;
+  Probe.span Wait ~site ~since:t0 ~arg:depth;
   net.parked <- List.filter (fun c -> c != cell) net.parked;
   if not cell.done_ then begin
     match net.poison with
@@ -108,6 +120,8 @@ let pop_sender c =
     c.senders <- rest;
     o.s_cell.done_ <- true;
     o.taken ();
+    if Probe.enabled () then
+      Probe.instant Handoff ~site:c.csite ~arg:(List.length rest);
     Condition.signal o.s_cell.cond;
     Some o.value
 
@@ -119,6 +133,8 @@ let pop_recver c v =
     c.recvers <- rest;
     o.r_cell.done_ <- true;
     o.deliver v;
+    if Probe.enabled () then
+      Probe.instant Handoff ~site:c.csite ~arg:(List.length rest);
     Condition.signal o.r_cell.cond;
     true
 
@@ -128,10 +144,13 @@ let send c v =
       check_poison net;
       if not (pop_recver c v) then begin
         Fault.site "csp.pre-wait";
+        let depth =
+          if Probe.enabled () then List.length c.senders else 0
+        in
         let cell = fresh_cell net in
         c.senders <-
           c.senders @ [ { s_cell = cell; value = v; taken = ignore } ];
-        park net cell
+        park net ~site:c.csite ~depth cell
       end)
 
 let recv c =
@@ -142,11 +161,14 @@ let recv c =
       | Some v -> v
       | None -> (
         Fault.site "csp.pre-wait";
+        let depth =
+          if Probe.enabled () then List.length c.recvers else 0
+        in
         let cell = fresh_cell net in
         let slot = ref None in
         c.recvers <-
           c.recvers @ [ { r_cell = cell; deliver = (fun v -> slot := Some v) } ];
-        park net cell;
+        park net ~site:c.csite ~depth cell;
         match !slot with
         | Some v -> v
         | None -> assert false (* deliver always ran before the wakeup *)))
@@ -222,7 +244,7 @@ let select cases =
           let cell = fresh_cell net in
           let slot = ref None in
           List.iter (fun c -> c.post cell slot) cases;
-          park net cell;
+          park net ~site:"csp.select" ~depth:(List.length cases) cell;
           match !slot with
           | Some k -> k
           | None -> assert false))

@@ -9,10 +9,11 @@ type t = {
   conformance : Conformance.result list;
   robustness : Robustness.row list;
   perf : Perf.row list;
+  observability : Observability.row list;
 }
 
 let build ?(run_conformance = true) ?(run_robustness = false)
-    ?(run_perf = false) () =
+    ?(run_perf = false) ?(run_observability = false) () =
   let entries = Registry.all in
   let matrix = Expressiveness.matrix entries in
   let pairings = Independence.analyze entries in
@@ -28,7 +29,8 @@ let build ?(run_conformance = true) ?(run_robustness = false)
          match Perf.measure () with
          | Ok rows -> rows
          | Error msg -> failwith ("perf axis: " ^ msg)
-       else []) }
+       else []);
+    observability = (if run_observability then Observability.run () else []) }
 
 let pp ppf t =
   Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
@@ -66,6 +68,14 @@ let pp ppf t =
     Format.fprintf ppf
       "@.== E20: performance (closed-loop throughput + tail latency) ==@.";
     Perf.pp ppf t.perf
+  end;
+  if t.observability <> [] then begin
+    Format.fprintf ppf
+      "@.== E21: observability (traced contention, wake accounting) ==@.";
+    Observability.pp ppf t.observability;
+    if Observability.all_ok t.observability then
+      Format.fprintf ppf "every mechanism produced a complete trace@."
+    else Format.fprintf ppf "OBSERVABILITY FAILURE(S)@."
   end
 
 let to_string t = Format.asprintf "%a" pp t
@@ -172,4 +182,5 @@ let to_json t =
                   ("recovered", Emit.Int r.Robustness.recovered);
                   ("detail", Emit.Str r.Robustness.detail) ])
             t.robustness));
-      ("performance", Perf.to_json t.perf) ]
+      ("performance", Perf.to_json t.perf);
+      ("observability", Observability.to_json t.observability) ]

@@ -12,18 +12,21 @@ type t = {
   conformance : Conformance.result list;
   robustness : Robustness.row list;
   perf : Perf.row list;
+  observability : Observability.row list;
 }
 
 val build :
   ?run_conformance:bool -> ?run_robustness:bool -> ?run_perf:bool ->
-  unit -> t
+  ?run_observability:bool -> unit -> t
 (** Computes everything from {!Registry.all}. [run_conformance] (default
     true) actually executes the workload checks; disable for fast
     metadata-only views. [run_robustness] (default false — it is the
     slowest section; [bloom_eval faults] runs it standalone) adds the
     E19 fault/cancellation matrix. [run_perf] (default false) runs a live
     E20 closed-loop sweep via {!Perf.measure}; [bloom_eval load] drives
-    single runs standalone. *)
+    single runs standalone. [run_observability] (default false) adds the
+    E21 traced-contention audit via {!Observability.run}; [bloom_eval
+    trace] drives full traced runs standalone. *)
 
 val pp : Format.formatter -> t -> unit
 

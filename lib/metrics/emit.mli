@@ -28,3 +28,25 @@ val write_file : string -> t -> unit
 val csv_line : string list -> string
 (** One CSV record: fields are quoted when they contain commas, quotes
     or newlines; embedded quotes are doubled. No trailing newline. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Read a JSON document back into the value type. Covers what this
+    module emits (and standard JSON generally): objects, arrays, strings
+    with escapes ([\uXXXX] decoded to UTF-8; astral surrogate pairs are
+    not recombined), numbers, booleans, null. Numbers without [.]/[e]
+    parse as {!Int} when they fit. Raises {!Parse_error} on malformed
+    input. *)
+
+val parse_file : string -> t
+(** {!parse} the entire contents of a file. *)
+
+val member : string -> t -> t option
+(** [member key v] is the field [key] of object [v], if both exist. *)
+
+val to_list : t -> t list
+(** Elements of a {!List}; [[]] for any other value. *)
+
+val number : t -> float option
+(** Numeric value of an {!Int} or {!Float}; [None] otherwise. *)

@@ -1,4 +1,5 @@
 open Sync_platform
+module Probe = Sync_trace.Probe
 
 type discipline = [ `Hoare | `Mesa ]
 
@@ -23,8 +24,10 @@ type t = {
 }
 
 let create ?(discipline = `Hoare) () =
-  { lock = Mutex.create (); disc = discipline; busy = false;
-    entry = Waitq.create (); urgent = Waitq.create () }
+  { lock = Mutex.create ~name:"monitor.lock" (); disc = discipline;
+    busy = false;
+    entry = Waitq.create ~name:"monitor.entry" ();
+    urgent = Waitq.create ~name:"monitor.urgent" () }
 
 let discipline t = t.disc
 
@@ -36,10 +39,12 @@ let grant t =
   else t.busy <- false
 
 let enter t =
+  let t0 = Probe.now () in
   Mutex.protect t.lock (fun () ->
       if t.busy then
         Waitq.wait t.entry ~lock:t.lock () ~on_abort:(fun () -> grant t)
-      else t.busy <- true)
+      else t.busy <- true);
+  Probe.span Acquire ~site:"monitor" ~since:t0 ~arg:0
 
 (* Must hold t.lock; the caller does NOT own the monitor (its grant was
    passed on when it began waiting or signalling). Re-acquires through
@@ -57,11 +62,14 @@ let exit t = Mutex.protect t.lock (fun () -> grant t)
 
 let with_monitor t f =
   enter t;
+  let h0 = Probe.now () in
   match f () with
   | v ->
+    Probe.span Hold ~site:"monitor" ~since:h0 ~arg:0;
     exit t;
     v
   | exception e ->
+    Probe.span Hold ~site:"monitor" ~since:h0 ~arg:0;
     exit t;
     raise e
 
@@ -72,7 +80,7 @@ module Cond = struct
 
   type t = { mon : monitor; q : int Waitq.t }
 
-  let create mon = { mon; q = Waitq.create () }
+  let create mon = { mon; q = Waitq.create ~name:"monitor.cond" () }
 
   let rank_cmp = (compare : int -> int -> int)
 
@@ -114,7 +122,9 @@ module Cond = struct
   let signal c =
     let m = c.mon in
     Mutex.protect m.lock (fun () ->
-        if not (Waitq.is_empty c.q) then
+        if not (Waitq.is_empty c.q) then begin
+          if Probe.enabled () then
+            Probe.instant Signal ~site:"monitor.cond" ~arg:(Waitq.length c.q);
           match m.disc with
           | `Hoare -> (
             (* Transfer the monitor to the chosen waiter; park on urgent. *)
@@ -126,7 +136,8 @@ module Cond = struct
             | exception e ->
               reacquire m;
               raise e)
-          | `Mesa -> ignore (Waitq.wake_min c.q ~cmp:rank_cmp))
+          | `Mesa -> ignore (Waitq.wake_min c.q ~cmp:rank_cmp)
+        end)
 
   let broadcast c =
     let m = c.mon in

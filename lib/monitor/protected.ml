@@ -3,10 +3,12 @@
    must not itself be abortable — an injection there would leave flags and
    counts pointing at an effect that already happened. *)
 let access m ~before ~after ?abort op =
+  let t0 = Sync_trace.Probe.now () in
   Monitor.with_monitor m before;
   match op () with
   | v ->
     Sync_platform.Fault.mask (fun () -> Monitor.with_monitor m after);
+    Sync_trace.Probe.span Op ~site:"protected.access" ~since:t0 ~arg:0;
     v
   | exception e ->
     Sync_platform.Fault.mask (fun () ->

@@ -18,11 +18,11 @@ let semaphore () =
   { name = "semaphore"; make_sem; pred_gate = None; poke = (fun () -> ()) }
 
 let gate () =
-  let lock = Mutex.create () in
+  let lock = Mutex.create ~name:"path.lock" () in
   let changed = Condition.create () in
   let make_sem n =
     let tokens = ref n in
-    let q : unit Waitq.t = Waitq.create () in
+    let q : unit Waitq.t = Waitq.create ~name:"path.gate" () in
     let p () =
       Mutex.protect lock (fun () ->
           if !tokens > 0 && Waitq.is_empty q then decr tokens
@@ -44,9 +44,15 @@ let gate () =
   in
   let pred_gate f =
     Mutex.protect lock (fun () ->
-        while not (f ()) do
-          Condition.wait changed lock
-        done)
+        if not (f ()) then begin
+          let t0 = Sync_trace.Probe.now () in
+          Condition.wait changed lock;
+          while not (f ()) do
+            Sync_trace.Probe.instant Spurious ~site:"path.pred" ~arg:0;
+            Condition.wait changed lock
+          done;
+          Sync_trace.Probe.span Wait ~site:"path.pred" ~since:t0 ~arg:0
+        end)
   in
   let poke () =
     Mutex.protect lock (fun () -> Condition.broadcast changed)

@@ -24,6 +24,7 @@ let run t op body =
   match List.assoc_opt op t.table with
   | None -> raise (Unknown_operation op)
   | Some wrappers ->
+    let t0 = Sync_trace.Probe.now () in
     (* Roll back on abort: whether a prologue aborts partway (e.g. while
        blocked on the second of several path counters) or the body raises,
        return the tokens the completed prologues consumed — newest first —
@@ -52,6 +53,7 @@ let run t op body =
       Sync_platform.Fault.mask (fun () ->
           List.iter (fun w -> w.Compile.epilogue ()) wrappers;
           t.engine.Engine.poke ());
+      Sync_trace.Probe.span Op ~site:"pathexpr.op" ~since:t0 ~arg:0;
       v
     | exception e ->
       unwind ();

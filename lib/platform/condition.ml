@@ -1,18 +1,34 @@
+module Probe = Sync_trace.Probe
+
 type t = Sys of Stdlib.Condition.t | Det of Detrt.cond
 
 let create () =
   if Detrt.active () then Det (Detrt.cond ())
   else Sys (Stdlib.Condition.create ())
 
+(* Waiting releases the mutex internally, so the holder's Hold span must
+   close here (park time is wait time, not hold time) and restart when
+   the waiter re-acquires. *)
+let close_hold (m : Mutex.t) =
+  if m.Mutex.acquired_at <> 0 then begin
+    Probe.span Hold ~site:m.Mutex.name ~since:m.Mutex.acquired_at ~arg:0;
+    m.Mutex.acquired_at <- 0
+  end
+
+let reopen_hold (m : Mutex.t) =
+  if Probe.enabled () then m.Mutex.acquired_at <- Probe.now ()
+
 let wait c (m : Mutex.t) =
-  match (c, m.Mutex.impl) with
+  close_hold m;
+  (match (c, m.Mutex.impl) with
   | Sys c, Mutex.Sys m -> Stdlib.Condition.wait c m
   | Det c, Mutex.Det m -> Detrt.cond_wait c m
   | Sys _, Mutex.Det _ | Det _, Mutex.Sys _ ->
     failwith
       "Condition.wait: condition and mutex from different worlds (one \
        deterministic, one system); create both inside or both outside the \
-       deterministic run"
+       deterministic run");
+  reopen_hold m
 
 (* Timed wait by bounded polling: stdlib condition variables have no
    timed wait, so [wait_for] releases the mutex, lets someone else run,
@@ -25,6 +41,7 @@ let wait_for c (m : Mutex.t) ~deadline =
   ignore c;
   if Deadline.expired deadline then false
   else begin
+    close_hold m;
     (match m.Mutex.impl with
     | Mutex.Sys sm ->
       Stdlib.Mutex.unlock sm;
@@ -34,6 +51,7 @@ let wait_for c (m : Mutex.t) ~deadline =
       Detrt.mutex_unlock dm;
       Detrt.yield ();
       Detrt.mutex_lock dm);
+    reopen_hold m;
     true
   end
 

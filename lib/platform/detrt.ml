@@ -210,7 +210,8 @@ let self_info () =
 
 let () =
   Deadlock.set_task_provider self_info;
-  Fault.set_task_provider (fun () -> Option.map fst (self_info ()))
+  Fault.set_task_provider (fun () -> Option.map fst (self_info ()));
+  Sync_trace.Probe.set_task_provider (fun () -> Option.map fst (self_info ()))
 
 let await_quiescence () =
   if in_fiber () then Effect.perform Quiesce

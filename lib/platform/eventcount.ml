@@ -1,3 +1,5 @@
+module Probe = Sync_trace.Probe
+
 module Eventcount = struct
   type t = {
     lock : Mutex.t;
@@ -7,8 +9,8 @@ module Eventcount = struct
   }
 
   let create ?(initial = 0) () =
-    { lock = Mutex.create (); moved = Condition.create (); count = initial;
-      blocked = 0 }
+    { lock = Mutex.create ~name:"evc.lock" (); moved = Condition.create ();
+      count = initial; blocked = 0 }
 
   let read t =
     Mutex.lock t.lock;
@@ -19,6 +21,8 @@ module Eventcount = struct
   let advance t =
     Mutex.lock t.lock;
     t.count <- t.count + 1;
+    if Probe.enabled () && t.blocked > 0 then
+      Probe.instant Signal ~site:"evc" ~arg:t.blocked;
     Condition.broadcast t.moved;
     Mutex.unlock t.lock
 
@@ -26,6 +30,8 @@ module Eventcount = struct
     Mutex.lock t.lock;
     if n > t.count then begin
       t.count <- n;
+      if Probe.enabled () && t.blocked > 0 then
+        Probe.instant Signal ~site:"evc" ~arg:t.blocked;
       Condition.broadcast t.moved
     end;
     Mutex.unlock t.lock
@@ -33,9 +39,16 @@ module Eventcount = struct
   let await t n =
     Mutex.lock t.lock;
     t.blocked <- t.blocked + 1;
-    while t.count < n do
-      Condition.wait t.moved t.lock
-    done;
+    if t.count < n then begin
+      let t0 = Probe.now () in
+      Condition.wait t.moved t.lock;
+      while t.count < n do
+        (* Broadcast advanced the count, but not far enough for us. *)
+        Probe.instant Spurious ~site:"evc" ~arg:0;
+        Condition.wait t.moved t.lock
+      done;
+      Probe.span Wait ~site:"evc" ~since:t0 ~arg:t.blocked
+    end;
     t.blocked <- t.blocked - 1;
     Mutex.unlock t.lock
 
@@ -49,7 +62,7 @@ end
 module Sequencer = struct
   type t = { lock : Mutex.t; mutable next : int }
 
-  let create () = { lock = Mutex.create (); next = 0 }
+  let create () = { lock = Mutex.create ~name:"seq.lock" (); next = 0 }
 
   let ticket t =
     Mutex.lock t.lock;

@@ -1,3 +1,5 @@
+module Probe = Sync_trace.Probe
+
 type impl = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
 
 type t = {
@@ -5,18 +7,27 @@ type t = {
   (* Watchdog resource id for the Sys half; -1 when the watchdog was off
      at creation. Det mutexes carry their own id inside Detrt. *)
   rid : int;
+  name : string;
+  (* Timestamp of the last successful acquire by the current holder; 0
+     when tracing is off. Written only under the lock, so plain mutable
+     is safe. Condition.wait resets it when the waiter re-acquires. *)
+  mutable acquired_at : int;
 }
 
-let create () =
-  if Detrt.active () then { impl = Det (Detrt.mutex ()); rid = -1 }
+let create ?(name = "mutex") () =
+  if Detrt.active () then
+    { impl = Det (Detrt.mutex ()); rid = -1; name; acquired_at = 0 }
   else
     { impl = Sys (Stdlib.Mutex.create ());
       rid =
         (if Deadlock.enabled () then Deadlock.register ~kind:"mutex" ()
-         else -1) }
+         else -1);
+      name;
+      acquired_at = 0 }
 
 let lock t =
-  match t.impl with
+  let t0 = Probe.now () in
+  (match t.impl with
   | Sys m ->
     if t.rid >= 0 && Deadlock.enabled () then begin
       Deadlock.blocked t.rid;
@@ -24,9 +35,17 @@ let lock t =
       Deadlock.acquired t.rid
     end
     else Stdlib.Mutex.lock m
-  | Det m -> Detrt.mutex_lock m
+  | Det m -> Detrt.mutex_lock m);
+  if t0 <> 0 then begin
+    Probe.span Acquire ~site:t.name ~since:t0 ~arg:0;
+    t.acquired_at <- Probe.now ()
+  end
 
 let unlock t =
+  if t.acquired_at <> 0 then begin
+    Probe.span Hold ~site:t.name ~since:t.acquired_at ~arg:0;
+    t.acquired_at <- 0
+  end;
   match t.impl with
   | Sys m ->
     if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
@@ -34,12 +53,16 @@ let unlock t =
   | Det m -> Detrt.mutex_unlock m
 
 let try_lock t =
-  match t.impl with
-  | Sys m ->
-    let ok = Stdlib.Mutex.try_lock m in
-    if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
-    ok
-  | Det m -> Detrt.mutex_try_lock m
+  let ok =
+    match t.impl with
+    | Sys m ->
+      let ok = Stdlib.Mutex.try_lock m in
+      if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
+      ok
+    | Det m -> Detrt.mutex_try_lock m
+  in
+  if ok then t.acquired_at <- Probe.now ();
+  ok
 
 let try_lock_for t ~timeout_ns =
   let deadline = Deadline.after_ns timeout_ns in

@@ -14,10 +14,17 @@
 
 type impl = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
 
-type t = { impl : impl; rid : int }
+type t = {
+  impl : impl;
+  rid : int;
+  name : string;
+  mutable acquired_at : int;
+}
 
-val create : unit -> t
-(** System mutex normally; deterministic mutex inside a {!Detrt} run. *)
+val create : ?name:string -> unit -> t
+(** System mutex normally; deterministic mutex inside a {!Detrt} run.
+    [name] (default ["mutex"]) is the trace site label: when tracing is
+    on, [lock]/[unlock] emit acquire and hold spans against it. *)
 
 val lock : t -> unit
 

@@ -1,3 +1,5 @@
+module Probe = Sync_trace.Probe
+
 type fairness = [ `Strong | `Weak ]
 
 module Counting = struct
@@ -18,7 +20,8 @@ module Counting = struct
 
   let create ?(fairness = `Strong) n =
     if n < 0 then invalid_arg "Semaphore.Counting.create: negative value";
-    { mutex = Mutex.create (); fairness; queue = Waitq.create ();
+    { mutex = Mutex.create ~name:"sem.lock" (); fairness;
+      queue = Waitq.create ~name:"sem.q" ();
       cond = Condition.create (); value = n; weak_waiters = 0;
       srid =
         (if Deadlock.enabled () then Deadlock.register ~kind:"semaphore" ()
@@ -42,9 +45,16 @@ module Counting = struct
           t.weak_waiters <- t.weak_waiters + 1;
           if t.srid >= 0 then Deadlock.blocked t.srid;
           match
-            while t.value = 0 do
-              Condition.wait t.cond t.mutex
-            done
+            if t.value = 0 then begin
+              let t0 = Probe.now () in
+              Condition.wait t.cond t.mutex;
+              while t.value = 0 do
+                (* Broadcast race lost: another woken waiter took the unit. *)
+                Probe.instant Spurious ~site:"sem.cond" ~arg:0;
+                Condition.wait t.cond t.mutex
+              done;
+              Probe.span Wait ~site:"sem.cond" ~since:t0 ~arg:t.weak_waiters
+            end
           with
           | () ->
             if t.srid >= 0 then Deadlock.unblocked ();
@@ -95,6 +105,8 @@ module Counting = struct
           if not (Waitq.wake_first t.queue) then t.value <- t.value + 1
         | `Weak ->
           t.value <- t.value + 1;
+          if Probe.enabled () then
+            Probe.instant Signal ~site:"sem.cond" ~arg:t.weak_waiters;
           Condition.signal t.cond)
 
   let try_p t =
@@ -120,7 +132,8 @@ module Binary = struct
   type t = { mutex : Mutex.t; queue : unit Waitq.t; mutable value : int }
 
   let create open_ =
-    { mutex = Mutex.create (); queue = Waitq.create ();
+    { mutex = Mutex.create ~name:"binsem.lock" ();
+      queue = Waitq.create ~name:"binsem.q" ();
       value = (if open_ then 1 else 0) }
 
   let redonate t () = if not (Waitq.wake_first t.queue) then t.value <- 1

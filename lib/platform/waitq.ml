@@ -1,3 +1,5 @@
+module Probe = Sync_trace.Probe
+
 type 'a waiter = {
   tag : 'a;
   cond : Condition.t;
@@ -10,13 +12,15 @@ type 'a t = {
   mutable next_seq : int;
   (* Watchdog resource id; -1 when the watchdog was off at creation. *)
   qrid : int;
+  name : string; (* trace site for wait/handoff/signal events *)
 }
 
-let create () =
+let create ?(name = "waitq") () =
   { waiters = []; next_seq = 0;
     qrid =
       (if Deadlock.enabled () then Deadlock.register ~kind:"waitq" ()
-       else -1) }
+       else -1);
+    name }
 
 let length t = List.length t.waiters
 
@@ -48,16 +52,26 @@ let post_wakeup on_abort =
 
 let wait ?on_abort t ~lock tag =
   Fault.site "waitq.pre-wait";
+  let t0 = Probe.now () in
+  let depth = if t0 = 0 then 0 else List.length t.waiters in
   let w = enqueue t tag in
   if t.qrid >= 0 then Deadlock.blocked t.qrid;
-  while not w.released do
-    Condition.wait w.cond lock
-  done;
+  if not w.released then begin
+    Condition.wait w.cond lock;
+    while not w.released do
+      (* Woken but not released: a spurious wakeup, absorbed here. *)
+      Probe.instant Spurious ~site:t.name ~arg:0;
+      Condition.wait w.cond lock
+    done
+  end;
   if t.qrid >= 0 then Deadlock.unblocked ();
+  Probe.span Wait ~site:t.name ~since:t0 ~arg:depth;
   post_wakeup on_abort
 
 let wait_for ?on_abort t ~lock ~deadline tag =
   Fault.site "waitq.pre-wait";
+  let t0 = Probe.now () in
+  let depth = if t0 = 0 then 0 else List.length t.waiters in
   let w = enqueue t tag in
   if t.qrid >= 0 then Deadlock.blocked t.qrid;
   let rec park () =
@@ -68,12 +82,14 @@ let wait_for ?on_abort t ~lock ~deadline tag =
   let granted = park () in
   if t.qrid >= 0 then Deadlock.unblocked ();
   if granted then begin
+    Probe.span Wait ~site:t.name ~since:t0 ~arg:depth;
     post_wakeup on_abort;
     true
   end
   else begin
     (* Cancel: unhook ourselves so a waker never picks a gone waiter. *)
     remove t w;
+    if t0 <> 0 then Probe.instant Abandon ~site:t.name ~arg:(Probe.now () - t0);
     false
   end
 
@@ -82,6 +98,8 @@ let tags t = List.map (fun w -> w.tag) t.waiters
 let release t w =
   remove t w;
   w.released <- true;
+  if Probe.enabled () then
+    Probe.instant Handoff ~site:t.name ~arg:(List.length t.waiters);
   Condition.signal w.cond
 
 let wake_first t =
@@ -126,7 +144,9 @@ let wake_all t =
       w.released <- true;
       Condition.signal w.cond)
     ws;
-  List.length ws
+  let n = List.length ws in
+  if n > 0 then Probe.instant Signal ~site:t.name ~arg:n;
+  n
 
 let min_tag t ~cmp =
   match select_min t ~cmp with None -> None | Some w -> Some w.tag

@@ -20,7 +20,13 @@ type 'a t
 type 'a waiter
 (** A handle for one parked thread. *)
 
-val create : unit -> 'a t
+val create : ?name:string -> unit -> 'a t
+(** [name] (default ["waitq"]) is the trace site label. When tracing is
+    on, parking emits a wait span (arg = queue depth at enqueue) plus a
+    spurious instant per absorbed wakeup; releasing a waiter emits a
+    handoff instant (arg = waiters left); {!wake_all} emits one signal
+    instant (arg = waiters woken); an expired {!wait_for} emits an
+    abandon instant (arg = ns spent parked). *)
 
 val length : 'a t -> int
 (** Number of currently parked (not yet released) waiters. *)

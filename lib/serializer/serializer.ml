@@ -10,6 +10,7 @@
    failure in its own context after passing possession on. *)
 
 open Sync_platform
+module Probe = Sync_trace.Probe
 
 let abort_policy : Fault.abort_policy = `Propagate
 
@@ -22,7 +23,11 @@ type waiter = {
   mutable w_exn : exn option; (* guard failure, delivered to the waiter *)
 }
 
-type queue = { qname : string; mutable waiters : waiter list (* sorted *) }
+type queue = {
+  qname : string;
+  qsite : string; (* precomputed trace site, "serializer.q:<name>" *)
+  mutable waiters : waiter list; (* sorted *)
+}
 
 type crowd = { cname : string; mutable members : int }
 
@@ -35,8 +40,8 @@ type t = {
 }
 
 let create () =
-  { lock = Mutex.create (); busy = false; entry = []; queues = [];
-    next_seq = 0 }
+  { lock = Mutex.create ~name:"serializer.lock" (); busy = false; entry = [];
+    queues = []; next_seq = 0 }
 
 let fresh_waiter t ?(rank = 0) guard =
   let w =
@@ -85,39 +90,53 @@ let release_possession t =
   | Some (q, w) ->
     q.waiters <- List.filter (fun w' -> w' != w) q.waiters;
     w.released <- true;
+    if Probe.enabled () then
+      Probe.instant Handoff ~site:q.qsite ~arg:(List.length q.waiters);
     Condition.signal w.cond
   | None -> (
     match t.entry with
     | w :: rest ->
       t.entry <- rest;
       w.released <- true;
+      if Probe.enabled () then
+        Probe.instant Handoff ~site:"serializer.entry"
+          ~arg:(List.length t.entry);
       Condition.signal w.cond
     | [] -> t.busy <- false)
 
-let park t w =
-  while not w.released do
-    Condition.wait w.cond t.lock
-  done
+let park t ~site w =
+  if not w.released then begin
+    Condition.wait w.cond t.lock;
+    while not w.released do
+      Probe.instant Spurious ~site ~arg:0;
+      Condition.wait w.cond t.lock
+    done
+  end
 
 let acquire t =
+  let t0 = Probe.now () in
   Mutex.protect t.lock (fun () ->
       if t.busy then begin
         Fault.site "serializer.pre-wait";
         let w = fresh_waiter t (fun () -> true) in
         t.entry <- t.entry @ [ w ];
-        park t w
+        park t ~site:"serializer.entry" w
       end
-      else t.busy <- true)
+      else t.busy <- true);
+  Probe.span Acquire ~site:"serializer.entry" ~since:t0 ~arg:0
 
 let release t = Mutex.protect t.lock (fun () -> release_possession t)
 
 let with_serializer t f =
   acquire t;
+  let h0 = Probe.now () in
   match f () with
   | v ->
+    Probe.span Hold ~site:"serializer" ~since:h0 ~arg:0;
     release t;
     v
   | exception e ->
+    Probe.span Hold ~site:"serializer" ~since:h0 ~arg:0;
     release t;
     raise e
 
@@ -129,7 +148,7 @@ module Queue = struct
   type t = { owner : serializer; q : queue }
 
   let create ?(name = "queue") owner =
-    let q = { qname = name; waiters = [] } in
+    let q = { qname = name; qsite = "serializer.q:" ^ name; waiters = [] } in
     Mutex.protect owner.lock (fun () -> owner.queues <- owner.queues @ [ q ]);
     { owner; q }
 
@@ -170,10 +189,13 @@ let enqueue ?rank (q : Queue.t) ~until =
          untouched and unwinds with possession still held, released by
          [with_serializer]'s bracket. *)
       Fault.site "serializer.pre-wait";
+      let t0 = Probe.now () in
+      let depth = if t0 = 0 then 0 else List.length q.Queue.q.waiters in
       let w = fresh_waiter t ?rank until in
       q.Queue.q.waiters <- insert_sorted w q.Queue.q.waiters;
       release_possession t;
-      park t w;
+      park t ~site:q.Queue.q.qsite w;
+      Probe.span Wait ~site:q.Queue.q.qsite ~since:t0 ~arg:depth;
       match w.w_exn with
       | None -> ()
       | Some e ->
@@ -192,7 +214,7 @@ let join_crowd (c : Crowd.t) ~body =
         if t.busy then begin
           let w = fresh_waiter t (fun () -> true) in
           t.entry <- t.entry @ [ w ];
-          park t w
+          park t ~site:"serializer.entry" w
         end
         else t.busy <- true;
         c.Crowd.c.members <- c.Crowd.c.members - 1)

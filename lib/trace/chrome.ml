@@ -1,0 +1,73 @@
+open Sync_metrics
+
+(* Chrome trace_event JSON (the "JSON Array Format" chrome://tracing and
+   Perfetto load). Each traced run becomes one "process"; actors become
+   "threads" under it, named through metadata events. Spans are complete
+   events (ph "X"), instants are thread-scoped instant events (ph "i").
+   Timestamps are microsecond floats, rebased to the earliest event so
+   the viewer opens at t=0. Everything goes through [Emit], so string
+   escaping is shared with (and tested like) the other JSON artifacts. *)
+
+(* Chrome tids must be non-negative; virtual actors are encoded negative
+   by [Probe], so give them a disjoint positive band. *)
+let tid_of_actor a = if a < 0 then 1_000_000 + (-a - 1) else a
+
+let args_json (e : Probe.event) =
+  let base = [ ("arg", Emit.Int e.arg) ] in
+  if e.op = "" then base else ("op", Emit.Str e.op) :: base
+
+let event_json ~pid ~base (e : Probe.event) =
+  let common =
+    [ ("name", Emit.Str e.site);
+      ("cat", Emit.Str (Probe.kind_to_string e.kind));
+      ("ts", Emit.Float (float_of_int (e.t0 - base) /. 1e3));
+      ("pid", Emit.Int pid);
+      ("tid", Emit.Int (tid_of_actor e.actor));
+      ("args", Emit.Obj (args_json e)) ]
+  in
+  if Probe.is_span e.kind then
+    Emit.Obj
+      (("ph", Emit.Str "X")
+       :: ("dur", Emit.Float (float_of_int e.dur /. 1e3))
+       :: common)
+  else Emit.Obj (("ph", Emit.Str "i") :: ("s", Emit.Str "t") :: common)
+
+let metadata ~pid ~name ~tid ~value =
+  Emit.Obj
+    [ ("ph", Emit.Str "M"); ("name", Emit.Str name); ("pid", Emit.Int pid);
+      ("tid", Emit.Int tid); ("args", Emit.Obj [ ("name", Emit.Str value) ]) ]
+
+(* [groups] pairs a process label (e.g. "monitor@bounded-buffer") with
+   that run's snapshot. *)
+let to_json groups =
+  let base =
+    List.fold_left
+      (fun acc (_, evs) ->
+        List.fold_left
+          (fun acc (e : Probe.event) -> min acc e.t0)
+          acc evs)
+      max_int groups
+  in
+  let base = if base = max_int then 0 else base in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (label, evs) ->
+           let pid = i + 1 in
+           let actors =
+             List.sort_uniq compare
+               (List.map (fun (e : Probe.event) -> e.actor) evs)
+           in
+           metadata ~pid ~name:"process_name" ~tid:0 ~value:label
+           :: List.map
+                (fun a ->
+                  metadata ~pid ~name:"thread_name" ~tid:(tid_of_actor a)
+                    ~value:(Probe.actor_label a))
+                actors
+           @ List.map (event_json ~pid ~base) evs)
+         groups)
+  in
+  Emit.Obj
+    [ ("traceEvents", Emit.List events); ("displayTimeUnit", Emit.Str "ns") ]
+
+let write_file path groups = Emit.write_file path (to_json groups)

@@ -1,0 +1,11 @@
+(** Chrome [trace_event] exporter: load the output in [chrome://tracing]
+    or {{:https://ui.perfetto.dev}Perfetto}. Each [(label, events)]
+    group renders as one process (the label names it), with one named
+    thread lane per recording actor — OS threads as [t<id>], virtual
+    deterministic-run tasks as [v<id>]. Span kinds become complete
+    events with real durations; instant kinds (signal, handoff,
+    spurious, abandon) become thread-scoped instants. *)
+
+val to_json : (string * Probe.event list) list -> Sync_metrics.Emit.t
+
+val write_file : string -> (string * Probe.event list) list -> unit

@@ -1,0 +1,224 @@
+(* The hot half of the observability layer: a global static flag and
+   per-thread ring buffers.
+
+   Contention design mirrors [Sync_metrics.Recorder]: share-nothing. Each
+   OS thread (workers are threads or domain mains) records into its own
+   ring buffer, found by an indexed slot keyed on the thread id; buffers
+   are snapshotted after the traced region quiesces. The ring is a
+   struct-of-arrays so one event is a handful of scalar stores into
+   preallocated arrays — no per-event allocation.
+
+   Disabled cost is the whole game: every probe entry point reads one
+   atomic flag and returns. No closure is built, no optional argument is
+   boxed, no clock is read, nothing is allocated — verified by the
+   Gc-stat test in test_trace and the A/B cell in bench_load. *)
+
+type kind =
+  | Acquire   (* span: blocked entering a lock / region / possession *)
+  | Hold      (* span: a lock, monitor or possession was held *)
+  | Wait      (* span: parked on a queue or condition; arg = queue depth *)
+  | Op        (* span: one mechanism-level operation *)
+  | Signal    (* instant: a wake was issued; arg = waiters present *)
+  | Handoff   (* instant: grant handed directly to a waiter; arg = left *)
+  | Abandon   (* instant: a timed wait gave up; arg = ns spent waiting *)
+  | Spurious  (* instant: woken with the awaited predicate still false *)
+
+let kind_to_string = function
+  | Acquire -> "acquire"
+  | Hold -> "hold"
+  | Wait -> "wait"
+  | Op -> "op"
+  | Signal -> "signal"
+  | Handoff -> "handoff"
+  | Abandon -> "abandon"
+  | Spurious -> "spurious"
+
+let is_span = function
+  | Acquire | Hold | Wait | Op -> true
+  | Signal | Handoff | Abandon | Spurious -> false
+
+let kind_index = function
+  | Acquire -> 0
+  | Hold -> 1
+  | Wait -> 2
+  | Op -> 3
+  | Signal -> 4
+  | Handoff -> 5
+  | Abandon -> 6
+  | Spurious -> 7
+
+let kind_of_index =
+  [| Acquire; Hold; Wait; Op; Signal; Handoff; Abandon; Spurious |]
+
+(* The static flag. A single atomic load guards every probe; [enabled]
+   is the first thing each entry point checks, before any allocation. *)
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let enable () = Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let default_capacity = 65_536
+
+let capacity = ref default_capacity
+
+let set_capacity n =
+  if n < 2 then invalid_arg "Probe.set_capacity: need at least 2 slots";
+  capacity := n
+
+(* Per-thread ring buffer. Only the owning thread writes; [pos] counts
+   every event ever written, so [pos - cap] events have been overwritten
+   once the ring wraps. *)
+type buffer = {
+  btid : int;
+  cap : int;
+  bkind : int array;
+  bsite : string array;
+  bop : string array;
+  bt0 : int array;
+  bdur : int array;
+  barg : int array;
+  bactor : int array;
+  mutable bop_cur : string;
+  mutable pos : int;
+}
+
+let make_buffer tid =
+  let cap = !capacity in
+  { btid = tid; cap;
+    bkind = Array.make cap 0;
+    bsite = Array.make cap "";
+    bop = Array.make cap "";
+    bt0 = Array.make cap 0;
+    bdur = Array.make cap 0;
+    barg = Array.make cap 0;
+    bactor = Array.make cap 0;
+    bop_cur = ""; pos = 0 }
+
+(* Buffer lookup: a fixed array of atomic slots indexed by thread id.
+   The slot is re-verified against the owner's id, so a (rare) index
+   collision allocates a fresh buffer for the newcomer instead of
+   sharing; the displaced buffer stays reachable through [registry]. *)
+let slot_count = 256
+
+let slots =
+  Array.init slot_count (fun _ -> Atomic.make (None : buffer option))
+
+let registry_lock = Stdlib.Mutex.create ()
+
+let registry : buffer list ref = ref []
+
+let my_buffer () =
+  let tid = Thread.id (Thread.self ()) in
+  let slot = slots.(tid land (slot_count - 1)) in
+  match Atomic.get slot with
+  | Some b when b.btid = tid -> b
+  | _ ->
+    let b = make_buffer tid in
+    Stdlib.Mutex.lock registry_lock;
+    registry := b :: !registry;
+    Stdlib.Mutex.unlock registry_lock;
+    Atomic.set slot (Some b);
+    b
+
+(* Actor ids: the OS thread id normally; inside a deterministic run the
+   virtual task id, reported by the runtime through the same provider
+   pattern Fault/Deadlock use. Virtual actors are encoded negative so a
+   timeline can tell the two worlds apart. *)
+let task_provider : (unit -> int option) ref = ref (fun () -> None)
+
+let set_task_provider f = task_provider := f
+
+let current_actor b =
+  match !task_provider () with Some vt -> -(vt + 1) | None -> b.btid
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let now () = if enabled () then now_ns () else 0
+
+let write b k ~site ~t0 ~dur ~arg =
+  let i = b.pos mod b.cap in
+  b.bkind.(i) <- kind_index k;
+  b.bsite.(i) <- site;
+  b.bop.(i) <- b.bop_cur;
+  b.bt0.(i) <- t0;
+  b.bdur.(i) <- dur;
+  b.barg.(i) <- arg;
+  b.bactor.(i) <- current_actor b;
+  b.pos <- b.pos + 1
+
+let span k ~site ~since ~arg =
+  if enabled () && since <> 0 then begin
+    let b = my_buffer () in
+    write b k ~site ~t0:since ~dur:(now_ns () - since) ~arg
+  end
+
+let instant k ~site ~arg =
+  if enabled () then begin
+    let b = my_buffer () in
+    write b k ~site ~t0:(now_ns ()) ~dur:0 ~arg
+  end
+
+let set_op name = if enabled () then (my_buffer ()).bop_cur <- name
+
+let reset () =
+  Stdlib.Mutex.lock registry_lock;
+  registry := [];
+  Stdlib.Mutex.unlock registry_lock;
+  Array.iter (fun s -> Atomic.set s None) slots
+
+(* -- snapshots ----------------------------------------------------- *)
+
+type event = {
+  t0 : int;
+  dur : int;
+  kind : kind;
+  site : string;
+  op : string;
+  actor : int;
+  arg : int;
+}
+
+let buffer_events b =
+  let n = min b.pos b.cap in
+  let start = b.pos - n in
+  List.init n (fun j ->
+      let i = (start + j) mod b.cap in
+      { t0 = b.bt0.(i); dur = b.bdur.(i);
+        kind = kind_of_index.(b.bkind.(i));
+        site = b.bsite.(i); op = b.bop.(i);
+        actor = b.bactor.(i); arg = b.barg.(i) })
+
+let buffers () =
+  Stdlib.Mutex.lock registry_lock;
+  let bs = !registry in
+  Stdlib.Mutex.unlock registry_lock;
+  bs
+
+let snapshot () =
+  buffers ()
+  |> List.concat_map buffer_events
+  |> List.sort (fun a b ->
+         match compare a.t0 b.t0 with 0 -> compare b.dur a.dur | c -> c)
+
+let total () = List.fold_left (fun acc b -> acc + b.pos) 0 (buffers ())
+
+let dropped () =
+  List.fold_left (fun acc b -> acc + max 0 (b.pos - b.cap)) 0 (buffers ())
+
+let with_tracing f =
+  reset ();
+  enable ();
+  match f () with
+  | v ->
+    disable ();
+    let evs = snapshot () in
+    (v, evs)
+  | exception e ->
+    disable ();
+    raise e
+
+let actor_label a =
+  if a < 0 then Printf.sprintf "v%d" (-a - 1) else Printf.sprintf "t%d" a

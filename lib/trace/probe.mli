@@ -1,0 +1,96 @@
+(** Low-overhead structured event probes (the E21 observability layer).
+
+    The platform primitives ([Mutex], [Waitq], [Semaphore]) and every
+    mechanism library call these entry points at their interesting
+    moments: blocking to acquire, holding, parking on a queue, issuing a
+    wake, handing a grant directly to a waiter. Each event carries a
+    {e site} (a static string naming the instrumented structure), the
+    current {e operation} label (stamped per worker by the load engine),
+    the recording {e actor} (OS thread, or virtual task inside a
+    deterministic run, encoded negative), a start timestamp, a duration
+    (spans) and one integer argument whose meaning depends on the kind
+    (queue depth, waiters woken, nanoseconds abandoned...).
+
+    Recording is share-nothing: one ring buffer per thread, wraparound
+    overwrites the oldest events ({!dropped} counts them). When tracing
+    is disabled — the default — every probe is one atomic flag read and
+    a branch: no clock read, no allocation. That claim is machine-checked
+    (Gc-stat test; A/B bench cell), so keep it true when extending this
+    interface: no optional arguments, no closures on the fast path. *)
+
+type kind =
+  | Acquire  (** span: blocked entering a lock / region / possession *)
+  | Hold  (** span: a lock, monitor or possession was held *)
+  | Wait  (** span: parked on a queue or condition; arg = queue depth *)
+  | Op  (** span: one mechanism-level operation *)
+  | Signal  (** instant: a wake was issued; arg = waiters present *)
+  | Handoff  (** instant: grant handed directly to a waiter; arg = waiters left *)
+  | Abandon  (** instant: a timed wait gave up; arg = ns spent waiting *)
+  | Spurious  (** instant: woken with the awaited predicate still false *)
+
+val kind_to_string : kind -> string
+
+val is_span : kind -> bool
+
+val enabled : unit -> bool
+(** One atomic load. Check it before computing anything a probe needs. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all buffers. Call only while no traced code is running. *)
+
+val set_capacity : int -> unit
+(** Ring capacity for buffers created after the call (default 65536).
+    @raise Invalid_argument below 2. *)
+
+val now : unit -> int
+(** Monotonic nanoseconds as an int, or 0 when tracing is disabled —
+    the span start token: [span] ignores calls with [since = 0], so
+    [let t0 = now () in ... ; span K ~site ~since:t0 ~arg] is correct in
+    both worlds and free in the disabled one. *)
+
+val span : kind -> site:string -> since:int -> arg:int -> unit
+(** Record a span that started at [since] (from {!now}) and ends now.
+    No-op when disabled or [since = 0]. *)
+
+val instant : kind -> site:string -> arg:int -> unit
+
+val set_op : string -> unit
+(** Stamp the calling thread's subsequent events with an operation
+    label (the load engine calls this before each driven op). *)
+
+val set_task_provider : (unit -> int option) -> unit
+(** Actor ids inside deterministic runs (wired up by [Detrt], like the
+    fault and deadlock providers). *)
+
+(** {1 Snapshots} *)
+
+type event = {
+  t0 : int;
+  dur : int;
+  kind : kind;
+  site : string;
+  op : string;
+  actor : int;  (** OS thread id, or [-(task id + 1)] for virtual tasks *)
+  arg : int;
+}
+
+val snapshot : unit -> event list
+(** Every retained event across all buffers, sorted by start time. Take
+    it after the traced region has quiesced. *)
+
+val total : unit -> int
+(** Events ever recorded since the last {!reset} (including dropped). *)
+
+val dropped : unit -> int
+(** Events lost to ring wraparound. *)
+
+val with_tracing : (unit -> 'a) -> 'a * event list
+(** [reset]; [enable]; run; [disable]; [snapshot]. The flag is cleared
+    (but the buffers kept) if the thunk raises. *)
+
+val actor_label : int -> string
+(** ["t12"] for OS threads, ["v3"] for virtual tasks. *)

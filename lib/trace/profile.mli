@@ -1,0 +1,38 @@
+(** The contention profiler: aggregate a probe snapshot into per-site
+    hold/wait-time histograms (reusing [Sync_metrics.Histogram]) and a
+    wake-accounting report — signals issued vs. direct handoffs vs.
+    spurious wakes vs. abandoned timed waits, plus the deepest queue
+    observed. This is the part of E21 that answers {e why} a mechanism
+    behaves as it does under load: where waiters queue, where hold time
+    goes, which wakes were wasted. *)
+
+type site_row = {
+  site : string;
+  kind : Probe.kind;
+  count : int;
+  total_ns : int;
+  hist : Sync_metrics.Histogram.t;
+}
+
+type wake_report = {
+  signals : int;
+  handoffs : int;
+  spurious : int;
+  abandoned : int;
+  max_queue : int;
+}
+
+type t = {
+  rows : site_row list;
+  wake : wake_report;
+  events : int;
+  dropped : int;
+}
+
+val of_events : ?dropped:int -> Probe.event list -> t
+
+val find_row : t -> site:string -> kind:Probe.kind -> site_row option
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Sync_metrics.Emit.t

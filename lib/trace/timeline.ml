@@ -1,0 +1,29 @@
+(* The compact text timeline: one line per event, time-ordered, offsets
+   rebased to the first event. Made for terminal reading of a detsched
+   replay — a printed E18 seed replays into this instead of a mute
+   pass/fail — but works on any snapshot. *)
+
+let pp ppf events =
+  match events with
+  | [] -> Format.fprintf ppf "(no events)@."
+  | first :: _ ->
+    let base =
+      List.fold_left
+        (fun acc (e : Probe.event) -> min acc e.t0)
+        first.Probe.t0 events
+    in
+    List.iter
+      (fun (e : Probe.event) ->
+        let off_us = float_of_int (e.t0 - base) /. 1e3 in
+        let dur =
+          if Probe.is_span e.kind then Printf.sprintf "%8dns" e.dur
+          else "        -"
+        in
+        let op = if e.op = "" then "" else " [" ^ e.op ^ "]" in
+        Format.fprintf ppf "%10.1fus %-4s %-8s %-26s %s arg=%d%s@." off_us
+          (Probe.actor_label e.actor)
+          (Probe.kind_to_string e.kind)
+          e.site dur e.arg op)
+      events
+
+let to_string events = Format.asprintf "%a" pp events

@@ -1,0 +1,8 @@
+(** Compact text timeline of a probe snapshot: one line per event with
+    a rebased microsecond offset, actor lane, kind, site, duration and
+    argument. The visual form of a deterministic-schedule replay
+    ([bloom_eval explore SCENARIO --replay SCHEDULE]). *)
+
+val pp : Format.formatter -> Probe.event list -> unit
+
+val to_string : Probe.event list -> string

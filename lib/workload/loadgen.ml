@@ -1,5 +1,6 @@
 open Sync_platform
 open Sync_metrics
+module Probe = Sync_trace.Probe
 
 type arrival = Poisson | Uniform_spaced
 
@@ -108,8 +109,11 @@ let run (target : Target.instance) cfg =
              schedule surfaces as queueing delay, not omitted samples. *)
           s
       in
+      let t0 = Probe.now () in
+      if t0 <> 0 then Probe.set_op op_names.(i);
       match ops.(i).Target.run ~rng ~pid:w with
       | () ->
+        Probe.span Op ~site:"workload.op" ~since:t0 ~arg:i;
         let ph = Atomic.get phase in
         if ph <= steady then
           Recorder.record recs.(ph) ~op:i

@@ -1,0 +1,288 @@
+(* The E21 trace layer's own guarantees: ring wraparound accounting,
+   share-nothing recording under concurrent domain writers, the
+   zero-allocation disabled path, and the Chrome exporter's JSON staying
+   parseable whatever ends up in a site or operation label. *)
+
+module Probe = Sync_trace.Probe
+module Profile = Sync_trace.Profile
+module Chrome = Sync_trace.Chrome
+module Emit = Sync_metrics.Emit
+
+(* Every test runs against the same global probe state; keep each one
+   self-contained. *)
+let scrubbed f () =
+  Probe.disable ();
+  Probe.reset ();
+  Probe.set_capacity 65536;
+  Fun.protect ~finally:(fun () ->
+      Probe.disable ();
+      Probe.reset ();
+      Probe.set_capacity 65536)
+    f
+
+let emit n =
+  for i = 1 to n do
+    Probe.instant Signal ~site:"test" ~arg:i
+  done
+
+(* --- ring buffer ------------------------------------------------- *)
+
+let test_wraparound () =
+  Probe.set_capacity 16;
+  Probe.reset ();
+  Probe.enable ();
+  emit 40;
+  Probe.disable ();
+  let events = Probe.snapshot () in
+  Alcotest.(check int) "ring retains capacity" 16 (List.length events);
+  Alcotest.(check int) "total counts every record" 40 (Probe.total ());
+  Alcotest.(check int) "dropped counts overwrites" 24 (Probe.dropped ());
+  (* Oldest events were the ones overwritten: the survivors are the tail. *)
+  let args = List.map (fun (e : Probe.event) -> e.Probe.arg) events in
+  List.iter
+    (fun a -> Alcotest.(check bool) "survivor is recent" true (a > 24))
+    args
+
+let test_no_wrap () =
+  Probe.set_capacity 64;
+  Probe.reset ();
+  Probe.enable ();
+  emit 10;
+  Probe.disable ();
+  Alcotest.(check int) "all retained" 10 (List.length (Probe.snapshot ()));
+  Alcotest.(check int) "nothing dropped" 0 (Probe.dropped ())
+
+let test_reset_clears () =
+  Probe.enable ();
+  emit 5;
+  Probe.disable ();
+  Probe.reset ();
+  Alcotest.(check int) "snapshot empty" 0 (List.length (Probe.snapshot ()));
+  Alcotest.(check int) "total zero" 0 (Probe.total ());
+  Alcotest.(check int) "dropped zero" 0 (Probe.dropped ())
+
+(* --- concurrent writers ------------------------------------------ *)
+
+let test_domain_writers () =
+  let writers = 4 and per_writer = 5000 in
+  Probe.reset ();
+  Probe.enable ();
+  let doms =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_writer do
+              Probe.instant Signal ~site:"dom" ~arg:((w * per_writer) + i)
+            done))
+  in
+  List.iter Domain.join doms;
+  Probe.disable ();
+  let events = Probe.snapshot () in
+  Alcotest.(check int) "every event retained"
+    (writers * per_writer)
+    (List.length events);
+  Alcotest.(check int) "no drops below capacity" 0 (Probe.dropped ());
+  (* Share-nothing rings: each writer's own events must survive in full
+     and carry its distinct actor id. *)
+  let module S = Set.Make (Int) in
+  let actors =
+    S.elements
+      (List.fold_left
+         (fun s (e : Probe.event) -> S.add e.Probe.actor s)
+         S.empty events)
+  in
+  Alcotest.(check int) "one actor per writer" writers (List.length actors);
+  let args = List.map (fun (e : Probe.event) -> e.Probe.arg) events in
+  let distinct = S.cardinal (S.of_list args) in
+  Alcotest.(check int) "no event lost or duplicated"
+    (writers * per_writer)
+    distinct
+
+(* --- disabled path ----------------------------------------------- *)
+
+let test_disabled_no_alloc () =
+  Probe.disable ();
+  Probe.reset ();
+  (* Warm up so any one-time setup is paid before measuring. *)
+  for _ = 1 to 100 do
+    let t0 = Probe.now () in
+    Probe.span Hold ~site:"gc" ~since:t0 ~arg:0;
+    Probe.instant Signal ~site:"gc" ~arg:0
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    let t0 = Probe.now () in
+    Probe.span Hold ~site:"gc" ~since:t0 ~arg:0;
+    Probe.instant Signal ~site:"gc" ~arg:0;
+    if Probe.enabled () then Probe.instant Spurious ~site:"gc" ~arg:0
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* 300k probe calls; the budget tolerates instrumentation noise but
+     catches any per-call allocation (which would be >= 2 words each). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled probes allocate nothing (got %.0f words)"
+       allocated)
+    true (allocated < 1000.0);
+  Alcotest.(check int) "nothing recorded" 0 (Probe.total ())
+
+let test_disabled_now_is_zero () =
+  Probe.disable ();
+  Alcotest.(check int) "now() is the no-op token" 0 (Probe.now ());
+  Probe.enable ();
+  let t = Probe.now () in
+  Probe.disable ();
+  Alcotest.(check bool) "now() real when enabled" true (t > 0)
+
+let test_span_since_zero_ignored () =
+  Probe.reset ();
+  Probe.enable ();
+  Probe.span Hold ~site:"zero" ~since:0 ~arg:0;
+  Probe.disable ();
+  Alcotest.(check int) "since:0 spans are dropped" 0 (Probe.total ())
+
+(* --- chrome export / JSON escaping ------------------------------- *)
+
+let hostile = "we\"ird\\site\nwith\ttabs & unicode \xe2\x9c\x93 \x01ctl"
+
+let test_chrome_escaping () =
+  Probe.reset ();
+  Probe.enable ();
+  Probe.set_op hostile;
+  Probe.instant Signal ~site:hostile ~arg:1;
+  let t0 = Probe.now () in
+  Probe.span Hold ~site:hostile ~since:t0 ~arg:2;
+  Probe.disable ();
+  let events = Probe.snapshot () in
+  Alcotest.(check int) "both events recorded" 2 (List.length events);
+  let json = Chrome.to_json [ ("group \"A\"\n", events) ] in
+  let text = Emit.to_string json in
+  (* The exporter's output must round-trip through a JSON parser with
+     the hostile strings intact. *)
+  let doc = Emit.parse text in
+  let rec strings acc = function
+    | Emit.Str s -> s :: acc
+    | Emit.List xs -> List.fold_left strings acc xs
+    | Emit.Obj fields ->
+      List.fold_left (fun acc (_, v) -> strings acc v) acc fields
+    | _ -> acc
+  in
+  let all = strings [] doc in
+  Alcotest.(check bool) "hostile site survives round-trip" true
+    (List.exists (fun s -> s = hostile) all);
+  match Emit.member "traceEvents" doc with
+  | Some (Emit.List evs) ->
+    Alcotest.(check bool) "trace has events" true (List.length evs > 0)
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let test_parse_unicode_escape () =
+  (match Emit.parse "\"a\\u00e9\\u2713b\\u0041\"" with
+  | Emit.Str s -> Alcotest.(check string) "decoded utf-8" "a\xc3\xa9\xe2\x9c\x93bA" s
+  | _ -> Alcotest.fail "expected string");
+  match Emit.parse "{\"k\\\"ey\": [1, 2.5, true, null]}" with
+  | Emit.Obj [ ("k\"ey", Emit.List [ Emit.Int 1; Emit.Float f; Emit.Bool true; Emit.Null ]) ]
+    ->
+    Alcotest.(check (float 0.0001)) "float" 2.5 f
+  | _ -> Alcotest.fail "structure mismatch"
+
+(* --- profile aggregation ----------------------------------------- *)
+
+let test_profile_aggregation () =
+  Probe.reset ();
+  Probe.enable ();
+  let t0 = Probe.now () in
+  Probe.span Hold ~site:"m" ~since:t0 ~arg:0;
+  let t1 = Probe.now () in
+  Probe.span Hold ~site:"m" ~since:t1 ~arg:0;
+  let t2 = Probe.now () in
+  Probe.span Wait ~site:"q" ~since:t2 ~arg:3;
+  Probe.instant Signal ~site:"q" ~arg:2;
+  Probe.instant Handoff ~site:"q" ~arg:1;
+  Probe.instant Spurious ~site:"q" ~arg:0;
+  Probe.instant Abandon ~site:"q" ~arg:77;
+  Probe.disable ();
+  let p = Profile.of_events ~dropped:0 (Probe.snapshot ()) in
+  (match Profile.find_row p ~site:"m" ~kind:Probe.Hold with
+  | Some row ->
+    Alcotest.(check int) "two hold spans on m" 2 row.Profile.count
+  | None -> Alcotest.fail "missing m/Hold row");
+  (match Profile.find_row p ~site:"q" ~kind:Probe.Wait with
+  | Some row -> Alcotest.(check int) "one wait span on q" 1 row.Profile.count
+  | None -> Alcotest.fail "missing q/Wait row");
+  let w = p.Profile.wake in
+  Alcotest.(check int) "signals" 1 w.Profile.signals;
+  Alcotest.(check int) "handoffs" 1 w.Profile.handoffs;
+  Alcotest.(check int) "spurious" 1 w.Profile.spurious;
+  Alcotest.(check int) "abandoned" 1 w.Profile.abandoned;
+  Alcotest.(check int) "max queue depth from wait args" 3 w.Profile.max_queue
+
+(* --- end to end: a traced load run ------------------------------- *)
+
+let test_traced_monitor_load () =
+  match
+    Sync_workload.Target.create ~problem:"bounded-buffer" ~mechanism:"monitor"
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok instance ->
+    let cfg =
+      { Sync_workload.Loadgen.default_config with
+        Sync_workload.Loadgen.workers = 3;
+        backend = `Thread;
+        duration_ms = 30;
+        warmup_ms = 5 }
+    in
+    let report, events =
+      Probe.with_tracing (fun () ->
+          Sync_workload.Loadgen.run instance cfg)
+    in
+    let s = report.Sync_workload.Report.summary in
+    Alcotest.(check int) "no self-check failures" 0
+      s.Sync_metrics.Summary.total_failures;
+    Alcotest.(check bool) "trace captured events" true (events <> []);
+    let has k =
+      List.exists (fun (e : Probe.event) -> e.Probe.kind = k) events
+    in
+    Alcotest.(check bool) "op spans present" true (has Probe.Op);
+    Alcotest.(check bool) "monitor hold spans present" true
+      (List.exists
+         (fun (e : Probe.event) ->
+           e.Probe.kind = Probe.Hold && e.Probe.site = "monitor")
+         events);
+    Alcotest.(check bool) "wake instants present" true
+      (has Probe.Signal || has Probe.Handoff);
+    (* Op labels stamped by the load engine reach the events. *)
+    Alcotest.(check bool) "op labels stamped" true
+      (List.exists (fun (e : Probe.event) -> e.Probe.op <> "") events)
+
+let test_actor_label () =
+  Alcotest.(check string) "thread label" "t12" (Probe.actor_label 12);
+  Alcotest.(check string) "virtual label" "v3" (Probe.actor_label (-4))
+
+let () =
+  Alcotest.run "trace"
+    [ ( "ring",
+        [ Alcotest.test_case "wraparound" `Quick (scrubbed test_wraparound);
+          Alcotest.test_case "no-wrap" `Quick (scrubbed test_no_wrap);
+          Alcotest.test_case "reset" `Quick (scrubbed test_reset_clears) ] );
+      ( "concurrency",
+        [ Alcotest.test_case "domain-writers" `Quick
+            (scrubbed test_domain_writers) ] );
+      ( "disabled",
+        [ Alcotest.test_case "zero-allocation" `Quick
+            (scrubbed test_disabled_no_alloc);
+          Alcotest.test_case "now-token" `Quick
+            (scrubbed test_disabled_now_is_zero);
+          Alcotest.test_case "since-zero" `Quick
+            (scrubbed test_span_since_zero_ignored) ] );
+      ( "export",
+        [ Alcotest.test_case "chrome-escaping" `Quick
+            (scrubbed test_chrome_escaping);
+          Alcotest.test_case "parse-unicode" `Quick
+            (scrubbed test_parse_unicode_escape) ] );
+      ( "profile",
+        [ Alcotest.test_case "aggregation" `Quick
+            (scrubbed test_profile_aggregation) ] );
+      ( "load",
+        [ Alcotest.test_case "traced-monitor-run" `Quick
+            (scrubbed test_traced_monitor_load);
+          Alcotest.test_case "actor-labels" `Quick (scrubbed test_actor_label) ]
+      ) ]

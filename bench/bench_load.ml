@@ -15,7 +15,15 @@
    baseline's ratio for the same pair. Ratios, not absolute numbers:
    CI boxes are slower than the reference box in ways that cancel out
    between cells, while a contention regression in one mechanism does
-   not.
+   not. With --e22-baseline BENCH_E22.json the same gate additionally
+   covers default-vs-fast tier pairs (E22): a fast-path cell whose
+   ratio against its default twin drifts 5x from the committed grid —
+   the fast tier silently degrading to (or past) the slow one, or a
+   default cell regressing — fails CI the same way.
+
+   --e22 runs the default-vs-fast grid (every cell twice, once per
+   platform substrate tier) and writes the side-by-side document
+   behind the committed BENCH_E22.json.
 
    --ab runs one hot cell twice — tracing disabled, then enabled — and
    reports the throughput delta, plus the disabled path against the
@@ -38,10 +46,20 @@ let sanity_cells =
   [ ("semaphore", "fcfs", 1); ("monitor", "fcfs", 1);
     ("ccr", "bounded-buffer", 4) ]
 
+(* The E22 subset: the same cells on both substrate tiers, so every
+   cross-ratio the gate checks includes default-vs-fast pairs. *)
+let e22_sanity_cells =
+  [ ("semaphore", "fcfs", 1, `Default); ("semaphore", "fcfs", 1, `Fast);
+    ("ccr", "bounded-buffer", 4, `Default);
+    ("ccr", "bounded-buffer", 4, `Fast) ]
+
 let cell_id (m, p, d) = Printf.sprintf "%s/%s d=%d" m p d
 
-let run_cell ~duration_ms (mechanism, problem, domains) =
-  match Target.create ~problem ~mechanism () with
+let tiered_id (m, p, d, tier) =
+  Printf.sprintf "%s [%s]" (cell_id (m, p, d)) (Target.tier_name tier)
+
+let run_cell ?(tier = `Default) ~duration_ms (mechanism, problem, domains) =
+  match Target.create ~tier ~problem ~mechanism () with
   | Error e ->
     Printf.eprintf "sanity: %s\n" e;
     exit 2
@@ -56,51 +74,60 @@ let run_cell ~duration_ms (mechanism, problem, domains) =
     let s = (Loadgen.run instance cfg).Report.summary in
     (s.Summary.throughput_per_s, s.Summary.total_failures)
 
-let baseline_throughput doc ~cell:(mechanism, problem, domains) =
+(* [tier = None] matches rows with no tier field too (the committed
+   BENCH_E20.json predates tiers); [Some t] requires an exact match
+   (BENCH_E22.json rows always carry one). *)
+let baseline_throughput ?tier doc ~cell:(mechanism, problem, domains) =
   let field name r = Emit.member name r in
   let rows = Option.value ~default:Emit.Null (Emit.member "rows" doc) in
   List.find_map
     (fun r ->
+      let tier_ok =
+        match tier with
+        | None -> true
+        | Some t -> (
+          match field "tier" r with
+          | Some (Emit.Str s) -> s = Target.tier_name t
+          | _ -> false)
+      in
       match (field "mechanism" r, field "problem" r, field "domains" r) with
       | Some (Emit.Str m), Some (Emit.Str p), Some d
-        when m = mechanism && p = problem
+        when tier_ok && m = mechanism && p = problem
              && Emit.number d = Some (float_of_int domains) ->
         Option.bind (field "throughput_per_s" r) Emit.number
       | _ -> None)
     (Emit.to_list rows)
 
-let sanity baseline_file =
-  let doc =
-    try Emit.parse_file baseline_file
-    with Sys_error e | Emit.Parse_error e ->
-      Printf.eprintf "sanity: cannot read baseline %s: %s\n" baseline_file e;
-      exit 2
-  in
-  let duration_ms = Loadgen.duration_from_env ~default:200 in
-  Printf.printf "perf sanity vs %s (%d ms per cell)\n%!" baseline_file
-    duration_ms;
-  let failed = ref false in
-  let cells =
-    List.map
-      (fun cell ->
-        let live, failures = run_cell ~duration_ms cell in
-        let base =
-          match baseline_throughput doc ~cell with
-          | Some t -> t
-          | None ->
-            Printf.eprintf "sanity: %s missing from baseline\n" (cell_id cell);
-            exit 2
-        in
-        Printf.printf "  %-28s %12.0f ops/s (baseline %12.0f)%s\n%!"
-          (cell_id cell) live base
-          (if failures > 0 then
-             Printf.sprintf "  %d SELF-CHECK FAILURE(S)" failures
-           else "");
-        if failures > 0 then failed := true;
-        (cell, live, base))
-      sanity_cells
-  in
-  let factor = 5.0 in
+let parse_baseline ~what file =
+  try Emit.parse_file file
+  with Sys_error e | Emit.Parse_error e ->
+    Printf.eprintf "sanity: cannot read %s %s: %s\n" what file e;
+    exit 2
+
+(* One measured cell with its committed reference throughput. The gate
+   below only ever compares ratios, so the group a cell came from (E20
+   triple or E22 tier pair) does not matter. *)
+let measure_cells ~failed cells =
+  List.map
+    (fun (id, run, lookup) ->
+      let live, failures = run () in
+      let base =
+        match lookup () with
+        | Some t -> t
+        | None ->
+          Printf.eprintf "sanity: %s missing from baseline\n" id;
+          exit 2
+      in
+      Printf.printf "  %-34s %12.0f ops/s (baseline %12.0f)%s\n%!" id live
+        base
+        (if failures > 0 then
+           Printf.sprintf "  %d SELF-CHECK FAILURE(S)" failures
+         else "");
+      if failures > 0 then failed := true;
+      (id, live, base))
+    cells
+
+let check_drift ~factor ~failed cells =
   List.iteri
     (fun i (ci, li, bi) ->
       List.iteri
@@ -110,15 +137,49 @@ let sanity baseline_file =
             let drift = live_ratio /. base_ratio in
             let drift = if drift < 1.0 then 1.0 /. drift else drift in
             Printf.printf
-              "  ratio %-28s / %-28s live %.3f baseline %.3f drift %.2fx\n%!"
-              (cell_id ci) (cell_id cj) live_ratio base_ratio drift;
+              "  ratio %-34s / %-34s live %.3f baseline %.3f drift %.2fx\n%!"
+              ci cj live_ratio base_ratio drift;
             if drift > factor then begin
               Printf.printf "    REGRESSION: drift exceeds %.0fx\n%!" factor;
               failed := true
             end
           end)
         cells)
-    cells;
+    cells
+
+let sanity ?e22_file baseline_file =
+  let doc = parse_baseline ~what:"baseline" baseline_file in
+  let duration_ms = Loadgen.duration_from_env ~default:200 in
+  Printf.printf "perf sanity vs %s (%d ms per cell)\n%!" baseline_file
+    duration_ms;
+  let failed = ref false in
+  let factor = 5.0 in
+  let e20 =
+    measure_cells ~failed
+      (List.map
+         (fun cell ->
+           ( cell_id cell,
+             (fun () -> run_cell ~duration_ms cell),
+             fun () -> baseline_throughput doc ~cell ))
+         sanity_cells)
+  in
+  check_drift ~factor ~failed e20;
+  (match e22_file with
+  | None -> ()
+  | Some file ->
+    let e22_doc = parse_baseline ~what:"E22 baseline" file in
+    Printf.printf "fast-path sanity vs %s\n%!" file;
+    let e22 =
+      measure_cells ~failed
+        (List.map
+           (fun ((m, p, d, tier) as tc) ->
+             ( tiered_id tc,
+               (fun () -> run_cell ~tier ~duration_ms (m, p, d)),
+               fun () ->
+                 baseline_throughput ~tier e22_doc ~cell:(m, p, d) ))
+           e22_sanity_cells)
+    in
+    check_drift ~factor ~failed e22);
   if !failed then begin
     Printf.printf "perf sanity FAILED\n%!";
     exit 1
@@ -219,11 +280,70 @@ let grid out =
     Sync_metrics.Emit.write_file out (Sweep.baseline_to_json spec cells);
     Printf.printf "\nwrote %s (%d cells)\n%!" out (List.length cells)
 
+(* The E22 default-vs-fast grid: every (mechanism, problem, domains)
+   cell twice — stdlib-backed tier, then the contention-adaptive fast
+   tier — identical seed and windows, so adjacent rows isolate the
+   substrate. *)
+let e22_grid out =
+  let spec = Sweep.default_e22_spec () in
+  Printf.printf
+    "E22 default-vs-fast grid: %d mechanisms x %d problems x domains {%s} \
+     x 2 tiers, %dms steady (+%dms warmup) per cell, closed loop, seed %d\n\
+     recommended domains on this box: %d\n\n%!"
+    (List.length spec.Sweep.mechanisms)
+    (List.length spec.Sweep.problems)
+    (String.concat ", " (List.map string_of_int spec.Sweep.domain_counts))
+    spec.Sweep.duration_ms spec.Sweep.warmup_ms spec.Sweep.seed
+    (Domain.recommended_domain_count ());
+  let progress (c : Sweep.cell) =
+    let r = Sync_eval.Perf.row_of_cell c in
+    Printf.printf "%-12s %-18s %-8s d=%d %12.0f ops/s  p99 %d ns\n%!"
+      r.Sync_eval.Perf.mechanism r.Sync_eval.Perf.problem
+      r.Sync_eval.Perf.tier r.Sync_eval.Perf.domains
+      r.Sync_eval.Perf.throughput_per_s r.Sync_eval.Perf.p99_ns
+  in
+  match Sweep.e22 ~progress spec with
+  | Error e ->
+    Printf.eprintf "E22 grid failed: %s\n" e;
+    exit 1
+  | Ok cells ->
+    (* Print the default -> fast speedup per cell: the number the
+       acceptance gate (>= 1.3x on a contended 4-domain cell) reads. *)
+    let throughput c =
+      c.Sweep.report.Report.summary.Summary.throughput_per_s
+    in
+    print_newline ();
+    List.iter
+      (fun c ->
+        let r = c.Sweep.report in
+        if r.Report.tier = "fast" then
+          let twin =
+            List.find_opt
+              (fun c' ->
+                let r' = c'.Sweep.report in
+                r'.Report.tier = "default"
+                && r'.Report.mechanism = r.Report.mechanism
+                && r'.Report.problem = r.Report.problem
+                && c'.Sweep.domains = c.Sweep.domains)
+              cells
+          in
+          match twin with
+          | Some d when throughput d > 0.0 ->
+            Printf.printf "%-12s %-18s d=%d fast/default %.2fx\n%!"
+              r.Report.mechanism r.Report.problem c.Sweep.domains
+              (throughput c /. throughput d)
+          | _ -> ())
+      cells;
+    Sync_metrics.Emit.write_file out (Sweep.e22_to_json spec cells);
+    Printf.printf "\nwrote %s (%d cells)\n%!" out (List.length cells)
+
 let () =
   let out = ref "bench-load.json" in
   let sanity_file = ref None in
   let ab_mode = ref false in
+  let e22_mode = ref false in
   let baseline_file = ref None in
+  let e22_baseline = ref None in
   let rec parse = function
     | [] -> ()
     | "--out" :: f :: rest ->
@@ -235,19 +355,29 @@ let () =
     | "--ab" :: rest ->
       ab_mode := true;
       parse rest
+    | "--e22" :: rest ->
+      e22_mode := true;
+      parse rest
     | "--baseline" :: f :: rest ->
       baseline_file := Some f;
+      parse rest
+    | "--e22-baseline" :: f :: rest ->
+      e22_baseline := Some f;
       parse rest
     | [ f ] when not (String.length f > 0 && f.[0] = '-') -> out := f
     | a :: _ ->
       Printf.eprintf
-        "usage: bench_load [--out FILE | FILE] [--sanity BASELINE.json] \
-         [--ab [--baseline BASELINE.json]]\n\
+        "usage: bench_load [--out FILE | FILE] [--sanity BASELINE.json \
+         [--e22-baseline BENCH_E22.json]] [--ab [--baseline \
+         BASELINE.json]] [--e22]\n\
         \  got %S\n"
         a;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   match !sanity_file with
-  | Some f -> sanity f
-  | None -> if !ab_mode then ab !baseline_file !out else grid !out
+  | Some f -> sanity ?e22_file:!e22_baseline f
+  | None ->
+    if !ab_mode then ab !baseline_file !out
+    else if !e22_mode then e22_grid !out
+    else grid !out

@@ -559,6 +559,44 @@ let bench_trace_probes () =
     "(enabled rows wrote into per-thread rings; %d event(s) dropped on wrap)\n%!"
     dropped
 
+(* E22: the contention-adaptive substrate, uncontended single-thread
+   cost. The tier is a creation-time property, so each fast-variant
+   primitive is built inside [Fastpath.with_enabled]; the default rows
+   are the same operations on the stdlib-backed substrate. The
+   contended side of E22 lives in bench_load --e22 (BENCH_E22.json) —
+   here we price the fast paths themselves: CAS lock vs pthread lock,
+   fetch-and-add V vs locked V, Vyukov ring vs locked ring. *)
+let bench_fastpath () =
+  section "E22: fast-path substrate, uncontended (default vs fast tier)";
+  let fast f = Sync_platform.Fastpath.with_enabled f in
+  let dmutex = Sync_platform.Mutex.create () in
+  let fmutex = fast (fun () -> Sync_platform.Mutex.create ()) in
+  let dweak = Sync_platform.Semaphore.Counting.create ~fairness:`Weak 1 in
+  let fweak =
+    fast (fun () -> Sync_platform.Semaphore.Counting.create ~fairness:`Weak 1)
+  in
+  let ring = Sync_resources.Ring.create ~work:0 8 in
+  let fring = Sync_resources.Fastring.create ~work:0 8 in
+  run_group "e22"
+    [ Test.make ~name:"mutex-lock+unlock/default" (Staged.stage (fun () ->
+          Sync_platform.Mutex.lock dmutex;
+          Sync_platform.Mutex.unlock dmutex));
+      Test.make ~name:"mutex-lock+unlock/fast" (Staged.stage (fun () ->
+          Sync_platform.Mutex.lock fmutex;
+          Sync_platform.Mutex.unlock fmutex));
+      Test.make ~name:"weak-semaphore-p+v/default" (Staged.stage (fun () ->
+          Sync_platform.Semaphore.Counting.p dweak;
+          Sync_platform.Semaphore.Counting.v dweak));
+      Test.make ~name:"weak-semaphore-p+v/fast" (Staged.stage (fun () ->
+          Sync_platform.Semaphore.Counting.p fweak;
+          Sync_platform.Semaphore.Counting.v fweak));
+      Test.make ~name:"ring-put+get/default" (Staged.stage (fun () ->
+          Sync_resources.Ring.put ring 1;
+          ignore (Sync_resources.Ring.get ring)));
+      Test.make ~name:"ring-put+get/fast-vyukov" (Staged.stage (fun () ->
+          Sync_resources.Fastring.put fring 1;
+          ignore (Sync_resources.Fastring.get fring))) ]
+
 let bench_model_proofs () =
   section "E17: staged scenarios model-checked over ALL interleavings";
   List.iter
@@ -586,4 +624,5 @@ let () =
   bench_detsched ();
   bench_robustness ();
   bench_trace_probes ();
+  bench_fastpath ();
   print_endline "\nall experiments regenerated"

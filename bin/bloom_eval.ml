@@ -220,6 +220,14 @@ let load_cmd =
                    cores) instead of a single run; $(b,--domains) is \
                    ignored")
   in
+  let tier_arg =
+    Arg.(value & opt string "default"
+         & info [ "tier" ] ~docv:"TIER"
+             ~doc:"platform substrate (E22): $(b,default) for the \
+                   stdlib-backed tier, $(b,fast) for the \
+                   contention-adaptive fast paths (adaptive mutex, \
+                   fetch-and-add weak semaphore, Vyukov bounded buffer)")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
@@ -243,7 +251,13 @@ let load_cmd =
   in
   let run mechanism problem domains duration_ms warmup_ms mode_arg rate
       arrival_arg backend_arg seed capacity work read_pct tracks hot_pct
-      sweep json csv trace_out =
+      sweep tier_arg json csv trace_out =
+    let tier =
+      match tier_arg with
+      | "default" -> `Default
+      | "fast" -> `Fast
+      | s -> fail (Printf.sprintf "unknown tier %S (default | fast)" s)
+    in
     let arrival =
       match arrival_arg with
       | "poisson" -> Loadgen.Poisson
@@ -282,8 +296,8 @@ let load_cmd =
         Format.fprintf ppf "%a@." Report.pp c.Sweep.report
       in
       match
-        Sweep.run ~params ~progress ~problem ~mechanism ~base ~domain_counts
-          ()
+        Sweep.run ~params ~tier ~progress ~problem ~mechanism ~base
+          ~domain_counts ()
       with
       | Error e -> fail e
       | Ok cells ->
@@ -295,7 +309,7 @@ let load_cmd =
           Format.fprintf ppf "wrote %s@." file)
     end
     else
-      match Target.create ~params ~problem ~mechanism () with
+      match Target.create ~params ~tier ~problem ~mechanism () with
       | Error e -> fail e
       | Ok instance ->
         let go () =
@@ -333,8 +347,8 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc)
     Term.(const run $ mechanism $ problem $ domains $ duration_ms $ warmup_ms
           $ mode_arg $ rate $ arrival_arg $ backend_arg $ seed $ capacity
-          $ work $ read_pct $ tracks $ hot_pct $ sweep $ json $ csv
-          $ trace_out)
+          $ work $ read_pct $ tracks $ hot_pct $ sweep $ tier_arg $ json
+          $ csv $ trace_out)
 
 let anomaly_cmd =
   let doc =

@@ -5,6 +5,7 @@ type row = {
   mechanism : string;
   problem : string;
   variant : string;
+  tier : string;
   domains : int;
   throughput_per_s : float;
   p50_ns : int;
@@ -19,6 +20,7 @@ let row_of_cell (c : Sweep.cell) =
   { mechanism = c.Sweep.report.Report.mechanism;
     problem = c.Sweep.report.Report.problem;
     variant = c.Sweep.report.Report.variant;
+    tier = c.Sweep.report.Report.tier;
     domains = c.Sweep.domains;
     throughput_per_s = s.Summary.throughput_per_s;
     p50_ns = q (fun o -> o.Summary.p50_ns);
@@ -87,6 +89,7 @@ let to_json rows =
            [ ("mechanism", Emit.Str r.mechanism);
              ("problem", Emit.Str r.problem);
              ("variant", Emit.Str r.variant);
+             ("tier", Emit.Str r.tier);
              ("domains", Emit.Int r.domains);
              ("throughput_per_s", Emit.Float r.throughput_per_s);
              ("p50_ns", Emit.Int r.p50_ns);

@@ -16,6 +16,7 @@ type row = {
   mechanism : string;
   problem : string;
   variant : string;
+  tier : string;  (** platform substrate: ["default"] or ["fast"] (E22) *)
   domains : int;
   throughput_per_s : float;
   p50_ns : int;

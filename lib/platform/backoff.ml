@@ -29,15 +29,24 @@ let next_seed s =
   let s = s lxor (s lsr 7) in
   s lxor (s lsl 17)
 
+(* On a single-core machine spinning can never help: the thread we are
+   waiting on cannot run until we give up the core. Skip straight to
+   yielding there; the exponential spin phase only pays off when the
+   peer is live on another core. *)
+let multicore = Domain.recommended_domain_count () > 1
+
 let once t =
-  let spins = t.min_wait + (t.seed land (t.wait - 1)) in
-  t.seed <- next_seed t.seed;
-  if t.wait >= t.max_wait then Thread.yield ()
+  if not multicore then Thread.yield ()
   else begin
-    for _ = 1 to spins do
-      Domain.cpu_relax ()
-    done;
-    t.wait <- t.wait * 2
+    let spins = t.min_wait + (t.seed land (t.wait - 1)) in
+    t.seed <- next_seed t.seed;
+    if t.wait >= t.max_wait then Thread.yield ()
+    else begin
+      for _ = 1 to spins do
+        Domain.cpu_relax ()
+      done;
+      t.wait <- t.wait * 2
+    end
   end
 
 let reset t = t.wait <- t.min_wait

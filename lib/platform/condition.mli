@@ -4,9 +4,18 @@
     the shadowed {!Mutex}: created during a {!Detrt} run it is a virtual
     condition scheduled deterministically, otherwise a system condition.
     Semantics follow the stdlib contract (Mesa-style: a woken waiter
-    re-acquires the mutex and must re-check its predicate). *)
+    re-acquires the mutex and must re-check its predicate).
 
-type t = Sys of Stdlib.Condition.t | Det of Detrt.cond
+    Real-thread conditions work with both mutex tiers: waits under a
+    default (Sys) mutex use the stdlib condition variable directly,
+    while waits under an adaptive (Fast) mutex park on a private
+    sequence-numbered lot inside the condition. The dispatch happens
+    per [wait], on the mutex the caller passes, so a condition created
+    at any time pairs correctly with either tier. Signals may wake
+    fast-tier waiters spuriously (the lot is level-triggered); callers
+    already absorb that with their predicate loops. *)
+
+type t
 
 val create : unit -> t
 

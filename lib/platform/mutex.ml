@@ -1,11 +1,28 @@
 module Probe = Sync_trace.Probe
 
-type impl = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+(* Adaptive (futex-style) mutex state: a single atomic int.
+   0 = unlocked; 1 = locked, no waiter ever parked since last unlock;
+   2 = locked, and some thread may be parked (or about to park) on [pc].
+   Lock is a CAS 0->1; on failure a bounded randomized spin, then a
+   park loop that pessimistically exchanges in 2 so the eventual
+   unlocker knows a signal is owed. Unlock exchanges in 0 and signals
+   only when the old state was 2 — the uncontended round trip is two
+   atomic operations and never touches [pm]/[pc]. *)
+type fast = {
+  state : int Atomic.t;
+  pm : Stdlib.Mutex.t;
+  pc : Stdlib.Condition.t;
+}
+
+type impl =
+  | Sys of Stdlib.Mutex.t
+  | Det of Detrt.mutex
+  | Fast of fast
 
 type t = {
   impl : impl;
-  (* Watchdog resource id for the Sys half; -1 when the watchdog was off
-     at creation. Det mutexes carry their own id inside Detrt. *)
+  (* Watchdog resource id for the Sys/Fast halves; -1 when the watchdog
+     was off at creation. Det mutexes carry their own id inside Detrt. *)
   rid : int;
   name : string;
   (* Timestamp of the last successful acquire by the current holder; 0
@@ -18,12 +35,70 @@ let create ?(name = "mutex") () =
   if Detrt.active () then
     { impl = Det (Detrt.mutex ()); rid = -1; name; acquired_at = 0 }
   else
-    { impl = Sys (Stdlib.Mutex.create ());
+    let impl =
+      if Fastpath.active () then
+        Fast
+          { state = Atomic.make 0;
+            pm = Stdlib.Mutex.create ();
+            pc = Stdlib.Condition.create () }
+      else Sys (Stdlib.Mutex.create ())
+    in
+    { impl;
       rid =
         (if Deadlock.enabled () then Deadlock.register ~kind:"mutex" ()
          else -1);
       name;
       acquired_at = 0 }
+
+(* How many backoff rounds to spin before parking. Backoff doubles its
+   randomized spin bound each round, so this covers short critical
+   sections without burning a core when the holder is descheduled. On a
+   single-core machine the holder cannot run while we spin, so the only
+   useful move is to park straight away (pthread mutexes make the same
+   call: their adaptive spin is conditional on SMP). Yield-until-free
+   is NOT an option here: with one thread per domain, [Thread.yield]
+   skips the reschedule entirely (nobody else waits on the domain's
+   master lock), so a yield loop degenerates into a hot spin. *)
+let spin_rounds = if Domain.recommended_domain_count () > 1 then 8 else 0
+
+let fast_lock_raw f =
+  if not (Atomic.compare_and_set f.state 0 1) then begin
+    (* Bounded spin: cheap loads with exponential backoff between CAS
+       retries, so brief contention never pays a futex round trip. *)
+    let b = Backoff.create () in
+    let rec spin n =
+      n > 0
+      && ((Atomic.get f.state = 0 && Atomic.compare_and_set f.state 0 1)
+         ||
+         (Backoff.once b;
+          spin (n - 1)))
+    in
+    if not (spin spin_rounds) then begin
+      (* Park. From here on we advertise 2 (waiters present): whoever
+         unlocks while the state is 2 must signal. The exchange both
+         attempts the acquire and publishes the pessimistic state. *)
+      let rec park () =
+        if Atomic.exchange f.state 2 <> 0 then begin
+          Stdlib.Mutex.lock f.pm;
+          (* Re-check under [pm]: unlock signals under [pm], so either
+             the state already left 2 (no sleep) or the signal cannot
+             fire before we are actually waiting. Spurious wakeups just
+             re-run the exchange. *)
+          if Atomic.get f.state = 2 then Stdlib.Condition.wait f.pc f.pm;
+          Stdlib.Mutex.unlock f.pm;
+          park ()
+        end
+      in
+      park ()
+    end
+  end
+
+let fast_unlock_raw f =
+  if Atomic.exchange f.state 0 = 2 then begin
+    Stdlib.Mutex.lock f.pm;
+    Stdlib.Condition.signal f.pc;
+    Stdlib.Mutex.unlock f.pm
+  end
 
 let lock t =
   let t0 = Probe.now () in
@@ -35,6 +110,13 @@ let lock t =
       Deadlock.acquired t.rid
     end
     else Stdlib.Mutex.lock m
+  | Fast f ->
+    if t.rid >= 0 && Deadlock.enabled () then begin
+      Deadlock.blocked t.rid;
+      fast_lock_raw f;
+      Deadlock.acquired t.rid
+    end
+    else fast_lock_raw f
   | Det m -> Detrt.mutex_lock m);
   if t0 <> 0 then begin
     Probe.span Acquire ~site:t.name ~since:t0 ~arg:0;
@@ -50,6 +132,9 @@ let unlock t =
   | Sys m ->
     if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
     Stdlib.Mutex.unlock m
+  | Fast f ->
+    if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
+    fast_unlock_raw f
   | Det m -> Detrt.mutex_unlock m
 
 let try_lock t =
@@ -59,22 +144,49 @@ let try_lock t =
       let ok = Stdlib.Mutex.try_lock m in
       if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
       ok
+    | Fast f ->
+      let ok = Atomic.compare_and_set f.state 0 1 in
+      if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
+      ok
     | Det m -> Detrt.mutex_try_lock m
   in
-  if ok then t.acquired_at <- Probe.now ();
+  if ok then begin
+    (* A successful try_lock is a zero-wait acquire; emit the span so
+       profiled acquire counts include try-lock users. *)
+    let n = Probe.now () in
+    if n <> 0 then begin
+      Probe.span Acquire ~site:t.name ~since:n ~arg:0;
+      t.acquired_at <- n
+    end
+  end;
   ok
 
 let try_lock_for t ~timeout_ns =
   let deadline = Deadline.after_ns timeout_ns in
-  let rec loop () =
-    if try_lock t then true
-    else if Deadline.expired deadline then false
-    else begin
-      Detrt.relax ();
-      loop ()
-    end
-  in
-  loop ()
+  match t.impl with
+  | Det _ ->
+    (* Deterministic runs: every poll must be a scheduling point the
+       recorded schedule controls, so no wall-clock backoff here. *)
+    let rec loop () =
+      if try_lock t then true
+      else if Deadline.expired deadline then false
+      else begin
+        Detrt.relax ();
+        loop ()
+      end
+    in
+    loop ()
+  | Sys _ | Fast _ ->
+    let b = Backoff.create () in
+    let rec loop () =
+      if try_lock t then true
+      else if Deadline.expired deadline then false
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
 
 let protect m f =
   lock m;

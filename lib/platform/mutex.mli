@@ -9,10 +9,26 @@
     When the {!Deadlock} watchdog is enabled at creation time the mutex
     reports its holder/waiter edges to the wait-for graph.
 
-    The representation is exposed so that {!Condition} can pair det
-    conditions with det mutexes; treat it as internal. *)
+    When {!Fastpath} is active at creation time the mutex instead uses
+    the contention-adaptive tier (E22): a single-word atomic with a CAS
+    fast path, a bounded randomized spin on contention, and a parked
+    slow path on a private stdlib mutex/condition pair. The observable
+    contract is identical; only the cost profile changes.
 
-type impl = Sys of Stdlib.Mutex.t | Det of Detrt.mutex
+    The representation is exposed so that {!Condition} can pair det
+    conditions with det mutexes and park waiters of adaptive mutexes;
+    treat it as internal. *)
+
+type fast = {
+  state : int Atomic.t;
+  pm : Stdlib.Mutex.t;
+  pc : Stdlib.Condition.t;
+}
+
+type impl =
+  | Sys of Stdlib.Mutex.t
+  | Det of Detrt.mutex
+  | Fast of fast
 
 type t = {
   impl : impl;
@@ -20,6 +36,14 @@ type t = {
   name : string;
   mutable acquired_at : int;
 }
+
+val fast_lock_raw : fast -> unit
+(** Acquire the adaptive lock with no probe/watchdog bookkeeping.
+    Internal: used by {!Condition} to re-acquire after a park. *)
+
+val fast_unlock_raw : fast -> unit
+(** Release the adaptive lock with no probe/watchdog bookkeeping.
+    Internal: used by {!Condition} to release before a park. *)
 
 val create : ?name:string -> unit -> t
 (** System mutex normally; deterministic mutex inside a {!Detrt} run.
@@ -32,13 +56,16 @@ val unlock : t -> unit
 
 val try_lock : t -> bool
 (** Non-blocking acquire. Under {!Detrt} the attempt is itself a recorded
-    scheduling point, so the outcome replays with the schedule. *)
+    scheduling point, so the outcome replays with the schedule. A
+    successful attempt emits a zero-wait [Acquire] span when tracing is
+    on, so try-lock users show up in profiled acquire counts. *)
 
 val try_lock_for : t -> timeout_ns:int64 -> bool
 (** [try_lock_for t ~timeout_ns] polls {!try_lock} until it succeeds or
     the monotonic deadline passes; [true] iff the lock was acquired.
-    Deterministic under {!Detrt} (the timeout becomes a poll budget, see
-    {!Deadline}). *)
+    Real-thread polling uses {!Backoff} exponential backoff between
+    attempts. Deterministic under {!Detrt} (the timeout becomes a poll
+    budget, see {!Deadline}, and every poll is a scheduling point). *)
 
 val protect : t -> (unit -> 'a) -> 'a
 (** [protect m f] runs [f] with [m] held, releasing on any exit. *)

@@ -3,7 +3,7 @@ module Probe = Sync_trace.Probe
 type fairness = [ `Strong | `Weak ]
 
 module Counting = struct
-  type t = {
+  type queued = {
     mutex : Mutex.t;
     fairness : fairness;
     (* Strong: selective-wakeup queue; each waiter is woken exactly once and
@@ -18,21 +18,59 @@ module Counting = struct
     srid : int;
   }
 
+  (* Fast weak tier (E22): the value lives in an atomic that is never
+     negative. P consumes a unit with a CAS-retry that only runs while
+     the observed value is positive; V publishes with one fetch-and-add
+     and touches [flock] only when a waiter is actually parked. The
+     textbook "go negative and owe a wakeup" benaphore is deliberately
+     avoided: with timed and abortable Ps, a debtor repaying its debt
+     while a V's wakeup ticket is in flight can double-count a unit.
+     Keeping the value non-negative makes every transition a plain
+     consume or produce, so conservation holds under any abort.
+
+     Strong (FCFS) mode never uses this tier: arrival-order grants need
+     the queue, and a CAS fast path is exactly a barging path. *)
+  type fast = {
+    fvalue : int Atomic.t; (* current value, >= 0 *)
+    fwaiters : int Atomic.t; (* parked or about-to-park slow-path Ps *)
+    flock : Stdlib.Mutex.t;
+    fcond : Stdlib.Condition.t;
+    frid : int; (* watchdog id; -1 = watchdog off at creation *)
+  }
+
+  type t = Queued of queued | Fast of fast
+
   let create ?(fairness = `Strong) n =
     if n < 0 then invalid_arg "Semaphore.Counting.create: negative value";
-    { mutex = Mutex.create ~name:"sem.lock" (); fairness;
-      queue = Waitq.create ~name:"sem.q" ();
-      cond = Condition.create (); value = n; weak_waiters = 0;
-      srid =
-        (if Deadlock.enabled () then Deadlock.register ~kind:"semaphore" ()
-         else -1) }
+    if fairness = `Weak && Fastpath.active () then
+      Fast
+        { fvalue = Atomic.make n;
+          fwaiters = Atomic.make 0;
+          flock = Stdlib.Mutex.create ();
+          fcond = Stdlib.Condition.create ();
+          frid =
+            (if Deadlock.enabled () then
+               Deadlock.register ~kind:"semaphore" ()
+             else -1) }
+    else
+      Queued
+        { mutex = Mutex.create ~name:"sem.lock" (); fairness;
+          queue = Waitq.create ~name:"sem.q" ();
+          cond = Condition.create (); value = n; weak_waiters = 0;
+          srid =
+            (if Deadlock.enabled () then
+               Deadlock.register ~kind:"semaphore" ()
+             else -1) }
+
+  (* ---------------- queued (default) tier ---------------- *)
 
   (* A P abort after the wake was consumed would leak the unit of value the
      waker handed us; re-route it to the next waiter (or back to the
      counter) before propagating. *)
-  let redonate t () = if not (Waitq.wake_first t.queue) then t.value <- t.value + 1
+  let redonate t () =
+    if not (Waitq.wake_first t.queue) then t.value <- t.value + 1
 
-  let p t =
+  let queued_p t =
     Mutex.protect t.mutex (fun () ->
         Fault.site "semaphore.pre-wait";
         match t.fairness with
@@ -65,8 +103,7 @@ module Counting = struct
             t.weak_waiters <- t.weak_waiters - 1;
             raise e))
 
-  let acquire_for t ~timeout_ns =
-    let deadline = Deadline.after_ns timeout_ns in
+  let queued_acquire_for t ~deadline =
     Mutex.protect t.mutex (fun () ->
         Fault.site "semaphore.pre-wait";
         match t.fairness with
@@ -97,7 +134,7 @@ module Counting = struct
             t.weak_waiters <- t.weak_waiters - 1;
             raise e))
 
-  let v t =
+  let queued_v t =
     Mutex.protect t.mutex (fun () ->
         match t.fairness with
         | `Strong ->
@@ -109,7 +146,25 @@ module Counting = struct
             Probe.instant Signal ~site:"sem.cond" ~arg:t.weak_waiters;
           Condition.signal t.cond)
 
-  let try_p t =
+  (* Batched V: publish [n] units under one lock acquisition and one
+     wake pass, instead of n lock round-trips each rescanning the
+     queue. Strong mode hands units to the n oldest waiters in one
+     Waitq.wake_n sweep; weak mode bumps the value once and issues a
+     single broadcast (n signals would wake n waiters anyway; the
+     broadcast is the level-triggered equivalent). *)
+  let queued_v_n t n =
+    Mutex.protect t.mutex (fun () ->
+        match t.fairness with
+        | `Strong ->
+          let woken = Waitq.wake_n t.queue n in
+          if woken < n then t.value <- t.value + (n - woken)
+        | `Weak ->
+          t.value <- t.value + n;
+          if Probe.enabled () then
+            Probe.instant Signal ~site:"sem.cond" ~arg:t.weak_waiters;
+          Condition.broadcast t.cond)
+
+  let queued_try_p t =
     Mutex.protect t.mutex (fun () ->
         let ok =
           match t.fairness with
@@ -119,13 +174,118 @@ module Counting = struct
         if ok then t.value <- t.value - 1;
         ok)
 
-  let value t = Mutex.protect t.mutex (fun () -> t.value)
+  (* ---------------- fast weak tier ---------------- *)
 
-  let waiters t =
-    Mutex.protect t.mutex (fun () ->
-        match t.fairness with
-        | `Strong -> Waitq.length t.queue
-        | `Weak -> t.weak_waiters)
+  (* Consume one unit iff the value is positive; CAS failures (another
+     P or V moved the value) retry with backoff as long as a unit
+     remains visible. Returns false only after observing value = 0. *)
+  let rec fast_try_dec f b =
+    let v = Atomic.get f.fvalue in
+    v > 0
+    && (Atomic.compare_and_set f.fvalue v (v - 1)
+       ||
+       (Backoff.once b;
+        fast_try_dec f b))
+
+  let fast_p f =
+    Fault.site "semaphore.pre-wait";
+    let b = Backoff.create () in
+    if not (fast_try_dec f b) then begin
+      (* Value exhausted: park. The waiter count is bumped under
+         [flock] before the final re-check, so a V that makes the value
+         positive after our last failed look must observe
+         [fwaiters > 0] and take the signal path (SC atomics give the
+         usual "either V sees the waiter or the waiter sees the value"
+         disjunction). *)
+      let t0 = Probe.now () in
+      Stdlib.Mutex.lock f.flock;
+      Atomic.incr f.fwaiters;
+      if f.frid >= 0 then Deadlock.blocked f.frid;
+      let rec park first =
+        if not (fast_try_dec f b) then begin
+          if not first then
+            (* Signal race lost: a barging fast-path P took the unit. *)
+            Probe.instant Spurious ~site:"sem.fast" ~arg:0;
+          Stdlib.Condition.wait f.fcond f.flock;
+          park false
+        end
+      in
+      (match park true with
+      | () -> ()
+      | exception e ->
+        Atomic.decr f.fwaiters;
+        if f.frid >= 0 then Deadlock.unblocked ();
+        Stdlib.Mutex.unlock f.flock;
+        raise e);
+      Atomic.decr f.fwaiters;
+      if f.frid >= 0 then Deadlock.unblocked ();
+      Stdlib.Mutex.unlock f.flock;
+      if t0 <> 0 then
+        Probe.span Wait ~site:"sem.fast" ~since:t0 ~arg:(Atomic.get f.fwaiters)
+    end
+
+  let fast_v_units f n =
+    ignore (Atomic.fetch_and_add f.fvalue n);
+    if Probe.enabled () then
+      Probe.instant Signal ~site:"sem.fast" ~arg:(Atomic.get f.fwaiters);
+    if Atomic.get f.fwaiters > 0 then begin
+      Stdlib.Mutex.lock f.flock;
+      if n = 1 then Stdlib.Condition.signal f.fcond
+      else Stdlib.Condition.broadcast f.fcond;
+      Stdlib.Mutex.unlock f.flock
+    end
+
+  (* Timed P on the fast tier polls with backoff instead of parking:
+     stdlib condition variables cannot time out, and the default tier's
+     timed weak wait is the same unlock/yield/relock polling one layer
+     down (Condition.wait_for). The deadline bounds the loop. *)
+  let fast_acquire_for f ~deadline =
+    Fault.site "semaphore.pre-wait";
+    let b = Backoff.create () in
+    let rec loop () =
+      if fast_try_dec f b then true
+      else if Deadline.expired deadline then false
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* ---------------- dispatch ---------------- *)
+
+  let p = function Queued q -> queued_p q | Fast f -> fast_p f
+
+  let acquire_for t ~timeout_ns =
+    let deadline = Deadline.after_ns timeout_ns in
+    match t with
+    | Queued q -> queued_acquire_for q ~deadline
+    | Fast f -> fast_acquire_for f ~deadline
+
+  let v = function Queued q -> queued_v q | Fast f -> fast_v_units f 1
+
+  let v_n t n =
+    if n < 0 then invalid_arg "Semaphore.Counting.v_n: negative count";
+    if n > 0 then
+      match t with
+      | Queued q -> queued_v_n q n
+      | Fast f -> fast_v_units f n
+
+  let try_p = function
+    | Queued q -> queued_try_p q
+    | Fast f -> fast_try_dec f (Backoff.create ())
+
+  let value = function
+    | Queued q -> Mutex.protect q.mutex (fun () -> q.value)
+    | Fast f -> Atomic.get f.fvalue
+
+  let waiters = function
+    | Queued q ->
+      Mutex.protect q.mutex (fun () ->
+          match q.fairness with
+          | `Strong -> Waitq.length q.queue
+          | `Weak -> q.weak_waiters)
+    | Fast f -> Atomic.get f.fwaiters
 end
 
 module Binary = struct

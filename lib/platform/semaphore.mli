@@ -14,7 +14,16 @@
 
     These are the substrate for the Campbell-Habermann path-expression
     translation and for the baseline semaphore solutions of the six
-    canonical problems. *)
+    canonical problems.
+
+    When {!Fastpath} is active at creation time, a [`Weak] counting
+    semaphore uses the contention-adaptive tier (E22): the value lives
+    in a non-negative atomic, [P] consumes a unit by CAS when the value
+    is positive, [V] publishes with one fetch-and-add, and the internal
+    lock is touched only when the value exhausts and a waiter parks.
+    [`Strong] (FCFS) mode always keeps the queued slow path — a CAS
+    fast path is a barging path, and arrival-order grants must not
+    change — but still inherits the adaptive mutex for its lock. *)
 
 type fairness = [ `Strong | `Weak ]
 
@@ -41,6 +50,15 @@ module Counting : sig
 
   val v : t -> unit
   (** Dijkstra's V (signal/up): increment, waking one waiter if any. *)
+
+  val v_n : t -> int -> unit
+  (** [v_n s n] releases [n] units as one batched V: one lock
+      acquisition and one wake pass instead of [n] round-trips.
+      Strong mode hands the units to the [n] oldest waiters in a
+      single {!Waitq.wake_n} sweep (remaining units go to the
+      counter); weak mode adds [n] and broadcasts once. Equivalent to
+      [n] calls of {!v} up to wake order. [n = 0] is a no-op.
+      @raise Invalid_argument if [n < 0]. *)
 
   val try_p : t -> bool
   (** Non-blocking P; [true] on success. *)

@@ -74,6 +74,13 @@ val wake_min : 'a t -> cmp:('a -> 'a -> int) -> bool
 (** Release the waiter with the minimal tag under [cmp]; ties broken by
     arrival order (FIFO). *)
 
+val wake_n : 'a t -> int -> int
+(** [wake_n q n] releases up to [n] of the oldest parked waiters (FIFO)
+    in one pass: one queue split and one batched signal instant instead
+    of [n] handoff instants and [n] rescans. Returns how many were
+    released. This is the batching substrate for semaphore [V]-storms
+    (see {!Semaphore.Counting.v_n}). *)
+
 val wake_all : 'a t -> int
 (** Release every parked waiter; returns how many were released. *)
 

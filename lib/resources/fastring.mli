@@ -1,0 +1,34 @@
+(** Fast bounded FIFO buffer: a Vyukov-style MPMC ring with per-slot
+    sequence numbers (E22's opt-in fast variant of {!Ring}).
+
+    Same interface and same self-checking philosophy as {!Ring}, but
+    built for parallel access: producers and consumers claim positions
+    with a CAS and then publish through their own slot's sequence
+    number, so a concurrent put and get touch disjoint atomics and any
+    number of puts (or gets) may overlap — useful when the fast-path
+    tier thins the synchronizer enough that resource-side serialization
+    would become the bottleneck.
+
+    Integrity checks (raising {!Busywork.Ill_synchronized}) fall out of
+    the slot protocol plus the position counters: a put that finds the
+    buffer full by positions was over-admitted, as was a get that finds
+    it empty — whereas a slot that is merely awaiting an in-flight
+    peer's publish/recycle step is waited on, not reported (claiming a
+    position and publishing through the slot are separate steps, so
+    benign inversions occur under parallel access). The hot atomics are
+    best-effort cache-line padded (OCaml 5.1 cannot pin layout). *)
+
+type t
+
+val create : ?work:int -> int -> t
+(** [create n] has capacity [n >= 1]. [work] is busy-work per operation
+    (default 50), matching {!Ring.create}. *)
+
+val capacity : t -> int
+
+val put : t -> int -> unit
+
+val get : t -> int
+
+val occupancy : t -> int
+(** Number of items currently stored (racy snapshot). *)

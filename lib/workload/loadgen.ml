@@ -168,6 +168,7 @@ let run (target : Target.instance) cfg =
   { Report.problem = meta.Sync_taxonomy.Meta.problem;
     variant = meta.Sync_taxonomy.Meta.variant;
     mechanism = meta.Sync_taxonomy.Meta.mechanism;
+    tier = target.Target.tier;
     workers = cfg.workers;
     backend = (match cfg.backend with `Thread -> "thread" | `Domain -> "domain");
     mode = (match cfg.mode with Closed -> "closed" | Open_loop _ -> "open");

@@ -4,6 +4,7 @@ type t = {
   problem : string;
   variant : string;
   mechanism : string;
+  tier : string;
   workers : int;
   backend : string;
   mode : string;
@@ -16,8 +17,10 @@ type t = {
 }
 
 let pp ppf t =
-  Format.fprintf ppf "%s/%s@%s: %d %s worker(s), %s loop" t.problem t.variant
-    t.mechanism t.workers t.backend t.mode;
+  Format.fprintf ppf "%s/%s@%s%s: %d %s worker(s), %s loop" t.problem
+    t.variant t.mechanism
+    (if t.tier = "default" then "" else " [" ^ t.tier ^ "]")
+    t.workers t.backend t.mode;
   (match t.rate_per_s with
   | Some r ->
     Format.fprintf ppf " @@ %.0f/s %s arrivals" r
@@ -32,6 +35,7 @@ let to_json t =
     [ ("problem", Emit.Str t.problem);
       ("variant", Emit.Str t.variant);
       ("mechanism", Emit.Str t.mechanism);
+      ("tier", Emit.Str t.tier);
       ("workers", Emit.Int t.workers);
       ("backend", Emit.Str t.backend);
       ("mode", Emit.Str t.mode);
@@ -47,11 +51,11 @@ let to_json t =
 let write_json path t = Emit.write_file path (to_json t)
 
 let csv_header =
-  "mechanism,problem,variant,workers,backend,mode," ^ Summary.csv_header
+  "mechanism,problem,variant,tier,workers,backend,mode," ^ Summary.csv_header
 
 let csv_rows t =
   Summary.csv_rows
     ~label:
-      [ t.mechanism; t.problem; t.variant; string_of_int t.workers; t.backend;
-        t.mode ]
+      [ t.mechanism; t.problem; t.variant; t.tier; string_of_int t.workers;
+        t.backend; t.mode ]
     t.summary

@@ -9,6 +9,7 @@ type t = {
   problem : string;
   variant : string;
   mechanism : string;
+  tier : string;  (** platform substrate: ["default"] or ["fast"] (E22) *)
   workers : int;
   backend : string;  (** ["thread"] or ["domain"] *)
   mode : string;  (** ["closed"] or ["open"] *)

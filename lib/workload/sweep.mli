@@ -15,11 +15,12 @@ val default_domain_counts : unit -> int list
     deduplicated. *)
 
 val run :
-  ?params:Target.params -> ?progress:(cell -> unit) -> problem:string ->
-  mechanism:string -> base:Loadgen.config -> domain_counts:int list -> unit ->
-  (cell list, string) result
+  ?params:Target.params -> ?tier:Target.tier -> ?progress:(cell -> unit) ->
+  problem:string -> mechanism:string -> base:Loadgen.config ->
+  domain_counts:int list -> unit -> (cell list, string) result
 (** Run the target once per domain count ([base] with [workers] set to
-    the count). [progress] fires after each cell. *)
+    the count). [tier] selects the platform substrate (default
+    [`Default]); [progress] fires after each cell. *)
 
 val sweep_to_json :
   problem:string -> mechanism:string -> base:Loadgen.config -> cell list ->
@@ -50,3 +51,22 @@ val baseline :
 val baseline_to_json : baseline_spec -> cell list -> Sync_metrics.Emit.t
 (** The committed [BENCH_E20.json] document: grid metadata + one row per
     cell with throughput and the latency ladder. *)
+
+val default_e22_spec : unit -> baseline_spec
+(** The E20 spec narrowed to domain counts [1; 4] with eventcount added
+    to the mechanism list — each cell is run on both substrate tiers,
+    so the grid doubles; 1 domain captures the uncontended fast-path
+    cost, 4 the contended win. *)
+
+val e22 :
+  ?progress:(cell -> unit) -> ?tiers:Target.tier list -> baseline_spec ->
+  (cell list, string) result
+(** Run the grid once per tier per cell (problem-major, then mechanism,
+    then tier, then domain count), identical seed and windows across
+    tiers. [tiers] defaults to [[`Default; `Fast]]. Pairs the workload
+    engine does not offer (e.g. eventcount readers-writers) are
+    skipped; any other per-cell failure aborts the grid. *)
+
+val e22_to_json : baseline_spec -> cell list -> Sync_metrics.Emit.t
+(** The committed [BENCH_E22.json] document: like {!baseline_to_json}
+    but rows carry a ["tier"] field and the metadata lists both tiers. *)

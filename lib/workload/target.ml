@@ -5,8 +5,13 @@ type op = { name : string; run : rng:Prng.t -> pid:int -> unit }
 
 type selection = Cycle | Weighted of int array
 
+type tier = [ `Default | `Fast ]
+
+let tier_name = function `Default -> "default" | `Fast -> "fast"
+
 type instance = {
   meta : Sync_taxonomy.Meta.t;
+  tier : string;
   ops : op array;
   selection : selection;
   stop : unit -> unit;
@@ -23,14 +28,26 @@ type params = {
 let default_params =
   { capacity = 8; work = 0; read_pct = 90; tracks = 256; hot_pct = 0 }
 
-let bb (module B : Bb_intf.S) p =
-  let ring = Sync_resources.Ring.create ~work:p.work p.capacity in
-  let t =
-    B.create ~capacity:p.capacity
-      ~put:(fun ~pid:_ v -> Sync_resources.Ring.put ring v)
-      ~get:(fun ~pid:_ -> Sync_resources.Ring.get ring)
+let bb (module B : Bb_intf.S) tier p =
+  (* The fast tier swaps the single-put/single-get self-checking ring
+     for the Vyukov MPMC one: same bounded-FIFO contract and the same
+     raise-on-violation integrity checks, but put and get touch
+     disjoint atomics, so the resource itself never re-serializes what
+     the thinner fast-path synchronizer lets through. *)
+  let put, get =
+    match tier with
+    | `Default ->
+      let ring = Sync_resources.Ring.create ~work:p.work p.capacity in
+      ( (fun ~pid:_ v -> Sync_resources.Ring.put ring v),
+        fun ~pid:_ -> Sync_resources.Ring.get ring )
+    | `Fast ->
+      let ring = Sync_resources.Fastring.create ~work:p.work p.capacity in
+      ( (fun ~pid:_ v -> Sync_resources.Fastring.put ring v),
+        fun ~pid:_ -> Sync_resources.Fastring.get ring )
   in
+  let t = B.create ~capacity:p.capacity ~put ~get in
   { meta = B.meta;
+    tier = tier_name tier;
     ops =
       [| { name = "put";
            run = (fun ~rng ~pid -> B.put t ~pid (Prng.int rng 1_000_000)) };
@@ -38,7 +55,7 @@ let bb (module B : Bb_intf.S) p =
     selection = Cycle;
     stop = (fun () -> B.stop t) }
 
-let slot (module S : Slot_intf.S) p =
+let slot (module S : Slot_intf.S) tier p =
   let cell = Sync_resources.Slot.create ~work:p.work () in
   let t =
     S.create
@@ -46,6 +63,7 @@ let slot (module S : Slot_intf.S) p =
       ~get:(fun ~pid:_ -> Sync_resources.Slot.get cell)
   in
   { meta = S.meta;
+    tier = tier_name tier;
     ops =
       [| { name = "put";
            run = (fun ~rng ~pid -> S.put t ~pid (Prng.int rng 1_000_000)) };
@@ -53,7 +71,7 @@ let slot (module S : Slot_intf.S) p =
     selection = Cycle;
     stop = (fun () -> S.stop t) }
 
-let fcfs (module F : Fcfs_intf.S) p =
+let fcfs (module F : Fcfs_intf.S) tier p =
   (* The FCFS resource is pure busywork plus its own overlap check (the
      harness's idiom): a synchronizer that admits two users concurrently
      trips Ill_synchronized here rather than posting a fake number. *)
@@ -66,11 +84,12 @@ let fcfs (module F : Fcfs_intf.S) p =
   in
   let t = F.create ~use in
   { meta = F.meta;
+    tier = tier_name tier;
     ops = [| { name = "use"; run = (fun ~rng:_ ~pid -> F.use t ~pid) } |];
     selection = Cycle;
     stop = (fun () -> F.stop t) }
 
-let rw (module R : Rw_intf.S) p =
+let rw (module R : Rw_intf.S) tier p =
   let store = Sync_resources.Store.create ~work:p.work () in
   let t =
     R.create
@@ -78,13 +97,14 @@ let rw (module R : Rw_intf.S) p =
       ~write:(fun ~pid:_ -> Sync_resources.Store.write store)
   in
   { meta = R.meta;
+    tier = tier_name tier;
     ops =
       [| { name = "read"; run = (fun ~rng:_ ~pid -> ignore (R.read t ~pid)) };
          { name = "write"; run = (fun ~rng:_ ~pid -> R.write t ~pid) } |];
     selection = Weighted [| p.read_pct; 100 - p.read_pct |];
     stop = (fun () -> R.stop t) }
 
-let disk (module D : Disk_intf.S) p =
+let disk (module D : Disk_intf.S) tier p =
   let d = Sync_resources.Disk.create ~work:p.work ~tracks:p.tracks () in
   let t =
     D.create ~tracks:p.tracks
@@ -96,6 +116,7 @@ let disk (module D : Disk_intf.S) p =
     else Prng.int rng p.tracks
   in
   { meta = D.meta;
+    tier = tier_name tier;
     ops =
       [| { name = "access";
            run = (fun ~rng ~pid -> D.access t ~pid (pick_track rng)) } |];
@@ -106,7 +127,7 @@ let disk (module D : Disk_intf.S) p =
    registration — for semaphores the baton solution (the conformant one),
    for path expressions the paper's Figure 1 (faithful: it violates only
    the priority constraint, never exclusion, so it is safe to load). *)
-let table : (string * (string * (params -> instance)) list) list =
+let table : (string * (string * (tier -> params -> instance)) list) list =
   [ ( "bounded-buffer",
       [ ("semaphore", bb (module Bb_sem)); ("monitor", bb (module Bb_mon));
         ("serializer", bb (module Bb_ser)); ("pathexpr", bb (module Bb_path));
@@ -147,7 +168,8 @@ let mechanisms ~problem =
   | None -> []
   | Some ms -> List.map fst ms
 
-let create ?(params = default_params) ~problem ~mechanism () =
+let create ?(params = default_params) ?(tier = `Default) ~problem ~mechanism
+    () =
   if params.read_pct < 0 || params.read_pct > 100 then
     Error "read_pct must be in 0..100"
   else if params.capacity < 1 then Error "capacity must be >= 1"
@@ -164,4 +186,12 @@ let create ?(params = default_params) ~problem ~mechanism () =
         Error
           (Printf.sprintf "no %S target for %S (try: %s)" mechanism problem
              (String.concat ", " (List.map fst ms)))
-      | Some build -> Ok (build params))
+      | Some build -> (
+        (* The fast tier is a creation-time property of the platform
+           primitives: build the whole solution (including any CSP
+           server processes it spawns) with the flag on, then restore.
+           Workers created later by the load generator see whatever
+           tier the instance was built with. *)
+        match tier with
+        | `Default -> Ok (build tier params)
+        | `Fast -> Ok (Fastpath.with_enabled (fun () -> build tier params))))

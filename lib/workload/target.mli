@@ -32,8 +32,20 @@ type selection =
   | Weighted of int array
       (** pick one op per iteration with these relative weights *)
 
+type tier = [ `Default | `Fast ]
+(** Which platform substrate the instance is built on. [`Default] is
+    the stdlib-backed tier; [`Fast] builds the solution with
+    {!Sync_platform.Fastpath} enabled — adaptive mutexes, fetch-and-add
+    weak semaphores — and gives the bounded buffer the Vyukov
+    {!Sync_resources.Fastring} resource. Mechanism code and semantics
+    are identical; only the substrate's cost profile changes (E22). *)
+
+val tier_name : tier -> string
+(** ["default"] / ["fast"] — the label reported in {!Report.t} rows. *)
+
 type instance = {
   meta : Sync_taxonomy.Meta.t;  (** the driven solution's registry metadata *)
+  tier : string;  (** {!tier_name} of the tier the instance was built on *)
   ops : op array;
   selection : selection;
   stop : unit -> unit;  (** release solution resources (CSP servers etc.) *)
@@ -58,7 +70,10 @@ val mechanisms : problem:string -> string list
 (** Mechanisms with a target for [problem] (empty for unknown). *)
 
 val create :
-  ?params:params -> problem:string -> mechanism:string -> unit ->
-  (instance, string) result
-(** Build a fresh instance (fresh resource, fresh synchronizer). The
-    error names the valid choices. *)
+  ?params:params -> ?tier:tier -> problem:string -> mechanism:string ->
+  unit -> (instance, string) result
+(** Build a fresh instance (fresh resource, fresh synchronizer). With
+    [~tier:`Fast] the whole solution is built under
+    {!Sync_platform.Fastpath.with_enabled} (no effect inside a {!Detrt}
+    run, where the deterministic substrate always wins). The error
+    names the valid choices. *)

@@ -164,6 +164,73 @@ let test_loadgen_on_domains () =
          <= cfg.Sync_workload.Loadgen.workers)
     | _ -> Alcotest.fail "expected put/get ops")
 
+(* The E22 fast tier under true parallelism: the adaptive mutex and the
+   fetch-and-add weak semaphore must keep their invariants across a
+   4-domain storm, where CAS races and parked handoffs actually occur. *)
+let test_fast_mutex_exclusion_domains () =
+  let m = Fastpath.with_enabled (fun () -> Mutex.create ()) in
+  let g = Testutil.Gauge.create () in
+  let count = ref 0 in
+  let iters = 500 in
+  let worker () =
+    for _ = 1 to iters do
+      Mutex.lock m;
+      Testutil.Gauge.enter g;
+      incr count;
+      Domain.cpu_relax ();
+      Testutil.Gauge.leave g;
+      Mutex.unlock m
+    done
+  in
+  run_domains [ worker; worker; worker; worker ];
+  check_int "exclusive" 1 (Testutil.Gauge.max g);
+  check_int "no lost increments" (4 * iters) !count
+
+let test_fast_weak_sem_domains () =
+  let k = 2 in
+  let s =
+    Fastpath.with_enabled (fun () ->
+        Semaphore.Counting.create ~fairness:`Weak k)
+  in
+  let g = Testutil.Gauge.create () in
+  let worker () =
+    for _ = 1 to 500 do
+      Semaphore.Counting.p s;
+      Testutil.Gauge.enter g;
+      Domain.cpu_relax ();
+      Testutil.Gauge.leave g;
+      Semaphore.Counting.v s
+    done
+  in
+  run_domains [ worker; worker; worker; worker ];
+  Alcotest.(check bool) "at most k holders" true (Testutil.Gauge.max g <= k);
+  check_int "units conserved" k (Semaphore.Counting.value s)
+
+(* A fast-tier workload cell end to end: the full stack (Fastring,
+   adaptive mutex, fast conditions) must record zero failures — the
+   self-checking resource turns any exclusion slip into a failure. *)
+let test_loadgen_fast_tier_on_domains () =
+  match
+    Sync_workload.Target.create ~tier:`Fast ~problem:"bounded-buffer"
+      ~mechanism:"eventcount" ()
+  with
+  | Error e -> Alcotest.failf "target: %s" e
+  | Ok instance ->
+    Alcotest.(check string) "tier recorded" "fast"
+      instance.Sync_workload.Target.tier;
+    let cfg =
+      { Sync_workload.Loadgen.workers = 4; backend = `Domain;
+        duration_ms = 80; warmup_ms = 20;
+        mode = Sync_workload.Loadgen.Closed; seed = 11 }
+    in
+    let report = Sync_workload.Loadgen.run instance cfg in
+    let s = report.Sync_workload.Report.summary in
+    Alcotest.(check string) "report carries the tier" "fast"
+      report.Sync_workload.Report.tier;
+    Alcotest.(check bool) "made progress" true
+      (s.Sync_metrics.Summary.total_ops > 0);
+    check_int "no failures" 0 s.Sync_metrics.Summary.total_failures
+
 let () =
   Alcotest.run "domains"
     [ ( "parallel-invariants",
@@ -181,4 +248,11 @@ let () =
       ("readers-writers-on-domains", rw_domain_tests);
       ( "load-engine-on-domains",
         [ Alcotest.test_case "closed-loop smoke" `Quick
-            test_loadgen_on_domains ] ) ]
+            test_loadgen_on_domains ] );
+      ( "fast-tier-on-domains",
+        [ Alcotest.test_case "fast mutex exclusion" `Quick
+            test_fast_mutex_exclusion_domains;
+          Alcotest.test_case "fast weak semaphore conservation" `Quick
+            test_fast_weak_sem_domains;
+          Alcotest.test_case "fast-tier closed-loop cell" `Quick
+            test_loadgen_fast_tier_on_domains ] ) ]

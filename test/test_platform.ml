@@ -568,6 +568,231 @@ let test_deadlock_find_cycle () =
       Deadlock.reset ();
       check_bool "reset clears the graph" true (Deadlock.find_cycle () = None))
 
+(* ------------------------------------------------------------------ *)
+(* Fast-path tier (E22)                                               *)
+
+let test_fastpath_flag () =
+  check_bool "off by default" false (Fastpath.enabled ());
+  let r =
+    Fastpath.with_enabled (fun () ->
+        check_bool "on inside" true (Fastpath.enabled ());
+        check_bool "active outside Detrt" true (Fastpath.active ());
+        17)
+  in
+  check_int "with_enabled returns f's value" 17 r;
+  check_bool "restored" false (Fastpath.enabled ());
+  (match Fastpath.with_enabled (fun () -> raise Exit) with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "expected Exit");
+  check_bool "restored after raise" false (Fastpath.enabled ())
+
+let is_fast_mutex (m : Mutex.t) =
+  match m.Mutex.impl with Mutex.Fast _ -> true | _ -> false
+
+let test_fast_mutex_tier_selection () =
+  check_bool "default tier without the flag" false
+    (is_fast_mutex (Mutex.create ()));
+  let m = Fastpath.with_enabled (fun () -> Mutex.create ()) in
+  check_bool "fast tier under the flag" true (is_fast_mutex m);
+  let sem_tier fairness =
+    Fastpath.with_enabled (fun () ->
+        Semaphore.Counting.create ~fairness 1)
+  in
+  (* Only weak semaphores may take the fetch-and-add tier: strong ones
+     promise arrival order, which the barging fast path cannot give. *)
+  check_int "strong semaphore stays queued (waiters observable)" 0
+    (Semaphore.Counting.waiters (sem_tier `Strong));
+  let w = sem_tier `Weak in
+  Semaphore.Counting.p w;
+  check_int "weak fast semaphore accounts value" 0
+    (Semaphore.Counting.value w);
+  Semaphore.Counting.v w;
+  check_int "weak fast semaphore v restores" 1 (Semaphore.Counting.value w)
+
+(* Mutual exclusion of the adaptive mutex under a parked-waiter storm:
+   enough threads that the CAS, spin, and park paths all engage. *)
+let test_fast_mutex_exclusion_storm () =
+  let m = Fastpath.with_enabled (fun () -> Mutex.create ()) in
+  let g = Testutil.Gauge.create () in
+  let count = ref 0 in
+  let iters = 2_000 in
+  let worker () =
+    for _ = 1 to iters do
+      Mutex.lock m;
+      Testutil.Gauge.enter g;
+      incr count;
+      Testutil.Gauge.leave g;
+      Mutex.unlock m
+    done
+  in
+  Process.run_all ~backend:`Thread [ worker; worker; worker; worker ];
+  check_int "never two holders" 1 (Testutil.Gauge.max g);
+  check_int "no lost increments" (4 * iters) !count
+
+(* Value conservation of the fast weak semaphore: k units, never more
+   than k concurrent holders, and every P is matched by its V. *)
+let test_fast_weak_sem_conservation () =
+  let k = 3 in
+  let s =
+    Fastpath.with_enabled (fun () ->
+        Semaphore.Counting.create ~fairness:`Weak k)
+  in
+  let g = Testutil.Gauge.create () in
+  let iters = 1_000 in
+  let worker () =
+    for _ = 1 to iters do
+      Semaphore.Counting.p s;
+      Testutil.Gauge.enter g;
+      Testutil.Gauge.leave g;
+      Semaphore.Counting.v s
+    done
+  in
+  Process.run_all ~backend:`Thread [ worker; worker; worker; worker ];
+  check_bool "at most k concurrent holders" true (Testutil.Gauge.max g <= k);
+  check_int "all units returned" k (Semaphore.Counting.value s);
+  check_int "no waiters left" 0 (Semaphore.Counting.waiters s)
+
+(* try_p on the fast tier: must honor the value without parking. *)
+let test_fast_sem_try_p_and_timeout () =
+  let s =
+    Fastpath.with_enabled (fun () ->
+        Semaphore.Counting.create ~fairness:`Weak 1)
+  in
+  check_bool "try_p wins the unit" true (Semaphore.Counting.try_p s);
+  check_bool "try_p on empty fails" false (Semaphore.Counting.try_p s);
+  check_bool "acquire_for on empty times out" false
+    (Semaphore.Counting.acquire_for s ~timeout_ns:2_000_000L);
+  Semaphore.Counting.v s;
+  check_bool "acquire_for succeeds when a unit exists" true
+    (Semaphore.Counting.acquire_for s ~timeout_ns:2_000_000L);
+  Semaphore.Counting.v s
+
+(* Timed lock on the fast mutex: the backoff poll loop must both expire
+   under contention and succeed on a free lock (satellite of E22). *)
+let test_fast_mutex_try_lock_for () =
+  let m = Fastpath.with_enabled (fun () -> Mutex.create ()) in
+  let release = Atomic.make false in
+  let held = Atomic.make false in
+  let holder =
+    Testutil.spawn (fun () ->
+        Mutex.lock m;
+        Atomic.set held true;
+        while not (Atomic.get release) do
+          Thread.yield ()
+        done;
+        Mutex.unlock m)
+  in
+  Testutil.eventually "holder has it" (fun () -> Atomic.get held);
+  check_bool "contended fast lock times out" false
+    (Mutex.try_lock_for m ~timeout_ns:2_000_000L);
+  Atomic.set release true;
+  Process.join holder;
+  check_bool "free fast lock succeeds" true
+    (Mutex.try_lock_for m ~timeout_ns:1_000_000L);
+  check_bool "try_lock while held fails" false (Mutex.try_lock m);
+  Mutex.unlock m
+
+(* Conditions paired with a fast mutex: the park/seq protocol must not
+   lose wakeups (Mesa contract: spurious allowed, lost not). *)
+let test_fast_mutex_condition () =
+  Fastpath.with_enabled (fun () ->
+      let m = Mutex.create () in
+      let c = Condition.create () in
+      let ready = ref 0 in
+      let woke = Atomic.make 0 in
+      let n = 3 in
+      let waiters =
+        List.init n (fun _ ->
+            Testutil.spawn (fun () ->
+                Mutex.lock m;
+                incr ready;
+                while !ready <= n do
+                  Condition.wait c m
+                done;
+                Atomic.incr woke;
+                Mutex.unlock m))
+      in
+      Testutil.eventually "all parked" (fun () ->
+          Mutex.lock m;
+          let all = !ready = n in
+          Mutex.unlock m;
+          all);
+      Mutex.lock m;
+      ready := n + 1;
+      Condition.broadcast c;
+      Mutex.unlock m;
+      List.iter Process.join waiters;
+      check_int "broadcast woke everyone" n (Atomic.get woke);
+      (* signal wakes at least one parked waiter. *)
+      let parked = Atomic.make false and released = Atomic.make false in
+      let w =
+        Testutil.spawn (fun () ->
+            Mutex.lock m;
+            Atomic.set parked true;
+            while not (Atomic.get released) do
+              Condition.wait c m
+            done;
+            Mutex.unlock m)
+      in
+      Testutil.eventually "waiter parked" (fun () -> Atomic.get parked);
+      Mutex.lock m;
+      Atomic.set released true;
+      Condition.signal c;
+      Mutex.unlock m;
+      Process.join w)
+
+let test_waitq_wake_n () =
+  let q = Waitq.create () in
+  let m = Mutex.create () in
+  let woke = Atomic.make 0 in
+  let n = 3 in
+  let waiters =
+    List.init n (fun i ->
+        Testutil.spawn (fun () ->
+            Mutex.lock m;
+            Waitq.wait q ~lock:m i;
+            Atomic.incr woke;
+            Mutex.unlock m))
+  in
+  Testutil.eventually "three parked" (fun () -> Waitq.length q = n);
+  Mutex.lock m;
+  check_int "wake_n reports the released count" 2 (Waitq.wake_n q 2);
+  Mutex.unlock m;
+  Testutil.eventually "exactly two woke" (fun () -> Atomic.get woke = 2);
+  Testutil.never "third stays parked" (fun () -> Atomic.get woke > 2);
+  Mutex.lock m;
+  check_int "wake_all drains the rest" 1 (Waitq.wake_all q);
+  Mutex.unlock m;
+  List.iter Process.join waiters;
+  check_int "all woke in the end" n (Atomic.get woke)
+
+let test_sem_v_n () =
+  (* Strong tier: v_n hands units to parked waiters in FIFO order, one
+     signal pass, leftovers to the value. *)
+  let s = Semaphore.Counting.create 0 in
+  let woke = Atomic.make 0 in
+  let waiters =
+    List.init 3 (fun _ ->
+        Testutil.spawn (fun () ->
+            Semaphore.Counting.p s;
+            Atomic.incr woke))
+  in
+  Testutil.eventually "three parked" (fun () ->
+      Semaphore.Counting.waiters s = 3);
+  Semaphore.Counting.v_n s 0;
+  check_int "v_n 0 is a no-op" 3 (Semaphore.Counting.waiters s);
+  Semaphore.Counting.v_n s 5;
+  List.iter Process.join waiters;
+  check_int "all three woke" 3 (Atomic.get woke);
+  check_int "leftover units banked" 2 (Semaphore.Counting.value s);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Semaphore.Counting.v_n: negative count") (fun () ->
+      Semaphore.Counting.v_n s (-1));
+  (* Weak tier: one batched post, value goes up by n. *)
+  let w = Semaphore.Counting.create ~fairness:`Weak 0 in
+  Semaphore.Counting.v_n w 4;
+  check_int "weak v_n posts the batch" 4 (Semaphore.Counting.value w)
+
 let () =
   Alcotest.run "platform"
     [ ( "prng",
@@ -635,5 +860,21 @@ let () =
             test_fault_mask ] );
       ( "deadlock",
         [ Alcotest.test_case "find_cycle names the circular wait" `Quick
-            test_deadlock_find_cycle ] )
+            test_deadlock_find_cycle ] );
+      ( "fastpath",
+        [ Alcotest.test_case "flag scoping" `Quick test_fastpath_flag;
+          Alcotest.test_case "tier selection" `Quick
+            test_fast_mutex_tier_selection;
+          Alcotest.test_case "fast mutex exclusion storm" `Quick
+            test_fast_mutex_exclusion_storm;
+          Alcotest.test_case "fast weak semaphore conservation" `Quick
+            test_fast_weak_sem_conservation;
+          Alcotest.test_case "fast semaphore try_p/timeout" `Quick
+            test_fast_sem_try_p_and_timeout;
+          Alcotest.test_case "fast mutex try_lock_for" `Quick
+            test_fast_mutex_try_lock_for;
+          Alcotest.test_case "fast mutex conditions" `Quick
+            test_fast_mutex_condition;
+          Alcotest.test_case "waitq wake_n batches" `Quick test_waitq_wake_n;
+          Alcotest.test_case "semaphore v_n batches" `Quick test_sem_v_n ] )
     ]

@@ -49,6 +49,76 @@ let test_ring_detects_concurrent_puts () =
    with Busywork.Ill_synchronized _ -> detected := true);
   check_bool "detected a race" true !detected
 
+(* ------------------------------------------------------------------ *)
+(* Fastring (Vyukov MPMC ring, the E22 fast-tier buffer)               *)
+
+let test_fastring_fifo () =
+  let r = Fastring.create ~work:0 3 in
+  check_int "capacity" 3 (Fastring.capacity r);
+  Fastring.put r 1;
+  Fastring.put r 2;
+  check_int "occupancy" 2 (Fastring.occupancy r);
+  check_int "fifo" 1 (Fastring.get r);
+  Fastring.put r 3;
+  check_int "fifo" 2 (Fastring.get r);
+  check_int "fifo" 3 (Fastring.get r);
+  check_int "empty" 0 (Fastring.occupancy r)
+
+let test_fastring_overflow_underflow () =
+  let r = Fastring.create ~work:0 1 in
+  expect_ill (fun () -> Fastring.get r);
+  Fastring.put r 7;
+  expect_ill (fun () -> Fastring.put r 8);
+  check_int "value intact" 7 (Fastring.get r)
+
+(* Unlike Ring, overlapping puts are the Fastring's design point: with
+   counting semaphores doing the admission (the intended bounded-buffer
+   shape) the slot protocol must conserve every element under genuinely
+   parallel producers and consumers. *)
+let test_fastring_parallel_conservation () =
+  let n = 500 in
+  let cap = 8 in
+  let r = Fastring.create ~work:0 cap in
+  let free = Semaphore.Counting.create ~fairness:`Weak cap in
+  let items = Semaphore.Counting.create ~fairness:`Weak 0 in
+  let got = Array.make (2 * n) 0 in
+  let sum = Atomic.make 0 in
+  let producer base () =
+    for i = 1 to n do
+      Semaphore.Counting.p free;
+      Fastring.put r (base + i);
+      Semaphore.Counting.v items
+    done
+  in
+  let consumer () =
+    for _ = 1 to n do
+      Semaphore.Counting.p items;
+      let v = Fastring.get r in
+      Semaphore.Counting.v free;
+      got.(Atomic.fetch_and_add sum 1) <- v
+    done
+  in
+  Process.run_all ~backend:`Domain
+    [ producer 0; producer 10_000; consumer; consumer ];
+  check_int "everything consumed" (2 * n) (Atomic.get sum);
+  check_int "drained" 0 (Fastring.occupancy r);
+  let seen = Array.sub got 0 (2 * n) in
+  Array.sort compare seen;
+  let expect =
+    Array.init (2 * n) (fun i ->
+        if i < n then i + 1 else 10_000 + (i - n) + 1)
+  in
+  Alcotest.(check (array int)) "every element exactly once" expect seen
+
+let prop_fastring_sequential_fifo =
+  QCheck.Test.make ~name:"fastring behaves as FIFO queue"
+    QCheck.(list small_nat)
+    (fun xs ->
+      let xs = List.filteri (fun i _ -> i < 30) xs in
+      let r = Fastring.create ~work:0 (max 1 (List.length xs)) in
+      List.iter (Fastring.put r) xs;
+      List.map (fun _ -> Fastring.get r) xs = xs)
+
 let prop_ring_sequential_fifo =
   QCheck.Test.make ~name:"ring behaves as FIFO queue"
     QCheck.(list small_nat)
@@ -183,6 +253,13 @@ let () =
           Alcotest.test_case "detects concurrent puts" `Quick
             test_ring_detects_concurrent_puts;
           Testutil.qcheck_case prop_ring_sequential_fifo ] );
+      ( "fastring",
+        [ Alcotest.test_case "fifo" `Quick test_fastring_fifo;
+          Alcotest.test_case "overflow/underflow" `Quick
+            test_fastring_overflow_underflow;
+          Alcotest.test_case "parallel conservation" `Quick
+            test_fastring_parallel_conservation;
+          Testutil.qcheck_case prop_fastring_sequential_fifo ] );
       ( "store",
         [ Alcotest.test_case "versioning" `Quick test_store_versioning;
           Alcotest.test_case "detects overlap" `Quick

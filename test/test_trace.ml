@@ -214,6 +214,34 @@ let test_profile_aggregation () =
   Alcotest.(check int) "abandoned" 1 w.Profile.abandoned;
   Alcotest.(check int) "max queue depth from wait args" 3 w.Profile.max_queue
 
+(* A successful try_lock is a zero-wait acquire: it must show up in
+   profiled acquire counts (the E22 observability satellite), and the
+   eventual unlock must close the hold span it opened. Covered on both
+   substrate tiers, since each has its own try_lock path. *)
+let test_try_lock_emits_acquire () =
+  let check_tier label mk =
+    Probe.reset ();
+    Probe.enable ();
+    let m = mk () in
+    Alcotest.(check bool) (label ^ ": acquired") true
+      (Sync_platform.Mutex.try_lock m);
+    Sync_platform.Mutex.unlock m;
+    Probe.disable ();
+    let p = Profile.of_events ~dropped:0 (Probe.snapshot ()) in
+    (match Profile.find_row p ~site:"mutex" ~kind:Probe.Acquire with
+    | Some row ->
+      Alcotest.(check int) (label ^ ": one acquire span") 1 row.Profile.count
+    | None -> Alcotest.failf "%s: try_lock emitted no Acquire span" label);
+    match Profile.find_row p ~site:"mutex" ~kind:Probe.Hold with
+    | Some row ->
+      Alcotest.(check int) (label ^ ": one hold span") 1 row.Profile.count
+    | None -> Alcotest.failf "%s: unlock emitted no Hold span" label
+  in
+  check_tier "default" (fun () -> Sync_platform.Mutex.create ());
+  check_tier "fast" (fun () ->
+      Sync_platform.Fastpath.with_enabled (fun () ->
+          Sync_platform.Mutex.create ()))
+
 (* --- end to end: a traced load run ------------------------------- *)
 
 let test_traced_monitor_load () =
@@ -279,7 +307,9 @@ let () =
           Alcotest.test_case "parse-unicode" `Quick
             (scrubbed test_parse_unicode_escape) ] );
       ( "profile",
-        [ Alcotest.test_case "aggregation" `Quick
+        [ Alcotest.test_case "try-lock-acquire-span" `Quick
+            (scrubbed test_try_lock_emits_acquire);
+          Alcotest.test_case "aggregation" `Quick
             (scrubbed test_profile_aggregation) ] );
       ( "load",
         [ Alcotest.test_case "traced-monitor-run" `Quick

@@ -580,7 +580,19 @@ let explore_cmd =
   in
   let strategy =
     Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"STRATEGY"
-           ~doc:"random | pct | dfs")
+           ~doc:"random | pct | dfs | dpor")
+  in
+  let dpor_flag =
+    Arg.(value & flag & info [ "dpor" ]
+           ~doc:"Shorthand for --strategy dpor (dynamic partial-order \
+                 reduction: complete coverage of the dependency-equivalence \
+                 classes within the schedule budget).")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Domains for dpor: partitions the top-level backtrack \
+                 frontier. Keep 1 for scenarios using the process-global \
+                 fault registry (the storm-* entries).")
   in
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
@@ -637,7 +649,8 @@ let explore_cmd =
       exit 1
     end
   in
-  let run name strategy seed runs max_schedules replay =
+  let run name strategy dpor_flag workers seed runs max_schedules replay =
+    let strategy = if dpor_flag then "dpor" else strategy in
     match name with
     | None -> list_catalog ()
     | Some name -> (
@@ -681,13 +694,82 @@ let explore_cmd =
               (Detsched.Schedule.to_string sched)
               msg;
             exit 1)
+        | "dpor" -> (
+          let r = Detsched.explore_dpor ~max_schedules ~workers sc in
+          Format.fprintf ppf
+            "%s: %d schedules explored (%s), deepest %d decisions, %d \
+             races, %d workers, %.0f sched/s@."
+            name r.Detsched.explored
+            (if r.Detsched.complete then "complete: every equivalence class"
+             else "budget hit")
+            r.Detsched.deepest r.Detsched.races r.Detsched.workers
+            r.Detsched.per_sec;
+          match r.Detsched.failures with
+          | [] -> Format.fprintf ppf "no failing schedule@."
+          | fs ->
+            Format.fprintf ppf "%d failing schedule(s), first:@."
+              (List.length fs);
+            let sched, msg = List.hd fs in
+            Format.fprintf ppf "  %s@.  %s@."
+              (Detsched.Schedule.to_string sched)
+              msg;
+            exit 1)
         | s ->
-          Format.fprintf ppf "unknown strategy %S (random | pct | dfs)@." s;
+          Format.fprintf ppf
+            "unknown strategy %S (random | pct | dfs | dpor)@." s;
           exit 2)))
   in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const run $ scenario_arg $ strategy $ seed $ runs $ max_schedules
-          $ replay_arg)
+    Term.(const run $ scenario_arg $ strategy $ dpor_flag $ workers $ seed
+          $ runs $ max_schedules $ replay_arg)
+
+let exploration_cmd =
+  let doc =
+    "Run the exploration axis (experiment E26): naive bounded DFS vs \
+     dynamic partial-order reduction over the scenario catalog at a shared \
+     schedule budget per row. Rows where DFS completes cross-check the two \
+     engines (identical failure modes, DPOR explores no more); rows where \
+     only DPOR completes verify every dependency-equivalence class of \
+     trees DFS cannot finish. Exits non-zero if any ground-truth row \
+     disagrees."
+  in
+  let deep =
+    Arg.(value & flag & info [ "deep" ]
+           ~doc:"Add the frontier shapes (larger instances and budgets; \
+                 used by the non-blocking dpor-deep CI job).")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Domains per DPOR run (storm rows stay on 1).")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the rows as a JSON document.")
+  in
+  let run deep workers json =
+    let progress (r : Sync_eval.Exploration.row) =
+      Format.fprintf ppf "  [%s] dfs %d%s  dpor %d%s@." r.scenario
+        r.dfs.Sync_eval.Exploration.explored
+        (if r.dfs.Sync_eval.Exploration.complete then " (complete)" else "")
+        r.dpor.Sync_eval.Exploration.explored
+        (if r.dpor.Sync_eval.Exploration.complete then " (complete)" else "")
+    in
+    let rows = Sync_eval.Exploration.run ~deep ~workers ~progress () in
+    Format.fprintf ppf "@.";
+    Sync_eval.Exploration.pp ppf rows;
+    (match json with
+    | None -> ()
+    | Some file ->
+      Sync_metrics.Emit.write_file file (Sync_eval.Exploration.to_json rows);
+      Format.fprintf ppf "@.rows written to %s@." file);
+    if Sync_eval.Exploration.sound rows then
+      Format.fprintf ppf "@.all ground-truth rows agree@."
+    else begin
+      Format.fprintf ppf "@.EXPLORATION DISAGREEMENT — see rows above@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "exploration" ~doc) Term.(const run $ deep $ workers $ json)
 
 let faults_cmd =
   let doc =
@@ -735,5 +817,5 @@ let () =
        (Cmd.group info
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
-            trace_cmd; model_cmd; nested_cmd; explore_cmd; faults_cmd;
-            load_cmd ]))
+            trace_cmd; model_cmd; nested_cmd; explore_cmd; exploration_cmd;
+            faults_cmd; load_cmd ]))

@@ -29,9 +29,17 @@ module Schedule = struct
     else
       String.split_on_char ',' s
       |> List.map (fun tok ->
+             let bad () =
+               invalid_arg
+                 ("Schedule.of_string: bad token \"" ^ String.trim tok ^ "\"")
+             in
              match String.split_on_char '/' (String.trim tok) with
-             | [ c; a ] -> { chosen = int_of_string c; alts = int_of_string a }
-             | _ -> invalid_arg ("Schedule.of_string: bad token " ^ tok))
+             | [ c; a ] -> (
+               match (int_of_string_opt c, int_of_string_opt a) with
+               | Some chosen, Some alts when chosen >= 0 && alts > chosen ->
+                 { chosen; alts }
+               | _ -> bad ())
+             | _ -> bad ())
       |> Array.of_list
 end
 
@@ -140,7 +148,7 @@ let choices_pick (cs : int array) : pick =
 (* ------------------------------------------------------------------ *)
 (* Running                                                              *)
 
-let run_raw ?max_steps ~(pick : pick) body : outcome =
+let run_raw ?max_steps ?observe ~(pick : pick) body : outcome =
   let rev = ref [] in
   let count = ref 0 in
   let choose alts =
@@ -150,18 +158,18 @@ let run_raw ?max_steps ~(pick : pick) body : outcome =
     i
   in
   let sched () = Array.of_list (List.rev !rev) in
-  match Detrt.run ?max_steps ~choose body with
+  match Detrt.run ?max_steps ?observe ~choose body with
   | steps -> { schedule = sched (); steps; result = Ok () }
   | exception e -> { schedule = sched (); steps = !count; result = Error e }
 
-let run ?max_steps ~pick sc : verdict =
+let run ?max_steps ?observe ~pick sc : verdict =
   let inst = ref None in
   let body () =
     let i = sc.make () in
     inst := Some i;
     i.body ()
   in
-  let outcome = run_raw ?max_steps ~pick body in
+  let outcome = run_raw ?max_steps ?observe ~pick body in
   let verdict =
     match outcome.result with
     | Error e -> Error (Printexc.to_string e)
@@ -180,7 +188,11 @@ let run_pct ?max_steps ?change_points ?horizon ~seed sc =
 let replay ?max_steps ?strict sc sched =
   run ?max_steps ~pick:(replay_pick ?strict sched) sc
 
-type sample_report = { runs : int; failure : (int * verdict) option }
+type sample_report = {
+  runs : int;
+  strategy : [ `Random | `Pct ];
+  failure : (int * verdict) option;
+}
 
 let sample ?max_steps ?(runs = 100) ?(base_seed = 0) ?(strategy = `Random) sc =
   let picker seed =
@@ -189,12 +201,12 @@ let sample ?max_steps ?(runs = 100) ?(base_seed = 0) ?(strategy = `Random) sc =
     | `Pct -> pct_pick ~seed ()
   in
   let rec go i =
-    if i >= runs then { runs; failure = None }
+    if i >= runs then { runs; strategy; failure = None }
     else
       let seed = base_seed + i in
       let v = run ?max_steps ~pick:(picker seed) sc in
       if verdict_ok v then go (i + 1)
-      else { runs = i + 1; failure = Some (seed, v) }
+      else { runs = i + 1; strategy; failure = Some (seed, v) }
   in
   go 0
 
@@ -210,12 +222,16 @@ type dfs_report = {
   complete : bool;
   failures : (Schedule.t * string) list;
   deepest : int;
+  secs : float;
+  per_sec : float;
 }
 
 let explore_dfs ?max_steps ?(max_schedules = 10_000) ?(max_failures = 10) sc =
+  let t0 = Clock.now_ns () in
   let worklist = ref [ [||] ] in
   let explored = ref 0 in
   let failures = ref [] in
+  let nfail = ref 0 in
   let deepest = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -230,8 +246,10 @@ let explore_dfs ?max_steps ?(max_schedules = 10_000) ?(max_failures = 10) sc =
       deepest := max !deepest (Array.length sched);
       (match v.verdict with
       | Error m ->
-        if List.length !failures < max_failures then
-          failures := (sched, m) :: !failures
+        if !nfail < max_failures then begin
+          failures := (sched, m) :: !failures;
+          incr nfail
+        end
       | Ok () -> ());
       (* Decisions below the prefix length were forced by the prefix;
          their siblings are enqueued when the ancestor run is expanded. *)
@@ -248,10 +266,14 @@ let explore_dfs ?max_steps ?(max_schedules = 10_000) ?(max_failures = 10) sc =
       done;
       worklist := !ext @ !worklist
   done;
-  { explored = !explored;
-    complete = !worklist = [];
-    failures = List.rev !failures;
-    deepest = !deepest }
+  let secs = Int64.to_float (Clock.elapsed_ns t0) /. 1e9 in
+  ({ explored = !explored;
+     complete = !worklist = [];
+     failures = List.rev !failures;
+     deepest = !deepest;
+     secs;
+     per_sec = float_of_int !explored /. Float.max secs 1e-9 }
+    : dfs_report)
 
 (* ------------------------------------------------------------------ *)
 (* Greedy shrinking: first find the shortest failing prefix (everything
@@ -318,3 +340,502 @@ let shrink ?max_steps ?(budget = 300) sc (failing : Schedule.t) =
   match v.verdict with
   | Error m -> { shrunk = v.outcome.schedule; message = m; attempts = !attempts }
   | Ok () -> { shrunk = failing; message = !best_msg; attempts = !attempts }
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic partial-order reduction (Flanagan–Godefroid-style, with sleep
+   sets). The unit of reordering is the {e quantum}: everything a task
+   executes between two scheduler dispatches, which the runtime's [Obs]
+   stream delimits with [Sched] events and annotates with the object ids
+   every primitive op touched. Two quanta are dependent iff they touch a
+   common object (or either performs a scheduler-global op — spawn or
+   quiescence). After each run the engine computes vector clocks over the
+   quantum sequence, finds reversible races (dependent quanta of distinct
+   tasks with no happens-before chain between them), and plants backtrack
+   points at the earlier quantum's decision frame; sleep sets prune
+   branches whose first transition was already explored from the same
+   node and has met nothing dependent since. Exploration restarts from
+   mutated frame stacks (decision -> dictated task id), so a schedule
+   prefix replays exactly and only the frontier beyond it is free. *)
+
+type dpor_report = {
+  explored : int;
+  complete : bool;
+  failures : (Schedule.t * string) list;
+  deepest : int;
+  races : int;
+  redundant : int;
+  workers : int;
+  secs : float;
+  per_sec : float;
+}
+
+module Dpor = struct
+  module Obs = Detrt.Obs
+  module ISet = Set.Make (Int)
+
+  exception Diverged of string
+
+  (* A sleeping task id together with the objects its already-explored
+     transition touched: the entry wakes (is dropped) as soon as any
+     executed quantum is dependent with it. *)
+  type sleeper = { s_tid : int; s_objs : Obs.objid list }
+
+  (* One decision of the explored run. Task frames carry persistent
+     backtrack/sleep state across re-executions; waiter frames (which
+     waiter receives an unlock/signal) are always fully expanded — the
+     pick changes synchronization outcomes by construction, so no
+     independence argument applies. *)
+  type frame = {
+    f_kind : [ `Task | `Waiter ];
+    f_cands : int array;
+    mutable f_chosen : int; (* task id dictated on the next replay *)
+    mutable f_backtrack : ISet.t;
+    mutable f_done : ISet.t;
+    mutable f_sleep : sleeper list;
+    mutable f_objs : Obs.objid list; (* objs of the chosen quantum *)
+  }
+
+  type quantum = {
+    q_proc : int;
+    q_dec : int; (* decision index that dispatched it; -1 when forced *)
+    q_enabled : int array;
+    mutable q_objs : Obs.objid list;
+    mutable q_seq : int; (* per-task sequence number (vector-clock row) *)
+  }
+
+  let dependent objs1 objs2 =
+    List.mem Obs.Global objs1
+    || List.mem Obs.Global objs2
+    || List.exists (fun o -> List.mem o objs2) objs1
+
+  (* Execute one run: decisions below the stack are dictated by the
+     frames, decisions beyond it extend the stack, preferring tasks not
+     in the current sleep set. Returns the verdict, the quantum sequence,
+     the full frame stack and the count of sleep-redundant extensions. *)
+  let run_one ?max_steps sc (stack : frame array) =
+    let n_stack = Array.length stack in
+    let dec_i = ref 0 in
+    let pending = ref None in
+    let new_frames = ref [] in
+    let quanta_rev = ref [] in
+    let q_open = ref None in
+    let dec_for_sched = ref (-1) in
+    let online_sleep = ref [] in
+    let unconsumed = ref [] in
+    let redundant = ref 0 in
+    let close_quantum () =
+      match !q_open with
+      | None -> ()
+      | Some q ->
+        quanta_rev := q :: !quanta_rev;
+        unconsumed := q :: !unconsumed;
+        q_open := None
+    in
+    let sync_sleep () =
+      List.iter
+        (fun q ->
+          if q.q_objs <> [] then
+            online_sleep :=
+              List.filter
+                (fun sl -> not (dependent sl.s_objs q.q_objs))
+                !online_sleep)
+        (List.rev !unconsumed);
+      unconsumed := []
+    in
+    let observe ev =
+      match ev with
+      | Obs.Choice { kind = `Task; _ } ->
+        close_quantum ();
+        pending := Some `Task
+      | Obs.Choice { kind = `Waiter; _ } -> pending := Some `Waiter
+      | Obs.Sched { tid; runnable } ->
+        close_quantum ();
+        let dec = !dec_for_sched in
+        dec_for_sched := -1;
+        q_open :=
+          Some
+            { q_proc = tid; q_dec = dec; q_enabled = runnable; q_objs = [];
+              q_seq = 0 }
+      | Obs.Op { tid; obj; _ } ->
+        let q =
+          match !q_open with
+          | Some q -> q
+          | None ->
+            (* ops of the main task before its first dispatch *)
+            let q =
+              { q_proc = tid; q_dec = -1; q_enabled = [| tid |]; q_objs = [];
+                q_seq = 0 }
+            in
+            q_open := Some q;
+            q
+        in
+        if not (List.mem obj q.q_objs) then q.q_objs <- obj :: q.q_objs
+    in
+    let pick alts =
+      let kind =
+        match !pending with
+        | Some k ->
+          pending := None;
+          k
+        | None -> raise (Diverged "choose without a Choice event")
+      in
+      let d = !dec_i in
+      incr dec_i;
+      let tid =
+        if d < n_stack then begin
+          let f = stack.(d) in
+          if f.f_kind <> kind || f.f_cands <> alts then
+            raise
+              (Diverged (Printf.sprintf "replayed decision %d changed shape" d));
+          (if kind = `Task then begin
+             online_sleep := f.f_sleep;
+             unconsumed := []
+           end);
+          f.f_chosen
+        end
+        else begin
+          match kind with
+          | `Waiter ->
+            let tid = alts.(0) in
+            new_frames :=
+              { f_kind = `Waiter; f_cands = Array.copy alts; f_chosen = tid;
+                f_backtrack =
+                  Array.fold_left (fun s t -> ISet.add t s) ISet.empty alts;
+                f_done = ISet.empty; f_sleep = []; f_objs = [] }
+              :: !new_frames;
+            tid
+          | `Task ->
+            sync_sleep ();
+            let asleep t =
+              List.exists (fun sl -> sl.s_tid = t) !online_sleep
+            in
+            let tid =
+              match Array.find_opt (fun t -> not (asleep t)) alts with
+              | Some t -> t
+              | None ->
+                (* every candidate's next transition was already explored
+                   from an equivalent state: the branch is redundant, but
+                   we must still run it to completion to stay replayable *)
+                incr redundant;
+                alts.(0)
+            in
+            new_frames :=
+              { f_kind = `Task; f_cands = Array.copy alts; f_chosen = tid;
+                f_backtrack = ISet.singleton tid; f_done = ISet.empty;
+                f_sleep = !online_sleep; f_objs = [] }
+              :: !new_frames;
+            tid
+        end
+      in
+      if kind = `Task then dec_for_sched := d;
+      let rec find i =
+        if i >= Array.length alts then
+          raise
+            (Diverged
+               (Printf.sprintf "dictated task %d not runnable at decision %d"
+                  tid d))
+        else if alts.(i) = tid then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let v = run ?max_steps ~observe ~pick sc in
+    close_quantum ();
+    (match v.outcome.result with
+    | Error (Diverged msg) ->
+      failwith ("Detsched.explore_dpor: scenario is not deterministic: " ^ msg)
+    | _ -> ());
+    let frames =
+      Array.append stack (Array.of_list (List.rev !new_frames))
+    in
+    (v, Array.of_list (List.rev !quanta_rev), frames, !redundant)
+
+  (* Post-run analysis: vector clocks over the quantum sequence, then
+     reversible-race detection. For a race (j, i) the candidate witnesses
+     are, per Flanagan–Godefroid, the tasks enabled at j's decision that
+     either are i's task or have a later quantum happens-before i; when
+     none is enabled the whole frontier is expanded. Returns how many
+     backtrack points were planted. Races whose decision frame lies below
+     [pin] belong to another exploration shard and are discarded — sound
+     because the pinned levels are fully expanded across shards. *)
+  let analyze ~pin (frames : frame array) (quanta : quantum array) =
+    let n = Array.length quanta in
+    let ntids =
+      let m = ref 1 in
+      Array.iter
+        (fun q ->
+          m := max !m (q.q_proc + 1);
+          Array.iter (fun t -> m := max !m (t + 1)) q.q_enabled)
+        quanta;
+      !m
+    in
+    let vcs = Array.make n [||] in
+    let proc_vc = Array.make ntids [||] in
+    let obj_vc : (Obs.objid, int array) Hashtbl.t = Hashtbl.create 32 in
+    let all_vc = Array.make ntids 0 in
+    let last_global = ref (-1) in
+    let last_global_vc = ref [||] in
+    let last_touch : (Obs.objid, int) Hashtbl.t = Hashtbl.create 32 in
+    let seq = Array.make ntids 0 in
+    let join dst src =
+      if src <> [||] then
+        Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+    in
+    (* [hb j k]: quantum [j] happens-before quantum [k] (for j < k). *)
+    let hb j k = vcs.(k).(quanta.(j).q_proc) >= quanta.(j).q_seq in
+    let planted = ref 0 in
+    for i = 0 to n - 1 do
+      let q = quanta.(i) in
+      let has_global = List.mem Obs.Global q.q_objs in
+      q.q_seq <- seq.(q.q_proc) + 1;
+      seq.(q.q_proc) <- q.q_seq;
+      let vc = Array.make ntids 0 in
+      join vc proc_vc.(q.q_proc);
+      List.iter
+        (fun o ->
+          match Hashtbl.find_opt obj_vc o with
+          | Some v -> join vc v
+          | None -> ())
+        q.q_objs;
+      if has_global then join vc all_vc else join vc !last_global_vc;
+      vc.(q.q_proc) <- q.q_seq;
+      vcs.(i) <- vc;
+      (* candidate race partners: the latest earlier quantum per shared
+         object, plus — for scheduler-global quanta — the immediately
+         preceding quantum and the latest global one. *)
+      let partners = ref ISet.empty in
+      List.iter
+        (fun o ->
+          match Hashtbl.find_opt last_touch o with
+          | Some j when quanta.(j).q_proc <> q.q_proc ->
+            partners := ISet.add j !partners
+          | _ -> ())
+        q.q_objs;
+      if has_global && i > 0 && quanta.(i - 1).q_proc <> q.q_proc then
+        partners := ISet.add (i - 1) !partners;
+      if !last_global >= 0 && quanta.(!last_global).q_proc <> q.q_proc then
+        partners := ISet.add !last_global !partners;
+      ISet.iter
+        (fun j ->
+          (* the race is reversible iff no happens-before chain passes
+             strictly between j and i *)
+          let chained = ref false in
+          for k = j + 1 to i - 1 do
+            if (not !chained) && hb j k && hb k i then chained := true
+          done;
+          if not !chained then begin
+            let qj = quanta.(j) in
+            let d = qj.q_dec in
+            if d >= pin && d >= 0 && Array.length qj.q_enabled > 1 then begin
+              let f = frames.(d) in
+              let witness p =
+                p = q.q_proc
+                ||
+                let ok = ref false in
+                for k = j + 1 to i - 1 do
+                  if (not !ok) && quanta.(k).q_proc = p && hb k i then
+                    ok := true
+                done;
+                !ok
+              in
+              let enabled = Array.to_list qj.q_enabled in
+              let to_add =
+                match List.filter witness enabled with
+                | [] -> enabled
+                | es -> if List.mem q.q_proc es then [ q.q_proc ] else [ List.hd es ]
+              in
+              List.iter
+                (fun p ->
+                  if not (ISet.mem p f.f_backtrack) then begin
+                    f.f_backtrack <- ISet.add p f.f_backtrack;
+                    incr planted
+                  end)
+                to_add
+            end
+          end)
+        !partners;
+      List.iter
+        (fun o ->
+          Hashtbl.replace last_touch o i;
+          Hashtbl.replace obj_vc o vc)
+        q.q_objs;
+      join all_vc vc;
+      if has_global then begin
+        last_global := i;
+        last_global_vc := vc
+      end;
+      proc_vc.(q.q_proc) <- vc
+    done;
+    !planted
+
+  type acc = {
+    mutable a_explored : int;
+    mutable a_complete : bool;
+    mutable a_failures : (Schedule.t * string) list; (* newest first *)
+    mutable a_nfail : int;
+    mutable a_deepest : int;
+    mutable a_races : int;
+    mutable a_redundant : int;
+  }
+
+  (* The exploration loop for one shard: run, analyze, then sweep the
+     frame stack bottom-up for the deepest frame with a pending backtrack
+     task that is neither done nor asleep, truncate there and re-run.
+     [budget] is the explored-schedule budget shared across shards. *)
+  let explore_from ?max_steps ~max_schedules ~max_failures ~pin ~budget sc
+      init_stack =
+    let a =
+      { a_explored = 0; a_complete = true; a_failures = []; a_nfail = 0;
+        a_deepest = 0; a_races = 0; a_redundant = 0 }
+    in
+    let stack = ref init_stack in
+    let running = ref true in
+    while !running do
+      if Atomic.fetch_and_add budget 1 >= max_schedules then begin
+        a.a_complete <- false;
+        running := false
+      end
+      else begin
+        let v, quanta, frames, red = run_one ?max_steps sc !stack in
+        a.a_explored <- a.a_explored + 1;
+        a.a_redundant <- a.a_redundant + red;
+        a.a_deepest <- max a.a_deepest (Array.length v.outcome.schedule);
+        (match v.verdict with
+        | Error m when a.a_nfail < max_failures ->
+          a.a_failures <- (v.outcome.schedule, m) :: a.a_failures;
+          a.a_nfail <- a.a_nfail + 1
+        | _ -> ());
+        Array.iter
+          (fun q -> if q.q_dec >= 0 then frames.(q.q_dec).f_objs <- q.q_objs)
+          quanta;
+        a.a_races <- a.a_races + analyze ~pin frames quanta;
+        let next_stack = ref None in
+        let i = ref (Array.length frames - 1) in
+        while !next_stack = None && !i >= pin do
+          let f = frames.(!i) in
+          f.f_done <- ISet.add f.f_chosen f.f_done;
+          (if
+             f.f_kind = `Task
+             && not (List.exists (fun sl -> sl.s_tid = f.f_chosen) f.f_sleep)
+           then
+             f.f_sleep <- { s_tid = f.f_chosen; s_objs = f.f_objs } :: f.f_sleep);
+          let blocked =
+            match f.f_kind with
+            | `Waiter -> f.f_done
+            | `Task ->
+              List.fold_left
+                (fun s sl -> ISet.add sl.s_tid s)
+                f.f_done f.f_sleep
+          in
+          let waiting = ISet.diff f.f_backtrack blocked in
+          if not (ISet.is_empty waiting) then begin
+            f.f_chosen <- ISet.min_elt waiting;
+            f.f_objs <- [];
+            next_stack := Some (Array.sub frames 0 (!i + 1))
+          end
+          else decr i
+        done;
+        match !next_stack with
+        | Some st -> stack := st
+        | None -> running := false
+      end
+    done;
+    a
+end
+
+let explore_dpor ?max_steps ?(max_schedules = 10_000) ?(max_failures = 10)
+    ?(workers = 1) sc =
+  let t0 = Clock.now_ns () in
+  let finish ~probe ~workers accs =
+    let explored = ref probe in
+    let complete = ref true in
+    let failures = ref [] in
+    let deepest = ref 0 in
+    let races = ref 0 in
+    let redundant = ref 0 in
+    List.iter
+      (fun (a : Dpor.acc) ->
+        explored := !explored + a.a_explored;
+        complete := !complete && a.a_complete;
+        failures := !failures @ List.rev a.a_failures;
+        deepest := max !deepest a.a_deepest;
+        races := !races + a.a_races;
+        redundant := !redundant + a.a_redundant)
+      accs;
+    let failures =
+      if List.length !failures > max_failures then
+        List.filteri (fun i _ -> i < max_failures) !failures
+      else !failures
+    in
+    let secs = Int64.to_float (Clock.elapsed_ns t0) /. 1e9 in
+    { explored = !explored;
+      complete = !complete;
+      failures;
+      deepest = !deepest;
+      races = !races;
+      redundant = !redundant;
+      workers;
+      secs;
+      per_sec = float_of_int !explored /. Float.max secs 1e-9 }
+  in
+  let budget = Atomic.make 0 in
+  if workers <= 1 then
+    let a =
+      Dpor.explore_from ?max_steps ~max_schedules ~max_failures ~pin:0 ~budget
+        sc [||]
+    in
+    finish ~probe:0 ~workers:1 [ a ]
+  else begin
+    (* Probe run: discover the top-level frontier, then hand each root
+       candidate to a shard with that first decision pinned. The root is
+       thereby fully expanded, so races crossing shard boundaries need no
+       backtrack points (every alternative root choice is explored). *)
+    let v0, _, frames0, _ = Dpor.run_one ?max_steps sc [||] in
+    if Array.length frames0 = 0 then
+      (* no decisions at all: the tree is a single schedule *)
+      let a =
+        { Dpor.a_explored = 1; a_complete = true;
+          a_failures =
+            (match v0.verdict with
+            | Error m -> [ (v0.outcome.schedule, m) ]
+            | Ok () -> []);
+          a_nfail = 0; a_deepest = Array.length v0.outcome.schedule;
+          a_races = 0; a_redundant = 0 }
+      in
+      finish ~probe:0 ~workers:1 [ a ]
+    else begin
+      let root = frames0.(0) in
+      let shards =
+        Array.map
+          (fun tid ->
+            [| { Dpor.f_kind = root.f_kind; f_cands = Array.copy root.f_cands;
+                 f_chosen = tid; f_backtrack = Dpor.ISet.singleton tid;
+                 f_done = Dpor.ISet.empty; f_sleep = []; f_objs = [] } |])
+          root.f_cands
+      in
+      let results = Array.make (Array.length shards) None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < Array.length shards then begin
+            results.(i) <-
+              Some
+                (Dpor.explore_from ?max_steps ~max_schedules ~max_failures
+                   ~pin:1 ~budget sc shards.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let nw = min workers (Array.length shards) in
+      let handles =
+        List.init nw (fun w ->
+            Process.spawn ~name:(Printf.sprintf "dpor-%d" w) ~backend:`Domain
+              worker)
+      in
+      List.iter Process.join handles;
+      let accs = Array.to_list results |> List.filter_map Fun.id in
+      finish ~probe:1 ~workers:nw accs
+    end
+  end

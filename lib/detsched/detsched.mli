@@ -30,7 +30,8 @@ module Schedule : sig
       {!of_string}. *)
 
   val of_string : string -> t
-  (** @raise Invalid_argument on malformed input. *)
+  (** @raise Invalid_argument on malformed input, naming the offending
+      token. *)
 end
 
 type outcome = {
@@ -87,7 +88,14 @@ val choices_pick : int array -> pick
 
 (** {1 Running} *)
 
-val run : ?max_steps:int -> pick:pick -> t -> verdict
+val run :
+  ?max_steps:int ->
+  ?observe:(Sync_platform.Detrt.Obs.event -> unit) ->
+  pick:pick ->
+  t ->
+  verdict
+(** [observe] taps the runtime's event narration (see
+    {!Sync_platform.Detrt.Obs}); the DPOR engine is its main consumer. *)
 
 val run_random : ?max_steps:int -> seed:int -> t -> verdict
 
@@ -99,6 +107,8 @@ val replay : ?max_steps:int -> ?strict:bool -> t -> Schedule.t -> verdict
 
 type sample_report = {
   runs : int;  (** runs actually performed *)
+  strategy : [ `Random | `Pct ];
+      (** the strategy the sample (and so any failing seed) used *)
   failure : (int * verdict) option;  (** first failing seed, if any *)
 }
 
@@ -113,12 +123,55 @@ type dfs_report = {
   complete : bool;  (** the whole schedule tree was visited *)
   failures : (Schedule.t * string) list;  (** capped at [max_failures] *)
   deepest : int;  (** longest recorded schedule, in decisions *)
+  secs : float;  (** wall time spent exploring *)
+  per_sec : float;  (** explored schedules per second *)
 }
 
 val explore_dfs :
   ?max_steps:int -> ?max_schedules:int -> ?max_failures:int -> t -> dfs_report
 (** Bounded exhaustive search over all schedules by prefix replay
     (stateless-model-checking style, no partial-order reduction). *)
+
+type dpor_report = {
+  explored : int;
+  complete : bool;
+      (** every Mazurkiewicz-trace equivalence class was covered (subject
+          to [max_steps], like DFS) *)
+  failures : (Schedule.t * string) list;  (** capped at [max_failures] *)
+  deepest : int;
+  races : int;  (** reversible races that planted backtrack points *)
+  redundant : int;
+      (** runs whose whole frontier was asleep (pure sleep-set overhead) *)
+  workers : int;  (** domains actually used *)
+  secs : float;
+  per_sec : float;
+}
+
+val explore_dpor :
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  ?max_failures:int ->
+  ?workers:int ->
+  t ->
+  dpor_report
+(** Dynamic partial-order reduction (Flanagan–Godefroid with sleep sets)
+    over the same schedule tree as {!explore_dfs}: explores at least one
+    representative of every dependency-equivalence class of schedules, so
+    on deterministic scenarios it reports the same set of distinct
+    failure messages as a complete DFS while exploring strictly fewer
+    schedules whenever any two quanta commute. Dependency is derived from
+    the runtime's {!Sync_platform.Detrt.Obs} stream: two quanta conflict
+    iff they touch a common synchronization object (or either performs a
+    scheduler-global op). Waiter-handoff decisions are always fully
+    expanded.
+
+    [workers > 1] partitions the top-level backtrack frontier across that
+    many domains (the E20 engine's domain plumbing); results merge
+    deterministically. Scenarios that rely on process-global mutable
+    registries (fault plans, the deadlock watchdog) must keep
+    [workers = 1]. [max_schedules] is a shared budget across workers.
+
+    @raise Failure if the scenario is not schedule-deterministic. *)
 
 type shrink_report = {
   shrunk : Schedule.t;  (** canonical failing schedule *)

@@ -11,25 +11,29 @@ type expectation = Pass | Fail
 
 type entry = { scen : Detsched.t; expect : expectation }
 
-let bb name (module B : Bb_intf.S) =
+let bb_sized name (module B : Bb_intf.S) ~capacity ~producers ~consumers
+    ~items =
   Detsched.scenario ~name
     ~descr:
       (Printf.sprintf
-         "bounded buffer (%s): 2 producers x 3 items, 2 consumers, capacity 2"
-         B.mechanism)
+         "bounded buffer (%s): %d producers x %d items, %d consumers, \
+          capacity %d"
+         B.mechanism producers items consumers capacity)
     (fun () ->
       let report = ref None in
       { Detsched.body =
           (fun () ->
             report :=
               Some
-                (Bb_harness.run (module B) ~capacity:2 ~producers:2
-                   ~consumers:2 ~items_per_producer:3 ~work:0 ~seed:1L ()));
+                (Bb_harness.run (module B) ~capacity ~producers ~consumers
+                   ~items_per_producer:items ~work:0 ~seed:1L ()));
         check =
           (fun () ->
             match !report with
             | None -> Error "scenario body did not run"
-            | Some r -> Bb_harness.check ~producers:2 r) })
+            | Some r -> Bb_harness.check ~producers r) })
+
+let bb name m = bb_sized name m ~capacity:2 ~producers:2 ~consumers:2 ~items:3
 
 let rw_handoff name (module S : Rw_intf.S) =
   Detsched.scenario ~name
@@ -63,6 +67,66 @@ let fcfs name (module S : Fcfs_intf.S) ~variant =
             match !report with
             | None -> Error "scenario body did not run"
             | Some r -> Fcfs_harness.check r) })
+
+(* Readers-writers exclusion under the full stress mix: every reader and
+   writer goes through the self-checking store, so the scenario machine-
+   checks the mutual-exclusion invariant on every explored schedule. The
+   instance sizes are exploration knobs: the E26 axis runs shapes whose
+   schedule trees naive DFS cannot finish. *)
+let rw_excl name (module S : Rw_intf.S) ~readers ~writers ~ops =
+  Detsched.scenario ~name
+    ~descr:
+      (Printf.sprintf
+         "readers-writers exclusion (%s): %d readers x %d writers x %d ops"
+         S.mechanism readers writers ops)
+    (fun () ->
+      let report = ref None in
+      { Detsched.body =
+          (fun () ->
+            report :=
+              Some
+                (Rw_harness.run_stress (module S) ~backend:`Det ~readers
+                   ~writers ~reads_each:ops ~writes_each:ops ~work:0 ()));
+        check =
+          (fun () ->
+            match !report with
+            | None -> Error "scenario body did not run"
+            | Some r -> Rw_harness.check_exclusion r) })
+
+(* The E19 cancellation storm, parametric in the instance size: aborts
+   injected at the semaphore's pre-wait and the first put body, with the
+   recovery machinery (rollback/redonate via waitq) checked on every
+   surviving operation. The smallest shape is DFS-feasible; larger ones
+   are DPOR territory. *)
+let storm_bb_sem ?(capacity = 1) ?(producers = 1) ?(consumers = 1)
+    ?(items = 2) () =
+  let open Sync_platform in
+  Detsched.scenario
+    ~name:(Printf.sprintf "storm-bb-sem-%dp%dc%di" producers consumers items)
+    ~descr:
+      (Printf.sprintf
+         "cancellation storm (semaphore bb, %dp/%dc, %d items each): abort \
+          at semaphore.pre-wait and bb.put.body"
+         producers consumers items)
+    (fun () ->
+      let report = ref None in
+      let plan =
+        Fault.plan
+          [ ("semaphore.pre-wait", Fault.Nth 2); ("bb.put.body", Fault.Nth 1) ]
+      in
+      { Detsched.body =
+          (fun () ->
+            report :=
+              Some
+                (Fault.with_plan plan (fun () ->
+                     Bb_harness.run_abort (module Bb_sem) ~backend:`Det
+                       ~capacity ~producers ~consumers
+                       ~items_per_producer:items ())));
+        check =
+          (fun () ->
+            match !report with
+            | None -> Error "scenario body did not run"
+            | Some r -> Bb_harness.check_abort ~producers r) })
 
 (* Not a mechanism under test but a harness self-check: opposite lock
    orders, so some schedules deadlock and some do not — DFS must find
@@ -99,6 +163,15 @@ let deadlock =
 let all : entry list =
   [ { scen = bb "bb-sem" (module Bb_sem); expect = Pass };
     { scen = bb "bb-mon" (module Bb_mon); expect = Pass };
+    { scen =
+        bb_sized "bb-sem-small" (module Bb_sem) ~capacity:1 ~producers:1
+          ~consumers:1 ~items:2;
+      expect = Pass };
+    { scen =
+        rw_excl "rw-mon-excl" (module Rw_mon.Readers_prio) ~readers:2
+          ~writers:1 ~ops:1;
+      expect = Pass };
+    { scen = storm_bb_sem (); expect = Pass };
     { scen = rw_handoff "rw-fig1" (module Rw_path.Fig1); expect = Fail };
     { scen = rw_handoff "rw-fig2" (module Rw_path.Fig2); expect = Pass };
     { scen = rw_handoff "rw-mon" (module Rw_mon.Readers_prio); expect = Pass };

@@ -13,3 +13,43 @@ type entry = { scen : Detsched.t; expect : expectation }
 val all : entry list
 
 val find : string -> entry option
+
+(** {1 Parametric builders}
+
+    Sized variants of the catalog scenarios, for exploration experiments
+    that need instance shapes the fixed catalog does not carry (the E26
+    axis runs shapes whose schedule trees naive DFS cannot finish). *)
+
+val bb_sized :
+  string ->
+  (module Sync_problems.Bb_intf.S) ->
+  capacity:int ->
+  producers:int ->
+  consumers:int ->
+  items:int ->
+  Detsched.t
+(** Bounded-buffer run + full trace check at the given instance size. *)
+
+val rw_excl :
+  string ->
+  (module Sync_problems.Rw_intf.S) ->
+  readers:int ->
+  writers:int ->
+  ops:int ->
+  Detsched.t
+(** Readers-writers stress mix whose check machine-verifies the
+    mutual-exclusion invariant (writers exclude everything) on the
+    recorded trace of every explored schedule. *)
+
+val storm_bb_sem :
+  ?capacity:int ->
+  ?producers:int ->
+  ?consumers:int ->
+  ?items:int ->
+  unit ->
+  Detsched.t
+(** The E19 cancellation storm (aborts at [semaphore.pre-wait] and
+    [bb.put.body]) over the semaphore bounded buffer, parametric in the
+    instance size; the recovery machinery is checked on every surviving
+    operation. Uses the process-global fault registry: explore with
+    [workers = 1]. *)

@@ -166,30 +166,7 @@ let det_row ~mechanism ~problem ?(runs = 8) ?(max_steps = 200_000) scen =
    recovery path in the most-used rollback machinery (semaphore redonate
    via waitq) cannot hide behind scheduling luck. *)
 let dfs_storm_row () =
-  let scen =
-    Sync_detsched.Detsched.scenario ~name:"storm-bb-sem-dfs"
-      ~descr:"smallest cancellation storm, bounded-exhaustive DFS"
-      (fun () ->
-        let report = ref None in
-        let plan =
-          Fault.plan
-            [ ("semaphore.pre-wait", Fault.Nth 2);
-              ("bb.put.body", Fault.Nth 1) ]
-        in
-        { Sync_detsched.Detsched.body =
-            (fun () ->
-              report :=
-                Some
-                  (Fault.with_plan plan (fun () ->
-                       Bb_harness.run_abort (module Bb_sem) ~backend:`Det
-                         ~capacity:1 ~producers:1 ~consumers:1
-                         ~items_per_producer:2 ())));
-          check =
-            (fun () ->
-              match !report with
-              | None -> Error "scenario body did not run"
-              | Some r -> Bb_harness.check_abort ~producers:1 r) })
-  in
+  let scen = Sync_detsched.Scenarios.storm_bb_sem () in
   let r = Sync_detsched.Detsched.explore_dfs ~max_steps:50_000 ~max_schedules:2_000 scen in
   { mechanism = "semaphore"; problem = "bounded-buffer"; scenario = "storm";
     policy = policy_of "semaphore";

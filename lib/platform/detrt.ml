@@ -9,11 +9,48 @@
    (mutex lock/unlock, condition wait/signal/broadcast, spawn, join,
    quiescence). Code between two primitive operations executes atomically,
    which is sound for the mechanism implementations because they keep all
-   shared state under their low-level locks. *)
+   shared state under their low-level locks.
+
+   The runtime optionally narrates a run to an [observe] callback: which
+   decision is about to be taken, which task each quantum belongs to, and
+   which synchronization object every primitive op touched. The DPOR
+   explorer in [sync_detsched] derives its dependency relation from this
+   stream. Scheduler state is domain-local, so independent runs may
+   proceed in parallel on separate domains (exploration shards). *)
 
 exception Deadlock of string
 
 exception Step_limit of int
+
+(* Observable events. Object identities are per-run ordinals assigned at
+   creation; creation order is itself schedule-determined, so ids are
+   stable across replays of the same schedule. *)
+module Obs = struct
+  type objid = Mutex_o of int | Cond_o of int | Task_o of int | Global
+
+  type op =
+    | Lock
+    | Try_lock of bool
+    | Unlock
+    | Wait
+    | Signal
+    | Broadcast
+    | Spawn
+    | Join
+    | Finish
+    | Quiesce
+
+  type event =
+    | Choice of { kind : [ `Task | `Waiter ]; candidates : int array }
+    | Sched of { tid : int; runnable : int array }
+    | Op of { tid : int; obj : objid; op : op }
+
+  let objid_to_string = function
+    | Mutex_o i -> Printf.sprintf "m%d" i
+    | Cond_o i -> Printf.sprintf "c%d" i
+    | Task_o i -> Printf.sprintf "t%d" i
+    | Global -> "global"
+end
 
 type state = Unstarted | Runnable | Running | Blocked | Quiescing | Done
 
@@ -31,33 +68,57 @@ type task = {
 
 type sched = {
   choose : int array -> int;
+  observe : (Obs.event -> unit) option;
   max_steps : int;
   mutable runq : task list; (* deterministic FIFO of runnable tasks *)
   mutable quiescers : task list;
   mutable all : task list; (* spawn order, newest first *)
   mutable next_tid : int;
+  mutable next_oid : int; (* object ordinal for [Obs] identities *)
   mutable steps : int;
   mutable first_exn : exn option;
   mutable limit_hit : bool;
 }
 
-let cur_sched : sched option ref = ref None
+(* Domain-local current run / current task, so exploration shards can
+   drive independent runs concurrently on separate domains. *)
+type dls = { mutable d_sched : sched option; mutable d_task : task option }
 
-let cur_task : task option ref = ref None
+let dls_key : dls Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { d_sched = None; d_task = None })
 
-let active () = Option.is_some !cur_sched
+let dls () = Domain.DLS.get dls_key
 
-let in_fiber () = Option.is_some !cur_task
+let active () = Option.is_some (dls ()).d_sched
+
+let in_fiber () = Option.is_some (dls ()).d_task
 
 let self () =
-  match !cur_task with
+  match (dls ()).d_task with
   | Some t -> t
   | None -> failwith "Detrt: primitive used outside a running task"
 
 let the_sched () =
-  match !cur_sched with
+  match (dls ()).d_sched with
   | Some s -> s
   | None -> failwith "Detrt: no deterministic run in progress"
+
+let[@inline] emit s ev = match s.observe with None -> () | Some f -> f ev
+
+let emit_op s obj op =
+  match s.observe with
+  | None -> ()
+  | Some f ->
+    let tid = match (dls ()).d_task with Some t -> t.tid | None -> -1 in
+    f (Obs.Op { tid; obj; op })
+
+let fresh_oid () =
+  match (dls ()).d_sched with
+  | Some s ->
+    let o = s.next_oid in
+    s.next_oid <- o + 1;
+    o
+  | None -> -1
 
 type _ Effect.t +=
   | Yield : unit Effect.t
@@ -86,15 +147,26 @@ let next s =
     else begin
       let n = List.length q in
       let idx =
-        if n = 1 then 0
+        if n = 1 then begin
+          (match s.observe with
+          | None -> ()
+          | Some f ->
+            let t = List.hd q in
+            f (Obs.Sched { tid = t.tid; runnable = [| t.tid |] }));
+          0
+        end
         else begin
           let tids = Array.of_list (List.map (fun t -> t.tid) q) in
+          emit s (Obs.Choice { kind = `Task; candidates = tids });
           let i = s.choose tids in
           if i < 0 || i >= n then
             invalid_arg
               (Printf.sprintf "Detrt: strategy chose %d of %d alternatives" i
                  n)
-          else i
+          else begin
+            emit s (Obs.Sched { tid = tids.(i); runnable = tids });
+            i
+          end
         end
       in
       let t = List.nth q idx in
@@ -107,7 +179,7 @@ let next s =
         | None -> failwith "Detrt: runnable task has no continuation"
       in
       t.state <- Running;
-      cur_task := Some t;
+      (dls ()).d_task <- Some t;
       k ()
     end
 
@@ -115,6 +187,7 @@ let choose_index s alts =
   let n = Array.length alts in
   if n = 1 then 0
   else begin
+    emit s (Obs.Choice { kind = `Waiter; candidates = alts });
     let i = s.choose alts in
     if i < 0 || i >= n then
       invalid_arg
@@ -132,9 +205,12 @@ let exec s t body =
     (match (exn_opt, s.first_exn) with
     | Some e, None -> s.first_exn <- Some e
     | _ -> ());
+    (match s.observe with
+    | None -> ()
+    | Some f -> f (Obs.Op { tid = t.tid; obj = Obs.Task_o t.tid; op = Obs.Finish }));
     List.iter (make_runnable s) (List.rev t.joiners);
     t.joiners <- [];
-    cur_task := None;
+    (dls ()).d_task <- None;
     next s
   in
   match_with body ()
@@ -148,14 +224,14 @@ let exec s t body =
               (fun (k : (a, _) continuation) ->
                 t.resume <- Some (fun () -> continue k ());
                 make_runnable s t;
-                cur_task := None;
+                (dls ()).d_task <- None;
                 next s)
           | Block ->
             Some
               (fun (k : (a, _) continuation) ->
                 t.resume <- Some (fun () -> continue k ());
                 t.state <- Blocked;
-                cur_task := None;
+                (dls ()).d_task <- None;
                 next s)
           | Quiesce ->
             Some
@@ -163,7 +239,7 @@ let exec s t body =
                 t.resume <- Some (fun () -> continue k ());
                 t.state <- Quiescing;
                 s.quiescers <- s.quiescers @ [ t ];
-                cur_task := None;
+                (dls ()).d_task <- None;
                 next s)
           | _ -> None) }
 
@@ -183,16 +259,18 @@ let spawn ?name body =
   t.resume <- Some (fun () -> exec s t body);
   s.all <- t :: s.all;
   make_runnable s t;
+  emit_op s Obs.Global Obs.Spawn;
   (* spawning is itself a scheduling point *)
   Effect.perform Yield;
   t
 
 let join t =
-  match !cur_task with
+  match (dls ()).d_task with
   | None ->
     if t.state <> Done then
       failwith "Detrt.join: task still live after the deterministic run"
   | Some me ->
+    emit_op (the_sched ()) (Obs.Task_o t.tid) Obs.Join;
     if t.state <> Done then begin
       t.joiners <- me :: t.joiners;
       Effect.perform Block
@@ -206,7 +284,7 @@ let yield () = if in_fiber () then Effect.perform Yield
 let relax () = if in_fiber () then Effect.perform Yield else Thread.yield ()
 
 let self_info () =
-  match !cur_task with Some t -> Some (t.tid, t.tname) | None -> None
+  match (dls ()).d_task with Some t -> Some (t.tid, t.tname) | None -> None
 
 let () =
   Deadlock.set_task_provider self_info;
@@ -214,7 +292,10 @@ let () =
   Sync_trace.Probe.set_task_provider (fun () -> Option.map fst (self_info ()))
 
 let await_quiescence () =
-  if in_fiber () then Effect.perform Quiesce
+  if in_fiber () then begin
+    emit_op (the_sched ()) Obs.Global Obs.Quiesce;
+    Effect.perform Quiesce
+  end
   else failwith "Detrt.await_quiescence: outside a deterministic run"
 
 let task_tid t = t.tid
@@ -229,19 +310,21 @@ let task_name t = t.tname
 type mutex = {
   mutable owner : task option;
   mutable mwaiters : task list;
+  (* Observation ordinal; -1 when created outside a run. *)
+  moid : int;
   (* Watchdog resource id; -1 when the watchdog was off at creation
      (instrumentation is then skipped for this mutex). *)
   mid : int;
 }
 
-type cond = { mutable cwaiters : task list }
+type cond = { mutable cwaiters : task list; coid : int }
 
 let mutex () =
-  { owner = None; mwaiters = [];
+  { owner = None; mwaiters = []; moid = fresh_oid ();
     mid = (if Deadlock.enabled () then Deadlock.register ~kind:"mutex" ()
            else -1) }
 
-let cond () = { cwaiters = [] }
+let cond () = { cwaiters = []; coid = fresh_oid () }
 
 let pick_waiter s waiters =
   match waiters with
@@ -254,7 +337,7 @@ let pick_waiter s waiters =
     (w, List.filteri (fun i _ -> i <> idx) ws)
 
 let mutex_lock m =
-  match !cur_task with
+  match (dls ()).d_task with
   | None ->
     (* Outside a run (e.g. post-run trace inspection): everything is
        quiesced, locking is a no-op as long as nobody holds the mutex. *)
@@ -264,6 +347,7 @@ let mutex_lock m =
     Effect.perform Yield;
     (* still the same task: Yield re-enqueues and resumes us *)
     let t = self () in
+    emit_op (the_sched ()) (Obs.Mutex_o m.moid) Obs.Lock;
     (match m.owner with
     | None ->
       m.owner <- Some t;
@@ -279,17 +363,21 @@ let mutex_lock m =
    recorded scheduling point, so the outcome is a pure function of the
    schedule and replays deterministically. *)
 let mutex_try_lock m =
-  match !cur_task with
+  match (dls ()).d_task with
   | None -> failwith "Detrt: try_lock outside the deterministic run"
   | Some _ ->
     Effect.perform Yield;
     let t = self () in
-    (match m.owner with
-    | None ->
-      m.owner <- Some t;
-      if m.mid >= 0 then Deadlock.acquired m.mid;
-      true
-    | Some _ -> false)
+    let ok =
+      match m.owner with
+      | None ->
+        m.owner <- Some t;
+        if m.mid >= 0 then Deadlock.acquired m.mid;
+        true
+      | Some _ -> false
+    in
+    emit_op (the_sched ()) (Obs.Mutex_o m.moid) (Obs.Try_lock ok);
+    ok
 
 (* Release [m], handing ownership to a chosen waiter if any. Shared by
    [mutex_unlock] and [cond_wait]. *)
@@ -305,38 +393,44 @@ let release_mutex s m =
 let holds m t = match m.owner with Some o -> o == t | None -> false
 
 let mutex_unlock m =
-  match !cur_task with
+  match (dls ()).d_task with
   | None -> ()
   | Some t ->
     if not (holds m t) then
       failwith "Detrt: mutex unlocked by a task that does not hold it";
     if m.mid >= 0 then Deadlock.released m.mid;
-    release_mutex (the_sched ()) m;
+    let s = the_sched () in
+    emit_op s (Obs.Mutex_o m.moid) Obs.Unlock;
+    release_mutex s m;
     Effect.perform Yield
 
 let cond_wait c m =
-  match !cur_task with
+  match (dls ()).d_task with
   | None -> failwith "Detrt: Condition.wait outside the deterministic run"
   | Some t ->
     if not (holds m t) then
       failwith "Detrt: Condition.wait without holding the mutex";
+    let s = the_sched () in
+    emit_op s (Obs.Cond_o c.coid) Obs.Wait;
+    emit_op s (Obs.Mutex_o m.moid) Obs.Unlock;
     (* Atomic release-and-park: no scheduling point between enqueueing
        ourselves and releasing the mutex, so signals cannot be lost. *)
     c.cwaiters <- c.cwaiters @ [ t ];
     if m.mid >= 0 then Deadlock.released m.mid;
-    release_mutex (the_sched ()) m;
+    release_mutex s m;
     Effect.perform Block;
     (* Signalled: re-acquire like any newcomer (Mesa-style, matching the
        stdlib [Condition] contract the mechanisms are written against). *)
     mutex_lock m
 
 let cond_signal c =
-  match !cur_task with
+  match (dls ()).d_task with
   | None ->
     if c.cwaiters <> [] then
       failwith "Detrt: Condition.signal with waiters after the run"
   | Some _ ->
     let s = the_sched () in
+    emit_op s (Obs.Cond_o c.coid) Obs.Signal;
     (match c.cwaiters with
     | [] -> ()
     | ws ->
@@ -346,12 +440,13 @@ let cond_signal c =
     Effect.perform Yield
 
 let cond_broadcast c =
-  match !cur_task with
+  match (dls ()).d_task with
   | None ->
     if c.cwaiters <> [] then
       failwith "Detrt: Condition.broadcast with waiters after the run"
   | Some _ ->
     let s = the_sched () in
+    emit_op s (Obs.Cond_o c.coid) Obs.Broadcast;
     let ws = c.cwaiters in
     c.cwaiters <- [];
     List.iter (make_runnable s) ws;
@@ -359,17 +454,19 @@ let cond_broadcast c =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(max_steps = 200_000) ~choose body =
+let run ?(max_steps = 200_000) ?observe ~choose body =
+  let d = dls () in
   if active () then failwith "Detrt.run: deterministic runs do not nest";
   let s =
-    { choose; max_steps; runq = []; quiescers = []; all = []; next_tid = 0;
-      steps = 0; first_exn = None; limit_hit = false }
+    { choose; observe; max_steps; runq = []; quiescers = []; all = [];
+      next_tid = 0; next_oid = 0; steps = 0; first_exn = None;
+      limit_hit = false }
   in
-  cur_sched := Some s;
+  d.d_sched <- Some s;
   Fun.protect
     ~finally:(fun () ->
-      cur_sched := None;
-      cur_task := None)
+      d.d_sched <- None;
+      d.d_task <- None)
     (fun () ->
       let main =
         { tid = 0; tname = "main"; state = Unstarted; resume = None;
@@ -378,7 +475,7 @@ let run ?(max_steps = 200_000) ~choose body =
       s.next_tid <- 1;
       s.all <- [ main ];
       main.state <- Running;
-      cur_task := Some main;
+      d.d_task <- Some main;
       exec s main body;
       (* The handler chain has fully unwound: classify the outcome. *)
       (match s.first_exn with Some e -> raise e | None -> ());

@@ -25,15 +25,60 @@ exception Step_limit of int
 
 type task
 
-val run : ?max_steps:int -> choose:(int array -> int) -> (unit -> unit) -> int
+(** Observable run events, for exploration engines that need to know
+    {e what} each scheduling quantum did, not just which task ran. Object
+    identities are per-run creation ordinals; creation order is itself
+    schedule-determined, so ids are stable across replays of the same
+    schedule and comparable across runs that share a prefix. *)
+module Obs : sig
+  type objid =
+    | Mutex_o of int  (** a deterministic mutex *)
+    | Cond_o of int  (** a deterministic condition variable *)
+    | Task_o of int  (** a task's lifecycle (join/finish) *)
+    | Global  (** scheduler-global effects: spawn, quiescence *)
+
+  type op =
+    | Lock
+    | Try_lock of bool  (** the recorded outcome of the attempt *)
+    | Unlock
+    | Wait
+    | Signal
+    | Broadcast
+    | Spawn
+    | Join
+    | Finish
+    | Quiesce
+
+  type event =
+    | Choice of { kind : [ `Task | `Waiter ]; candidates : int array }
+        (** emitted immediately before [choose] is consulted: a task pick
+            in the scheduler, or a waiter pick on unlock/signal *)
+    | Sched of { tid : int; runnable : int array }
+        (** a task was dispatched (including forced, single-candidate
+            dispatches, which never reach [choose]) — delimits quanta *)
+    | Op of { tid : int; obj : objid; op : op }
+        (** a primitive operation inside the current quantum *)
+
+  val objid_to_string : objid -> string
+end
+
+val run :
+  ?max_steps:int ->
+  ?observe:(Obs.event -> unit) ->
+  choose:(int array -> int) ->
+  (unit -> unit) ->
+  int
 (** [run ~choose body] executes [body] as the main virtual task and
     schedules it and everything it spawns to completion; returns the
     number of scheduling steps taken. Whenever more than one continuation
     is possible, [choose] receives the candidate task ids and returns the
     index to run ([choose] is never called with fewer than two
-    candidates). Re-raises the first exception escaping any task;
+    candidates). [observe] receives the event narration of the run (see
+    {!Obs}); it must not touch deterministic primitives itself.
+    Re-raises the first exception escaping any task;
     raises {!Deadlock} / {!Step_limit} otherwise when stuck or runaway.
-    Runs do not nest. *)
+    Runs do not nest on a domain, but independent domains may each drive
+    their own run concurrently (scheduler state is domain-local). *)
 
 val active : unit -> bool
 (** A deterministic run is in progress (creation-time dispatch). *)

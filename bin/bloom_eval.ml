@@ -108,16 +108,23 @@ let scorecard_cmd =
                    load per mechanism; full traces via $(b,bloom_eval \
                    trace))")
   in
+  let service =
+    Arg.(value & flag
+         & info [ "service" ]
+             ~doc:"also run the E24 service-tier scenarios (spawns real \
+                   bloom_serve daemons; standalone as $(b,bloom_eval \
+                   serve))")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
              ~doc:"also write the whole scorecard as a JSON document")
   in
-  let run fast robustness perf observability json =
+  let run fast robustness perf observability service json =
     let card =
       Sync_eval.Scorecard.build ~run_conformance:(not fast)
         ~run_robustness:robustness ~run_perf:perf
-        ~run_observability:observability ()
+        ~run_observability:observability ~run_service:service ()
     in
     Sync_eval.Scorecard.pp ppf card;
     (match json with
@@ -129,10 +136,12 @@ let scorecard_cmd =
       Sync_eval.Conformance.regressions card.conformance <> []
       || not (Sync_eval.Robustness.all_recovered card.robustness)
       || not (Sync_eval.Observability.all_ok card.observability)
+      || not (Sync_eval.Service_axis.all_ok card.service)
     then exit 1
   in
   Cmd.v (Cmd.info "scorecard" ~doc)
-    Term.(const run $ fast $ robustness $ perf $ observability $ json)
+    Term.(const run $ fast $ robustness $ perf $ observability $ service
+          $ json)
 
 let load_cmd =
   let doc =
@@ -807,6 +816,30 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ storm_runs)
 
+let serve_cmd =
+  let doc =
+    "Run the service-tier robustness scenarios (experiment E24): spawn real \
+     bloom_serve daemons and check the load, chaos and crash-recovery \
+     stories end to end — typed outcomes only, zero hung connections, \
+     clean SIGTERM drains. Exits non-zero unless every scenario passed."
+  in
+  let run () =
+    let progress (r : Sync_eval.Service_axis.row) =
+      Format.fprintf ppf "  [%s] %s@." r.Sync_eval.Service_axis.scenario
+        r.Sync_eval.Service_axis.detail
+    in
+    let rows = Sync_eval.Service_axis.run ~progress () in
+    Format.fprintf ppf "@.";
+    Sync_eval.Service_axis.pp ppf rows;
+    if Sync_eval.Service_axis.all_ok rows then
+      Format.fprintf ppf "@.every scenario recovered@."
+    else begin
+      Format.fprintf ppf "@.SERVICE FAILURE(S) — see rows above@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ const ())
+
 let () =
   let doc =
     "Mechanized evaluation of synchronization mechanisms (Bloom, SOSP'79)"
@@ -818,4 +851,4 @@ let () =
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
             trace_cmd; model_cmd; nested_cmd; explore_cmd; exploration_cmd;
-            faults_cmd; load_cmd ]))
+            faults_cmd; load_cmd; serve_cmd ]))

@@ -10,10 +10,11 @@ type t = {
   robustness : Robustness.row list;
   perf : Perf.row list;
   observability : Observability.row list;
+  service : Service_axis.row list;
 }
 
 let build ?(run_conformance = true) ?(run_robustness = false)
-    ?(run_perf = false) ?(run_observability = false) () =
+    ?(run_perf = false) ?(run_observability = false) ?(run_service = false) () =
   let entries = Registry.all in
   let matrix = Expressiveness.matrix entries in
   let pairings = Independence.analyze entries in
@@ -30,7 +31,8 @@ let build ?(run_conformance = true) ?(run_robustness = false)
          | Ok rows -> rows
          | Error msg -> failwith ("perf axis: " ^ msg)
        else []);
-    observability = (if run_observability then Observability.run () else []) }
+    observability = (if run_observability then Observability.run () else []);
+    service = (if run_service then Service_axis.run () else []) }
 
 let pp ppf t =
   Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
@@ -76,6 +78,14 @@ let pp ppf t =
     if Observability.all_ok t.observability then
       Format.fprintf ppf "every mechanism produced a complete trace@."
     else Format.fprintf ppf "OBSERVABILITY FAILURE(S)@."
+  end;
+  if t.service <> [] then begin
+    Format.fprintf ppf
+      "@.== E24: service tier (deadlines, chaos, crash recovery) ==@.";
+    Service_axis.pp ppf t.service;
+    if Service_axis.all_ok t.service then
+      Format.fprintf ppf "every scenario recovered with zero hung connections@."
+    else Format.fprintf ppf "SERVICE FAILURE(S)@."
   end
 
 let to_string t = Format.asprintf "%a" pp t
@@ -183,4 +193,5 @@ let to_json t =
                   ("detail", Emit.Str r.Robustness.detail) ])
             t.robustness));
       ("performance", Perf.to_json t.perf);
-      ("observability", Observability.to_json t.observability) ]
+      ("observability", Observability.to_json t.observability);
+      ("service", Service_axis.to_json t.service) ]

@@ -13,11 +13,12 @@ type t = {
   robustness : Robustness.row list;
   perf : Perf.row list;
   observability : Observability.row list;
+  service : Service_axis.row list;
 }
 
 val build :
   ?run_conformance:bool -> ?run_robustness:bool -> ?run_perf:bool ->
-  ?run_observability:bool -> unit -> t
+  ?run_observability:bool -> ?run_service:bool -> unit -> t
 (** Computes everything from {!Registry.all}. [run_conformance] (default
     true) actually executes the workload checks; disable for fast
     metadata-only views. [run_robustness] (default false — it is the
@@ -26,7 +27,9 @@ val build :
     E20 closed-loop sweep via {!Perf.measure}; [bloom_eval load] drives
     single runs standalone. [run_observability] (default false) adds the
     E21 traced-contention audit via {!Observability.run}; [bloom_eval
-    trace] drives full traced runs standalone. *)
+    trace] drives full traced runs standalone. [run_service] (default
+    false) adds the E24 service-tier scenarios via {!Service_axis.run}
+    (spawns real bloom_serve daemons; [bloom_eval serve] standalone). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -6,9 +6,15 @@ type t = Wall of int64 | Polls of int ref | Never
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
+(* A non-positive budget is already expired: the timed waits promise a
+   fast reject with no syscall-level park on timeout = 0, and under
+   Detrt that means a poll budget of zero, not the usual floor of 2
+   (the serve tier fast-rejects expired request deadlines on this). *)
 let budget_of_ns ns =
-  let polls = Int64.to_int (Int64.div ns 50_000L) in
-  max 2 (min 100_000 polls)
+  if Int64.compare ns 0L <= 0 then 0
+  else
+    let polls = Int64.to_int (Int64.div ns 50_000L) in
+    max 2 (min 100_000 polls)
 
 let after_ns ns =
   if Detrt.active () then Polls (ref (budget_of_ns ns))

@@ -14,7 +14,9 @@ type t
 
 val after_ns : int64 -> t
 (** Deadline [ns] nanoseconds from now (det runs: a poll budget of about
-    one unit per 50µs, clamped to [2, 100_000]). *)
+    one unit per 50µs, clamped to [2, 100_000]). A non-positive [ns] is
+    expired from the start — in both worlds the timed waits then reject
+    without a syscall-level park (det runs: poll budget 0). *)
 
 val after_s : float -> t
 (** Same, in seconds. *)

@@ -1,0 +1,43 @@
+open Sync_platform
+
+type t = {
+  lock : Mutex.t;
+  rate_per_s : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last_ns : int64;
+}
+
+let create ~rate_per_s ~burst =
+  if rate_per_s <= 0.0 then invalid_arg "Bucket.create: rate must be positive";
+  if burst < 1 then invalid_arg "Bucket.create: burst must be >= 1";
+  { lock = Mutex.create ~name:"serve.bucket" ();
+    rate_per_s;
+    burst = float_of_int burst;
+    tokens = float_of_int burst;
+    last_ns = Clock.now_ns () }
+
+let refill t =
+  let now = Clock.now_ns () in
+  let dt_s = Int64.to_float (Int64.sub now t.last_ns) /. 1e9 in
+  if dt_s > 0.0 then begin
+    t.tokens <- Float.min t.burst (t.tokens +. (dt_s *. t.rate_per_s));
+    t.last_ns <- now
+  end
+
+let try_take t =
+  Mutex.protect t.lock (fun () ->
+      refill t;
+      if t.tokens >= 1.0 then begin
+        t.tokens <- t.tokens -. 1.0;
+        true
+      end
+      else false)
+
+let retry_after_ms t =
+  Mutex.protect t.lock (fun () ->
+      refill t;
+      if t.tokens >= 1.0 then 0
+      else
+        let missing = 1.0 -. t.tokens in
+        max 1 (int_of_float (ceil (missing /. t.rate_per_s *. 1e3))))

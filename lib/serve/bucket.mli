@@ -1,0 +1,20 @@
+(** Token-bucket admission (E24): per-problem rate limiting that sheds
+    load with an explicit retry hint instead of queueing unboundedly.
+
+    Tokens refill continuously at [rate_per_s] up to [burst]; each
+    admitted request consumes one. When empty, {!try_take} refuses and
+    {!retry_after_ms} says how long until a token exists — the value
+    the server returns in [Overloaded] replies so clients can back off
+    intelligently rather than hammering. *)
+
+type t
+
+val create : rate_per_s:float -> burst:int -> t
+(** @raise Invalid_argument unless [rate_per_s > 0] and [burst >= 1]. *)
+
+val try_take : t -> bool
+(** Consume one token if available (thread-safe, refills first). *)
+
+val retry_after_ms : t -> int
+(** Milliseconds until the next token materialises (>= 1 when empty;
+    0 when a token is already available). *)

@@ -1,0 +1,107 @@
+open Sync_platform
+
+type action = Pass | Drop | Delay_ms of int | Truncate of int | Reset
+
+type config = {
+  seed : int;
+  drop : float;
+  delay : float;
+  delay_ms : int;
+  truncate : float;
+  reset : float;
+}
+
+let default_config ?(seed = 0) () =
+  { seed; drop = 0.02; delay = 0.05; delay_ms = 5; truncate = 0.01;
+    reset = 0.02 }
+
+type state = { cfg : config; rng : Prng.t; mutable log : string list }
+
+type t = Off | On of state
+
+let disabled = Off
+
+(* The stream must depend on both halves: same seed, different
+   connections => different (but individually reproducible) faults. *)
+let create cfg ~conn_id =
+  let mix =
+    Int64.add
+      (Int64.mul (Int64.of_int cfg.seed) 0x9E3779B97F4A7C15L)
+      (Int64.of_int (conn_id + 1))
+  in
+  On { cfg; rng = Prng.make mix; log = [] }
+
+let active = function Off -> false | On _ -> true
+
+exception Injected_reset of string
+
+let log_action st s = st.log <- s :: st.log
+
+let trace = function Off -> [] | On st -> List.rev st.log
+
+(* One decision: the E19 registry gets first refusal (a planned
+   injection is a reset at exactly that hit), then the seeded draw.
+   The draw happens on every hit, planned or not, so installing a
+   fault plan does not shift the seeded stream. *)
+let decide st ~site ~write =
+  let registry_fired =
+    match Fault.site site with () -> false | exception Fault.Injected _ -> true
+  in
+  let c = st.cfg in
+  let u = Prng.float st.rng 1.0 in
+  if registry_fired then Reset
+  else if u < c.drop then Drop
+  else if u < c.drop +. c.delay then Delay_ms c.delay_ms
+  else if write && u < c.drop +. c.delay +. c.truncate then
+    Truncate (1 + Prng.int st.rng 3)
+  else if u < c.drop +. c.delay +. c.truncate +. c.reset then Reset
+  else Pass
+
+let on_read t read =
+  match t with
+  | Off -> `Data (read ())
+  | On st -> (
+    match decide st ~site:"serve.conn.read" ~write:false with
+    | Pass ->
+      log_action st "r:pass";
+      `Data (read ())
+    | Delay_ms ms ->
+      log_action st (Printf.sprintf "r:delay%d" ms);
+      Thread.delay (float_of_int ms /. 1e3);
+      `Data (read ())
+    | Drop ->
+      (* Read and discard: the request is lost inside the server; the
+         client's deadline is its only recourse. *)
+      log_action st "r:drop";
+      ignore (read ());
+      `Dropped
+    | Truncate _ | Reset ->
+      log_action st "r:reset";
+      raise (Injected_reset "serve.conn.read"))
+
+let on_write t fd payload =
+  match t with
+  | Off -> Wire.write_frame fd payload
+  | On st -> (
+    match decide st ~site:"serve.conn.write" ~write:true with
+    | Pass ->
+      log_action st "w:pass";
+      Wire.write_frame fd payload
+    | Delay_ms ms ->
+      log_action st (Printf.sprintf "w:delay%d" ms);
+      Thread.delay (float_of_int ms /. 1e3);
+      Wire.write_frame fd payload
+    | Drop -> log_action st "w:drop"
+    | Truncate k ->
+      log_action st (Printf.sprintf "w:trunc%d" k);
+      (* A torn frame: ship the first k bytes of the *framed* message
+         raw, then reset. The peer reads a length it can never fill. *)
+      let framed = Bytes.create (4 + String.length payload) in
+      Bytes.set_int32_be framed 0 (Int32.of_int (String.length payload));
+      Bytes.blit_string payload 0 framed 4 (String.length payload);
+      let k = min k (Bytes.length framed) in
+      (try ignore (Unix.write fd framed 0 k) with Unix.Unix_error _ -> ());
+      raise (Injected_reset "serve.conn.write")
+    | Reset ->
+      log_action st "w:reset";
+      raise (Injected_reset "serve.conn.write"))

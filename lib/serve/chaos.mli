@@ -1,0 +1,67 @@
+(** Connection-level chaos (E24): seeded byte-level faults on the
+    server's read/write sites, replayable by seed.
+
+    Two injection paths compose at every site:
+
+    - the {b seeded layer}: each connection derives a private
+      {!Sync_platform.Prng} stream from [(config.seed, conn_id)] and
+      draws one action per site hit, so a whole chaotic run replays
+      byte-for-byte from its seed — connection by connection,
+      independent of scheduling;
+    - the {b E19 fault registry}: every decision first hits the named
+      {!Sync_platform.Fault} sites ["serve.conn.read"] /
+      ["serve.conn.write"], so deterministic plans
+      ([Fault.plan [("serve.conn.write", Nth 3)]]) can force a reset at
+      an exact protocol step, exactly like the in-process abort sites.
+
+    Actions model the classic failure menu: [Drop] loses the frame
+    (reads: the request is read then discarded, so the client only
+    learns via its deadline; writes: the reply is never sent), [Delay]
+    holds the frame for a few milliseconds, [Truncate] sends a prefix
+    of the frame and hard-closes (the peer sees a torn frame), [Reset]
+    hard-closes immediately. *)
+
+type action = Pass | Drop | Delay_ms of int | Truncate of int | Reset
+
+type config = {
+  seed : int;
+  drop : float;  (** probability a frame is silently lost *)
+  delay : float;  (** probability a frame is held [delay_ms] *)
+  delay_ms : int;
+  truncate : float;  (** probability a write sends a prefix then closes *)
+  reset : float;  (** probability the connection is hard-closed *)
+}
+
+val default_config : ?seed:int -> unit -> config
+(** A lively but survivable mix (a few percent per class), seed 0 by
+    default. *)
+
+type t
+(** Per-connection chaos state. *)
+
+val disabled : t
+(** Never acts (and never consults the fault registry). *)
+
+val create : config -> conn_id:int -> t
+
+val active : t -> bool
+
+exception Injected_reset of string
+(** Raised by {!on_read}/{!on_write} when the drawn (or fault-planned)
+    action kills the connection; payload names the site. The server
+    maps it to a hard close. *)
+
+val on_read : t -> (unit -> 'a) -> [ `Data of 'a | `Dropped ]
+(** Run the framed read under the connection's chaos policy: possibly
+    delayed; [`Dropped] when the read result must be discarded.
+    @raise Injected_reset when the connection is to be reset. *)
+
+val on_write : t -> Unix.file_descr -> string -> unit
+(** Write one frame under the chaos policy (drop / delay / truncate /
+    reset); a truncating write sends the prefix raw — deliberately torn
+    — then raises. @raise Injected_reset on truncate and reset. *)
+
+val trace : t -> string list
+(** Actions taken so far on this connection, oldest first — the
+    replayable failure trace ("w:reset", "r:delay12", ...). Empty for
+    {!disabled}. *)

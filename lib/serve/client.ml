@@ -1,0 +1,58 @@
+open Sync_platform
+
+type t = { cfd : Unix.file_descr; mutable open_ : bool }
+
+let connect sa =
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sa with
+  | () -> Ok { cfd = fd; open_ = true }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let fd t = t.cfd
+
+type error = [ `Closed | `Timeout | `Fail of string ]
+
+let error_to_string = function
+  | `Closed -> "closed"
+  | `Timeout -> "timeout"
+  | `Fail m -> "fail: " ^ m
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.cfd with Unix.Unix_error _ -> ()
+  end
+
+let request t ~deadline_ns req =
+  if not t.open_ then Error `Closed
+  else begin
+    (* Reply must land within the budget plus slack; a lost reply (crash,
+       chaos drop) then fails typed instead of blocking forever. *)
+    let budget_s = Int64.to_float deadline_ns /. 1e9 in
+    (try Unix.setsockopt_float t.cfd Unix.SO_RCVTIMEO (budget_s +. 0.25)
+     with Unix.Unix_error _ -> ());
+    match Wire.write_frame t.cfd (Wire.encode_request ~deadline_ns req) with
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      Error `Closed
+    | exception Unix.Unix_error (e, _, _) -> Error (`Fail (Unix.error_message e))
+    | () -> (
+      match Wire.read_frame t.cfd with
+      | Error (Wire.Eof | Wire.Truncated) -> Error `Closed
+      | Error Wire.Timeout -> Error `Timeout
+      | Error (Wire.Oversized n) ->
+        Error (`Fail (Printf.sprintf "oversized reply (%d)" n))
+      | Error (Wire.Conn_error m) -> Error (`Fail m)
+      | Ok payload -> (
+        match Wire.decode_reply payload with
+        | Ok r -> Ok r
+        | Error m -> Error (`Fail m)))
+  end
+
+let backoff_ms ~rng ~attempt ~base_ms ~cap_ms =
+  let attempt = min attempt 16 (* 2^16 * base overflows nothing, caps anyway *) in
+  let ceiling = min cap_ms (base_ms * (1 lsl attempt)) in
+  let ceiling = max 1 ceiling in
+  1 + Prng.int rng ceiling

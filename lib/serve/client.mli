@@ -1,0 +1,35 @@
+(** Client side of the bloom_serve protocol: one blocking connection
+    plus the backoff policy the E24 drivers share.
+
+    Every {!request} stamps the connection's receive timeout from the
+    request's deadline budget (plus slack), so a reply lost to chaos or
+    a crashed server surfaces as a typed [`Timeout] — the client-side
+    mirror of the server's deadline propagation; a client can never
+    hang on a dead or lossy connection. *)
+
+type t
+
+val connect : Unix.sockaddr -> (t, string) result
+
+val fd : t -> Unix.file_descr
+
+type error =
+  [ `Closed  (** EOF / reset — the server hung up or died *)
+  | `Timeout  (** no reply within the deadline budget + slack *)
+  | `Fail of string  (** connection-level failure or undecodable reply *)
+  ]
+
+val error_to_string : error -> string
+
+val request : t -> deadline_ns:int64 -> Wire.req -> (Wire.reply, error) result
+(** Send one request and wait for its reply. After any [Error] the
+    connection must be {!close}d (the stream may be desynchronized). *)
+
+val close : t -> unit
+
+val backoff_ms :
+  rng:Sync_platform.Prng.t -> attempt:int -> base_ms:int -> cap_ms:int -> int
+(** Capped exponential backoff with full jitter: uniform in
+    [\[1, min (cap_ms, base_ms * 2^attempt)\]]. [attempt] counts from
+    0. The standard anti-thundering-herd retry delay for
+    [Overloaded]/reset outcomes (AWS-style full jitter). *)

@@ -1,0 +1,65 @@
+type t = { pid : int; mutable reaped : [ `Exited of int | `Signaled of int ] option }
+
+let spawn ~exe ~args =
+  let argv = Array.of_list (exe :: args) in
+  let pid = Unix.create_process exe argv Unix.stdin Unix.stdout Unix.stderr in
+  { pid; reaped = None }
+
+let pid t = t.pid
+
+let signal_quiet t s =
+  if t.reaped = None then
+    try Unix.kill t.pid s with Unix.Unix_error _ -> ()
+
+let sigterm t = signal_quiet t Sys.sigterm
+
+let kill9 t = signal_quiet t Sys.sigkill
+
+let wait ?(timeout_s = 10.0) t =
+  match t.reaped with
+  | Some r -> (r :> [ `Exited of int | `Signaled of int | `Timeout ])
+  | None ->
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec poll () =
+      match Unix.waitpid [ Unix.WNOHANG ] t.pid with
+      | 0, _ ->
+        if Unix.gettimeofday () >= deadline then `Timeout
+        else begin
+          Thread.delay 0.01;
+          poll ()
+        end
+      | _, Unix.WEXITED c ->
+        t.reaped <- Some (`Exited c);
+        `Exited c
+      | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+        t.reaped <- Some (`Signaled s);
+        `Signaled s
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        t.reaped <- Some (`Exited 0);
+        `Exited 0
+    in
+    poll ()
+
+let wait_for_socket ?(timeout_s = 5.0) path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    let ready =
+      Sys.file_exists path
+      &&
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let ok =
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ok
+    in
+    if ready then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.02;
+      poll ()
+    end
+  in
+  poll ()

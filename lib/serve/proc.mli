@@ -1,0 +1,22 @@
+(** Child-process control for the multi-process drills: spawn a real
+    bloom_serve daemon, SIGTERM it for a graceful drain, or [kill -9]
+    it mid-load to exercise client recovery (the E24 Service axis). *)
+
+type t
+
+val spawn : exe:string -> args:string list -> t
+(** [Unix.create_process] with inherited stdio. [args] excludes argv0. *)
+
+val pid : t -> int
+
+val sigterm : t -> unit
+
+val kill9 : t -> unit
+
+val wait : ?timeout_s:float -> t -> [ `Exited of int | `Signaled of int | `Timeout ]
+(** Reap the child (polling; default 10 s). Safe to call after the
+    child is already gone. *)
+
+val wait_for_socket : ?timeout_s:float -> string -> bool
+(** Poll until a Unix-domain socket at [path] accepts connections
+    (default 5 s); the "daemon is up" barrier for drivers and tests. *)

@@ -1,0 +1,48 @@
+(** The served Bloom problems (E24), deadline-aware.
+
+    Four of the paper's six problems, recast as long-lived services:
+
+    - {b queue}: the bounded buffer as a queue service — strong
+      semaphores guard slots/items, exactly the textbook split;
+    - {b sched}: the disk-head scheduler as a request scheduler — one
+      head, seeks serialized by a mutex, service time proportional to
+      the seek distance;
+    - {b timer}: the alarm clock as a timer service — a ticker thread
+      advances a virtual tick under a mutex and broadcasts; sleepers
+      wait on the condition;
+    - {b kv}: readers-writers as a KV store — a condition-based RW
+      lock, reads share, writes exclude.
+
+    Deadline propagation is the robustness core: {!handle} receives the
+    request's {e absolute} deadline and threads the remaining budget
+    into every blocking acquire — [Semaphore.acquire_for] (queue),
+    [Mutex.try_lock_for] (sched), [Condition.wait_for] (timer, kv) —
+    so a slow lock becomes a typed [Deadline_exceeded] reply instead of
+    a stalled connection. An already-expired deadline fast-rejects
+    before touching any synchronizer (see the timeout-0 edge tests in
+    test_platform). *)
+
+type config = {
+  queue_capacity : int;  (** bounded-buffer slots (default 64) *)
+  tracks : int;  (** disk cylinders (default 256) *)
+  tick_ms : int;  (** virtual-tick period for the timer (default 2) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Builds the four backends and starts the timer's ticker thread. *)
+
+val handle : t -> deadline_end_ns:int64 -> Wire.req -> Wire.reply
+(** Serve one request; never blocks past the deadline. A
+    [deadline_end_ns] at or before now fast-rejects with
+    [Deadline_exceeded] without a syscall-level wait. *)
+
+val queue_length : t -> int
+(** Items currently queued (tests). *)
+
+val stop : t -> unit
+(** Stop the ticker and release waiters; {!handle} afterwards replies
+    [Shutting_down]. Idempotent. *)

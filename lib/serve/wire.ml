@@ -1,0 +1,202 @@
+type req =
+  | Ping
+  | Q_put of string
+  | Q_get
+  | S_seek of int
+  | T_sleep of int
+  | K_get of string
+  | K_put of string * string
+
+type reply =
+  | Ok of string
+  | Overloaded of { retry_after_ms : int }
+  | Deadline_exceeded
+  | Bad_request of string
+  | Shutting_down
+
+let max_frame = 65536
+
+let version = 1
+
+let problem_of_req = function
+  | Ping -> "ping"
+  | Q_put _ | Q_get -> "queue"
+  | S_seek _ -> "sched"
+  | T_sleep _ -> "timer"
+  | K_get _ | K_put _ -> "kv"
+
+let op_name = function
+  | Ping -> "ping"
+  | Q_put _ -> "put"
+  | Q_get -> "get"
+  | S_seek _ -> "seek"
+  | T_sleep _ -> "sleep"
+  | K_get _ -> "kv.get"
+  | K_put _ -> "kv.put"
+
+(* -- payload codecs ------------------------------------------------ *)
+
+let put_i32 b v = Buffer.add_int32_be b (Int32.of_int v)
+
+let get_i32 s off = Int32.to_int (String.get_int32_be s off)
+
+let opcode = function
+  | Ping -> 0
+  | Q_put _ -> 1
+  | Q_get -> 2
+  | S_seek _ -> 3
+  | T_sleep _ -> 4
+  | K_get _ -> 5
+  | K_put _ -> 6
+
+let header_len = 1 + 1 + 8 (* version, opcode, deadline *)
+
+let encode_request ~deadline_ns req =
+  let b = Buffer.create 32 in
+  Buffer.add_uint8 b version;
+  Buffer.add_uint8 b (opcode req);
+  Buffer.add_int64_be b deadline_ns;
+  (match req with
+  | Ping | Q_get -> ()
+  | Q_put item -> Buffer.add_string b item
+  | S_seek track -> put_i32 b track
+  | T_sleep ticks -> put_i32 b ticks
+  | K_get key -> Buffer.add_string b key
+  | K_put (key, value) ->
+    Buffer.add_uint16_be b (String.length key);
+    Buffer.add_string b key;
+    Buffer.add_string b value);
+  Buffer.contents b
+
+let rest s = String.sub s header_len (String.length s - header_len)
+
+let decode_request s =
+  let len = String.length s in
+  if len < header_len then Error "request: short header"
+  else if Char.code s.[0] <> version then
+    Error (Printf.sprintf "request: unknown version %d" (Char.code s.[0]))
+  else begin
+    let deadline_ns = String.get_int64_be s 2 in
+    let body = len - header_len in
+    match Char.code s.[1] with
+    | 0 -> if body = 0 then Ok (deadline_ns, Ping) else Error "ping: trailing bytes"
+    | 1 -> Ok (deadline_ns, Q_put (rest s))
+    | 2 -> if body = 0 then Ok (deadline_ns, Q_get) else Error "get: trailing bytes"
+    | 3 ->
+      if body = 4 then Ok (deadline_ns, S_seek (get_i32 s header_len))
+      else Error "seek: want a 4-byte track"
+    | 4 ->
+      if body = 4 then Ok (deadline_ns, T_sleep (get_i32 s header_len))
+      else Error "sleep: want a 4-byte tick count"
+    | 5 -> Ok (deadline_ns, K_get (rest s))
+    | 6 ->
+      if body < 2 then Error "kv.put: short key length"
+      else begin
+        let klen = String.get_uint16_be s header_len in
+        if body < 2 + klen then Error "kv.put: key longer than payload"
+        else
+          let key = String.sub s (header_len + 2) klen in
+          let value =
+            String.sub s (header_len + 2 + klen) (body - 2 - klen)
+          in
+          Ok (deadline_ns, K_put (key, value))
+      end
+    | op -> Error (Printf.sprintf "request: unknown opcode %d" op)
+  end
+
+let encode_reply r =
+  let b = Buffer.create 16 in
+  Buffer.add_uint8 b version;
+  (match r with
+  | Ok payload ->
+    Buffer.add_uint8 b 0;
+    Buffer.add_string b payload
+  | Overloaded { retry_after_ms } ->
+    Buffer.add_uint8 b 1;
+    put_i32 b retry_after_ms
+  | Deadline_exceeded -> Buffer.add_uint8 b 2
+  | Bad_request msg ->
+    Buffer.add_uint8 b 3;
+    Buffer.add_string b msg
+  | Shutting_down -> Buffer.add_uint8 b 4);
+  Buffer.contents b
+
+let decode_reply s =
+  let len = String.length s in
+  if len < 2 then Error "reply: short header"
+  else if Char.code s.[0] <> version then
+    Error (Printf.sprintf "reply: unknown version %d" (Char.code s.[0]))
+  else
+    let body () = String.sub s 2 (len - 2) in
+    match Char.code s.[1] with
+    | 0 -> Ok (Ok (body ()))
+    | 1 ->
+      if len = 6 then Ok (Overloaded { retry_after_ms = get_i32 s 2 })
+      else Error "overloaded: want a 4-byte retry hint"
+    | 2 -> if len = 2 then Ok Deadline_exceeded else Error "deadline: trailing bytes"
+    | 3 -> Ok (Bad_request (body ()))
+    | 4 -> if len = 2 then Ok Shutting_down else Error "shutdown: trailing bytes"
+    | st -> Error (Printf.sprintf "reply: unknown status %d" st)
+
+(* -- framing ------------------------------------------------------- *)
+
+type read_error =
+  | Eof
+  | Truncated
+  | Oversized of int
+  | Timeout
+  | Conn_error of string
+
+let read_error_to_string = function
+  | Eof -> "eof"
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+  | Timeout -> "receive timeout"
+  | Conn_error e -> "connection error: " ^ e
+
+(* Fill [want] bytes or say why we could not. A zero-byte read at
+   offset 0 is a clean close; later it means the peer died mid-frame.
+   EAGAIN/EWOULDBLOCK surface the socket's SO_RCVTIMEO as [Timeout];
+   resets (ECONNRESET, EPIPE) are the peer vanishing mid-frame. *)
+let read_exactly fd buf want ~at_boundary =
+  let rec go off =
+    if off = want then Result.Ok ()
+    else
+      match Unix.read fd buf off (want - off) with
+      | 0 -> Error (if off = 0 && at_boundary then Eof else Truncated)
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error Timeout
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        Error (if off = 0 && at_boundary then Eof else Truncated)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Conn_error (Unix.error_message e))
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_exactly fd hdr 4 ~at_boundary:true with
+  | Error e -> Error e
+  | Result.Ok () ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then Error (Oversized len)
+    else begin
+      let payload = Bytes.create len in
+      match read_exactly fd payload len ~at_boundary:false with
+      | Error e -> Error e
+      | Result.Ok () -> Result.Ok (Bytes.unsafe_to_string payload)
+    end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg (Printf.sprintf "Wire.write_frame: %d > max_frame" len);
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 4 len;
+  let rec send off =
+    if off < 4 + len then
+      send (off + Unix.write fd b off (4 + len - off))
+  in
+  send 0

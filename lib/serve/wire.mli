@@ -1,0 +1,76 @@
+(** The bloom_serve wire protocol (E24): length-prefixed binary frames
+    over a Unix-domain or TCP stream.
+
+    Every frame is a 4-byte big-endian payload length followed by the
+    payload; payloads above {!max_frame} bytes are rejected at the
+    framing layer (a server must not allocate attacker-sized buffers).
+    Request payloads carry a one-byte version, a one-byte opcode, and
+    the client's {e deadline budget} — a relative nanosecond allowance
+    the server turns into an absolute deadline on arrival and threads
+    through every blocking acquire ([Semaphore.acquire_for],
+    [Mutex.try_lock_for], [Condition.wait_for]); an exhausted budget
+    comes back as a typed {!reply} instead of an unbounded stall.
+
+    Encoding and decoding are pure string functions so the codec can be
+    property-tested without sockets (see test_serve). *)
+
+(** One request against a served Bloom problem. *)
+type req =
+  | Ping  (** health check; always succeeds *)
+  | Q_put of string  (** bounded buffer as a queue service: enqueue *)
+  | Q_get  (** dequeue *)
+  | S_seek of int  (** disk-head scheduler: move the head to a track *)
+  | T_sleep of int  (** alarm clock: sleep for [n] virtual ticks *)
+  | K_get of string  (** readers-writers as a KV store: read a key *)
+  | K_put of string * string  (** write a key *)
+
+(** Typed server reply. Every admission or deadline failure is explicit
+    — the overload story is "shed with a retry hint", never "hang". *)
+type reply =
+  | Ok of string
+  | Overloaded of { retry_after_ms : int }
+      (** admission controller shed the request; back off and retry *)
+  | Deadline_exceeded
+      (** the propagated deadline expired inside a blocking acquire *)
+  | Bad_request of string
+  | Shutting_down  (** server is draining; reconnect elsewhere/later *)
+
+val max_frame : int
+(** Largest accepted payload (65536 bytes). *)
+
+val problem_of_req : req -> string
+(** Admission-bucket key: ["ping"], ["queue"], ["sched"], ["timer"] or
+    ["kv"]. *)
+
+val op_name : req -> string
+(** Per-op label for latency recording and request trace spans. *)
+
+val encode_request : deadline_ns:int64 -> req -> string
+(** Unframed request payload. [deadline_ns] is the relative budget; 0
+    means "use the server's default budget". *)
+
+val decode_request : string -> (int64 * req, string) result
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> (reply, string) result
+
+(** Why {!read_frame} stopped without a frame. *)
+type read_error =
+  | Eof  (** clean close at a frame boundary *)
+  | Truncated  (** connection died mid-frame (chaos, crash, reset) *)
+  | Oversized of int  (** advertised length beyond {!max_frame} *)
+  | Timeout  (** the socket's receive timeout (SO_RCVTIMEO) fired *)
+  | Conn_error of string  (** any other socket-level failure *)
+
+val read_error_to_string : read_error -> string
+
+val read_frame : Unix.file_descr -> (string, read_error) result
+(** Read one complete frame (blocking; honours the fd's receive
+    timeout). Never raises on connection failure — resets map to
+    {!Truncated}/{!Conn_error} so callers always see a typed outcome. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame and send the whole payload.
+    @raise Invalid_argument beyond {!max_frame}.
+    @raise Unix.Unix_error on connection failure. *)

@@ -793,6 +793,184 @@ let test_sem_v_n () =
   Semaphore.Counting.v_n w 4;
   check_int "weak v_n posts the batch" 4 (Semaphore.Counting.value w)
 
+(* ------------------------------------------------------------------ *)
+(* Timed-wait edges: a zero or negative budget (the "already expired"
+   deadline the serve tier sends for spent request budgets) must reject
+   a contended acquire immediately — and still take a free one. *)
+
+(* An expired budget must resolve in bounded time; generous margin for
+   a loaded 1-core box. *)
+let bounded name f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  let ms =
+    Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) t0) 1_000_000L)
+  in
+  if ms > 1_000 then
+    Alcotest.failf "%s took %dms on an expired budget" name ms;
+  r
+
+let test_deadline_expired_edges () =
+  check_bool "0ns is born expired" true (Deadline.expired (Deadline.after_ns 0L));
+  check_bool "negative is born expired" true
+    (Deadline.expired (Deadline.after_ns (-1L)));
+  check_bool "min_int does not wrap into the future" true
+    (Deadline.expired (Deadline.after_ns Int64.min_int));
+  check_bool "never does not expire" false (Deadline.expired Deadline.never);
+  check_bool "a generous deadline is live" false
+    (Deadline.expired (Deadline.after_s 60.0))
+
+let test_timed_zero_budget () =
+  (* Free primitives still succeed with no budget at all... *)
+  let m = Mutex.create () in
+  check_bool "free mutex, 0 budget" true
+    (bounded "free mutex" (fun () -> Mutex.try_lock_for m ~timeout_ns:0L));
+  Mutex.unlock m;
+  let s = Semaphore.Counting.create 1 in
+  check_bool "available unit, 0 budget" true
+    (bounded "avail sem" (fun () ->
+         Semaphore.Counting.acquire_for s ~timeout_ns:0L));
+  let b = Semaphore.Binary.create true in
+  check_bool "open binary, 0 budget" true
+    (bounded "open binary" (fun () ->
+         Semaphore.Binary.acquire_for b ~timeout_ns:0L));
+  (* ...while exhausted ones reject immediately, leaving state intact. *)
+  check_bool "empty sem, 0 budget" false
+    (bounded "empty sem" (fun () ->
+         Semaphore.Counting.acquire_for s ~timeout_ns:0L));
+  check_bool "empty sem, negative budget" false
+    (bounded "negative sem" (fun () ->
+         Semaphore.Counting.acquire_for s ~timeout_ns:(-5L)));
+  check_int "failed timed P leaves no value" 0 (Semaphore.Counting.value s);
+  check_int "failed timed P leaves no waiter" 0 (Semaphore.Counting.waiters s);
+  check_bool "closed binary, 0 budget" false
+    (bounded "closed binary" (fun () ->
+         Semaphore.Binary.acquire_for b ~timeout_ns:0L));
+  (* Held mutex: a zero-budget contender must bounce, not park. *)
+  Mutex.lock m;
+  let contender = ref None in
+  Process.join
+    (Testutil.spawn (fun () ->
+         contender :=
+           Some (bounded "held mutex" (fun () ->
+                     Mutex.try_lock_for m ~timeout_ns:0L))));
+  Alcotest.(check (option bool)) "held mutex, 0 budget" (Some false) !contender;
+  (* Expired condition wait: returns false with the lock still held. *)
+  let c = Condition.create () in
+  check_bool "expired cond wait" false
+    (bounded "cond wait" (fun () ->
+         Condition.wait_for c m ~deadline:(Deadline.after_ns 0L)));
+  let probe = ref None in
+  Process.join
+    (Testutil.spawn (fun () -> probe := Some (Mutex.try_lock m)));
+  Alcotest.(check (option bool)) "lock survives the expired wait"
+    (Some false) !probe;
+  (* Expired waitq wait: false, lock held, no residual entry to wake. *)
+  let q = Waitq.create () in
+  check_bool "expired waitq wait" false
+    (bounded "waitq wait" (fun () ->
+         Waitq.wait_for q ~lock:m ~deadline:(Deadline.after_ns (-1L)) 0));
+  check_int "no residual waiter" 0 (Waitq.length q);
+  Mutex.unlock m
+
+(* The same contract must hold on the E22 fast tier, whose timed waits
+   are CAS/backoff polls rather than condvar parks. *)
+let test_fast_timed_zero_budget () =
+  Fastpath.with_enabled (fun () ->
+      let m = Mutex.create () in
+      check_bool "fast free mutex, 0 budget" true
+        (bounded "fast free mutex" (fun () ->
+             Mutex.try_lock_for m ~timeout_ns:0L));
+      Mutex.unlock m;
+      let s = Semaphore.Counting.create 0 in
+      check_bool "fast empty sem, 0 budget" false
+        (bounded "fast empty sem" (fun () ->
+             Semaphore.Counting.acquire_for s ~timeout_ns:0L));
+      check_bool "fast empty sem, negative budget" false
+        (bounded "fast negative sem" (fun () ->
+             Semaphore.Counting.acquire_for s ~timeout_ns:(-5L)));
+      check_int "fast sem value untouched" 0 (Semaphore.Counting.value s);
+      let w = Semaphore.Counting.create ~fairness:`Weak 0 in
+      check_bool "fast weak empty sem, 0 budget" false
+        (bounded "fast weak sem" (fun () ->
+             Semaphore.Counting.acquire_for w ~timeout_ns:0L)))
+
+(* ------------------------------------------------------------------ *)
+(* Waitq.wake_n batching properties (the E24 drain/V-storm substrate):
+   wake_n releases exactly [min n waiters], FIFO-oldest first, and the
+   overshoot wakes nobody twice. *)
+
+let prop_wake_n_releases_min =
+  QCheck.Test.make ~name:"wake_n releases exactly min n waiters" ~count:20
+    QCheck.(pair (int_range 0 4) (int_range 0 8))
+    (fun (parked, n) ->
+      let q = Waitq.create () in
+      let m = Mutex.create () in
+      let woke = Atomic.make 0 in
+      let waiters =
+        List.init parked (fun i ->
+            Testutil.spawn (fun () ->
+                Mutex.lock m;
+                Waitq.wait q ~lock:m i;
+                Atomic.incr woke;
+                Mutex.unlock m))
+      in
+      Testutil.eventually "all parked" (fun () -> Waitq.length q = parked);
+      Mutex.lock m;
+      let released = Waitq.wake_n q n in
+      Mutex.unlock m;
+      let expect = min parked n in
+      Testutil.eventually "released count woke" (fun () ->
+          Atomic.get woke = expect);
+      Testutil.never "nobody extra wakes" (fun () -> Atomic.get woke > expect);
+      Mutex.lock m;
+      let drained = Waitq.wake_all q in
+      Mutex.unlock m;
+      List.iter Process.join waiters;
+      released = expect
+      && drained = parked - expect
+      && Atomic.get woke = parked
+      && Waitq.length q = 0)
+
+let test_wake_n_empty () =
+  let q : int Waitq.t = Waitq.create () in
+  check_int "wake_n on an empty queue" 0 (Waitq.wake_n q 5);
+  check_int "wake_n 0 on an empty queue" 0 (Waitq.wake_n q 0);
+  check_int "wake_all on an empty queue" 0 (Waitq.wake_all q)
+
+(* ------------------------------------------------------------------ *)
+(* Batched-post storm on real domains: producers feed consumers with
+   v_n bursts through the fast tier; every unit must be consumed
+   exactly once (conservation) with nothing left parked. *)
+
+let test_fast_v_n_domain_storm () =
+  let s = Fastpath.with_enabled (fun () -> Semaphore.Counting.create 0) in
+  let consumers = 3 in
+  let per_consumer = 200 in
+  let total = consumers * per_consumer in
+  let consumed = Atomic.make 0 in
+  let jobs =
+    List.init consumers (fun _ () ->
+        for _ = 1 to per_consumer do
+          Semaphore.Counting.p s;
+          Atomic.incr consumed
+        done)
+    @ [ (fun () ->
+          (* One producer domain posting jittered batch sizes. *)
+          let rng = Prng.make 99L in
+          let posted = ref 0 in
+          while !posted < total do
+            let n = min (total - !posted) (1 + Prng.int rng 16) in
+            Semaphore.Counting.v_n s n;
+            posted := !posted + n;
+            if Prng.int rng 4 = 0 then Thread.yield ()
+          done) ]
+  in
+  Process.run_all ~backend:`Domain jobs;
+  check_int "every unit consumed exactly once" total (Atomic.get consumed);
+  check_int "no residual value" 0 (Semaphore.Counting.value s);
+  check_int "no residual waiters" 0 (Semaphore.Counting.waiters s)
+
 let () =
   Alcotest.run "platform"
     [ ( "prng",
@@ -876,5 +1054,17 @@ let () =
           Alcotest.test_case "fast mutex conditions" `Quick
             test_fast_mutex_condition;
           Alcotest.test_case "waitq wake_n batches" `Quick test_waitq_wake_n;
-          Alcotest.test_case "semaphore v_n batches" `Quick test_sem_v_n ] )
+          Alcotest.test_case "semaphore v_n batches" `Quick test_sem_v_n ] );
+      ( "timed-edges",
+        [ Alcotest.test_case "deadline expiry edges" `Quick
+            test_deadline_expired_edges;
+          Alcotest.test_case "zero/negative budgets" `Quick
+            test_timed_zero_budget;
+          Alcotest.test_case "fast-tier zero budgets" `Quick
+            test_fast_timed_zero_budget ] );
+      ( "wake-batching",
+        [ Testutil.qcheck_case prop_wake_n_releases_min;
+          Alcotest.test_case "wake_n empty edges" `Quick test_wake_n_empty;
+          Alcotest.test_case "v_n domain storm" `Quick
+            test_fast_v_n_domain_storm ] )
     ]

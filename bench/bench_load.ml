@@ -25,6 +25,17 @@
    platform substrate tier) and writes the side-by-side document
    behind the committed BENCH_E22.json.
 
+   --e25 runs the hardware-primitive hierarchy grid (every mechanism x
+   problem cell rebuilt on each restricted atomic class — rw, cas, faa,
+   llsc — plus native) and writes the scorecard document behind the
+   committed BENCH_E25.json; unsupported cells are typed rows, any
+   correctness failure fails the run. With --e25-baseline
+   BENCH_E25.json the sanity gate additionally measures a small set of
+   supported restricted-class cells and checks their cross-ratios
+   against the committed hierarchy grid, so a primitive construction
+   that silently collapses (or a native cell that regresses against the
+   restricted ones) fails CI like any other drift.
+
    --ab runs one hot cell twice — tracing disabled, then enabled — and
    reports the throughput delta, plus the disabled path against the
    committed baseline when one is given. The disabled path is the claim
@@ -52,6 +63,16 @@ let e22_sanity_cells =
   [ ("semaphore", "fcfs", 1, `Default); ("semaphore", "fcfs", 1, `Fast);
     ("ccr", "bounded-buffer", 4, `Default);
     ("ccr", "bounded-buffer", 4, `Fast) ]
+
+(* The E25 subset: single-domain cells only (contended restricted-class
+   cells are preemption-bound on small CI boxes), one per measured
+   class, on a mechanism every class supports, plus the native twin the
+   ratios anchor on. *)
+let e25_sanity_cells =
+  [ ("monitor", "fcfs", 1, `Default);
+    ("monitor", "fcfs", 1, `Prim Sync_prims.Prims.CAS);
+    ("monitor", "fcfs", 1, `Prim Sync_prims.Prims.FAA);
+    ("monitor", "fcfs", 1, `Prim Sync_prims.Prims.LLSC) ]
 
 let cell_id (m, p, d) = Printf.sprintf "%s/%s d=%d" m p d
 
@@ -93,6 +114,33 @@ let baseline_throughput ?tier doc ~cell:(mechanism, problem, domains) =
       match (field "mechanism" r, field "problem" r, field "domains" r) with
       | Some (Emit.Str m), Some (Emit.Str p), Some d
         when tier_ok && m = mechanism && p = problem
+             && Emit.number d = Some (float_of_int domains) ->
+        Option.bind (field "throughput_per_s" r) Emit.number
+      | _ -> None)
+    (Emit.to_list rows)
+
+(* Supported rows of the committed hierarchy grid (BENCH_E25.json):
+   keyed by class name — [`Default] measurements anchor on the
+   unrestricted ["native"] rows. Unsupported/failed rows never match, so
+   a baseline regenerated on a box where a cell stopped being supported
+   surfaces as "missing from baseline", not a silent pass. *)
+let e25_baseline_throughput doc ~cell:(mechanism, problem, domains, tier) =
+  let cls_name =
+    match tier with
+    | `Prim c -> Sync_prims.Prims.cls_name c
+    | _ -> "native"
+  in
+  let field name r = Emit.member name r in
+  let rows = Option.value ~default:Emit.Null (Emit.member "rows" doc) in
+  List.find_map
+    (fun r ->
+      match
+        ( field "class" r, field "mechanism" r, field "problem" r,
+          field "domains" r, field "status" r )
+      with
+      | ( Some (Emit.Str c), Some (Emit.Str m), Some (Emit.Str p), Some d,
+          Some (Emit.Str st) )
+        when c = cls_name && st = "supported" && m = mechanism && p = problem
              && Emit.number d = Some (float_of_int domains) ->
         Option.bind (field "throughput_per_s" r) Emit.number
       | _ -> None)
@@ -147,7 +195,7 @@ let check_drift ~factor ~failed cells =
         cells)
     cells
 
-let sanity ?e22_file baseline_file =
+let sanity ?e22_file ?e25_file baseline_file =
   let doc = parse_baseline ~what:"baseline" baseline_file in
   let duration_ms = Loadgen.duration_from_env ~default:200 in
   Printf.printf "perf sanity vs %s (%d ms per cell)\n%!" baseline_file
@@ -180,6 +228,21 @@ let sanity ?e22_file baseline_file =
            e22_sanity_cells)
     in
     check_drift ~factor ~failed e22);
+  (match e25_file with
+  | None -> ()
+  | Some file ->
+    let e25_doc = parse_baseline ~what:"E25 baseline" file in
+    Printf.printf "primitive-hierarchy sanity vs %s\n%!" file;
+    let e25 =
+      measure_cells ~failed
+        (List.map
+           (fun ((m, p, d, tier) as tc) ->
+             ( tiered_id (m, p, d, tier),
+               (fun () -> run_cell ~tier ~duration_ms (m, p, d)),
+               fun () -> e25_baseline_throughput e25_doc ~cell:tc ))
+           e25_sanity_cells)
+    in
+    check_drift ~factor ~failed e25);
   if !failed then begin
     Printf.printf "perf sanity FAILED\n%!";
     exit 1
@@ -337,13 +400,52 @@ let e22_grid out =
     Sync_metrics.Emit.write_file out (Sweep.e22_to_json spec cells);
     Printf.printf "\nwrote %s (%d cells)\n%!" out (List.length cells)
 
+(* The E25 hierarchy grid: every mechanism x problem target rebuilt on
+   each restricted atomic class and the native substrate, typed
+   unsupported rows for inexpressible cells, hard failure on any
+   correctness violation. The committed BENCH_E25.json is this mode's
+   output on the reference box. *)
+let e25_grid out =
+  let module H = Sync_eval.Hierarchy_axis in
+  let spec = H.default_spec () in
+  Printf.printf
+    "E25 primitive-hierarchy grid: classes {%s} x %d problems x domains \
+     {%s}, %dms steady (+%dms warmup) per cell, closed loop, seed %d\n\
+     recommended domains on this box: %d\n\n%!"
+    (String.concat ", "
+       (List.map Sync_prims.Prims.cls_name spec.H.classes))
+    (List.length spec.H.problems)
+    (String.concat ", " (List.map string_of_int spec.H.domains))
+    spec.H.duration_ms spec.H.warmup_ms spec.H.seed
+    (Domain.recommended_domain_count ());
+  let progress (r : H.row) =
+    Printf.printf "%-7s %-12s %-18s d=%d  %s%s\n%!"
+      (Sync_prims.Prims.cls_name r.H.cls)
+      r.H.mechanism r.H.problem r.H.domains
+      (H.status_string r.H.status)
+      (match r.H.status with
+      | H.Supported -> Printf.sprintf "  %12.0f ops/s" r.H.throughput_per_s
+      | _ -> "")
+  in
+  let rows = H.run ~progress spec in
+  print_newline ();
+  H.pp Format.std_formatter rows;
+  Emit.write_file out (H.to_json spec rows);
+  Printf.printf "\nwrote %s (%d rows)\n%!" out (List.length rows);
+  if not (H.all_ok rows) then begin
+    Printf.printf "E25 grid has FAILED cells\n%!";
+    exit 1
+  end
+
 let () =
   let out = ref "bench-load.json" in
   let sanity_file = ref None in
   let ab_mode = ref false in
   let e22_mode = ref false in
+  let e25_mode = ref false in
   let baseline_file = ref None in
   let e22_baseline = ref None in
+  let e25_baseline = ref None in
   let rec parse = function
     | [] -> ()
     | "--out" :: f :: rest ->
@@ -358,26 +460,34 @@ let () =
     | "--e22" :: rest ->
       e22_mode := true;
       parse rest
+    | "--e25" :: rest ->
+      e25_mode := true;
+      parse rest
     | "--baseline" :: f :: rest ->
       baseline_file := Some f;
       parse rest
     | "--e22-baseline" :: f :: rest ->
       e22_baseline := Some f;
       parse rest
+    | "--e25-baseline" :: f :: rest ->
+      e25_baseline := Some f;
+      parse rest
     | [ f ] when not (String.length f > 0 && f.[0] = '-') -> out := f
     | a :: _ ->
       Printf.eprintf
         "usage: bench_load [--out FILE | FILE] [--sanity BASELINE.json \
-         [--e22-baseline BENCH_E22.json]] [--ab [--baseline \
-         BASELINE.json]] [--e22]\n\
+         [--e22-baseline BENCH_E22.json] [--e25-baseline \
+         BENCH_E25.json]] [--ab [--baseline BASELINE.json]] [--e22] \
+         [--e25]\n\
         \  got %S\n"
         a;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   match !sanity_file with
-  | Some f -> sanity ?e22_file:!e22_baseline f
+  | Some f -> sanity ?e22_file:!e22_baseline ?e25_file:!e25_baseline f
   | None ->
     if !ab_mode then ab !baseline_file !out
     else if !e22_mode then e22_grid !out
+    else if !e25_mode then e25_grid !out
     else grid !out

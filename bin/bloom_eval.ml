@@ -115,16 +115,24 @@ let scorecard_cmd =
                    bloom_serve daemons; standalone as $(b,bloom_eval \
                    serve))")
   in
+  let hierarchy =
+    Arg.(value & flag
+         & info [ "hierarchy" ]
+             ~doc:"also run the E25 primitive-hierarchy grid (every \
+                   mechanism x problem on restricted atomic classes; \
+                   standalone as $(b,bloom_eval hierarchy))")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
              ~doc:"also write the whole scorecard as a JSON document")
   in
-  let run fast robustness perf observability service json =
+  let run fast robustness perf observability service hierarchy json =
     let card =
       Sync_eval.Scorecard.build ~run_conformance:(not fast)
         ~run_robustness:robustness ~run_perf:perf
-        ~run_observability:observability ~run_service:service ()
+        ~run_observability:observability ~run_service:service
+        ~run_hierarchy:hierarchy ()
     in
     Sync_eval.Scorecard.pp ppf card;
     (match json with
@@ -137,11 +145,12 @@ let scorecard_cmd =
       || not (Sync_eval.Robustness.all_recovered card.robustness)
       || not (Sync_eval.Observability.all_ok card.observability)
       || not (Sync_eval.Service_axis.all_ok card.service)
+      || not (Sync_eval.Hierarchy_axis.all_ok card.hierarchy)
     then exit 1
   in
   Cmd.v (Cmd.info "scorecard" ~doc)
     Term.(const run $ fast $ robustness $ perf $ observability $ service
-          $ json)
+          $ hierarchy $ json)
 
 let load_cmd =
   let doc =
@@ -232,10 +241,12 @@ let load_cmd =
   let tier_arg =
     Arg.(value & opt string "default"
          & info [ "tier" ] ~docv:"TIER"
-             ~doc:"platform substrate (E22): $(b,default) for the \
-                   stdlib-backed tier, $(b,fast) for the \
-                   contention-adaptive fast paths (adaptive mutex, \
-                   fetch-and-add weak semaphore, Vyukov bounded buffer)")
+             ~doc:"platform substrate: $(b,default) for the stdlib-backed \
+                   tier, $(b,fast) for the contention-adaptive fast paths \
+                   (E22: adaptive mutex, fetch-and-add weak semaphore, \
+                   Vyukov bounded buffer), or a restricted atomic class \
+                   (E25: $(b,rw), $(b,cas), $(b,faa), $(b,llsc), \
+                   $(b,native))")
   in
   let json =
     Arg.(value & opt (some string) None
@@ -265,7 +276,15 @@ let load_cmd =
       match tier_arg with
       | "default" -> `Default
       | "fast" -> `Fast
-      | s -> fail (Printf.sprintf "unknown tier %S (default | fast)" s)
+      | s -> (
+        match Sync_prims.Prims.cls_of_string s with
+        | Some c -> `Prim c
+        | None ->
+          fail
+            (Printf.sprintf
+               "unknown tier %S (default | fast | rw | cas | faa | llsc | \
+                native)"
+               s))
     in
     let arrival =
       match arrival_arg with
@@ -358,6 +377,126 @@ let load_cmd =
           $ mode_arg $ rate $ arrival_arg $ backend_arg $ seed $ capacity
           $ work $ read_pct $ tracks $ hot_pct $ sweep $ tier_arg $ json
           $ csv $ trace_out)
+
+let hierarchy_cmd =
+  let doc =
+    "Score the hardware-primitive hierarchy (experiment E25): rebuild every \
+     mechanism x problem load target with the platform's mutexes and \
+     semaphores constructed from one restricted atomic class — read/write \
+     registers (bakery), CAS, fetch-and-add (ticket), emulated LL/SC — \
+     drive each supported cell with the E20 workload engine, and record \
+     typed unsupported reasons for the rest."
+  in
+  let list_arg name ~doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"LIST" ~doc)
+  in
+  let classes_arg =
+    list_arg "classes"
+      ~doc:"comma-separated atomic classes to run (rw, cas, faa, llsc, \
+            native); default all five"
+  in
+  let problems_arg =
+    list_arg "problems"
+      ~doc:"comma-separated problems (default bounded-buffer,fcfs,\
+            readers-writers)"
+  in
+  let mechanisms_arg =
+    list_arg "mechanisms"
+      ~doc:"comma-separated mechanisms (default: every mechanism the \
+            workload engine offers for each problem)"
+  in
+  let domains_arg =
+    list_arg "domains"
+      ~doc:"comma-separated worker domain counts (default 1,4)"
+  in
+  let duration_ms =
+    Arg.(value & opt (some int) None
+         & info [ "duration" ] ~docv:"MS"
+             ~doc:"steady-state window per cell (default $(b,SYNC_LOAD_MS) \
+                   or 100)")
+  in
+  let warmup_ms =
+    Arg.(value & opt int 30
+         & info [ "warmup" ] ~docv:"MS" ~doc:"warmup window per cell")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"workload seed")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"also write the scorecard grid as a JSON document (the \
+                   committed BENCH_E25.json shape)")
+  in
+  let fail msg =
+    Format.fprintf ppf "%s@." msg;
+    exit 2
+  in
+  let split = function
+    | None -> None
+    | Some s ->
+      Some
+        (List.filter (fun x -> x <> "")
+           (List.map String.trim (String.split_on_char ',' s)))
+  in
+  let run classes problems mechanisms domains duration_ms warmup_ms seed json
+      =
+    let module H = Sync_eval.Hierarchy_axis in
+    let dflt = H.default_spec () in
+    let classes =
+      match split classes with
+      | None -> dflt.H.classes
+      | Some cs ->
+        List.map
+          (fun s ->
+            match Sync_prims.Prims.cls_of_string s with
+            | Some c -> c
+            | None ->
+              fail
+                (Printf.sprintf
+                   "unknown class %S (rw | cas | faa | llsc | native)" s))
+          cs
+    in
+    let domains =
+      match split domains with
+      | None -> dflt.H.domains
+      | Some ds ->
+        List.map
+          (fun s ->
+            match int_of_string_opt s with
+            | Some d when d >= 1 -> d
+            | _ -> fail (Printf.sprintf "bad domain count %S" s))
+          ds
+    in
+    let spec =
+      { H.classes;
+        problems = Option.value (split problems) ~default:dflt.H.problems;
+        mechanisms = split mechanisms;
+        domains;
+        duration_ms =
+          (match duration_ms with
+          | Some ms -> ms
+          | None -> dflt.H.duration_ms);
+        warmup_ms; seed }
+    in
+    let progress (r : H.row) =
+      Format.fprintf ppf "%-6s %-16s %-12s d=%-2d %s@."
+        (Sync_prims.Prims.cls_name r.H.cls)
+        r.H.problem r.H.mechanism r.H.domains
+        (H.status_string r.H.status)
+    in
+    let rows = H.run ~progress spec in
+    Format.fprintf ppf "@.%a" H.pp rows;
+    (match json with
+    | None -> ()
+    | Some file ->
+      Sync_metrics.Emit.write_file file (H.to_json spec rows);
+      Format.fprintf ppf "wrote %s@." file);
+    if not (H.all_ok rows) then exit 1
+  in
+  Cmd.v (Cmd.info "hierarchy" ~doc)
+    Term.(const run $ classes_arg $ problems_arg $ mechanisms_arg
+          $ domains_arg $ duration_ms $ warmup_ms $ seed $ json)
 
 let anomaly_cmd =
   let doc =
@@ -851,4 +990,4 @@ let () =
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
             trace_cmd; model_cmd; nested_cmd; explore_cmd; exploration_cmd;
-            faults_cmd; load_cmd; serve_cmd ]))
+            faults_cmd; load_cmd; hierarchy_cmd; serve_cmd ]))

@@ -128,6 +128,164 @@ let storm_bb_sem ?(capacity = 1) ?(producers = 1) ?(consumers = 1)
             | None -> Error "scenario body did not run"
             | Some r -> Bb_harness.check_abort ~producers r) })
 
+(* ---- E25: class-restricted locks on deterministic registers ----
+
+   The prims functors ([Bakery.Make], [Faalock.Make], [Ticket_sem.Make])
+   instantiated over [Detrt]'s recorded registers: every protocol step —
+   each read, write, CAS, FAA, and the parked [await] — is a scheduling
+   point the explorers control, so DPOR enumerates the algorithms' real
+   interleavings, not a lucky subset. Slots are task indices (the classic
+   static-process model), no thread registry involved. *)
+
+module Det_regs :
+  Sync_prims.Regs.FULL with type t = Sync_platform.Detrt.reg = struct
+  open Sync_platform
+
+  type t = Detrt.reg
+
+  let make = Detrt.reg
+
+  let get = Detrt.reg_get
+
+  let set = Detrt.reg_set
+
+  let cas = Detrt.reg_cas
+
+  let faa = Detrt.reg_faa
+
+  let await = Detrt.reg_await
+end
+
+module Det_bakery = Sync_prims.Bakery.Make (Det_regs)
+module Det_faa = Sync_prims.Faalock.Make (Det_regs)
+module Det_ticket_sem = Sync_prims.Ticket_sem.Make (Det_regs)
+
+(* Mutual-exclusion check with a recorded register as the witness: the
+   owner register's ops are scheduling points themselves, so if two
+   tasks can ever be inside the critical section together, some explored
+   schedule interleaves their owner writes and the check trips — no
+   hand-placed yields needed. *)
+let prim_excl name ~descr ~tasks ~rounds ~(make : tasks:int ->
+    (int -> unit) * (int -> unit)) =
+  let open Sync_platform in
+  Detsched.scenario ~name ~descr (fun () ->
+      let viol = ref 0 and entries = ref 0 in
+      { Detsched.body =
+          (fun () ->
+            let lock, unlock = make ~tasks in
+            let owner = Det_regs.make 0 in
+            let ts =
+              List.init tasks (fun i ->
+                  Detrt.spawn ~name:(Printf.sprintf "p%d" i) (fun () ->
+                      for _ = 1 to rounds do
+                        lock i;
+                        if Det_regs.get owner <> 0 then incr viol;
+                        Det_regs.set owner (i + 1);
+                        if Det_regs.get owner <> i + 1 then incr viol;
+                        Det_regs.set owner 0;
+                        incr entries;
+                        unlock i
+                      done))
+            in
+            List.iter Detrt.join ts);
+        check =
+          (fun () ->
+            if !viol > 0 then
+              Error (Printf.sprintf "%d exclusion violation(s)" !viol)
+            else if !entries <> tasks * rounds then
+              Error
+                (Printf.sprintf "%d critical sections, expected %d" !entries
+                   (tasks * rounds))
+            else Ok ()) })
+
+let bakery_excl ~tasks ~rounds =
+  prim_excl
+    (Printf.sprintf "bakery-excl-%dt%dr" tasks rounds)
+    ~descr:
+      (Printf.sprintf
+         "bakery lock (RW registers, bounded timestamps): %d tasks x %d \
+          rounds, exclusion witnessed on a recorded register"
+         tasks rounds)
+    ~tasks ~rounds
+    ~make:(fun ~tasks ->
+      let b = Det_bakery.create ~bound:16 ~slots:tasks () in
+      ( (fun i -> Det_bakery.lock b ~slot:i),
+        fun i -> Det_bakery.unlock b ~slot:i ))
+
+let ticket_excl ~tasks ~rounds =
+  prim_excl
+    (Printf.sprintf "ticket-excl-%dt%dr" tasks rounds)
+    ~descr:
+      (Printf.sprintf
+         "FAA ticket lock: %d tasks x %d rounds, exclusion witnessed on a \
+          recorded register"
+         tasks rounds)
+    ~tasks ~rounds
+    ~make:(fun ~tasks:_ ->
+      let l = Det_faa.Lock.create () in
+      ((fun _ -> Det_faa.Lock.lock l), fun _ -> Det_faa.Lock.unlock l))
+
+(* The control experiment: the textbook broken lock (test, then set —
+   no atomicity between them). Exploration must find the schedule where
+   both tasks pass the test before either sets the flag; with it, the
+   exclusion machinery above demonstrably detects real violations. *)
+let naive_rw_excl ~tasks ~rounds =
+  prim_excl
+    (Printf.sprintf "naive-rw-excl-%dt%dr" tasks rounds)
+    ~descr:
+      (Printf.sprintf
+         "BROKEN test-then-set RW lock: %d tasks x %d rounds; exploration \
+          must find the exclusion violation"
+         tasks rounds)
+    ~tasks ~rounds
+    ~make:(fun ~tasks:_ ->
+      let flag = Det_regs.make 0 in
+      ( (fun _ ->
+          Det_regs.await ~watch:[| flag |] (fun () ->
+              Det_regs.get flag = 0);
+          Det_regs.set flag 1),
+        fun _ -> Det_regs.set flag 0 ))
+
+(* FCFS ticket-semaphore handoff: budget 1, [tasks] contenders each
+   P/critical/V. A lost wakeup — a V whose budget bump fails to wake the
+   parked taker whose turn it funds — would leave that task blocked
+   forever and surface as a deterministic-runtime deadlock on that
+   schedule; the entry expects none exists. *)
+let ticket_sem_handoff ~tasks =
+  let open Sync_platform in
+  Detsched.scenario
+    ~name:(Printf.sprintf "ticket-sem-handoff-%dt" tasks)
+    ~descr:
+      (Printf.sprintf
+         "FCFS ticket semaphore (FAA): %d contenders hand one unit along; \
+          a lost wakeup would deadlock the run"
+         tasks)
+    (fun () ->
+      let viol = ref 0 and passes = ref 0 in
+      { Detsched.body =
+          (fun () ->
+            let s = Det_ticket_sem.create 1 in
+            let owner = Det_regs.make 0 in
+            let ts =
+              List.init tasks (fun i ->
+                  Detrt.spawn ~name:(Printf.sprintf "w%d" i) (fun () ->
+                      Det_ticket_sem.p s;
+                      if Det_regs.get owner <> 0 then incr viol;
+                      Det_regs.set owner (i + 1);
+                      if Det_regs.get owner <> i + 1 then incr viol;
+                      Det_regs.set owner 0;
+                      incr passes;
+                      Det_ticket_sem.v_n s 1))
+            in
+            List.iter Detrt.join ts);
+        check =
+          (fun () ->
+            if !viol > 0 then
+              Error (Printf.sprintf "%d exclusion violation(s)" !viol)
+            else if !passes <> tasks then
+              Error (Printf.sprintf "%d passes, expected %d" !passes tasks)
+            else Ok ()) })
+
 (* Not a mechanism under test but a harness self-check: opposite lock
    orders, so some schedules deadlock and some do not — DFS must find
    both, and the runtime must report the deadlock rather than hang. *)
@@ -181,6 +339,10 @@ let all : entry list =
     { scen = fcfs "fcfs-mon-mesa" (module Fcfs_mon.Mesa) ~variant:"mesa";
       expect = Pass };
     { scen = fcfs "fcfs-sem" (module Fcfs_sem) ~variant:""; expect = Pass };
+    { scen = bakery_excl ~tasks:2 ~rounds:1; expect = Pass };
+    { scen = ticket_excl ~tasks:2 ~rounds:2; expect = Pass };
+    { scen = naive_rw_excl ~tasks:2 ~rounds:1; expect = Fail };
+    { scen = ticket_sem_handoff ~tasks:3; expect = Pass };
     { scen = deadlock; expect = Fail } ]
 
 let find name = List.find_opt (fun e -> e.scen.Detsched.name = name) all

@@ -53,3 +53,29 @@ val storm_bb_sem :
     instance size; the recovery machinery is checked on every surviving
     operation. Uses the process-global fault registry: explore with
     [workers = 1]. *)
+
+(** {1 Class-restricted primitives (E25)}
+
+    The [Sync_prims] lock/semaphore functors instantiated over the
+    deterministic runtime's recorded registers, so every protocol step
+    is a scheduling point the explorers control. Exclusion is witnessed
+    on a recorded register: any schedule that puts two tasks in the
+    critical section together trips the check. *)
+
+module Det_regs :
+  Sync_prims.Regs.FULL with type t = Sync_platform.Detrt.reg
+
+val bakery_excl : tasks:int -> rounds:int -> Detsched.t
+(** Lamport bakery (RW registers, bounded timestamps), slot = task
+    index. *)
+
+val ticket_excl : tasks:int -> rounds:int -> Detsched.t
+(** FAA ticket lock. *)
+
+val naive_rw_excl : tasks:int -> rounds:int -> Detsched.t
+(** The deliberately broken test-then-set RW "lock" — the control:
+    exploration is expected to find its exclusion violation. *)
+
+val ticket_sem_handoff : tasks:int -> Detsched.t
+(** FCFS ticket semaphore handoff chain (budget 1); a lost wakeup would
+    surface as a deterministic-runtime deadlock. *)

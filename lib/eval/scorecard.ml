@@ -11,10 +11,12 @@ type t = {
   perf : Perf.row list;
   observability : Observability.row list;
   service : Service_axis.row list;
+  hierarchy : Hierarchy_axis.row list;
 }
 
 let build ?(run_conformance = true) ?(run_robustness = false)
-    ?(run_perf = false) ?(run_observability = false) ?(run_service = false) () =
+    ?(run_perf = false) ?(run_observability = false) ?(run_service = false)
+    ?(run_hierarchy = false) () =
   let entries = Registry.all in
   let matrix = Expressiveness.matrix entries in
   let pairings = Independence.analyze entries in
@@ -32,7 +34,11 @@ let build ?(run_conformance = true) ?(run_robustness = false)
          | Error msg -> failwith ("perf axis: " ^ msg)
        else []);
     observability = (if run_observability then Observability.run () else []);
-    service = (if run_service then Service_axis.run () else []) }
+    service = (if run_service then Service_axis.run () else []);
+    hierarchy =
+      (if run_hierarchy then
+         Hierarchy_axis.(run (default_spec ()))
+       else []) }
 
 let pp ppf t =
   Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
@@ -86,6 +92,15 @@ let pp ppf t =
     if Service_axis.all_ok t.service then
       Format.fprintf ppf "every scenario recovered with zero hung connections@."
     else Format.fprintf ppf "SERVICE FAILURE(S)@."
+  end;
+  if t.hierarchy <> [] then begin
+    Format.fprintf ppf
+      "@.== E25: primitive hierarchy (restricted atomic classes) ==@.";
+    Hierarchy_axis.pp ppf t.hierarchy;
+    if Hierarchy_axis.all_ok t.hierarchy then
+      Format.fprintf ppf
+        "every supported cell ran clean; unsupported cells are typed@."
+    else Format.fprintf ppf "HIERARCHY FAILURE(S)@."
   end
 
 let to_string t = Format.asprintf "%a" pp t
@@ -194,4 +209,6 @@ let to_json t =
             t.robustness));
       ("performance", Perf.to_json t.perf);
       ("observability", Observability.to_json t.observability);
-      ("service", Service_axis.to_json t.service) ]
+      ("service", Service_axis.to_json t.service);
+      ("hierarchy",
+       Emit.List (List.map Hierarchy_axis.row_to_json t.hierarchy)) ]

@@ -14,11 +14,13 @@ type t = {
   perf : Perf.row list;
   observability : Observability.row list;
   service : Service_axis.row list;
+  hierarchy : Hierarchy_axis.row list;
 }
 
 val build :
   ?run_conformance:bool -> ?run_robustness:bool -> ?run_perf:bool ->
-  ?run_observability:bool -> ?run_service:bool -> unit -> t
+  ?run_observability:bool -> ?run_service:bool -> ?run_hierarchy:bool ->
+  unit -> t
 (** Computes everything from {!Registry.all}. [run_conformance] (default
     true) actually executes the workload checks; disable for fast
     metadata-only views. [run_robustness] (default false — it is the
@@ -29,7 +31,10 @@ val build :
     E21 traced-contention audit via {!Observability.run}; [bloom_eval
     trace] drives full traced runs standalone. [run_service] (default
     false) adds the E24 service-tier scenarios via {!Service_axis.run}
-    (spawns real bloom_serve daemons; [bloom_eval serve] standalone). *)
+    (spawns real bloom_serve daemons; [bloom_eval serve] standalone).
+    [run_hierarchy] (default false) adds the E25 primitive-hierarchy
+    grid via {!Hierarchy_axis.run} on its default spec; [bloom_eval
+    hierarchy] drives configurable grids standalone. *)
 
 val pp : Format.formatter -> t -> unit
 

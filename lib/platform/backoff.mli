@@ -1,22 +1,23 @@
-(** Exponential backoff for contended retry loops.
+(** Exponential backoff for contended retry loops — re-export of
+    {!Sync_prims.Backoff}, which owns the implementation (the prims
+    library sits below the platform so the E25 class-restricted locks
+    can share it).
 
-    A [Backoff.t] tracks how long the current thread has been spinning on a
-    contended location. Each call to {!once} spins for a bounded, randomized
-    number of iterations and doubles the bound, yielding to the scheduler
-    once the bound saturates. This is the standard contention-management
-    substrate used by the spin-based primitives in this library. *)
+    Spin-vs-yield is decided per backoff at {!create} time by re-probing
+    [Domain.recommended_domain_count] (not once at module load), so
+    loops started after a test pins domains behave sanely; [?multicore]
+    overrides the probe. *)
 
-type t
+type t = Sync_prims.Backoff.t
 
-val create : ?min_wait:int -> ?max_wait:int -> unit -> t
-(** [create ()] returns a fresh backoff in its initial (shortest) state.
-    [min_wait] and [max_wait] bound the spin count; both must be positive
-    powers of two with [min_wait <= max_wait].
-    @raise Invalid_argument otherwise. *)
+val create : ?multicore:bool -> ?min_wait:int -> ?max_wait:int -> unit -> t
+(** See {!Sync_prims.Backoff.create}. *)
+
+val multicore : t -> bool
+(** The spin-vs-yield decision this backoff was created with. *)
 
 val once : t -> unit
-(** Spin (or yield, once saturated) and escalate the backoff. *)
+(** Spin (or yield, once saturated or single-core) and escalate. *)
 
 val reset : t -> unit
-(** Return the backoff to its initial state (call after a successful
-    acquisition). *)
+(** Return the backoff to its initial state. *)

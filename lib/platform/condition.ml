@@ -1,4 +1,5 @@
 module Probe = Sync_trace.Probe
+module Prims = Sync_prims.Prims
 
 (* A condition pairs with whatever mutex the caller hands to [wait], and
    adaptive (Fast) mutexes cannot use [Stdlib.Condition.wait] — that
@@ -72,8 +73,23 @@ let wait c (m : Mutex.t) =
     Atomic.decr r.parked;
     Stdlib.Mutex.unlock r.pk_m;
     Mutex.fast_lock_raw f
+  | Real r, Mutex.Prim p ->
+    (* Class-restricted (E25) mutexes park exactly like Fast ones: the
+       prim lock cannot feed [Stdlib.Condition.wait] either, so reuse
+       the park lot with the prim's own release/acquire. *)
+    Stdlib.Mutex.lock r.pk_m;
+    let s = r.seq in
+    Atomic.incr r.parked;
+    p.Prims.lk_unlock ();
+    while r.seq = s do
+      Stdlib.Condition.wait r.pk_c r.pk_m
+    done;
+    Atomic.decr r.parked;
+    Stdlib.Mutex.unlock r.pk_m;
+    p.Prims.lk_lock ()
   | Det c, Mutex.Det dm -> Detrt.cond_wait c dm
-  | Real _, Mutex.Det _ | Det _, (Mutex.Sys _ | Mutex.Fast _) ->
+  | Real _, Mutex.Det _ | Det _, (Mutex.Sys _ | Mutex.Fast _ | Mutex.Prim _)
+    ->
     worlds_mismatch ());
   reopen_hold m
 
@@ -98,6 +114,10 @@ let wait_for c (m : Mutex.t) ~deadline =
       Mutex.fast_unlock_raw f;
       Thread.yield ();
       Mutex.fast_lock_raw f
+    | Mutex.Prim p ->
+      p.Prims.lk_unlock ();
+      Thread.yield ();
+      p.Prims.lk_lock ()
     | Mutex.Det dm ->
       Detrt.mutex_unlock dm;
       Detrt.yield ();

@@ -26,7 +26,12 @@ exception Step_limit of int
    creation; creation order is itself schedule-determined, so ids are
    stable across replays of the same schedule. *)
 module Obs = struct
-  type objid = Mutex_o of int | Cond_o of int | Task_o of int | Global
+  type objid =
+    | Mutex_o of int
+    | Cond_o of int
+    | Task_o of int
+    | Reg_o of int
+    | Global
 
   type op =
     | Lock
@@ -39,6 +44,9 @@ module Obs = struct
     | Join
     | Finish
     | Quiesce
+    | Read
+    | Write
+    | Rmw of bool
 
   type event =
     | Choice of { kind : [ `Task | `Waiter ]; candidates : int array }
@@ -49,6 +57,7 @@ module Obs = struct
     | Mutex_o i -> Printf.sprintf "m%d" i
     | Cond_o i -> Printf.sprintf "c%d" i
     | Task_o i -> Printf.sprintf "t%d" i
+    | Reg_o i -> Printf.sprintf "r%d" i
     | Global -> "global"
 end
 
@@ -72,6 +81,11 @@ type sched = {
   max_steps : int;
   mutable runq : task list; (* deterministic FIFO of runnable tasks *)
   mutable quiescers : task list;
+  (* Tasks parked in [reg_await], with the object ordinals they watch;
+     a write to a watched register makes them runnable again. *)
+  mutable regwaiters : (task * int list) list;
+  (* Bumped by every register write: [reg_await]'s missed-write guard. *)
+  mutable reg_epoch : int;
   mutable all : task list; (* spawn order, newest first *)
   mutable next_tid : int;
   mutable next_oid : int; (* object ordinal for [Obs] identities *)
@@ -453,12 +467,108 @@ let cond_broadcast c =
     Effect.perform Yield
 
 (* ------------------------------------------------------------------ *)
+(* Deterministic integer registers (the det face of [Sync_prims.Regs]):
+   every access is a scheduling point, so the class-restricted lock and
+   semaphore algorithms — whose steps ARE register accesses — expose
+   each interleaving to the explorer. [reg_await] is the deterministic
+   [Regs.await]: instead of spinning (which would make every schedule
+   tree infinite), the task parks and a write to any watched register
+   wakes it; a lost wakeup therefore surfaces as a Detrt deadlock, which
+   is exactly what the E26 scenarios assert against. *)
+
+type reg = { mutable rval : int; roid : int }
+
+let reg v = { rval = v; roid = fresh_oid () }
+
+let reg_wake s roid =
+  match s.regwaiters with
+  | [] -> ()
+  | ws ->
+    let woken, kept =
+      List.partition (fun (_, watched) -> List.mem roid watched) ws
+    in
+    s.regwaiters <- kept;
+    List.iter (fun (t, _) -> make_runnable s t) woken
+
+let reg_get r =
+  match (dls ()).d_task with
+  | None -> r.rval (* post-run inspection *)
+  | Some _ ->
+    Effect.perform Yield;
+    emit_op (the_sched ()) (Obs.Reg_o r.roid) Obs.Read;
+    r.rval
+
+let reg_write s r v =
+  r.rval <- v;
+  s.reg_epoch <- s.reg_epoch + 1;
+  reg_wake s r.roid
+
+let reg_set r v =
+  match (dls ()).d_task with
+  | None -> r.rval <- v
+  | Some _ ->
+    Effect.perform Yield;
+    let s = the_sched () in
+    emit_op s (Obs.Reg_o r.roid) Obs.Write;
+    reg_write s r v
+
+let reg_cas r seen v =
+  match (dls ()).d_task with
+  | None -> failwith "Detrt: reg_cas outside the deterministic run"
+  | Some _ ->
+    Effect.perform Yield;
+    let s = the_sched () in
+    let ok = r.rval = seen in
+    emit_op s (Obs.Reg_o r.roid) (Obs.Rmw ok);
+    if ok then reg_write s r v;
+    ok
+
+let reg_faa r n =
+  match (dls ()).d_task with
+  | None -> failwith "Detrt: reg_faa outside the deterministic run"
+  | Some _ ->
+    Effect.perform Yield;
+    let s = the_sched () in
+    let old = r.rval in
+    emit_op s (Obs.Reg_o r.roid) (Obs.Rmw true);
+    reg_write s r (old + n);
+    old
+
+let reg_await ~watch pred =
+  match (dls ()).d_task with
+  | None ->
+    if not (pred ()) then
+      failwith "Detrt.reg_await: predicate false outside the run"
+  | Some _ ->
+    let watched = Array.to_list (Array.map (fun r -> r.roid) watch) in
+    let rec loop () =
+      let s = the_sched () in
+      (* Sampled with no scheduling point between here and the park
+         decision except [pred]'s own reads: a write landing during the
+         check bumps the epoch and forces a re-check, so a waiter never
+         parks having missed the write that would have satisfied it. *)
+      let e0 = s.reg_epoch in
+      if not (pred ()) then begin
+        let s = the_sched () in
+        if s.reg_epoch <> e0 then loop ()
+        else begin
+          let t = self () in
+          s.regwaiters <- s.regwaiters @ [ (t, watched) ];
+          Effect.perform Block;
+          loop ()
+        end
+      end
+    in
+    loop ()
+
+(* ------------------------------------------------------------------ *)
 
 let run ?(max_steps = 200_000) ?observe ~choose body =
   let d = dls () in
   if active () then failwith "Detrt.run: deterministic runs do not nest";
   let s =
-    { choose; observe; max_steps; runq = []; quiescers = []; all = [];
+    { choose; observe; max_steps; runq = []; quiescers = [];
+      regwaiters = []; reg_epoch = 0; all = [];
       next_tid = 0; next_oid = 0; steps = 0; first_exn = None;
       limit_hit = false }
   in

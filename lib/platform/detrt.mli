@@ -35,6 +35,7 @@ module Obs : sig
     | Mutex_o of int  (** a deterministic mutex *)
     | Cond_o of int  (** a deterministic condition variable *)
     | Task_o of int  (** a task's lifecycle (join/finish) *)
+    | Reg_o of int  (** a deterministic integer register (E25 prims) *)
     | Global  (** scheduler-global effects: spawn, quiescence *)
 
   type op =
@@ -48,6 +49,9 @@ module Obs : sig
     | Join
     | Finish
     | Quiesce
+    | Read  (** register read *)
+    | Write  (** register write *)
+    | Rmw of bool  (** register CAS/FAA; the recorded success *)
 
   type event =
     | Choice of { kind : [ `Task | `Waiter ]; candidates : int array }
@@ -135,3 +139,35 @@ val cond_wait : cond -> mutex -> unit
 val cond_signal : cond -> unit
 
 val cond_broadcast : cond -> unit
+
+(** {1 Deterministic integer registers}
+
+    The det face of the E25 primitive classes ([Sync_prims.Regs]): every
+    access is a recorded scheduling point on a [Reg_o] object, so the
+    class-restricted lock/semaphore algorithms — whose protocol steps
+    {e are} register accesses — expose each interleaving to the
+    exploration engines. *)
+
+type reg
+
+val reg : int -> reg
+(** A fresh register with the given initial value. Create inside the
+    run body (identities are per-run creation ordinals). *)
+
+val reg_get : reg -> int
+
+val reg_set : reg -> int -> unit
+
+val reg_cas : reg -> int -> int -> bool
+(** [reg_cas r seen v] installs [v] iff the value is [seen]; the attempt
+    and its outcome are recorded. *)
+
+val reg_faa : reg -> int -> int
+(** Add and return the previous value. *)
+
+val reg_await : watch:reg array -> (unit -> bool) -> unit
+(** Deterministic level-triggered wait: parks the task until a write to
+    a register in [watch] wakes it and the predicate holds. [pred] must
+    only read registers in [watch]. Spinning is never recorded, so
+    schedule trees stay finite, and a lost wakeup surfaces as a
+    {!Deadlock} at the end of the run. *)

@@ -1,4 +1,5 @@
 module Probe = Sync_trace.Probe
+module Prims = Sync_prims.Prims
 
 (* Adaptive (futex-style) mutex state: a single atomic int.
    0 = unlocked; 1 = locked, no waiter ever parked since last unlock;
@@ -18,6 +19,7 @@ type impl =
   | Sys of Stdlib.Mutex.t
   | Det of Detrt.mutex
   | Fast of fast
+  | Prim of Prims.lock
 
 type t = {
   impl : impl;
@@ -36,12 +38,17 @@ let create ?(name = "mutex") () =
     { impl = Det (Detrt.mutex ()); rid = -1; name; acquired_at = 0 }
   else
     let impl =
-      if Fastpath.active () then
-        Fast
-          { state = Atomic.make 0;
-            pm = Stdlib.Mutex.create ();
-            pc = Stdlib.Condition.create () }
-      else Sys (Stdlib.Mutex.create ())
+      (* Precedence: Det (above) > Prim (E25 class restriction) > Fast
+         (E22 adaptive tier) > Sys. *)
+      match Prims.selected () with
+      | Some c -> Prim (Prims.make_lock c)
+      | None ->
+        if Fastpath.active () then
+          Fast
+            { state = Atomic.make 0;
+              pm = Stdlib.Mutex.create ();
+              pc = Stdlib.Condition.create () }
+        else Sys (Stdlib.Mutex.create ())
     in
     { impl;
       rid =
@@ -117,6 +124,13 @@ let lock t =
       Deadlock.acquired t.rid
     end
     else fast_lock_raw f
+  | Prim p ->
+    if t.rid >= 0 && Deadlock.enabled () then begin
+      Deadlock.blocked t.rid;
+      p.Prims.lk_lock ();
+      Deadlock.acquired t.rid
+    end
+    else p.Prims.lk_lock ()
   | Det m -> Detrt.mutex_lock m);
   if t0 <> 0 then begin
     Probe.span Acquire ~site:t.name ~since:t0 ~arg:0;
@@ -135,6 +149,9 @@ let unlock t =
   | Fast f ->
     if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
     fast_unlock_raw f
+  | Prim p ->
+    if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
+    p.Prims.lk_unlock ()
   | Det m -> Detrt.mutex_unlock m
 
 let try_lock t =
@@ -146,6 +163,10 @@ let try_lock t =
       ok
     | Fast f ->
       let ok = Atomic.compare_and_set f.state 0 1 in
+      if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
+      ok
+    | Prim p ->
+      let ok = p.Prims.lk_try () in
       if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
       ok
     | Det m -> Detrt.mutex_try_lock m
@@ -176,7 +197,7 @@ let try_lock_for t ~timeout_ns =
       end
     in
     loop ()
-  | Sys _ | Fast _ ->
+  | Sys _ | Fast _ | Prim _ ->
     let b = Backoff.create () in
     let rec loop () =
       if try_lock t then true

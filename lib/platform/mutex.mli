@@ -15,6 +15,12 @@
     slow path on a private stdlib mutex/condition pair. The observable
     contract is identical; only the cost profile changes.
 
+    When a {!Sync_prims.Prims} class is selected at creation time (E25
+    hierarchy runs) the mutex is instead built from that restricted
+    atomic class — bakery on read/write registers, test-and-CAS on CAS,
+    ticket on fetch-and-add, or an LL/SC-emulated lock. Selection
+    precedence is Det > Prim > Fast > Sys.
+
     The representation is exposed so that {!Condition} can pair det
     conditions with det mutexes and park waiters of adaptive mutexes;
     treat it as internal. *)
@@ -29,6 +35,7 @@ type impl =
   | Sys of Stdlib.Mutex.t
   | Det of Detrt.mutex
   | Fast of fast
+  | Prim of Sync_prims.Prims.lock
 
 type t = {
   impl : impl;

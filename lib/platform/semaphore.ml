@@ -1,4 +1,5 @@
 module Probe = Sync_trace.Probe
+module Prims = Sync_prims.Prims
 
 type fairness = [ `Strong | `Weak ]
 
@@ -38,29 +39,48 @@ module Counting = struct
     frid : int; (* watchdog id; -1 = watchdog off at creation *)
   }
 
-  type t = Queued of queued | Fast of fast
+  (* Class-restricted tier (E25): the whole semaphore protocol comes
+     from [Sync_prims], built on the selected atomic class alone. RW ×
+     [`Strong] is rejected there with a typed {!Prims.Unsupported} —
+     arrival-order grants need an order-assigning RMW — and the
+     hierarchy axis records that as a result, not a crash. *)
+  type prim = {
+    psem : Prims.sem;
+    prid : int; (* watchdog id; -1 = watchdog off at creation *)
+  }
+
+  type t = Queued of queued | Fast of fast | Prim of prim
 
   let create ?(fairness = `Strong) n =
     if n < 0 then invalid_arg "Semaphore.Counting.create: negative value";
-    if fairness = `Weak && Fastpath.active () then
-      Fast
-        { fvalue = Atomic.make n;
-          fwaiters = Atomic.make 0;
-          flock = Stdlib.Mutex.create ();
-          fcond = Stdlib.Condition.create ();
-          frid =
+    match (if Detrt.active () then None else Prims.selected ()) with
+    | Some c ->
+      Prim
+        { psem = Prims.make_sem c ~fairness n;
+          prid =
             (if Deadlock.enabled () then
                Deadlock.register ~kind:"semaphore" ()
              else -1) }
-    else
-      Queued
-        { mutex = Mutex.create ~name:"sem.lock" (); fairness;
-          queue = Waitq.create ~name:"sem.q" ();
-          cond = Condition.create (); value = n; weak_waiters = 0;
-          srid =
-            (if Deadlock.enabled () then
-               Deadlock.register ~kind:"semaphore" ()
-             else -1) }
+    | None ->
+      if fairness = `Weak && Fastpath.active () then
+        Fast
+          { fvalue = Atomic.make n;
+            fwaiters = Atomic.make 0;
+            flock = Stdlib.Mutex.create ();
+            fcond = Stdlib.Condition.create ();
+            frid =
+              (if Deadlock.enabled () then
+                 Deadlock.register ~kind:"semaphore" ()
+               else -1) }
+      else
+        Queued
+          { mutex = Mutex.create ~name:"sem.lock" (); fairness;
+            queue = Waitq.create ~name:"sem.q" ();
+            cond = Condition.create (); value = n; weak_waiters = 0;
+            srid =
+              (if Deadlock.enabled () then
+                 Deadlock.register ~kind:"semaphore" ()
+               else -1) }
 
   (* ---------------- queued (default) tier ---------------- *)
 
@@ -252,17 +272,66 @@ module Counting = struct
     in
     loop ()
 
+  (* ---------------- class-restricted (E25) tier ---------------- *)
+
+  (* Try-first so an uncontended P never touches the watchdog; the
+     blocking path brackets the prim semaphore's own wait (spin/park
+     discipline lives inside [Sync_prims]) with the usual watchdog and
+     probe bookkeeping under the "sem.prim" site. *)
+  let prim_p p =
+    Fault.site "semaphore.pre-wait";
+    if not (p.psem.Prims.sm_try ()) then begin
+      let t0 = Probe.now () in
+      if p.prid >= 0 then Deadlock.blocked p.prid;
+      (match p.psem.Prims.sm_p () with
+      | () -> if p.prid >= 0 then Deadlock.unblocked ()
+      | exception e ->
+        if p.prid >= 0 then Deadlock.unblocked ();
+        raise e);
+      if t0 <> 0 then
+        Probe.span Wait ~site:"sem.prim" ~since:t0
+          ~arg:(p.psem.Prims.sm_waiters ())
+    end
+
+  let prim_acquire_for p ~deadline =
+    Fault.site "semaphore.pre-wait";
+    p.psem.Prims.sm_try ()
+    || begin
+         if p.prid >= 0 then Deadlock.blocked p.prid;
+         match
+           p.psem.Prims.sm_p_poll (fun () -> Deadline.expired deadline)
+         with
+         | got ->
+           if p.prid >= 0 then Deadlock.unblocked ();
+           got
+         | exception e ->
+           if p.prid >= 0 then Deadlock.unblocked ();
+           raise e
+       end
+
+  let prim_v p n =
+    p.psem.Prims.sm_v n;
+    if Probe.enabled () then
+      Probe.instant Signal ~site:"sem.prim" ~arg:(p.psem.Prims.sm_waiters ())
+
   (* ---------------- dispatch ---------------- *)
 
-  let p = function Queued q -> queued_p q | Fast f -> fast_p f
+  let p = function
+    | Queued q -> queued_p q
+    | Fast f -> fast_p f
+    | Prim pr -> prim_p pr
 
   let acquire_for t ~timeout_ns =
     let deadline = Deadline.after_ns timeout_ns in
     match t with
     | Queued q -> queued_acquire_for q ~deadline
     | Fast f -> fast_acquire_for f ~deadline
+    | Prim pr -> prim_acquire_for pr ~deadline
 
-  let v = function Queued q -> queued_v q | Fast f -> fast_v_units f 1
+  let v = function
+    | Queued q -> queued_v q
+    | Fast f -> fast_v_units f 1
+    | Prim pr -> prim_v pr 1
 
   let v_n t n =
     if n < 0 then invalid_arg "Semaphore.Counting.v_n: negative count";
@@ -270,14 +339,17 @@ module Counting = struct
       match t with
       | Queued q -> queued_v_n q n
       | Fast f -> fast_v_units f n
+      | Prim pr -> prim_v pr n
 
   let try_p = function
     | Queued q -> queued_try_p q
     | Fast f -> fast_try_dec f (Backoff.create ())
+    | Prim pr -> pr.psem.Prims.sm_try ()
 
   let value = function
     | Queued q -> Mutex.protect q.mutex (fun () -> q.value)
     | Fast f -> Atomic.get f.fvalue
+    | Prim pr -> pr.psem.Prims.sm_value ()
 
   let waiters = function
     | Queued q ->
@@ -286,8 +358,13 @@ module Counting = struct
           | `Strong -> Waitq.length q.queue
           | `Weak -> q.weak_waiters)
     | Fast f -> Atomic.get f.fwaiters
+    | Prim pr -> pr.psem.Prims.sm_waiters ()
 end
 
+(* Binary semaphores have no class-restricted tier of their own: they
+   are built on [Mutex] + [Waitq], so under an E25 class selection the
+   guard mutex itself is the class-restricted lock and the queueing
+   layer rides on it unchanged. *)
 module Binary = struct
   type t = { mutex : Mutex.t; queue : unit Waitq.t; mutable value : int }
 

@@ -1,0 +1,129 @@
+(* Lamport's bakery lock over atomic read/write registers only, with the
+   bounded-timestamp fix: a thread whose doorway would mint a ticket
+   above [bound] declines it, waits (invisibly — no [choosing], no
+   [number]) for the bakery to drain to all-zero, and re-runs the
+   doorway. Tickets are therefore bounded by [bound] in every execution,
+   at the price of a fairness hiccup on overflow — the drain wait can be
+   overtaken — which is the trade the register-overflow paper makes:
+   safety and deadlock-freedom are preserved, FCFS holds between any two
+   doorways that do not straddle a drain.
+
+   The functor parameter is {!Regs.RW}: the implementation cannot name
+   [cas] or [faa], so "read/write registers only" is a typing fact. Slots
+   are caller-assigned indices (the classic static-process model);
+   {!Prims} maps real threads onto slots, deterministic scenarios pass
+   their task index directly. *)
+
+module Make (R : Regs.RW) = struct
+  type t = {
+    choosing : R.t array;
+    number : R.t array;
+    bnd : int;
+    (* Instrumentation, not protocol state: a racy monotone watermark of
+       minted tickets (never exceeds the true maximum, which tests cap
+       by [bnd]) and a count of overflow drain-waits taken. *)
+    mutable max_ticket : int;
+    mutable overflow_stalls : int;
+  }
+
+  let create ?(bound = 1024) ~slots () =
+    if slots < 1 then invalid_arg "Bakery.create: slots must be >= 1";
+    if bound < 2 then invalid_arg "Bakery.create: bound must be >= 2";
+    { choosing = Array.init slots (fun _ -> R.make 0);
+      number = Array.init slots (fun _ -> R.make 0);
+      bnd = bound;
+      max_ticket = 0;
+      overflow_stalls = 0 }
+
+  let slots t = Array.length t.number
+
+  let bound t = t.bnd
+
+  let max_ticket_seen t = t.max_ticket
+
+  let overflow_stalls t = t.overflow_stalls
+
+  let drained t =
+    let ok = ref true in
+    for j = 0 to Array.length t.number - 1 do
+      if R.get t.number.(j) <> 0 then ok := false
+    done;
+    !ok
+
+  (* The doorway: announce [choosing], read every number, take max+1.
+     On overflow, retreat to invisibility and wait for a drain. *)
+  let rec doorway t i =
+    R.set t.choosing.(i) 1;
+    let m = ref 0 in
+    for j = 0 to Array.length t.number - 1 do
+      let nj = R.get t.number.(j) in
+      if nj > !m then m := nj
+    done;
+    let tk = !m + 1 in
+    if tk > t.bnd then begin
+      R.set t.choosing.(i) 0;
+      t.overflow_stalls <- t.overflow_stalls + 1;
+      R.await ~watch:t.number (fun () -> drained t);
+      doorway t i
+    end
+    else begin
+      R.set t.number.(i) tk;
+      R.set t.choosing.(i) 0;
+      if tk > t.max_ticket then t.max_ticket <- tk;
+      tk
+    end
+
+  (* Lexicographic (number, slot) priority: [j] yields to us when its
+     number is 0, larger than ours, or equal with a larger slot id. *)
+  let yields_to t ~tk ~i j =
+    let nj = R.get t.number.(j) in
+    nj = 0 || nj > tk || (nj = tk && j > i)
+
+  let lock t ~slot:i =
+    let tk = doorway t i in
+    for j = 0 to Array.length t.number - 1 do
+      if j <> i then begin
+        R.await
+          ~watch:[| t.choosing.(j) |]
+          (fun () -> R.get t.choosing.(j) = 0);
+        R.await ~watch:[| t.number.(j) |] (fun () -> yields_to t ~tk ~i j)
+      end
+    done
+
+  (* Non-blocking attempt: the same doorway, then [lock]'s per-slot exit
+     conditions checked once each instead of awaited; any miss withdraws
+     the ticket. May fail spuriously under contention — the try-lock
+     contract — but a [true] return carries the full exclusion proof,
+     since it witnessed exactly the conditions [lock] waits for. *)
+  let try_lock t ~slot:i =
+    R.set t.choosing.(i) 1;
+    let m = ref 0 in
+    for j = 0 to Array.length t.number - 1 do
+      let nj = R.get t.number.(j) in
+      if nj > !m then m := nj
+    done;
+    let tk = !m + 1 in
+    if tk > t.bnd then begin
+      R.set t.choosing.(i) 0;
+      t.overflow_stalls <- t.overflow_stalls + 1;
+      false
+    end
+    else begin
+      R.set t.number.(i) tk;
+      R.set t.choosing.(i) 0;
+      if tk > t.max_ticket then t.max_ticket <- tk;
+      let ok = ref true in
+      let j = ref 0 in
+      let n = Array.length t.number in
+      while !ok && !j < n do
+        if !j <> i then
+          if R.get t.choosing.(!j) <> 0 then ok := false
+          else if not (yields_to t ~tk ~i !j) then ok := false;
+        incr j
+      done;
+      if not !ok then R.set t.number.(i) 0;
+      !ok
+    end
+
+  let unlock t ~slot:i = R.set t.number.(i) 0
+end

@@ -1,0 +1,60 @@
+(* CAS-only primitives: a test-and-CAS lock and a CAS-loop counting
+   semaphore. The lock state is one register (0 free / 1 held); the
+   semaphore value is one register kept non-negative — P consumes a unit
+   with a CAS that only runs while a unit is visible, V publishes with a
+   CAS-increment retry loop (no fetch-and-add in this class). Both wait
+   by [R.await] on the state register, so waits park under the
+   deterministic runtime instead of spinning forever. Weak (barging)
+   semantics throughout: CAS picks race winners, not queue order. *)
+
+module Make (R : Regs.CAS) = struct
+  module Lock = struct
+    type t = R.t
+
+    let create () = R.make 0
+
+    let try_lock s = R.get s = 0 && R.cas s 0 1
+
+    let rec lock s =
+      if not (try_lock s) then begin
+        R.await ~watch:[| s |] (fun () -> R.get s = 0);
+        lock s
+      end
+
+    let unlock s = R.set s 0
+  end
+
+  module Sem = struct
+    type t = R.t
+
+    let create n =
+      if n < 0 then invalid_arg "Caslock.Sem.create: negative value";
+      R.make n
+
+    let rec try_p s =
+      let v = R.get s in
+      v > 0 && (R.cas s v (v - 1) || try_p s)
+
+    let rec p s =
+      if not (try_p s) then begin
+        R.await ~watch:[| s |] (fun () -> R.get s > 0);
+        p s
+      end
+
+    (* Timed P: the wait predicate folds in the caller's deadline so the
+       await wakes on either a unit or expiry; a final attempt decides. *)
+    let rec p_poll s expired =
+      if try_p s then true
+      else if expired () then false
+      else begin
+        R.await ~watch:[| s |] (fun () -> R.get s > 0 || expired ());
+        p_poll s expired
+      end
+
+    let rec v_n s n =
+      let v = R.get s in
+      if not (R.cas s v (v + n)) then v_n s n
+
+    let value s = R.get s
+  end
+end

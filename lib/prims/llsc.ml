@@ -1,0 +1,121 @@
+(* LL/SC emulated from single-word CAS with ABA tagging: the cell packs
+   (tag, value) into one register word; [ll] returns the whole packed
+   word as the reservation, [sc] CASes against it with the tag bumped.
+   Any successful SC moves the tag, so a stale reservation's SC fails —
+   {e unless} exactly [2^tag_bits] successful SCs intervened and the
+   value field matches, which is the ABA escape hatch every real tagged
+   emulation has. [tag_bits] is a constructor knob precisely so tests
+   can shrink the tag space and pin that wraparound edge; at the default
+   16 bits it needs 65 536 intervening SCs inside one reservation.
+
+   Values are non-negative and bounded by the remaining bits
+   ([Sys.int_size - 1 - tag_bits]); the lock and semaphore below stay
+   within that by construction. Both are built {e only} from ll/sc (plus
+   the level-triggered [await] wait, which is a read loop): the LLSC
+   class's locks never touch the underlying CAS directly. *)
+
+module Make (R : Regs.CAS) = struct
+  type t = { cell : R.t; vbits : int; vmask : int; tagmask : int }
+
+  type res = int
+
+  let create ?(tag_bits = 16) v =
+    if tag_bits < 1 || tag_bits > Sys.int_size - 9 then
+      invalid_arg "Llsc.create: tag_bits out of range";
+    let vbits = Sys.int_size - 1 - tag_bits in
+    let vmask = (1 lsl vbits) - 1 in
+    if v < 0 || v > vmask then invalid_arg "Llsc.create: value out of range";
+    { cell = R.make v; vbits; vmask; tagmask = (1 lsl tag_bits) - 1 }
+
+  let tag_bits t = Sys.int_size - 1 - t.vbits
+
+  let ll t =
+    let w = R.get t.cell in
+    (w, w land t.vmask)
+
+  let sc t r v =
+    if v < 0 || v > t.vmask then invalid_arg "Llsc.sc: value out of range";
+    let tag = ((r lsr t.vbits) + 1) land t.tagmask in
+    R.cas t.cell r ((tag lsl t.vbits) lor v)
+
+  let peek t = R.get t.cell land t.vmask
+
+  let await_value t pred =
+    R.await ~watch:[| t.cell |] (fun () -> pred (peek t))
+
+  (* Unconditional store, as an ll/sc loop: retries are bounded by the
+     SCs other threads actually complete. *)
+  let rec store t v =
+    let r, _ = ll t in
+    if not (sc t r v) then store t v
+
+  module Lock = struct
+    type nonrec t = t
+
+    let create () = create 0
+
+    let try_lock l =
+      let r, v = ll l in
+      v = 0 && sc l r 1
+
+    let rec lock l =
+      if not (try_lock l) then begin
+        await_value l (fun v -> v = 0);
+        lock l
+      end
+
+    let unlock l = store l 0
+  end
+
+  module Sem = struct
+    type nonrec t = t
+
+    let create n =
+      if n < 0 then invalid_arg "Llsc.Sem.create: negative value";
+      create n
+
+    let rec try_p s =
+      let r, v = ll s in
+      v > 0 && (sc s r (v - 1) || try_p s)
+
+    let rec p s =
+      if not (try_p s) then begin
+        await_value s (fun v -> v > 0);
+        p s
+      end
+
+    let rec p_poll s expired =
+      if try_p s then true
+      else if expired () then false
+      else begin
+        R.await ~watch:[| s.cell |] (fun () -> peek s > 0 || expired ());
+        p_poll s expired
+      end
+
+    let rec v_n s n =
+      let r, v = ll s in
+      if not (sc s r (v + n)) then v_n s n
+
+    let value = peek
+  end
+
+  (* The emulated cells presented as fetch-and-add registers, so the
+     strong ticket semaphore ({!Ticket_sem.Make}) runs on the LLSC class
+     with its FAA synthesized from ll/sc. *)
+  module Faa_regs : Regs.FAA with type t = t = struct
+    type nonrec t = t
+
+    let make n = create n
+
+    let get = peek
+
+    let set = store
+
+    let await ~watch pred =
+      R.await ~watch:(Array.map (fun c -> c.cell) watch) pred
+
+    let rec faa c n =
+      let r, v = ll c in
+      if sc c r (v + n) then v else faa c n
+  end
+end

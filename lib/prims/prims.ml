@@ -1,0 +1,287 @@
+(* The E25 primitive-class abstraction: which atomic operations the
+   synchronization substrate may use. Each restricted class has its own
+   lock and counting-semaphore construction (functors over {!Regs}
+   signatures, instantiated here over {!Regs.Shared}); [with_class]
+   scopes class selection over primitive creation exactly like
+   {!Fastpath.with_enabled} scopes the E22 tier, and the platform's
+   [Mutex]/[Semaphore] facades consult {!selected} at creation time.
+
+   What a class cannot express surfaces as the typed {!Unsupported}
+   exception, never as a crash or a silent downgrade — the hierarchy
+   scorecard records these as first-class results. *)
+
+type cls = RW | CAS | FAA | LLSC | Native
+
+exception Unsupported of { cls : cls; feature : string; reason : string }
+
+let cls_name = function
+  | RW -> "rw"
+  | CAS -> "cas"
+  | FAA -> "faa"
+  | LLSC -> "llsc"
+  | Native -> "native"
+
+let cls_of_string = function
+  | "rw" -> Some RW
+  | "cas" -> Some CAS
+  | "faa" -> Some FAA
+  | "llsc" -> Some LLSC
+  | "native" -> Some Native
+  | _ -> None
+
+let restricted = [ RW; CAS; FAA; LLSC ]
+
+let all = restricted @ [ Native ]
+
+let unsupported cls feature reason = raise (Unsupported { cls; feature; reason })
+
+(* ------------------------------------------------------------------ *)
+(* Creation-scoped class selection. [Native] is the resting state: no
+   restriction, the platform picks its usual tier. *)
+
+let flag = Atomic.make Native
+
+let selected () = match Atomic.get flag with Native -> None | c -> Some c
+
+let with_class c f =
+  let prev = Atomic.get flag in
+  Atomic.set flag c;
+  Fun.protect ~finally:(fun () -> Atomic.set flag prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Production instances: every class over the same SC-atomic registers,
+   restricted through the class signatures. *)
+
+module B = Bakery.Make (Regs.Shared)
+module C = Caslock.Make (Regs.Shared)
+module F = Faalock.Make (Regs.Shared)
+module L = Llsc.Make (Regs.Shared)
+module T_faa = Ticket_sem.Make (Regs.Shared)
+module T_cas = Ticket_sem.Make (Regs.Faa_of_cas (Regs.Shared))
+module T_llsc = Ticket_sem.Make (L.Faa_regs)
+
+(* The bakery is a static-process algorithm: per-lock slot assignment
+   maps real threads onto register indices. The registry is ordinary
+   bookkeeping outside the protocol (the protocol itself never touches
+   it while contending), so a stdlib mutex here does not launder an
+   unsupported primitive into the RW class. *)
+let bakery_slots = 64
+
+type rw_slots = {
+  reg_m : Stdlib.Mutex.t;
+  tbl : (int, int) Hashtbl.t;
+  mutable next_slot : int;
+}
+
+let slot_of_self r =
+  let tid = Thread.id (Thread.self ()) in
+  Stdlib.Mutex.lock r.reg_m;
+  let s =
+    match Hashtbl.find_opt r.tbl tid with
+    | Some s -> s
+    | None ->
+      if r.next_slot >= bakery_slots then begin
+        Stdlib.Mutex.unlock r.reg_m;
+        failwith
+          (Printf.sprintf
+             "Prims: more than %d distinct threads on one RW-class lock"
+             bakery_slots)
+      end;
+      let s = r.next_slot in
+      r.next_slot <- s + 1;
+      Hashtbl.add r.tbl tid s;
+      s
+  in
+  Stdlib.Mutex.unlock r.reg_m;
+  s
+
+let rw_slots () =
+  { reg_m = Stdlib.Mutex.create (); tbl = Hashtbl.create 16; next_slot = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Locks: one closure record regardless of class, so the platform mutex
+   carries a single [Prim] representation. *)
+
+type lock = {
+  lk_cls : cls;
+  lk_lock : unit -> unit;
+  lk_try : unit -> bool;
+  lk_unlock : unit -> unit;
+}
+
+let make_lock = function
+  | RW ->
+    let b = B.create ~bound:4096 ~slots:bakery_slots () in
+    let slots = rw_slots () in
+    { lk_cls = RW;
+      lk_lock = (fun () -> B.lock b ~slot:(slot_of_self slots));
+      lk_try = (fun () -> B.try_lock b ~slot:(slot_of_self slots));
+      lk_unlock = (fun () -> B.unlock b ~slot:(slot_of_self slots)) }
+  | CAS ->
+    let l = C.Lock.create () in
+    { lk_cls = CAS;
+      lk_lock = (fun () -> C.Lock.lock l);
+      lk_try = (fun () -> C.Lock.try_lock l);
+      lk_unlock = (fun () -> C.Lock.unlock l) }
+  | FAA ->
+    let l = F.Lock.create () in
+    { lk_cls = FAA;
+      lk_lock = (fun () -> F.Lock.lock l);
+      lk_try = (fun () -> F.Lock.try_lock l);
+      lk_unlock = (fun () -> F.Lock.unlock l) }
+  | LLSC ->
+    let l = L.Lock.create () in
+    { lk_cls = LLSC;
+      lk_lock = (fun () -> L.Lock.lock l);
+      lk_try = (fun () -> L.Lock.try_lock l);
+      lk_unlock = (fun () -> L.Lock.unlock l) }
+  | Native ->
+    unsupported Native "lock"
+      "the native class is the platform's own default/fast tier, not a \
+       prims construction"
+
+(* ------------------------------------------------------------------ *)
+(* Counting semaphores. [`Weak] exists in every class; [`Strong] (FCFS)
+   needs an order-assigning read-modify-write, so the RW class rejects
+   it with a typed reason — the hierarchy separation the E25 scorecard
+   pins. [sm_p_poll expired] is the timed P: it returns [false] only
+   after [expired ()] was observed true. *)
+
+type sem = {
+  sm_cls : cls;
+  sm_p : unit -> unit;
+  sm_try : unit -> bool;
+  sm_p_poll : (unit -> bool) -> bool;
+  sm_v : int -> unit;
+  sm_value : unit -> int;
+  sm_waiters : unit -> int;
+}
+
+(* RW-only weak semaphore: a bakery-guarded counter with an invisible
+   pre-wait on the value register. Barging (hence weak): the pre-wait
+   carries no order. *)
+let rw_sem n =
+  let b = B.create ~bound:4096 ~slots:bakery_slots () in
+  let slots = rw_slots () in
+  let value = Regs.Shared.make n in
+  let locked f =
+    let s = slot_of_self slots in
+    B.lock b ~slot:s;
+    let r = f () in
+    B.unlock b ~slot:s;
+    r
+  in
+  let try_p () =
+    locked (fun () ->
+        let v = Regs.Shared.get value in
+        if v > 0 then begin
+          Regs.Shared.set value (v - 1);
+          true
+        end
+        else false)
+  in
+  let rec p () =
+    Regs.Shared.await ~watch:[| value |] (fun () -> Regs.Shared.get value > 0);
+    if not (try_p ()) then p ()
+  in
+  let rec p_poll expired =
+    if try_p () then true
+    else if expired () then false
+    else begin
+      Regs.Shared.await ~watch:[| value |] (fun () ->
+          Regs.Shared.get value > 0 || expired ());
+      p_poll expired
+    end
+  in
+  ( p,
+    try_p,
+    p_poll,
+    (fun k ->
+      locked (fun () -> Regs.Shared.set value (Regs.Shared.get value + k))),
+    fun () -> Regs.Shared.get value )
+
+let with_waiters (p, try_p, p_poll, v_n, value) cls =
+  (* Blocked-caller bookkeeping for introspection ([waiters]); not part
+     of any protocol, so a plain atomic is fine in every class. *)
+  let w = Atomic.make 0 in
+  let guarded f =
+    Atomic.incr w;
+    Fun.protect ~finally:(fun () -> Atomic.decr w) f
+  in
+  { sm_cls = cls;
+    sm_p = (fun () -> if not (try_p ()) then guarded p);
+    sm_try = try_p;
+    sm_p_poll =
+      (fun expired ->
+        if try_p () then true else guarded (fun () -> p_poll expired));
+    sm_v = v_n;
+    sm_value = value;
+    sm_waiters = (fun () -> Atomic.get w) }
+
+let strong_reason =
+  "FCFS grants need an arrival-order-assigning read-modify-write (ticket \
+   fetch-and-add); atomic read/write registers only admit barging waits"
+
+let make_sem cls ~fairness n =
+  if n < 0 then invalid_arg "Prims.make_sem: negative value";
+  match (cls, fairness) with
+  | RW, `Strong -> unsupported RW "semaphore.strong" strong_reason
+  | RW, `Weak -> with_waiters (rw_sem n) RW
+  | CAS, `Weak ->
+    let s = C.Sem.create n in
+    with_waiters
+      ( (fun () -> C.Sem.p s),
+        (fun () -> C.Sem.try_p s),
+        (fun e -> C.Sem.p_poll s e),
+        (fun k -> C.Sem.v_n s k),
+        fun () -> C.Sem.value s )
+      CAS
+  | CAS, `Strong ->
+    let s = T_cas.create n in
+    with_waiters
+      ( (fun () -> T_cas.p s),
+        (fun () -> T_cas.try_p s),
+        (fun e -> T_cas.p_poll s e),
+        (fun k -> T_cas.v_n s k),
+        fun () -> T_cas.value s )
+      CAS
+  | FAA, `Weak ->
+    let s = F.Sem.create n in
+    with_waiters
+      ( (fun () -> F.Sem.p s),
+        (fun () -> F.Sem.try_p s),
+        (fun e -> F.Sem.p_poll s e),
+        (fun k -> F.Sem.v_n s k),
+        fun () -> F.Sem.value s )
+      FAA
+  | FAA, `Strong ->
+    let s = T_faa.create n in
+    with_waiters
+      ( (fun () -> T_faa.p s),
+        (fun () -> T_faa.try_p s),
+        (fun e -> T_faa.p_poll s e),
+        (fun k -> T_faa.v_n s k),
+        fun () -> T_faa.value s )
+      FAA
+  | LLSC, `Weak ->
+    let s = L.Sem.create n in
+    with_waiters
+      ( (fun () -> L.Sem.p s),
+        (fun () -> L.Sem.try_p s),
+        (fun e -> L.Sem.p_poll s e),
+        (fun k -> L.Sem.v_n s k),
+        fun () -> L.Sem.value s )
+      LLSC
+  | LLSC, `Strong ->
+    let s = T_llsc.create n in
+    with_waiters
+      ( (fun () -> T_llsc.p s),
+        (fun () -> T_llsc.try_p s),
+        (fun e -> T_llsc.p_poll s e),
+        (fun k -> T_llsc.v_n s k),
+        fun () -> T_llsc.value s )
+      LLSC
+  | Native, _ ->
+    unsupported Native "semaphore"
+      "the native class is the platform's own default/fast tier, not a \
+       prims construction"

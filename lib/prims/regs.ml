@@ -1,0 +1,86 @@
+(* Restricted shared-register signatures: the compile-time form of the
+   E25 primitive classes. Every class algorithm in this library is a
+   functor over one of these module types, so "the bakery lock uses only
+   atomic reads and writes" is not a code-review claim but a typing
+   fact — [Bakery.Make] cannot name [cas] or [faa] because its parameter
+   signature does not have them.
+
+   [await ~watch pred] is the blocking counterpart of a read: wait until
+   [pred ()] holds, where [pred] only reads registers in [watch]. It
+   carries no synchronization power of its own (it is expressible as a
+   read loop); it exists so that implementations can choose how to burn
+   the wait — exponential backoff on real hardware, a parked virtual
+   task under the deterministic runtime, where a spin loop would make
+   the schedule tree infinite. *)
+
+module type RW = sig
+  type t
+
+  val make : int -> t
+
+  val get : t -> int
+
+  val set : t -> int -> unit
+
+  val await : watch:t array -> (unit -> bool) -> unit
+  (** Block until [pred ()] is true. [pred] must be level-triggered
+      (re-checkable at any time) and read only registers in [watch]. *)
+end
+
+module type CAS = sig
+  include RW
+
+  val cas : t -> int -> int -> bool
+  (** [cas r seen v] installs [v] iff the current value is [seen]. *)
+end
+
+module type FAA = sig
+  include RW
+
+  val faa : t -> int -> int
+  (** [faa r n] adds [n] and returns the {e previous} value. *)
+end
+
+module type FULL = sig
+  include RW
+
+  val cas : t -> int -> int -> bool
+
+  val faa : t -> int -> int
+end
+
+(* The production instance: OCaml [Atomic] registers (SC atomics), with
+   a backoff-spin await. Restricting this one module through the
+   signatures above yields every class's substrate. *)
+module Shared : FULL with type t = int Atomic.t = struct
+  type t = int Atomic.t
+
+  let make = Atomic.make
+
+  let get = Atomic.get
+
+  let set = Atomic.set
+
+  let cas = Atomic.compare_and_set
+
+  let faa = Atomic.fetch_and_add
+
+  let await ~watch:_ pred =
+    if not (pred ()) then begin
+      let b = Backoff.create () in
+      while not (pred ()) do
+        Backoff.once b
+      done
+    end
+end
+
+(* CAS is universal: fetch-and-add is a CAS retry loop. Lets the strong
+   (FIFO ticket) semaphore run on the CAS class without a separate
+   implementation. *)
+module Faa_of_cas (R : CAS) : FAA with type t = R.t = struct
+  include R
+
+  let rec faa r n =
+    let v = R.get r in
+    if R.cas r v (v + n) then v else faa r n
+end

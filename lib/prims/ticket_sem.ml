@@ -1,0 +1,55 @@
+(* The strong (FCFS) counting semaphore for any class with fetch-and-add
+   — natively (FAA), via a CAS retry loop ({!Regs.Faa_of_cas}), or via
+   the LL/SC emulation ({!Llsc.Make.Faa_regs}). Two registers:
+
+     [takers]  next turn number; P's [faa] assigns arrival order
+     [budget]  initial value + V count (+ timeout donations)
+
+   Turn [k] may pass exactly when [budget > k], so grants happen in
+   strict arrival order: FCFS is structural, not scheduled. A timed P
+   that gives up cannot un-take its turn (FAA cannot withdraw), so it
+   donates one unit — when the budget later reaches its dead turn, the
+   donation covers the grant nobody collects; conservation is exact.
+
+   This is the construction atomic read/write registers cannot express
+   (no RMW ⇒ no arrival-order assignment without unbounded helper
+   state): the RW class rejects [`Strong] with a typed reason. *)
+
+module Make (R : Regs.FAA) = struct
+  type t = { takers : R.t; budget : R.t }
+
+  let create n =
+    if n < 0 then invalid_arg "Ticket_sem.create: negative value";
+    { takers = R.make 0; budget = R.make n }
+
+  let p t =
+    let my = R.faa t.takers 1 in
+    R.await ~watch:[| t.budget |] (fun () -> R.get t.budget > my)
+
+  let try_p t =
+    if R.get t.budget - R.get t.takers <= 0 then false
+    else begin
+      let my = R.faa t.takers 1 in
+      if R.get t.budget > my then true
+      else begin
+        (* Raced past the budget: donate to cover our dead turn. *)
+        ignore (R.faa t.budget 1);
+        false
+      end
+    end
+
+  let p_poll t expired =
+    let my = R.faa t.takers 1 in
+    R.await
+      ~watch:[| t.budget |]
+      (fun () -> R.get t.budget > my || expired ());
+    if R.get t.budget > my then true
+    else begin
+      ignore (R.faa t.budget 1);
+      false
+    end
+
+  let v_n t n = ignore (R.faa t.budget n)
+
+  let value t = R.get t.budget - R.get t.takers
+end

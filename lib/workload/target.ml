@@ -5,9 +5,12 @@ type op = { name : string; run : rng:Prng.t -> pid:int -> unit }
 
 type selection = Cycle | Weighted of int array
 
-type tier = [ `Default | `Fast ]
+type tier = [ `Default | `Fast | `Prim of Sync_prims.Prims.cls ]
 
-let tier_name = function `Default -> "default" | `Fast -> "fast"
+let tier_name = function
+  | `Default -> "default"
+  | `Fast -> "fast"
+  | `Prim c -> Sync_prims.Prims.cls_name c
 
 type instance = {
   meta : Sync_taxonomy.Meta.t;
@@ -36,7 +39,7 @@ let bb (module B : Bb_intf.S) tier p =
      the thinner fast-path synchronizer lets through. *)
   let put, get =
     match tier with
-    | `Default ->
+    | `Default | `Prim _ ->
       let ring = Sync_resources.Ring.create ~work:p.work p.capacity in
       ( (fun ~pid:_ v -> Sync_resources.Ring.put ring v),
         fun ~pid:_ -> Sync_resources.Ring.get ring )
@@ -194,4 +197,13 @@ let create ?(params = default_params) ?(tier = `Default) ~problem ~mechanism
            tier the instance was built with. *)
         match tier with
         | `Default -> Ok (build tier params)
-        | `Fast -> Ok (Fastpath.with_enabled (fun () -> build tier params))))
+        | `Fast -> Ok (Fastpath.with_enabled (fun () -> build tier params))
+        | `Prim c ->
+          (* E25: every primitive the solution creates — including any
+             created by CSP server processes it spawns here — builds on
+             the restricted atomic class. [`Prim Native] is the explicit
+             no-restriction scope (same substrate as [`Default], labeled
+             "native" in reports). The construction itself can raise
+             {!Sync_prims.Prims.Unsupported} (e.g. RW x FCFS semaphore);
+             callers that grid over classes catch it as a typed result. *)
+          Ok (Sync_prims.Prims.with_class c (fun () -> build tier params))))

@@ -32,13 +32,18 @@ type selection =
   | Weighted of int array
       (** pick one op per iteration with these relative weights *)
 
-type tier = [ `Default | `Fast ]
+type tier = [ `Default | `Fast | `Prim of Sync_prims.Prims.cls ]
 (** Which platform substrate the instance is built on. [`Default] is
     the stdlib-backed tier; [`Fast] builds the solution with
     {!Sync_platform.Fastpath} enabled — adaptive mutexes, fetch-and-add
     weak semaphores — and gives the bounded buffer the Vyukov
     {!Sync_resources.Fastring} resource. Mechanism code and semantics
-    are identical; only the substrate's cost profile changes (E22). *)
+    are identical; only the substrate's cost profile changes (E22).
+    [`Prim c] builds the solution under
+    {!Sync_prims.Prims.with_class}[ c] — every platform mutex and
+    counting semaphore it creates is constructed from atomic class [c]
+    alone (E25 hierarchy runs); [`Prim Native] is the explicit
+    no-restriction scope, labeled ["native"]. *)
 
 val tier_name : tier -> string
 (** ["default"] / ["fast"] — the label reported in {!Report.t} rows. *)
@@ -76,4 +81,9 @@ val create :
     [~tier:`Fast] the whole solution is built under
     {!Sync_platform.Fastpath.with_enabled} (no effect inside a {!Detrt}
     run, where the deterministic substrate always wins). The error
-    names the valid choices. *)
+    names the valid choices.
+
+    With [~tier:(`Prim c)] the build runs under the class restriction
+    and may raise {!Sync_prims.Prims.Unsupported} when the mechanism
+    needs a primitive class [c] cannot express — a typed outcome the
+    hierarchy axis records, not an error string. *)

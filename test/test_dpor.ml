@@ -129,6 +129,11 @@ let differential_progs =
 let differential_tests =
   Alcotest.test_case "differential deadlock-abba" `Quick
     (differential (scen "deadlock-abba"))
+  (* The E25 broken-lock control is DFS-feasible (~300k schedules), so
+     the planted exclusion violation doubles as a differential row:
+     both explorers must report the identical violation set. *)
+  :: Alcotest.test_case "differential naive-rw-excl" `Quick
+       (differential (scen "naive-rw-excl-2t1r"))
   :: List.map
        (fun p ->
          Alcotest.test_case ("differential " ^ prog_to_string p) `Quick
@@ -217,6 +222,39 @@ let test_bb_small_complete () =
   let r = D.explore_dpor ~max_schedules:50_000 sc in
   Alcotest.(check bool) "DPOR covers every class" true r.complete;
   Alcotest.(check (list string)) "no failures" [] (distinct_messages r.failures)
+
+(* ------------------------------------------------------------------ *)
+(* E25 class-restricted locks over deterministic registers: exhaustive
+   (DPOR-complete) verification that the bakery and ticket constructions
+   preserve mutual exclusion, and that the FCFS ticket semaphore never
+   loses a wakeup (which would surface as a deadlock on some schedule).
+   The broken test-then-set control above proves the witness machinery
+   detects real violations. *)
+
+let test_bakery_complete () =
+  let sc = scen "bakery-excl-2t1r" in
+  let budget = 50_000 in
+  let dfs = D.explore_dfs ~max_schedules:budget sc in
+  Alcotest.(check bool) "naive DFS exceeds the budget" false dfs.complete;
+  let r = D.explore_dpor ~max_schedules:budget sc in
+  Alcotest.(check bool) "DPOR covers every class" true r.complete;
+  Alcotest.(check (list string)) "exclusion holds on every schedule" []
+    (distinct_messages r.failures)
+
+let test_ticket_complete () =
+  let sc = scen "ticket-excl-2t2r" in
+  let r = D.explore_dpor ~max_schedules:50_000 sc in
+  Alcotest.(check bool) "DPOR covers every class" true r.complete;
+  Alcotest.(check (list string)) "exclusion holds on every schedule" []
+    (distinct_messages r.failures)
+
+let test_ticket_sem_complete () =
+  let sc = scen "ticket-sem-handoff-3t" in
+  let r = D.explore_dpor ~max_schedules:150_000 sc in
+  Alcotest.(check bool) "DPOR covers every class" true r.complete;
+  Alcotest.(check (list string))
+    "no lost wakeup, no exclusion breach, on any schedule" []
+    (distinct_messages r.failures)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel sharding: partitioning the top-level frontier across domains
@@ -337,6 +375,13 @@ let () =
             test_storm_complete;
           Alcotest.test_case "bb smallest shape" `Quick test_bb_small_complete
         ] );
+      ( "primitives",
+        [ Alcotest.test_case "bakery exclusion beyond DFS reach" `Quick
+            test_bakery_complete;
+          Alcotest.test_case "ticket lock exclusion" `Quick
+            test_ticket_complete;
+          Alcotest.test_case "ticket semaphore handoff" `Quick
+            test_ticket_sem_complete ] );
       ( "parallel",
         [ Alcotest.test_case "sharded = sequential" `Quick test_workers ] );
       ( "regression",

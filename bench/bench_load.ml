@@ -36,6 +36,22 @@
    that silently collapses (or a native cell that regresses against the
    restricted ones) fails CI like any other drift.
 
+   --e23 runs the scalable-lock grids (mechanism x problem cells on the
+   MCS/CLH/ticket queue-lock tier — absent pairs are typed unsupported
+   rows, never 0 ops/s cells — plus the epoch read-mostly
+   readers-writers path at 1/2/4 domains under closed-loop think time)
+   and writes the document behind the committed BENCH_E23.json; the run
+   fails if any measured cell misbehaves or the epoch read throughput
+   is not monotonic in the domain count. With --e23-baseline
+   BENCH_E23.json the sanity gate additionally measures queue-tier
+   cells and checks their cross-ratios against the committed grid.
+
+   --scaling BENCH_E23.json is the blocking scaling-sanity gate: it
+   checks the committed epoch rows for strictly increasing read
+   throughput 1 -> 2 -> 4 domains, then re-measures the 1- and 4-domain
+   epoch cells live and fails unless the 4-domain read throughput is
+   strictly above the 1-domain one.
+
    --ab runs one hot cell twice — tracing disabled, then enabled — and
    reports the throughput delta, plus the disabled path against the
    committed baseline when one is given. The disabled path is the claim
@@ -73,6 +89,14 @@ let e25_sanity_cells =
     ("monitor", "fcfs", 1, `Prim Sync_prims.Prims.CAS);
     ("monitor", "fcfs", 1, `Prim Sync_prims.Prims.FAA);
     ("monitor", "fcfs", 1, `Prim Sync_prims.Prims.LLSC) ]
+
+(* The E23 subset: one single-domain cell per queue-lock kind on a
+   monitor target (condition waits exercise the park-lot handoff), so
+   the cross-ratios compare the three kinds against each other. *)
+let e23_sanity_cells =
+  [ ("monitor", "bounded-buffer", 1, Sync_prims.Queuelock.MCS);
+    ("monitor", "bounded-buffer", 1, Sync_prims.Queuelock.CLH);
+    ("monitor", "bounded-buffer", 1, Sync_prims.Queuelock.Ticket) ]
 
 let cell_id (m, p, d) = Printf.sprintf "%s/%s d=%d" m p d
 
@@ -146,6 +170,26 @@ let e25_baseline_throughput doc ~cell:(mechanism, problem, domains, tier) =
       | _ -> None)
     (Emit.to_list rows)
 
+(* Supported rows of the committed E23 queue grid (BENCH_E23.json),
+   keyed by queue-lock kind. Typed unsupported rows never match. *)
+let e23_baseline_throughput doc ~cell:(mechanism, problem, domains, kind) =
+  let kind_name = Sync_prims.Queuelock.kind_name kind in
+  let field name r = Emit.member name r in
+  let rows = Option.value ~default:Emit.Null (Emit.member "queue_rows" doc) in
+  List.find_map
+    (fun r ->
+      match
+        ( field "kind" r, field "mechanism" r, field "problem" r,
+          field "domains" r, field "status" r )
+      with
+      | ( Some (Emit.Str k), Some (Emit.Str m), Some (Emit.Str p), Some d,
+          Some (Emit.Str st) )
+        when k = kind_name && st = "supported" && m = mechanism && p = problem
+             && Emit.number d = Some (float_of_int domains) ->
+        Option.bind (field "throughput_per_s" r) Emit.number
+      | _ -> None)
+    (Emit.to_list rows)
+
 let parse_baseline ~what file =
   try Emit.parse_file file
   with Sys_error e | Emit.Parse_error e ->
@@ -195,7 +239,7 @@ let check_drift ~factor ~failed cells =
         cells)
     cells
 
-let sanity ?e22_file ?e25_file baseline_file =
+let sanity ?e22_file ?e23_file ?e25_file baseline_file =
   let doc = parse_baseline ~what:"baseline" baseline_file in
   let duration_ms = Loadgen.duration_from_env ~default:200 in
   Printf.printf "perf sanity vs %s (%d ms per cell)\n%!" baseline_file
@@ -243,6 +287,21 @@ let sanity ?e22_file ?e25_file baseline_file =
            e25_sanity_cells)
     in
     check_drift ~factor ~failed e25);
+  (match e23_file with
+  | None -> ()
+  | Some file ->
+    let e23_doc = parse_baseline ~what:"E23 baseline" file in
+    Printf.printf "queue-lock sanity vs %s\n%!" file;
+    let e23 =
+      measure_cells ~failed
+        (List.map
+           (fun ((m, p, d, kind) as tc) ->
+             ( tiered_id (m, p, d, `Queue kind),
+               (fun () -> run_cell ~tier:(`Queue kind) ~duration_ms (m, p, d)),
+               fun () -> e23_baseline_throughput e23_doc ~cell:tc ))
+           e23_sanity_cells)
+    in
+    check_drift ~factor ~failed e23);
   if !failed then begin
     Printf.printf "perf sanity FAILED\n%!";
     exit 1
@@ -437,15 +496,161 @@ let e25_grid out =
     exit 1
   end
 
+(* The E23 scalable-lock grids: queue-tier cells (typed unsupported
+   rows for absent pairs) plus the epoch scaling rows. The committed
+   BENCH_E23.json is this mode's output on the reference box. *)
+let e23_grid out =
+  let module S = Sync_eval.Scaling_axis in
+  let spec = S.default_spec () in
+  Printf.printf
+    "E23 scalable-lock grids: kinds {%s} x %d problems x %d mechanisms x \
+     domains {%s}; epoch rows {%s} at domains {%s}, think %d us; %dms \
+     steady (+%dms warmup) per cell, closed loop, seed %d\n\
+     recommended domains on this box: %d\n\n%!"
+    (String.concat ", " (List.map Sync_prims.Queuelock.kind_name spec.S.kinds))
+    (List.length spec.S.problems)
+    (List.length spec.S.mechanisms)
+    (String.concat ", " (List.map string_of_int spec.S.domains))
+    (String.concat ", " spec.S.epoch_mechanisms)
+    (String.concat ", " (List.map string_of_int spec.S.epoch_domains))
+    spec.S.think_us spec.S.duration_ms spec.S.warmup_ms spec.S.seed
+    (Domain.recommended_domain_count ());
+  let progress_queue (r : S.queue_row) =
+    Printf.printf "%-7s %-12s %-18s d=%d  %s%s\n%!"
+      (Sync_prims.Queuelock.kind_name r.S.kind)
+      r.S.mechanism r.S.problem r.S.domains
+      (S.status_string r.S.status)
+      (match r.S.status with
+      | S.Supported -> Printf.sprintf "  %12.0f ops/s" r.S.throughput_per_s
+      | _ -> "")
+  in
+  let progress_epoch (r : S.epoch_row) =
+    Printf.printf "epoch   %-12s d=%d  %s%s\n%!" r.S.e_mechanism r.S.e_domains
+      (S.status_string r.S.e_status)
+      (match r.S.e_status with
+      | S.Supported -> Printf.sprintf "  %12.0f reads/s" r.S.e_read_per_s
+      | _ -> "")
+  in
+  let t = S.run ~progress_queue ~progress_epoch spec in
+  print_newline ();
+  S.pp Format.std_formatter t;
+  Emit.write_file out (S.to_json spec t);
+  Printf.printf "\nwrote %s (%d queue rows, %d epoch rows)\n%!" out
+    (List.length t.S.queue) (List.length t.S.epoch);
+  if not (S.all_ok t) then begin
+    Printf.printf "E23 grids have FAILED cells\n%!";
+    exit 1
+  end;
+  if not (S.epoch_monotonic t) then begin
+    Printf.printf
+      "E23 epoch read throughput is NOT monotonic in the domain count\n%!";
+    exit 1
+  end
+
+(* Committed (domains, read_per_s) pairs of the supported epoch rows. *)
+let committed_epoch_reads doc =
+  let field name r = Emit.member name r in
+  let rows = Option.value ~default:Emit.Null (Emit.member "epoch_rows" doc) in
+  List.filter_map
+    (fun r ->
+      match
+        ( field "mechanism" r, field "status" r, field "domains" r,
+          field "read_per_s" r )
+      with
+      | ( Some (Emit.Str "epoch"), Some (Emit.Str "supported"), Some d,
+          Some rate ) -> (
+        match (Emit.number d, Emit.number rate) with
+        | Some d, Some rate -> Some (int_of_float d, rate)
+        | _ -> None)
+      | _ -> None)
+    (Emit.to_list rows)
+  |> List.sort compare
+
+(* The blocking scaling-sanity gate. Two checks: the committed epoch
+   rows must climb strictly with the domain count, and a live 1-vs-4
+   domain re-measurement must reproduce the direction (ratio-based, so
+   slow CI boxes pass as long as reader entry actually scales). *)
+let scaling file =
+  let module S = Sync_eval.Scaling_axis in
+  let doc = parse_baseline ~what:"E23 baseline" file in
+  Printf.printf "scaling sanity vs %s\n%!" file;
+  let failed = ref false in
+  (match committed_epoch_reads doc with
+  | ([] | [ _ ]) ->
+    Printf.printf
+      "  committed grid has fewer than two supported epoch rows\n%!";
+    failed := true
+  | (d0, r0) :: rest ->
+    List.iter
+      (fun (d, r) ->
+        Printf.printf "  committed epoch d=%d %12.0f reads/s\n%!" d r)
+      ((d0, r0) :: rest);
+    let rec check (dp, rp) = function
+      | [] -> ()
+      | (d, r) :: rest ->
+        if r <= rp then begin
+          Printf.printf
+            "  NOT MONOTONIC: d=%d (%.0f reads/s) <= d=%d (%.0f reads/s)\n%!"
+            d r dp rp;
+          failed := true
+        end;
+        check (d, r) rest
+    in
+    check (d0, r0) rest);
+  let dflt = S.default_spec () in
+  let spec =
+    { dflt with
+      S.kinds = [];
+      problems = [];
+      mechanisms = [];
+      epoch_mechanisms = [ "epoch" ];
+      epoch_domains = [ 1; 4 ];
+      duration_ms = Loadgen.duration_from_env ~default:300 }
+  in
+  let t = S.run spec in
+  let rate d =
+    List.find_map
+      (fun (r : S.epoch_row) ->
+        if r.S.e_domains = d && r.S.e_status = S.Supported then
+          Some r.S.e_read_per_s
+        else None)
+      t.S.epoch
+  in
+  (match (rate 1, rate 4) with
+  | Some r1, Some r4 ->
+    Printf.printf
+      "  live epoch reads/s  d=1 %12.0f   d=4 %12.0f   ratio %.2fx\n%!" r1 r4
+      (r4 /. r1);
+    if not (r4 > r1) then begin
+      Printf.printf
+        "  REGRESSION: 4-domain read throughput not above 1-domain\n%!";
+      failed := true
+    end
+  | _ ->
+    List.iter
+      (fun (r : S.epoch_row) ->
+        Printf.printf "  live epoch d=%d: %s\n%!" r.S.e_domains
+          (S.status_string r.S.e_status))
+      t.S.epoch;
+    failed := true);
+  if !failed then begin
+    Printf.printf "scaling sanity FAILED\n%!";
+    exit 1
+  end
+  else Printf.printf "scaling sanity ok\n%!"
+
 let () =
   let out = ref "bench-load.json" in
   let sanity_file = ref None in
   let ab_mode = ref false in
   let e22_mode = ref false in
+  let e23_mode = ref false in
   let e25_mode = ref false in
   let baseline_file = ref None in
   let e22_baseline = ref None in
+  let e23_baseline = ref None in
   let e25_baseline = ref None in
+  let scaling_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--out" :: f :: rest ->
@@ -460,14 +665,23 @@ let () =
     | "--e22" :: rest ->
       e22_mode := true;
       parse rest
+    | "--e23" :: rest ->
+      e23_mode := true;
+      parse rest
     | "--e25" :: rest ->
       e25_mode := true;
+      parse rest
+    | "--scaling" :: f :: rest ->
+      scaling_file := Some f;
       parse rest
     | "--baseline" :: f :: rest ->
       baseline_file := Some f;
       parse rest
     | "--e22-baseline" :: f :: rest ->
       e22_baseline := Some f;
+      parse rest
+    | "--e23-baseline" :: f :: rest ->
+      e23_baseline := Some f;
       parse rest
     | "--e25-baseline" :: f :: rest ->
       e25_baseline := Some f;
@@ -476,18 +690,22 @@ let () =
     | a :: _ ->
       Printf.eprintf
         "usage: bench_load [--out FILE | FILE] [--sanity BASELINE.json \
-         [--e22-baseline BENCH_E22.json] [--e25-baseline \
-         BENCH_E25.json]] [--ab [--baseline BASELINE.json]] [--e22] \
-         [--e25]\n\
+         [--e22-baseline BENCH_E22.json] [--e23-baseline BENCH_E23.json] \
+         [--e25-baseline BENCH_E25.json]] [--scaling BENCH_E23.json] \
+         [--ab [--baseline BASELINE.json]] [--e22] [--e23] [--e25]\n\
         \  got %S\n"
         a;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match !sanity_file with
-  | Some f -> sanity ?e22_file:!e22_baseline ?e25_file:!e25_baseline f
-  | None ->
+  match (!sanity_file, !scaling_file) with
+  | Some f, _ ->
+    sanity ?e22_file:!e22_baseline ?e23_file:!e23_baseline
+      ?e25_file:!e25_baseline f
+  | None, Some f -> scaling f
+  | None, None ->
     if !ab_mode then ab !baseline_file !out
     else if !e22_mode then e22_grid !out
+    else if !e23_mode then e23_grid !out
     else if !e25_mode then e25_grid !out
     else grid !out

@@ -122,17 +122,24 @@ let scorecard_cmd =
                    mechanism x problem on restricted atomic classes; \
                    standalone as $(b,bloom_eval hierarchy))")
   in
+  let scaling =
+    Arg.(value & flag
+         & info [ "scaling" ]
+             ~doc:"also run the E23 scalable-lock grids (queue-lock tier \
+                   plus epoch readers-writers scaling; standalone as \
+                   $(b,bloom_eval scaling))")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
              ~doc:"also write the whole scorecard as a JSON document")
   in
-  let run fast robustness perf observability service hierarchy json =
+  let run fast robustness perf observability service hierarchy scaling json =
     let card =
       Sync_eval.Scorecard.build ~run_conformance:(not fast)
         ~run_robustness:robustness ~run_perf:perf
         ~run_observability:observability ~run_service:service
-        ~run_hierarchy:hierarchy ()
+        ~run_hierarchy:hierarchy ~run_scaling:scaling ()
     in
     Sync_eval.Scorecard.pp ppf card;
     (match json with
@@ -146,11 +153,12 @@ let scorecard_cmd =
       || not (Sync_eval.Observability.all_ok card.observability)
       || not (Sync_eval.Service_axis.all_ok card.service)
       || not (Sync_eval.Hierarchy_axis.all_ok card.hierarchy)
+      || not (Sync_eval.Scaling_axis.all_ok card.scaling)
     then exit 1
   in
   Cmd.v (Cmd.info "scorecard" ~doc)
     Term.(const run $ fast $ robustness $ perf $ observability $ service
-          $ hierarchy $ json)
+          $ hierarchy $ scaling $ json)
 
 let load_cmd =
   let doc =
@@ -231,6 +239,12 @@ let load_cmd =
              ~doc:"disk skew: share of requests aimed at the first tenth \
                    of the tracks")
   in
+  let think_us_arg =
+    Arg.(value & opt int 0
+         & info [ "think-us" ] ~docv:"US"
+             ~doc:"closed-loop think time per operation, microseconds, \
+                   slept outside the latency window (E23 scaling runs)")
+  in
   let sweep =
     Arg.(value & flag
          & info [ "sweep" ]
@@ -244,9 +258,10 @@ let load_cmd =
              ~doc:"platform substrate: $(b,default) for the stdlib-backed \
                    tier, $(b,fast) for the contention-adaptive fast paths \
                    (E22: adaptive mutex, fetch-and-add weak semaphore, \
-                   Vyukov bounded buffer), or a restricted atomic class \
+                   Vyukov bounded buffer), a restricted atomic class \
                    (E25: $(b,rw), $(b,cas), $(b,faa), $(b,llsc), \
-                   $(b,native))")
+                   $(b,native)), or a local-spin queue lock kind (E23: \
+                   $(b,mcs), $(b,clh), $(b,ticket))")
   in
   let json =
     Arg.(value & opt (some string) None
@@ -271,20 +286,23 @@ let load_cmd =
   in
   let run mechanism problem domains duration_ms warmup_ms mode_arg rate
       arrival_arg backend_arg seed capacity work read_pct tracks hot_pct
-      sweep tier_arg json csv trace_out =
+      think_us sweep tier_arg json csv trace_out =
     let tier =
       match tier_arg with
       | "default" -> `Default
       | "fast" -> `Fast
       | s -> (
-        match Sync_prims.Prims.cls_of_string s with
-        | Some c -> `Prim c
-        | None ->
-          fail
-            (Printf.sprintf
-               "unknown tier %S (default | fast | rw | cas | faa | llsc | \
-                native)"
-               s))
+        match Sync_prims.Queuelock.kind_of_string s with
+        | Some k -> `Queue k
+        | None -> (
+          match Sync_prims.Prims.cls_of_string s with
+          | Some c -> `Prim c
+          | None ->
+            fail
+              (Printf.sprintf
+                 "unknown tier %S (default | fast | rw | cas | faa | llsc | \
+                  native | mcs | clh | ticket)"
+                 s)))
     in
     let arrival =
       match arrival_arg with
@@ -314,7 +332,7 @@ let load_cmd =
     in
     let base =
       { Loadgen.workers = domains; backend; duration_ms; warmup_ms; mode;
-        seed }
+        seed; think_us }
     in
     if sweep && trace_out <> None then
       fail "--trace records a single run; drop --sweep";
@@ -375,8 +393,8 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc)
     Term.(const run $ mechanism $ problem $ domains $ duration_ms $ warmup_ms
           $ mode_arg $ rate $ arrival_arg $ backend_arg $ seed $ capacity
-          $ work $ read_pct $ tracks $ hot_pct $ sweep $ tier_arg $ json
-          $ csv $ trace_out)
+          $ work $ read_pct $ tracks $ hot_pct $ think_us_arg $ sweep
+          $ tier_arg $ json $ csv $ trace_out)
 
 let hierarchy_cmd =
   let doc =
@@ -497,6 +515,148 @@ let hierarchy_cmd =
   Cmd.v (Cmd.info "hierarchy" ~doc)
     Term.(const run $ classes_arg $ problems_arg $ mechanisms_arg
           $ domains_arg $ duration_ms $ warmup_ms $ seed $ json)
+
+let scaling_cmd =
+  let doc =
+    "Score the scalable-lock tier (experiment E23): rebuild mechanism x \
+     problem load targets with every platform mutex a local-spin queue \
+     lock (MCS, CLH, proportional-backoff ticket) and measure each cell; \
+     absent pairs become typed unsupported rows. Then drive the \
+     readers-writers database on the epoch read-mostly path at increasing \
+     domain counts with closed-loop think time and report whether read \
+     throughput scales monotonically."
+  in
+  let list_arg name ~doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"LIST" ~doc)
+  in
+  let kinds_arg =
+    list_arg "kinds"
+      ~doc:"comma-separated queue-lock kinds (mcs, clh, ticket); default \
+            all three"
+  in
+  let problems_arg =
+    list_arg "problems"
+      ~doc:"comma-separated problems (default bounded-buffer,\
+            readers-writers)"
+  in
+  let mechanisms_arg =
+    list_arg "mechanisms"
+      ~doc:"comma-separated mechanisms for the queue grid (default \
+            semaphore,monitor,ccr,eventcount,epoch; absent pairs yield \
+            typed rows)"
+  in
+  let domains_arg =
+    list_arg "domains"
+      ~doc:"comma-separated worker domain counts for the queue grid \
+            (default 1,4)"
+  in
+  let epoch_domains_arg =
+    list_arg "epoch-domains"
+      ~doc:"comma-separated domain counts for the epoch scaling rows \
+            (default 1,2,4)"
+  in
+  let think_us =
+    Arg.(value & opt (some int) None
+         & info [ "think-us" ] ~docv:"US"
+             ~doc:"closed-loop think time for the epoch rows (default 500)")
+  in
+  let duration_ms =
+    Arg.(value & opt (some int) None
+         & info [ "duration" ] ~docv:"MS"
+             ~doc:"steady-state window per cell (default $(b,SYNC_LOAD_MS) \
+                   or 150)")
+  in
+  let warmup_ms =
+    Arg.(value & opt int 50
+         & info [ "warmup" ] ~docv:"MS" ~doc:"warmup window per cell")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"workload seed")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"also write the grids as a JSON document (the committed \
+                   BENCH_E23.json shape)")
+  in
+  let fail msg =
+    Format.fprintf ppf "%s@." msg;
+    exit 2
+  in
+  let split = function
+    | None -> None
+    | Some s ->
+      Some
+        (List.filter (fun x -> x <> "")
+           (List.map String.trim (String.split_on_char ',' s)))
+  in
+  let run kinds problems mechanisms domains epoch_domains think_us duration_ms
+      warmup_ms seed json =
+    let module S = Sync_eval.Scaling_axis in
+    let dflt = S.default_spec () in
+    let kinds =
+      match split kinds with
+      | None -> dflt.S.kinds
+      | Some ks ->
+        List.map
+          (fun s ->
+            match Sync_prims.Queuelock.kind_of_string s with
+            | Some k -> k
+            | None ->
+              fail (Printf.sprintf "unknown kind %S (mcs | clh | ticket)" s))
+          ks
+    in
+    let ints name dflt = function
+      | None -> dflt
+      | Some ds ->
+        List.map
+          (fun s ->
+            match int_of_string_opt s with
+            | Some d when d >= 1 -> d
+            | _ -> fail (Printf.sprintf "bad %s count %S" name s))
+          ds
+    in
+    let spec =
+      { S.kinds;
+        problems = Option.value (split problems) ~default:dflt.S.problems;
+        mechanisms =
+          Option.value (split mechanisms) ~default:dflt.S.mechanisms;
+        domains = ints "domain" dflt.S.domains (split domains);
+        epoch_mechanisms = dflt.S.epoch_mechanisms;
+        epoch_domains =
+          ints "domain" dflt.S.epoch_domains (split epoch_domains);
+        think_us = Option.value think_us ~default:dflt.S.think_us;
+        read_pct = dflt.S.read_pct;
+        duration_ms =
+          (match duration_ms with
+          | Some ms -> ms
+          | None -> dflt.S.duration_ms);
+        warmup_ms; seed }
+    in
+    let progress_queue (r : S.queue_row) =
+      Format.fprintf ppf "%-7s %-16s %-12s d=%-2d %s@."
+        (Sync_prims.Queuelock.kind_name r.S.kind)
+        r.S.problem r.S.mechanism r.S.domains
+        (S.status_string r.S.status)
+    in
+    let progress_epoch (r : S.epoch_row) =
+      Format.fprintf ppf "epoch   %-12s d=%-2d %s@." r.S.e_mechanism
+        r.S.e_domains
+        (S.status_string r.S.e_status)
+    in
+    let t = S.run ~progress_queue ~progress_epoch spec in
+    Format.fprintf ppf "@.%a" S.pp t;
+    (match json with
+    | None -> ()
+    | Some file ->
+      Sync_metrics.Emit.write_file file (S.to_json spec t);
+      Format.fprintf ppf "wrote %s@." file);
+    if not (S.all_ok t) then exit 1
+  in
+  Cmd.v (Cmd.info "scaling" ~doc)
+    Term.(const run $ kinds_arg $ problems_arg $ mechanisms_arg $ domains_arg
+          $ epoch_domains_arg $ think_us $ duration_ms $ warmup_ms $ seed
+          $ json)
 
 let anomaly_cmd =
   let doc =
@@ -990,4 +1150,4 @@ let () =
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
             trace_cmd; model_cmd; nested_cmd; explore_cmd; exploration_cmd;
-            faults_cmd; load_cmd; hierarchy_cmd; serve_cmd ]))
+            faults_cmd; load_cmd; hierarchy_cmd; scaling_cmd; serve_cmd ]))

@@ -159,6 +159,7 @@ end
 module Det_bakery = Sync_prims.Bakery.Make (Det_regs)
 module Det_faa = Sync_prims.Faalock.Make (Det_regs)
 module Det_ticket_sem = Sync_prims.Ticket_sem.Make (Det_regs)
+module Det_queue = Sync_prims.Queuelock.Make (Det_regs)
 
 (* Mutual-exclusion check with a recorded register as the witness: the
    owner register's ops are scheduling points themselves, so if two
@@ -224,6 +225,55 @@ let ticket_excl ~tasks ~rounds =
     ~make:(fun ~tasks:_ ->
       let l = Det_faa.Lock.create () in
       ((fun _ -> Det_faa.Lock.lock l), fun _ -> Det_faa.Lock.unlock l))
+
+(* E23: the queue locks on the same recorded registers. The spacer
+   arrays and the proportional-backoff delay are pure computation —
+   invisible to the scheduler — so DPOR explores exactly the protocol's
+   register traffic: tail swaps, successor links, handoff stores. A
+   dropped handoff (an unlock that never releases its successor's spin
+   register) would leave that task parked in [await] forever and
+   surface as a deterministic-runtime deadlock on that schedule. *)
+let mcs_excl ~tasks ~rounds =
+  prim_excl
+    (Printf.sprintf "mcs-excl-%dt%dr" tasks rounds)
+    ~descr:
+      (Printf.sprintf
+         "MCS queue lock (local spin, FIFO handoff): %d tasks x %d rounds, \
+          exclusion witnessed on a recorded register"
+         tasks rounds)
+    ~tasks ~rounds
+    ~make:(fun ~tasks ->
+      let l = Det_queue.Mcs.create ~slots:tasks () in
+      ( (fun i -> Det_queue.Mcs.lock l ~slot:i),
+        fun i -> Det_queue.Mcs.unlock l ~slot:i ))
+
+let clh_excl ~tasks ~rounds =
+  prim_excl
+    (Printf.sprintf "clh-excl-%dt%dr" tasks rounds)
+    ~descr:
+      (Printf.sprintf
+         "CLH queue lock (spin on predecessor's node): %d tasks x %d \
+          rounds, exclusion witnessed on a recorded register"
+         tasks rounds)
+    ~tasks ~rounds
+    ~make:(fun ~tasks ->
+      let l = Det_queue.Clh.create ~slots:tasks () in
+      ( (fun i -> Det_queue.Clh.lock l ~slot:i),
+        fun i -> Det_queue.Clh.unlock l ~slot:i ))
+
+let qticket_excl ~tasks ~rounds =
+  prim_excl
+    (Printf.sprintf "qticket-excl-%dt%dr" tasks rounds)
+    ~descr:
+      (Printf.sprintf
+         "proportional-backoff ticket lock: %d tasks x %d rounds, \
+          exclusion witnessed on a recorded register"
+         tasks rounds)
+    ~tasks ~rounds
+    ~make:(fun ~tasks:_ ->
+      let l = Det_queue.Ticket.create () in
+      ( (fun _ -> Det_queue.Ticket.lock l),
+        fun _ -> Det_queue.Ticket.unlock l ))
 
 (* The control experiment: the textbook broken lock (test, then set —
    no atomicity between them). Exploration must find the schedule where
@@ -341,6 +391,9 @@ let all : entry list =
     { scen = fcfs "fcfs-sem" (module Fcfs_sem) ~variant:""; expect = Pass };
     { scen = bakery_excl ~tasks:2 ~rounds:1; expect = Pass };
     { scen = ticket_excl ~tasks:2 ~rounds:2; expect = Pass };
+    { scen = mcs_excl ~tasks:2 ~rounds:1; expect = Pass };
+    { scen = clh_excl ~tasks:2 ~rounds:1; expect = Pass };
+    { scen = qticket_excl ~tasks:2 ~rounds:2; expect = Pass };
     { scen = naive_rw_excl ~tasks:2 ~rounds:1; expect = Fail };
     { scen = ticket_sem_handoff ~tasks:3; expect = Pass };
     { scen = deadlock; expect = Fail } ]

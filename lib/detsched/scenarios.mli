@@ -79,3 +79,15 @@ val naive_rw_excl : tasks:int -> rounds:int -> Detsched.t
 val ticket_sem_handoff : tasks:int -> Detsched.t
 (** FCFS ticket semaphore handoff chain (budget 1); a lost wakeup would
     surface as a deterministic-runtime deadlock. *)
+
+val mcs_excl : tasks:int -> rounds:int -> Detsched.t
+(** MCS queue lock (E23), slot = task index; a dropped FIFO handoff
+    would surface as a deterministic-runtime deadlock. *)
+
+val clh_excl : tasks:int -> rounds:int -> Detsched.t
+(** CLH queue lock (E23), slot = task index. *)
+
+val qticket_excl : tasks:int -> rounds:int -> Detsched.t
+(** Proportional-backoff ticket lock (E23); the backoff delay is pure
+    computation, so the explored tree is the protocol's register
+    traffic only. *)

@@ -57,7 +57,7 @@ let measure_cell spec ~cls ~problem ~mechanism ~domains =
   let base =
     { Loadgen.workers = domains; backend = `Domain;
       duration_ms = spec.duration_ms; warmup_ms = spec.warmup_ms;
-      mode = Loadgen.Closed; seed = spec.seed }
+      mode = Loadgen.Closed; seed = spec.seed; think_us = 0 }
   in
   match Target.create ~tier:(`Prim cls) ~problem ~mechanism () with
   | exception Prims.Unsupported { feature; reason; _ } ->

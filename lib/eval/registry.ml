@@ -82,6 +82,13 @@ let all =
     rw (module Rw_path.Plain);
     rw (module Rw_csp.Readers_prio);
     rw (module Rw_csp.Fcfs);
+    (* E23 scalable tier: the epoch read-mostly path, carried as a
+       readers-writers solution so the scaling axis can run it through
+       the same harness and registry plumbing as the paper mechanisms.
+       It is NOT in [mechanisms] — the taxonomy axes compare the
+       paper's six (plus eventcounts); this entry exists for coverage
+       resolution and the E23 scaling experiment. *)
+    rw (module Rw_epoch.Read_mostly);
     (* disk scheduler *)
     disk (module Disk_sem); disk (module Disk_mon); disk (module Disk_ser);
     disk (module Disk_path); disk (module Disk_csp);

@@ -12,11 +12,12 @@ type t = {
   observability : Observability.row list;
   service : Service_axis.row list;
   hierarchy : Hierarchy_axis.row list;
+  scaling : Scaling_axis.t;
 }
 
 let build ?(run_conformance = true) ?(run_robustness = false)
     ?(run_perf = false) ?(run_observability = false) ?(run_service = false)
-    ?(run_hierarchy = false) () =
+    ?(run_hierarchy = false) ?(run_scaling = false) () =
   let entries = Registry.all in
   let matrix = Expressiveness.matrix entries in
   let pairings = Independence.analyze entries in
@@ -38,7 +39,10 @@ let build ?(run_conformance = true) ?(run_robustness = false)
     hierarchy =
       (if run_hierarchy then
          Hierarchy_axis.(run (default_spec ()))
-       else []) }
+       else []);
+    scaling =
+      (if run_scaling then Scaling_axis.(run (default_spec ()))
+       else Scaling_axis.empty) }
 
 let pp ppf t =
   Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
@@ -101,6 +105,15 @@ let pp ppf t =
       Format.fprintf ppf
         "every supported cell ran clean; unsupported cells are typed@."
     else Format.fprintf ppf "HIERARCHY FAILURE(S)@."
+  end;
+  if not (Scaling_axis.is_empty t.scaling) then begin
+    Format.fprintf ppf
+      "@.== E23: scalable-lock tier (queue locks, epoch readers) ==@.";
+    Scaling_axis.pp ppf t.scaling;
+    if Scaling_axis.all_ok t.scaling then
+      Format.fprintf ppf
+        "every measured cell ran clean; absent pairs are typed@."
+    else Format.fprintf ppf "SCALING FAILURE(S)@."
   end
 
 let to_string t = Format.asprintf "%a" pp t
@@ -211,4 +224,5 @@ let to_json t =
       ("observability", Observability.to_json t.observability);
       ("service", Service_axis.to_json t.service);
       ("hierarchy",
-       Emit.List (List.map Hierarchy_axis.row_to_json t.hierarchy)) ]
+       Emit.List (List.map Hierarchy_axis.row_to_json t.hierarchy));
+      ("scaling", Scaling_axis.rows_to_json t.scaling) ]

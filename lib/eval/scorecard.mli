@@ -15,12 +15,13 @@ type t = {
   observability : Observability.row list;
   service : Service_axis.row list;
   hierarchy : Hierarchy_axis.row list;
+  scaling : Scaling_axis.t;
 }
 
 val build :
   ?run_conformance:bool -> ?run_robustness:bool -> ?run_perf:bool ->
   ?run_observability:bool -> ?run_service:bool -> ?run_hierarchy:bool ->
-  unit -> t
+  ?run_scaling:bool -> unit -> t
 (** Computes everything from {!Registry.all}. [run_conformance] (default
     true) actually executes the workload checks; disable for fast
     metadata-only views. [run_robustness] (default false — it is the
@@ -34,7 +35,10 @@ val build :
     (spawns real bloom_serve daemons; [bloom_eval serve] standalone).
     [run_hierarchy] (default false) adds the E25 primitive-hierarchy
     grid via {!Hierarchy_axis.run} on its default spec; [bloom_eval
-    hierarchy] drives configurable grids standalone. *)
+    hierarchy] drives configurable grids standalone. [run_scaling]
+    (default false) adds the E23 scalable-lock grids via
+    {!Scaling_axis.run} on its default spec; [bloom_eval scaling]
+    drives configurable grids standalone. *)
 
 val pp : Format.formatter -> t -> unit
 

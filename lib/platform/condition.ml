@@ -1,5 +1,6 @@
 module Probe = Sync_trace.Probe
 module Prims = Sync_prims.Prims
+module Queuelock = Sync_prims.Queuelock
 
 (* A condition pairs with whatever mutex the caller hands to [wait], and
    adaptive (Fast) mutexes cannot use [Stdlib.Condition.wait] — that
@@ -87,9 +88,22 @@ let wait c (m : Mutex.t) =
     Atomic.decr r.parked;
     Stdlib.Mutex.unlock r.pk_m;
     p.Prims.lk_lock ()
+  | Real r, Mutex.Queue q ->
+    (* Queue-tier (E23) mutexes park like Fast/Prim ones, releasing and
+       re-acquiring through the queue lock's own closures. *)
+    Stdlib.Mutex.lock r.pk_m;
+    let s = r.seq in
+    Atomic.incr r.parked;
+    q.Queuelock.qk_unlock ();
+    while r.seq = s do
+      Stdlib.Condition.wait r.pk_c r.pk_m
+    done;
+    Atomic.decr r.parked;
+    Stdlib.Mutex.unlock r.pk_m;
+    q.Queuelock.qk_lock ()
   | Det c, Mutex.Det dm -> Detrt.cond_wait c dm
-  | Real _, Mutex.Det _ | Det _, (Mutex.Sys _ | Mutex.Fast _ | Mutex.Prim _)
-    ->
+  | Real _, Mutex.Det _
+  | Det _, (Mutex.Sys _ | Mutex.Fast _ | Mutex.Prim _ | Mutex.Queue _) ->
     worlds_mismatch ());
   reopen_hold m
 
@@ -118,6 +132,10 @@ let wait_for c (m : Mutex.t) ~deadline =
       p.Prims.lk_unlock ();
       Thread.yield ();
       p.Prims.lk_lock ()
+    | Mutex.Queue q ->
+      q.Queuelock.qk_unlock ();
+      Thread.yield ();
+      q.Queuelock.qk_lock ()
     | Mutex.Det dm ->
       Detrt.mutex_unlock dm;
       Detrt.yield ();

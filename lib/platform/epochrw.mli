@@ -1,0 +1,55 @@
+(** Epoch-based read-mostly readers-writers lock (E23).
+
+    Each reader thread publishes its presence in a private, cache-line
+    padded slot — a monotonically increasing epoch counter, odd while
+    the reader is inside a section. Uncontended read entry/exit touches
+    only that slot's line, so read throughput scales with domain count
+    instead of serializing on a shared reader counter. Writers
+    serialize on an internal mutex, raise a write-intent flag, then
+    wait out a grace period: every slot sampled odd must move before
+    the writer proceeds. Readers that observe the intent flag retreat
+    and back off, so writers are not starved by a stream of new
+    readers.
+
+    Constraints: the read side is non-reentrant (the slot parity trick
+    breaks on nesting); at most [slots] distinct reader threads may
+    ever use one lock (slot assignment is a thread-id registry outside
+    the protocol, like {!Sync_prims.Queuelock}); real threads only —
+    this path is about cache traffic, which {!Detrt} virtual tasks do
+    not model. Policy is no-priority: exclusion is guaranteed, no
+    ordering beyond it. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** New lock with capacity for [slots] (default 64) distinct reader
+    threads. Writer capacity is unbounded. *)
+
+val read_lock : t -> unit
+(** Enter a read section. Spins (with backoff) only while a writer is
+    in progress; otherwise two plain stores on the caller's own slot. *)
+
+val read_unlock : t -> unit
+(** Leave a read section entered by the same thread. *)
+
+val write_lock : t -> unit
+(** Acquire exclusive access: serialize with other writers, bar new
+    readers, and wait for every in-flight reader to leave. *)
+
+val write_unlock : t -> unit
+(** Release exclusive access and re-admit readers. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** [with_read t f] runs [f] inside a read section, releasing on any
+    exit. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** [with_write t f] runs [f] with exclusive access, releasing on any
+    exit. *)
+
+val readers : t -> int
+(** Number of slots currently mid-section (introspection for tests). *)
+
+val writer_active : t -> bool
+(** Whether a writer currently holds the intent flag (introspection
+    for tests). *)

@@ -1,5 +1,6 @@
 module Probe = Sync_trace.Probe
 module Prims = Sync_prims.Prims
+module Queuelock = Sync_prims.Queuelock
 
 (* Adaptive (futex-style) mutex state: a single atomic int.
    0 = unlocked; 1 = locked, no waiter ever parked since last unlock;
@@ -20,6 +21,7 @@ type impl =
   | Det of Detrt.mutex
   | Fast of fast
   | Prim of Prims.lock
+  | Queue of Queuelock.lock
 
 type t = {
   impl : impl;
@@ -38,17 +40,20 @@ let create ?(name = "mutex") () =
     { impl = Det (Detrt.mutex ()); rid = -1; name; acquired_at = 0 }
   else
     let impl =
-      (* Precedence: Det (above) > Prim (E25 class restriction) > Fast
-         (E22 adaptive tier) > Sys. *)
+      (* Precedence: Det (above) > Prim (E25 class restriction) > Queue
+         (E23 scalable-lock tier) > Fast (E22 adaptive tier) > Sys. *)
       match Prims.selected () with
       | Some c -> Prim (Prims.make_lock c)
-      | None ->
+      | None -> (
+        match Queuelock.selected () with
+        | Some k -> Queue (Queuelock.make_lock k)
+        | None ->
         if Fastpath.active () then
           Fast
             { state = Atomic.make 0;
               pm = Stdlib.Mutex.create ();
               pc = Stdlib.Condition.create () }
-        else Sys (Stdlib.Mutex.create ())
+        else Sys (Stdlib.Mutex.create ()))
     in
     { impl;
       rid =
@@ -131,6 +136,13 @@ let lock t =
       Deadlock.acquired t.rid
     end
     else p.Prims.lk_lock ()
+  | Queue q ->
+    if t.rid >= 0 && Deadlock.enabled () then begin
+      Deadlock.blocked t.rid;
+      q.Queuelock.qk_lock ();
+      Deadlock.acquired t.rid
+    end
+    else q.Queuelock.qk_lock ()
   | Det m -> Detrt.mutex_lock m);
   if t0 <> 0 then begin
     Probe.span Acquire ~site:t.name ~since:t0 ~arg:0;
@@ -152,6 +164,9 @@ let unlock t =
   | Prim p ->
     if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
     p.Prims.lk_unlock ()
+  | Queue q ->
+    if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
+    q.Queuelock.qk_unlock ()
   | Det m -> Detrt.mutex_unlock m
 
 let try_lock t =
@@ -167,6 +182,10 @@ let try_lock t =
       ok
     | Prim p ->
       let ok = p.Prims.lk_try () in
+      if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
+      ok
+    | Queue q ->
+      let ok = q.Queuelock.qk_try () in
       if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
       ok
     | Det m -> Detrt.mutex_try_lock m
@@ -197,7 +216,10 @@ let try_lock_for t ~timeout_ns =
       end
     in
     loop ()
-  | Sys _ | Fast _ | Prim _ ->
+  | Sys _ | Fast _ | Prim _ | Queue _ ->
+    (* Queue-tier timed attempts poll [try_lock] too: the queue locks'
+       try never publishes a waiter node, so a timeout cannot strand a
+       wakeup in the FIFO queue. *)
     let b = Backoff.create () in
     let rec loop () =
       if try_lock t then true

@@ -18,8 +18,14 @@
     When a {!Sync_prims.Prims} class is selected at creation time (E25
     hierarchy runs) the mutex is instead built from that restricted
     atomic class — bakery on read/write registers, test-and-CAS on CAS,
-    ticket on fetch-and-add, or an LL/SC-emulated lock. Selection
-    precedence is Det > Prim > Fast > Sys.
+    ticket on fetch-and-add, or an LL/SC-emulated lock.
+
+    When a {!Sync_prims.Queuelock} kind is selected at creation time
+    (E23 scalable-lock runs) the mutex is a queue lock with local
+    spinning — MCS, CLH, or a proportional-backoff ticket lock — whose
+    contended handoff touches one waiter's cache line instead of
+    invalidating every spinner. Selection precedence is Det > Prim >
+    Queue > Fast > Sys.
 
     The representation is exposed so that {!Condition} can pair det
     conditions with det mutexes and park waiters of adaptive mutexes;
@@ -36,6 +42,7 @@ type impl =
   | Det of Detrt.mutex
   | Fast of fast
   | Prim of Sync_prims.Prims.lock
+  | Queue of Sync_prims.Queuelock.lock
 
 type t = {
   impl : impl;

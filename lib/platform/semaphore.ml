@@ -53,7 +53,21 @@ module Counting = struct
 
   let create ?(fairness = `Strong) n =
     if n < 0 then invalid_arg "Semaphore.Counting.create: negative value";
-    match (if Detrt.active () then None else Prims.selected ()) with
+    let cls =
+      if Detrt.active () then None
+      else
+        match Prims.selected () with
+        | Some _ as c -> c
+        | None -> (
+          (* Queue tier (E23): semaphores map onto the FAA-class
+             constructions — the FIFO ticket semaphore for [`Strong],
+             value-netting for [`Weak] — so the tier's ticket
+             discipline covers semaphores too, not just mutexes. *)
+          match Sync_prims.Queuelock.selected () with
+          | Some _ -> Some Prims.FAA
+          | None -> None)
+    in
+    match cls with
     | Some c ->
       Prim
         { psem = Prims.make_sem c ~fairness n;

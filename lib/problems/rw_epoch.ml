@@ -1,0 +1,52 @@
+(** Readers-writers on the epoch-based read-mostly path (E23).
+
+    The "mechanism" here is the cache-conscious {!Sync_platform.Epochrw}
+    lock itself: readers announce themselves in per-thread padded slots
+    (two stores on a private line) and writers wait out a grace period
+    after raising an intent flag. Exclusion holds — a writer proceeds
+    only once every published reader has left, and readers that see the
+    intent flag retreat — but no priority order beyond that is promised,
+    so the variant is [none]. The point of carrying it in the registry
+    is the scaling axis: the same readers-writers database whose other
+    solutions serialize reader entry on one shared counter scales its
+    read throughput with domain count here. *)
+
+open Sync_taxonomy
+
+module Read_mostly = struct
+  type t = {
+    rw : Sync_platform.Epochrw.t;
+    res_read : pid:int -> int;
+    res_write : pid:int -> unit;
+  }
+
+  let mechanism = "epoch"
+
+  let policy = Rw_intf.No_priority
+
+  let create ~read ~write =
+    { rw = Sync_platform.Epochrw.create (); res_read = read; res_write = write }
+
+  let read t ~pid =
+    Sync_platform.Epochrw.with_read t.rw (fun () -> t.res_read ~pid)
+
+  let write t ~pid =
+    Sync_platform.Epochrw.with_write t.rw (fun () -> t.res_write ~pid)
+
+  let stop _ = ()
+
+  let meta =
+    Meta.make ~mechanism ~problem:"readers-writers"
+      ~variant:(Rw_intf.policy_to_string policy)
+      ~fragments:
+        [ ("rw-exclusion",
+           [ "slot epoch odd while reading"; "wr intent flag";
+             "grace: wait each odd slot to move"; "reader retreat on wr" ]);
+          ("rw-priority", [ "none" ]) ]
+      ~info_access:
+        [ (Info.Request_type, Meta.Indirect); (Info.Sync_state, Meta.Indirect) ]
+      ~aux_state:
+        [ "per-thread epoch slots mirror the set of active readers";
+          "wr flag mirrors writer intent" ]
+      ~separation:Meta.Separated ()
+end

@@ -13,11 +13,12 @@ type config = {
   warmup_ms : int;
   mode : mode;
   seed : int;
+  think_us : int;
 }
 
 let default_config =
   { workers = 4; backend = `Domain; duration_ms = 1000; warmup_ms = 200;
-    mode = Closed; seed = 42 }
+    mode = Closed; seed = 42; think_us = 0 }
 
 let duration_from_env ~default =
   match Sys.getenv_opt "SYNC_LOAD_MS" with
@@ -98,6 +99,13 @@ let run (target : Target.instance) cfg =
       end
     in
     let run_one i =
+      (* Closed-loop think time: sleep outside the latency window, so
+         each worker issues roughly 1/(think+service) ops/s and adding
+         workers raises aggregate throughput until the resource
+         saturates — the classic interactive-client model, and the knob
+         that lets a scaling experiment mean something even when the
+         host serializes runnable threads. *)
+      if cfg.think_us > 0 then Thread.delay (float_of_int cfg.think_us /. 1e6);
       let start =
         match cfg.mode with
         | Closed -> Clock.now_ns ()

@@ -34,11 +34,21 @@ type config = {
   warmup_ms : int;  (** discarded warmup window *)
   mode : mode;
   seed : int;  (** arrival schedules and op-mix draws *)
+  think_us : int;
+      (** closed-loop think time per operation, microseconds (default
+          0). Slept {e outside} the latency window, before each
+          operation: models interactive clients that pause between
+          requests, so aggregate throughput grows with worker count
+          until the synchronizer saturates. Scaling experiments (E23)
+          rely on it to keep a 1-vs-N-domain comparison meaningful even
+          on hosts with few cores. Ignored in open-loop mode's arrival
+          schedule sense — the sleep still happens, so leave it 0
+          there. *)
 }
 
 val default_config : config
 (** 4 domain workers, closed loop, 1000 ms steady after 200 ms warmup,
-    seed 42. *)
+    seed 42, no think time. *)
 
 val duration_from_env : default:int -> int
 (** The [SYNC_LOAD_MS] environment knob (CI shortens runs with it):

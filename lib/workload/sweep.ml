@@ -80,7 +80,8 @@ let default_baseline_spec () =
 
 let baseline_config spec =
   { Loadgen.workers = 1; backend = `Domain; duration_ms = spec.duration_ms;
-    warmup_ms = spec.warmup_ms; mode = Loadgen.Closed; seed = spec.seed }
+    warmup_ms = spec.warmup_ms; mode = Loadgen.Closed; seed = spec.seed;
+    think_us = 0 }
 
 exception Baseline_failure of string
 

@@ -5,12 +5,17 @@ type op = { name : string; run : rng:Prng.t -> pid:int -> unit }
 
 type selection = Cycle | Weighted of int array
 
-type tier = [ `Default | `Fast | `Prim of Sync_prims.Prims.cls ]
+type tier =
+  [ `Default
+  | `Fast
+  | `Prim of Sync_prims.Prims.cls
+  | `Queue of Sync_prims.Queuelock.kind ]
 
 let tier_name = function
   | `Default -> "default"
   | `Fast -> "fast"
   | `Prim c -> Sync_prims.Prims.cls_name c
+  | `Queue k -> Sync_prims.Queuelock.kind_name k
 
 type instance = {
   meta : Sync_taxonomy.Meta.t;
@@ -39,7 +44,7 @@ let bb (module B : Bb_intf.S) tier p =
      the thinner fast-path synchronizer lets through. *)
   let put, get =
     match tier with
-    | `Default | `Prim _ ->
+    | `Default | `Prim _ | `Queue _ ->
       let ring = Sync_resources.Ring.create ~work:p.work p.capacity in
       ( (fun ~pid:_ v -> Sync_resources.Ring.put ring v),
         fun ~pid:_ -> Sync_resources.Ring.get ring )
@@ -149,7 +154,10 @@ let table : (string * (string * (tier -> params -> instance)) list) list =
         ("serializer", rw (module Rw_ser.Readers_prio));
         ("pathexpr", rw (module Rw_path.Fig1));
         ("csp", rw (module Rw_csp.Readers_prio));
-        ("ccr", rw (module Rw_ccr.Readers_prio)) ] );
+        ("ccr", rw (module Rw_ccr.Readers_prio));
+        (* E23: the epoch read-mostly path, only meaningful for this
+           problem (its whole point is scaling reader entry). *)
+        ("epoch", rw (module Rw_epoch.Read_mostly)) ] );
     ( "disk-scheduler",
       [ ("semaphore", disk (module Disk_sem));
         ("monitor", disk (module Disk_mon));
@@ -206,4 +214,10 @@ let create ?(params = default_params) ?(tier = `Default) ~problem ~mechanism
              "native" in reports). The construction itself can raise
              {!Sync_prims.Prims.Unsupported} (e.g. RW x FCFS semaphore);
              callers that grid over classes catch it as a typed result. *)
-          Ok (Sync_prims.Prims.with_class c (fun () -> build tier params))))
+          Ok (Sync_prims.Prims.with_class c (fun () -> build tier params))
+        | `Queue k ->
+          (* E23: every platform mutex the solution creates is a queue
+             lock of kind [k] (MCS, CLH, or proportional-backoff
+             ticket); counting semaphores fall back to the FAA prim
+             constructions, which share the FIFO spirit. *)
+          Ok (Sync_prims.Queuelock.with_kind k (fun () -> build tier params))))

@@ -32,7 +32,11 @@ type selection =
   | Weighted of int array
       (** pick one op per iteration with these relative weights *)
 
-type tier = [ `Default | `Fast | `Prim of Sync_prims.Prims.cls ]
+type tier =
+  [ `Default
+  | `Fast
+  | `Prim of Sync_prims.Prims.cls
+  | `Queue of Sync_prims.Queuelock.kind ]
 (** Which platform substrate the instance is built on. [`Default] is
     the stdlib-backed tier; [`Fast] builds the solution with
     {!Sync_platform.Fastpath} enabled — adaptive mutexes, fetch-and-add
@@ -43,7 +47,11 @@ type tier = [ `Default | `Fast | `Prim of Sync_prims.Prims.cls ]
     {!Sync_prims.Prims.with_class}[ c] — every platform mutex and
     counting semaphore it creates is constructed from atomic class [c]
     alone (E25 hierarchy runs); [`Prim Native] is the explicit
-    no-restriction scope, labeled ["native"]. *)
+    no-restriction scope, labeled ["native"]. [`Queue k] builds it
+    under {!Sync_prims.Queuelock.with_kind}[ k] — every platform mutex
+    is a local-spin queue lock of kind [k] (MCS / CLH / proportional
+    ticket) and counting semaphores use the FAA prim constructions
+    (E23 scalable-lock runs). *)
 
 val tier_name : tier -> string
 (** ["default"] / ["fast"] — the label reported in {!Report.t} rows. *)

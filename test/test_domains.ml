@@ -148,7 +148,7 @@ let test_loadgen_on_domains () =
     let cfg =
       { Sync_workload.Loadgen.workers = 3; backend = `Domain;
         duration_ms = 80; warmup_ms = 20;
-        mode = Sync_workload.Loadgen.Closed; seed = 11 }
+        mode = Sync_workload.Loadgen.Closed; seed = 11; think_us = 0 }
     in
     let report = Sync_workload.Loadgen.run instance cfg in
     let s = report.Sync_workload.Report.summary in
@@ -221,7 +221,7 @@ let test_loadgen_fast_tier_on_domains () =
     let cfg =
       { Sync_workload.Loadgen.workers = 4; backend = `Domain;
         duration_ms = 80; warmup_ms = 20;
-        mode = Sync_workload.Loadgen.Closed; seed = 11 }
+        mode = Sync_workload.Loadgen.Closed; seed = 11; think_us = 0 }
     in
     let report = Sync_workload.Loadgen.run instance cfg in
     let s = report.Sync_workload.Report.summary in

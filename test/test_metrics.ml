@@ -252,7 +252,7 @@ let run_smoke mode =
   | Ok instance ->
     let cfg =
       { Sync_workload.Loadgen.workers = 2; backend = `Thread;
-        duration_ms = 60; warmup_ms = 20; mode; seed = 7 }
+        duration_ms = 60; warmup_ms = 20; mode; seed = 7; think_us = 0 }
     in
     let report = Sync_workload.Loadgen.run instance cfg in
     let s = report.Sync_workload.Report.summary in

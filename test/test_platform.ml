@@ -609,6 +609,47 @@ let test_fast_mutex_tier_selection () =
   Semaphore.Counting.v w;
   check_int "weak fast semaphore v restores" 1 (Semaphore.Counting.value w)
 
+(* Queue tier (E23): creation-scope selection and precedence between
+   the substrate tiers — Det > Prim > Queue > Fast > Sys, decided once
+   at [Mutex.create]. *)
+module Prims = Sync_prims.Prims
+module Queuelock = Sync_prims.Queuelock
+
+let impl_label (m : Mutex.t) =
+  match m.Mutex.impl with
+  | Mutex.Det _ -> "det"
+  | Mutex.Prim _ -> "prim"
+  | Mutex.Queue q -> "queue:" ^ Queuelock.kind_name q.Queuelock.qk_kind
+  | Mutex.Fast _ -> "fast"
+  | Mutex.Sys _ -> "sys"
+
+let test_queue_tier_precedence () =
+  let check_label msg want m = Alcotest.(check string) msg want (impl_label m) in
+  check_label "no flag: system tier" "sys" (Mutex.create ());
+  Queuelock.with_kind Queuelock.MCS (fun () ->
+      check_label "queue flag alone" "queue:mcs" (Mutex.create ());
+      Fastpath.with_enabled (fun () ->
+          check_label "queue beats fast" "queue:mcs" (Mutex.create ()));
+      Prims.with_class Prims.CAS (fun () ->
+          check_label "prim class beats queue" "prim" (Mutex.create ()));
+      Queuelock.with_kind Queuelock.Ticket (fun () ->
+          check_label "inner kind wins" "queue:ticket" (Mutex.create ()));
+      check_label "outer kind restored" "queue:mcs" (Mutex.create ()));
+  check_label "selection is creation-scoped" "sys" (Mutex.create ());
+  Fastpath.with_enabled (fun () ->
+      check_label "fast without a queue kind" "fast" (Mutex.create ()));
+  (* Each kind maps onto its own protocol. *)
+  List.iter
+    (fun k ->
+      let m = Queuelock.with_kind k (fun () -> Mutex.create ()) in
+      check_label (Queuelock.kind_name k) ("queue:" ^ Queuelock.kind_name k) m;
+      Mutex.lock m;
+      check_bool "held lock declines try_lock" false (Mutex.try_lock m);
+      Mutex.unlock m;
+      check_bool "free lock takes try_lock" true (Mutex.try_lock m);
+      Mutex.unlock m)
+    Queuelock.all
+
 (* Mutual exclusion of the adaptive mutex under a parked-waiter storm:
    enough threads that the CAS, spin, and park paths all engage. *)
 let test_fast_mutex_exclusion_storm () =
@@ -1055,6 +1096,9 @@ let () =
             test_fast_mutex_condition;
           Alcotest.test_case "waitq wake_n batches" `Quick test_waitq_wake_n;
           Alcotest.test_case "semaphore v_n batches" `Quick test_sem_v_n ] );
+      ( "queue-tier",
+        [ Alcotest.test_case "tier precedence" `Quick
+            test_queue_tier_precedence ] );
       ( "timed-edges",
         [ Alcotest.test_case "deadline expiry edges" `Quick
             test_deadline_expired_edges;

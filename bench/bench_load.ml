@@ -36,6 +36,21 @@
    that silently collapses (or a native cell that regresses against the
    restricted ones) fails CI like any other drift.
 
+   --e27 runs the self-tuning grid (each problem x arrival-process x
+   domain cell on every static tier and on the adaptive tier, where a
+   feedback controller retiers hot-swappable mutex sites live from the
+   contention probes — tracing enabled for every row so the ratios are
+   honest) plus the timer-wheel scaling rows (tick cost at 1k..1M
+   pending alarms), and writes the document behind the committed
+   BENCH_E27.json. The run fails if any cell misbehaves, if the
+   adaptive row falls below the worst static tier anywhere, if the win
+   rate against the best static tier drops under 0.8, or if the wheel's
+   per-tick cost grows materially with the pending count. With
+   --e27-baseline BENCH_E27.json the sanity gate additionally measures
+   a default/fast/adaptive triple on one open-loop cell and checks the
+   cross-ratios against the committed grid, so a controller regression
+   that drags the adaptive tier down fails CI like any other drift.
+
    --e23 runs the scalable-lock grids (mechanism x problem cells on the
    MCS/CLH/ticket queue-lock tier — absent pairs are typed unsupported
    rows, never 0 ops/s cells — plus the epoch read-mostly
@@ -190,6 +205,28 @@ let e23_baseline_throughput doc ~cell:(mechanism, problem, domains, kind) =
       | _ -> None)
     (Emit.to_list rows)
 
+(* Supported rows of the committed E27 adaptive grid (BENCH_E27.json),
+   keyed by the full (problem, mechanism, arrival, domains, tier)
+   coordinate. Failed rows never match. *)
+let e27_baseline_throughput doc ~cell:(problem, mechanism, arrival, domains, tier)
+    =
+  let field name r = Emit.member name r in
+  let rows = Option.value ~default:Emit.Null (Emit.member "rows" doc) in
+  List.find_map
+    (fun r ->
+      match
+        ( field "problem" r, field "mechanism" r, field "arrival" r,
+          field "domains" r, field "tier" r, field "status" r )
+      with
+      | ( Some (Emit.Str p), Some (Emit.Str m), Some (Emit.Str a), Some d,
+          Some (Emit.Str t), Some (Emit.Str st) )
+        when st = "supported" && p = problem && m = mechanism && a = arrival
+             && t = tier
+             && Emit.number d = Some (float_of_int domains) ->
+        Option.bind (field "throughput_per_s" r) Emit.number
+      | _ -> None)
+    (Emit.to_list rows)
+
 let parse_baseline ~what file =
   try Emit.parse_file file
   with Sys_error e | Emit.Parse_error e ->
@@ -239,7 +276,7 @@ let check_drift ~factor ~failed cells =
         cells)
     cells
 
-let sanity ?e22_file ?e23_file ?e25_file baseline_file =
+let sanity ?e22_file ?e23_file ?e25_file ?e27_file baseline_file =
   let doc = parse_baseline ~what:"baseline" baseline_file in
   let duration_ms = Loadgen.duration_from_env ~default:200 in
   Printf.printf "perf sanity vs %s (%d ms per cell)\n%!" baseline_file
@@ -302,6 +339,56 @@ let sanity ?e22_file ?e23_file ?e25_file baseline_file =
            e23_sanity_cells)
     in
     check_drift ~factor ~failed e23);
+  (match e27_file with
+  | None -> ()
+  | Some file ->
+    let e27_doc = parse_baseline ~what:"E27 baseline" file in
+    Printf.printf "adaptive-tier sanity vs %s\n%!" file;
+    (* One open-loop cell measured on default, fast and adaptive — the
+       mini grid the cross-ratio gate reads. The rows come from the E27
+       axis itself so the measurement (open loop, tracing on, live
+       controller on the adaptive row) matches the committed grid. *)
+    let module A = Sync_eval.Adaptive_axis in
+    let spec =
+      { (A.default_spec ()) with
+        A.cells = [ ("bounded-buffer", "semaphore") ];
+        arrivals = [ Loadgen.Poisson ];
+        domains = [ 2 ];
+        static_tiers = [ `Default; `Fast ];
+        duration_ms }
+    in
+    let t = A.run spec in
+    let e27 =
+      List.map
+        (fun (r : A.row) ->
+          let id =
+            Printf.sprintf "%s/%s %s d=%d [%s]" r.A.problem r.A.mechanism
+              (Loadgen.arrival_name r.A.arrival)
+              r.A.domains r.A.tier
+          in
+          (match r.A.status with
+          | A.Supported -> ()
+          | A.Failed e ->
+            Printf.eprintf "sanity: %s failed: %s\n" id e;
+            failed := true);
+          let base =
+            match
+              e27_baseline_throughput e27_doc
+                ~cell:
+                  ( r.A.problem, r.A.mechanism,
+                    Loadgen.arrival_name r.A.arrival, r.A.domains, r.A.tier )
+            with
+            | Some b -> b
+            | None ->
+              Printf.eprintf "sanity: %s missing from baseline\n" id;
+              exit 2
+          in
+          Printf.printf "  %-40s %12.0f ops/s (baseline %12.0f)\n%!" id
+            r.A.throughput_per_s base;
+          (id, r.A.throughput_per_s, base))
+        t.A.rows
+    in
+    check_drift ~factor ~failed e27);
   if !failed then begin
     Printf.printf "perf sanity FAILED\n%!";
     exit 1
@@ -547,6 +634,152 @@ let e23_grid out =
     exit 1
   end
 
+(* E27 wheel scaling: per-tick cost of the hierarchical timer wheel as
+   the pending-alarm population grows 1k -> 1M. Every alarm is
+   scheduled past the timed window (random deadlines spread over a
+   2^24-tick span), so the measured ticks pay empty-bucket scans and
+   level cascades but never a firing — the steady-state cost an alarm
+   clock holding N sleepers pays per tick. O(1) amortized tick cost
+   means the ns/tick column stays flat as pending grows 1000x; a
+   scan-all-alarms implementation would show ~1000x. *)
+let wheel_tick_ticks = 65_536
+
+let wheel_tick_populations = [ 1_000; 10_000; 100_000; 1_000_000 ]
+
+let wheel_tick_row pending =
+  let module W = Sync_platform.Timerwheel in
+  let w = W.create () in
+  let rng = Random.State.make [| 0x5ca1ab1e + pending |] in
+  let span = 1 lsl 24 in
+  let warmup_ticks = 1_024 in
+  let now_ns () = Int64.to_int (Monotonic_clock.now ()) in
+  let t_add = now_ns () in
+  for _ = 1 to pending do
+    ignore
+      (W.add w
+         ~delay:(warmup_ticks + wheel_tick_ticks + 1 + Random.State.int rng span)
+         ())
+  done;
+  let add_ns = now_ns () - t_add in
+  (* A short untimed advance warms the bucket caches, and a full major
+     collection keeps the GC debt of the million fresh alarm records
+     from being paid inside the timed window — the timed ticks should
+     measure the wheel, not the allocator's past. *)
+  ignore (W.advance w ~ticks:warmup_ticks (fun _ () -> ()));
+  Gc.full_major ();
+  let t0 = now_ns () in
+  let fired = W.advance w ~ticks:wheel_tick_ticks (fun _ () -> ()) in
+  let tick_ns =
+    float_of_int (now_ns () - t0) /. float_of_int wheel_tick_ticks
+  in
+  if fired <> 0 then begin
+    Printf.eprintf "wheel scaling: %d alarms fired inside the timed window\n"
+      fired;
+    exit 2
+  end;
+  if W.pending w <> pending then begin
+    Printf.eprintf "wheel scaling: pending %d after window, expected %d\n"
+      (W.pending w) pending;
+    exit 2
+  end;
+  (pending, float_of_int add_ns /. float_of_int pending, tick_ns)
+
+(* Max/min per-tick cost across the populations: the flatness number
+   the committed document records and the grid run gates on. *)
+let wheel_tick_rows () =
+  let rows = List.map wheel_tick_row wheel_tick_populations in
+  let costs = List.map (fun (_, _, t) -> t) rows in
+  let mn = List.fold_left Float.min Float.max_float costs in
+  let mx = List.fold_left Float.max 0. costs in
+  let ratio = if mn > 0. then mx /. mn else Float.infinity in
+  (rows, ratio)
+
+let wheel_tick_json rows ratio =
+  Emit.Obj
+    [ ("ticks_timed", Emit.Int wheel_tick_ticks);
+      ("deadline_span_ticks", Emit.Int (1 lsl 24));
+      ( "rows",
+        Emit.List
+          (List.map
+             (fun (pending, add_ns, tick_ns) ->
+               Emit.Obj
+                 [ ("pending", Emit.Int pending);
+                   ("add_ns_per_alarm", Emit.Float add_ns);
+                   ("tick_ns", Emit.Float tick_ns) ])
+             rows) );
+      ("tick_cost_max_over_min", Emit.Float ratio) ]
+
+(* The E27 self-tuning grid: every cell on every static tier and on the
+   adaptive tier (tracing on throughout; the adaptive rows run under a
+   live controller), plus the wheel scaling rows. The committed
+   BENCH_E27.json is this mode's output on the reference box. *)
+let e27_grid out =
+  let module A = Sync_eval.Adaptive_axis in
+  let spec = { (A.default_spec ()) with A.domains = [ 1; 2; 4 ] } in
+  Printf.printf
+    "E27 self-tuning grid: %d cells x arrivals {%s} x domains {%s} x \
+     tiers {%s + adaptive}, %dms steady (+%dms warmup) per cell, open loop \
+     at %.0f ops/s, tracing on, seed %d\n\
+     recommended domains on this box: %d\n\n%!"
+    (List.length spec.A.cells)
+    (String.concat ", " (List.map Loadgen.arrival_name spec.A.arrivals))
+    (String.concat ", " (List.map string_of_int spec.A.domains))
+    (String.concat ", " (List.map Target.tier_name spec.A.static_tiers))
+    spec.A.duration_ms spec.A.warmup_ms spec.A.rate_per_s spec.A.seed
+    (Domain.recommended_domain_count ());
+  let progress (r : A.row) =
+    Printf.printf "%-16s %-10s %-8s d=%d %-9s %s%s\n%!" r.A.problem
+      r.A.mechanism
+      (Loadgen.arrival_name r.A.arrival)
+      r.A.domains r.A.tier
+      (match r.A.status with
+      | A.Supported -> Printf.sprintf "%12.0f ops/s" r.A.throughput_per_s
+      | A.Failed _ -> "")
+      (A.status_string r.A.status |> fun s -> if s = "ok" then "" else "  " ^ s)
+  in
+  let t = A.run ~progress spec in
+  print_newline ();
+  A.pp Format.std_formatter t;
+  Printf.printf "\nwheel scaling (%d timed ticks per population)\n%!"
+    wheel_tick_ticks;
+  let wheel_rows, wheel_ratio = wheel_tick_rows () in
+  List.iter
+    (fun (pending, add_ns, tick_ns) ->
+      Printf.printf "  pending %8d  add %7.0f ns/alarm  tick %8.1f ns\n%!"
+        pending add_ns tick_ns)
+    wheel_rows;
+  Printf.printf "  tick cost max/min across populations: %.2fx\n%!"
+    wheel_ratio;
+  let doc =
+    match A.to_json spec t with
+    | Emit.Obj fields ->
+      Emit.Obj (fields @ [ ("wheel_tick", wheel_tick_json wheel_rows wheel_ratio) ])
+    | j -> j
+  in
+  Emit.write_file out doc;
+  Printf.printf "\nwrote %s (%d rows)\n%!" out (List.length t.A.rows);
+  let failed = ref false in
+  if not (A.all_ok t) then begin
+    Printf.printf "E27 grid has FAILED cells\n%!";
+    failed := true
+  end;
+  if not (A.never_worst ~slack:spec.A.never_worst_slack t) then begin
+    Printf.printf
+      "E27 adaptive tier fell below the worst static tier somewhere\n%!";
+    failed := true
+  end;
+  if A.win_rate ~slack:spec.A.win_slack t < 0.8 then begin
+    Printf.printf "E27 adaptive win rate below 0.8\n%!";
+    failed := true
+  end;
+  (* 1000x more alarms for ~flat tick cost; 10x headroom over noise is
+     still two orders of magnitude away from a linear scan. *)
+  if wheel_ratio > 10.0 then begin
+    Printf.printf "E27 wheel tick cost is NOT independent of pending count\n%!";
+    failed := true
+  end;
+  if !failed then exit 1
+
 (* Committed (domains, read_per_s) pairs of the supported epoch rows. *)
 let committed_epoch_reads doc =
   let field name r = Emit.member name r in
@@ -646,10 +879,12 @@ let () =
   let e22_mode = ref false in
   let e23_mode = ref false in
   let e25_mode = ref false in
+  let e27_mode = ref false in
   let baseline_file = ref None in
   let e22_baseline = ref None in
   let e23_baseline = ref None in
   let e25_baseline = ref None in
+  let e27_baseline = ref None in
   let scaling_file = ref None in
   let rec parse = function
     | [] -> ()
@@ -671,6 +906,9 @@ let () =
     | "--e25" :: rest ->
       e25_mode := true;
       parse rest
+    | "--e27" :: rest ->
+      e27_mode := true;
+      parse rest
     | "--scaling" :: f :: rest ->
       scaling_file := Some f;
       parse rest
@@ -686,13 +924,17 @@ let () =
     | "--e25-baseline" :: f :: rest ->
       e25_baseline := Some f;
       parse rest
+    | "--e27-baseline" :: f :: rest ->
+      e27_baseline := Some f;
+      parse rest
     | [ f ] when not (String.length f > 0 && f.[0] = '-') -> out := f
     | a :: _ ->
       Printf.eprintf
         "usage: bench_load [--out FILE | FILE] [--sanity BASELINE.json \
          [--e22-baseline BENCH_E22.json] [--e23-baseline BENCH_E23.json] \
-         [--e25-baseline BENCH_E25.json]] [--scaling BENCH_E23.json] \
-         [--ab [--baseline BASELINE.json]] [--e22] [--e23] [--e25]\n\
+         [--e25-baseline BENCH_E25.json] [--e27-baseline BENCH_E27.json]] \
+         [--scaling BENCH_E23.json] [--ab [--baseline BASELINE.json]] \
+         [--e22] [--e23] [--e25] [--e27]\n\
         \  got %S\n"
         a;
       exit 2
@@ -701,11 +943,12 @@ let () =
   match (!sanity_file, !scaling_file) with
   | Some f, _ ->
     sanity ?e22_file:!e22_baseline ?e23_file:!e23_baseline
-      ?e25_file:!e25_baseline f
+      ?e25_file:!e25_baseline ?e27_file:!e27_baseline f
   | None, Some f -> scaling f
   | None, None ->
     if !ab_mode then ab !baseline_file !out
     else if !e22_mode then e22_grid !out
     else if !e23_mode then e23_grid !out
     else if !e25_mode then e25_grid !out
+    else if !e27_mode then e27_grid !out
     else grid !out

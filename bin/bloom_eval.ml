@@ -129,17 +129,25 @@ let scorecard_cmd =
                    plus epoch readers-writers scaling; standalone as \
                    $(b,bloom_eval scaling))")
   in
+  let adaptive =
+    Arg.(value & flag
+         & info [ "adaptive" ]
+             ~doc:"also run the E27 self-tuning grid (adaptive tier vs \
+                   every static tier under steady/diurnal/bursty arrivals; \
+                   standalone as $(b,bloom_eval adapt))")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
              ~doc:"also write the whole scorecard as a JSON document")
   in
-  let run fast robustness perf observability service hierarchy scaling json =
+  let run fast robustness perf observability service hierarchy scaling
+      adaptive json =
     let card =
       Sync_eval.Scorecard.build ~run_conformance:(not fast)
         ~run_robustness:robustness ~run_perf:perf
         ~run_observability:observability ~run_service:service
-        ~run_hierarchy:hierarchy ~run_scaling:scaling ()
+        ~run_hierarchy:hierarchy ~run_scaling:scaling ~run_adaptive:adaptive ()
     in
     Sync_eval.Scorecard.pp ppf card;
     (match json with
@@ -154,11 +162,12 @@ let scorecard_cmd =
       || not (Sync_eval.Service_axis.all_ok card.service)
       || not (Sync_eval.Hierarchy_axis.all_ok card.hierarchy)
       || not (Sync_eval.Scaling_axis.all_ok card.scaling)
+      || not (Sync_eval.Adaptive_axis.all_ok card.adaptive)
     then exit 1
   in
   Cmd.v (Cmd.info "scorecard" ~doc)
     Term.(const run $ fast $ robustness $ perf $ observability $ service
-          $ hierarchy $ scaling $ json)
+          $ hierarchy $ scaling $ adaptive $ json)
 
 let load_cmd =
   let doc =
@@ -205,7 +214,7 @@ let load_cmd =
   in
   let arrival_arg =
     Arg.(value & opt string "poisson" & info [ "arrival" ] ~docv:"DIST"
-           ~doc:"open loop: poisson | uniform")
+           ~doc:"open loop: poisson | uniform | diurnal | bursty")
   in
   let backend_arg =
     Arg.(value & opt string "domain" & info [ "backend" ] ~docv:"BACKEND"
@@ -260,8 +269,10 @@ let load_cmd =
                    (E22: adaptive mutex, fetch-and-add weak semaphore, \
                    Vyukov bounded buffer), a restricted atomic class \
                    (E25: $(b,rw), $(b,cas), $(b,faa), $(b,llsc), \
-                   $(b,native)), or a local-spin queue lock kind (E23: \
-                   $(b,mcs), $(b,clh), $(b,ticket))")
+                   $(b,native)), a local-spin queue lock kind (E23: \
+                   $(b,mcs), $(b,clh), $(b,ticket)), or $(b,adaptive) \
+                   (E27: hot-swappable sites the feedback controller \
+                   retiers live; implies probe tracing)")
   in
   let json =
     Arg.(value & opt (some string) None
@@ -291,6 +302,7 @@ let load_cmd =
       match tier_arg with
       | "default" -> `Default
       | "fast" -> `Fast
+      | "adaptive" -> `Adaptive
       | s -> (
         match Sync_prims.Queuelock.kind_of_string s with
         | Some k -> `Queue k
@@ -301,14 +313,17 @@ let load_cmd =
             fail
               (Printf.sprintf
                  "unknown tier %S (default | fast | rw | cas | faa | llsc | \
-                  native | mcs | clh | ticket)"
+                  native | mcs | clh | ticket | adaptive)"
                  s)))
     in
     let arrival =
-      match arrival_arg with
-      | "poisson" -> Loadgen.Poisson
-      | "uniform" -> Loadgen.Uniform_spaced
-      | s -> fail (Printf.sprintf "unknown arrival %S (poisson | uniform)" s)
+      match Loadgen.arrival_of_string arrival_arg with
+      | Some a -> a
+      | None ->
+        fail
+          (Printf.sprintf
+             "unknown arrival %S (poisson | uniform | diurnal | bursty)"
+             arrival_arg)
     in
     let mode =
       match mode_arg with
@@ -336,6 +351,10 @@ let load_cmd =
     in
     if sweep && trace_out <> None then
       fail "--trace records a single run; drop --sweep";
+    (match tier with
+    | `Adaptive when sweep ->
+      fail "--tier adaptive drives a live controller; drop --sweep"
+    | _ -> ());
     if sweep then begin
       let domain_counts = Sweep.default_domain_counts () in
       let progress (c : Sweep.cell) =
@@ -358,15 +377,48 @@ let load_cmd =
       match Target.create ~params ~tier ~problem ~mechanism () with
       | Error e -> fail e
       | Ok instance ->
+        let flips = ref 0 in
+        let decisions = ref [] in
+        let samples = ref 0 in
         let go () =
-          try Loadgen.run instance base
-          with Invalid_argument m -> fail ("invalid config: " ^ m)
+          let exec () =
+            try Loadgen.run instance base
+            with Invalid_argument m -> fail ("invalid config: " ^ m)
+          in
+          match tier with
+          | `Adaptive ->
+            let r, ctrl = Sync_adaptive.Controller.with_controller exec in
+            flips := Sync_adaptive.Controller.flips ctrl;
+            decisions := Sync_adaptive.Controller.decisions ctrl;
+            samples := Sync_adaptive.Controller.samples ctrl;
+            r
+          | _ -> exec ()
+        in
+        (* The adaptive controller reads the live probe rings, so the
+           run is traced even without --trace. *)
+        let traced =
+          trace_out <> None
+          || match tier with `Adaptive -> true | _ -> false
         in
         let report, events =
-          match trace_out with
-          | None -> (go (), [])
-          | Some _ -> Sync_trace.Probe.with_tracing go
+          if traced then Sync_trace.Probe.with_tracing go else (go (), [])
         in
+        (match tier with
+        | `Adaptive ->
+          Format.fprintf ppf
+            "adaptive controller: %d tier flip(s) over %d sample(s)@." !flips
+            !samples;
+          List.iter
+            (fun (d : Sync_adaptive.Controller.decision) ->
+              Format.fprintf ppf
+                "  flip %-24s -> %-8s (wait %.0f ns, wait/hold %.2f)@."
+                d.Sync_adaptive.Controller.d_site
+                (Sync_platform.Mutex.tier_name
+                   d.Sync_adaptive.Controller.d_tier)
+                d.Sync_adaptive.Controller.d_wait_ns
+                d.Sync_adaptive.Controller.d_ratio)
+            !decisions
+        | _ -> ());
         if csv then begin
           print_endline Report.csv_header;
           List.iter print_endline (Report.csv_rows report)
@@ -657,6 +709,151 @@ let scaling_cmd =
     Term.(const run $ kinds_arg $ problems_arg $ mechanisms_arg $ domains_arg
           $ epoch_domains_arg $ think_us $ duration_ms $ warmup_ms $ seed
           $ json)
+
+let adapt_cmd =
+  let doc =
+    "Score the self-tuning tier (experiment E27): run each problem x \
+     arrival-process x domain cell on every static platform tier and on \
+     the adaptive tier, where a feedback controller retiers hot-swappable \
+     mutex sites live from the contention probes. Probe tracing is on for \
+     every row so tier-to-tier ratios stay honest. Reports whether the \
+     adaptive rows ever fall below the worst static tier and how often \
+     they match the best."
+  in
+  let list_arg name ~doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"LIST" ~doc)
+  in
+  let cells_arg =
+    list_arg "cells"
+      ~doc:"comma-separated problem:mechanism cells (default \
+            bounded-buffer:semaphore,readers-writers:monitor,\
+            alarm-clock:wheel)"
+  in
+  let arrivals_arg =
+    list_arg "arrivals"
+      ~doc:"comma-separated arrival processes (poisson, uniform, diurnal, \
+            bursty); default poisson,diurnal,bursty"
+  in
+  let domains_arg =
+    list_arg "domains"
+      ~doc:"comma-separated worker domain counts (default 4)"
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"OPS_PER_S"
+             ~doc:"open-loop aggregate arrival rate (default 20000)")
+  in
+  let duration_ms =
+    Arg.(value & opt (some int) None
+         & info [ "duration" ] ~docv:"MS"
+             ~doc:"steady-state window per cell (default $(b,SYNC_LOAD_MS) \
+                   or 150)")
+  in
+  let warmup_ms =
+    Arg.(value & opt int 50
+         & info [ "warmup" ] ~docv:"MS" ~doc:"warmup window per cell")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"workload seed")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"also write the grid as a JSON document (the E27 \
+                   experiment envelope)")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"exit 1 unless the adaptive rows held the \
+                   never-below-worst-static claim (the CI sanity gate)")
+  in
+  let fail msg =
+    Format.fprintf ppf "%s@." msg;
+    exit 2
+  in
+  let split = function
+    | None -> None
+    | Some s ->
+      Some
+        (List.filter (fun x -> x <> "")
+           (List.map String.trim (String.split_on_char ',' s)))
+  in
+  let run cells arrivals domains rate duration_ms warmup_ms seed json strict =
+    let module A = Sync_eval.Adaptive_axis in
+    let dflt = A.default_spec () in
+    let cells =
+      match split cells with
+      | None -> dflt.A.cells
+      | Some cs ->
+        List.map
+          (fun s ->
+            match String.split_on_char ':' s with
+            | [ p; m ] -> (p, m)
+            | _ -> fail (Printf.sprintf "bad cell %S (problem:mechanism)" s))
+          cs
+    in
+    let arrivals =
+      match split arrivals with
+      | None -> dflt.A.arrivals
+      | Some xs ->
+        List.map
+          (fun s ->
+            match Sync_workload.Loadgen.arrival_of_string s with
+            | Some a -> a
+            | None ->
+              fail
+                (Printf.sprintf
+                   "unknown arrival %S (poisson | uniform | diurnal | \
+                    bursty)"
+                   s))
+          xs
+    in
+    let domains =
+      match split domains with
+      | None -> dflt.A.domains
+      | Some ds ->
+        List.map
+          (fun s ->
+            match int_of_string_opt s with
+            | Some d when d >= 1 -> d
+            | _ -> fail (Printf.sprintf "bad domain count %S" s))
+          ds
+    in
+    let spec =
+      { dflt with
+        A.cells; arrivals; domains;
+        rate_per_s = Option.value rate ~default:dflt.A.rate_per_s;
+        duration_ms =
+          (match duration_ms with
+          | Some ms -> ms
+          | None -> dflt.A.duration_ms);
+        warmup_ms; seed }
+    in
+    let progress (r : A.row) =
+      Format.fprintf ppf "%-16s %-10s %-8s d=%-2d %-9s %s@." r.A.problem
+        r.A.mechanism
+        (Sync_workload.Loadgen.arrival_name r.A.arrival)
+        r.A.domains r.A.tier
+        (A.status_string r.A.status)
+    in
+    let t = A.run ~progress spec in
+    Format.fprintf ppf "@.%a" A.pp t;
+    (match json with
+    | None -> ()
+    | Some file ->
+      Sync_metrics.Emit.write_file file (A.to_json spec t);
+      Format.fprintf ppf "wrote %s@." file);
+    if not (A.all_ok t) then exit 1;
+    if strict && not (A.never_worst ~slack:spec.A.never_worst_slack t) then begin
+      Format.fprintf ppf
+        "adaptive fell below the worst static tier on some cell@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "adapt" ~doc)
+    Term.(const run $ cells_arg $ arrivals_arg $ domains_arg $ rate
+          $ duration_ms $ warmup_ms $ seed $ json $ strict)
 
 let anomaly_cmd =
   let doc =
@@ -1150,4 +1347,5 @@ let () =
           [ list_cmd; matrix_cmd; independence_cmd; modularity_cmd;
             conformance_cmd; scorecard_cmd; anomaly_cmd; run_cmd; paths_cmd;
             trace_cmd; model_cmd; nested_cmd; explore_cmd; exploration_cmd;
-            faults_cmd; load_cmd; hierarchy_cmd; scaling_cmd; serve_cmd ]))
+            faults_cmd; load_cmd; hierarchy_cmd; scaling_cmd; adapt_cmd;
+            serve_cmd ]))

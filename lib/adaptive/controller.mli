@@ -1,0 +1,123 @@
+(** The E27 self-tuning controller.
+
+    A low-frequency sampler thread closes the feedback loop from the
+    E21 contention probes to the platform's tier knobs. Each sample it
+
+    - reads the live probe rings with {!Sync_trace.Probe.live_snapshot}
+      (the seqlock read path — never a torn slot, never a pause for
+      the writers),
+    - folds the events newer than the previous sample into per-site
+      wait/hold statistics,
+    - classifies every hot-swappable site ({!Sync_platform.Mutex.swap_sites})
+      by its wait/hold ratio and, after a hysteresis streak, retiers it
+      in place with {!Sync_platform.Mutex.swap_to}, and
+    - steers the global spin-vs-park budget
+      ({!Sync_platform.Mutex.set_spin_rounds},
+      {!Sync_prims.Backoff.set_limits}) from the observed wait scale.
+
+    Every accepted flip is also an instant event in the exported Chrome
+    trace (emitted by [swap_to] itself), so a timeline shows exactly
+    when and why the controller moved a site.
+
+    The classifier and its policy are pure and exported so tests can
+    drive them without threads or timing. *)
+
+type policy = {
+  sample_every_ms : int;  (** sampler period *)
+  min_samples : int;
+      (** acquires a site must log in one window before it is classified
+          (and the whole process must log before spin steering runs) *)
+  fast_below : float;
+      (** wait/hold ratio at or below which a site wants [`Fast] *)
+  queue_above : float;
+      (** wait/hold ratio at or above which a site wants [`Queue] *)
+  queue_min_wait_ns : float;
+      (** absolute mean-wait floor on a [`Queue] vote: a high ratio
+          over sub-microsecond waits is short-hold handoff overhead
+          (served better by the CAS fast path), not a convoy *)
+  hysteresis : int;
+      (** consecutive agreeing windows before a flip is executed; each
+          executed flip doubles the streak the next one needs, damping
+          ping-pong on a noisy classifier boundary *)
+  queue_kind : Sync_prims.Queuelock.kind;
+      (** queue-lock kind the contended tier uses *)
+  tune_spin : bool;  (** enable the global spin/backoff actuator *)
+  spin_cutoff_ns : float;
+      (** mean wait below which spinning is grown, above which cut *)
+  revert_factor : float;
+      (** every flip is a trial: if the next full window's mean wait
+          exceeds the pre-flip baseline by this factor, the flip is
+          reverted and that tier banned for the site — the ratio signal
+          alone cannot see that a flip made things worse, because a
+          worse tier produces the same vote even harder *)
+}
+
+val default_policy : policy
+(** 10 ms windows, 32-acquire floor, fast below 0.5, queue above 4.0
+    with a 20 us wait floor, hysteresis 2, MCS, spin tuning on with a
+    5 us cutoff, revert at 1.5x. *)
+
+(** {1 Pure decision core} *)
+
+type stats = {
+  mutable acquires : int;
+  mutable wait_ns : int;
+  mutable holds : int;
+  mutable hold_ns : int;
+}
+(** One site's activity in one sampling window. *)
+
+val fold_window :
+  since:int -> Sync_trace.Probe.event list -> (string, stats) Hashtbl.t
+(** Aggregate [Acquire] (wait) and [Hold] spans with [t0 > since] into
+    per-site statistics; other kinds are ignored. *)
+
+val classify : policy -> stats -> Sync_platform.Mutex.tier option
+(** The tier this window votes for, or [None] below the sample floor.
+    The index is the mean-wait / mean-hold ratio: waiting a small
+    fraction of a hold means the CAS fast path wins; waiting several
+    multiples of it means handoff dominates and the queue lock scales;
+    between the thresholds the system mutex is the safe middle. *)
+
+(** {1 The running controller} *)
+
+type decision = {
+  d_site : string;
+  d_tier : Sync_platform.Mutex.tier;
+  d_wait_ns : float;  (** mean wait in the deciding window *)
+  d_ratio : float;  (** wait/hold ratio in the deciding window *)
+}
+(** One executed flip, for reports and tests. *)
+
+type t
+
+val create : ?policy:policy -> unit -> t
+(** A controller handle with no sampler thread — the deterministic-test
+    entry: drive it with {!sample_once}, release it with {!stop} (which
+    restores the spin/backoff globals captured here, as for any
+    controller). *)
+
+val start : ?policy:policy -> unit -> t
+(** Launch the sampler thread. Sites created before or after the call
+    are both seen — the registry is re-enumerated every sample. *)
+
+val stop : t -> unit
+(** Stop and join the sampler, then restore the spin rounds and backoff
+    limits observed at {!start} (flipped sites keep their tiers — they
+    are per-site state, swappable again by the next controller). *)
+
+val sample_once : t -> unit
+(** Run one sampling iteration synchronously on the calling thread —
+    deterministic-test entry; the sampler thread calls exactly this. *)
+
+val decisions : t -> decision list
+(** Executed flips, oldest first. Thread-safe. *)
+
+val flips : t -> int
+
+val samples : t -> int
+(** Sampling iterations completed so far. *)
+
+val with_controller : ?policy:policy -> (unit -> 'a) -> 'a * t
+(** Run [f] under a live controller; stop it (even on raise) and return
+    [f]'s result with the stopped controller for inspection. *)

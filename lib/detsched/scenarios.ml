@@ -275,6 +275,112 @@ let qticket_excl ~tasks ~rounds =
       ( (fun _ -> Det_queue.Ticket.lock l),
         fun _ -> Det_queue.Ticket.unlock l ))
 
+(* ---- E27: the hot-swap tier indirection, modeled ----
+
+   The adaptive tier's retiering protocol over recorded registers: an
+   acquire reads the current-cell register, locks that cell, and
+   re-checks the register (unlock and retry on a miss); the flipper
+   locks the current cell, redirects the register, and unlocks — the
+   exact [Mutex.swap_to] protocol. After each flip the flipper itself
+   enters the critical section once through the new tier — the E27
+   hazard is precisely a stale worker (cell locked, register already
+   redirected) overlapping a post-flip entrant, so the minimal
+   [tasks:1] instance puts that race on a DPOR-completable tree. The
+   cell locks are FAA ticket locks over the same recorded registers —
+   the CAS test-and-set alternative's failed-acquire retries explode
+   the tree past what any explorer can finish, while the ticket lock's
+   acquire is one FAA plus one await. Every protocol step is a
+   scheduling point, and the owner-register witness trips if any
+   schedule ever lets the old and the new cell admit a holder
+   together. [recheck:false] drops the re-check — the protocol's
+   load-bearing step — and must be caught. *)
+let swap_excl_protocol ~recheck ~tasks ~rounds ~flips =
+  let open Sync_platform in
+  Detsched.scenario
+    ~name:
+      (Printf.sprintf "swap-excl%s-%dt%dr%df"
+         (if recheck then "" else "-norecheck")
+         tasks rounds flips)
+    ~descr:
+      (Printf.sprintf
+         "hot-swap indirection%s: %d tasks x %d rounds through the \
+          current-cell register, %d mid-run flip(s); exclusion witnessed \
+          on a recorded register"
+         (if recheck then "" else " WITHOUT the re-check (broken)")
+         tasks rounds flips)
+    (fun () ->
+      let viol = ref 0 and entries = ref 0 and flipped = ref 0 in
+      { Detsched.body =
+          (fun () ->
+            let cells =
+              [| Det_faa.Lock.create (); Det_faa.Lock.create () |]
+            in
+            let cur = Det_regs.make 0 in
+            let lock_cell c = Det_faa.Lock.lock cells.(c) in
+            let unlock_cell c = Det_faa.Lock.unlock cells.(c) in
+            let rec acquire () =
+              let c = Det_regs.get cur in
+              lock_cell c;
+              if recheck && Det_regs.get cur <> c then begin
+                unlock_cell c;
+                acquire ()
+              end
+              else c
+            in
+            let owner = Det_regs.make 0 in
+            let critical id =
+              if Det_regs.get owner <> 0 then incr viol;
+              Det_regs.set owner id;
+              if Det_regs.get owner <> id then incr viol;
+              Det_regs.set owner 0;
+              incr entries
+            in
+            let ts =
+              List.init tasks (fun i ->
+                  Detrt.spawn ~name:(Printf.sprintf "w%d" i) (fun () ->
+                      for _ = 1 to rounds do
+                        let c = acquire () in
+                        critical (i + 1);
+                        unlock_cell c
+                      done))
+            in
+            let flipper =
+              Detrt.spawn ~name:"flipper" (fun () ->
+                  for _ = 1 to flips do
+                    let c = Det_regs.get cur in
+                    lock_cell c;
+                    Det_regs.set cur (1 - c);
+                    unlock_cell c;
+                    incr flipped;
+                    (* Enter once through the tier just installed: the
+                       schedule where this overlaps a worker that read
+                       the register before the flip is the one the
+                       re-check exists to kill. *)
+                    let c = acquire () in
+                    critical (tasks + 1);
+                    unlock_cell c
+                  done)
+            in
+            List.iter Detrt.join ts;
+            Detrt.join flipper);
+        check =
+          (fun () ->
+            if !viol > 0 then
+              Error (Printf.sprintf "%d exclusion violation(s)" !viol)
+            else if !entries <> (tasks * rounds) + flips then
+              Error
+                (Printf.sprintf "%d critical sections, expected %d" !entries
+                   ((tasks * rounds) + flips))
+            else if !flipped <> flips then
+              Error (Printf.sprintf "%d flips, expected %d" !flipped flips)
+            else Ok ()) })
+
+let swap_excl ~tasks ~rounds ~flips =
+  swap_excl_protocol ~recheck:true ~tasks ~rounds ~flips
+
+let swap_excl_norecheck ~tasks ~rounds ~flips =
+  swap_excl_protocol ~recheck:false ~tasks ~rounds ~flips
+
 (* The control experiment: the textbook broken lock (test, then set —
    no atomicity between them). Exploration must find the schedule where
    both tasks pass the test before either sets the flag; with it, the
@@ -394,6 +500,8 @@ let all : entry list =
     { scen = mcs_excl ~tasks:2 ~rounds:1; expect = Pass };
     { scen = clh_excl ~tasks:2 ~rounds:1; expect = Pass };
     { scen = qticket_excl ~tasks:2 ~rounds:2; expect = Pass };
+    { scen = swap_excl ~tasks:1 ~rounds:1 ~flips:1; expect = Pass };
+    { scen = swap_excl_norecheck ~tasks:1 ~rounds:1 ~flips:1; expect = Fail };
     { scen = naive_rw_excl ~tasks:2 ~rounds:1; expect = Fail };
     { scen = ticket_sem_handoff ~tasks:3; expect = Pass };
     { scen = deadlock; expect = Fail } ]

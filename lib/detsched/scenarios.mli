@@ -91,3 +91,16 @@ val qticket_excl : tasks:int -> rounds:int -> Detsched.t
 (** Proportional-backoff ticket lock (E23); the backoff delay is pure
     computation, so the explored tree is the protocol's register
     traffic only. *)
+
+val swap_excl : tasks:int -> rounds:int -> flips:int -> Detsched.t
+(** The E27 hot-swap tier indirection ([Mutex.swap_to]'s protocol)
+    modeled on recorded registers: workers acquire through the
+    current-cell register (lock the cell, re-check the register, retry
+    on a miss) while a flipper retiers it mid-run under the old cell's
+    lock. Exploration certifies exclusion across the flip. *)
+
+val swap_excl_norecheck : tasks:int -> rounds:int -> flips:int -> Detsched.t
+(** The same protocol with the post-lock re-check removed — the broken
+    control: exploration is expected to find the schedule where a
+    worker enters through the stale cell while another enters through
+    the new one. *)

@@ -97,6 +97,12 @@ let all =
     alarm (module Alarm_sem); alarm (module Alarm_mon);
     alarm (module Alarm_ser); alarm (module Alarm_path);
     alarm (module Alarm_csp);
+    (* E27 scale tier: the hierarchical timer wheel, carried as an
+       alarm-clock solution exactly like the epoch rw entry above — not
+       one of the paper's mechanisms, but registry-resolvable so the
+       same conformance harness certifies it and the load grid can
+       drive it at millions of pending alarms. *)
+    alarm (module Alarm_wheel);
     (* one-slot buffer *)
     slot (module Slot_sem); slot (module Slot_mon); slot (module Slot_ser);
     slot (module Slot_path); slot (module Slot_csp);

@@ -13,11 +13,12 @@ type t = {
   service : Service_axis.row list;
   hierarchy : Hierarchy_axis.row list;
   scaling : Scaling_axis.t;
+  adaptive : Adaptive_axis.t;
 }
 
 let build ?(run_conformance = true) ?(run_robustness = false)
     ?(run_perf = false) ?(run_observability = false) ?(run_service = false)
-    ?(run_hierarchy = false) ?(run_scaling = false) () =
+    ?(run_hierarchy = false) ?(run_scaling = false) ?(run_adaptive = false) () =
   let entries = Registry.all in
   let matrix = Expressiveness.matrix entries in
   let pairings = Independence.analyze entries in
@@ -42,7 +43,10 @@ let build ?(run_conformance = true) ?(run_robustness = false)
        else []);
     scaling =
       (if run_scaling then Scaling_axis.(run (default_spec ()))
-       else Scaling_axis.empty) }
+       else Scaling_axis.empty);
+    adaptive =
+      (if run_adaptive then Adaptive_axis.(run (default_spec ()))
+       else Adaptive_axis.empty) }
 
 let pp ppf t =
   Format.fprintf ppf "== E3: expressive power (mechanism x information) ==@.";
@@ -114,6 +118,14 @@ let pp ppf t =
       Format.fprintf ppf
         "every measured cell ran clean; absent pairs are typed@."
     else Format.fprintf ppf "SCALING FAILURE(S)@."
+  end;
+  if not (Adaptive_axis.is_empty t.adaptive) then begin
+    Format.fprintf ppf
+      "@.== E27: self-tuning tier (adaptive vs static, live retiering) ==@.";
+    Adaptive_axis.pp ppf t.adaptive;
+    if Adaptive_axis.all_ok t.adaptive then
+      Format.fprintf ppf "every measured cell ran clean@."
+    else Format.fprintf ppf "ADAPTIVE FAILURE(S)@."
   end
 
 let to_string t = Format.asprintf "%a" pp t
@@ -225,4 +237,5 @@ let to_json t =
       ("service", Service_axis.to_json t.service);
       ("hierarchy",
        Emit.List (List.map Hierarchy_axis.row_to_json t.hierarchy));
-      ("scaling", Scaling_axis.rows_to_json t.scaling) ]
+      ("scaling", Scaling_axis.rows_to_json t.scaling);
+      ("adaptive", Adaptive_axis.rows_to_json t.adaptive) ]

@@ -16,12 +16,13 @@ type t = {
   service : Service_axis.row list;
   hierarchy : Hierarchy_axis.row list;
   scaling : Scaling_axis.t;
+  adaptive : Adaptive_axis.t;
 }
 
 val build :
   ?run_conformance:bool -> ?run_robustness:bool -> ?run_perf:bool ->
   ?run_observability:bool -> ?run_service:bool -> ?run_hierarchy:bool ->
-  ?run_scaling:bool -> unit -> t
+  ?run_scaling:bool -> ?run_adaptive:bool -> unit -> t
 (** Computes everything from {!Registry.all}. [run_conformance] (default
     true) actually executes the workload checks; disable for fast
     metadata-only views. [run_robustness] (default false — it is the
@@ -38,7 +39,10 @@ val build :
     hierarchy] drives configurable grids standalone. [run_scaling]
     (default false) adds the E23 scalable-lock grids via
     {!Scaling_axis.run} on its default spec; [bloom_eval scaling]
-    drives configurable grids standalone. *)
+    drives configurable grids standalone. [run_adaptive] (default
+    false) adds the E27 self-tuning grid via {!Adaptive_axis.run} on
+    its default spec; [bloom_eval adapt] drives configurable grids
+    standalone. *)
 
 val pp : Format.formatter -> t -> unit
 

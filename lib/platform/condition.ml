@@ -101,9 +101,25 @@ let wait c (m : Mutex.t) =
     Atomic.decr r.parked;
     Stdlib.Mutex.unlock r.pk_m;
     q.Queuelock.qk_lock ()
+  | Real r, Mutex.Swap sw ->
+    (* Swappable (E27) sites park the same way; the re-acquire goes
+       back through the indirection, so a waiter parked across a tier
+       flip wakes up into the site's new tier. *)
+    Stdlib.Mutex.lock r.pk_m;
+    let s = r.seq in
+    Atomic.incr r.parked;
+    Mutex.swap_unlock_raw sw;
+    while r.seq = s do
+      Stdlib.Condition.wait r.pk_c r.pk_m
+    done;
+    Atomic.decr r.parked;
+    Stdlib.Mutex.unlock r.pk_m;
+    Mutex.swap_lock_raw sw
   | Det c, Mutex.Det dm -> Detrt.cond_wait c dm
   | Real _, Mutex.Det _
-  | Det _, (Mutex.Sys _ | Mutex.Fast _ | Mutex.Prim _ | Mutex.Queue _) ->
+  | ( Det _,
+      ( Mutex.Sys _ | Mutex.Fast _ | Mutex.Prim _ | Mutex.Queue _
+      | Mutex.Swap _ ) ) ->
     worlds_mismatch ());
   reopen_hold m
 
@@ -136,6 +152,10 @@ let wait_for c (m : Mutex.t) ~deadline =
       q.Queuelock.qk_unlock ();
       Thread.yield ();
       q.Queuelock.qk_lock ()
+    | Mutex.Swap sw ->
+      Mutex.swap_unlock_raw sw;
+      Thread.yield ();
+      Mutex.swap_lock_raw sw
     | Mutex.Det dm ->
       Detrt.mutex_unlock dm;
       Detrt.yield ();

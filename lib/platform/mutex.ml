@@ -16,12 +16,45 @@ type fast = {
   pc : Stdlib.Condition.t;
 }
 
+(* Hot-swappable (E27) mutex: one extra indirection through an atomic
+   [cur] cell so the adaptive controller can retier a live site. The
+   swap protocol is epoch-quiesced in the Epochrw sense — the swapper
+   itself is the grace period:
+
+     swap:    lock the old cell; publish the new cell to [cur];
+              unlock the old cell.
+     acquire: read [cur]; lock that cell; re-read [cur]; if it moved,
+              unlock and retry on the new cell, else enter.
+
+   Exclusion: a thread is in the critical section only while holding a
+   cell it observed equal to [cur] *after* locking it. A swap away from
+   that cell must first acquire it, which blocks until the holder
+   leaves; until the swap publishes, every other acquirer routes to the
+   same cell. Stragglers that locked the old cell after the swap see
+   [cur] moved, back out, and retry — the old impl drains. Cells are
+   never reused across swaps (each flip allocates a fresh cell), so the
+   physical-equality re-check cannot be fooled by A-B-A. *)
+type swap_cell =
+  | C_sys of Stdlib.Mutex.t
+  | C_fast of fast
+  | C_queue of Queuelock.lock
+
+type swap = {
+  cur : swap_cell Atomic.t;
+  (* The cell the current critical-section owner actually locked.
+     Written after a successful re-check, read at unlock; both happen
+     with the cell lock held, and consecutive owners are ordered by the
+     cell locks plus the [cur] swap chain, so plain mutable is safe. *)
+  mutable held : swap_cell;
+}
+
 type impl =
   | Sys of Stdlib.Mutex.t
   | Det of Detrt.mutex
   | Fast of fast
   | Prim of Prims.lock
   | Queue of Queuelock.lock
+  | Swap of swap
 
 type t = {
   impl : impl;
@@ -35,32 +68,126 @@ type t = {
   mutable acquired_at : int;
 }
 
+(* The retierable universe: the tiers a swappable site can move
+   between. Det is a different world and Prim is a deliberate class
+   restriction, so neither participates. *)
+type tier = [ `Sys | `Fast | `Queue of Queuelock.kind ]
+
+let tier_name = function
+  | `Sys -> "sys"
+  | `Fast -> "fast"
+  | `Queue k -> "queue-" ^ Queuelock.kind_name k
+
+let all_tiers : tier list =
+  `Sys :: `Fast :: List.map (fun k -> `Queue k) Queuelock.all
+
+(* Stable small integers for the Flip probe argument, so a timeline can
+   decode which tier a site flipped to without string events. *)
+let tier_index = function
+  | `Sys -> 0
+  | `Fast -> 1
+  | `Queue Queuelock.MCS -> 2
+  | `Queue Queuelock.CLH -> 3
+  | `Queue Queuelock.Ticket -> 4
+
+let tier_of_index = function
+  | 0 -> Some `Sys
+  | 1 -> Some `Fast
+  | 2 -> Some (`Queue Queuelock.MCS)
+  | 3 -> Some (`Queue Queuelock.CLH)
+  | 4 -> Some (`Queue Queuelock.Ticket)
+  | _ -> None
+
+let make_cell : tier -> swap_cell = function
+  | `Sys -> C_sys (Stdlib.Mutex.create ())
+  | `Fast ->
+    C_fast
+      { state = Atomic.make 0;
+        pm = Stdlib.Mutex.create ();
+        pc = Stdlib.Condition.create () }
+  | `Queue k -> C_queue (Queuelock.make_lock k)
+
+let cell_tier = function
+  | C_sys _ -> `Sys
+  | C_fast _ -> `Fast
+  | C_queue q -> `Queue q.Queuelock.qk_kind
+
+(* Creation-scoped opt-in for swappable mutexes, the same shape as
+   [Fastpath.with_enabled]. The scope also owns the site registry the
+   adaptive controller enumerates: entering a scope starts an empty
+   registry, leaving restores the previous one, so a controller only
+   ever sees the sites of its own run. *)
+let swappable_flag = Atomic.make false
+
+let swappable_selected () =
+  Atomic.get swappable_flag && not (Detrt.active ())
+
+let sites_lock = Stdlib.Mutex.create ()
+
+let sites : t list ref = ref []
+
+let swap_sites () =
+  Stdlib.Mutex.lock sites_lock;
+  let s = !sites in
+  Stdlib.Mutex.unlock sites_lock;
+  s
+
+let with_swappable f =
+  let saved_flag = Atomic.get swappable_flag in
+  Stdlib.Mutex.lock sites_lock;
+  (* Clear on entry, keep on exit: the controller typically starts
+     after the build scope closes (Target.create wraps only the
+     build), and must still be able to enumerate the run's sites. The
+     next scope clears the slate. *)
+  sites := [];
+  Stdlib.Mutex.unlock sites_lock;
+  Atomic.set swappable_flag true;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set swappable_flag saved_flag)
+    f
+
 let create ?(name = "mutex") () =
   if Detrt.active () then
     { impl = Det (Detrt.mutex ()); rid = -1; name; acquired_at = 0 }
-  else
+  else begin
     let impl =
-      (* Precedence: Det (above) > Prim (E25 class restriction) > Queue
-         (E23 scalable-lock tier) > Fast (E22 adaptive tier) > Sys. *)
-      match Prims.selected () with
-      | Some c -> Prim (Prims.make_lock c)
-      | None -> (
-        match Queuelock.selected () with
-        | Some k -> Queue (Queuelock.make_lock k)
-        | None ->
-        if Fastpath.active () then
-          Fast
-            { state = Atomic.make 0;
-              pm = Stdlib.Mutex.create ();
-              pc = Stdlib.Condition.create () }
-        else Sys (Stdlib.Mutex.create ()))
+      (* Precedence: Det (above) > Swap (E27 adaptive scope) > Prim
+         (E25 class restriction) > Queue (E23 scalable-lock tier) >
+         Fast (E22 adaptive tier) > Sys. *)
+      if swappable_selected () then begin
+        let c = make_cell `Sys in
+        Swap { cur = Atomic.make c; held = c }
+      end
+      else
+        match Prims.selected () with
+        | Some c -> Prim (Prims.make_lock c)
+        | None -> (
+          match Queuelock.selected () with
+          | Some k -> Queue (Queuelock.make_lock k)
+          | None ->
+          if Fastpath.active () then
+            Fast
+              { state = Atomic.make 0;
+                pm = Stdlib.Mutex.create ();
+                pc = Stdlib.Condition.create () }
+          else Sys (Stdlib.Mutex.create ()))
     in
-    { impl;
-      rid =
-        (if Deadlock.enabled () then Deadlock.register ~kind:"mutex" ()
-         else -1);
-      name;
-      acquired_at = 0 }
+    let t =
+      { impl;
+        rid =
+          (if Deadlock.enabled () then Deadlock.register ~kind:"mutex" ()
+           else -1);
+        name;
+        acquired_at = 0 }
+    in
+    (match t.impl with
+    | Swap _ ->
+      Stdlib.Mutex.lock sites_lock;
+      sites := t :: !sites;
+      Stdlib.Mutex.unlock sites_lock
+    | _ -> ());
+    t
+  end
 
 (* How many backoff rounds to spin before parking. Backoff doubles its
    randomized spin bound each round, so this covers short critical
@@ -70,8 +197,22 @@ let create ?(name = "mutex") () =
    call: their adaptive spin is conditional on SMP). Yield-until-free
    is NOT an option here: with one thread per domain, [Thread.yield]
    skips the reschedule entirely (nobody else waits on the domain's
-   master lock), so a yield loop degenerates into a hot spin. *)
-let spin_rounds = if Domain.recommended_domain_count () > 1 then 8 else 0
+   master lock), so a yield loop degenerates into a hot spin.
+
+   E27 makes the round count live-tunable: the adaptive controller
+   retunes it from observed wait distributions. The extra atomic load
+   sits on the already-contended slow path only — the uncontended CAS
+   never reads it. *)
+let default_spin_rounds =
+  if Domain.recommended_domain_count () > 1 then 8 else 0
+
+let spin_rounds_cell = Atomic.make default_spin_rounds
+
+let spin_rounds () = Atomic.get spin_rounds_cell
+
+let set_spin_rounds n =
+  if n < 0 then invalid_arg "Mutex.set_spin_rounds: negative round count";
+  Atomic.set spin_rounds_cell n
 
 let fast_lock_raw f =
   if not (Atomic.compare_and_set f.state 0 1) then begin
@@ -85,7 +226,7 @@ let fast_lock_raw f =
          (Backoff.once b;
           spin (n - 1)))
     in
-    if not (spin spin_rounds) then begin
+    if not (spin (spin_rounds ())) then begin
       (* Park. From here on we advertise 2 (waiters present): whoever
          unlocks while the state is 2 must signal. The exchange both
          attempts the acquire and publishes the pessimistic state. *)
@@ -111,6 +252,83 @@ let fast_unlock_raw f =
     Stdlib.Condition.signal f.pc;
     Stdlib.Mutex.unlock f.pm
   end
+
+(* -- hot-swap cell operations -------------------------------------- *)
+
+let cell_lock_raw = function
+  | C_sys m -> Stdlib.Mutex.lock m
+  | C_fast f -> fast_lock_raw f
+  | C_queue q -> q.Queuelock.qk_lock ()
+
+let cell_try_raw = function
+  | C_sys m -> Stdlib.Mutex.try_lock m
+  | C_fast f -> Atomic.compare_and_set f.state 0 1
+  | C_queue q -> q.Queuelock.qk_try ()
+
+let cell_unlock_raw = function
+  | C_sys m -> Stdlib.Mutex.unlock m
+  | C_fast f -> fast_unlock_raw f
+  | C_queue q -> q.Queuelock.qk_unlock ()
+
+(* Acquire through the indirection: lock the cell [cur] points at, then
+   re-check [cur]. A swap can only publish while holding the cell it
+   replaces, so observing [cur == c] with [c] locked proves no newer
+   cell is (or can become) lockable until we release — see the protocol
+   note on [swap]. The retry loop terminates because each iteration
+   rides a distinct published swap, and swaps are controller-paced. *)
+let rec swap_lock_raw s =
+  let c = Atomic.get s.cur in
+  cell_lock_raw c;
+  if Atomic.get s.cur == c then s.held <- c
+  else begin
+    cell_unlock_raw c;
+    swap_lock_raw s
+  end
+
+let swap_unlock_raw s = cell_unlock_raw s.held
+
+let rec swap_try_raw s =
+  let c = Atomic.get s.cur in
+  if cell_try_raw c then
+    if Atomic.get s.cur == c then begin
+      s.held <- c;
+      true
+    end
+    else begin
+      cell_unlock_raw c;
+      swap_try_raw s
+    end
+  else false
+
+let current_tier t =
+  match t.impl with
+  | Swap s -> Some (cell_tier (Atomic.get s.cur))
+  | _ -> None
+
+let rec swap_to t tier =
+  match t.impl with
+  | Swap s ->
+    let old = Atomic.get s.cur in
+    if cell_tier old = tier then false
+    else begin
+      cell_lock_raw old;
+      if Atomic.get s.cur != old then begin
+        (* Lost a race with a concurrent swapper: back out and retry
+           against the freshly published cell. *)
+        cell_unlock_raw old;
+        swap_to t tier
+      end
+      else begin
+        (* We hold the live cell: every acquirer either waits on it or
+           will fail its re-check. Publish the fresh cell — new
+           arrivals route there immediately — then drain by release. *)
+        Atomic.set s.cur (make_cell tier);
+        cell_unlock_raw old;
+        Probe.instant Flip ~site:t.name ~arg:(tier_index tier);
+        true
+      end
+    end
+  | _ -> false
 
 let lock t =
   let t0 = Probe.now () in
@@ -143,6 +361,13 @@ let lock t =
       Deadlock.acquired t.rid
     end
     else q.Queuelock.qk_lock ()
+  | Swap s ->
+    if t.rid >= 0 && Deadlock.enabled () then begin
+      Deadlock.blocked t.rid;
+      swap_lock_raw s;
+      Deadlock.acquired t.rid
+    end
+    else swap_lock_raw s
   | Det m -> Detrt.mutex_lock m);
   if t0 <> 0 then begin
     Probe.span Acquire ~site:t.name ~since:t0 ~arg:0;
@@ -167,6 +392,9 @@ let unlock t =
   | Queue q ->
     if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
     q.Queuelock.qk_unlock ()
+  | Swap s ->
+    if t.rid >= 0 && Deadlock.enabled () then Deadlock.released t.rid;
+    swap_unlock_raw s
   | Det m -> Detrt.mutex_unlock m
 
 let try_lock t =
@@ -186,6 +414,10 @@ let try_lock t =
       ok
     | Queue q ->
       let ok = q.Queuelock.qk_try () in
+      if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
+      ok
+    | Swap s ->
+      let ok = swap_try_raw s in
       if ok && t.rid >= 0 && Deadlock.enabled () then Deadlock.acquired t.rid;
       ok
     | Det m -> Detrt.mutex_try_lock m
@@ -216,7 +448,7 @@ let try_lock_for t ~timeout_ns =
       end
     in
     loop ()
-  | Sys _ | Fast _ | Prim _ | Queue _ ->
+  | Sys _ | Fast _ | Prim _ | Queue _ | Swap _ ->
     (* Queue-tier timed attempts poll [try_lock] too: the queue locks'
        try never publishes a waiter node, so a timeout cannot strand a
        wakeup in the FIFO queue. *)

@@ -37,12 +37,23 @@ type fast = {
   pc : Stdlib.Condition.t;
 }
 
+(** Hot-swappable (E27) cell: the static impl a swappable site is
+    currently routed to. Cells are never reused across swaps, so the
+    acquire re-check can rely on physical equality. *)
+type swap_cell =
+  | C_sys of Stdlib.Mutex.t
+  | C_fast of fast
+  | C_queue of Sync_prims.Queuelock.lock
+
+type swap = { cur : swap_cell Atomic.t; mutable held : swap_cell }
+
 type impl =
   | Sys of Stdlib.Mutex.t
   | Det of Detrt.mutex
   | Fast of fast
   | Prim of Sync_prims.Prims.lock
   | Queue of Sync_prims.Queuelock.lock
+  | Swap of swap
 
 type t = {
   impl : impl;
@@ -58,6 +69,15 @@ val fast_lock_raw : fast -> unit
 val fast_unlock_raw : fast -> unit
 (** Release the adaptive lock with no probe/watchdog bookkeeping.
     Internal: used by {!Condition} to release before a park. *)
+
+val swap_lock_raw : swap -> unit
+(** Acquire a swappable site with no probe/watchdog bookkeeping: lock
+    the current cell, re-check the indirection, retry if a swap was
+    published in between. Internal: used by {!Condition}. *)
+
+val swap_unlock_raw : swap -> unit
+(** Release the cell the current holder actually locked. Internal:
+    used by {!Condition}. *)
 
 val create : ?name:string -> unit -> t
 (** System mutex normally; deterministic mutex inside a {!Detrt} run.
@@ -83,3 +103,69 @@ val try_lock_for : t -> timeout_ns:int64 -> bool
 
 val protect : t -> (unit -> 'a) -> 'a
 (** [protect m f] runs [f] with [m] held, releasing on any exit. *)
+
+(** {1 Hot-swappable sites (E27)}
+
+    A mutex created inside {!with_swappable} carries one extra
+    indirection: an atomic pointer to the cell (sys / fast / queue
+    impl) it currently routes through. {!swap_to} retiers a live site
+    with an epoch-quiesced protocol — the swapper locks the old cell,
+    publishes the fresh one (new acquirers route there immediately),
+    then releases; stragglers that locked the old cell re-check the
+    indirection, back out and retry, so the old impl drains and mutual
+    exclusion is never violated (DPOR-certified by the catalog's
+    [swap-excl] scenarios). *)
+
+type tier = [ `Sys | `Fast | `Queue of Sync_prims.Queuelock.kind ]
+(** The tiers a swappable site can move between. [Det] is a different
+    world and [Prim] a deliberate class restriction; neither swaps. *)
+
+val tier_name : tier -> string
+(** ["sys"], ["fast"], ["queue-mcs"], ["queue-clh"], ["queue-ticket"]. *)
+
+val all_tiers : tier list
+
+val tier_index : tier -> int
+(** Stable small integer identifying a tier — the [arg] of the [Flip]
+    probe instants {!swap_to} emits. *)
+
+val tier_of_index : int -> tier option
+
+val with_swappable : (unit -> 'a) -> 'a
+(** Run a thunk with swappable mutex creation selected (precedence Det
+    > Swap > Prim > Queue > Fast > Sys), restoring the previous
+    selection afterwards. Mutexes created inside the scope start on
+    [`Sys]. The site registry is cleared on entry and {e kept} on exit,
+    so a controller started after the build scope closes still
+    enumerates the run's sites via {!swap_sites}; the next scope clears
+    the slate. Concurrent scopes are not supported (same rule as
+    {!Fastpath}). *)
+
+val swappable_selected : unit -> bool
+
+val swap_sites : unit -> t list
+(** Every swappable mutex created in the most recent scope, newest
+    first — the adaptive controller's enumeration point. *)
+
+val current_tier : t -> tier option
+(** The tier a swappable site currently routes to; [None] for
+    non-swappable mutexes. *)
+
+val swap_to : t -> tier -> bool
+(** [swap_to t tier] retiers a swappable site, allocating a fresh cell
+    and draining the old one (see above); blocks until the old cell's
+    holder — if any — releases. Emits a [Flip] probe instant against
+    the site with [arg = tier_index tier]. Returns [false] (and does
+    nothing) if [t] is not swappable or already routes to [tier]. *)
+
+(** {1 Spin tuning (E27)} *)
+
+val spin_rounds : unit -> int
+(** Backoff rounds a contended fast-tier acquire spins before parking.
+    Defaults to 8 on multicore, 0 on a single core. *)
+
+val set_spin_rounds : int -> unit
+(** Retune {!spin_rounds} live: the next contended acquisition — on
+    any fast-tier mutex — sees the new value. Read on the contended
+    slow path only; the uncontended CAS never loads it.
+    @raise Invalid_argument on a negative count. *)

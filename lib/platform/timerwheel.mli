@@ -1,0 +1,55 @@
+(** Hierarchical timing wheel (Varghese–Lauck) — the E27 alarm
+    substrate.
+
+    [levels] cascading rings of [2^slot_bits] buckets; a level-[l]
+    slot spans [2^(l*slot_bits)] ticks, so the default 4 × 8-bit wheel
+    covers a horizon of [2^32] ticks. {!add} and {!cancel} are O(1)
+    (intrusive doubly-linked buckets); {!tick} is amortized O(1) and
+    independent of the number of pending alarms — the property that
+    lets an alarm-clock hold millions of sleepers (compare
+    {!Heap}'s O(log n) per alarm).
+
+    Single-owner by design: the caller (the [alarm_wheel] solution, a
+    bench loop) serializes all calls. Deadlines beyond the horizon wait
+    on an overflow list re-examined once per full rotation. *)
+
+type 'a t
+
+type 'a alarm
+(** A pending alarm (the wheel's intrusive node). *)
+
+val create : ?levels:int -> ?slot_bits:int -> unit -> 'a t
+(** Default [levels = 4], [slot_bits = 8]. The horizon —
+    the largest representable relative delay — is
+    [2^(levels * slot_bits)] ticks.
+    @raise Invalid_argument if [levels < 1], [slot_bits < 1] or the
+    horizon would not fit an int. *)
+
+val add : 'a t -> delay:int -> 'a -> 'a alarm
+(** Schedule a payload [delay] ticks from {!now} (clamped to at least
+    1: an alarm can never fire in the tick that set it, matching the
+    alarm-clock semantics). O(1). *)
+
+val cancel : 'a t -> 'a alarm -> bool
+(** Unlink a pending alarm; [false] if it already fired or was already
+    cancelled. O(1), idempotent. *)
+
+val tick : 'a t -> (int -> 'a -> unit) -> int
+(** Advance one tick, firing every alarm due exactly now: the callback
+    receives (deadline, payload) in bucket FIFO order. Returns the
+    number fired. *)
+
+val advance : 'a t -> ticks:int -> (int -> 'a -> unit) -> int
+(** [tick] repeatedly; returns the total number fired. *)
+
+val now : 'a t -> int
+(** Ticks elapsed since creation. *)
+
+val pending : 'a t -> int
+(** Alarms currently scheduled (added, not yet fired or cancelled). *)
+
+val fired : 'a alarm -> bool
+(** The alarm is no longer pending (fired or cancelled). *)
+
+val deadline : 'a alarm -> int
+(** The absolute tick the alarm was scheduled for. *)

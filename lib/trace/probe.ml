@@ -22,6 +22,7 @@ type kind =
   | Handoff   (* instant: grant handed directly to a waiter; arg = left *)
   | Abandon   (* instant: a timed wait gave up; arg = ns spent waiting *)
   | Spurious  (* instant: woken with the awaited predicate still false *)
+  | Flip      (* instant: a site changed tier; arg = new tier index *)
 
 let kind_to_string = function
   | Acquire -> "acquire"
@@ -32,10 +33,11 @@ let kind_to_string = function
   | Handoff -> "handoff"
   | Abandon -> "abandon"
   | Spurious -> "spurious"
+  | Flip -> "flip"
 
 let is_span = function
   | Acquire | Hold | Wait | Op -> true
-  | Signal | Handoff | Abandon | Spurious -> false
+  | Signal | Handoff | Abandon | Spurious | Flip -> false
 
 let kind_index = function
   | Acquire -> 0
@@ -46,9 +48,10 @@ let kind_index = function
   | Handoff -> 5
   | Abandon -> 6
   | Spurious -> 7
+  | Flip -> 8
 
 let kind_of_index =
-  [| Acquire; Hold; Wait; Op; Signal; Handoff; Abandon; Spurious |]
+  [| Acquire; Hold; Wait; Op; Signal; Handoff; Abandon; Spurious; Flip |]
 
 (* The static flag. A single atomic load guards every probe; [enabled]
    is the first thing each entry point checks, before any allocation. *)
@@ -70,7 +73,14 @@ let set_capacity n =
 
 (* Per-thread ring buffer. Only the owning thread writes; [pos] counts
    every event ever written, so [pos - cap] events have been overwritten
-   once the ring wraps. *)
+   once the ring wraps.
+
+   [pos] is atomic so a concurrent reader (the adaptive sampler) can use
+   it as a sequence lock: the owning thread fills every slot field and
+   only then publishes with an [Atomic.set] (a release on OCaml's SC
+   atomics), so any event below the published count is fully written.
+   The single uncontended atomic store costs the same as a plain store
+   on the recording path, keeping the disabled/enabled cost claims. *)
 type buffer = {
   btid : int;
   cap : int;
@@ -82,7 +92,7 @@ type buffer = {
   barg : int array;
   bactor : int array;
   mutable bop_cur : string;
-  mutable pos : int;
+  pos : int Atomic.t;
 }
 
 let make_buffer tid =
@@ -95,7 +105,7 @@ let make_buffer tid =
     bdur = Array.make cap 0;
     barg = Array.make cap 0;
     bactor = Array.make cap 0;
-    bop_cur = ""; pos = 0 }
+    bop_cur = ""; pos = Atomic.make 0 }
 
 (* Buffer lookup: a fixed array of atomic slots indexed by thread id.
    The slot is re-verified against the owner's id, so a (rare) index
@@ -139,7 +149,8 @@ let now_ns () = Int64.to_int (Monotonic_clock.now ())
 let now () = if enabled () then now_ns () else 0
 
 let write b k ~site ~t0 ~dur ~arg =
-  let i = b.pos mod b.cap in
+  let p = Atomic.get b.pos in
+  let i = p mod b.cap in
   b.bkind.(i) <- kind_index k;
   b.bsite.(i) <- site;
   b.bop.(i) <- b.bop_cur;
@@ -147,7 +158,8 @@ let write b k ~site ~t0 ~dur ~arg =
   b.bdur.(i) <- dur;
   b.barg.(i) <- arg;
   b.bactor.(i) <- current_actor b;
-  b.pos <- b.pos + 1
+  (* Publish: slot stores above happen-before this release store. *)
+  Atomic.set b.pos (p + 1)
 
 let span k ~site ~since ~arg =
   if enabled () && since <> 0 then begin
@@ -182,8 +194,9 @@ type event = {
 }
 
 let buffer_events b =
-  let n = min b.pos b.cap in
-  let start = b.pos - n in
+  let pos = Atomic.get b.pos in
+  let n = min pos b.cap in
+  let start = pos - n in
   List.init n (fun j ->
       let i = (start + j) mod b.cap in
       { t0 = b.bt0.(i); dur = b.bdur.(i);
@@ -191,22 +204,121 @@ let buffer_events b =
         site = b.bsite.(i); op = b.bop.(i);
         actor = b.bactor.(i); arg = b.barg.(i) })
 
+(* Consistent read while the owner keeps writing (the sampler path).
+   [p0] is read before copying the slot arrays and [p1] after: any slot
+   the owner touched during the copy belongs to an event numbered in
+   [p0, p1), which overwrote the event numbered cap earlier. Events in
+   [max(0, p1 - cap), p0) were therefore fully published before the copy
+   began and untouched during it — no torn slot can leak out. If the
+   owner laps the reader by a full ring during the copy the window is
+   empty and we retry (bounded; in practice one pass suffices). *)
+let live_buffer_events b =
+  let rec attempt tries =
+    let p0 = Atomic.get b.pos in
+    let bkind = Array.copy b.bkind in
+    let bsite = Array.copy b.bsite in
+    let bop = Array.copy b.bop in
+    let bt0 = Array.copy b.bt0 in
+    let bdur = Array.copy b.bdur in
+    let barg = Array.copy b.barg in
+    let bactor = Array.copy b.bactor in
+    let p1 = Atomic.get b.pos in
+    let lo = max 0 (p1 - b.cap) in
+    if lo >= p0 && p0 > 0 && tries < 8 then attempt (tries + 1)
+    else
+      List.init (max 0 (p0 - lo)) (fun j ->
+          let i = (lo + j) mod b.cap in
+          { t0 = bt0.(i); dur = bdur.(i);
+            kind = kind_of_index.(bkind.(i));
+            site = bsite.(i); op = bop.(i);
+            actor = bactor.(i); arg = barg.(i) })
+  in
+  attempt 0
+
+(* Incremental sampler read: only the events a cursor has not seen.
+   Same seqlock reasoning as [live_buffer_events], but the copy is
+   bounded by the number of new events, so a periodic sampler's cost is
+   proportional to recording activity, not to ring capacity — a sampler
+   re-copying a 65k-slot ring every few milliseconds is itself enough
+   allocation pressure to perturb the run it is observing. *)
+let live_buffer_events_from b ~from =
+  let rec attempt tries =
+    let p0 = Atomic.get b.pos in
+    let lo = max from (max 0 (p0 - b.cap)) in
+    let n = p0 - lo in
+    if n <= 0 then ([], p0)
+    else begin
+      let kinds = Array.make n 0 in
+      let sites = Array.make n "" in
+      let ops = Array.make n "" in
+      let t0s = Array.make n 0 in
+      let durs = Array.make n 0 in
+      let args = Array.make n 0 in
+      let actors = Array.make n 0 in
+      for j = 0 to n - 1 do
+        let i = (lo + j) mod b.cap in
+        kinds.(j) <- b.bkind.(i);
+        sites.(j) <- b.bsite.(i);
+        ops.(j) <- b.bop.(i);
+        t0s.(j) <- b.bt0.(i);
+        durs.(j) <- b.bdur.(i);
+        args.(j) <- b.barg.(i);
+        actors.(j) <- b.bactor.(i)
+      done;
+      let p1 = Atomic.get b.pos in
+      let lo' = max lo (p1 - b.cap) in
+      if lo' >= p0 && tries < 8 then attempt (tries + 1)
+      else
+        ( List.init (max 0 (p0 - lo')) (fun j ->
+              let j = j + (lo' - lo) in
+              { t0 = t0s.(j); dur = durs.(j);
+                kind = kind_of_index.(kinds.(j));
+                site = sites.(j); op = ops.(j);
+                actor = actors.(j); arg = args.(j) }),
+          p0 )
+    end
+  in
+  attempt 0
+
 let buffers () =
   Stdlib.Mutex.lock registry_lock;
   let bs = !registry in
   Stdlib.Mutex.unlock registry_lock;
   bs
 
-let snapshot () =
-  buffers ()
-  |> List.concat_map buffer_events
-  |> List.sort (fun a b ->
-         match compare a.t0 b.t0 with 0 -> compare b.dur a.dur | c -> c)
+let sort_events evs =
+  List.sort
+    (fun a b ->
+      match compare a.t0 b.t0 with 0 -> compare b.dur a.dur | c -> c)
+    evs
 
-let total () = List.fold_left (fun acc b -> acc + b.pos) 0 (buffers ())
+let snapshot () = buffers () |> List.concat_map buffer_events |> sort_events
+
+let live_snapshot () =
+  buffers () |> List.concat_map live_buffer_events |> sort_events
+
+type cursor = (buffer * int) list
+
+let start_cursor : cursor = []
+
+let live_read cur =
+  let pairs =
+    List.map
+      (fun b ->
+        let from = try List.assq b cur with Not_found -> 0 in
+        let evs, next = live_buffer_events_from b ~from in
+        (evs, (b, next)))
+      (buffers ())
+  in
+  (List.concat_map fst pairs |> sort_events, List.map snd pairs)
+
+let total () =
+  List.fold_left (fun acc b -> acc + Atomic.get b.pos) 0 (buffers ())
 
 let dropped () =
-  List.fold_left (fun acc b -> acc + max 0 (b.pos - b.cap)) 0 (buffers ())
+  List.fold_left
+    (fun acc b -> acc + max 0 (Atomic.get b.pos - b.cap))
+    0 (buffers ())
 
 let with_tracing f =
   reset ();

@@ -27,6 +27,7 @@ type kind =
   | Handoff  (** instant: grant handed directly to a waiter; arg = waiters left *)
   | Abandon  (** instant: a timed wait gave up; arg = ns spent waiting *)
   | Spurious  (** instant: woken with the awaited predicate still false *)
+  | Flip  (** instant: a site changed tier; arg = the new tier's index *)
 
 val kind_to_string : kind -> string
 
@@ -81,6 +82,28 @@ type event = {
 val snapshot : unit -> event list
 (** Every retained event across all buffers, sorted by start time. Take
     it after the traced region has quiesced. *)
+
+val live_snapshot : unit -> event list
+(** Like {!snapshot} but safe while recording threads keep writing (the
+    adaptive sampler's read path). Each ring is read under a seqlock on
+    its atomic position counter: the slot arrays are copied, and only
+    events fully published before the copy began and not overwritten
+    during it are returned — never a torn slot. Events recorded during
+    the copy are simply missed until the next sample. *)
+
+type cursor
+(** Consumption frontier over the per-thread rings, for incremental
+    live reads. *)
+
+val start_cursor : cursor
+(** The frontier that has consumed nothing. *)
+
+val live_read : cursor -> event list * cursor
+(** Events recorded past the cursor (sorted by start time) and the
+    advanced cursor. Same seqlock guarantees as {!live_snapshot}, but
+    the work done is proportional to the {e new} events, not to ring
+    capacity — the periodic-sampler read path. Events overwritten
+    before being consumed are lost, exactly as in {!live_snapshot}. *)
 
 val total : unit -> int
 (** Events ever recorded since the last {!reset} (including dropped). *)

@@ -20,6 +20,7 @@ type wake_report = {
   handoffs : int;
   spurious : int;
   abandoned : int;
+  flips : int;  (** tier flips recorded by the adaptive controller *)
   max_queue : int;  (** deepest queue observed at any park or wake *)
 }
 
@@ -34,7 +35,7 @@ let of_events ?(dropped = 0) events =
   let spans : (string * Probe.kind, site_row) Hashtbl.t = Hashtbl.create 32 in
   let signals = ref 0 and handoffs = ref 0 in
   let spurious = ref 0 and abandoned = ref 0 in
-  let max_queue = ref 0 in
+  let flips = ref 0 and max_queue = ref 0 in
   List.iter
     (fun (e : Probe.event) ->
       match e.kind with
@@ -62,7 +63,8 @@ let of_events ?(dropped = 0) events =
         incr handoffs;
         max_queue := max !max_queue e.arg
       | Spurious -> incr spurious
-      | Abandon -> incr abandoned)
+      | Abandon -> incr abandoned
+      | Flip -> incr flips)
     events;
   let rows =
     Hashtbl.fold (fun _ r acc -> r :: acc) spans []
@@ -74,7 +76,7 @@ let of_events ?(dropped = 0) events =
   { rows;
     wake =
       { signals = !signals; handoffs = !handoffs; spurious = !spurious;
-        abandoned = !abandoned; max_queue = !max_queue };
+        abandoned = !abandoned; flips = !flips; max_queue = !max_queue };
     events = List.length events;
     dropped }
 
@@ -95,10 +97,10 @@ let pp ppf t =
         (Histogram.max_value r.hist))
     t.rows;
   Format.fprintf ppf
-    "wakes: %d signals, %d handoffs, %d spurious, %d abandoned; deepest \
-     queue %d; %d events (%d dropped)@."
+    "wakes: %d signals, %d handoffs, %d spurious, %d abandoned, %d tier \
+     flips; deepest queue %d; %d events (%d dropped)@."
     t.wake.signals t.wake.handoffs t.wake.spurious t.wake.abandoned
-    t.wake.max_queue t.events t.dropped
+    t.wake.flips t.wake.max_queue t.events t.dropped
 
 let to_json t =
   Emit.Obj
@@ -124,4 +126,5 @@ let to_json t =
            ("handoffs", Emit.Int t.wake.handoffs);
            ("spurious", Emit.Int t.wake.spurious);
            ("abandoned", Emit.Int t.wake.abandoned);
+           ("flips", Emit.Int t.wake.flips);
            ("max_queue", Emit.Int t.wake.max_queue) ]) ]

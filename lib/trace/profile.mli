@@ -19,6 +19,7 @@ type wake_report = {
   handoffs : int;
   spurious : int;
   abandoned : int;
+  flips : int;
   max_queue : int;
 }
 

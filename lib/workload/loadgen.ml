@@ -2,7 +2,40 @@ open Sync_platform
 open Sync_metrics
 module Probe = Sync_trace.Probe
 
-type arrival = Poisson | Uniform_spaced
+(* E27 adds the two shapes a self-tuning controller has to survive:
+   [Diurnal] modulates a Poisson process with a slow sinusoid (rate
+   swings between ~0.1x and ~1.9x of nominal over [diurnal_period_ms]),
+   so the best tier changes during the run; [Bursty] is a two-state
+   mixture — occasional long gaps, dense bursts between them — with the
+   same nominal rate but a far higher variance, the classic trigger for
+   spin-vs-park mistuning. *)
+type arrival = Poisson | Uniform_spaced | Diurnal | Bursty
+
+let arrival_name = function
+  | Poisson -> "poisson"
+  | Uniform_spaced -> "uniform"
+  | Diurnal -> "diurnal"
+  | Bursty -> "bursty"
+
+let arrival_of_string = function
+  | "poisson" -> Some Poisson
+  | "uniform" -> Some Uniform_spaced
+  | "diurnal" -> Some Diurnal
+  | "bursty" -> Some Bursty
+  | _ -> None
+
+let diurnal_period_ms = 100
+
+let diurnal_amplitude = 0.9
+
+(* Bursty mixture: a 1-in-10 draw opens a gap 6.4x the nominal mean;
+   the rest arrive at 0.4x. Expectation 0.1*6.4 + 0.9*0.4 = 1.0 keeps
+   the aggregate rate honest while the variance explodes. *)
+let burst_gap_p = 0.1
+
+let burst_gap_scale = 6.4
+
+let burst_dense_scale = 0.4
 
 type mode = Closed | Open_loop of { rate_per_s : float; arrival : arrival }
 
@@ -77,16 +110,38 @@ let run (target : Target.instance) cfg =
   let worker w () =
     let rng = rngs.(w) in
     let recs = recorders.(w) in
-    let next_arrival = ref (Clock.now_ns ()) in
+    let start_ns = Clock.now_ns () in
+    let next_arrival = ref start_ns in
+    (* Exponential inter-arrival: -mean * ln(1 - U), U in [0,1). *)
+    let exp_draw mean =
+      let u = Prng.float rng 1.0 in
+      -.mean *. log (1.0 -. u)
+    in
     let interarrival () =
       match cfg.mode with
       | Closed -> 0L
       | Open_loop { arrival = Uniform_spaced; _ } ->
         Int64.of_float mean_ia_ns
       | Open_loop { arrival = Poisson; _ } ->
-        (* Exponential inter-arrival: -mean * ln(1 - U), U in [0,1). *)
-        let u = Prng.float rng 1.0 in
-        Int64.of_float (-.mean_ia_ns *. log (1.0 -. u))
+        Int64.of_float (exp_draw mean_ia_ns)
+      | Open_loop { arrival = Diurnal; _ } ->
+        (* Sinusoid-modulated Poisson: the instantaneous rate follows
+           1 + A*sin(2*pi*t/period), evaluated at the intended arrival
+           time so the shape is schedule-driven, not execution-driven. *)
+        let t_ns =
+          Int64.to_float (Int64.sub !next_arrival start_ns)
+        in
+        let phase =
+          2.0 *. Float.pi *. t_ns /. (float_of_int diurnal_period_ms *. 1e6)
+        in
+        let factor = 1.0 +. (diurnal_amplitude *. sin phase) in
+        Int64.of_float (exp_draw (mean_ia_ns /. Float.max 0.05 factor))
+      | Open_loop { arrival = Bursty; _ } ->
+        let scale =
+          if Prng.float rng 1.0 < burst_gap_p then burst_gap_scale
+          else burst_dense_scale
+        in
+        Int64.of_float (exp_draw (mean_ia_ns *. scale))
     in
     let rec wait_until ns =
       let now = Clock.now_ns () in
@@ -187,8 +242,7 @@ let run (target : Target.instance) cfg =
     arrival =
       (match cfg.mode with
       | Closed -> None
-      | Open_loop { arrival = Poisson; _ } -> Some "poisson"
-      | Open_loop { arrival = Uniform_spaced; _ } -> Some "uniform");
+      | Open_loop { arrival; _ } -> Some (arrival_name arrival));
     duration_ms = cfg.duration_ms;
     warmup_ms = cfg.warmup_ms;
     seed = cfg.seed;

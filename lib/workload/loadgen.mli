@@ -23,9 +23,40 @@
     windows, mode and seed come from {!config}; every run with the same
     seed draws the same arrival/op-mix randomness. *)
 
-type arrival = Poisson | Uniform_spaced
+type arrival =
+  | Poisson  (** memoryless arrivals at the nominal rate *)
+  | Uniform_spaced  (** deterministic, evenly spaced arrivals *)
+  | Diurnal
+      (** Poisson modulated by a slow sinusoid (E27): the instantaneous
+          rate swings between roughly 0.1x and 1.9x nominal over a
+          100 ms period, so the contention regime — and therefore the
+          best tier — changes within a single run. *)
+  | Bursty
+      (** two-state mixture (E27): occasional long gaps, dense bursts
+          between them; same nominal rate, far higher variance. *)
 
 type mode = Closed | Open_loop of { rate_per_s : float; arrival : arrival }
+
+val arrival_name : arrival -> string
+(** ["poisson"], ["uniform"], ["diurnal"], ["bursty"] — the report's
+    arrival labels. *)
+
+val arrival_of_string : string -> arrival option
+
+val diurnal_period_ms : int
+(** Period of the diurnal sinusoid (100 ms). *)
+
+val diurnal_amplitude : float
+(** Amplitude of the diurnal rate swing (0.9). *)
+
+val burst_gap_p : float
+(** Probability an arrival opens a long gap in the bursty mixture. *)
+
+val burst_gap_scale : float
+(** Gap length as a multiple of the nominal mean inter-arrival. *)
+
+val burst_dense_scale : float
+(** In-burst inter-arrival as a multiple of the nominal mean. *)
 
 type config = {
   workers : int;  (** concurrent clients (>= 1) *)

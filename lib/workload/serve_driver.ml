@@ -177,13 +177,34 @@ let run_with_mark ~sockaddr ~mark cfg =
               connect (attempt + 1)
             end)
     in
-    let next_arrival = ref (Clock.now_ns ()) in
+    let start_ns = Clock.now_ns () in
+    let next_arrival = ref start_ns in
+    let exp_draw mean =
+      let u = Prng.float rng 1.0 in
+      -.mean *. log (1.0 -. u)
+    in
+    (* Mirrors Loadgen's draws, including the E27 diurnal/bursty
+       shapes, so the service tier can be driven under the same
+       arrival processes as the in-process grid. *)
     let interarrival () =
       match cfg.arrival with
       | Loadgen.Uniform_spaced -> Int64.of_float mean_ia_ns
-      | Loadgen.Poisson ->
-        let u = Prng.float rng 1.0 in
-        Int64.of_float (-.mean_ia_ns *. log (1.0 -. u))
+      | Loadgen.Poisson -> Int64.of_float (exp_draw mean_ia_ns)
+      | Loadgen.Diurnal ->
+        let t_ns = Int64.to_float (Int64.sub !next_arrival start_ns) in
+        let phase =
+          2.0 *. Float.pi *. t_ns
+          /. (float_of_int Loadgen.diurnal_period_ms *. 1e6)
+        in
+        let factor = 1.0 +. (Loadgen.diurnal_amplitude *. sin phase) in
+        Int64.of_float (exp_draw (mean_ia_ns /. Float.max 0.05 factor))
+      | Loadgen.Bursty ->
+        let scale =
+          if Prng.float rng 1.0 < Loadgen.burst_gap_p then
+            Loadgen.burst_gap_scale
+          else Loadgen.burst_dense_scale
+        in
+        Int64.of_float (exp_draw (mean_ia_ns *. scale))
     in
     let rec wait_until ns =
       let now = Clock.now_ns () in
@@ -326,10 +347,7 @@ let run_with_mark ~sockaddr ~mark cfg =
       backend = "thread";
       mode = "open";
       rate_per_s = Some cfg.rate_per_s;
-      arrival =
-        (match cfg.arrival with
-        | Loadgen.Poisson -> Some "poisson"
-        | Loadgen.Uniform_spaced -> Some "uniform");
+      arrival = Some (Loadgen.arrival_name cfg.arrival);
       duration_ms = cfg.duration_ms;
       warmup_ms = cfg.warmup_ms;
       seed = cfg.seed;

@@ -16,9 +16,11 @@
     targets declare {!Cycle}; request/response problems (readers-writers,
     FCFS, disk) declare {!Weighted} mixes or single-op cycles.
 
-    The alarm-clock problem is deliberately absent: it needs a dedicated
-    virtual-clock driver, so wall-clock load on it measures the driver,
-    not the mechanism. *)
+    The alarm-clock problem historically sat out (a wall-clock load on
+    it measures its virtual-clock driver as much as the mechanism); E27
+    brings it in with the driver embedded — a ticker thread inside the
+    instance, identical for every tier, so tier-to-tier ratios still
+    isolate the synchronizer. *)
 
 type op = {
   name : string;
@@ -36,7 +38,8 @@ type tier =
   [ `Default
   | `Fast
   | `Prim of Sync_prims.Prims.cls
-  | `Queue of Sync_prims.Queuelock.kind ]
+  | `Queue of Sync_prims.Queuelock.kind
+  | `Adaptive ]
 (** Which platform substrate the instance is built on. [`Default] is
     the stdlib-backed tier; [`Fast] builds the solution with
     {!Sync_platform.Fastpath} enabled — adaptive mutexes, fetch-and-add
@@ -51,7 +54,11 @@ type tier =
     under {!Sync_prims.Queuelock.with_kind}[ k] — every platform mutex
     is a local-spin queue lock of kind [k] (MCS / CLH / proportional
     ticket) and counting semaphores use the FAA prim constructions
-    (E23 scalable-lock runs). *)
+    (E23 scalable-lock runs). [`Adaptive] builds it under
+    {!Sync_platform.Mutex.with_swappable} — every platform mutex is a
+    hot-swappable site the E27 controller can retier live; the scope's
+    site registry survives the build so the controller can enumerate
+    it afterwards. *)
 
 val tier_name : tier -> string
 (** ["default"] / ["fast"] — the label reported in {!Report.t} rows. *)

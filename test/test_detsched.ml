@@ -63,7 +63,8 @@ let test_fastpath_inert_under_detrt () =
                let m = Mutex.create () in
                (match m.Mutex.impl with
                | Mutex.Det _ -> ()
-               | Mutex.Sys _ | Mutex.Fast _ | Mutex.Prim _ | Mutex.Queue _ ->
+               | Mutex.Sys _ | Mutex.Fast _ | Mutex.Prim _ | Mutex.Queue _
+               | Mutex.Swap _ ->
                  Alcotest.fail "mutex ignored the Detrt runtime");
                let s = Semaphore.Counting.create ~fairness:`Weak 1 in
                let ps =

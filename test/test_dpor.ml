@@ -256,6 +256,34 @@ let test_ticket_sem_complete () =
     "no lost wakeup, no exclusion breach, on any schedule" []
     (distinct_messages r.failures)
 
+(* E27 hot-swap retiering: the DPOR-complete certificate that the
+   lock / re-check / retry protocol behind [Mutex.swap_to] preserves
+   exclusion across a mid-run tier flip — on a tree naive DFS cannot
+   finish within the same budget. The control drops the re-check;
+   every failure DPOR reports there must be the stale-cell exclusion
+   violation the re-check exists to kill. *)
+let test_swap_complete () =
+  let sc = scen "swap-excl-1t1r1f" in
+  let budget = 50_000 in
+  let dfs = D.explore_dfs ~max_schedules:budget sc in
+  Alcotest.(check bool) "naive DFS exceeds the budget" false dfs.complete;
+  let r = D.explore_dpor ~max_schedules:budget sc in
+  Alcotest.(check bool) "DPOR covers every class" true r.complete;
+  Alcotest.(check (list string))
+    "exclusion holds across the flip on every schedule" []
+    (distinct_messages r.failures)
+
+let test_swap_norecheck_found () =
+  let sc = scen "swap-excl-norecheck-1t1r1f" in
+  let r = D.explore_dpor ~max_schedules:50_000 ~max_failures:1_000 sc in
+  Alcotest.(check bool) "DPOR covers every class" true r.complete;
+  Alcotest.(check bool) "violations found" true (r.failures <> []);
+  List.iter
+    (fun (_, m) ->
+      if not (Astring.String.is_infix ~affix:"exclusion violation" m) then
+        Alcotest.failf "unexpected failure mode: %s" m)
+    r.failures
+
 (* ------------------------------------------------------------------ *)
 (* Parallel sharding: partitioning the top-level frontier across domains
    must not change what is found. *)
@@ -381,7 +409,11 @@ let () =
           Alcotest.test_case "ticket lock exclusion" `Quick
             test_ticket_complete;
           Alcotest.test_case "ticket semaphore handoff" `Quick
-            test_ticket_sem_complete ] );
+            test_ticket_sem_complete;
+          Alcotest.test_case "hot-swap flip exclusion beyond DFS reach"
+            `Quick test_swap_complete;
+          Alcotest.test_case "hot-swap without re-check caught" `Quick
+            test_swap_norecheck_found ] );
       ( "parallel",
         [ Alcotest.test_case "sharded = sequential" `Quick test_workers ] );
       ( "regression",

@@ -622,6 +622,7 @@ let impl_label (m : Mutex.t) =
   | Mutex.Queue q -> "queue:" ^ Queuelock.kind_name q.Queuelock.qk_kind
   | Mutex.Fast _ -> "fast"
   | Mutex.Sys _ -> "sys"
+  | Mutex.Swap _ -> "swap"
 
 let test_queue_tier_precedence () =
   let check_label msg want m = Alcotest.(check string) msg want (impl_label m) in
